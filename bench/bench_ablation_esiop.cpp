@@ -1,0 +1,100 @@
+/// \file bench_ablation_esiop.cpp
+/// Ablation A5 — the paper's §4.4 remark implemented: "This latency could
+/// be lowered if we used a specific protocol (called ESIOP) instead of the
+/// general GIOP protocol in the CORBA implementation." Compares omniORB
+/// over general GIOP vs over ESIOP (compact framing + lean request path)
+/// on Myrinet-2000 through PadicoTM.
+
+#include "bench/common.hpp"
+#include "corba/stub.hpp"
+#include "osal/sync.hpp"
+
+using namespace padico;
+using namespace padico::bench;
+using namespace padico::fabric;
+
+namespace {
+
+class EchoServant : public corba::Servant {
+public:
+    std::string interface() const override { return "IDL:Echo:1.0"; }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override {
+        if (op == "echo") {
+            corba::skel::ret(out, corba::skel::arg<std::uint32_t>(in));
+        } else if (op == "take") {
+            (void)in.get_seq_msg<std::uint8_t>();
+            corba::skel::ret(out, true);
+        } else {
+            throw RemoteError("BAD_OPERATION");
+        }
+    }
+};
+
+struct Numbers {
+    double latency_us = 0;
+    double bandwidth_mb = 0;
+};
+
+Numbers measure(const corba::OrbProfile& profile) {
+    Testbed tb(2);
+    Numbers out;
+    osal::Event up, done;
+    tb.grid.spawn(*tb.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, profile);
+        orb.serve("esiop-ep");
+        corba::IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("esiop/key",
+                                     static_cast<ProcessId>(ior.key));
+        up.set();
+        done.wait();
+        orb.shutdown();
+    });
+    tb.grid.spawn(*tb.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, profile);
+        up.wait();
+        corba::IOR ior{"esiop-ep", proc.grid().wait_service("esiop/key"),
+                       "IDL:Echo:1.0"};
+        corba::ObjectRef ref = orb.resolve(ior);
+        corba::call<std::uint32_t>(ref, "echo", std::uint32_t{0});
+        constexpr int kIters = 50;
+        const SimTime t0 = proc.now();
+        for (int i = 0; i < kIters; ++i)
+            corba::call<std::uint32_t>(ref, "echo", std::uint32_t{4});
+        out.latency_us = to_usec(proc.now() - t0) / (2.0 * kIters);
+
+        constexpr std::size_t kLen = 1 << 20;
+        const SimTime t1 = proc.now();
+        corba::cdr::Encoder e(profile.zero_copy);
+        e.put_seq_shared<std::uint8_t>(
+            util::Segment(util::make_buf(util::ByteBuf(kLen))), kLen);
+        ref.invoke("take", e.take());
+        out.bandwidth_mb = mb_per_s(kLen, proc.now() - t1);
+        done.set();
+    });
+    tb.grid.join_all();
+    return out;
+}
+
+} // namespace
+
+int main() {
+    print_header("Ablation A5",
+                 "GIOP vs ESIOP framing for omniORB on Myrinet (the §4.4 "
+                 "latency suggestion)");
+    const Numbers giop = measure(corba::profile_omniorb4());
+    const Numbers esiop = measure(corba::profile_omniorb4_esiop());
+    util::Table table({"protocol", "latency (us)", "bandwidth (MB/s)"});
+    table.add_row({"general GIOP", fmt_us(giop.latency_us),
+                   fmt_mb(giop.bandwidth_mb)});
+    table.add_row({"ESIOP", fmt_us(esiop.latency_us),
+                   fmt_mb(esiop.bandwidth_mb)});
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("latency gained by the specific protocol: %.1f us (paper "
+                "predicts a win below omniORB's 20 us; MPI's 11 us is the "
+                "floor)\n",
+                giop.latency_us - esiop.latency_us);
+    return 0;
+}

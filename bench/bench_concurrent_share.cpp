@@ -1,0 +1,140 @@
+/// \file bench_concurrent_share.cpp
+/// Reproduces §4.4's concurrency result: "Concurrent benchmarks (CORBA and
+/// MPI at the same time) show the bandwidth is efficiently shared: each
+/// gets 120 MB/s" — both middleware streaming over the same Myrinet NIC
+/// pair through the PadicoTM arbitration layer.
+
+#include <thread>
+
+#include "bench/common.hpp"
+#include "corba/stub.hpp"
+#include "mpi/mpi.hpp"
+#include "osal/sync.hpp"
+
+using namespace padico;
+using namespace padico::bench;
+using namespace padico::fabric;
+
+namespace {
+
+class SinkServant : public corba::Servant {
+public:
+    std::string interface() const override { return "IDL:Sink:1.0"; }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override {
+        if (op != "take") throw RemoteError("BAD_OPERATION");
+        (void)in.get_seq_msg<std::uint8_t>();
+        corba::skel::ret(out, true);
+    }
+};
+
+struct Result {
+    double mpi_bw = 0;
+    double corba_bw = 0;
+};
+
+/// Stream kIters x 1MB through MPI and/or CORBA between two nodes.
+Result run(bool with_mpi, bool with_corba) {
+    constexpr std::size_t kLen = 1 << 20;
+    constexpr int kIters = 24;
+    Testbed tb(2);
+    Result res;
+    osal::Event up, done;
+
+    tb.grid.spawn(*tb.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        orb.serve("cc-ep");
+        corba::IOR ior = orb.activate(std::make_shared<SinkServant>());
+        proc.grid().register_service("cc/key",
+                                     static_cast<ProcessId>(ior.key));
+        std::shared_ptr<mpi::World> world;
+        if (with_mpi) world = mpi::World::create(rt, "cc", {0, 1});
+        up.set();
+        if (with_mpi) {
+            mpi::Comm& comm = world->world();
+            for (int i = 0; i < kIters; ++i) comm.recv_msg(1, 0);
+            comm.send_bytes("k", 1, 1, 1);
+        }
+        done.wait();
+        orb.shutdown();
+    });
+
+    tb.grid.spawn(*tb.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        std::shared_ptr<mpi::World> world;
+        if (with_mpi) world = mpi::World::create(rt, "cc", {0, 1});
+        up.wait();
+
+        // Align the measurement windows of the two streams: with skewed
+        // starts each flow would enjoy some solo time and report more than
+        // its fair share.
+        osal::Barrier start(with_mpi && with_corba ? 2 : 1);
+        std::thread mpi_thread;
+        if (with_mpi) {
+            mpi_thread = std::thread([&] {
+                Process::bind_to_thread(&proc);
+                mpi::Comm& comm = world->world();
+                start.arrive_and_wait();
+                const SimTime t0 = proc.now();
+                for (int i = 0; i < kIters; ++i)
+                    comm.send_msg(util::to_message(util::ByteBuf(kLen)), 0,
+                                  0);
+                char ack;
+                comm.recv_bytes(&ack, 1, 0, 1);
+                res.mpi_bw = mb_per_s(
+                    static_cast<std::uint64_t>(kIters) * kLen,
+                    proc.now() - t0);
+            });
+        }
+        if (with_corba) {
+            corba::IOR ior{"cc-ep", proc.grid().wait_service("cc/key"),
+                           "IDL:Sink:1.0"};
+            corba::ObjectRef ref = orb.resolve(ior);
+            corba::call<bool>(ref, "take", std::vector<std::uint8_t>{1});
+            start.arrive_and_wait();
+            const SimTime t0 = proc.now();
+            // Stream oneway invocations (like the MPI side), then flush
+            // with one synchronous call.
+            for (int i = 0; i < kIters - 1; ++i) {
+                corba::cdr::Encoder e(true);
+                e.put_seq_shared<std::uint8_t>(
+                    util::Segment(util::make_buf(util::ByteBuf(kLen))),
+                    kLen);
+                ref.oneway("take", e.take());
+            }
+            corba::cdr::Encoder e(true);
+            e.put_seq_shared<std::uint8_t>(
+                util::Segment(util::make_buf(util::ByteBuf(kLen))), kLen);
+            ref.invoke("take", e.take());
+            res.corba_bw = mb_per_s(
+                static_cast<std::uint64_t>(kIters) * kLen, proc.now() - t0);
+        }
+        if (mpi_thread.joinable()) mpi_thread.join();
+        done.set();
+    });
+    tb.grid.join_all();
+    return res;
+}
+
+} // namespace
+
+int main() {
+    print_header("§4.4 concurrent benchmark",
+                 "CORBA and MPI sharing one Myrinet NIC through PadicoTM");
+
+    const Result mpi_only = run(true, false);
+    const Result corba_only = run(false, true);
+    const Result both = run(true, true);
+
+    util::Table table({"configuration", "MPI (MB/s)", "omniORB (MB/s)"});
+    table.add_row({"MPI alone", fmt_mb(mpi_only.mpi_bw), "-"});
+    table.add_row({"CORBA alone", "-", fmt_mb(corba_only.corba_bw)});
+    table.add_row({"both concurrently", vs_paper(both.mpi_bw, 120.0),
+                   vs_paper(both.corba_bw, 120.0)});
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("paper: alone each ~240 MB/s; concurrently the bandwidth is "
+                "efficiently shared, each gets ~120 MB/s\n");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/// \file bench_ethernet_gridccm.cpp
+/// Reproduces the §4.4 Fast-Ethernet GridCCM text: "The behavior of
+/// GridCCM on top a Fast-Ethernet network based on MicoCCM (resp. on
+/// OpenCCM (Java)) is similar: the bandwidth scales from 9.8 MB/s (resp.
+/// 8.3 MB/s) to 78.4 MB/s (resp. 66.4 MB/s)" — 1 to 1 up to 8 to 8 nodes.
+
+#include "bench/common.hpp"
+#include "bench/gridccm_pair.hpp"
+
+using namespace padico;
+using namespace padico::bench;
+
+int main() {
+    print_header("§4.4 Fast-Ethernet GridCCM",
+                 "aggregate bandwidth scaling on Fast-Ethernet, MicoCCM vs "
+                 "OpenCCM (Java)");
+    const double paper_mico[] = {9.8, 19.6, 39.2, 78.4};   // endpoints from
+    const double paper_java[] = {8.3, 16.6, 33.2, 66.4};   // the paper; the
+    // intermediate points are linear interpolations of its "scales from/to".
+    util::Table table(
+        {"nodes", "MicoCCM (MB/s)", "OpenCCM-Java (MB/s)"});
+    int idx = 0;
+    for (int n : {1, 2, 4, 8}) {
+        const Fig8Row mico =
+            run_pair(n, corba::profile_mico(), /*with_san=*/false);
+        const Fig8Row java =
+            run_pair(n, corba::profile_openccm_java(), /*with_san=*/false);
+        table.add_row({util::strfmt("%d to %d", n, n),
+                       vs_paper(mico.aggregate_mb, paper_mico[idx]),
+                       vs_paper(java.aggregate_mb, paper_java[idx])});
+        ++idx;
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("paper: MicoCCM scales 9.8 -> 78.4 MB/s, OpenCCM (Java) "
+                "8.3 -> 66.4 MB/s from 1-to-1 to 8-to-8\n");
+    return 0;
+}

@@ -1,0 +1,164 @@
+/// \file bench_fig7_bandwidth.cpp
+/// Reproduces Fig. 7: "CORBA and MPI bandwidth on top of PadicoTM" —
+/// bandwidth vs message size over Myrinet-2000 for MPICH, omniORB 3,
+/// omniORB 4, Mico 2.3.7 and ORBacus 4.0.5, plus the TCP/Ethernet-100
+/// reference curve. Paper peaks: MPI & omniORB ~240 MB/s (96% of the
+/// Myrinet-2000 hardware), ORBacus 63 MB/s, Mico 55 MB/s, TCP ~11 MB/s.
+
+#include "bench/common.hpp"
+#include "corba/stub.hpp"
+#include "mpi/mpi.hpp"
+#include "osal/sync.hpp"
+#include "sockets/sockets.hpp"
+
+using namespace padico;
+using namespace padico::bench;
+using namespace padico::fabric;
+
+namespace {
+
+class SinkServant : public corba::Servant {
+public:
+    std::string interface() const override { return "IDL:Sink:1.0"; }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override {
+        if (op != "take") throw RemoteError("BAD_OPERATION");
+        (void)in.get_seq_msg<std::uint8_t>();
+        corba::skel::ret(out, true);
+    }
+};
+
+/// One synchronous invocation of `size` bytes; returns MB/s at the client.
+double corba_bandwidth(const corba::OrbProfile& profile, std::size_t size) {
+    Testbed tb(2);
+    double bw = 0;
+    osal::Event up, done;
+    tb.grid.spawn(*tb.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, profile);
+        orb.serve("bw-ep");
+        corba::IOR ior = orb.activate(std::make_shared<SinkServant>());
+        proc.grid().register_service("bw/key",
+                                     static_cast<ProcessId>(ior.key));
+        up.set();
+        done.wait();
+        orb.shutdown();
+    });
+    tb.grid.spawn(*tb.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, profile);
+        up.wait();
+        corba::IOR ior{"bw-ep", proc.grid().wait_service("bw/key"),
+                       "IDL:Sink:1.0"};
+        corba::ObjectRef ref = orb.resolve(ior);
+        util::ByteBuf payload(size);
+        // warm-up (connection setup)
+        corba::call<bool>(ref, "take", std::vector<std::uint8_t>{1});
+        const SimTime t0 = proc.now();
+        corba::cdr::Encoder e(profile.zero_copy);
+        e.put_seq_shared<std::uint8_t>(
+            util::Segment(util::make_buf(std::move(payload))), size);
+        ref.invoke("take", e.take());
+        bw = mb_per_s(size, proc.now() - t0);
+        done.set();
+    });
+    tb.grid.join_all();
+    return bw;
+}
+
+double mpi_bandwidth(std::size_t size) {
+    Testbed tb(2);
+    double bw = 0;
+    run_spmd(tb.grid, {tb.nodes[0], tb.nodes[1]},
+             [&](Process& proc, int rank, int) {
+                 ptm::Runtime rt(proc);
+                 auto world = mpi::World::create(rt, "bw", {0, 1});
+                 mpi::Comm& comm = world->world();
+                 char ack = 0;
+                 if (rank == 0) {
+                     comm.send_bytes(&ack, 1, 1, 9); // warm-up
+                     comm.recv_bytes(&ack, 1, 1, 9);
+                     const SimTime t0 = proc.now();
+                     comm.send_msg(util::to_message(util::ByteBuf(size)), 1,
+                                   0);
+                     comm.recv_bytes(&ack, 1, 1, 1);
+                     bw = mb_per_s(size, proc.now() - t0);
+                 } else {
+                     comm.recv_bytes(&ack, 1, 0, 9);
+                     comm.send_bytes(&ack, 1, 0, 9);
+                     comm.recv_msg(0, 0);
+                     comm.send_bytes(&ack, 1, 0, 1);
+                 }
+             });
+    tb.grid.join_all();
+    return bw;
+}
+
+double tcp_bandwidth(std::size_t size) {
+    Testbed tb(2, /*with_myrinet=*/false);
+    auto& eth = tb.grid.segment("eth0");
+    double bw = 0;
+    tb.grid.spawn(*tb.nodes[0], [&](Process& proc) {
+        sock::SocketStack stack(proc, eth);
+        auto s = stack.listen("tcp-bw").accept();
+        (void)s.read_msg(size);
+        s.write("k", 1);
+    });
+    tb.grid.spawn(*tb.nodes[1], [&](Process& proc) {
+        sock::SocketStack stack(proc, eth);
+        auto s = stack.connect("tcp-bw");
+        const SimTime t0 = proc.now();
+        s.write(util::to_message(util::ByteBuf(size)));
+        char ack;
+        s.read(&ack, 1);
+        bw = mb_per_s(size, proc.now() - t0);
+    });
+    tb.grid.join_all();
+    return bw;
+}
+
+} // namespace
+
+int main() {
+    print_header("Figure 7",
+                 "CORBA and MPI bandwidth on top of PadicoTM (Myrinet-2000) "
+                 "+ TCP/Ethernet-100 reference");
+
+    const auto profiles = corba::all_profiles();
+    util::Table table({"msg size", "MPICH", "omniORB-3", "omniORB-4",
+                       "Mico", "ORBacus", "TCP/Eth-100"});
+    double peak_mpi = 0, peak_tcp = 0;
+    std::vector<double> peak_orb(profiles.size(), 0.0);
+
+    for (std::size_t size : sweep_sizes()) {
+        std::vector<std::string> row;
+        row.push_back(size >= (1u << 20)
+                          ? util::strfmt("%zu MB", size >> 20)
+                          : size >= 1024 ? util::strfmt("%zu KB", size >> 10)
+                                         : util::strfmt("%zu B", size));
+        const double m = mpi_bandwidth(size);
+        peak_mpi = std::max(peak_mpi, m);
+        row.push_back(fmt_mb(m));
+        for (std::size_t p = 0; p < profiles.size(); ++p) {
+            const double b = corba_bandwidth(profiles[p], size);
+            peak_orb[p] = std::max(peak_orb[p], b);
+            row.push_back(fmt_mb(b));
+        }
+        const double t = tcp_bandwidth(size);
+        peak_tcp = std::max(peak_tcp, t);
+        row.push_back(fmt_mb(t));
+        table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    std::printf("peaks vs paper:\n");
+    std::printf("  MPICH/Myrinet      : %s MB/s\n",
+                vs_paper(peak_mpi, 240).c_str());
+    const double paper_peak[] = {240, 240, 55, 63};
+    for (std::size_t p = 0; p < profiles.size(); ++p)
+        std::printf("  %-19s: %s MB/s\n", profiles[p].name.c_str(),
+                    vs_paper(peak_orb[p], paper_peak[p]).c_str());
+    std::printf("  TCP/Ethernet-100   : %s MB/s\n",
+                vs_paper(peak_tcp, 11.2).c_str());
+    return 0;
+}

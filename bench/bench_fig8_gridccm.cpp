@@ -1,0 +1,44 @@
+/// \file bench_fig8_gridccm.cpp
+/// Reproduces Fig. 8: "Performance between two parallel components over
+/// Myrinet-2000" with the MicoCCM-based GridCCM prototype. A first
+/// parallel component (the client group) invokes an operation taking a
+/// vector of integers on a second parallel component; the invoked
+/// operation only contains an MPI_Barrier. Both sides have n nodes,
+/// n = 1, 2, 4, 8.
+///
+/// Paper values:   nodes   latency (us)   aggregate bandwidth (MB/s)
+///                 1 to 1       62                  43
+///                 2 to 2       93                  76
+///                 4 to 4      123                 144
+///                 8 to 8      148                 280
+
+#include "bench/common.hpp"
+#include "bench/gridccm_pair.hpp"
+
+using namespace padico;
+using namespace padico::bench;
+using namespace padico::fabric;
+using namespace padico::gridccm;
+
+
+
+int main() {
+    print_header("Figure 8",
+                 "GridCCM (MicoCCM-based) between two parallel components "
+                 "over Myrinet-2000");
+    const double paper_lat[] = {62, 93, 123, 148};
+    const double paper_bw[] = {43, 76, 144, 280};
+    util::Table table({"nodes", "latency (us)", "aggregate bw (MB/s)"});
+    int idx = 0;
+    for (int n : {1, 2, 4, 8}) {
+        const Fig8Row row = run_pair(n, corba::profile_mico(), true);
+        table.add_row({util::strfmt("%d to %d", n, n),
+                       vs_paper(row.latency_us, paper_lat[idx]),
+                       vs_paper(row.aggregate_mb, paper_bw[idx])});
+        ++idx;
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("paper: latency is the sum of the Mico latency and the "
+                "MPI_Barrier; the bandwidth is efficiently aggregated\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/// \file bench_micro_core.cpp
+/// Real (wall-clock) microbenchmarks of the infrastructure itself, via
+/// google-benchmark: CDR marshalling, scatter-gather messages, the
+/// blocking queue under the demux, XML parsing, and redistribution-plan
+/// computation. These measure OUR implementation (not the paper's modeled
+/// numbers) and guard against performance regressions of the simulator.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "corba/cdr.hpp"
+#include "gridccm/distribution.hpp"
+#include "osal/queue.hpp"
+#include "util/xml.hpp"
+
+using namespace padico;
+
+namespace {
+
+void BM_CdrEncodeSequenceZeroCopy(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<std::int32_t> xs(n, 7);
+    for (auto _ : state) {
+        corba::cdr::Encoder e(true);
+        e.put_seq(std::span<const std::int32_t>(xs));
+        benchmark::DoNotOptimize(e.take());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * 4));
+}
+BENCHMARK(BM_CdrEncodeSequenceZeroCopy)->Range(1 << 8, 1 << 18);
+
+void BM_CdrEncodeSequenceCopying(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<std::int32_t> xs(n, 7);
+    for (auto _ : state) {
+        corba::cdr::Encoder e(false);
+        e.put_seq(std::span<const std::int32_t>(xs));
+        benchmark::DoNotOptimize(e.take());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * 4));
+}
+BENCHMARK(BM_CdrEncodeSequenceCopying)->Range(1 << 8, 1 << 18);
+
+void BM_CdrRoundTripScalars(benchmark::State& state) {
+    for (auto _ : state) {
+        corba::cdr::Encoder e(true);
+        e.put_u64(1);
+        e.put_string("operation");
+        e.put_f64(2.5);
+        e.put_u32(42);
+        corba::cdr::Decoder d(e.take());
+        benchmark::DoNotOptimize(d.get_u64());
+        benchmark::DoNotOptimize(d.get_string());
+        benchmark::DoNotOptimize(d.get_f64());
+        benchmark::DoNotOptimize(d.get_u32());
+    }
+}
+BENCHMARK(BM_CdrRoundTripScalars);
+
+void BM_MessageSliceZeroCopy(benchmark::State& state) {
+    util::Message m = util::to_message(util::ByteBuf(1 << 20));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.slice(4096, 1 << 16));
+    }
+}
+BENCHMARK(BM_MessageSliceZeroCopy);
+
+void BM_MessageGather(benchmark::State& state) {
+    util::Message m;
+    for (int i = 0; i < 16; ++i)
+        m.append(util::Segment(util::make_buf(util::ByteBuf(1 << 12))));
+    for (auto _ : state) benchmark::DoNotOptimize(m.gather());
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (16 << 12));
+}
+BENCHMARK(BM_MessageGather);
+
+void BM_BlockingQueuePushPop(benchmark::State& state) {
+    osal::BlockingQueue<int> q;
+    for (auto _ : state) {
+        q.push(1);
+        benchmark::DoNotOptimize(q.try_pop());
+    }
+}
+BENCHMARK(BM_BlockingQueuePushPop);
+
+void BM_XmlParseAssembly(benchmark::State& state) {
+    const std::string xml = R"(<assembly name="coupling">
+        <component id="chem" type="Chemistry" parallel="4">
+          <constraint attr="owner" value="companyX"/>
+          <attribute name="dt" value="0.1"/>
+        </component>
+        <component id="trans" type="Transport" parallel="2"/>
+        <connection from="chem:transport" to="trans:port"/>
+      </assembly>)";
+    for (auto _ : state) benchmark::DoNotOptimize(util::xml_parse(xml));
+}
+BENCHMARK(BM_XmlParseAssembly);
+
+void BM_RedistPlanBlockToBlock(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gridccm::compute_plan(
+            gridccm::Distribution::block(), n,
+            gridccm::Distribution::block(), n / 2 + 1, 1 << 20));
+    }
+}
+BENCHMARK(BM_RedistPlanBlockToBlock)->Arg(4)->Arg(32);
+
+void BM_RedistPlanCyclicToBlock(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gridccm::compute_plan(
+            gridccm::Distribution::block_cyclic(64), 8,
+            gridccm::Distribution::block(), 4, 1 << 16));
+    }
+}
+BENCHMARK(BM_RedistPlanCyclicToBlock);
+
+} // namespace
+
+BENCHMARK_MAIN();

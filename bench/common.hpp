@@ -1,0 +1,63 @@
+#pragma once
+/// \file common.hpp
+/// Shared plumbing for the paper-reproduction benchmark binaries: grid
+/// builders matching the paper's testbed, measurement helpers, and
+/// paper-vs-measured table rendering.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/grid.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace padico::bench {
+
+/// The paper's testbed: dual-PIII nodes with Myrinet-2000 and switched
+/// Fast-Ethernet.
+struct Testbed {
+    fabric::Grid grid;
+    std::vector<fabric::Machine*> nodes;
+
+    explicit Testbed(int n, bool with_myrinet = true) {
+        fabric::NetworkSegment* myri =
+            with_myrinet
+                ? &grid.add_segment("myri0", fabric::NetTech::Myrinet2000)
+                : nullptr;
+        auto& eth = grid.add_segment("eth0", fabric::NetTech::FastEthernet);
+        for (int i = 0; i < n; ++i) {
+            auto& m = grid.add_machine("node" + std::to_string(i), 2);
+            m.set_attr("pool", "cluster");
+            if (myri) grid.attach(m, *myri);
+            grid.attach(m, eth);
+            nodes.push_back(&m);
+        }
+    }
+};
+
+/// Message sizes of a Fig. 7 style sweep (32 B .. 4 MB).
+inline std::vector<std::size_t> sweep_sizes() {
+    std::vector<std::size_t> out;
+    for (std::size_t s = 32; s <= (4u << 20); s *= 4) out.push_back(s);
+    return out;
+}
+
+inline std::string fmt_mb(double v) { return util::strfmt("%.1f", v); }
+inline std::string fmt_us(double v) { return util::strfmt("%.1f", v); }
+
+/// "measured (paper X, ratio R)" cell.
+inline std::string vs_paper(double measured, double paper) {
+    if (paper <= 0) return util::strfmt("%.1f", measured);
+    return util::strfmt("%.1f  [paper %.1f, x%.2f]", measured, paper,
+                        measured / paper);
+}
+
+inline void print_header(const char* id, const char* what) {
+    std::printf("\n==============================================================\n");
+    std::printf("%s — %s\n", id, what);
+    std::printf("==============================================================\n");
+}
+
+} // namespace padico::bench

@@ -1,0 +1,168 @@
+#pragma once
+/// \file gridccm_pair.hpp
+/// Shared workload of the Fig. 8 family: an n-member client group invoking
+/// a vector-of-integers operation (whose body is an MPI_Barrier) on an
+/// n-member parallel component, returning latency and aggregate bandwidth.
+
+#include "bench/common.hpp"
+#include "ccm/deployer.hpp"
+#include "gridccm/component.hpp"
+#include "osal/sync.hpp"
+
+namespace padico::bench {
+
+using namespace padico::fabric;
+using namespace padico::gridccm;
+
+
+/// The server side of the Fig. 8 workload.
+class BenchComp : public ParallelComponent {
+public:
+    BenchComp() {
+        declare_parallel_facet(
+            R"(<parallel-interface component="BenchComp" facet="bench"
+                                   distribution="block">
+                 <operation name="xfer" argument="block"/>
+               </parallel-interface>)",
+            {{"xfer", [](const OpContext& ctx, util::Message) {
+                  // "The invoked operation only contains a MPI_Barrier."
+                  if (ctx.comm != nullptr) ctx.comm->barrier();
+                  return util::Message();
+              }}});
+    }
+    std::string type() const override { return "BenchComp"; }
+};
+
+inline void install_bench_component() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        ccm::ComponentRegistry::register_type(
+            "BenchComp", [] { return std::make_unique<BenchComp>(); });
+    });
+}
+
+struct Fig8Row {
+    double latency_us = 0;
+    double aggregate_mb = 0;
+};
+
+inline Fig8Row run_pair(int n, const corba::OrbProfile& profile, bool with_san) {
+    install_bench_component();
+    // n server nodes + n client nodes + a frontend.
+    Testbed tb(2 * n, with_san);
+    auto& front = tb.grid.add_machine("front");
+    tb.grid.attach(front, tb.grid.segment("eth0"));
+
+    for (int i = 0; i < n; ++i)
+        tb.grid.spawn(*tb.nodes[static_cast<std::size_t>(i)],
+                      [&profile](Process& proc) {
+                          ccm::component_server_main(proc, profile);
+                      });
+
+    corba::IOR home;
+    std::mutex home_mu;
+    osal::Event home_ready;
+    Fig8Row row;
+    std::mutex row_mu;
+
+    tb.grid.spawn(front, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, profile);
+        ccm::Deployer deployer(orb);
+        auto dep = deployer.deploy(ccm::Assembly::parse(util::strfmt(
+            R"(<assembly name="fig8">
+                 <component id="bench" type="BenchComp" parallel="%d"/>
+               </assembly>)",
+            n)));
+        {
+            std::lock_guard<std::mutex> lk(home_mu);
+            home = deployer.facet_of(dep, ccm::PortAddr{"bench", "bench"});
+        }
+        home_ready.set();
+        proc.grid().wait_service("fig8/done");
+        deployer.teardown(dep);
+        for (int i = 0; i < n; ++i)
+            ccm::connect_component_server(
+                orb, tb.nodes[static_cast<std::size_t>(i)]->name())
+                .shutdown();
+    });
+
+    // Client group on the second half of the nodes.
+    for (int r = 0; r < n; ++r) {
+        tb.grid.spawn(*tb.nodes[static_cast<std::size_t>(n + r)],
+                      [&, r](Process& proc) {
+            ptm::Runtime rt(proc);
+            corba::Orb orb(rt, profile);
+            home_ready.wait();
+            proc.grid().register_service(
+                "fig8/client/" + std::to_string(r), proc.id());
+            std::vector<ProcessId> members(static_cast<std::size_t>(n));
+            for (int i = 0; i < n; ++i)
+                members[static_cast<std::size_t>(i)] =
+                    proc.grid().wait_service("fig8/client/" +
+                                             std::to_string(i));
+            auto world = mpi::World::create(rt, "fig8clients", members);
+            mpi::Comm& comm = world->world();
+
+            corba::IOR h;
+            {
+                std::lock_guard<std::mutex> lk(home_mu);
+                h = home;
+            }
+            ParallelStub stub(orb, comm, h);
+            const Distribution block = Distribution::block();
+
+            // --- latency: minimal vector, averaged ----------------------
+            constexpr int kLatIters = 10;
+            {
+                const std::size_t global = static_cast<std::size_t>(n);
+                std::vector<std::int32_t> local(
+                    block.local_size(r, n, global), 1);
+                stub.invoke<std::int32_t>("xfer",
+                                          std::span<const std::int32_t>(
+                                              local),
+                                          global, Strategy::InFlight);
+                comm.barrier();
+                const SimTime t0 = proc.now();
+                for (int i = 0; i < kLatIters; ++i)
+                    stub.invoke<std::int32_t>(
+                        "xfer", std::span<const std::int32_t>(local),
+                        global, Strategy::InFlight);
+                comm.barrier();
+                if (r == 0) {
+                    std::lock_guard<std::mutex> lk(row_mu);
+                    row.latency_us =
+                        to_usec(proc.now() - t0) / (2.0 * kLatIters);
+                }
+            }
+
+            // --- aggregate bandwidth: 1 MiB of integers per node --------
+            {
+                const std::size_t global =
+                    static_cast<std::size_t>(n) * (256u << 10);
+                std::vector<std::int32_t> local(
+                    block.local_size(r, n, global), 7);
+                comm.barrier();
+                const SimTime t0 = proc.now();
+                stub.invoke<std::int32_t>("xfer",
+                                          std::span<const std::int32_t>(
+                                              local),
+                                          global, Strategy::InFlight);
+                comm.barrier();
+                if (r == 0) {
+                    std::lock_guard<std::mutex> lk(row_mu);
+                    row.aggregate_mb = mb_per_s(
+                        global * sizeof(std::int32_t), proc.now() - t0);
+                }
+            }
+            comm.barrier();
+            if (r == 0)
+                proc.grid().register_service("fig8/done", proc.id());
+        });
+    }
+    tb.grid.join_all();
+    return row;
+}
+
+
+} // namespace padico::bench

@@ -1,0 +1,80 @@
+#include "ccm/assembly.hpp"
+
+#include "util/strings.hpp"
+#include "util/xml.hpp"
+
+namespace padico::ccm {
+
+PortAddr PortAddr::parse(const std::string& s) {
+    const auto parts = util::split(s, ':');
+    PADICO_WIRE_CHECK(parts.size() == 2 && !parts[0].empty() &&
+                          !parts[1].empty(),
+                      "port address must be 'component:port', got '" + s +
+                          "'");
+    return PortAddr{parts[0], parts[1]};
+}
+
+const ComponentDecl& Assembly::component(const std::string& id) const {
+    for (const auto& c : components)
+        if (c.id == id) return c;
+    throw LookupError("assembly '" + name + "' has no component '" + id +
+                      "'");
+}
+
+Assembly Assembly::parse(const std::string& xml_text) {
+    const auto root = util::xml_parse(xml_text);
+    PADICO_WIRE_CHECK(root->name() == "assembly",
+                      "descriptor root must be <assembly>");
+    Assembly a;
+    a.name = root->attr("name");
+
+    for (const auto& cx : root->children_named("component")) {
+        ComponentDecl c;
+        c.id = cx->attr("id");
+        c.type = cx->attr("type");
+        c.parallel =
+            static_cast<int>(util::parse_uint(cx->attr_or("parallel", "1")));
+        PADICO_WIRE_CHECK(c.parallel >= 1, "parallel must be >= 1");
+        for (const auto& k : cx->children_named("constraint")) {
+            if (k->has_attr("attr")) {
+                c.placement.attrs.emplace_back(k->attr("attr"),
+                                               k->attr("value"));
+            } else if (k->has_attr("network")) {
+                c.placement.network = fabric::parse_tech(k->attr("network"));
+            } else if (k->has_attr("min-bandwidth")) {
+                c.placement.min_bandwidth_mb =
+                    util::parse_double(k->attr("min-bandwidth"));
+            } else if (k->has_attr("min-cpus")) {
+                c.placement.min_cpus = static_cast<int>(
+                    util::parse_uint(k->attr("min-cpus")));
+            } else {
+                throw ProtocolError("unknown <constraint> in component '" +
+                                    c.id + "'");
+            }
+        }
+        for (const auto& at : cx->children_named("attribute"))
+            c.attributes.emplace_back(at->attr("name"), at->attr("value"));
+        for (const auto& existing : a.components)
+            PADICO_WIRE_CHECK(existing.id != c.id,
+                              "duplicate component id '" + c.id + "'");
+        a.components.push_back(std::move(c));
+    }
+
+    for (const auto& kx : root->children_named("connection")) {
+        ConnectionDecl d{PortAddr::parse(kx->attr("from")),
+                         PortAddr::parse(kx->attr("to"))};
+        a.component(d.from.component); // validate ids
+        a.component(d.to.component);
+        a.connections.push_back(std::move(d));
+    }
+    for (const auto& ex : root->children_named("event")) {
+        EventDecl d{PortAddr::parse(ex->attr("from")),
+                    PortAddr::parse(ex->attr("to"))};
+        a.component(d.from.component);
+        a.component(d.to.component);
+        a.events.push_back(std::move(d));
+    }
+    return a;
+}
+
+} // namespace padico::ccm

@@ -1,0 +1,66 @@
+#pragma once
+/// \file assembly.hpp
+/// CCM deployment model: assembly descriptors. The paper's deployment
+/// model uses software packages with XML (OSD) descriptors; this is the
+/// assembly-level vocabulary — which components to instantiate, with what
+/// placement constraints, how to wire their ports, and how to configure
+/// them. Parsed from XML:
+///
+///   <assembly name="coupling">
+///     <component id="chem" type="Chemistry" parallel="4">
+///       <constraint attr="owner" value="companyX"/>
+///       <constraint network="myrinet2000"/>
+///       <attribute name="dt" value="0.1"/>
+///     </component>
+///     <component id="trans" type="Transport"/>
+///     <connection from="chem:transport" to="trans:main"/>
+///     <event from="chem:stepDone" to="trans:onStep"/>
+///   </assembly>
+
+#include <string>
+#include <vector>
+
+#include "fabric/registry.hpp"
+
+namespace padico::ccm {
+
+/// A port address "component_id:port_name".
+struct PortAddr {
+    std::string component;
+    std::string port;
+
+    static PortAddr parse(const std::string& s);
+    std::string str() const { return component + ":" + port; }
+};
+
+struct ComponentDecl {
+    std::string id;
+    std::string type;
+    int parallel = 1; ///< GridCCM extension: number of member nodes
+    fabric::MachineQuery placement;
+    std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+struct ConnectionDecl {
+    PortAddr from; ///< receptacle side
+    PortAddr to;   ///< facet side
+};
+
+struct EventDecl {
+    PortAddr from; ///< event source
+    PortAddr to;   ///< event sink
+};
+
+struct Assembly {
+    std::string name;
+    std::vector<ComponentDecl> components;
+    std::vector<ConnectionDecl> connections;
+    std::vector<EventDecl> events;
+
+    const ComponentDecl& component(const std::string& id) const;
+
+    /// Parse from XML text; throws ProtocolError/UsageError on bad input.
+    static Assembly parse(const std::string& xml_text);
+};
+
+} // namespace padico::ccm

@@ -1,0 +1,158 @@
+#include "ccm/component.hpp"
+
+#include <mutex>
+
+namespace padico::ccm {
+
+// ---------------------------------------------------------------------------
+// Component
+
+void Component::set_attribute(const std::string& name,
+                              const std::string& value) {
+    attrs_[name] = value;
+    on_attribute(name, value);
+}
+
+std::string Component::attribute(const std::string& name) const {
+    auto it = attrs_.find(name);
+    if (it == attrs_.end())
+        throw LookupError("component " + type() + " has no attribute '" +
+                          name + "'");
+    return it->second;
+}
+
+std::shared_ptr<corba::Servant> Component::facet(
+    const std::string& name) const {
+    auto it = facets_.find(name);
+    if (it == facets_.end())
+        throw LookupError("component " + type() + " has no facet '" + name +
+                          "'");
+    return it->second;
+}
+
+void Component::provide_facet(const std::string& name,
+                              std::shared_ptr<corba::Servant> servant) {
+    PADICO_CHECK(servant != nullptr, "facet servant must not be null");
+    PADICO_CHECK(facets_.emplace(name, std::move(servant)).second,
+                 "duplicate facet '" + name + "'");
+}
+
+void Component::use_receptacle(const std::string& name) {
+    PADICO_CHECK(receptacles_.emplace(name, corba::ObjectRef()).second,
+                 "duplicate receptacle '" + name + "'");
+}
+
+void Component::declare_event_source(const std::string& name) {
+    PADICO_CHECK(sources_.emplace(name, std::vector<corba::IOR>()).second,
+                 "duplicate event source '" + name + "'");
+}
+
+void Component::declare_event_sink(const std::string& name,
+                                   EventHandler handler) {
+    PADICO_CHECK(handler != nullptr, "event sink needs a handler");
+    PADICO_CHECK(sinks_.emplace(name, std::move(handler)).second,
+                 "duplicate event sink '" + name + "'");
+}
+
+corba::ObjectRef& Component::receptacle(const std::string& name) {
+    auto it = receptacles_.find(name);
+    if (it == receptacles_.end())
+        throw LookupError("component " + type() + " has no receptacle '" +
+                          name + "'");
+    PADICO_CHECK(it->second.valid(),
+                 "receptacle '" + name + "' is not connected");
+    return it->second;
+}
+
+bool Component::receptacle_connected(const std::string& name) const {
+    auto it = receptacles_.find(name);
+    return it != receptacles_.end() && it->second.valid();
+}
+
+void Component::bind_receptacle(const std::string& name,
+                                corba::ObjectRef ref) {
+    auto it = receptacles_.find(name);
+    if (it == receptacles_.end())
+        throw LookupError("component " + type() + " has no receptacle '" +
+                          name + "'");
+    it->second = std::move(ref);
+}
+
+void Component::add_consumer(const std::string& source,
+                             const corba::IOR& consumer) {
+    auto it = sources_.find(source);
+    if (it == sources_.end())
+        throw LookupError("component " + type() + " has no event source '" +
+                          source + "'");
+    it->second.push_back(consumer);
+}
+
+void Component::deliver_event(const std::string& sink, const Event& ev) {
+    auto it = sinks_.find(sink);
+    if (it == sinks_.end())
+        throw LookupError("component " + type() + " has no event sink '" +
+                          sink + "'");
+    it->second(ev);
+}
+
+void Component::emit(const std::string& source, const Event& ev) {
+    auto it = sources_.find(source);
+    PADICO_CHECK(it != sources_.end(),
+                 "undeclared event source '" + source + "'");
+    PADICO_CHECK(ctx_.orb != nullptr, "component has no context yet");
+    for (const corba::IOR& consumer : it->second) {
+        corba::ObjectRef ref = ctx_.orb->resolve(consumer);
+        corba::cdr::Encoder e(ctx_.orb->profile().zero_copy);
+        e.put_message(ev);
+        ref.oneway("push", e.take());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ComponentRegistry
+
+namespace {
+std::mutex g_reg_mu;
+std::map<std::string, ComponentRegistry::Factory>& registry() {
+    static std::map<std::string, ComponentRegistry::Factory> r;
+    return r;
+}
+} // namespace
+
+void ComponentRegistry::register_type(const std::string& type,
+                                      Factory factory) {
+    std::lock_guard<std::mutex> lk(g_reg_mu);
+    registry()[type] = std::move(factory);
+}
+
+bool ComponentRegistry::has_type(const std::string& type) {
+    std::lock_guard<std::mutex> lk(g_reg_mu);
+    return registry().count(type) != 0;
+}
+
+std::unique_ptr<Component> ComponentRegistry::create(const std::string& type) {
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lk(g_reg_mu);
+        auto it = registry().find(type);
+        if (it == registry().end())
+            throw DeploymentError("no component implementation installed for "
+                                  "type '" +
+                                  type + "'");
+        factory = it->second;
+    }
+    auto comp = factory();
+    PADICO_CHECK(comp != nullptr, "component factory returned null");
+    PADICO_CHECK(comp->type() == type,
+                 "factory for '" + type + "' built a '" + comp->type() + "'");
+    return comp;
+}
+
+std::vector<std::string> ComponentRegistry::types() {
+    std::lock_guard<std::mutex> lk(g_reg_mu);
+    std::vector<std::string> out;
+    for (const auto& [t, f] : registry()) out.push_back(t);
+    return out;
+}
+
+} // namespace padico::ccm

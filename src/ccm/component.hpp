@@ -1,0 +1,118 @@
+#pragma once
+/// \file component.hpp
+/// The CORBA Component Model subset (paper §3.2): components with the four
+/// port kinds of Fig. 2 — facets (provided interfaces), receptacles (used
+/// interfaces), event sources and event sinks — plus attributes and the
+/// lifecycle hooks of the execution model. Component implementations
+/// register a factory in the ComponentRegistry (the installed-binary-
+/// package analogue of the CCM deployment model).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "corba/stub.hpp"
+
+namespace padico::ccm {
+
+class Container;
+
+/// What a component sees of its runtime environment (CCM context object).
+struct Context {
+    corba::Orb* orb = nullptr;
+    Container* container = nullptr;
+    ptm::Runtime* runtime = nullptr;
+};
+
+/// Event payload: an opaque CDR-encoded message.
+using Event = util::Message;
+using EventHandler = std::function<void(const Event&)>;
+
+/// Base class of every component implementation.
+class Component {
+public:
+    virtual ~Component() = default;
+
+    /// Component type name (matches the registry / descriptor).
+    virtual std::string type() const = 0;
+
+    // --- lifecycle (CCM execution model) ---------------------------------
+    /// All connections are wired and attributes configured.
+    virtual void configuration_complete() {}
+    /// About to be destroyed.
+    virtual void ccm_remove() {}
+
+    // --- attributes --------------------------------------------------------
+    void set_attribute(const std::string& name, const std::string& value);
+    std::string attribute(const std::string& name) const;
+    bool has_attribute(const std::string& name) const {
+        return attrs_.count(name) != 0;
+    }
+    /// Hook: react to configuration.
+    virtual void on_attribute(const std::string& /*name*/,
+                              const std::string& /*value*/) {}
+
+    // --- ports: introspection used by the container ----------------------
+    std::shared_ptr<corba::Servant> facet(const std::string& name) const;
+    const std::map<std::string, std::shared_ptr<corba::Servant>>& facets()
+        const noexcept {
+        return facets_;
+    }
+    bool has_receptacle(const std::string& name) const {
+        return receptacles_.count(name) != 0;
+    }
+    bool has_event_source(const std::string& name) const {
+        return sources_.count(name) != 0;
+    }
+    bool has_event_sink(const std::string& name) const {
+        return sinks_.count(name) != 0;
+    }
+
+    /// Used by the container when wiring.
+    void bind_receptacle(const std::string& name, corba::ObjectRef ref);
+    void add_consumer(const std::string& source, const corba::IOR& consumer);
+    void deliver_event(const std::string& sink, const Event& ev);
+
+    /// Set once by the container at creation.
+    void set_context(Context ctx) { ctx_ = ctx; }
+
+protected:
+    // --- port declaration API for subclasses ------------------------------
+    void provide_facet(const std::string& name,
+                       std::shared_ptr<corba::Servant> servant);
+    void use_receptacle(const std::string& name);
+    void declare_event_source(const std::string& name);
+    void declare_event_sink(const std::string& name, EventHandler handler);
+
+    /// The reference currently connected to a receptacle.
+    corba::ObjectRef& receptacle(const std::string& name);
+    bool receptacle_connected(const std::string& name) const;
+
+    /// Publish an event on one of this component's sources: a oneway
+    /// "push" to every subscribed consumer.
+    void emit(const std::string& source, const Event& ev);
+
+    Context& context() { return ctx_; }
+
+private:
+    Context ctx_;
+    std::map<std::string, std::string> attrs_;
+    std::map<std::string, std::shared_ptr<corba::Servant>> facets_;
+    std::map<std::string, corba::ObjectRef> receptacles_;
+    std::map<std::string, std::vector<corba::IOR>> sources_;
+    std::map<std::string, EventHandler> sinks_;
+};
+
+/// Grid-wide registry of component implementations ("installed packages").
+class ComponentRegistry {
+public:
+    using Factory = std::function<std::unique_ptr<Component>()>;
+
+    static void register_type(const std::string& type, Factory factory);
+    static bool has_type(const std::string& type);
+    static std::unique_ptr<Component> create(const std::string& type);
+    static std::vector<std::string> types();
+};
+
+} // namespace padico::ccm

@@ -1,0 +1,242 @@
+#include "ccm/container.hpp"
+
+#include "util/log.hpp"
+
+namespace padico::ccm {
+
+// ---------------------------------------------------------------------------
+// Container
+
+Container::Container(ptm::Runtime& rt, corba::Orb& orb, std::string name)
+    : rt_(&rt), orb_(&orb), name_(std::move(name)) {}
+
+Container::~Container() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, e] : instances_) e.component->ccm_remove();
+    instances_.clear();
+}
+
+InstanceId Container::create(const std::string& type) {
+    auto comp = ComponentRegistry::create(type);
+    comp->set_context(Context{orb_, this, rt_});
+    const InstanceId id = next_id_.fetch_add(1);
+    std::lock_guard<std::mutex> lk(mu_);
+    instances_[id].component = std::move(comp);
+    PLOG(info, "ccm") << name_ << ": created " << type << " as instance "
+                      << id;
+    return id;
+}
+
+Container::Entry& Container::entry(InstanceId id) {
+    auto it = instances_.find(id);
+    if (it == instances_.end())
+        throw LookupError("container " + name_ + " has no instance " +
+                          std::to_string(id));
+    return it->second;
+}
+
+Component& Container::instance(InstanceId id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return *entry(id).component;
+}
+
+void Container::remove(InstanceId id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Entry& e = entry(id);
+    e.component->ccm_remove();
+    for (auto& [facet, ior] : e.facet_iors) orb_->deactivate(ior);
+    for (auto& [sink, ior] : e.consumer_iors) orb_->deactivate(ior);
+    instances_.erase(id);
+}
+
+std::vector<InstanceId> Container::instances() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<InstanceId> out;
+    for (const auto& [id, e] : instances_) out.push_back(id);
+    return out;
+}
+
+corba::IOR Container::facet_ior(InstanceId id, const std::string& facet) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Entry& e = entry(id);
+    auto it = e.facet_iors.find(facet);
+    if (it != e.facet_iors.end()) return it->second;
+    corba::IOR ior = orb_->activate(e.component->facet(facet));
+    e.facet_iors[facet] = ior;
+    return ior;
+}
+
+corba::IOR Container::consumer_ior(InstanceId id, const std::string& sink) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Entry& e = entry(id);
+    auto it = e.consumer_iors.find(sink);
+    if (it != e.consumer_iors.end()) return it->second;
+    PADICO_CHECK(e.component->has_event_sink(sink),
+                 "instance has no event sink '" + sink + "'");
+    corba::IOR ior = orb_->activate(
+        std::make_shared<EventConsumerServant>(*e.component, sink));
+    e.consumer_iors[sink] = ior;
+    return ior;
+}
+
+void Container::connect(InstanceId id, const std::string& receptacle,
+                        const corba::IOR& target) {
+    std::lock_guard<std::mutex> lk(mu_);
+    entry(id).component->bind_receptacle(receptacle, orb_->resolve(target));
+}
+
+void Container::subscribe(InstanceId id, const std::string& source,
+                          const corba::IOR& consumer) {
+    std::lock_guard<std::mutex> lk(mu_);
+    entry(id).component->add_consumer(source, consumer);
+}
+
+void Container::configure(InstanceId id, const std::string& attr,
+                          const std::string& value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    entry(id).component->set_attribute(attr, value);
+}
+
+void Container::configuration_complete(InstanceId id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    entry(id).component->configuration_complete();
+}
+
+// ---------------------------------------------------------------------------
+// EventConsumerServant
+
+void EventConsumerServant::dispatch(const std::string& op,
+                                    corba::cdr::Decoder& in,
+                                    corba::cdr::Encoder& out) {
+    (void)out;
+    if (op != "push") throw RemoteError("BAD_OPERATION " + op);
+    comp_->deliver_event(sink_, in.get_bytes_msg(in.remaining()));
+}
+
+// ---------------------------------------------------------------------------
+// ContainerControl
+
+void ContainerControl::dispatch(const std::string& op,
+                                corba::cdr::Decoder& in,
+                                corba::cdr::Encoder& out) {
+    namespace skel = corba::skel;
+    PLOG(debug, "ccm") << container_->name() << ": control op '" << op
+                       << "'";
+    if (op == "create") {
+        skel::ret(out, container_->create(skel::arg<std::string>(in)));
+    } else if (op == "facet") {
+        const auto id = skel::arg<InstanceId>(in);
+        const auto name = skel::arg<std::string>(in);
+        skel::ret(out, container_->facet_ior(id, name));
+    } else if (op == "consumer") {
+        const auto id = skel::arg<InstanceId>(in);
+        const auto sink = skel::arg<std::string>(in);
+        skel::ret(out, container_->consumer_ior(id, sink));
+    } else if (op == "connect") {
+        const auto id = skel::arg<InstanceId>(in);
+        const auto receptacle = skel::arg<std::string>(in);
+        const auto target = skel::arg<corba::IOR>(in);
+        container_->connect(id, receptacle, target);
+        skel::ret(out, true);
+    } else if (op == "subscribe") {
+        const auto id = skel::arg<InstanceId>(in);
+        const auto source = skel::arg<std::string>(in);
+        const auto consumer = skel::arg<corba::IOR>(in);
+        container_->subscribe(id, source, consumer);
+        skel::ret(out, true);
+    } else if (op == "configure") {
+        const auto id = skel::arg<InstanceId>(in);
+        const auto attr = skel::arg<std::string>(in);
+        const auto value = skel::arg<std::string>(in);
+        container_->configure(id, attr, value);
+        skel::ret(out, true);
+    } else if (op == "complete") {
+        container_->configuration_complete(skel::arg<InstanceId>(in));
+        skel::ret(out, true);
+    } else if (op == "remove") {
+        container_->remove(skel::arg<InstanceId>(in));
+        skel::ret(out, true);
+    } else if (op == "shutdown") {
+        skel::ret(out, true);
+        shutdown_->set();
+    } else {
+        throw RemoteError("BAD_OPERATION " + op);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Component server daemon
+
+void component_server_main(fabric::Process& proc,
+                           const corba::OrbProfile& profile) {
+    ptm::Runtime rt(proc);
+    corba::Orb orb(rt, profile);
+    const std::string machine = proc.machine().name();
+    const std::string endpoint = "ccs-ep/" + machine;
+    orb.serve(endpoint);
+    Container container(rt, orb, "container@" + machine);
+    osal::Event shutdown;
+    corba::IOR control =
+        orb.activate(std::make_shared<ContainerControl>(container, shutdown));
+    // Publish the control IOR through the grid bootstrap registry (the
+    // real system registers with a grid information service).
+    proc.grid().register_service("ccs/" + machine + "/key",
+                                 static_cast<fabric::ProcessId>(control.key));
+    proc.grid().register_service("ccs/" + machine, proc.id());
+    PLOG(info, "ccm") << "component server up on " << machine;
+    shutdown.wait();
+    orb.shutdown();
+}
+
+/// Resolve the control IOR of the component server on \p machine.
+static corba::IOR ccs_control_ior(fabric::Grid& grid,
+                                  const std::string& machine) {
+    corba::IOR ior;
+    ior.endpoint = "ccs-ep/" + machine;
+    ior.key = grid.wait_service("ccs/" + machine + "/key");
+    ior.type = "IDL:padico/ComponentServer:1.0";
+    return ior;
+}
+
+// ---------------------------------------------------------------------------
+// ContainerClient
+
+InstanceId ContainerClient::create(const std::string& type) {
+    return corba::call<InstanceId>(ref_, "create", type);
+}
+corba::IOR ContainerClient::facet(InstanceId id, const std::string& name) {
+    return corba::call<corba::IOR>(ref_, "facet", id, name);
+}
+corba::IOR ContainerClient::consumer(InstanceId id, const std::string& sink) {
+    return corba::call<corba::IOR>(ref_, "consumer", id, sink);
+}
+void ContainerClient::connect(InstanceId id, const std::string& receptacle,
+                              const corba::IOR& target) {
+    corba::call<bool>(ref_, "connect", id, receptacle, target);
+}
+void ContainerClient::subscribe(InstanceId id, const std::string& source,
+                                const corba::IOR& consumer) {
+    corba::call<bool>(ref_, "subscribe", id, source, consumer);
+}
+void ContainerClient::configure(InstanceId id, const std::string& attr,
+                                const std::string& value) {
+    corba::call<bool>(ref_, "configure", id, attr, value);
+}
+void ContainerClient::configuration_complete(InstanceId id) {
+    corba::call<bool>(ref_, "complete", id);
+}
+void ContainerClient::remove(InstanceId id) {
+    corba::call<bool>(ref_, "remove", id);
+}
+void ContainerClient::shutdown() {
+    corba::call<bool>(ref_, "shutdown");
+}
+
+/// Open a client to the component server of \p machine (used by Deployer).
+ContainerClient connect_component_server(corba::Orb& orb,
+                                         const std::string& machine) {
+    return ContainerClient(orb,
+                           ccs_control_ior(orb.runtime().grid(), machine));
+}
+
+} // namespace padico::ccm

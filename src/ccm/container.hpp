@@ -1,0 +1,139 @@
+#pragma once
+/// \file container.hpp
+/// CCM execution model: containers host component instances and hide the
+/// system services; component servers are the per-machine daemons that
+/// deployment talks to. The container exposes a CORBA control interface so
+/// the Deployer can create, wire, configure and destroy instances remotely
+/// — the moral equivalent of CCM's ComponentServer/Container interfaces.
+
+#include <atomic>
+
+#include "ccm/component.hpp"
+#include "corba/naming.hpp"
+
+namespace padico::ccm {
+
+using InstanceId = std::uint64_t;
+
+/// Hosts component instances inside one process.
+class Container {
+public:
+    Container(ptm::Runtime& rt, corba::Orb& orb, std::string name);
+    ~Container();
+    Container(const Container&) = delete;
+    Container& operator=(const Container&) = delete;
+
+    const std::string& name() const noexcept { return name_; }
+    corba::Orb& orb() noexcept { return *orb_; }
+    ptm::Runtime& runtime() noexcept { return *rt_; }
+
+    // --- instance management ---------------------------------------------
+    InstanceId create(const std::string& type);
+    Component& instance(InstanceId id);
+    void remove(InstanceId id);
+    std::vector<InstanceId> instances() const;
+
+    /// IOR of a facet (activating its servant on first use).
+    corba::IOR facet_ior(InstanceId id, const std::string& facet);
+    /// IOR of an event sink's consumer object.
+    corba::IOR consumer_ior(InstanceId id, const std::string& sink);
+
+    /// Wire a receptacle of a hosted instance to a remote object.
+    void connect(InstanceId id, const std::string& receptacle,
+                 const corba::IOR& target);
+    /// Subscribe a remote consumer to an event source.
+    void subscribe(InstanceId id, const std::string& source,
+                   const corba::IOR& consumer);
+    void configure(InstanceId id, const std::string& attr,
+                   const std::string& value);
+    void configuration_complete(InstanceId id);
+
+private:
+    struct Entry {
+        std::unique_ptr<Component> component;
+        std::map<std::string, corba::IOR> facet_iors;
+        std::map<std::string, corba::IOR> consumer_iors;
+    };
+
+    Entry& entry(InstanceId id);
+
+    ptm::Runtime* rt_;
+    corba::Orb* orb_;
+    std::string name_;
+    mutable std::mutex mu_;
+    std::map<InstanceId, Entry> instances_;
+    std::atomic<InstanceId> next_id_{1};
+};
+
+/// The control servant the Deployer drives (IDL:padico/ComponentServer).
+/// Operations: create, facet, consumer, connect, subscribe, configure,
+/// complete, remove, shutdown.
+class ContainerControl : public corba::Servant {
+public:
+    ContainerControl(Container& c, osal::Event& shutdown)
+        : container_(&c), shutdown_(&shutdown) {}
+
+    std::string interface() const override {
+        return "IDL:padico/ComponentServer:1.0";
+    }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override;
+
+private:
+    Container* container_;
+    osal::Event* shutdown_;
+};
+
+/// Main body of a component-server daemon process: starts a Runtime, an
+/// ORB (with \p profile), a Container, publishes its control object as
+/// "ccs/<machine>" in the grid naming, then serves until shut down.
+/// Spawn one per machine before deployment.
+void component_server_main(fabric::Process& proc,
+                           const corba::OrbProfile& profile);
+
+/// Typed client wrapper over the control interface, used by the Deployer.
+class ContainerClient {
+public:
+    ContainerClient() = default;
+    ContainerClient(corba::Orb& orb, const corba::IOR& control)
+        : ref_(orb.resolve(control)) {}
+
+    InstanceId create(const std::string& type);
+    corba::IOR facet(InstanceId id, const std::string& name);
+    corba::IOR consumer(InstanceId id, const std::string& sink);
+    void connect(InstanceId id, const std::string& receptacle,
+                 const corba::IOR& target);
+    void subscribe(InstanceId id, const std::string& source,
+                   const corba::IOR& consumer);
+    void configure(InstanceId id, const std::string& attr,
+                   const std::string& value);
+    void configuration_complete(InstanceId id);
+    void remove(InstanceId id);
+    void shutdown();
+
+private:
+    corba::ObjectRef ref_;
+};
+
+/// Open a client to the component server daemon of \p machine (blocks
+/// until that daemon has published itself).
+ContainerClient connect_component_server(corba::Orb& orb,
+                                         const std::string& machine);
+
+/// Event consumer servant bridging CORBA "push" to a component sink.
+class EventConsumerServant : public corba::Servant {
+public:
+    EventConsumerServant(Component& comp, std::string sink)
+        : comp_(&comp), sink_(std::move(sink)) {}
+    std::string interface() const override {
+        return "IDL:padico/EventConsumer:1.0";
+    }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override;
+
+private:
+    Component* comp_;
+    std::string sink_;
+};
+
+} // namespace padico::ccm

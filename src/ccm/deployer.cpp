@@ -1,0 +1,174 @@
+#include "ccm/deployer.hpp"
+
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace padico::ccm {
+
+const Placed& Deployment::placed(const std::string& id) const {
+    auto it = components.find(id);
+    if (it == components.end())
+        throw LookupError("deployment has no component '" + id + "'");
+    return it->second;
+}
+
+ContainerClient& Deployer::server_for(const std::string& machine) {
+    auto it = servers_.find(machine);
+    if (it == servers_.end()) {
+        it = servers_
+                 .emplace(machine, connect_component_server(*orb_, machine))
+                 .first;
+    }
+    return it->second;
+}
+
+std::vector<fabric::Machine*> Deployer::choose_machines(
+    const ComponentDecl& decl) {
+    auto& grid = orb_->runtime().grid();
+    std::vector<fabric::Machine*> candidates =
+        fabric::discover(grid, decl.placement);
+    if (static_cast<int>(candidates.size()) < decl.parallel) {
+        throw DeploymentError(util::strfmt(
+            "component '%s' needs %d machine(s) matching its constraints, "
+            "found %zu",
+            decl.id.c_str(), decl.parallel, candidates.size()));
+    }
+    candidates.resize(static_cast<std::size_t>(decl.parallel));
+    return candidates;
+}
+
+Deployment Deployer::deploy(const Assembly& assembly) {
+    Deployment out;
+    out.assembly = assembly.name;
+
+    // Pass 1: placement + instantiation + attributes.
+    for (const auto& decl : assembly.components) {
+        Placed placed;
+        placed.decl = decl;
+        const auto machines = choose_machines(decl);
+
+        // GridCCM extension: members of a parallel component learn their
+        // rank, size and peer process ids through reserved attributes; the
+        // gridccm library turns these into a member communicator at
+        // configuration_complete time.
+        std::string member_pids;
+        if (decl.parallel > 1) {
+            auto& grid = orb_->runtime().grid();
+            for (const auto* m : machines) {
+                const fabric::ProcessId pid =
+                    grid.wait_service("ccs/" + m->name());
+                member_pids += (member_pids.empty() ? "" : ",") +
+                               std::to_string(pid);
+            }
+        }
+
+        for (int rank = 0; rank < decl.parallel; ++rank) {
+            const std::string& machine = machines[static_cast<std::size_t>(
+                rank)]->name();
+            ContainerClient& ccs = server_for(machine);
+            const InstanceId id = ccs.create(decl.type);
+            for (const auto& [attr, value] : decl.attributes)
+                ccs.configure(id, attr, value);
+            if (decl.parallel > 1) {
+                ccs.configure(id, "gridccm.name",
+                              assembly.name + "/" + decl.id);
+                ccs.configure(id, "gridccm.rank", std::to_string(rank));
+                ccs.configure(id, "gridccm.size",
+                              std::to_string(decl.parallel));
+                ccs.configure(id, "gridccm.members", member_pids);
+            }
+            placed.machines.push_back(machine);
+            placed.instances.push_back(id);
+            PLOG(info, "deploy") << decl.id << "[" << rank << "] -> "
+                                 << machine;
+        }
+        out.components.emplace(decl.id, std::move(placed));
+    }
+
+    // Pass 2: lifecycle — parallel components set up their member world and
+    // publish their parallel facets during configuration_complete, which
+    // must happen before facets are resolved for wiring. Members of one
+    // parallel component rendezvous on their communicator inside the call,
+    // so all members must be driven concurrently.
+    for (const auto& [id, placed] : out.components) {
+        // Resolve all container clients up front (server_for mutates state).
+        std::vector<ContainerClient*> clients;
+        for (const auto& machine : placed.machines)
+            clients.push_back(&server_for(machine));
+        std::vector<std::thread> threads;
+        std::mutex err_mu;
+        std::exception_ptr first_error;
+        fabric::Process& self = orb_->runtime().process();
+        for (std::size_t r = 0; r < placed.instances.size(); ++r) {
+            threads.emplace_back([&, r] {
+                fabric::Process::bind_to_thread(&self);
+                try {
+                    clients[r]->configuration_complete(placed.instances[r]);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(err_mu);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            });
+        }
+        for (auto& t : threads) t.join();
+        if (first_error) std::rethrow_exception(first_error);
+    }
+
+    // Pass 3: connections (facet lookup on the target, connect on source).
+    for (const auto& conn : assembly.connections) {
+        const corba::IOR target = facet_of(out, conn.to);
+        const Placed& from = out.placed(conn.from.component);
+        for (std::size_t r = 0; r < from.instances.size(); ++r) {
+            server_for(from.machines[r])
+                .connect(from.instances[r], conn.from.port, target);
+        }
+        PLOG(info, "deploy") << "connected " << conn.from.str() << " -> "
+                             << conn.to.str();
+    }
+
+    // Pass 4: event subscriptions.
+    for (const auto& ev : assembly.events) {
+        const Placed& to = out.placed(ev.to.component);
+        PADICO_CHECK(to.decl.parallel == 1,
+                     "event sinks on parallel components not supported");
+        const corba::IOR consumer =
+            server_for(to.machines[0]).consumer(to.instances[0], ev.to.port);
+        const Placed& from = out.placed(ev.from.component);
+        for (std::size_t r = 0; r < from.instances.size(); ++r) {
+            server_for(from.machines[r])
+                .subscribe(from.instances[r], ev.from.port, consumer);
+        }
+    }
+
+    return out;
+}
+
+corba::IOR Deployer::facet_of(const Deployment& d, const PortAddr& addr) {
+    const Placed& placed = d.placed(addr.component);
+    ContainerClient& ccs = server_for(placed.machines[0]);
+    if (placed.decl.parallel > 1) {
+        // Parallel component: external references go to the parallel home
+        // published by the GridCCM layer as "<port>.parallel" on member 0.
+        return ccs.facet(placed.instances[0], addr.port + ".parallel");
+    }
+    try {
+        return ccs.facet(placed.instances[0], addr.port);
+    } catch (const RemoteError&) {
+        // A parallel component deployed with a single member still
+        // publishes its facets as parallel homes.
+        return ccs.facet(placed.instances[0], addr.port + ".parallel");
+    }
+}
+
+void Deployer::teardown(const Deployment& deployment) {
+    for (const auto& [id, placed] : deployment.components) {
+        for (std::size_t r = 0; r < placed.instances.size(); ++r) {
+            server_for(placed.machines[r]).remove(placed.instances[r]);
+        }
+    }
+}
+
+} // namespace padico::ccm

@@ -1,0 +1,58 @@
+#pragma once
+/// \file deployer.hpp
+/// The deployment engine: takes an assembly descriptor, discovers machines
+/// satisfying each component's placement constraints through the grid
+/// information service, instantiates component instances in the component
+/// servers of the chosen machines, wires connections and event
+/// subscriptions, configures attributes, and drives the lifecycle — all
+/// through the CORBA control interfaces, from a single deployer process
+/// (paper §2's deployment scenarios: communication flexibility, machine
+/// discovery, localization constraints).
+
+#include "ccm/assembly.hpp"
+#include "ccm/container.hpp"
+
+namespace padico::ccm {
+
+/// Where one component landed.
+struct Placed {
+    ComponentDecl decl;
+    std::vector<std::string> machines;  ///< one per member (size == parallel)
+    std::vector<InstanceId> instances;  ///< parallel to machines
+};
+
+/// Result of a deployment; also the handle for teardown.
+struct Deployment {
+    std::string assembly;
+    std::map<std::string, Placed> components; ///< by component id
+
+    const Placed& placed(const std::string& id) const;
+};
+
+class Deployer {
+public:
+    /// \p orb is the deployer's client-side ORB.
+    explicit Deployer(corba::Orb& orb) : orb_(&orb) {}
+
+    /// Deploy an assembly. Machines are chosen by discovery against
+    /// \p grid's registry; every component of the assembly must be
+    /// satisfiable or DeploymentError is thrown (nothing is rolled back —
+    /// call teardown on the partial deployment state you hold).
+    Deployment deploy(const Assembly& assembly);
+
+    /// Remove all instances created by \p deployment.
+    void teardown(const Deployment& deployment);
+
+    /// Resolve the facet IOR behind a port address of a deployment
+    /// (member 0 for parallel components; see facet naming below).
+    corba::IOR facet_of(const Deployment& d, const PortAddr& addr);
+
+private:
+    ContainerClient& server_for(const std::string& machine);
+    std::vector<fabric::Machine*> choose_machines(const ComponentDecl& decl);
+
+    corba::Orb* orb_;
+    std::map<std::string, ContainerClient> servers_;
+};
+
+} // namespace padico::ccm

@@ -1,0 +1,94 @@
+#include "corba/cdr.hpp"
+
+namespace padico::corba::cdr {
+
+// ---------------------------------------------------------------------------
+// Encoder
+
+void Encoder::align(std::size_t a) {
+    const std::size_t rem = logical_ % a;
+    if (rem != 0) {
+        const std::size_t pad = a - rem;
+        cur_.pad(pad);
+        logical_ += pad;
+    }
+}
+
+void Encoder::flush_cur() {
+    if (cur_.empty()) return;
+    out_.append(util::Segment(util::make_buf(std::move(cur_))));
+    cur_ = util::ByteBuf();
+}
+
+void Encoder::put_raw(const void* p, std::size_t n, bool bulk) {
+    if (n == 0) return;
+    if (bulk && zero_copy_ && n >= kBulkThreshold) {
+        // Pass the payload through as its own segment: the stream below
+        // carries it by reference, no further copies down the stack.
+        flush_cur();
+        out_.append(util::Segment(util::make_buf(p, n)));
+        logical_ += n;
+        return;
+    }
+    cur_.append(p, n);
+    logical_ += n;
+}
+
+void Encoder::put_string(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size() + 1));
+    cur_.append(s.data(), s.size());
+    cur_.pad(1); // NUL
+    logical_ += s.size() + 1;
+}
+
+void Encoder::put_message(const util::Message& m) {
+    flush_cur();
+    out_.append(m);
+    logical_ += m.size();
+}
+
+util::Message Encoder::take() {
+    flush_cur();
+    util::Message m = std::move(out_);
+    out_ = util::Message();
+    logical_ = 0;
+    return m;
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+
+void Decoder::align(std::size_t a) {
+    const std::size_t rem = off_ % a;
+    if (rem != 0) {
+        const std::size_t pad = a - rem;
+        PADICO_WIRE_CHECK(off_ + pad <= m_.size(), "padding past end");
+        off_ += pad;
+    }
+}
+
+void Decoder::read(void* p, std::size_t n) {
+    PADICO_WIRE_CHECK(off_ + n <= m_.size(), "CDR buffer underrun");
+    m_.copy_out(off_, p, n);
+    off_ += n;
+}
+
+std::string Decoder::get_string() {
+    const std::uint32_t len = get_u32();
+    PADICO_WIRE_CHECK(len >= 1, "IDL string must include its NUL");
+    std::string s(len - 1, '\0');
+    read(s.data(), len - 1);
+    std::uint8_t nul = 0;
+    read(&nul, 1);
+    PADICO_WIRE_CHECK(nul == 0, "IDL string not NUL-terminated");
+    return s;
+}
+
+util::Message Decoder::get_bytes_msg(std::size_t n) {
+    PADICO_WIRE_CHECK(off_ + n <= m_.size(), "CDR buffer underrun");
+    util::Message view = m_.slice(off_, n);
+    off_ += n;
+    return view;
+}
+
+} // namespace padico::corba::cdr

@@ -1,0 +1,23 @@
+#include "corba/orb.hpp"
+
+namespace padico::corba {
+
+/// Register each CORBA implementation as a loadable PadicoTM module, under
+/// "corba/<implementation>" — the paper's §4.3.4 list: "various CORBA
+/// implementations have been seamlessly used on top of PadicoTM: omniORB 3,
+/// omniORB 4, ORBacus 4.0, and Mico 2.3".
+void install() {
+    auto reg = [](const OrbProfile& p) {
+        const std::string type = "corba/" + p.name;
+        if (!ptm::ModuleManager::has_type(type))
+            ptm::ModuleManager::register_type(
+                type, [p](ptm::Runtime& rt) -> std::shared_ptr<ptm::Module> {
+                    return std::make_shared<Orb>(rt, p);
+                });
+    };
+    for (const auto& p : all_profiles()) reg(p);
+    reg(profile_openccm_java());
+    reg(profile_omniorb4_esiop());
+}
+
+} // namespace padico::corba

@@ -1,0 +1,98 @@
+#include "corba/naming.hpp"
+
+#include <thread>
+
+namespace padico::corba {
+
+void NamingServant::dispatch(const std::string& op, cdr::Decoder& in,
+                             cdr::Encoder& out) {
+    if (op == "bind") {
+        const auto name = skel::arg<std::string>(in);
+        const auto ior = skel::arg<IOR>(in);
+        std::lock_guard<std::mutex> lk(mu_);
+        bindings_[name] = ior;
+        skel::ret(out, true);
+    } else if (op == "resolve") {
+        const auto name = skel::arg<std::string>(in);
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = bindings_.find(name);
+        if (it == bindings_.end())
+            throw RemoteError("NotFound: " + name);
+        skel::ret(out, it->second);
+    } else if (op == "try_resolve") {
+        const auto name = skel::arg<std::string>(in);
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = bindings_.find(name);
+        skel::ret(out, it != bindings_.end());
+        if (it != bindings_.end()) skel::ret(out, it->second);
+    } else if (op == "unbind") {
+        const auto name = skel::arg<std::string>(in);
+        std::lock_guard<std::mutex> lk(mu_);
+        if (bindings_.erase(name) == 0)
+            throw RemoteError("NotFound: " + name);
+        skel::ret(out, true);
+    } else if (op == "list") {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::vector<std::string> names;
+        for (const auto& [n, ior] : bindings_) names.push_back(n);
+        skel::ret(out, names);
+    } else {
+        throw RemoteError("BAD_OPERATION: " + op);
+    }
+}
+
+IOR start_naming_service(Orb& orb) {
+    const std::string endpoint = "naming-service";
+    orb.serve(endpoint);
+    IOR ior = orb.activate(std::make_shared<NamingServant>());
+    orb.runtime().grid().register_service(
+        "corba/naming/key", static_cast<fabric::ProcessId>(ior.key));
+    orb.runtime().grid().register_service("corba/naming",
+                                          orb.runtime().process().id());
+    return ior;
+}
+
+NamingClient NamingClient::connect(Orb& orb) {
+    auto& grid = orb.runtime().grid();
+    (void)grid.wait_service("corba/naming"); // block until the service is up
+    IOR ior;
+    ior.endpoint = "naming-service";
+    ior.key = grid.wait_service("corba/naming/key");
+    ior.type = "IDL:omg.org/CosNaming/NamingContext:1.0";
+    return NamingClient(orb, ior);
+}
+
+void NamingClient::bind(const std::string& name, const IOR& ior) {
+    call<bool>(ref_, "bind", name, ior);
+}
+
+IOR NamingClient::resolve(const std::string& name) {
+    return call<IOR>(ref_, "resolve", name);
+}
+
+IOR NamingClient::resolve_wait(const std::string& name) {
+    while (true) {
+        util::Message reply = ref_.invoke(
+            "try_resolve", cdr::encode(true, name));
+        cdr::Decoder d(std::move(reply));
+        bool found = false;
+        cdr_get(d, found);
+        if (found) {
+            IOR ior;
+            cdr_get(d, ior);
+            return ior;
+        }
+        // Poll politely; model a retry delay on the virtual clock.
+        std::this_thread::yield();
+    }
+}
+
+void NamingClient::unbind(const std::string& name) {
+    call<bool>(ref_, "unbind", name);
+}
+
+std::vector<std::string> NamingClient::list() {
+    return call<std::vector<std::string>>(ref_, "list");
+}
+
+} // namespace padico::corba

@@ -1,0 +1,53 @@
+#pragma once
+/// \file naming.hpp
+/// CORBA Naming Service subset: bind/resolve/unbind/list of string names to
+/// object references. Itself a CORBA object ("dogfood"), so that component
+/// deployment can publish and discover references across the grid exactly
+/// as CCM prescribes.
+
+#include <map>
+
+#include "corba/stub.hpp"
+
+namespace padico::corba {
+
+/// Server side: host a naming context in this ORB.
+class NamingServant : public Servant {
+public:
+    std::string interface() const override {
+        return "IDL:omg.org/CosNaming/NamingContext:1.0";
+    }
+    void dispatch(const std::string& op, cdr::Decoder& in,
+                  cdr::Encoder& out) override;
+
+private:
+    std::mutex mu_;
+    std::map<std::string, IOR> bindings_;
+};
+
+/// Start a naming service in \p orb and publish its endpoint grid-wide
+/// under the well-known name "naming". Returns the service IOR.
+IOR start_naming_service(Orb& orb);
+
+/// Client-side proxy.
+class NamingClient {
+public:
+    /// Resolve the well-known grid naming service.
+    static NamingClient connect(Orb& orb);
+
+    NamingClient(Orb& orb, const IOR& ior) : ref_(orb.resolve(ior)) {}
+
+    /// Bind (or rebind) a name.
+    void bind(const std::string& name, const IOR& ior);
+    /// Resolve; throws RemoteError when unbound.
+    IOR resolve(const std::string& name);
+    /// Blocks (polling the service) until the name is bound.
+    IOR resolve_wait(const std::string& name);
+    void unbind(const std::string& name);
+    std::vector<std::string> list();
+
+private:
+    ObjectRef ref_;
+};
+
+} // namespace padico::corba

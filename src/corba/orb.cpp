@@ -1,0 +1,329 @@
+#include "corba/orb.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace padico::corba {
+
+// ---------------------------------------------------------------------------
+// Profiles. Calibration (DESIGN.md §7): with Myrinet-2000's 7 us hardware
+// latency and PadicoTM's ~2.7 us of Madeleine+demux software, a request
+// latency L implies per_msg = (L - 9.7us)/2 per side; a peak bandwidth B
+// implies per_byte = (1/B - 1/240) us/B split across the two sides.
+
+OrbProfile profile_omniorb3() {
+    return {"omniORB-3.0.2", usec(5.2), 0.0, true};
+}
+OrbProfile profile_omniorb4() {
+    // Slightly leaner than omniORB 3 in the paper's curve.
+    return {"omniORB-4.0.0", usec(5.0), 0.0, true};
+}
+OrbProfile profile_mico() {
+    // 62 us latency, 55 MB/s peak: always copies on (un)marshalling.
+    return {"Mico-2.3.7", usec(26.2), 7.0, false};
+}
+OrbProfile profile_orbacus() {
+    // 54 us latency, 63 MB/s peak.
+    return {"ORBacus-4.0.5", usec(22.2), 5.85, false};
+}
+OrbProfile profile_openccm_java() {
+    // Java stack of OpenCCM: paper's Fast-Ethernet GridCCM numbers imply
+    // ~0.85x of MicoCCM throughput at same message sizes.
+    return {"OpenCCM-Java", usec(40.0), 15.8, false};
+}
+
+OrbProfile profile_omniorb4_esiop() {
+    // The §4.4 suggestion: a specific protocol (ESIOP) instead of general
+    // GIOP. Leaner request processing plus compact framing; still
+    // zero-copy marshalling.
+    OrbProfile p = profile_omniorb4();
+    p.name = "omniORB-4-ESIOP";
+    p.per_msg = usec(2.6); // ~15 us one-way latency on Myrinet
+    p.esiop = true;
+    return p;
+}
+
+std::vector<OrbProfile> all_profiles() {
+    return {profile_omniorb3(), profile_omniorb4(), profile_mico(),
+            profile_orbacus()};
+}
+
+// ---------------------------------------------------------------------------
+// IOR
+
+std::string IOR::to_string() const {
+    // '|' separators: endpoints and repository ids routinely contain '/'.
+    return "IOR:" + endpoint + "|" + std::to_string(key) + "|" + type;
+}
+
+IOR IOR::from_string(const std::string& s) {
+    PADICO_WIRE_CHECK(util::starts_with(s, "IOR:"), "not an IOR string");
+    const auto parts = util::split(s.substr(4), '|');
+    PADICO_WIRE_CHECK(parts.size() == 3, "malformed IOR");
+    IOR ior;
+    ior.endpoint = parts[0];
+    ior.key = util::parse_uint(parts[1]);
+    ior.type = parts[2];
+    return ior;
+}
+
+// ---------------------------------------------------------------------------
+// GIOP framing
+
+namespace giop {
+
+void send_message(ptm::VLink& link, MsgType type, util::Message body,
+                  bool esiop) {
+    util::Message wire;
+    if (esiop) {
+        EsiopHeader h;
+        h.magic_type =
+            kEsiopMagic ^ (static_cast<std::uint32_t>(type) << 24);
+        PADICO_CHECK(body.size() <= 0xffffffffu,
+                     "ESIOP messages are bounded to 4 GiB");
+        h.body_len = static_cast<std::uint32_t>(body.size());
+        wire = util::to_message(util::ByteBuf(&h, sizeof h));
+    } else {
+        Header h;
+        h.msg_type = static_cast<std::uint8_t>(type);
+        h.body_len = body.size();
+        wire = util::to_message(util::ByteBuf(&h, sizeof h));
+    }
+    wire.append(body);
+    link.write(std::move(wire));
+}
+
+std::optional<std::pair<MsgType, util::Message>> recv_message(
+    ptm::VLink& link) {
+    // Both framings start with a 4-byte magic; read the short prefix and
+    // dispatch (a server can therefore serve GIOP and ESIOP clients).
+    auto prefix = link.read_msg_opt(sizeof(EsiopHeader));
+    if (!prefix.has_value()) return std::nullopt;
+    std::uint32_t magic_type = 0;
+    prefix->copy_out(0, &magic_type, sizeof magic_type);
+    if ((magic_type & 0x00ffffffu) == (kEsiopMagic & 0x00ffffffu) &&
+        magic_type != kMagic) {
+        EsiopHeader h;
+        prefix->copy_out(0, &h, sizeof h);
+        const auto type =
+            static_cast<MsgType>((h.magic_type ^ kEsiopMagic) >> 24);
+        util::Message body = link.read_msg(h.body_len);
+        return std::make_pair(type, std::move(body));
+    }
+    PADICO_WIRE_CHECK(magic_type == kMagic, "bad inter-ORB magic");
+    util::Message rest =
+        link.read_msg(sizeof(Header) - sizeof(EsiopHeader));
+    util::ByteBuf hb = prefix->gather();
+    hb.append(rest.gather().view());
+    Header h;
+    PADICO_CHECK(hb.size() == sizeof h, "short inter-ORB header");
+    std::memcpy(&h, hb.data(), sizeof h);
+    PADICO_WIRE_CHECK(h.version == 1, "unsupported GIOP version");
+    util::Message body = link.read_msg(h.body_len);
+    return std::make_pair(static_cast<MsgType>(h.msg_type), std::move(body));
+}
+
+} // namespace giop
+
+// ---------------------------------------------------------------------------
+// ObjectRef
+
+void ObjectRef::ensure_connected() {
+    if (!conn_) {
+        conn_ = std::make_shared<ptm::VLink>(
+            ptm::VLink::connect(orb_->runtime(), ior_.endpoint));
+    }
+}
+
+util::Message ObjectRef::invoke(const std::string& op, util::Message args) {
+    PADICO_CHECK(valid(), "invoke on a nil reference");
+    std::lock_guard<std::mutex> lk(*conn_mu_);
+    ensure_connected();
+
+    cdr::Encoder req(orb_->profile().zero_copy);
+    req.put_u64(next_request_++);
+    req.put_u64(ior_.key);
+    req.put_bool(true); // response expected
+    req.put_string(op);
+    req.put_message(args);
+
+    orb_->charge(args.size());
+    giop::send_message(*conn_, giop::MsgType::Request, req.take(),
+                       orb_->profile().esiop);
+
+    auto reply = giop::recv_message(*conn_);
+    PADICO_CHECK(reply.has_value(), "connection closed during invocation");
+    PADICO_WIRE_CHECK(reply->first == giop::MsgType::Reply,
+                      "expected GIOP Reply");
+    cdr::Decoder dec(std::move(reply->second));
+    (void)dec.get_u64(); // request id
+    const auto status = static_cast<giop::ReplyStatus>(dec.get_u8());
+    util::Message payload = dec.get_bytes_msg(dec.remaining());
+    orb_->charge(payload.size());
+    if (status == giop::ReplyStatus::NoException) return payload;
+    const std::string what = cdr::decode_one<std::string>(std::move(payload));
+    throw RemoteError(ior_.type + "::" + op + ": " + what);
+}
+
+void ObjectRef::oneway(const std::string& op, util::Message args) {
+    PADICO_CHECK(valid(), "oneway on a nil reference");
+    std::lock_guard<std::mutex> lk(*conn_mu_);
+    ensure_connected();
+    cdr::Encoder req(orb_->profile().zero_copy);
+    req.put_u64(next_request_++);
+    req.put_u64(ior_.key);
+    req.put_bool(false); // no response
+    req.put_string(op);
+    req.put_message(args);
+    orb_->charge(args.size());
+    giop::send_message(*conn_, giop::MsgType::Request, req.take(),
+                       orb_->profile().esiop);
+}
+
+// ---------------------------------------------------------------------------
+// Orb
+
+Orb::Orb(ptm::Runtime& rt, OrbProfile profile)
+    : rt_(&rt), profile_(std::move(profile)) {}
+
+Orb::~Orb() { shutdown(); }
+
+void Orb::charge(std::size_t payload_bytes) {
+    rt_->process().clock().advance(
+        profile_.per_msg +
+        static_cast<SimTime>(static_cast<double>(payload_bytes) *
+                             profile_.per_byte_ns));
+}
+
+IOR Orb::activate(std::shared_ptr<Servant> servant) {
+    PADICO_CHECK(servant != nullptr, "cannot activate a null servant");
+    const std::uint64_t key = next_key_.fetch_add(1);
+    IOR ior;
+    ior.key = key;
+    ior.type = servant->interface();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        objects_[key] = std::move(servant);
+        ior.endpoint = endpoint_;
+    }
+    return ior;
+}
+
+ObjectRef Orb::resolve(const IOR& ior) {
+    PADICO_CHECK(ior.valid(), "cannot resolve a nil IOR");
+    return ObjectRef(*this, ior);
+}
+
+void Orb::deactivate(const IOR& ior) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (objects_.erase(ior.key) == 0)
+        throw LookupError("no active object with key " +
+                          std::to_string(ior.key));
+}
+
+std::shared_ptr<Servant> Orb::find_servant(std::uint64_t key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = objects_.find(key);
+    return it == objects_.end() ? nullptr : it->second;
+}
+
+void Orb::serve(const std::string& endpoint) {
+    PADICO_CHECK(listener_ == nullptr, "orb already serving");
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        endpoint_ = endpoint;
+    }
+    listener_ = std::make_unique<ptm::VLinkListener>(*rt_, endpoint);
+    acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+void Orb::shutdown() {
+    if (stopping_.exchange(true)) {
+        if (acceptor_.joinable()) acceptor_.join();
+        return;
+    }
+    if (listener_) listener_->shutdown();
+    if (acceptor_.joinable()) acceptor_.join();
+    {
+        // Unblock workers waiting on requests from clients that will never
+        // close their end.
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        for (auto& c : conns_) c->abort();
+    }
+    workers_.join_all();
+}
+
+void Orb::acceptor_loop() {
+    fabric::Process::bind_to_thread(&rt_->process());
+    while (!stopping_.load()) {
+        ptm::VLink conn = listener_->accept();
+        if (!conn.valid()) return; // shut down
+        auto shared = std::make_shared<ptm::VLink>(std::move(conn));
+        {
+            std::lock_guard<std::mutex> lk(conns_mu_);
+            conns_.push_back(shared);
+        }
+        workers_.spawn([this, shared] {
+            fabric::Process::bind_to_thread(&rt_->process());
+            connection_loop(shared);
+        });
+    }
+}
+
+void Orb::connection_loop(std::shared_ptr<ptm::VLink> conn) {
+    try {
+        while (true) {
+            auto msg = giop::recv_message(*conn);
+            if (!msg.has_value()) return; // client went away
+            PADICO_WIRE_CHECK(msg->first == giop::MsgType::Request,
+                              "server expects GIOP Requests");
+            cdr::Decoder dec(std::move(msg->second));
+            const std::uint64_t request_id = dec.get_u64();
+            const std::uint64_t key = dec.get_u64();
+            const bool want_reply = dec.get_bool();
+            const std::string op = dec.get_string();
+            util::Message args = dec.get_bytes_msg(dec.remaining());
+            charge(args.size());
+
+            giop::ReplyStatus status = giop::ReplyStatus::NoException;
+            cdr::Encoder result(profile_.zero_copy);
+            auto servant = find_servant(key);
+            if (servant == nullptr) {
+                status = giop::ReplyStatus::SystemException;
+                cdr_put(result, std::string("OBJECT_NOT_EXIST: key " +
+                                            std::to_string(key)));
+            } else {
+                try {
+                    cdr::Decoder argdec(std::move(args));
+                    servant->dispatch(op, argdec, result);
+                } catch (const RemoteError& e) {
+                    PLOG(debug, "corba") << op << " raised: " << e.what();
+                    result = cdr::Encoder(profile_.zero_copy);
+                    status = giop::ReplyStatus::UserException;
+                    cdr_put(result, std::string(e.what()));
+                } catch (const Error& e) {
+                    PLOG(warn, "corba")
+                        << op << " failed with system exception: "
+                        << e.what();
+                    result = cdr::Encoder(profile_.zero_copy);
+                    status = giop::ReplyStatus::SystemException;
+                    cdr_put(result, std::string(e.what()));
+                }
+            }
+            if (!want_reply) continue;
+
+            cdr::Encoder rep(profile_.zero_copy);
+            rep.put_u64(request_id);
+            rep.put_u8(static_cast<std::uint8_t>(status));
+            util::Message payload = result.take();
+            charge(payload.size());
+            rep.put_message(payload);
+            giop::send_message(*conn, giop::MsgType::Reply, rep.take(),
+                               profile_.esiop);
+        }
+    } catch (const std::exception& e) {
+        PLOG(warn, "corba") << "connection worker ended: " << e.what();
+    }
+}
+
+} // namespace padico::corba

@@ -1,0 +1,49 @@
+#pragma once
+/// \file stub.hpp
+/// Typed invocation helpers: the hand-written equivalent of IDL-compiler
+/// stub/skeleton output. A stub call marshals its arguments with CDR,
+/// performs the GIOP invocation and unmarshals the result; a skeleton
+/// method unmarshals, invokes the servant method and marshals the reply.
+
+#include <tuple>
+
+#include "corba/orb.hpp"
+
+namespace padico::corba {
+
+/// Invoke \p op with typed arguments and a typed result.
+template <typename R, typename... As>
+R call(ObjectRef& obj, const std::string& op, const As&... args) {
+    util::Message reply =
+        obj.invoke(op, cdr::encode(/*zero_copy=*/true, args...));
+    if constexpr (std::is_void_v<R>) {
+        (void)reply;
+        return;
+    } else {
+        return cdr::decode_one<R>(std::move(reply));
+    }
+}
+
+/// Oneway (no reply) typed invocation.
+template <typename... As>
+void call_oneway(ObjectRef& obj, const std::string& op, const As&... args) {
+    obj.oneway(op, cdr::encode(/*zero_copy=*/true, args...));
+}
+
+namespace skel {
+
+/// Decode one value of type T from the request stream.
+template <typename T> T arg(cdr::Decoder& in) {
+    T v{};
+    cdr_get(in, v);
+    return v;
+}
+
+/// Encode the operation result.
+template <typename T> void ret(cdr::Encoder& out, const T& v) {
+    cdr_put(out, v);
+}
+
+} // namespace skel
+
+} // namespace padico::corba

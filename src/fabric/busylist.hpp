@@ -1,0 +1,66 @@
+#pragma once
+/// \file busylist.hpp
+/// Capacity reservations for one direction of one NIC. A transfer of
+/// duration d arriving at virtual time t occupies the earliest gap of
+/// length d at or after t. Unlike a scalar busy-until, the interval list
+/// is insensitive to the REAL-time order in which transfers are booked:
+/// a small, virtually-late message can no longer push a virtually-early
+/// transfer behind it (threads book reservations in scheduling order, not
+/// in virtual-time order).
+
+#include <vector>
+
+#include "util/simtime.hpp"
+
+namespace padico::fabric {
+
+class BusyList {
+public:
+    /// Reserve \p duration starting no earlier than \p earliest; returns
+    /// the reserved start time.
+    SimTime reserve(SimTime earliest, SimTime duration) {
+        if (duration <= 0) return earliest;
+        // Find the first gap of the required length.
+        SimTime cursor = earliest;
+        std::size_t pos = 0;
+        for (; pos < busy_.size(); ++pos) {
+            const Span& b = busy_[pos];
+            if (b.end <= cursor) continue;       // already behind us
+            if (b.start >= cursor + duration) break; // gap before this span
+            cursor = b.end;                      // hop over the busy span
+        }
+        insert(pos, cursor, cursor + duration);
+        return cursor;
+    }
+
+    std::size_t spans() const noexcept { return busy_.size(); }
+
+private:
+    struct Span {
+        SimTime start;
+        SimTime end;
+    };
+
+    void insert(std::size_t pos, SimTime start, SimTime end) {
+        // `pos` is the index of the first span beginning after the new one
+        // (maintained sorted by start). Coalesce with touching neighbours
+        // to bound growth under streaming workloads.
+        const bool join_prev = pos > 0 && busy_[pos - 1].end == start;
+        const bool join_next = pos < busy_.size() && busy_[pos].start == end;
+        if (join_prev && join_next) {
+            busy_[pos - 1].end = busy_[pos].end;
+            busy_.erase(busy_.begin() + static_cast<std::ptrdiff_t>(pos));
+        } else if (join_prev) {
+            busy_[pos - 1].end = end;
+        } else if (join_next) {
+            busy_[pos].start = start;
+        } else {
+            busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(pos),
+                         Span{start, end});
+        }
+    }
+
+    std::vector<Span> busy_; ///< sorted by start, disjoint
+};
+
+} // namespace padico::fabric

@@ -1,0 +1,44 @@
+#pragma once
+/// \file clock.hpp
+/// Per-process virtual clock. Clocks advance through explicit compute()
+/// charges and through communication (Lamport-style: a receiver merges the
+/// modeled delivery timestamp of each message it consumes). Elapsed virtual
+/// time between two points on one process is what benchmarks report.
+
+#include <atomic>
+
+#include "util/simtime.hpp"
+
+namespace padico::fabric {
+
+class VirtualClock {
+public:
+    SimTime now() const noexcept {
+        return now_.load(std::memory_order_relaxed);
+    }
+
+    /// Charge a local duration (CPU work, software overhead). Atomic so
+    /// that concurrent activities of one process (e.g. a parallel stub
+    /// fanning out from several threads on a dual-CPU node) do not lose
+    /// charges.
+    void advance(SimTime d) noexcept {
+        now_.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    /// Move forward to \p t if \p t is later (message delivery).
+    void merge(SimTime t) noexcept {
+        SimTime cur = now_.load(std::memory_order_relaxed);
+        while (t > cur && !now_.compare_exchange_weak(
+                              cur, t, std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Jump to an absolute time if later (used when a blocking op
+    /// completes; monotone so concurrent activities cannot move time back).
+    void set(SimTime t) noexcept { merge(t); }
+
+private:
+    std::atomic<SimTime> now_{0};
+};
+
+} // namespace padico::fabric

@@ -1,0 +1,355 @@
+#include "fabric/grid.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace padico::fabric {
+
+namespace {
+thread_local Process* tls_current_process = nullptr;
+} // namespace
+
+// --------------------------------------------------------------------------
+// Port
+
+SimTime Port::send(ProcessId dst, ChannelId channel, util::Message payload,
+                   SimTime sender_now, std::uint32_t flags) {
+    NetworkSegment& seg = *adapter_->segment_;
+    Port* dst_port = seg.wait_port_for(dst);
+    if (dst_port == nullptr)
+        throw LookupError("process " + std::to_string(dst) +
+                          " unreachable on segment " + seg.name());
+
+    const std::uint64_t bytes = payload.size();
+    Packet pkt;
+    pkt.channel = channel;
+    pkt.src = owner_->id();
+    pkt.dst = dst;
+    pkt.flags = flags;
+    pkt.via = &seg;
+    pkt.payload = std::move(payload);
+
+    SimTime tx_done;
+    {
+        std::lock_guard<std::mutex> lk(seg.time_mu_);
+        const double eff_bw = attainable_mb(seg.params());
+        const SimTime xmit = transfer_time(bytes, eff_bw);
+        const SimTime start = adapter_->tx_busy_.reserve(sender_now, xmit);
+        tx_done = start + xmit;
+
+        Adapter& dst_nic = *dst_port->adapter_;
+        const SimTime rx_start =
+            dst_nic.rx_busy_.reserve(start + seg.params().latency, xmit);
+        pkt.deliver_time = rx_start + xmit;
+    }
+    PLOG(trace, "fabric") << "xfer " << bytes << "B pid" << owner_->id()
+                          << "->pid" << dst << " ch " << channel << " start "
+                          << format_simtime(std::max(sender_now, tx_done))
+                          << " deliver "
+                          << format_simtime(pkt.deliver_time);
+    dst_port->rx_.push(std::move(pkt));
+    return tx_done;
+}
+
+std::optional<Packet> Port::recv() { return rx_.pop(); }
+
+std::optional<Packet> Port::try_recv() { return rx_.try_pop(); }
+
+std::optional<Packet> Port::recv_on(ChannelId channel) {
+    return rx_.pop_matching(
+        [channel](const Packet& p) { return p.channel == channel; });
+}
+
+std::optional<Packet> Port::recv_from(ProcessId src, ChannelId channel) {
+    return rx_.pop_matching([src, channel](const Packet& p) {
+        return p.channel == channel && p.src == src;
+    });
+}
+
+std::optional<Packet> Port::try_recv_from(ProcessId src, ChannelId channel) {
+    return rx_.try_pop_matching([src, channel](const Packet& p) {
+        return p.channel == channel && p.src == src;
+    });
+}
+
+void PortRef::release() {
+    if (adapter_ && port_) adapter_->release(port_);
+    adapter_ = nullptr;
+    port_ = nullptr;
+}
+
+// --------------------------------------------------------------------------
+// Adapter
+
+PortRef Adapter::open(Process& p, const std::string& owner_tag) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (segment_->params().exclusive_open) {
+        // Hardware with a single-owner driver (BIP on Myrinet, SCI maps):
+        // exactly one port, one owner tag, one process.
+        if (!ports_.empty()) {
+            auto& [pid, existing] = *ports_.begin();
+            if (pid != p.id() || existing->owner_tag_ != owner_tag)
+                throw ResourceConflict(
+                    "adapter " + machine_->name() + "/" + segment_->name() +
+                    " already owned by '" + existing->owner_tag_ +
+                    "' (pid " + std::to_string(pid) + "); '" + owner_tag +
+                    "' cannot open it");
+            ++existing->refcount_;
+            return PortRef(this, existing.get());
+        }
+    }
+    auto it = ports_.find(p.id());
+    if (it == ports_.end()) {
+        auto port = std::unique_ptr<Port>(new Port(*this, p));
+        port->owner_tag_ = owner_tag;
+        it = ports_.emplace(p.id(), std::move(port)).first;
+        {
+            std::lock_guard<std::mutex> rk(segment_->route_mu_);
+            segment_->routes_[p.id()] = it->second.get();
+        }
+        segment_->route_cv_.notify_all();
+        PLOG(debug, "fabric") << "open " << machine_->name() << "/"
+                              << segment_->name() << " by " << owner_tag
+                              << " pid " << p.id();
+    }
+    ++it->second->refcount_;
+    return PortRef(this, it->second.get());
+}
+
+std::string Adapter::owner_tag() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ports_.empty() ? std::string() : ports_.begin()->second->owner_tag_;
+}
+
+bool Adapter::is_open() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return !ports_.empty();
+}
+
+void Adapter::release(Port* port) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--port->refcount_ > 0) return;
+    const ProcessId pid = port->owner_->id();
+    {
+        std::lock_guard<std::mutex> rk(segment_->route_mu_);
+        segment_->routes_.erase(pid);
+    }
+    port->rx_.close();
+    ports_.erase(pid);
+}
+
+// --------------------------------------------------------------------------
+// NetworkSegment / Machine
+
+Port* NetworkSegment::port_for(ProcessId pid) {
+    std::lock_guard<std::mutex> lk(route_mu_);
+    auto it = routes_.find(pid);
+    return it == routes_.end() ? nullptr : it->second;
+}
+
+Port* NetworkSegment::wait_port_for(ProcessId pid) {
+    {
+        std::lock_guard<std::mutex> lk(route_mu_);
+        auto it = routes_.find(pid);
+        if (it != routes_.end()) return it->second;
+    }
+    // Not (yet) open: processes boot asynchronously, so first wait for the
+    // peer process to exist at all, then check the static topology. A send
+    // to a process id that is never created blocks — like a connect to a
+    // host that never boots.
+    Machine& peer = grid_->wait_process(pid).machine();
+    if (peer.adapter_on(*this) == nullptr) return nullptr;
+    std::unique_lock<std::mutex> lk(route_mu_);
+    route_cv_.wait(lk, [&] { return routes_.count(pid) != 0; });
+    return routes_[pid];
+}
+
+Adapter* Machine::adapter_on(const NetworkSegment& seg) const {
+    for (Adapter* a : adapters_)
+        if (&a->segment() == &seg) return a;
+    return nullptr;
+}
+
+// --------------------------------------------------------------------------
+// Process
+
+Grid& Process::grid() noexcept { return *grid_; }
+
+std::string Process::name() const {
+    return util::strfmt("pid%u@%s", id_, machine_->name().c_str());
+}
+
+Process& Process::current() {
+    PADICO_CHECK(tls_current_process != nullptr,
+                 "not running inside a grid process");
+    return *tls_current_process;
+}
+
+Process* Process::current_or_null() noexcept { return tls_current_process; }
+
+void Process::bind_to_thread(Process* p) noexcept {
+    tls_current_process = p;
+}
+
+// --------------------------------------------------------------------------
+// Grid
+
+Grid::~Grid() {
+    // Join remaining threads without throwing from the destructor.
+    try {
+        join_all();
+    } catch (const std::exception& e) {
+        PLOG(error, "fabric") << "process failed during ~Grid: " << e.what();
+    }
+}
+
+Machine& Grid::add_machine(const std::string& name, int cpus) {
+    PADICO_CHECK(cpus > 0, "machine needs at least one cpu");
+    machines_.push_back(std::make_unique<Machine>(*this, name, cpus));
+    return *machines_.back();
+}
+
+NetworkSegment& Grid::add_segment(const std::string& name, NetTech tech) {
+    NetworkSegment& s = add_segment(name, default_params(tech));
+    s.set_tech(tech);
+    return s;
+}
+
+NetworkSegment& Grid::add_segment(const std::string& name, LinkParams params) {
+    segments_.push_back(std::make_unique<NetworkSegment>(*this, name, params));
+    return *segments_.back();
+}
+
+Adapter& Grid::attach(Machine& m, NetworkSegment& s) {
+    PADICO_CHECK(m.adapter_on(s) == nullptr,
+                 "machine " + m.name() + " already attached to " + s.name());
+    adapters_.push_back(std::make_unique<Adapter>(m, s));
+    m.adapters_.push_back(adapters_.back().get());
+    return *adapters_.back();
+}
+
+Machine& Grid::machine(const std::string& name) {
+    for (auto& m : machines_)
+        if (m->name() == name) return *m;
+    throw LookupError("no machine named " + name);
+}
+
+NetworkSegment& Grid::segment(const std::string& name) {
+    for (auto& s : segments_)
+        if (s->name() == name) return *s;
+    throw LookupError("no segment named " + name);
+}
+
+Process& Grid::spawn(Machine& m, std::function<void(Process&)> body) {
+    std::lock_guard<std::mutex> lk(proc_mu_);
+    const ProcessId id = static_cast<ProcessId>(processes_.size());
+    processes_.push_back(
+        std::unique_ptr<Process>(new Process(*this, m, id)));
+    Process* proc = processes_.back().get();
+    proc->thread_ = std::thread([proc, body = std::move(body)] {
+        tls_current_process = proc;
+        try {
+            body(*proc);
+        } catch (const std::exception& e) {
+            // Surface immediately: peers of a dead process typically block,
+            // so a silent failure would look like a hang at join_all().
+            PLOG(error, "fabric")
+                << proc->name() << " failed: " << e.what();
+            proc->failure_ = std::current_exception();
+        } catch (...) {
+            PLOG(error, "fabric") << proc->name()
+                                  << " failed with a non-standard exception";
+            proc->failure_ = std::current_exception();
+        }
+        tls_current_process = nullptr;
+    });
+    proc_cv_.notify_all();
+    return *proc;
+}
+
+void Grid::join_all() {
+    // Snapshot under lock; more processes must not be spawned while joining.
+    std::vector<Process*> procs;
+    {
+        std::lock_guard<std::mutex> lk(proc_mu_);
+        for (auto& p : processes_) procs.push_back(p.get());
+    }
+    for (Process* p : procs)
+        if (p->thread_.joinable()) p->thread_.join();
+    for (Process* p : procs) {
+        if (p->failure_) {
+            std::exception_ptr e = p->failure_;
+            p->failure_ = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+Process& Grid::process(ProcessId id) {
+    std::lock_guard<std::mutex> lk(proc_mu_);
+    PADICO_CHECK(id < processes_.size(), "bad process id");
+    return *processes_[id];
+}
+
+Process& Grid::wait_process(ProcessId id) {
+    std::unique_lock<std::mutex> lk(proc_mu_);
+    proc_cv_.wait(lk, [&] { return id < processes_.size(); });
+    return *processes_[id];
+}
+
+ChannelId Grid::channel_id(const std::string& name) {
+    std::lock_guard<std::mutex> lk(name_mu_);
+    auto it = channels_.find(name);
+    if (it != channels_.end()) return it->second;
+    const ChannelId id = next_channel_++;
+    channels_.emplace(name, id);
+    return id;
+}
+
+void Grid::register_service(const std::string& name, ProcessId pid) {
+    {
+        std::lock_guard<std::mutex> lk(name_mu_);
+        services_[name] = pid;
+    }
+    name_cv_.notify_all();
+}
+
+ProcessId Grid::wait_service(const std::string& name) {
+    std::unique_lock<std::mutex> lk(name_mu_);
+    name_cv_.wait(lk, [&] { return services_.count(name) != 0; });
+    return services_[name];
+}
+
+std::optional<ProcessId> Grid::try_lookup(const std::string& name) {
+    std::lock_guard<std::mutex> lk(name_mu_);
+    auto it = services_.find(name);
+    if (it == services_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::vector<NetworkSegment*> Grid::common_segments(const Machine& a,
+                                                   const Machine& b) {
+    std::vector<NetworkSegment*> out;
+    for (auto& s : segments_) {
+        if (a.adapter_on(*s) != nullptr && b.adapter_on(*s) != nullptr)
+            out.push_back(s.get());
+    }
+    std::sort(out.begin(), out.end(),
+              [](NetworkSegment* x, NetworkSegment* y) {
+                  return attainable_mb(x->params()) > attainable_mb(y->params());
+              });
+    return out;
+}
+
+void run_spmd(Grid& grid, const std::vector<Machine*>& hosts,
+              const std::function<void(Process&, int rank, int size)>& body) {
+    const int size = static_cast<int>(hosts.size());
+    for (int rank = 0; rank < size; ++rank) {
+        grid.spawn(*hosts[rank],
+                   [body, rank, size](Process& p) { body(p, rank, size); });
+    }
+}
+
+} // namespace padico::fabric

@@ -1,0 +1,349 @@
+#pragma once
+/// \file grid.hpp
+/// The simulated computational grid: machines, network segments, adapters
+/// (NICs) and processes. This module substitutes for the paper's physical
+/// testbed. Each simulated process is a real std::thread; data really moves
+/// through adapter queues; time is virtual (see clock.hpp, netmodel.hpp).
+///
+/// Conflict semantics reproduce §4.3.1: SAN adapters (Myrinet/BIP, SCI) are
+/// exclusive — a single software owner per NIC. Opening one twice with
+/// different owner tags throws ResourceConflict. PadicoTM's arbitration
+/// layer is the component that opens each adapter once and multiplexes it.
+
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabric/busylist.hpp"
+#include "fabric/clock.hpp"
+#include "fabric/netmodel.hpp"
+#include "fabric/packet.hpp"
+#include "osal/queue.hpp"
+#include "util/error.hpp"
+
+namespace padico::fabric {
+
+class Machine;
+class NetworkSegment;
+class Adapter;
+class Port;
+class Process;
+class Grid;
+
+/// One NIC endpoint opened by a process. Owns the receive queue.
+class Port {
+public:
+    Port(const Port&) = delete;
+    Port& operator=(const Port&) = delete;
+
+    Adapter& adapter() noexcept { return *adapter_; }
+    Process& owner() noexcept { return *owner_; }
+
+    /// Transmit \p payload to process \p dst on this segment.
+    /// \p sender_now is the sender's current virtual time; the return value
+    /// is the virtual time at which the send completes on the sender side
+    /// (synchronous submission at wire rate). The packet is stamped with
+    /// its modeled delivery time and enqueued at the destination port.
+    SimTime send(ProcessId dst, ChannelId channel, util::Message payload,
+                 SimTime sender_now, std::uint32_t flags = 0);
+
+    /// Blocking receive of the next packet, in enqueue order.
+    /// Returns nullopt once the port is closed and drained.
+    std::optional<Packet> recv();
+
+    /// Non-blocking receive.
+    std::optional<Packet> try_recv();
+
+    /// Blocking receive of the next packet on a specific channel.
+    std::optional<Packet> recv_on(ChannelId channel);
+
+    /// Blocking receive of the next packet on \p channel from \p src.
+    std::optional<Packet> recv_from(ProcessId src, ChannelId channel);
+
+    /// Non-blocking variant of recv_from.
+    std::optional<Packet> try_recv_from(ProcessId src, ChannelId channel);
+
+    std::size_t pending() const { return rx_.size(); }
+
+    /// Stop delivery: wakes all blocked receivers, which drain remaining
+    /// packets and then observe end-of-stream. Used for ordered shutdown of
+    /// progression threads before the port is released.
+    void close_rx() { rx_.close(); }
+
+private:
+    friend class Adapter;
+    Port(Adapter& a, Process& p) : adapter_(&a), owner_(&p) {}
+
+    Adapter* adapter_;
+    Process* owner_;
+    std::string owner_tag_;
+    int refcount_ = 0;
+    osal::BlockingQueue<Packet> rx_;
+};
+
+/// RAII handle returned by Adapter::open; releases on destruction.
+class PortRef {
+public:
+    PortRef() = default;
+    PortRef(Adapter* a, Port* p) : adapter_(a), port_(p) {}
+    PortRef(PortRef&& o) noexcept { swap(o); }
+    PortRef& operator=(PortRef&& o) noexcept {
+        release();
+        swap(o);
+        return *this;
+    }
+    PortRef(const PortRef&) = delete;
+    PortRef& operator=(const PortRef&) = delete;
+    ~PortRef() { release(); }
+
+    explicit operator bool() const noexcept { return port_ != nullptr; }
+    Port* operator->() const noexcept { return port_; }
+    Port& operator*() const noexcept { return *port_; }
+    Port* get() const noexcept { return port_; }
+
+    void release();
+
+private:
+    void swap(PortRef& o) noexcept {
+        std::swap(adapter_, o.adapter_);
+        std::swap(port_, o.port_);
+    }
+    Adapter* adapter_ = nullptr;
+    Port* port_ = nullptr;
+};
+
+/// A NIC: the attachment of one machine to one network segment.
+class Adapter {
+public:
+    Adapter(Machine& m, NetworkSegment& s) : machine_(&m), segment_(&s) {}
+    Adapter(const Adapter&) = delete;
+    Adapter& operator=(const Adapter&) = delete;
+
+    Machine& machine() noexcept { return *machine_; }
+    NetworkSegment& segment() noexcept { return *segment_; }
+
+    /// Open the NIC for \p owner_tag (the name of the software component
+    /// taking control, e.g. "mpich-raw" or "padicotm"). On an exclusive
+    /// segment, a second open by a *different* tag or process throws
+    /// ResourceConflict — this is the raw-driver conflict PadicoTM solves.
+    PortRef open(Process& p, const std::string& owner_tag);
+
+    /// Current owner tag, empty if unopened (for diagnostics/tests).
+    std::string owner_tag() const;
+
+    bool is_open() const;
+
+private:
+    friend class Port;
+    friend class PortRef;
+    friend class NetworkSegment;
+
+    void release(Port* port);
+
+    Machine* machine_;
+    NetworkSegment* segment_;
+    mutable std::mutex mu_;
+    std::map<ProcessId, std::unique_ptr<Port>> ports_;
+    // Modeled hardware timing state (guarded by the segment's time mutex).
+    BusyList tx_busy_;
+    BusyList rx_busy_;
+};
+
+/// A physical network: a set of adapters plus the link cost model.
+class NetworkSegment {
+public:
+    NetworkSegment(Grid& g, std::string name, LinkParams params)
+        : grid_(&g), name_(std::move(name)), params_(params) {}
+    NetworkSegment(const NetworkSegment&) = delete;
+    NetworkSegment& operator=(const NetworkSegment&) = delete;
+
+    const std::string& name() const noexcept { return name_; }
+    const LinkParams& params() const noexcept { return params_; }
+    Grid& grid() noexcept { return *grid_; }
+
+    /// Technology class, when the segment was built from one.
+    std::optional<NetTech> tech() const noexcept { return tech_; }
+    void set_tech(NetTech t) noexcept { tech_ = t; }
+
+    /// Mark this segment as crossing untrusted infrastructure (paper §2
+    /// "communication security"); WANs default to insecure already.
+    void set_secure(bool secure) { params_.secure = secure; }
+
+    /// The port of process \p pid on this segment, or nullptr.
+    Port* port_for(ProcessId pid);
+
+    /// Like port_for, but when the process's machine IS attached to this
+    /// segment, blocks until the process opens its port (processes boot
+    /// asynchronously; a sender may race a slower peer's startup). Returns
+    /// nullptr only when the peer is topologically unreachable.
+    Port* wait_port_for(ProcessId pid);
+
+private:
+    friend class Adapter;
+    friend class Port;
+    friend class Grid;
+
+    Grid* grid_;
+    std::string name_;
+    LinkParams params_;
+    std::optional<NetTech> tech_;
+    std::mutex route_mu_;
+    std::condition_variable route_cv_;
+    std::map<ProcessId, Port*> routes_;
+    std::mutex time_mu_; ///< serializes timing bookkeeping on this segment
+};
+
+/// A host in the grid.
+class Machine {
+public:
+    Machine(Grid& g, std::string name, int cpus)
+        : grid_(&g), name_(std::move(name)), cpus_(cpus) {}
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    const std::string& name() const noexcept { return name_; }
+    int cpus() const noexcept { return cpus_; }
+    Grid& grid() noexcept { return *grid_; }
+
+    /// Free-form attributes used by discovery (owner=companyX, site=rennes).
+    void set_attr(const std::string& key, const std::string& value) {
+        attrs_[key] = value;
+    }
+    std::string attr_or(const std::string& key, const std::string& dflt) const {
+        auto it = attrs_.find(key);
+        return it == attrs_.end() ? dflt : it->second;
+    }
+    const std::map<std::string, std::string>& attrs() const noexcept {
+        return attrs_;
+    }
+
+    const std::vector<Adapter*>& adapters() const noexcept { return adapters_; }
+
+    /// NIC of this machine on \p seg, or nullptr if not attached.
+    Adapter* adapter_on(const NetworkSegment& seg) const;
+
+private:
+    friend class Grid;
+    Grid* grid_;
+    std::string name_;
+    int cpus_;
+    std::map<std::string, std::string> attrs_;
+    std::vector<Adapter*> adapters_;
+};
+
+/// A simulated OS process: a thread with a virtual clock, running on a
+/// machine. All Padico layers take the Process as their execution context.
+class Process {
+public:
+    ProcessId id() const noexcept { return id_; }
+    Machine& machine() noexcept { return *machine_; }
+    const Machine& machine() const noexcept { return *machine_; }
+    Grid& grid() noexcept;
+    VirtualClock& clock() noexcept { return clock_; }
+
+    /// Charge \p d of local computation to the virtual clock.
+    void compute(SimTime d) { clock_.advance(d); }
+    SimTime now() const noexcept { return clock_.now(); }
+
+    std::string name() const;
+
+    /// The process bound to the calling thread (set by Grid::spawn).
+    static Process& current();
+    static Process* current_or_null() noexcept;
+
+    /// Bind the calling thread to \p p (nullptr to unbind). Worker threads
+    /// spawned by middleware (ORB connection workers, progression loops)
+    /// belong to the process that created them and must call this so that
+    /// Process::current() works there too.
+    static void bind_to_thread(Process* p) noexcept;
+
+private:
+    friend class Grid;
+    Process(Grid& g, Machine& m, ProcessId id)
+        : grid_(&g), machine_(&m), id_(id) {}
+
+    Grid* grid_;
+    Machine* machine_;
+    ProcessId id_;
+    VirtualClock clock_;
+    std::thread thread_;
+    std::exception_ptr failure_;
+};
+
+/// The whole simulated grid plus its bootstrap name service.
+class Grid {
+public:
+    Grid() = default;
+    ~Grid();
+    Grid(const Grid&) = delete;
+    Grid& operator=(const Grid&) = delete;
+
+    // --- topology construction -----------------------------------------
+    Machine& add_machine(const std::string& name, int cpus = 2);
+    NetworkSegment& add_segment(const std::string& name, NetTech tech);
+    NetworkSegment& add_segment(const std::string& name, LinkParams params);
+    Adapter& attach(Machine& m, NetworkSegment& s);
+
+    Machine& machine(const std::string& name);
+    NetworkSegment& segment(const std::string& name);
+    const std::vector<std::unique_ptr<Machine>>& machines() const noexcept {
+        return machines_;
+    }
+
+    // --- processes -------------------------------------------------------
+    /// Start a process on \p m running \p body on its own thread.
+    Process& spawn(Machine& m, std::function<void(Process&)> body);
+
+    /// Join every spawned process; rethrows the first failure, if any.
+    void join_all();
+
+    Process& process(ProcessId id);
+
+    /// Like process(), but blocks until a process with that id has been
+    /// spawned (peers boot asynchronously).
+    Process& wait_process(ProcessId id);
+
+    // --- bootstrap name service ------------------------------------------
+    /// Stable id for a named logical channel (grid-wide agreement).
+    ChannelId channel_id(const std::string& name);
+
+    /// Publish/lookup service endpoints (host:port analogue).
+    void register_service(const std::string& name, ProcessId pid);
+    /// Blocks until the service is registered.
+    ProcessId wait_service(const std::string& name);
+    std::optional<ProcessId> try_lookup(const std::string& name);
+
+    // --- topology queries --------------------------------------------------
+    /// Segments both machines are attached to, best (highest attainable
+    /// bandwidth) first. Empty when the machines share no network.
+    std::vector<NetworkSegment*> common_segments(const Machine& a,
+                                                 const Machine& b);
+
+private:
+    std::vector<std::unique_ptr<Machine>> machines_;
+    std::vector<std::unique_ptr<NetworkSegment>> segments_;
+    std::vector<std::unique_ptr<Adapter>> adapters_;
+
+    mutable std::mutex proc_mu_;
+    std::condition_variable proc_cv_;
+    std::vector<std::unique_ptr<Process>> processes_;
+
+    std::mutex name_mu_;
+    std::condition_variable name_cv_;
+    std::map<std::string, ChannelId> channels_;
+    ChannelId next_channel_ = 1;
+    std::map<std::string, ProcessId> services_;
+};
+
+/// Convenience: spawn one process per entry of \p hosts, passing SPMD rank
+/// and size to the body; processes are joined by grid.join_all().
+void run_spmd(Grid& grid, const std::vector<Machine*>& hosts,
+              const std::function<void(Process&, int rank, int size)>& body);
+
+} // namespace padico::fabric

@@ -1,0 +1,78 @@
+#include "fabric/netmodel.hpp"
+
+#include "util/error.hpp"
+
+namespace padico::fabric {
+
+LinkParams default_params(NetTech tech) {
+    LinkParams p;
+    switch (tech) {
+    case NetTech::Myrinet2000:
+        // 250 MB/s links; the paper reports 96% attainable (240 MB/s).
+        p.bandwidth_mb = 250.0;
+        p.efficiency = 0.96;
+        p.latency = usec(7.0);
+        p.exclusive_open = true; // BIP/GM: one owner per NIC
+        p.secure = true;         // private SAN inside a machine room
+        p.paradigm = Paradigm::Parallel;
+        return p;
+    case NetTech::Sci:
+        p.bandwidth_mb = 160.0;
+        p.efficiency = 0.85;
+        p.latency = usec(4.0);
+        p.exclusive_open = true; // limited non-shareable mappings
+        p.secure = true;
+        p.paradigm = Paradigm::Parallel;
+        return p;
+    case NetTech::FastEthernet:
+        // 100 Mb/s = 12.5 MB/s raw; ~11.2 MB/s attainable over TCP.
+        p.bandwidth_mb = 12.5;
+        p.efficiency = 0.9;
+        p.latency = usec(60.0);
+        p.exclusive_open = false; // the OS socket stack multiplexes
+        p.secure = true;          // switched LAN inside one site
+        p.paradigm = Paradigm::Distributed;
+        return p;
+    case NetTech::GigabitEthernet:
+        p.bandwidth_mb = 125.0;
+        p.efficiency = 0.85;
+        p.latency = usec(35.0);
+        p.exclusive_open = false;
+        p.secure = true;
+        p.paradigm = Paradigm::Distributed;
+        return p;
+    case NetTech::Wan:
+        // Era academic WAN: a few MB/s, millisecond latency, untrusted.
+        p.bandwidth_mb = 4.0;
+        p.efficiency = 0.9;
+        p.latency = msec(5.0);
+        p.exclusive_open = false;
+        p.secure = false;
+        p.paradigm = Paradigm::Distributed;
+        return p;
+    }
+    throw UsageError("unknown network technology");
+}
+
+const char* tech_name(NetTech tech) {
+    switch (tech) {
+    case NetTech::Myrinet2000: return "Myrinet-2000";
+    case NetTech::Sci: return "SCI";
+    case NetTech::FastEthernet: return "Fast-Ethernet";
+    case NetTech::GigabitEthernet: return "Gigabit-Ethernet";
+    case NetTech::Wan: return "WAN";
+    }
+    return "?";
+}
+
+SimTime one_way_time(const LinkParams& link, const StackCosts& stack,
+                     std::uint64_t bytes) {
+    const SimTime wire = transfer_time(bytes, attainable_mb(link));
+    const SimTime cpu =
+        stack.per_msg_send + stack.per_msg_recv +
+        static_cast<SimTime>(static_cast<double>(bytes) *
+                             (stack.per_byte_send_ns + stack.per_byte_recv_ns));
+    return link.latency + wire + cpu;
+}
+
+} // namespace padico::fabric

@@ -1,0 +1,74 @@
+#pragma once
+/// \file netmodel.hpp
+/// Calibrated cost model for the simulated networks and for the software
+/// stacks of the middleware implementations the paper measured.
+///
+/// The hardware numbers reproduce the paper's testbed (dual-PIII 1 GHz,
+/// Myrinet-2000, switched Fast-Ethernet, Linux 2.2); the software numbers
+/// are reverse-engineered from the paper's own measurements (§4.4):
+///
+///   peak_bw(stack) = 1 / (1/(hw_bw*eff) + per_byte_cpu)
+///   latency(stack) = hw_latency + per_msg_cpu
+///
+/// e.g. Mico on Myrinet: 1/(1/240 + 14.0e-3 us/B) = 55 MB/s  (paper: 55)
+///      Mico on TCP/Eth-100: 1/(1/11.25 + 14.0e-3)  = 9.7 MB/s (paper: 9.8)
+
+#include <cstdint>
+#include <string>
+
+#include "util/simtime.hpp"
+
+namespace padico::fabric {
+
+/// Network technology classes (paper §1: WAN, LAN or SAN).
+enum class NetTech { Myrinet2000, Sci, FastEthernet, GigabitEthernet, Wan };
+
+/// Paradigm the hardware is best used with (paper §4.3.1: "each type of
+/// network is used with the most appropriate paradigm").
+enum class Paradigm { Parallel, Distributed };
+
+/// Hardware parameters of one network segment.
+struct LinkParams {
+    double bandwidth_mb = 0.0;  ///< raw link bandwidth, MB/s
+    double efficiency = 1.0;    ///< attainable fraction with a perfect stack
+    SimTime latency = 0;        ///< one-way hardware latency
+    bool exclusive_open = false;///< NIC usable by a single owner (BIP/GM)
+    bool secure = true;         ///< physically private network?
+    Paradigm paradigm = Paradigm::Distributed;
+};
+
+/// Canonical parameters for a technology.
+LinkParams default_params(NetTech tech);
+
+const char* tech_name(NetTech tech);
+
+/// Effective wire bandwidth (MB/s) a perfect software stack can reach.
+inline double attainable_mb(const LinkParams& p) {
+    return p.bandwidth_mb * p.efficiency;
+}
+
+/// Era host memory copy bandwidth (PIII-1GHz class), MB/s. Marshalling
+/// copies of copying ORBs are charged at this rate.
+inline constexpr double kMemcpyMB = 350.0;
+
+/// Per-byte cost of n memcpy passes, in ns/byte.
+inline constexpr double copy_ns_per_byte(double n_copies) {
+    return n_copies * 1e3 / kMemcpyMB;
+}
+
+/// Software cost profile of one protocol stack / middleware implementation
+/// on top of PadicoTM. per_msg costs are charged once per message on the
+/// relevant side; per_byte costs are charged proportionally to payload.
+struct StackCosts {
+    std::string name;
+    SimTime per_msg_send = 0;   ///< sender software overhead per message
+    SimTime per_msg_recv = 0;   ///< receiver software overhead per message
+    double per_byte_send_ns = 0;///< marshalling cost (copies), ns/byte
+    double per_byte_recv_ns = 0;///< unmarshalling cost (copies), ns/byte
+};
+
+/// Total modeled one-way time for a message of \p bytes over a link.
+SimTime one_way_time(const LinkParams& link, const StackCosts& stack,
+                     std::uint64_t bytes);
+
+} // namespace padico::fabric

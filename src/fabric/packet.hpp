@@ -1,0 +1,36 @@
+#pragma once
+/// \file packet.hpp
+/// The unit of delivery on a simulated adapter.
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/simtime.hpp"
+
+namespace padico::fabric {
+
+/// Grid-wide process identifier.
+using ProcessId = std::uint32_t;
+inline constexpr ProcessId kNoProcess = 0xffffffffu;
+
+/// Logical channel id; allocation is coordinated through Grid::channel_id.
+using ChannelId = std::uint64_t;
+
+class NetworkSegment;
+
+/// Flag bits carried by packets (interpreted by the layers above).
+enum PacketFlags : std::uint32_t {
+    kFlagEncrypted = 1u << 0, ///< payload scrambled by the security personality
+};
+
+struct Packet {
+    ChannelId channel = 0;
+    ProcessId src = kNoProcess;
+    ProcessId dst = kNoProcess;
+    SimTime deliver_time = 0; ///< modeled arrival (last byte received)
+    std::uint32_t flags = 0;
+    NetworkSegment* via = nullptr; ///< segment the packet traveled on
+    util::Message payload;
+};
+
+} // namespace padico::fabric

@@ -1,0 +1,73 @@
+#include "fabric/registry.hpp"
+
+#include "util/strings.hpp"
+#include "util/xml.hpp"
+
+namespace padico::fabric {
+
+namespace {
+
+bool machine_matches(Grid& grid, Machine& m, const MachineQuery& q) {
+    (void)grid;
+    if (m.cpus() < q.min_cpus) return false;
+    for (const auto& [key, value] : q.attrs) {
+        if (m.attr_or(key, "") != value) return false;
+    }
+    if (q.network) {
+        bool found = false;
+        for (Adapter* a : m.adapters())
+            if (a->segment().tech() == *q.network) found = true;
+        if (!found) return false;
+    }
+    if (q.min_bandwidth_mb > 0.0) {
+        bool found = false;
+        for (Adapter* a : m.adapters())
+            if (attainable_mb(a->segment().params()) >= q.min_bandwidth_mb)
+                found = true;
+        if (!found) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<Machine*> discover(Grid& grid, const MachineQuery& query) {
+    std::vector<Machine*> out;
+    for (const auto& m : grid.machines())
+        if (machine_matches(grid, *m, query)) out.push_back(m.get());
+    return out;
+}
+
+NetTech parse_tech(const std::string& name) {
+    if (name == "myrinet2000" || name == "myrinet") return NetTech::Myrinet2000;
+    if (name == "sci") return NetTech::Sci;
+    if (name == "fast-ethernet" || name == "ethernet100")
+        return NetTech::FastEthernet;
+    if (name == "gigabit-ethernet") return NetTech::GigabitEthernet;
+    if (name == "wan") return NetTech::Wan;
+    throw UsageError("unknown network technology '" + name + "'");
+}
+
+void build_grid_from_xml(Grid& grid, const std::string& xml_text) {
+    const auto root = util::xml_parse(xml_text);
+    PADICO_WIRE_CHECK(root->name() == "grid", "topology root must be <grid>");
+
+    for (const auto& seg : root->children_named("segment")) {
+        NetworkSegment& s =
+            grid.add_segment(seg->attr("name"), parse_tech(seg->attr("tech")));
+        if (seg->has_attr("secure"))
+            s.set_secure(seg->attr("secure") == "true");
+    }
+    for (const auto& mx : root->children_named("machine")) {
+        const int cpus =
+            static_cast<int>(util::parse_uint(mx->attr_or("cpus", "2")));
+        Machine& m = grid.add_machine(mx->attr("name"), cpus);
+        for (const auto& [key, value] : mx->attrs()) {
+            if (key != "name" && key != "cpus") m.set_attr(key, value);
+        }
+        for (const auto& at : mx->children_named("attach"))
+            grid.attach(m, grid.segment(at->attr("segment")));
+    }
+}
+
+} // namespace padico::fabric

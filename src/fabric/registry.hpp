@@ -1,0 +1,48 @@
+#pragma once
+/// \file registry.hpp
+/// Grid information service: machine discovery by attributes and a grid
+/// topology builder from an XML description. Covers the paper's §2 use
+/// cases "deployment: machine discovery" (features of the machines are not
+/// known statically — query them) and "localization constraints" (company X
+/// code must stay on company X machines).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/grid.hpp"
+
+namespace padico::fabric {
+
+/// A discovery query: all clauses must hold.
+struct MachineQuery {
+    /// Required attribute values, e.g. {"owner","companyX"}.
+    std::vector<std::pair<std::string, std::string>> attrs;
+    /// Machine must be attached to a segment of this technology.
+    std::optional<NetTech> network;
+    /// Machine must be attached to a segment with at least this attainable
+    /// bandwidth (MB/s).
+    double min_bandwidth_mb = 0.0;
+    int min_cpus = 1;
+};
+
+/// All machines of \p grid satisfying \p query, in declaration order.
+std::vector<Machine*> discover(Grid& grid, const MachineQuery& query);
+
+/// Build topology from XML:
+///
+///   <grid>
+///     <segment name="myri0" tech="myrinet2000" secure="true"/>
+///     <machine name="node0" cpus="2" owner="inria">
+///       <attach segment="myri0"/>
+///     </machine>
+///   </grid>
+///
+/// Unknown machine attributes become discovery attributes. Technologies:
+/// myrinet2000, sci, fast-ethernet, gigabit-ethernet, wan.
+void build_grid_from_xml(Grid& grid, const std::string& xml_text);
+
+/// Parse a technology name as used in topology XML.
+NetTech parse_tech(const std::string& name);
+
+} // namespace padico::fabric

@@ -1,0 +1,105 @@
+#include "gridccm/component.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace padico::gridccm {
+
+void ParallelComponent::declare_parallel_facet(
+    const std::string& xml, std::map<std::string, OpHandler> handlers) {
+    PFacet f;
+    f.desc = ParallelFacetDesc::parse(xml);
+    PADICO_CHECK(f.desc.component == type(),
+                 "descriptor is for component '" + f.desc.component +
+                     "', not '" + type() + "'");
+    f.handlers = std::move(handlers);
+    pfacets_.push_back(std::move(f));
+}
+
+void ParallelComponent::configuration_complete() {
+    auto& ctx = context();
+    PADICO_CHECK(ctx.orb != nullptr && ctx.runtime != nullptr,
+                 "parallel component used outside a container");
+
+    // Member topology injected by the deployer.
+    std::string job = "solo/" + type();
+    if (has_attribute("gridccm.size")) {
+        rank_ = static_cast<int>(
+            util::parse_uint(attribute("gridccm.rank")));
+        size_ = static_cast<int>(
+            util::parse_uint(attribute("gridccm.size")));
+        job = attribute("gridccm.name");
+        std::vector<fabric::ProcessId> members;
+        for (const auto& p : util::split(attribute("gridccm.members"), ','))
+            members.push_back(
+                static_cast<fabric::ProcessId>(util::parse_uint(p)));
+        PADICO_CHECK(static_cast<int>(members.size()) == size_,
+                     "member list does not match gridccm.size");
+        world_ = mpi::World::create(*ctx.runtime, "pcomp/" + job,
+                                    std::move(members));
+    }
+
+    PLOG(debug, "gridccm") << type() << " member " << rank_ << "/" << size_
+                           << ": world up, initializing";
+    parallel_initialize();
+
+    // Publish each declared parallel facet.
+    for (auto& f : pfacets_) {
+        f.desc.members = size_;
+        f.skeleton = std::make_shared<ParallelSkeleton>(
+            f.desc, rank_, member_comm(), f.handlers);
+        const corba::IOR skel_ior = ctx.orb->activate(f.skeleton);
+        PLOG(debug, "gridccm") << type() << " member " << rank_
+                               << ": skeleton for '" << f.desc.facet
+                               << "' active, gathering member refs";
+
+        // Gather member skeleton IORs on member 0, which hosts the home.
+        std::vector<corba::IOR> member_refs;
+        if (size_ == 1) {
+            member_refs.push_back(skel_ior);
+        } else {
+            mpi::Comm& comm = *member_comm();
+            const int tag = 77; // fixed bootstrap tag, one use per facet
+            if (rank_ == 0) {
+                member_refs.resize(static_cast<std::size_t>(size_));
+                member_refs[0] = skel_ior;
+                for (int r = 1; r < size_; ++r) {
+                    mpi::Status st;
+                    util::Message m = comm.recv_msg(r, tag, &st);
+                    member_refs[static_cast<std::size_t>(r)] =
+                        corba::IOR::from_string(
+                            corba::cdr::decode_one<std::string>(
+                                std::move(m)));
+                }
+            } else {
+                comm.send_msg(
+                    corba::cdr::encode(true, skel_ior.to_string()), 0, tag);
+            }
+        }
+        PLOG(debug, "gridccm") << type() << " member " << rank_
+                               << ": member refs gathered";
+
+        if (rank_ == 0) {
+            ParallelFacetDesc published = f.desc;
+            published.member_refs = std::move(member_refs);
+            provide_facet(f.desc.facet + ".parallel",
+                          std::make_shared<ParallelHomeServant>(published));
+            PLOG(info, "gridccm")
+                << type() << ": published parallel facet '" << f.desc.facet
+                << "' with " << size_ << " member(s)";
+        }
+    }
+}
+
+std::shared_ptr<ParallelStub> ParallelComponent::bind_parallel(
+    const std::string& receptacle_name, Distribution client_dist) {
+    const corba::IOR home = receptacle(receptacle_name).ior();
+    auto& orb = *context().orb;
+    if (world_) {
+        return std::make_shared<ParallelStub>(orb, world_->world(), home,
+                                              client_dist);
+    }
+    return std::make_shared<ParallelStub>(orb, home);
+}
+
+} // namespace padico::gridccm

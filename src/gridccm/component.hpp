@@ -1,0 +1,67 @@
+#pragma once
+/// \file component.hpp
+/// ParallelComponent: the GridCCM programming model for component authors
+/// (paper §4.2.1, Fig. 3). A parallel component is an SPMD code whose
+/// members each run inside a CCM container on their own node; the members
+/// share an MPI communicator for intra-component communication and jointly
+/// expose *parallel facets* whose operations take distributed sequences.
+///
+/// The deployer transports the member topology through reserved attributes
+/// (gridccm.name/rank/size/members); at configuration_complete time the
+/// base class builds the member communicator, runs the user's
+/// parallel_initialize() hook, activates one ParallelSkeleton per parallel
+/// facet on every member, and publishes the ParallelHome on member 0 as
+/// facet "<facet>.parallel" — the proxy that hides the member nodes from
+/// other components.
+
+#include "ccm/component.hpp"
+#include "gridccm/stub.hpp"
+
+namespace padico::gridccm {
+
+class ParallelComponent : public ccm::Component {
+public:
+    int member_rank() const noexcept { return rank_; }
+    int member_size() const noexcept { return size_; }
+
+    /// The member communicator; null when the component was deployed with
+    /// a single member.
+    mpi::Comm* member_comm() noexcept {
+        return world_ ? &world_->world() : nullptr;
+    }
+
+    /// Builds the member world and publishes the parallel facets; calls
+    /// parallel_initialize() in between. Subclasses override
+    /// parallel_initialize(), not this.
+    void configuration_complete() final;
+
+protected:
+    /// User hook: the member communicator exists, facets are not yet
+    /// published.
+    virtual void parallel_initialize() {}
+
+    /// Declare a parallel facet from its XML parallelism description and
+    /// the operation implementations. Call from the constructor.
+    void declare_parallel_facet(const std::string& xml,
+                                std::map<std::string, OpHandler> handlers);
+
+    /// Bind a receptacle (wired by the deployer to a parallel home) as a
+    /// collective ParallelStub over the member group.
+    std::shared_ptr<ParallelStub> bind_parallel(
+        const std::string& receptacle_name,
+        Distribution client_dist = Distribution::block());
+
+private:
+    struct PFacet {
+        ParallelFacetDesc desc;
+        std::map<std::string, OpHandler> handlers;
+        std::shared_ptr<ParallelSkeleton> skeleton;
+    };
+
+    std::vector<PFacet> pfacets_;
+    std::shared_ptr<mpi::World> world_;
+    int rank_ = 0;
+    int size_ = 1;
+};
+
+} // namespace padico::gridccm

@@ -1,0 +1,86 @@
+#include "gridccm/descriptor.hpp"
+
+#include "util/strings.hpp"
+#include "util/xml.hpp"
+
+namespace padico::gridccm {
+
+const OpDesc& ParallelFacetDesc::op(const std::string& name) const {
+    for (const auto& o : ops)
+        if (o.name == name) return o;
+    throw LookupError("parallel facet '" + facet + "' has no operation '" +
+                      name + "'");
+}
+
+ParallelFacetDesc ParallelFacetDesc::parse(const std::string& xml_text) {
+    const auto root = util::xml_parse(xml_text);
+    PADICO_WIRE_CHECK(root->name() == "parallel-interface",
+                      "root must be <parallel-interface>");
+    ParallelFacetDesc d;
+    d.component = root->attr("component");
+    d.facet = root->attr("facet");
+    d.server_dist = Distribution::parse(root->attr_or("distribution",
+                                                      "block"));
+    for (const auto& opx : root->children_named("operation")) {
+        OpDesc op;
+        op.name = opx->attr("name");
+        op.arg_dist = Distribution::parse(opx->attr_or("argument", "block"));
+        op.collective = opx->attr_or("collective", "false") == "true";
+        const std::string res = opx->attr_or("result", "none");
+        if (res == "none") {
+            op.result_distributed = false;
+        } else {
+            // The result uses the server distribution on the way back.
+            op.result_distributed = true;
+            PADICO_WIRE_CHECK(res == "distributed" || res == "block" ||
+                                  res == "cyclic" ||
+                                  util::starts_with(res, "block-cyclic"),
+                              "bad result distribution '" + res + "'");
+        }
+        for (const auto& existing : d.ops)
+            PADICO_WIRE_CHECK(existing.name != op.name,
+                              "duplicate operation '" + op.name + "'");
+        d.ops.push_back(std::move(op));
+    }
+    PADICO_WIRE_CHECK(!d.ops.empty(),
+                      "parallel interface declares no operations");
+    return d;
+}
+
+void cdr_put(corba::cdr::Encoder& e, const OpDesc& v) {
+    e.put_string(v.name);
+    e.put_string(v.arg_dist.str());
+    e.put_bool(v.result_distributed);
+    e.put_bool(v.collective);
+}
+
+void cdr_get(corba::cdr::Decoder& d, OpDesc& v) {
+    v.name = d.get_string();
+    v.arg_dist = Distribution::parse(d.get_string());
+    v.result_distributed = d.get_bool();
+    v.collective = d.get_bool();
+}
+
+void cdr_put(corba::cdr::Encoder& e, const ParallelFacetDesc& v) {
+    e.put_string(v.component);
+    e.put_string(v.facet);
+    e.put_string(v.server_dist.str());
+    e.put_i32(v.members);
+    e.put_u32(static_cast<std::uint32_t>(v.member_refs.size()));
+    for (const auto& ior : v.member_refs) corba::cdr_put(e, ior);
+    e.put_u32(static_cast<std::uint32_t>(v.ops.size()));
+    for (const auto& op : v.ops) cdr_put(e, op);
+}
+
+void cdr_get(corba::cdr::Decoder& d, ParallelFacetDesc& v) {
+    v.component = d.get_string();
+    v.facet = d.get_string();
+    v.server_dist = Distribution::parse(d.get_string());
+    v.members = d.get_i32();
+    v.member_refs.resize(d.get_u32());
+    for (auto& ior : v.member_refs) corba::cdr_get(d, ior);
+    v.ops.resize(d.get_u32());
+    for (auto& op : v.ops) cdr_get(d, op);
+}
+
+} // namespace padico::gridccm

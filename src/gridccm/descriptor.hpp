@@ -1,0 +1,59 @@
+#pragma once
+/// \file descriptor.hpp
+/// The GridCCM parallelism description (paper §4.2.2, Fig. 5): alongside
+/// the IDL of a component, an XML document declares which facet operations
+/// take distributed arguments and how they are distributed. The paper's
+/// GridCCM compiler consumes IDL + this XML and generates the interception
+/// layer; in this reproduction the descriptor is interpreted at runtime by
+/// the generic ParallelStub/ParallelSkeleton pair (documented substitution
+/// — same information, no code generation step).
+///
+///   <parallel-interface component="Chemistry" facet="sim"
+///                       distribution="block">
+///     <operation name="setField" argument="block" result="block"/>
+///     <operation name="norm" argument="block" result="none"/>
+///   </parallel-interface>
+
+#include "corba/orb.hpp"
+#include "gridccm/distribution.hpp"
+
+namespace padico::gridccm {
+
+/// One parallel operation of a facet.
+struct OpDesc {
+    std::string name;
+    Distribution arg_dist = Distribution::block();
+    /// True: the result is a sequence of the same global length as the
+    /// argument, distributed back to the callers. False: void result.
+    bool result_distributed = false;
+    /// True: the operation body runs member collectives (e.g. MPI
+    /// barriers), so EVERY member must observe every invocation even when
+    /// the data layout leaves it without a fragment. Declared in XML as
+    /// collective="true".
+    bool collective = false;
+};
+
+/// A parallel facet of a parallel component.
+struct ParallelFacetDesc {
+    std::string component; ///< component type name
+    std::string facet;
+    Distribution server_dist = Distribution::block();
+    std::vector<OpDesc> ops;
+
+    // Filled in at publication time (runtime information):
+    int members = 0;                      ///< number of member nodes
+    std::vector<corba::IOR> member_refs;  ///< per-member skeleton IORs
+
+    const OpDesc& op(const std::string& name) const;
+
+    /// Parse the static part from XML.
+    static ParallelFacetDesc parse(const std::string& xml_text);
+};
+
+// CDR marshalling (the descriptor travels in the home's "describe" reply).
+void cdr_put(corba::cdr::Encoder& e, const OpDesc& v);
+void cdr_get(corba::cdr::Decoder& d, OpDesc& v);
+void cdr_put(corba::cdr::Encoder& e, const ParallelFacetDesc& v);
+void cdr_get(corba::cdr::Decoder& d, ParallelFacetDesc& v);
+
+} // namespace padico::gridccm

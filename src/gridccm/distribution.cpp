@@ -1,0 +1,215 @@
+#include "gridccm/distribution.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace padico::gridccm {
+
+// ---------------------------------------------------------------------------
+// Distribution
+
+Distribution Distribution::parse(const std::string& s) {
+    if (s == "block") return block();
+    if (s == "cyclic") return cyclic();
+    if (util::starts_with(s, "block-cyclic:"))
+        return block_cyclic(util::parse_uint(s.substr(13)));
+    if (util::starts_with(s, "block-rows:"))
+        return block_rows(util::parse_uint(s.substr(11)));
+    throw UsageError("unknown distribution '" + s + "'");
+}
+
+std::string Distribution::str() const {
+    switch (kind) {
+    case Kind::Block: return "block";
+    case Kind::Cyclic: return "cyclic";
+    case Kind::BlockCyclic:
+        return "block-cyclic:" + std::to_string(grain);
+    case Kind::BlockRows:
+        return "block-rows:" + std::to_string(grain);
+    }
+    return "?";
+}
+
+namespace {
+
+/// Block distribution bounds: first `len % n` ranks get one extra element.
+Interval block_interval(int rank, int nranks, std::size_t len) {
+    const std::size_t n = static_cast<std::size_t>(nranks);
+    const std::size_t r = static_cast<std::size_t>(rank);
+    const std::size_t base = len / n;
+    const std::size_t extra = len % n;
+    const std::size_t lo = r * base + std::min(r, extra);
+    const std::size_t size = base + (r < extra ? 1 : 0);
+    return Interval{lo, lo + size};
+}
+
+/// Inverse of block_interval: owner of index \p g.
+int block_owner(std::size_t g, int nranks, std::size_t len) {
+    const std::size_t n = static_cast<std::size_t>(nranks);
+    const std::size_t base = len / n;
+    const std::size_t extra = len % n;
+    const std::size_t pivot = extra * (base + 1);
+    if (g < pivot) return static_cast<int>(g / (base + 1));
+    PADICO_CHECK(base > 0, "internal: pivot covers all");
+    return static_cast<int>(extra + (g - pivot) / base);
+}
+
+} // namespace
+
+std::vector<Interval> Distribution::intervals(int rank, int nranks,
+                                              std::size_t len) const {
+    PADICO_CHECK(nranks >= 1 && rank >= 0 && rank < nranks,
+                 "bad rank/nranks");
+    std::vector<Interval> out;
+    switch (kind) {
+    case Kind::Block: {
+        const Interval iv = block_interval(rank, nranks, len);
+        if (!iv.empty()) out.push_back(iv);
+        return out;
+    }
+    case Kind::BlockRows: {
+        // Whole rows of width `grain`, block-divided over ranks; the
+        // element range of a rank is one contiguous interval.
+        PADICO_CHECK(len % grain == 0,
+                     "sequence length is not a whole number of rows");
+        const Interval rows = block_interval(rank, nranks, len / grain);
+        if (!rows.empty())
+            out.push_back(Interval{rows.lo * grain, rows.hi * grain});
+        return out;
+    }
+    case Kind::Cyclic:
+    case Kind::BlockCyclic: {
+        const std::size_t g = kind == Kind::Cyclic ? 1 : grain;
+        const std::size_t stride = g * static_cast<std::size_t>(nranks);
+        for (std::size_t start = g * static_cast<std::size_t>(rank);
+             start < len; start += stride) {
+            out.push_back(Interval{start, std::min(start + g, len)});
+        }
+        return out;
+    }
+    }
+    throw UsageError("bad distribution kind");
+}
+
+std::size_t Distribution::local_size(int rank, int nranks,
+                                     std::size_t len) const {
+    std::size_t total = 0;
+    for (const auto& iv : intervals(rank, nranks, len)) total += iv.size();
+    return total;
+}
+
+int Distribution::owner(std::size_t g, int nranks, std::size_t len) const {
+    PADICO_CHECK(g < len, "index out of range");
+    switch (kind) {
+    case Kind::Block:
+        return block_owner(g, nranks, len);
+    case Kind::BlockRows:
+        PADICO_CHECK(len % grain == 0,
+                     "sequence length is not a whole number of rows");
+        return block_owner(g / grain, nranks, len / grain);
+    case Kind::Cyclic:
+        return static_cast<int>(g % static_cast<std::size_t>(nranks));
+    case Kind::BlockCyclic:
+        return static_cast<int>((g / grain) % static_cast<std::size_t>(nranks));
+    }
+    throw UsageError("bad distribution kind");
+}
+
+std::size_t Distribution::global_to_local(std::size_t g, int rank,
+                                          int nranks,
+                                          std::size_t len) const {
+    std::size_t local = 0;
+    for (const auto& iv : intervals(rank, nranks, len)) {
+        if (g >= iv.lo && g < iv.hi) return local + (g - iv.lo);
+        local += iv.size();
+    }
+    throw UsageError("global index not owned by rank");
+}
+
+// ---------------------------------------------------------------------------
+// RedistPlan
+
+std::vector<Fragment> RedistPlan::from(int src_rank) const {
+    std::vector<Fragment> out;
+    for (const auto& f : fragments)
+        if (f.src == src_rank) out.push_back(f);
+    return out;
+}
+
+std::vector<Fragment> RedistPlan::to(int dst_rank) const {
+    std::vector<Fragment> out;
+    for (const auto& f : fragments)
+        if (f.dst == dst_rank) out.push_back(f);
+    return out;
+}
+
+std::vector<int> RedistPlan::targets_of(int src_rank) const {
+    std::vector<int> out;
+    for (const auto& f : fragments) {
+        if (f.src == src_rank &&
+            std::find(out.begin(), out.end(), f.dst) == out.end())
+            out.push_back(f.dst);
+    }
+    return out;
+}
+
+std::size_t RedistPlan::total() const {
+    std::size_t t = 0;
+    for (const auto& f : fragments) t += f.len;
+    return t;
+}
+
+RedistPlan compute_plan(const Distribution& src_dist, int n_src,
+                        const Distribution& dst_dist, int n_dst,
+                        std::size_t len) {
+    PADICO_CHECK(n_src >= 1 && n_dst >= 1, "need at least one rank per side");
+    RedistPlan plan;
+    plan.len = len;
+    plan.n_src = n_src;
+    plan.n_dst = n_dst;
+
+    // Precompute destination interval lists with local prefix offsets.
+    struct DstIv {
+        Interval iv;
+        int rank;
+        std::size_t local_off; // of iv.lo in dst's local vector
+    };
+    std::vector<DstIv> dst_ivs;
+    for (int d = 0; d < n_dst; ++d) {
+        std::size_t local = 0;
+        for (const auto& iv : dst_dist.intervals(d, n_dst, len)) {
+            dst_ivs.push_back(DstIv{iv, d, local});
+            local += iv.size();
+        }
+    }
+    std::sort(dst_ivs.begin(), dst_ivs.end(),
+              [](const DstIv& a, const DstIv& b) { return a.iv.lo < b.iv.lo; });
+
+    // Walk each source interval, intersecting with destination intervals.
+    for (int s = 0; s < n_src; ++s) {
+        std::size_t src_local = 0;
+        for (const auto& siv : src_dist.intervals(s, n_src, len)) {
+            // Binary search for the first destination interval overlapping.
+            auto it = std::upper_bound(
+                dst_ivs.begin(), dst_ivs.end(), siv.lo,
+                [](std::size_t lo, const DstIv& d) { return lo < d.iv.hi; });
+            for (; it != dst_ivs.end() && it->iv.lo < siv.hi; ++it) {
+                const std::size_t lo = std::max(siv.lo, it->iv.lo);
+                const std::size_t hi = std::min(siv.hi, it->iv.hi);
+                if (lo >= hi) continue;
+                Fragment f;
+                f.src = s;
+                f.dst = it->rank;
+                f.src_off = src_local + (lo - siv.lo);
+                f.dst_off = it->local_off + (lo - it->iv.lo);
+                f.len = hi - lo;
+                plan.fragments.push_back(f);
+            }
+            src_local += siv.size();
+        }
+    }
+    return plan;
+}
+
+} // namespace padico::gridccm

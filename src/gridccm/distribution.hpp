@@ -1,0 +1,112 @@
+#pragma once
+/// \file distribution.hpp
+/// Data distributions of IDL sequences over the member nodes of a parallel
+/// component, and redistribution plans between a client-side and a
+/// server-side distribution (paper §4.2.2: the GridCCM layer "can perform
+/// a redistribution of the data on the client side, on the server side or
+/// during the communication").
+///
+/// The current GridCCM prototype distributes 1D sequences (the paper: "the
+/// current implementation requires the user type to be an IDL sequence
+/// type, that is to say a 1D array"); 2D arrays map to sequences of
+/// sequences, which compose out of the 1D machinery.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace padico::gridccm {
+
+/// Half-open interval of global element indices.
+struct Interval {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+
+    std::size_t size() const noexcept { return hi - lo; }
+    bool empty() const noexcept { return hi <= lo; }
+    bool operator==(const Interval&) const = default;
+};
+
+/// How a sequence of global length L is split over n ranks.
+struct Distribution {
+    enum class Kind { Block, Cyclic, BlockCyclic, BlockRows };
+
+    Kind kind = Kind::Block;
+    std::size_t grain = 1; ///< block size (BlockCyclic) / row width (BlockRows)
+
+    static Distribution block() { return {Kind::Block, 1}; }
+    static Distribution cyclic() { return {Kind::Cyclic, 1}; }
+    static Distribution block_cyclic(std::size_t grain) {
+        PADICO_CHECK(grain >= 1, "block-cyclic grain must be >= 1");
+        return {Kind::BlockCyclic, grain};
+    }
+    /// 2D support (paper §4.2.2: "a 2D array can be mapped to a sequence
+    /// of sequences"): a row-major matrix of row width \p cols distributed
+    /// by contiguous blocks of WHOLE rows. The sequence length must be a
+    /// multiple of \p cols.
+    static Distribution block_rows(std::size_t cols) {
+        PADICO_CHECK(cols >= 1, "row width must be >= 1");
+        return {Kind::BlockRows, cols};
+    }
+
+    /// Parse "block", "cyclic", "block-cyclic:<grain>", "block-rows:<cols>".
+    static Distribution parse(const std::string& s);
+    std::string str() const;
+
+    /// The global intervals owned by \p rank (ascending, non-overlapping).
+    /// Concatenated in order they form the rank's local vector.
+    std::vector<Interval> intervals(int rank, int nranks,
+                                    std::size_t len) const;
+
+    /// Number of local elements of \p rank.
+    std::size_t local_size(int rank, int nranks, std::size_t len) const;
+
+    /// Owner rank of global index \p g.
+    int owner(std::size_t g, int nranks, std::size_t len) const;
+
+    /// Local offset (within the rank's local vector) of global index \p g,
+    /// which must be owned by \p rank.
+    std::size_t global_to_local(std::size_t g, int rank, int nranks,
+                                std::size_t len) const;
+
+    bool operator==(const Distribution&) const = default;
+};
+
+/// One contiguous piece moving from a source rank's local vector to a
+/// destination rank's local vector.
+struct Fragment {
+    int src = 0;        ///< source rank
+    int dst = 0;        ///< destination rank
+    std::size_t src_off = 0; ///< offset in source local vector
+    std::size_t dst_off = 0; ///< offset in destination local vector
+    std::size_t len = 0;     ///< elements
+
+    bool operator==(const Fragment&) const = default;
+};
+
+/// The full communication matrix of one redistribution.
+struct RedistPlan {
+    std::size_t len = 0; ///< global sequence length
+    int n_src = 0;
+    int n_dst = 0;
+    std::vector<Fragment> fragments; ///< ordered by (src, src_off)
+
+    /// Fragments sent by one source rank.
+    std::vector<Fragment> from(int src_rank) const;
+    /// Fragments received by one destination rank.
+    std::vector<Fragment> to(int dst_rank) const;
+    /// Destination ranks a source rank touches.
+    std::vector<int> targets_of(int src_rank) const;
+
+    /// Total elements moved (== len).
+    std::size_t total() const;
+};
+
+/// Compute the communication matrix from a source to a destination layout.
+RedistPlan compute_plan(const Distribution& src_dist, int n_src,
+                        const Distribution& dst_dist, int n_dst,
+                        std::size_t len);
+
+} // namespace padico::gridccm

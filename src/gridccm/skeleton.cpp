@@ -1,0 +1,377 @@
+#include "gridccm/skeleton.hpp"
+
+#include "fabric/netmodel.hpp"
+#include "util/log.hpp"
+
+namespace padico::gridccm {
+
+const char* strategy_name(Strategy s) {
+    switch (s) {
+    case Strategy::InFlight: return "in-flight";
+    case Strategy::ClientSide: return "client-side";
+    case Strategy::ServerSide: return "server-side";
+    case Strategy::Auto: return "auto";
+    }
+    return "?";
+}
+
+void cdr_put(corba::cdr::Encoder& e, const FragHeader& v) {
+    e.put_u64(v.binding);
+    e.put_u64(v.seq);
+    e.put_string(v.op);
+    e.put_u8(v.strategy);
+    e.put_u64(v.global_len);
+    e.put_u32(v.elem_size);
+    e.put_u32(v.n_clients);
+    e.put_u32(v.client_rank);
+    e.put_string(v.client_dist.str());
+}
+
+void cdr_get(corba::cdr::Decoder& d, FragHeader& v) {
+    v.binding = d.get_u64();
+    v.seq = d.get_u64();
+    v.op = d.get_string();
+    v.strategy = d.get_u8();
+    v.global_len = d.get_u64();
+    v.elem_size = d.get_u32();
+    v.n_clients = d.get_u32();
+    v.client_rank = d.get_u32();
+    v.client_dist = Distribution::parse(d.get_string());
+}
+
+namespace {
+
+/// One real+modeled memcpy pass: the GridCCM layer's (re)assembly copy.
+void charge_copy(std::size_t bytes) {
+    fabric::Process::current().clock().advance(static_cast<SimTime>(
+        static_cast<double>(bytes) * fabric::copy_ns_per_byte(1)));
+}
+
+/// Per-fragment bookkeeping cost of the interception layer.
+constexpr SimTime kPerFragmentCpu = usec(0.5);
+
+/// Which servers does client \p r contact for one invocation? Shared,
+/// deterministic logic: the stub uses it to fan out, the skeleton to know
+/// how many requests to expect.
+std::vector<int> contacted_servers(Strategy strat,
+                                   const Distribution& cdist, int n_c, int r,
+                                   const Distribution& sdist, int n_s,
+                                   std::size_t len, bool result_distributed,
+                                   bool collective) {
+    std::vector<bool> hit(static_cast<std::size_t>(n_s), false);
+    if (collective) {
+        // The operation body runs member collectives: every member must
+        // observe the invocation, data or not.
+        std::vector<int> all(static_cast<std::size_t>(n_s));
+        for (int s = 0; s < n_s; ++s) all[static_cast<std::size_t>(s)] = s;
+        return all;
+    }
+    switch (strat) {
+    case Strategy::InFlight: {
+        const RedistPlan in = compute_plan(cdist, n_c, sdist, n_s, len);
+        for (int s : in.targets_of(r)) hit[static_cast<std::size_t>(s)] = true;
+        break;
+    }
+    case Strategy::ClientSide: {
+        // After the client-side shuffle, client r holds the blocks of the
+        // servers mapped to it.
+        for (int s = r; s < n_s; s += n_c)
+            if (sdist.local_size(s, n_s, len) > 0)
+                hit[static_cast<std::size_t>(s)] = true;
+        break;
+    }
+    case Strategy::ServerSide:
+        // Every server participates in the collective shuffle, so every
+        // server must see the invocation.
+        for (int s = 0; s < n_s; ++s) hit[static_cast<std::size_t>(s)] = true;
+        break;
+    case Strategy::Auto:
+        throw UsageError("Auto must be resolved before wire use");
+    }
+    if (result_distributed) {
+        const RedistPlan out = compute_plan(sdist, n_s, cdist, n_c, len);
+        for (const auto& f : out.fragments)
+            if (f.dst == r) hit[static_cast<std::size_t>(f.src)] = true;
+    }
+    std::vector<int> out;
+    for (int s = 0; s < n_s; ++s)
+        if (hit[static_cast<std::size_t>(s)]) out.push_back(s);
+    return out;
+}
+
+} // namespace
+
+/// Exposed for the stub (declared in stub.hpp).
+std::vector<int> gridccm_contacted_servers(Strategy strat,
+                                           const Distribution& cdist, int n_c,
+                                           int r, const Distribution& sdist,
+                                           int n_s, std::size_t len,
+                                           bool result_distributed,
+                                           bool collective) {
+    return contacted_servers(strat, cdist, n_c, r, sdist, n_s, len,
+                             result_distributed, collective);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelSkeleton
+
+ParallelSkeleton::ParallelSkeleton(ParallelFacetDesc desc, int rank,
+                                   mpi::Comm* comm,
+                                   std::map<std::string, OpHandler> handlers)
+    : desc_(std::move(desc)), rank_(rank), comm_(comm),
+      handlers_(std::move(handlers)) {
+    for (const auto& op : desc_.ops)
+        PADICO_CHECK(handlers_.count(op.name) != 0,
+                     "no handler for declared operation '" + op.name + "'");
+}
+
+void ParallelSkeleton::dispatch(const std::string& op,
+                                corba::cdr::Decoder& in,
+                                corba::cdr::Encoder& out) {
+    if (op == "frag") {
+        handle_frag(in, out);
+        return;
+    }
+    throw RemoteError("BAD_OPERATION " + op);
+}
+
+util::ByteBuf ParallelSkeleton::server_side_shuffle(Invocation& inv,
+                                                    const FragHeader& h) {
+    // Redistribute the raw per-client blocks across the member
+    // communicator so each member ends up with its own block.
+    const std::size_t esz = h.elem_size;
+    const int n_s = desc_.members;
+    const RedistPlan plan =
+        compute_plan(h.client_dist, static_cast<int>(h.n_clients),
+                     desc_.server_dist, n_s, h.global_len);
+
+    // Build one message per destination member: [u32 count,
+    // {u64 dst_off, u64 len, payload}...]. Count first, ONE stream per
+    // destination (CDR alignment is stream-relative).
+    std::vector<std::uint32_t> counts(static_cast<std::size_t>(n_s), 0);
+    for (const auto& f : plan.fragments)
+        if (f.src % n_s == rank_) ++counts[static_cast<std::size_t>(f.dst)];
+    std::vector<corba::cdr::Encoder> encoders;
+    for (int d = 0; d < n_s; ++d) {
+        encoders.emplace_back(true);
+        encoders.back().put_u32(counts[static_cast<std::size_t>(d)]);
+    }
+    for (const auto& f : plan.fragments) {
+        const int holder = f.src % n_s;
+        if (holder != rank_) continue;
+        auto raw_it = inv.raw.find(static_cast<std::uint32_t>(f.src));
+        PADICO_CHECK(raw_it != inv.raw.end(), "missing raw client block");
+        auto& enc = encoders[static_cast<std::size_t>(f.dst)];
+        enc.put_u64(f.dst_off);
+        enc.put_u64(f.len);
+        enc.put_bytes(raw_it->second.data() + f.src_off * esz, f.len * esz);
+    }
+    std::vector<util::Message> to_send;
+    for (int d = 0; d < n_s; ++d)
+        to_send.push_back(encoders[static_cast<std::size_t>(d)].take());
+
+    std::vector<util::Message> received;
+    if (comm_ != nullptr) {
+        received = comm_->alltoallv_msg(std::move(to_send));
+    } else {
+        PADICO_CHECK(n_s == 1, "multi-member skeleton without communicator");
+        received = std::move(to_send); // single member: shuffle is local
+    }
+
+    util::ByteBuf block(desc_.server_dist.local_size(rank_, n_s,
+                                                     h.global_len) *
+                        esz);
+    for (auto& msg : received) {
+        corba::cdr::Decoder dec(std::move(msg));
+        const std::uint32_t count = dec.get_u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint64_t dst_off = dec.get_u64();
+            const std::uint64_t len = dec.get_u64();
+            util::Message piece = dec.get_bytes_msg(len * esz);
+            PADICO_WIRE_CHECK((dst_off + len) * esz <= block.size(),
+                              "shuffle fragment out of range");
+            piece.copy_out(0, block.data() + dst_off * esz, len * esz);
+            charge_copy(len * esz);
+        }
+    }
+    return block;
+}
+
+void ParallelSkeleton::run_operation(Invocation& inv, const FragHeader& h,
+                                     std::unique_lock<std::mutex>& lk) {
+    const OpDesc& opd = desc_.op(h.op);
+    util::ByteBuf arg;
+    if (static_cast<Strategy>(h.strategy) == Strategy::ServerSide) {
+        // The shuffle is a collective: run it without the state lock so
+        // concurrent contacts can still deposit into *other* invocations.
+        lk.unlock();
+        arg = server_side_shuffle(inv, h);
+        lk.lock();
+    } else {
+        arg = std::move(inv.arg);
+    }
+
+    OpContext ctx;
+    ctx.member_rank = rank_;
+    ctx.member_size = desc_.members;
+    ctx.global_len = h.global_len;
+    ctx.elem_size = h.elem_size;
+    ctx.local_len = arg.size() / std::max<std::size_t>(1, h.elem_size);
+    ctx.comm = comm_;
+
+    auto handler = handlers_.at(h.op);
+    // The user operation may itself perform collectives; release the lock.
+    lk.unlock();
+    util::Message result =
+        handler(ctx, util::to_message(std::move(arg)));
+    lk.lock();
+
+    if (opd.result_distributed) {
+        PADICO_WIRE_CHECK(
+            result.size() == desc_.server_dist.local_size(
+                                 rank_, desc_.members, h.global_len) *
+                                 h.elem_size,
+            "operation result block has the wrong length");
+        inv.out_plan = compute_plan(desc_.server_dist, desc_.members,
+                                    h.client_dist,
+                                    static_cast<int>(h.n_clients),
+                                    h.global_len);
+    } else {
+        PADICO_CHECK(result.empty(),
+                     "operation declared void returned data");
+    }
+    inv.result = std::move(result);
+    inv.done = true;
+    invocations_.fetch_add(1);
+    inv.cv.notify_all();
+}
+
+void ParallelSkeleton::handle_frag(corba::cdr::Decoder& in,
+                                   corba::cdr::Encoder& out) {
+    FragHeader h;
+    cdr_get(in, h);
+    const auto strat = static_cast<Strategy>(h.strategy);
+    const OpDesc& opd = desc_.op(h.op); // validates the operation
+    const std::size_t esz = h.elem_size;
+    const int n_s = desc_.members;
+
+    std::unique_lock<std::mutex> lk(mu_);
+    auto key = std::make_pair(h.binding, h.seq);
+    auto it = invocations_map_.find(key);
+    if (it == invocations_map_.end()) {
+        auto inv = std::make_unique<Invocation>();
+        // Deterministic expectations from the header.
+        if (strat == Strategy::ServerSide) {
+            std::size_t raw = 0;
+            for (std::uint32_t r = 0; r < h.n_clients; ++r) {
+                if (static_cast<int>(r) % n_s == rank_)
+                    raw += h.client_dist.local_size(
+                               static_cast<int>(r),
+                               static_cast<int>(h.n_clients),
+                               h.global_len) *
+                           esz;
+            }
+            inv->expected_data = raw;
+        } else {
+            inv->expected_data =
+                desc_.server_dist.local_size(rank_, n_s, h.global_len) * esz;
+            inv->arg.resize(inv->expected_data);
+        }
+        std::size_t contacts = 0;
+        for (std::uint32_t r = 0; r < h.n_clients; ++r) {
+            for (int s : contacted_servers(
+                     strat, h.client_dist, static_cast<int>(h.n_clients),
+                     static_cast<int>(r), desc_.server_dist, n_s,
+                     h.global_len, opd.result_distributed, opd.collective))
+                if (s == rank_) ++contacts;
+        }
+        inv->expected_contacts = contacts;
+        it = invocations_map_.emplace(key, std::move(inv)).first;
+    }
+    Invocation& inv = *it->second;
+
+    // Deposit this request's fragments.
+    const std::uint32_t n_frags = in.get_u32();
+    if (strat == Strategy::ServerSide) {
+        if (n_frags > 0) {
+            PADICO_WIRE_CHECK(n_frags == 1,
+                              "raw mode carries one block per client");
+            const std::uint64_t len = in.get_u64();
+            util::Message piece = in.get_bytes_msg(len * esz);
+            util::ByteBuf raw(len * esz);
+            piece.copy_out(0, raw.data(), raw.size());
+            charge_copy(raw.size());
+            inv.received_data += raw.size();
+            inv.raw[h.client_rank] = std::move(raw);
+        }
+    } else {
+        for (std::uint32_t i = 0; i < n_frags; ++i) {
+            const std::uint64_t dst_off = in.get_u64();
+            const std::uint64_t len = in.get_u64();
+            util::Message piece = in.get_bytes_msg(len * esz);
+            PADICO_WIRE_CHECK((dst_off + len) * esz <= inv.arg.size(),
+                              "fragment outside member block");
+            piece.copy_out(0, inv.arg.data() + dst_off * esz, len * esz);
+            charge_copy(len * esz);
+            inv.received_data += len * esz;
+        }
+    }
+    fabric::Process::current().clock().advance(
+        kPerFragmentCpu * std::max<std::uint32_t>(1, n_frags));
+
+    PLOG(debug, "gridccm") << "skel[" << rank_ << "] " << h.op << " seq "
+                           << h.seq << " from client " << h.client_rank
+                           << ": data " << inv.received_data << "/"
+                           << inv.expected_data << " contacts "
+                           << inv.served << "+1/" << inv.expected_contacts
+                           << " at "
+                           << format_simtime(
+                                  fabric::Process::current().now());
+    // The contact completing the data (or the first contact when no data
+    // is expected) triggers the operation.
+    if (!inv.started && inv.received_data == inv.expected_data) {
+        inv.started = true;
+        run_operation(inv, h, lk);
+    }
+    inv.cv.wait(lk, [&] { return inv.done; });
+
+    // Build this client's reply: its share of the distributed result.
+    // Encoded as ONE stream (count first): CDR alignment is relative to
+    // the stream start, so sub-encoders cannot be concatenated inline.
+    std::vector<const Fragment*> mine;
+    if (opd.result_distributed) {
+        for (const auto& f : inv.out_plan.fragments) {
+            if (f.src == rank_ &&
+                f.dst == static_cast<int>(h.client_rank))
+                mine.push_back(&f);
+        }
+    }
+    out.put_u32(static_cast<std::uint32_t>(mine.size()));
+    for (const Fragment* f : mine) {
+        out.put_u64(f->dst_off);
+        out.put_u64(f->len);
+        out.put_message(inv.result.slice(f->src_off * esz, f->len * esz));
+    }
+
+    if (++inv.served == inv.expected_contacts) {
+        invocations_map_.erase(it);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelHomeServant
+
+void ParallelHomeServant::dispatch(const std::string& op,
+                                   corba::cdr::Decoder& in,
+                                   corba::cdr::Encoder& out) {
+    (void)in;
+    if (op == "describe") {
+        cdr_put(out, desc_);
+    } else if (op == "bind") {
+        out.put_u64(next_binding_.fetch_add(1));
+    } else {
+        throw RemoteError("BAD_OPERATION " + op);
+    }
+}
+
+} // namespace padico::gridccm

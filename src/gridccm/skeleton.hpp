@@ -1,0 +1,137 @@
+#pragma once
+/// \file skeleton.hpp
+/// Server side of the GridCCM interception layer (paper §4.2.2, Fig. 4):
+/// each member node of a parallel component hosts a ParallelSkeleton
+/// servant. Client nodes send their data fragments to it; the skeleton
+/// reassembles the member's local block, runs the server-side
+/// redistribution when the client chose that strategy (a collective
+/// exchange over the member communicator), invokes the user operation
+/// exactly once per member, and hands each contacting client its share of
+/// the distributed result in the GIOP reply.
+
+#include <condition_variable>
+
+#include "corba/stub.hpp"
+#include "gridccm/descriptor.hpp"
+#include "mpi/mpi.hpp"
+
+namespace padico::gridccm {
+
+/// Redistribution strategies (paper §4.2.2: "on the client side, on the
+/// server side or during the communication").
+enum class Strategy : std::uint8_t {
+    InFlight = 0,   ///< fragments travel directly client node -> server node
+    ClientSide = 1, ///< clients pre-shuffle over their own network first
+    ServerSide = 2, ///< servers post-shuffle over their own network
+    Auto = 255,     ///< stub chooses from the network model
+};
+
+const char* strategy_name(Strategy s);
+
+/// What the user operation sees.
+struct OpContext {
+    int member_rank = 0;
+    int member_size = 1;
+    std::size_t global_len = 0; ///< elements
+    std::size_t elem_size = 1;  ///< bytes per element
+    std::size_t local_len = 0;  ///< elements in this member's block
+    mpi::Comm* comm = nullptr;  ///< member communicator
+};
+
+/// User operation: local argument block in, local result block out (empty
+/// when the operation's result is void).
+using OpHandler =
+    std::function<util::Message(const OpContext&, util::Message local_arg)>;
+
+/// Wire header of one "frag" request (followed in CDR by the fragment list
+/// and payloads).
+struct FragHeader {
+    std::uint64_t binding = 0;
+    std::uint64_t seq = 0;
+    std::string op;
+    std::uint8_t strategy = 0; ///< InFlight or ServerSide (raw mode)
+    std::uint64_t global_len = 0;
+    std::uint32_t elem_size = 0;
+    std::uint32_t n_clients = 0;
+    std::uint32_t client_rank = 0;
+    Distribution client_dist; ///< layout on the sending group
+};
+
+void cdr_put(corba::cdr::Encoder& e, const FragHeader& v);
+void cdr_get(corba::cdr::Decoder& d, FragHeader& v);
+
+/// The per-member servant.
+class ParallelSkeleton : public corba::Servant {
+public:
+    /// \p desc is the static facet description; \p rank/\p comm identify
+    /// this member; \p handlers maps operation names to implementations.
+    ParallelSkeleton(ParallelFacetDesc desc, int rank, mpi::Comm* comm,
+                     std::map<std::string, OpHandler> handlers);
+
+    std::string interface() const override {
+        return "IDL:padico/ParallelSkeleton/" + desc_.component + "/" +
+               desc_.facet + ":1.0";
+    }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override;
+
+    /// Number of invocations executed (for tests).
+    std::uint64_t invocations() const noexcept { return invocations_; }
+
+private:
+    struct Invocation {
+        // Expected amounts, computed deterministically from the header.
+        std::size_t expected_data = 0;     ///< bytes
+        std::size_t expected_contacts = 0; ///< client requests to serve
+        std::size_t received_data = 0;
+        std::size_t served = 0;
+        bool started = false;
+        bool done = false;
+        // Direct mode: assembled local argument block.
+        util::ByteBuf arg;
+        // Raw mode (ServerSide): per-client raw blocks.
+        std::map<std::uint32_t, util::ByteBuf> raw;
+        // Result: this member's local result block (empty for void ops).
+        util::Message result;
+        RedistPlan out_plan; ///< server layout -> client layout
+        std::condition_variable cv;
+    };
+
+    void handle_frag(corba::cdr::Decoder& in, corba::cdr::Encoder& out);
+    void run_operation(Invocation& inv, const FragHeader& h,
+                       std::unique_lock<std::mutex>& lk);
+    util::ByteBuf server_side_shuffle(Invocation& inv, const FragHeader& h);
+
+    ParallelFacetDesc desc_;
+    int rank_;
+    mpi::Comm* comm_;
+    std::map<std::string, OpHandler> handlers_;
+
+    std::mutex mu_;
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::unique_ptr<Invocation>>
+        invocations_map_;
+    std::atomic<std::uint64_t> invocations_{0};
+};
+
+/// The home object published as facet "<facet>.parallel" on member 0.
+/// External references to a parallel component point here; GridCCM-aware
+/// clients call describe()/bind(), which is how "the nodes of a parallel
+/// component are not directly exposed to other components" (§4.2.1).
+class ParallelHomeServant : public corba::Servant {
+public:
+    explicit ParallelHomeServant(ParallelFacetDesc desc)
+        : desc_(std::move(desc)) {}
+
+    std::string interface() const override {
+        return "IDL:padico/ParallelHome:1.0";
+    }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override;
+
+private:
+    ParallelFacetDesc desc_;
+    std::atomic<std::uint64_t> next_binding_{1};
+};
+
+} // namespace padico::gridccm

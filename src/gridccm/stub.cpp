@@ -1,0 +1,377 @@
+#include "gridccm/stub.hpp"
+
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace padico::gridccm {
+
+namespace {
+
+/// Per-invocation client-side bookkeeping cost of the interception layer.
+constexpr SimTime kPerInvokeCpu = usec(1.0);
+constexpr SimTime kPerFragmentCpu = usec(0.5);
+
+void charge_copy(fabric::Process& proc, std::size_t bytes) {
+    proc.clock().advance(static_cast<SimTime>(
+        static_cast<double>(bytes) * fabric::copy_ns_per_byte(1)));
+}
+
+/// Servers owned by client r under the client-side strategy, ascending.
+std::vector<int> owned_servers(int r, int n_c, int n_s,
+                               const Distribution& sdist, std::size_t len) {
+    std::vector<int> out;
+    for (int s = r; s < n_s; s += n_c)
+        if (sdist.local_size(s, n_s, len) > 0) out.push_back(s);
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Construction
+
+ParallelStub::ParallelStub(corba::Orb& orb, mpi::Comm& group,
+                           const corba::IOR& home, Distribution client_dist,
+                           bool checked_collectives)
+    : orb_(&orb), group_(&group), checked_(checked_collectives),
+      client_dist_(client_dist), rank_(group.rank()),
+      n_clients_(group.size()) {
+    if (rank_ == 0) fetch_description(home);
+    // Broadcast description + binding to the group.
+    util::ByteBuf blob;
+    if (rank_ == 0) {
+        corba::cdr::Encoder e(true);
+        cdr_put(e, desc_);
+        e.put_u64(binding_);
+        blob = e.take().gather();
+    }
+    std::uint64_t len = blob.size();
+    group.bcast_bytes(&len, sizeof len, 0);
+    blob.resize(len);
+    group.bcast_bytes(blob.data(), len, 0);
+    if (rank_ != 0) {
+        corba::cdr::Decoder d(util::to_message(std::move(blob)));
+        cdr_get(d, desc_);
+        binding_ = d.get_u64();
+    }
+}
+
+ParallelStub::ParallelStub(corba::Orb& orb, const corba::IOR& home)
+    : orb_(&orb), client_dist_(Distribution::block()) {
+    fetch_description(home);
+}
+
+void ParallelStub::fetch_description(const corba::IOR& home) {
+    corba::ObjectRef ref = orb_->resolve(home);
+    util::Message dm = ref.invoke("describe", util::Message());
+    corba::cdr::Decoder d(std::move(dm));
+    cdr_get(d, desc_);
+    PADICO_CHECK(desc_.members >= 1 &&
+                     desc_.member_refs.size() ==
+                         static_cast<std::size_t>(desc_.members),
+                 "malformed parallel facet description");
+    util::Message bm = ref.invoke("bind", util::Message());
+    binding_ = corba::cdr::Decoder(std::move(bm)).get_u64();
+}
+
+corba::ObjectRef& ParallelStub::member_ref(int s) {
+    std::lock_guard<std::mutex> lk(members_mu_);
+    auto it = members_.find(s);
+    if (it == members_.end()) {
+        it = members_
+                 .emplace(s, orb_->resolve(desc_.member_refs[
+                                 static_cast<std::size_t>(s)]))
+                 .first;
+    }
+    return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Strategy chooser
+
+Strategy ParallelStub::choose_strategy(std::size_t global_len,
+                                       std::size_t elem_size) const {
+    const int n_s = desc_.members;
+    // Identity layouts: fragments already go point-to-point, nothing to
+    // consolidate.
+    if (n_clients_ == n_s && client_dist_ == desc_.server_dist)
+        return Strategy::InFlight;
+    const RedistPlan plan = compute_plan(client_dist_, n_clients_,
+                                         desc_.server_dist, n_s, global_len);
+    const std::size_t total_frags = std::max<std::size_t>(
+        1, plan.fragments.size());
+    const std::size_t avg_frag_bytes =
+        global_len * elem_size / total_frags;
+    // Mismatched *contiguous* layouts (block->block with different node
+    // counts) still produce a handful of large fragments per client —
+    // in-flight moves them directly with amortized per-fragment cost.
+    if (avg_frag_bytes >= 16 * 1024 ||
+        total_frags <= 4 * static_cast<std::size_t>(
+                               std::max(n_clients_, n_s)))
+        return Strategy::InFlight;
+    // Interleaved layouts (cyclic/block-cyclic vs block) shatter into many
+    // tiny fragments: consolidate on the side with more nodes, whose
+    // internal network absorbs the shuffle and whose peer then receives
+    // one contiguous block without per-fragment bookkeeping (paper §4.2.2:
+    // the decision weighs client vs server network performance and memory
+    // feasibility).
+    return n_clients_ >= n_s ? Strategy::ClientSide : Strategy::ServerSide;
+}
+
+// ---------------------------------------------------------------------------
+// Invocation
+
+void ParallelStub::contact_server(int s, const FragHeader& header,
+                                  const std::vector<Fragment>& frags,
+                                  const util::Message& data,
+                                  std::size_t elem_size,
+                                  util::ByteBuf* result) {
+    corba::cdr::Encoder e(orb_->profile().zero_copy);
+    cdr_put(e, header);
+    e.put_u32(static_cast<std::uint32_t>(frags.size()));
+    for (const auto& f : frags) {
+        if (static_cast<Strategy>(header.strategy) == Strategy::ServerSide) {
+            e.put_u64(f.len);
+        } else {
+            e.put_u64(f.dst_off);
+            e.put_u64(f.len);
+        }
+        e.put_message(data.slice(f.src_off * elem_size, f.len * elem_size));
+    }
+    util::Message reply = member_ref(s).invoke("frag", e.take());
+    corba::cdr::Decoder d(std::move(reply));
+    const std::uint32_t count = d.get_u32();
+    auto& proc = orb_->runtime().process();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t dst_off = d.get_u64();
+        const std::uint64_t len = d.get_u64();
+        util::Message piece = d.get_bytes_msg(len * elem_size);
+        PADICO_CHECK(result != nullptr, "unexpected result fragments");
+        PADICO_WIRE_CHECK((dst_off + len) * elem_size <= result->size(),
+                          "result fragment out of range");
+        piece.copy_out(0, result->data() + dst_off * elem_size,
+                       len * elem_size);
+        charge_copy(proc, len * elem_size);
+    }
+}
+
+util::Message ParallelStub::invoke(const std::string& op,
+                                   util::Message local_arg,
+                                   std::size_t global_len,
+                                   std::size_t elem_size, Strategy strategy) {
+    const OpDesc& opd = desc_.op(op);
+    if (strategy == Strategy::Auto)
+        strategy = choose_strategy(global_len, elem_size);
+    if (group_ == nullptr && strategy == Strategy::ClientSide)
+        strategy = Strategy::InFlight; // a group of one has nothing to shuffle
+
+    const int n_s = desc_.members;
+    PADICO_CHECK(local_arg.size() ==
+                     client_dist_.local_size(rank_, n_clients_, global_len) *
+                         elem_size,
+                 "local argument does not match the declared layout");
+
+    auto& proc = orb_->runtime().process();
+    proc.clock().advance(kPerInvokeCpu);
+
+    if (group_ != nullptr && checked_) {
+        // Collective-invocation agreement: all members of the client group
+        // must be issuing the same call (SPMD discipline). Rank 0's view is
+        // broadcast; a divergent member fails loudly instead of producing a
+        // half-assembled invocation on the server.
+        struct Meta {
+            std::uint64_t seq;
+            std::uint64_t len;
+            std::uint64_t op_hash;
+        };
+        std::uint64_t h = 1469598103934665603ull;
+        for (char c : op) h = (h ^ static_cast<unsigned char>(c)) *
+                              1099511628211ull;
+        Meta mine{next_seq_, global_len, h};
+        Meta agreed = mine;
+        group_->bcast_bytes(&agreed, sizeof agreed, 0);
+        PADICO_CHECK(agreed.seq == mine.seq && agreed.len == mine.len &&
+                         agreed.op_hash == mine.op_hash,
+                     "mismatched collective invocation across the client "
+                     "group (rank " +
+                         std::to_string(rank_) + ", op '" + op + "')");
+    }
+
+    FragHeader header;
+    header.binding = binding_;
+    header.seq = next_seq_++;
+    header.op = op;
+    header.strategy = static_cast<std::uint8_t>(strategy);
+    header.global_len = global_len;
+    header.elem_size = static_cast<std::uint32_t>(elem_size);
+    header.n_clients = static_cast<std::uint32_t>(n_clients_);
+    header.client_rank = static_cast<std::uint32_t>(rank_);
+    header.client_dist = client_dist_;
+
+    // Per-server fragment lists plus the backing data they slice.
+    std::map<int, std::vector<Fragment>> per_server;
+    util::Message data = std::move(local_arg);
+
+    switch (strategy) {
+    case Strategy::InFlight: {
+        const RedistPlan plan = compute_plan(client_dist_, n_clients_,
+                                             desc_.server_dist, n_s,
+                                             global_len);
+        for (const auto& f : plan.from(rank_)) per_server[f.dst].push_back(f);
+        break;
+    }
+    case Strategy::ServerSide: {
+        const std::size_t elems = data.size() / elem_size;
+        if (elems > 0) {
+            Fragment f;
+            f.src = rank_;
+            f.dst = rank_ % n_s;
+            f.src_off = 0;
+            f.dst_off = 0;
+            f.len = elems;
+            per_server[f.dst].push_back(f);
+        }
+        break;
+    }
+    case Strategy::ClientSide: {
+        PADICO_CHECK(group_ != nullptr, "client-side strategy needs a group");
+        const RedistPlan plan = compute_plan(client_dist_, n_clients_,
+                                             desc_.server_dist, n_s,
+                                             global_len);
+        // Staging layout of each client: its owned server blocks in
+        // ascending server order.
+        auto staging_off = [&](int owner, int server) {
+            std::size_t off = 0;
+            for (int s : owned_servers(owner, n_clients_, n_s,
+                                       desc_.server_dist, global_len)) {
+                if (s == server) return off;
+                off += desc_.server_dist.local_size(s, n_s, global_len);
+            }
+            throw UsageError("server not owned by client");
+        };
+        // Shuffle over the client group's own network. Count first, one
+        // CDR stream per destination (alignment is stream-relative).
+        std::vector<std::uint32_t> counts(
+            static_cast<std::size_t>(n_clients_), 0);
+        for (const auto& f : plan.from(rank_))
+            ++counts[static_cast<std::size_t>(f.dst % n_clients_)];
+        std::vector<corba::cdr::Encoder> enc;
+        for (int c = 0; c < n_clients_; ++c) {
+            enc.emplace_back(true);
+            enc.back().put_u32(counts[static_cast<std::size_t>(c)]);
+        }
+        for (const auto& f : plan.from(rank_)) {
+            const int owner = f.dst % n_clients_;
+            auto& e = enc[static_cast<std::size_t>(owner)];
+            e.put_u64(staging_off(owner, f.dst) + f.dst_off);
+            e.put_u64(f.len);
+            e.put_message(data.slice(f.src_off * elem_size,
+                                     f.len * elem_size));
+        }
+        std::vector<util::Message> to_send;
+        for (int c = 0; c < n_clients_; ++c)
+            to_send.push_back(enc[static_cast<std::size_t>(c)].take());
+        auto received = group_->alltoallv_msg(std::move(to_send));
+
+        const auto mine = owned_servers(rank_, n_clients_, n_s,
+                                        desc_.server_dist, global_len);
+        std::size_t staging_bytes = 0;
+        for (int s : mine)
+            staging_bytes +=
+                desc_.server_dist.local_size(s, n_s, global_len) * elem_size;
+        util::ByteBuf staging(staging_bytes);
+        for (auto& msg : received) {
+            corba::cdr::Decoder dec(std::move(msg));
+            const std::uint32_t count = dec.get_u32();
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const std::uint64_t off = dec.get_u64();
+                const std::uint64_t len = dec.get_u64();
+                util::Message piece = dec.get_bytes_msg(len * elem_size);
+                piece.copy_out(0, staging.data() + off * elem_size,
+                               len * elem_size);
+                charge_copy(proc, len * elem_size);
+            }
+        }
+        data = util::to_message(std::move(staging));
+        // One contiguous fragment per owned server.
+        std::size_t off = 0;
+        for (int s : mine) {
+            const std::size_t block =
+                desc_.server_dist.local_size(s, n_s, global_len);
+            Fragment f;
+            f.src = rank_;
+            f.dst = s;
+            f.src_off = off;
+            f.dst_off = 0;
+            f.len = block;
+            per_server[s].push_back(f);
+            off += block;
+        }
+        break;
+    }
+    case Strategy::Auto:
+        throw UsageError("unreachable");
+    }
+
+    // Result buffer (this rank's block of the distributed result).
+    util::ByteBuf result;
+    if (opd.result_distributed)
+        result.resize(client_dist_.local_size(rank_, n_clients_, global_len) *
+                      elem_size);
+
+    const std::vector<int> contacts = gridccm_contacted_servers(
+        strategy, client_dist_, n_clients_, rank_, desc_.server_dist, n_s,
+        global_len, opd.result_distributed, opd.collective);
+    PLOG(debug, "gridccm") << "stub[" << rank_ << "/" << n_clients_ << "] "
+                           << op << " seq " << header.seq << " strat "
+                           << strategy_name(strategy) << " contacts "
+                           << contacts.size();
+
+    std::size_t n_frags = 0;
+    for (const auto& [s, fl] : per_server) n_frags += fl.size();
+    proc.clock().advance(kPerFragmentCpu *
+                         static_cast<SimTime>(std::max<std::size_t>(
+                             1, n_frags)));
+
+    static const std::vector<Fragment> kNoFrags;
+    auto frags_for = [&](int s) -> const std::vector<Fragment>& {
+        auto it = per_server.find(s);
+        return it == per_server.end() ? kNoFrags : it->second;
+    };
+
+    if (contacts.size() <= 1) {
+        for (int s : contacts)
+            contact_server(s, header, frags_for(s), data, elem_size,
+                           opd.result_distributed ? &result : nullptr);
+    } else {
+        // Fan out in parallel: all nodes of a parallel component
+        // participate in inter-component communication (paper §4.2.1).
+        std::vector<std::thread> threads;
+        std::mutex err_mu;
+        std::exception_ptr first_error;
+        for (int s : contacts) {
+            threads.emplace_back([&, s] {
+                fabric::Process::bind_to_thread(&proc);
+                try {
+                    contact_server(s, header, frags_for(s), data, elem_size,
+                                   opd.result_distributed ? &result
+                                                          : nullptr);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(err_mu);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            });
+        }
+        for (auto& t : threads) t.join();
+        if (first_error) std::rethrow_exception(first_error);
+    }
+
+    if (group_ != nullptr && checked_) group_->barrier();
+
+    if (!opd.result_distributed) return util::Message();
+    return util::to_message(std::move(result));
+}
+
+} // namespace padico::gridccm

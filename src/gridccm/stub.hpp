@@ -1,0 +1,98 @@
+#pragma once
+/// \file stub.hpp
+/// Client side of the GridCCM interception layer (paper Fig. 4: "GridCCM
+/// intercepts and translates remote method invocations"). A ParallelStub
+/// is held by every node of the *client* group; a call to a parallel
+/// operation is translated into fragment requests to the member nodes of
+/// the server component according to the redistribution plan and strategy.
+
+#include "gridccm/skeleton.hpp"
+
+namespace padico::gridccm {
+
+/// Collective handle of a client group onto one parallel facet.
+class ParallelStub {
+public:
+    /// Collective over \p group (every client rank calls with the same
+    /// arguments). \p home is the parallel home IOR obtained from a
+    /// receptacle or the naming service; rank 0 interrogates it and
+    /// broadcasts the description and a fresh binding id to the group.
+    /// \p client_dist describes how the group lays out its sequences.
+    /// \p checked_collectives: before each invocation the group agrees on
+    /// (operation, length, sequence number) via a broadcast from rank 0 and
+    /// synchronizes after completion — catching SPMD discipline violations
+    /// (mismatched collective invocations) at the cost of two group
+    /// collectives per call, as the paper's prototype does.
+    ParallelStub(corba::Orb& orb, mpi::Comm& group, const corba::IOR& home,
+                 Distribution client_dist = Distribution::block(),
+                 bool checked_collectives = true);
+
+    /// A *sequential* client: a group of one (interoperability with
+    /// standard components, paper §4.2.1 "parallel components are
+    /// interoperable with standard sequential components").
+    ParallelStub(corba::Orb& orb, const corba::IOR& home);
+
+    const ParallelFacetDesc& desc() const noexcept { return desc_; }
+    int client_rank() const noexcept { return rank_; }
+    int client_size() const noexcept { return n_clients_; }
+
+    /// Invoke a parallel operation. \p local_arg is this rank's block of a
+    /// sequence of \p global_len elements of \p elem_size bytes, laid out
+    /// by the client distribution. Returns this rank's block of the result
+    /// (empty for void operations). Collective over the client group.
+    util::Message invoke(const std::string& op, util::Message local_arg,
+                         std::size_t global_len, std::size_t elem_size,
+                         Strategy strategy = Strategy::Auto);
+
+    /// Typed convenience.
+    template <typename T>
+    std::vector<T> invoke(const std::string& op, std::span<const T> local,
+                          std::size_t global_len,
+                          Strategy strategy = Strategy::Auto) {
+        util::Message arg = util::to_message(
+            util::ByteBuf(local.data(), local.size_bytes()));
+        util::Message res =
+            invoke(op, std::move(arg), global_len, sizeof(T), strategy);
+        std::vector<T> out(res.size() / sizeof(T));
+        res.copy_out(0, out.data(), res.size());
+        return out;
+    }
+
+    /// The strategy Auto resolves to for the given shape — exposed so the
+    /// ablation benchmark can report the chooser's decisions.
+    Strategy choose_strategy(std::size_t global_len,
+                             std::size_t elem_size) const;
+
+private:
+    void fetch_description(const corba::IOR& home);
+    corba::ObjectRef& member_ref(int s);
+
+    /// Send one fragment request to server \p s and apply the reply
+    /// fragments to \p result.
+    void contact_server(int s, const FragHeader& header,
+                        const std::vector<Fragment>& frags,
+                        const util::Message& data, std::size_t elem_size,
+                        util::ByteBuf* result);
+
+    corba::Orb* orb_;
+    mpi::Comm* group_ = nullptr; ///< null for a sequential client
+    bool checked_ = true;
+    Distribution client_dist_;
+    int rank_ = 0;
+    int n_clients_ = 1;
+    ParallelFacetDesc desc_;
+    std::uint64_t binding_ = 0;
+    std::uint64_t next_seq_ = 1;
+    std::map<int, corba::ObjectRef> members_;
+    std::mutex members_mu_;
+};
+
+/// Shared stub/skeleton contact-set logic (defined in skeleton.cpp).
+std::vector<int> gridccm_contacted_servers(Strategy strat,
+                                           const Distribution& cdist, int n_c,
+                                           int r, const Distribution& sdist,
+                                           int n_s, std::size_t len,
+                                           bool result_distributed,
+                                           bool collective = false);
+
+} // namespace padico::gridccm

@@ -1,0 +1,271 @@
+#include "hla/hla.hpp"
+
+#include "util/log.hpp"
+
+namespace padico::hla {
+
+void cdr_put(corba::cdr::Encoder& e, const AttributeMap& v) {
+    e.put_u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto& [key, value] : v) {
+        e.put_string(key);
+        e.put_string(value);
+    }
+}
+
+void cdr_get(corba::cdr::Decoder& d, AttributeMap& v) {
+    v.clear();
+    const std::uint32_t n = d.get_u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string key = d.get_string();
+        v[key] = d.get_string();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gateway servant
+
+class RtiGateway::Servant : public corba::Servant {
+public:
+    explicit Servant(corba::Orb& orb) : orb_(&orb) {}
+
+    std::string interface() const override { return "IDL:padico/RTI:1.0"; }
+
+    std::size_t federates() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return members_.size();
+    }
+
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override {
+        namespace skel = corba::skel;
+        if (op == "join") {
+            const auto name = skel::arg<std::string>(in);
+            corba::IOR callback;
+            corba::cdr_get(in, callback);
+            std::lock_guard<std::mutex> lk(mu_);
+            PADICO_CHECK(members_.count(name) == 0,
+                         "federate '" + name + "' already joined");
+            members_[name] = Member{callback, {}, {}};
+            skel::ret(out, true);
+        } else if (op == "resign") {
+            const auto name = skel::arg<std::string>(in);
+            std::lock_guard<std::mutex> lk(mu_);
+            members_.erase(name);
+            skel::ret(out, true);
+        } else if (op == "publish") {
+            const auto name = skel::arg<std::string>(in);
+            const auto cls = skel::arg<std::string>(in);
+            std::lock_guard<std::mutex> lk(mu_);
+            member(name).publishes.insert(cls);
+            skel::ret(out, true);
+        } else if (op == "subscribe") {
+            const auto name = skel::arg<std::string>(in);
+            const auto cls = skel::arg<std::string>(in);
+            std::lock_guard<std::mutex> lk(mu_);
+            member(name).subscribes.insert(cls);
+            // Late subscribers discover existing instances and receive the
+            // current attribute values.
+            for (const auto& [handle, obj] : objects_) {
+                if (obj.object_class != cls || obj.owner == name) continue;
+                discover(member(name), handle, obj);
+                if (!obj.values.empty())
+                    reflect(member(name), handle, obj.values);
+            }
+            skel::ret(out, true);
+        } else if (op == "register_object") {
+            const auto name = skel::arg<std::string>(in);
+            const auto cls = skel::arg<std::string>(in);
+            std::lock_guard<std::mutex> lk(mu_);
+            PADICO_CHECK(member(name).publishes.count(cls) != 0,
+                         "federate '" + name + "' does not publish '" + cls +
+                             "'");
+            const ObjectHandle handle = next_handle_++;
+            objects_[handle] = Object{cls, name};
+            for (auto& [mname, m] : members_) {
+                if (mname != name && m.subscribes.count(cls) != 0)
+                    discover(m, handle, objects_[handle]);
+            }
+            skel::ret(out, handle);
+        } else if (op == "update") {
+            const auto name = skel::arg<std::string>(in);
+            const auto handle = skel::arg<ObjectHandle>(in);
+            AttributeMap attrs;
+            cdr_get(in, attrs);
+            std::lock_guard<std::mutex> lk(mu_);
+            auto it = objects_.find(handle);
+            PADICO_CHECK(it != objects_.end(), "unknown object handle");
+            PADICO_CHECK(it->second.owner == name,
+                         "only the owner may update an object");
+            for (const auto& [k, v] : attrs) it->second.values[k] = v;
+            for (auto& [mname, m] : members_) {
+                if (mname == name ||
+                    m.subscribes.count(it->second.object_class) == 0)
+                    continue;
+                reflect(m, handle, attrs);
+            }
+            skel::ret(out, true);
+        } else {
+            throw RemoteError("BAD_OPERATION " + op);
+        }
+    }
+
+private:
+    struct Member {
+        corba::IOR callback;
+        std::set<std::string> publishes;
+        std::set<std::string> subscribes;
+    };
+    struct Object {
+        std::string object_class;
+        std::string owner;
+        AttributeMap values; ///< last known values, replayed to late subscribers
+    };
+
+    Member& member(const std::string& name) {
+        auto it = members_.find(name);
+        PADICO_CHECK(it != members_.end(),
+                     "federate '" + name + "' has not joined");
+        return it->second;
+    }
+
+    void discover(Member& m, ObjectHandle handle, const Object& obj) {
+        corba::cdr::Encoder ev(orb_->profile().zero_copy);
+        ev.put_u64(handle);
+        ev.put_string(obj.object_class);
+        ev.put_string(obj.owner);
+        orb_->resolve(m.callback).oneway("discover", ev.take());
+    }
+
+    void reflect(Member& m, ObjectHandle handle, const AttributeMap& attrs) {
+        corba::cdr::Encoder ev(orb_->profile().zero_copy);
+        ev.put_u64(handle);
+        cdr_put(ev, attrs);
+        orb_->resolve(m.callback).oneway("reflect", ev.take());
+    }
+
+    corba::Orb* orb_;
+    mutable std::mutex mu_;
+    std::map<std::string, Member> members_;
+    std::map<ObjectHandle, Object> objects_;
+    ObjectHandle next_handle_ = 1;
+};
+
+RtiGateway::RtiGateway(corba::Orb& orb, const std::string& federation)
+    : orb_(&orb), federation_(federation) {
+    servant_ = std::make_shared<Servant>(orb);
+    orb.serve("rti-ep/" + federation);
+    ior_ = orb.activate(servant_);
+    auto& grid = orb.runtime().grid();
+    grid.register_service("rti/" + federation + "/key",
+                          static_cast<fabric::ProcessId>(ior_.key));
+    grid.register_service("rti/" + federation,
+                          orb.runtime().process().id());
+    PLOG(info, "hla") << "federation '" << federation << "' up";
+}
+
+RtiGateway::~RtiGateway() { orb_->deactivate(ior_); }
+
+std::size_t RtiGateway::federates() const { return servant_->federates(); }
+
+// ---------------------------------------------------------------------------
+// Federate side
+
+class RtiAmbassador::CallbackServant : public corba::Servant {
+public:
+    explicit CallbackServant(FederateAmbassador& amb) : amb_(&amb) {}
+    std::string interface() const override {
+        return "IDL:padico/FederateCallbacks:1.0";
+    }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override {
+        (void)out;
+        if (op == "discover") {
+            const ObjectHandle handle = in.get_u64();
+            const std::string cls = in.get_string();
+            const std::string owner = in.get_string();
+            amb_->discover_object(handle, cls, owner);
+        } else if (op == "reflect") {
+            const ObjectHandle handle = in.get_u64();
+            AttributeMap attrs;
+            cdr_get(in, attrs);
+            amb_->reflect_attribute_values(handle, attrs);
+        } else {
+            throw RemoteError("BAD_OPERATION " + op);
+        }
+    }
+
+private:
+    FederateAmbassador* amb_;
+};
+
+RtiAmbassador::RtiAmbassador(corba::Orb& orb, const std::string& federation,
+                             const std::string& federate_name,
+                             FederateAmbassador& ambassador)
+    : orb_(&orb), federate_(federate_name) {
+    auto& grid = orb.runtime().grid();
+    corba::IOR rti_ior;
+    rti_ior.endpoint = "rti-ep/" + federation;
+    rti_ior.key = grid.wait_service("rti/" + federation + "/key");
+    rti_ior.type = "IDL:padico/RTI:1.0";
+    rti_ = orb.resolve(rti_ior);
+
+    // The federate must itself serve callback invocations. Reuse an
+    // already-serving ORB endpoint when there is one.
+    callbacks_ = std::make_shared<CallbackServant>(ambassador);
+    callback_ior_ = orb.activate(callbacks_);
+    if (callback_ior_.endpoint.empty()) {
+        const std::string ep =
+            "hla-fed/" + federation + "/" + federate_name;
+        orb.serve(ep);
+        orb.deactivate(callback_ior_);
+        callback_ior_ = orb.activate(callbacks_);
+    }
+    corba::call<bool>(rti_, "join", federate_, callback_ior_);
+}
+
+RtiAmbassador::~RtiAmbassador() {
+    try {
+        resign();
+    } catch (const std::exception& e) {
+        PLOG(warn, "hla") << "resign failed: " << e.what();
+    }
+}
+
+void RtiAmbassador::resign() {
+    if (resigned_) return;
+    resigned_ = true;
+    corba::call<bool>(rti_, "resign", federate_);
+    orb_->deactivate(callback_ior_);
+}
+
+void RtiAmbassador::publish_object_class(const std::string& object_class) {
+    corba::call<bool>(rti_, "publish", federate_, object_class);
+}
+
+void RtiAmbassador::subscribe_object_class(const std::string& object_class) {
+    corba::call<bool>(rti_, "subscribe", federate_, object_class);
+}
+
+ObjectHandle RtiAmbassador::register_object(const std::string& object_class) {
+    return corba::call<ObjectHandle>(rti_, "register_object", federate_,
+                                     object_class);
+}
+
+void RtiAmbassador::update_attribute_values(ObjectHandle handle,
+                                            const AttributeMap& attrs) {
+    corba::cdr::Encoder e(orb_->profile().zero_copy);
+    e.put_string(federate_);
+    e.put_u64(handle);
+    cdr_put(e, attrs);
+    rti_.invoke("update", e.take());
+}
+
+void install() {
+    if (!ptm::ModuleManager::has_type("certi"))
+        ptm::ModuleManager::register_type(
+            "certi", [](ptm::Runtime& rt) -> std::shared_ptr<ptm::Module> {
+                return std::make_shared<CertiModule>(rt);
+            });
+}
+
+} // namespace padico::hla

@@ -1,0 +1,114 @@
+#pragma once
+/// \file hla.hpp
+/// Substitute for the Certi HLA runtime infrastructure (paper §4.3.4:
+/// "we have ported Certi 3.0 (HLA implementation) on PadicoTM"). A compact
+/// High Level Architecture subset for distributed simulation federations:
+///
+///  - an RTI gateway process hosts a federation,
+///  - federates join with a FederateAmbassador callback object,
+///  - publish/subscribe on object classes,
+///  - registered object instances are discovered by subscribers,
+///  - attribute updates are reflected to every subscriber.
+///
+/// Built on the CORBA middleware (itself on PadicoTM's VLink) — one more
+/// middleware system cohabiting in the same process, which is the point
+/// the paper's list makes.
+
+#include <set>
+
+#include "corba/stub.hpp"
+#include "padicotm/module.hpp"
+
+namespace padico::hla {
+
+using ObjectHandle = std::uint64_t;
+using AttributeMap = std::map<std::string, std::string>;
+
+/// Callback interface a federate implements (HLA naming).
+class FederateAmbassador {
+public:
+    virtual ~FederateAmbassador() = default;
+    /// A subscriber learns about a new instance of a subscribed class.
+    virtual void discover_object(ObjectHandle handle,
+                                 const std::string& object_class,
+                                 const std::string& owner) = 0;
+    /// Attribute values of a discovered instance changed.
+    virtual void reflect_attribute_values(ObjectHandle handle,
+                                          const AttributeMap& attrs) = 0;
+};
+
+/// Hosts one federation: run inside the RTI gateway process. Registers the
+/// endpoint "rti/<federation>" grid-wide.
+class RtiGateway {
+public:
+    RtiGateway(corba::Orb& orb, const std::string& federation);
+    ~RtiGateway();
+    RtiGateway(const RtiGateway&) = delete;
+    RtiGateway& operator=(const RtiGateway&) = delete;
+
+    const std::string& federation() const noexcept { return federation_; }
+
+    /// Number of joined federates (for tests/monitoring).
+    std::size_t federates() const;
+
+private:
+    class Servant;
+    corba::Orb* orb_;
+    std::string federation_;
+    std::shared_ptr<Servant> servant_;
+    corba::IOR ior_;
+};
+
+/// Federate-side API (the RTIambassador of the HLA spec).
+class RtiAmbassador {
+public:
+    /// Joins \p federation (blocking until the gateway is up), wiring
+    /// \p ambassador for callbacks.
+    RtiAmbassador(corba::Orb& orb, const std::string& federation,
+                  const std::string& federate_name,
+                  FederateAmbassador& ambassador);
+    ~RtiAmbassador();
+    RtiAmbassador(const RtiAmbassador&) = delete;
+    RtiAmbassador& operator=(const RtiAmbassador&) = delete;
+
+    void publish_object_class(const std::string& object_class);
+    void subscribe_object_class(const std::string& object_class);
+
+    /// Create an instance of a published class; subscribers get
+    /// discover_object callbacks.
+    ObjectHandle register_object(const std::string& object_class);
+
+    /// Push new attribute values; subscribers get reflect callbacks.
+    void update_attribute_values(ObjectHandle handle,
+                                 const AttributeMap& attrs);
+
+    /// Leave the federation (also done by the destructor).
+    void resign();
+
+private:
+    class CallbackServant;
+    corba::Orb* orb_;
+    std::string federate_;
+    corba::ObjectRef rti_;
+    std::shared_ptr<CallbackServant> callbacks_;
+    corba::IOR callback_ior_;
+    bool resigned_ = false;
+};
+
+/// The loadable PadicoTM module wrapper ("certi").
+class CertiModule : public ptm::Module {
+public:
+    explicit CertiModule(ptm::Runtime& rt) : rt_(&rt) {}
+    std::string name() const override { return "certi"; }
+
+private:
+    ptm::Runtime* rt_;
+};
+
+void install();
+
+// CDR helpers for attribute maps.
+void cdr_put(corba::cdr::Encoder& e, const AttributeMap& v);
+void cdr_get(corba::cdr::Decoder& d, AttributeMap& v);
+
+} // namespace padico::hla

@@ -1,0 +1,61 @@
+#include "madeleine/madeleine.hpp"
+
+#include "util/log.hpp"
+
+namespace padico::mad {
+
+Endpoint::Endpoint(fabric::Process& proc, fabric::NetworkSegment& segment,
+                   const std::string& owner_tag, const MadCosts& costs)
+    : proc_(&proc), segment_(&segment), costs_(costs) {
+    fabric::Adapter* nic = proc.machine().adapter_on(segment);
+    if (nic == nullptr)
+        throw LookupError("machine " + proc.machine().name() +
+                          " has no adapter on " + segment.name());
+    port_ = nic->open(proc, owner_tag);
+}
+
+void Endpoint::send(fabric::ProcessId dst, fabric::ChannelId channel,
+                    util::Message msg) {
+    auto& clk = proc_->clock();
+    clk.advance(costs_.per_msg_send);
+    if (msg.size() > costs_.rendezvous_threshold) {
+        // Rendezvous: RTS/CTS round-trip before the payload moves. We charge
+        // the modeled round-trip to the sender; the grant is answered by the
+        // receiver-side progression engine, so it does not synchronize with
+        // the receiving application thread.
+        clk.advance(2 * segment_->params().latency + costs_.rendezvous_cpu);
+    }
+    const SimTime tx_done = port_->send(dst, channel, std::move(msg), clk.now());
+    clk.set(tx_done);
+}
+
+util::Message Endpoint::finish_recv(fabric::Packet&& pkt) {
+    auto& clk = proc_->clock();
+    clk.merge(pkt.deliver_time);
+    clk.advance(costs_.per_msg_recv);
+    return std::move(pkt.payload);
+}
+
+util::Message Endpoint::recv(fabric::ProcessId src,
+                             fabric::ChannelId channel) {
+    auto pkt = port_->recv_from(src, channel); // FIFO per (src, channel)
+    PADICO_CHECK(pkt.has_value(), "endpoint closed while receiving");
+    return finish_recv(std::move(*pkt));
+}
+
+util::Message Endpoint::recv_any(fabric::ChannelId channel,
+                                 fabric::ProcessId* src) {
+    auto pkt = port_->recv_on(channel);
+    PADICO_CHECK(pkt.has_value(), "endpoint closed while receiving");
+    if (src != nullptr) *src = pkt->src;
+    return finish_recv(std::move(*pkt));
+}
+
+std::optional<util::Message> Endpoint::try_recv(fabric::ProcessId src,
+                                                fabric::ChannelId channel) {
+    auto pkt = port_->try_recv_from(src, channel);
+    if (!pkt) return std::nullopt;
+    return finish_recv(std::move(*pkt));
+}
+
+} // namespace padico::mad

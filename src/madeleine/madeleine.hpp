@@ -1,0 +1,71 @@
+#pragma once
+/// \file madeleine.hpp
+/// Substitute for the Madeleine II parallel communication library
+/// (Aumage et al., the paper's foundation for parallel-oriented networks).
+/// Message-based, connection-less within a fixed world, ordered per
+/// (source, channel). Uses an eager protocol below a rendezvous threshold
+/// and models the rendezvous round-trip above it, as MPICH/Madeleine does.
+///
+/// This is a *raw* library: constructing an Endpoint opens the NIC with its
+/// own owner tag, so two different raw users of an exclusive SAN adapter
+/// conflict — which is precisely the situation PadicoTM's arbitration layer
+/// exists to prevent (paper §4.3.1). PadicoTM opens the adapter once and
+/// multiplexes; see padicotm/.
+
+#include <optional>
+#include <string>
+
+#include "fabric/grid.hpp"
+
+namespace padico::mad {
+
+/// Software cost parameters of the Madeleine layer. Calibrated so that
+/// MPI-on-Madeleine reaches the paper's 11 us latency / 240 MB/s on
+/// Myrinet-2000 (see fabric/netmodel.hpp).
+struct MadCosts {
+    SimTime per_msg_send = usec(1.2);
+    SimTime per_msg_recv = usec(1.2);
+    std::size_t rendezvous_threshold = 32 * 1024;
+    SimTime rendezvous_cpu = usec(0.5);
+};
+
+/// One Madeleine instance on one NIC of one process.
+class Endpoint {
+public:
+    /// Opens the adapter of \p proc's machine on \p segment.
+    /// \throws ResourceConflict if the NIC is exclusively owned already.
+    Endpoint(fabric::Process& proc, fabric::NetworkSegment& segment,
+             const std::string& owner_tag = "madeleine",
+             const MadCosts& costs = {});
+
+    fabric::Process& process() noexcept { return *proc_; }
+    fabric::NetworkSegment& segment() noexcept { return *segment_; }
+    const MadCosts& costs() const noexcept { return costs_; }
+
+    /// Send a message to \p dst on logical channel \p channel. Blocking
+    /// (in virtual time); above the rendezvous threshold the modeled
+    /// round-trip of the RTS/CTS handshake is charged to the sender.
+    void send(fabric::ProcessId dst, fabric::ChannelId channel,
+              util::Message msg);
+
+    /// Receive the next message from \p src on \p channel (blocking).
+    /// The receiver's clock merges the modeled delivery time.
+    util::Message recv(fabric::ProcessId src, fabric::ChannelId channel);
+
+    /// Receive from any source on \p channel; reports the source.
+    util::Message recv_any(fabric::ChannelId channel, fabric::ProcessId* src);
+
+    /// Non-blocking receive from \p src on \p channel.
+    std::optional<util::Message> try_recv(fabric::ProcessId src,
+                                          fabric::ChannelId channel);
+
+private:
+    util::Message finish_recv(fabric::Packet&& pkt);
+
+    fabric::Process* proc_;
+    fabric::NetworkSegment* segment_;
+    MadCosts costs_;
+    fabric::PortRef port_;
+};
+
+} // namespace padico::mad

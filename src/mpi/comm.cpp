@@ -1,0 +1,269 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace padico::mpi {
+
+namespace detail {
+
+int coll_tag(std::uint64_t& seq) {
+    // Collectives get tags above the user range, cycling through a window
+    // wide enough that in-flight collectives can never alias.
+    return kMaxUserTag + 1 +
+           static_cast<int>(seq++ % (1u << 10)) * 4;
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// Comm
+
+Comm::Comm(ptm::Runtime& rt, const std::string& name,
+           std::vector<fabric::ProcessId> members, MpiCosts costs)
+    : circuit_(std::make_shared<ptm::Circuit>(rt, name, std::move(members))),
+      costs_(costs), coll_seq_(std::make_shared<std::uint64_t>(0)) {}
+
+void Comm::send_msg(util::Message msg, int dst, int tag) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
+    PADICO_CHECK(tag >= 0, "user tags are non-negative");
+    runtime().process().clock().advance(costs_.per_msg);
+    circuit_->send(dst, tag, std::move(msg));
+}
+
+util::Message Comm::recv_msg(int src, int tag, Status* status) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
+    int got_src = kAnySource, got_tag = kAnyTag;
+    util::Message m = circuit_->recv(src, tag, &got_src, &got_tag);
+    runtime().process().clock().advance(costs_.per_msg);
+    if (status != nullptr)
+        *status = Status{got_src, got_tag, m.size()};
+    return m;
+}
+
+std::optional<util::Message> Comm::try_recv_msg(int src, int tag,
+                                                Status* status) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
+    int got_src = kAnySource, got_tag = kAnyTag;
+    auto m = circuit_->try_recv(src, tag, &got_src, &got_tag);
+    if (!m.has_value()) return std::nullopt;
+    runtime().process().clock().advance(costs_.per_msg);
+    if (status != nullptr)
+        *status = Status{got_src, got_tag, m->size()};
+    return m;
+}
+
+void Comm::send_bytes(const void* data, std::size_t n, int dst, int tag) {
+    send_msg(util::to_message(util::ByteBuf(data, n)), dst, tag);
+}
+
+Status Comm::recv_bytes(void* data, std::size_t n, int src, int tag) {
+    Status st;
+    util::Message m = recv_msg(src, tag, &st);
+    PADICO_CHECK(m.size() <= n,
+                 util::strfmt("message of %zu bytes truncates %zu-byte buffer",
+                              m.size(), n));
+    m.copy_out(0, data, m.size());
+    return st;
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking
+
+struct Request::Impl {
+    // Completed operations only carry a status.
+    bool done = false;
+    Status status;
+    // Pending receive.
+    Comm* comm = nullptr;
+    void* data = nullptr;
+    std::size_t cap = 0;
+    int src = kAnySource;
+    int tag = kAnyTag;
+};
+
+Request Comm::isend(util::Message msg, int dst, int tag) {
+    // Sends are buffered by the fabric: they complete immediately, as an
+    // eager-protocol MPI send does.
+    const std::size_t n = msg.size();
+    send_msg(std::move(msg), dst, tag);
+    Request r;
+    r.impl_ = std::make_shared<Request::Impl>();
+    r.impl_->done = true;
+    r.impl_->status = Status{rank(), tag, n};
+    return r;
+}
+
+Request Comm::isend_bytes(const void* data, std::size_t n, int dst, int tag) {
+    return isend(util::to_message(util::ByteBuf(data, n)), dst, tag);
+}
+
+Request Comm::irecv_bytes(void* data, std::size_t n, int src, int tag) {
+    Request r;
+    r.impl_ = std::make_shared<Request::Impl>();
+    r.impl_->comm = this;
+    r.impl_->data = data;
+    r.impl_->cap = n;
+    r.impl_->src = src;
+    r.impl_->tag = tag;
+    return r;
+}
+
+Status Request::wait() {
+    PADICO_CHECK(impl_ != nullptr, "wait on null request");
+    if (!impl_->done) {
+        impl_->status =
+            impl_->comm->recv_bytes(impl_->data, impl_->cap, impl_->src,
+                                    impl_->tag);
+        impl_->done = true;
+    }
+    return impl_->status;
+}
+
+bool Request::test() {
+    PADICO_CHECK(impl_ != nullptr, "test on null request");
+    if (impl_->done) return true;
+    Status st;
+    auto m = impl_->comm->try_recv_msg(impl_->src, impl_->tag, &st);
+    if (!m.has_value()) return false;
+    PADICO_CHECK(m->size() <= impl_->cap, "message truncates irecv buffer");
+    m->copy_out(0, impl_->data, m->size());
+    impl_->status = st;
+    impl_->done = true;
+    return true;
+}
+
+void wait_all(std::span<Request> reqs) {
+    for (auto& r : reqs) r.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (byte level)
+
+void Comm::barrier() {
+    // Dissemination barrier: ceil(log2 n) rounds.
+    const int tag = detail::coll_tag(*coll_seq_);
+    const int n = size();
+    for (int k = 1; k < n; k <<= 1) {
+        const int to = (rank() + k) % n;
+        const int from = (rank() - k + n) % n;
+        send_msg(util::to_message(util::ByteBuf("b", 1)), to, tag);
+        recv_msg(from, tag);
+    }
+}
+
+void Comm::bcast_bytes(void* data, std::size_t n, int root) {
+    PADICO_CHECK(root >= 0 && root < size(), "bad root");
+    const int tag = detail::coll_tag(*coll_seq_);
+    const int sz = size();
+    const int me = (rank() - root + sz) % sz;
+    // Binomial tree rooted at 0 (relative ranks).
+    int mask = 1;
+    while (mask < sz) {
+        if (me & mask) {
+            const int parent = ((me & ~mask) + root) % sz;
+            recv_bytes(data, n, parent, tag);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+        const int child = me | mask;
+        if (child < sz && !(me & mask))
+            send_bytes(data, n, (child + root) % sz, tag);
+        mask >>= 1;
+    }
+}
+
+std::vector<util::Message> Comm::alltoallv_msg(
+    std::vector<util::Message> out) {
+    PADICO_CHECK(out.size() == static_cast<std::size_t>(size()),
+                 "alltoallv needs one message per rank");
+    const int tag = detail::coll_tag(*coll_seq_);
+    std::vector<util::Message> in(out.size());
+    // Sends are buffered: issue them all, then drain receives.
+    for (int r = 0; r < size(); ++r) {
+        if (r == rank())
+            in[static_cast<std::size_t>(r)] =
+                std::move(out[static_cast<std::size_t>(r)]);
+        else
+            send_msg(std::move(out[static_cast<std::size_t>(r)]), r, tag);
+    }
+    for (int r = 0; r < size(); ++r) {
+        if (r == rank()) continue;
+        in[static_cast<std::size_t>(r)] = recv_msg(r, tag);
+    }
+    return in;
+}
+
+// ---------------------------------------------------------------------------
+// Communicator management
+
+Comm Comm::dup() {
+    return Comm(runtime(), agree_name("d"), circuit_->members(), costs_);
+}
+
+Comm Comm::split(int color, int key) {
+    struct Entry {
+        std::int32_t color;
+        std::int32_t key;
+        std::int32_t old_rank;
+        std::uint32_t pid;
+    };
+    const Entry mine{color, key, rank(),
+                     runtime().process().id()};
+    std::vector<Entry> all(static_cast<std::size_t>(size()));
+    allgather(std::span<const Entry>(&mine, 1), std::span<Entry>(all));
+
+    const int derived = next_derived_++;
+    if (color < 0) return Comm(); // MPI_COMM_NULL analogue
+
+    std::vector<Entry> group;
+    for (const auto& e : all)
+        if (e.color == color) group.push_back(e);
+    std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+        return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
+    });
+    std::vector<fabric::ProcessId> members;
+    for (const auto& e : group) members.push_back(e.pid);
+
+    const std::string name = util::strfmt("%s/s%d/c%d",
+                                          circuit_->name().c_str(), derived,
+                                          color);
+    return Comm(runtime(), name, std::move(members), costs_);
+}
+
+std::string Comm::agree_name(const std::string& kind) {
+    // All members call communicator-derivation operations in the same order
+    // (SPMD discipline), so a locally computed name agrees grid-wide.
+    return util::strfmt("%s/%s%d", circuit_->name().c_str(), kind.c_str(),
+                        next_derived_++);
+}
+
+// ---------------------------------------------------------------------------
+// World / module
+
+std::shared_ptr<World> World::create(ptm::Runtime& rt, const std::string& job,
+                                     std::vector<fabric::ProcessId> members,
+                                     MpiCosts costs) {
+    auto w = std::shared_ptr<World>(new World());
+    w->world_ = Comm(rt, "mpi/" + job, std::move(members), costs);
+    return w;
+}
+
+std::shared_ptr<World> MpiModule::init(
+    const std::string& job, std::vector<fabric::ProcessId> members) {
+    if (!world_) world_ = World::create(*rt_, job, std::move(members));
+    return world_;
+}
+
+void install() {
+    if (!ptm::ModuleManager::has_type("mpi"))
+        ptm::ModuleManager::register_type("mpi", [](ptm::Runtime& rt) {
+            return std::make_shared<MpiModule>(rt);
+        });
+}
+
+} // namespace padico::mpi

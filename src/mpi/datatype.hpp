@@ -1,0 +1,59 @@
+#pragma once
+/// \file datatype.hpp
+/// Derived datatypes: strided vector layouts packed to/from contiguous
+/// wire buffers (MPI_Type_vector analogue). Used when exchanging columns or
+/// sub-blocks of row-major arrays — e.g. the 2D field halos of the code
+/// coupling example.
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace padico::mpi {
+
+/// count blocks of blocklen elements, consecutive blocks stride elements
+/// apart (in units of T).
+struct VectorType {
+    std::size_t count = 0;
+    std::size_t blocklen = 0;
+    std::size_t stride = 0;
+
+    std::size_t packed_elems() const noexcept { return count * blocklen; }
+
+    /// Smallest source extent (in elements) a pack needs.
+    std::size_t extent() const noexcept {
+        return count == 0 ? 0 : (count - 1) * stride + blocklen;
+    }
+};
+
+/// Pack a strided layout from \p src into a contiguous buffer.
+template <typename T>
+std::vector<T> pack(const VectorType& vt, std::span<const T> src) {
+    PADICO_CHECK(src.size() >= vt.extent(), "pack source too small");
+    PADICO_CHECK(vt.blocklen <= vt.stride || vt.count <= 1,
+                 "overlapping vector type");
+    std::vector<T> out;
+    out.reserve(vt.packed_elems());
+    for (std::size_t b = 0; b < vt.count; ++b) {
+        const T* base = src.data() + b * vt.stride;
+        out.insert(out.end(), base, base + vt.blocklen);
+    }
+    return out;
+}
+
+/// Unpack a contiguous buffer back into the strided layout in \p dst.
+template <typename T>
+void unpack(const VectorType& vt, std::span<const T> packed,
+            std::span<T> dst) {
+    PADICO_CHECK(packed.size() == vt.packed_elems(), "unpack size mismatch");
+    PADICO_CHECK(dst.size() >= vt.extent(), "unpack destination too small");
+    for (std::size_t b = 0; b < vt.count; ++b) {
+        std::memcpy(dst.data() + b * vt.stride,
+                    packed.data() + b * vt.blocklen, vt.blocklen * sizeof(T));
+    }
+}
+
+} // namespace padico::mpi

@@ -1,0 +1,320 @@
+#pragma once
+/// \file mpi.hpp
+/// PadMPI: an MPI-1 style message passing library implemented on PadicoTM's
+/// Circuit abstract interface — the analogue of the MPICH/Madeleine port
+/// the paper runs on PadicoTM (§4.3.4). Point-to-point with tag/source
+/// matching and wildcards, nonblocking requests, communicator duplication
+/// and splitting, and tree-based collectives whose timing emerges from the
+/// modeled p2p costs.
+///
+/// The library is a loadable PadicoTM module ("mpi"); it can also be
+/// instantiated directly with World::create.
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "padicotm/circuit.hpp"
+#include "padicotm/module.hpp"
+#include "padicotm/runtime.hpp"
+
+namespace padico::mpi {
+
+inline constexpr int kAnySource = ptm::kAnyRank;
+inline constexpr int kAnyTag = ptm::kAnyTag;
+
+/// Largest user tag; higher values are reserved for collectives.
+inline constexpr int kMaxUserTag = (1 << 20) - 1;
+
+/// Reduction operators.
+enum class Op { Sum, Prod, Min, Max };
+
+struct Status {
+    int source = kAnySource;
+    int tag = kAnyTag;
+    std::size_t bytes = 0;
+};
+
+/// Software cost of the MPI layer itself, per message per side. Together
+/// with Madeleine and Myrinet-2000 this lands on the paper's 11 us MPI
+/// latency.
+struct MpiCosts {
+    SimTime per_msg = usec(0.9);
+};
+
+class World;
+class Request;
+
+/// An MPI communicator: a rank space with its own matching context
+/// (implemented as a dedicated Circuit).
+class Comm {
+public:
+    int rank() const noexcept { return circuit_->rank(); }
+    int size() const noexcept { return circuit_->size(); }
+    ptm::Runtime& runtime() noexcept { return circuit_->runtime(); }
+    const std::string& name() const noexcept { return circuit_->name(); }
+
+    // --- point to point (byte level) -------------------------------------
+    void send_msg(util::Message msg, int dst, int tag);
+    util::Message recv_msg(int src, int tag, Status* status = nullptr);
+    std::optional<util::Message> try_recv_msg(int src, int tag,
+                                              Status* status = nullptr);
+
+    void send_bytes(const void* data, std::size_t n, int dst, int tag);
+    /// Receives into \p data (capacity \p n); the matched message must fit.
+    Status recv_bytes(void* data, std::size_t n, int src, int tag);
+
+    // --- point to point (typed) -----------------------------------------
+    template <typename T>
+    void send(std::span<const T> data, int dst, int tag) {
+        send_bytes(data.data(), data.size_bytes(), dst, tag);
+    }
+    template <typename T> void send_value(const T& v, int dst, int tag) {
+        send_bytes(&v, sizeof v, dst, tag);
+    }
+    template <typename T> Status recv(std::span<T> data, int src, int tag) {
+        return recv_bytes(data.data(), data.size_bytes(), src, tag);
+    }
+    template <typename T> T recv_value(int src, int tag) {
+        T v{};
+        recv_bytes(&v, sizeof v, src, tag);
+        return v;
+    }
+
+    // --- nonblocking -------------------------------------------------------
+    Request isend(util::Message msg, int dst, int tag);
+    Request isend_bytes(const void* data, std::size_t n, int dst, int tag);
+    Request irecv_bytes(void* data, std::size_t n, int src, int tag);
+
+    // --- collectives ------------------------------------------------------
+    void barrier();
+    void bcast_bytes(void* data, std::size_t n, int root);
+    template <typename T> void bcast(std::span<T> data, int root) {
+        bcast_bytes(data.data(), data.size_bytes(), root);
+    }
+
+    template <typename T>
+    void reduce(std::span<const T> in, std::span<T> out, Op op, int root);
+    template <typename T>
+    void allreduce(std::span<const T> in, std::span<T> out, Op op);
+
+    /// Root gathers size() blocks of \p in.size() elements each.
+    template <typename T>
+    void gather(std::span<const T> in, std::span<T> out, int root);
+    template <typename T>
+    void scatter(std::span<const T> in, std::span<T> out, int root);
+    template <typename T>
+    void allgather(std::span<const T> in, std::span<T> out);
+    template <typename T>
+    void alltoall(std::span<const T> in, std::span<T> out);
+
+    /// Message-level all-to-all with per-destination payloads of arbitrary
+    /// size (the redistribution workhorse of GridCCM). out[r] is sent to
+    /// rank r; the result holds what rank r sent to us. Entries to self move
+    /// without communication.
+    std::vector<util::Message> alltoallv_msg(std::vector<util::Message> out);
+
+    // --- communicator management -------------------------------------------
+    /// Collective: a new communicator with the same group.
+    Comm dup();
+    /// Collective: partition by color; ranks ordered by (key, old rank).
+    /// A negative color yields an invalid Comm (like MPI_COMM_NULL).
+    Comm split(int color, int key);
+
+    bool valid() const noexcept { return circuit_ != nullptr; }
+
+private:
+    friend class World;
+    Comm() = default;
+    Comm(ptm::Runtime& rt, const std::string& name,
+         std::vector<fabric::ProcessId> members, MpiCosts costs);
+
+    /// Collective agreement on a grid-unique name for a derived circuit.
+    std::string agree_name(const std::string& kind);
+
+    std::shared_ptr<ptm::Circuit> circuit_;
+    MpiCosts costs_;
+    std::shared_ptr<std::uint64_t> coll_seq_; ///< per-comm collective counter
+    int next_derived_ = 0;
+};
+
+/// A nonblocking operation handle.
+class Request {
+public:
+    Request() = default;
+
+    /// Block until the operation completes.
+    Status wait();
+    /// Poll; true when complete (status available via wait()).
+    bool test();
+
+private:
+    friend class Comm;
+    struct Impl;
+    std::shared_ptr<Impl> impl_;
+};
+
+/// Wait for all requests (MPI_Waitall).
+void wait_all(std::span<Request> reqs);
+
+/// The MPI instance of one process: owns MPI_COMM_WORLD.
+class World {
+public:
+    /// Collective across \p members (every member calls with the same
+    /// arguments). \p job names the instance grid-wide.
+    static std::shared_ptr<World> create(ptm::Runtime& rt,
+                                         const std::string& job,
+                                         std::vector<fabric::ProcessId> members,
+                                         MpiCosts costs = {});
+
+    Comm& world() noexcept { return world_; }
+
+private:
+    World() = default;
+    Comm world_;
+};
+
+/// The loadable PadicoTM module wrapper.
+class MpiModule : public ptm::Module {
+public:
+    explicit MpiModule(ptm::Runtime& rt) : rt_(&rt) {}
+    std::string name() const override { return "mpi"; }
+
+    /// First call creates the world; later calls return it.
+    std::shared_ptr<World> init(const std::string& job,
+                                std::vector<fabric::ProcessId> members);
+    std::shared_ptr<World> world() const { return world_; }
+
+private:
+    ptm::Runtime* rt_;
+    std::shared_ptr<World> world_;
+};
+
+/// Register the "mpi" module type with the PadicoTM module registry.
+void install();
+
+// ===========================================================================
+// templates
+
+namespace detail {
+
+template <typename T> T combine(Op op, T a, T b) {
+    switch (op) {
+    case Op::Sum: return a + b;
+    case Op::Prod: return a * b;
+    case Op::Min: return a < b ? a : b;
+    case Op::Max: return a > b ? a : b;
+    }
+    throw UsageError("bad reduction op");
+}
+
+/// Tags used by collective phases; sequenced per communicator so that
+/// back-to-back collectives never cross-match.
+int coll_tag(std::uint64_t& seq);
+
+} // namespace detail
+
+template <typename T>
+void Comm::reduce(std::span<const T> in, std::span<T> out, Op op, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PADICO_CHECK(root >= 0 && root < size(), "bad root");
+    const int tag = detail::coll_tag(*coll_seq_);
+    const int n = size();
+    const int me = (rank() - root + n) % n; // relative rank, root -> 0
+    std::vector<T> acc(in.begin(), in.end());
+    // Binomial tree: children push partial results toward the root.
+    for (int mask = 1; mask < n; mask <<= 1) {
+        if (me & mask) {
+            const int parent = ((me & ~mask) + root) % n;
+            send(std::span<const T>(acc), parent, tag);
+            break;
+        }
+        const int child = me | mask;
+        if (child < n) {
+            std::vector<T> part(in.size());
+            recv(std::span<T>(part), (child + root) % n, tag);
+            for (std::size_t i = 0; i < acc.size(); ++i)
+                acc[i] = detail::combine(op, acc[i], part[i]);
+        }
+    }
+    if (rank() == root) {
+        PADICO_CHECK(out.size() == in.size(), "reduce size mismatch");
+        std::memcpy(out.data(), acc.data(), acc.size() * sizeof(T));
+    }
+}
+
+template <typename T>
+void Comm::allreduce(std::span<const T> in, std::span<T> out, Op op) {
+    PADICO_CHECK(out.size() == in.size(), "allreduce size mismatch");
+    reduce(in, out, op, 0);
+    bcast(out, 0);
+}
+
+template <typename T>
+void Comm::gather(std::span<const T> in, std::span<T> out, int root) {
+    const int tag = detail::coll_tag(*coll_seq_);
+    if (rank() == root) {
+        PADICO_CHECK(out.size() == in.size() * static_cast<std::size_t>(size()),
+                     "gather output size mismatch");
+        for (int r = 0; r < size(); ++r) {
+            auto slot = out.subspan(static_cast<std::size_t>(r) * in.size(),
+                                    in.size());
+            if (r == rank())
+                std::memcpy(slot.data(), in.data(), in.size_bytes());
+            else
+                recv(slot, r, tag);
+        }
+    } else {
+        send(in, root, tag);
+    }
+}
+
+template <typename T>
+void Comm::scatter(std::span<const T> in, std::span<T> out, int root) {
+    const int tag = detail::coll_tag(*coll_seq_);
+    if (rank() == root) {
+        PADICO_CHECK(in.size() == out.size() * static_cast<std::size_t>(size()),
+                     "scatter input size mismatch");
+        for (int r = 0; r < size(); ++r) {
+            auto slot = in.subspan(static_cast<std::size_t>(r) * out.size(),
+                                   out.size());
+            if (r == rank())
+                std::memcpy(out.data(), slot.data(), out.size_bytes());
+            else
+                send(slot, r, tag);
+        }
+    } else {
+        recv(out, root, tag);
+    }
+}
+
+template <typename T>
+void Comm::allgather(std::span<const T> in, std::span<T> out) {
+    PADICO_CHECK(out.size() == in.size() * static_cast<std::size_t>(size()),
+                 "allgather output size mismatch");
+    gather(in, out, 0);
+    bcast(out, 0);
+}
+
+template <typename T>
+void Comm::alltoall(std::span<const T> in, std::span<T> out) {
+    const std::size_t block = in.size() / static_cast<std::size_t>(size());
+    PADICO_CHECK(in.size() == out.size() &&
+                     in.size() == block * static_cast<std::size_t>(size()),
+                 "alltoall size mismatch");
+    std::vector<util::Message> parts;
+    for (int r = 0; r < size(); ++r) {
+        parts.push_back(util::to_message(util::ByteBuf(
+            in.data() + static_cast<std::size_t>(r) * block,
+            block * sizeof(T))));
+    }
+    auto got = alltoallv_msg(std::move(parts));
+    for (int r = 0; r < size(); ++r)
+        got[static_cast<std::size_t>(r)].copy_out(
+            0, out.data() + static_cast<std::size_t>(r) * block,
+            block * sizeof(T));
+}
+
+} // namespace padico::mpi

@@ -1,0 +1,104 @@
+#pragma once
+/// \file queue.hpp
+/// Blocking multi-producer/multi-consumer queue. This is the delivery
+/// primitive under every simulated network adapter and channel mailbox.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace padico::osal {
+
+template <typename T> class BlockingQueue {
+public:
+    /// Enqueue; never blocks (queues are unbounded — flow control is the
+    /// business of the protocols above, as in the real stacks).
+    /// notify_all: consumers may wait with different match predicates.
+    void push(T v) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            items_.push_back(std::move(v));
+        }
+        cv_.notify_all();
+    }
+
+    /// Dequeue, blocking until an item is available or close() is called.
+    /// Returns nullopt only after close() with an empty queue.
+    std::optional<T> pop() {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+        if (items_.empty()) return std::nullopt;
+        T v = std::move(items_.front());
+        items_.pop_front();
+        return v;
+    }
+
+    /// Non-blocking dequeue.
+    std::optional<T> try_pop() {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (items_.empty()) return std::nullopt;
+        T v = std::move(items_.front());
+        items_.pop_front();
+        return v;
+    }
+
+    /// Dequeue the first element matching \p pred, blocking until one
+    /// appears or the queue is closed (tag matching à la MPI).
+    template <typename Pred> std::optional<T> pop_matching(Pred pred) {
+        std::unique_lock<std::mutex> lk(mu_);
+        while (true) {
+            for (auto it = items_.begin(); it != items_.end(); ++it) {
+                if (pred(*it)) {
+                    T v = std::move(*it);
+                    items_.erase(it);
+                    return v;
+                }
+            }
+            if (closed_) return std::nullopt;
+            cv_.wait(lk);
+        }
+    }
+
+    /// Non-blocking variant of pop_matching.
+    template <typename Pred> std::optional<T> try_pop_matching(Pred pred) {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+            if (pred(*it)) {
+                T v = std::move(*it);
+                items_.erase(it);
+                return v;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return items_.size();
+    }
+    bool empty() const { return size() == 0; }
+
+    /// Wake all blocked consumers; subsequent pops drain then return nullopt.
+    void close() {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    bool closed() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return closed_;
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace padico::osal

@@ -1,0 +1,110 @@
+#pragma once
+/// \file sync.hpp
+/// Events, latches and a join-on-destruction thread group. These stand in
+/// for the Marcel thread library the paper builds on: the point the paper
+/// makes (§4.3.1) is that all middleware must share ONE coherent threading
+/// policy, which in this codebase means everything above the fabric uses
+/// these primitives and the single NetEngine progression loop.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace padico::osal {
+
+/// Manual-reset event.
+class Event {
+public:
+    void set() {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            set_ = true;
+        }
+        cv_.notify_all();
+    }
+    void wait() {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return set_; });
+    }
+    bool is_set() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return set_;
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool set_ = false;
+};
+
+/// Count-down latch (std::latch lacks wait-and-reuse; we keep our own).
+class Latch {
+public:
+    explicit Latch(std::size_t count) : count_(count) {}
+    void count_down() {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (count_ > 0 && --count_ == 0) cv_.notify_all();
+    }
+    void wait() {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return count_ == 0; });
+    }
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t count_;
+};
+
+/// Reusable barrier for N participants.
+class Barrier {
+public:
+    explicit Barrier(std::size_t n) : n_(n) {}
+    void arrive_and_wait() {
+        std::unique_lock<std::mutex> lk(mu_);
+        const std::size_t gen = generation_;
+        if (++arrived_ == n_) {
+            arrived_ = 0;
+            ++generation_;
+            cv_.notify_all();
+            return;
+        }
+        cv_.wait(lk, [&] { return generation_ != gen; });
+    }
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t n_;
+    std::size_t arrived_ = 0;
+    std::size_t generation_ = 0;
+};
+
+/// Owns a set of threads; joins them on destruction (RAII).
+class ThreadGroup {
+public:
+    ThreadGroup() = default;
+    ThreadGroup(const ThreadGroup&) = delete;
+    ThreadGroup& operator=(const ThreadGroup&) = delete;
+    ~ThreadGroup() { join_all(); }
+
+    void spawn(std::function<void()> fn) {
+        threads_.emplace_back(std::move(fn));
+    }
+
+    void join_all() {
+        for (auto& t : threads_)
+            if (t.joinable()) t.join();
+        threads_.clear();
+    }
+
+    std::size_t size() const noexcept { return threads_.size(); }
+
+private:
+    std::vector<std::thread> threads_;
+};
+
+} // namespace padico::osal

@@ -1,0 +1,128 @@
+#include "padicotm/circuit.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace padico::ptm {
+
+namespace {
+
+/// Wire envelope prepended to every circuit message.
+struct Envelope {
+    std::int32_t src_rank;
+    std::int32_t tag;
+};
+
+util::Segment make_envelope(int src_rank, int tag) {
+    Envelope e{static_cast<std::int32_t>(src_rank),
+               static_cast<std::int32_t>(tag)};
+    return util::Segment(util::make_buf(&e, sizeof e));
+}
+
+} // namespace
+
+Circuit::Circuit(Runtime& rt, const std::string& name,
+                 std::vector<fabric::ProcessId> members)
+    : rt_(&rt), name_(name), members_(std::move(members)) {
+    PADICO_CHECK(!members_.empty(), "circuit needs at least one member");
+    auto& grid = rt.grid();
+    const fabric::ProcessId self = rt.process().id();
+    for (std::size_t r = 0; r < members_.size(); ++r) {
+        member_channels_.push_back(grid.channel_id(
+            util::strfmt("circuit/%s/%zu", name.c_str(), r)));
+        if (members_[r] == self) rank_ = static_cast<int>(r);
+    }
+    PADICO_CHECK(rank_ >= 0, "calling process is not a member of circuit '" +
+                                 name + "'");
+    inbox_ = rt.subscribe(member_channels_[static_cast<std::size_t>(rank_)]);
+
+    // Collective rendezvous: publish readiness, wait for the whole group.
+    grid.register_service(
+        util::strfmt("circuit/%s/ready/%d", name.c_str(), rank_), self);
+    for (std::size_t r = 0; r < members_.size(); ++r) {
+        const fabric::ProcessId pid = grid.wait_service(
+            util::strfmt("circuit/%s/ready/%zu", name.c_str(), r));
+        PADICO_CHECK(pid == members_[r],
+                     "circuit member list disagrees across processes");
+    }
+}
+
+Circuit::~Circuit() {
+    rt_->unsubscribe(member_channels_[static_cast<std::size_t>(rank_)]);
+}
+
+void Circuit::send(int dst_rank, int tag, util::Message payload) {
+    PADICO_CHECK(dst_rank >= 0 && dst_rank < size(), "bad destination rank");
+    PADICO_CHECK(tag >= 0, "tags must be non-negative");
+    util::Message framed(make_envelope(rank_, tag));
+    framed.append(payload);
+    rt_->post(members_[static_cast<std::size_t>(dst_rank)],
+              member_channels_[static_cast<std::size_t>(dst_rank)],
+              std::move(framed));
+}
+
+Circuit::Pending Circuit::parse(Delivery&& d) {
+    auto peeled = rt_->peel(d);
+    util::Message& body = peeled.payload;
+    PADICO_WIRE_CHECK(body.size() >= sizeof(Envelope),
+                      "short circuit message");
+    Envelope e;
+    body.copy_out(0, &e, sizeof e);
+    return Pending{static_cast<int>(e.src_rank), static_cast<int>(e.tag),
+                   d.deliver_time, peeled.cost,
+                   body.slice(sizeof e, body.size() - sizeof e)};
+}
+
+std::optional<util::Message> Circuit::match_pending(int src_rank, int tag,
+                                                    int* out_src,
+                                                    int* out_tag) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        const bool src_ok = (src_rank == kAnyRank || it->src_rank == src_rank);
+        const bool tag_ok = (tag == kAnyTag || it->tag == tag);
+        if (src_ok && tag_ok) {
+            if (out_src) *out_src = it->src_rank;
+            if (out_tag) *out_tag = it->tag;
+            rt_->consume(it->deliver_time, it->cost);
+            util::Message payload = std::move(it->payload);
+            pending_.erase(it);
+            return payload;
+        }
+    }
+    return std::nullopt;
+}
+
+util::Message Circuit::recv(int src_rank, int tag, int* out_src,
+                            int* out_tag) {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (true) {
+        if (auto hit = match_pending(src_rank, tag, out_src, out_tag))
+            return std::move(*hit);
+        PLOG(trace, "padicotm")
+            << "circuit " << name_ << " rank " << rank_ << " recv("
+            << src_rank << "," << tag << ") waiting";
+        auto d = inbox_->pop();
+        PADICO_CHECK(d.has_value(), "circuit '" + name_ +
+                                        "' closed while receiving");
+        Pending p = parse(std::move(*d));
+        PLOG(trace, "padicotm")
+            << "circuit " << name_ << " rank " << rank_ << " got msg from "
+            << p.src_rank << " tag " << p.tag;
+        pending_.push_back(std::move(p));
+    }
+}
+
+std::optional<util::Message> Circuit::try_recv(int src_rank, int tag,
+                                               int* out_src, int* out_tag) {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (true) {
+        if (auto hit = match_pending(src_rank, tag, out_src, out_tag))
+            return hit;
+        auto d = inbox_->try_pop();
+        if (!d.has_value()) return std::nullopt;
+        pending_.push_back(parse(std::move(*d)));
+    }
+}
+
+} // namespace padico::ptm

@@ -1,0 +1,81 @@
+#pragma once
+/// \file circuit.hpp
+/// Circuit: PadicoTM's parallel-oriented abstract interface (paper §4.3.2).
+/// A circuit is a fixed group of processes with logical ranks exchanging
+/// tagged messages. The same API works whatever the underlying hardware is:
+/// the runtime maps each (sender, receiver) pair onto the best network the
+/// pair shares — straight mapping on a SAN via the Madeleine driver,
+/// cross-paradigm mapping over TCP-like links when members live on
+/// different clusters.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "padicotm/runtime.hpp"
+
+namespace padico::ptm {
+
+/// Wildcards for Circuit::recv.
+inline constexpr int kAnyRank = -1;
+inline constexpr int kAnyTag = -1;
+
+class Circuit {
+public:
+    /// Collective creation: every process in \p members calls this with the
+    /// same \p name and member list. Blocks until the whole group is up.
+    Circuit(Runtime& rt, const std::string& name,
+            std::vector<fabric::ProcessId> members);
+    ~Circuit();
+    Circuit(const Circuit&) = delete;
+    Circuit& operator=(const Circuit&) = delete;
+
+    Runtime& runtime() noexcept { return *rt_; }
+    const std::string& name() const noexcept { return name_; }
+    int rank() const noexcept { return rank_; }
+    int size() const noexcept { return static_cast<int>(members_.size()); }
+    const std::vector<fabric::ProcessId>& members() const noexcept {
+        return members_;
+    }
+
+    /// Send \p payload to member \p dst_rank with \p tag.
+    void send(int dst_rank, int tag, util::Message payload);
+
+    /// Receive the next message matching (src_rank, tag); wildcards
+    /// kAnyRank / kAnyTag allowed. Matching messages are delivered in
+    /// arrival order per (source, tag).
+    util::Message recv(int src_rank, int tag, int* out_src = nullptr,
+                       int* out_tag = nullptr);
+
+    /// Non-blocking probe-and-receive.
+    std::optional<util::Message> try_recv(int src_rank, int tag,
+                                          int* out_src = nullptr,
+                                          int* out_tag = nullptr);
+
+private:
+    struct Pending {
+        int src_rank;
+        int tag;
+        SimTime deliver_time;
+        SimTime cost; ///< receive-side processing, charged at consume
+        util::Message payload;
+    };
+
+    Pending parse(Delivery&& d);
+    std::optional<util::Message> match_pending(int src_rank, int tag,
+                                               int* out_src, int* out_tag);
+
+    Runtime* rt_;
+    std::string name_;
+    std::vector<fabric::ProcessId> members_;
+    std::vector<fabric::ChannelId> member_channels_;
+    int rank_ = -1;
+    MailboxPtr inbox_;
+
+    std::mutex mu_; ///< guards pending_ (recv may be called by 2+ threads)
+    std::deque<Pending> pending_;
+};
+
+} // namespace padico::ptm

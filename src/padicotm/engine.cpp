@@ -1,0 +1,94 @@
+#include "padicotm/engine.hpp"
+
+#include "util/log.hpp"
+
+namespace padico::ptm {
+
+MailboxPtr Demux::subscribe(fabric::ChannelId ch) {
+    std::lock_guard<std::mutex> lk(mu_);
+    PLOG(trace, "padicotm") << "subscribe ch " << ch;
+    auto it = boxes_.find(ch);
+    if (it != boxes_.end()) return it->second;
+    auto box = std::make_shared<Mailbox>();
+    auto pend = pending_.find(ch);
+    if (pend != pending_.end()) {
+        for (auto& d : pend->second) box->push(std::move(d));
+        pending_.erase(pend);
+    }
+    boxes_.emplace(ch, box);
+    return box;
+}
+
+void Demux::unsubscribe(fabric::ChannelId ch) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = boxes_.find(ch);
+    if (it == boxes_.end()) return;
+    it->second->close();
+    boxes_.erase(it);
+}
+
+void Demux::route(fabric::Packet&& pkt, SimTime demux_cost) {
+    Delivery d;
+    d.src = pkt.src;
+    d.deliver_time = pkt.deliver_time + demux_cost;
+    d.flags = pkt.flags;
+    d.via = pkt.via;
+    d.payload = std::move(pkt.payload);
+
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = boxes_.find(pkt.channel);
+    PLOG(trace, "padicotm") << "route ch " << pkt.channel << " from "
+                            << pkt.src << " (" << d.payload.size()
+                            << " B) -> "
+                            << (it != boxes_.end() ? "mailbox" : "pending");
+    if (it != boxes_.end()) {
+        it->second->push(std::move(d));
+    } else {
+        pending_[pkt.channel].push_back(std::move(d));
+    }
+}
+
+void Demux::close_all() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [ch, box] : boxes_) box->close();
+}
+
+NetEngine::NetEngine(fabric::Process& proc, SimTime demux_cost)
+    : proc_(&proc), demux_cost_(demux_cost) {
+    for (fabric::Adapter* nic : proc.machine().adapters()) {
+        fabric::PortRef port;
+        try {
+            port = nic->open(proc, "padicotm");
+        } catch (const ResourceConflict& e) {
+            PLOG(warn, "padicotm")
+                << proc.name() << ": cannot arbitrate "
+                << nic->segment().name() << " (" << e.what()
+                << "); degrading to remaining networks";
+            continue;
+        }
+        segments_.push_back(&nic->segment());
+        fabric::Port* raw = port.get();
+        ports_.push_back(std::move(port));
+        progression_.spawn([this, raw] {
+            fabric::Process::bind_to_thread(proc_);
+            while (auto pkt = raw->recv())
+                demux_.route(std::move(*pkt), demux_cost_);
+        });
+    }
+}
+
+NetEngine::~NetEngine() {
+    // Ordered shutdown: stop delivery, join progression, then release NICs.
+    for (auto& p : ports_) p->close_rx();
+    progression_.join_all();
+    demux_.close_all();
+    ports_.clear();
+}
+
+fabric::Port* NetEngine::port_on(const fabric::NetworkSegment& seg) {
+    for (auto& p : ports_)
+        if (&p->adapter().segment() == &seg) return p.get();
+    return nullptr;
+}
+
+} // namespace padico::ptm

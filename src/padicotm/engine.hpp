@@ -1,0 +1,93 @@
+#pragma once
+/// \file engine.hpp
+/// The PadicoTM arbitration core (paper §4.3.1): a single multiplexed,
+/// cooperative access point to every NIC of the machine.
+///
+/// One NetEngine per process opens each adapter exactly once (owner tag
+/// "padicotm") and runs one progression thread per port — the paper's
+/// "core which handles the interleaving between the different paradigms ...
+/// and enforces a coherent multithreading policy among the concurrent
+/// polling loops". Incoming packets are demultiplexed by channel id into
+/// mailboxes; middleware above (Circuit, VLink and everything built on
+/// them) only ever touches mailboxes, never raw ports.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fabric/grid.hpp"
+#include "osal/queue.hpp"
+#include "osal/sync.hpp"
+
+namespace padico::ptm {
+
+/// What the demux hands to a channel consumer.
+struct Delivery {
+    fabric::ProcessId src = fabric::kNoProcess;
+    SimTime deliver_time = 0;
+    std::uint32_t flags = 0;
+    fabric::NetworkSegment* via = nullptr;
+    util::Message payload;
+};
+
+using Mailbox = osal::BlockingQueue<Delivery>;
+using MailboxPtr = std::shared_ptr<Mailbox>;
+
+/// Channel-id based demultiplexer. Packets for channels without a mailbox
+/// yet are buffered and replayed on subscribe (a peer may legitimately send
+/// before this side has finished joining a circuit).
+class Demux {
+public:
+    /// Create (or return) the mailbox of a channel.
+    MailboxPtr subscribe(fabric::ChannelId ch);
+
+    /// Drop a channel; its mailbox is closed.
+    void unsubscribe(fabric::ChannelId ch);
+
+    /// Route one packet; \p demux_cost is added to the delivery timestamp
+    /// (the engine's per-message software cost).
+    void route(fabric::Packet&& pkt, SimTime demux_cost);
+
+    /// Close every mailbox (engine shutdown).
+    void close_all();
+
+private:
+    std::mutex mu_;
+    std::map<fabric::ChannelId, MailboxPtr> boxes_;
+    std::map<fabric::ChannelId, std::vector<Delivery>> pending_;
+};
+
+/// Opens the machine's adapters and runs the progression loops.
+class NetEngine {
+public:
+    /// Opens every adapter of the process's machine. Adapters already
+    /// exclusively owned by raw middleware are skipped with a warning —
+    /// the process then degrades to whatever networks remain (this is the
+    /// "competitive access" failure mode measured by the arbitration
+    /// ablation benchmark).
+    NetEngine(fabric::Process& proc, SimTime demux_cost);
+    ~NetEngine();
+    NetEngine(const NetEngine&) = delete;
+    NetEngine& operator=(const NetEngine&) = delete;
+
+    Demux& demux() noexcept { return demux_; }
+
+    /// The engine's port on \p seg, or nullptr when unavailable.
+    fabric::Port* port_on(const fabric::NetworkSegment& seg);
+
+    /// Segments this engine actually controls.
+    const std::vector<fabric::NetworkSegment*>& segments() const noexcept {
+        return segments_;
+    }
+
+private:
+    fabric::Process* proc_;
+    SimTime demux_cost_;
+    Demux demux_;
+    std::vector<fabric::PortRef> ports_;
+    std::vector<fabric::NetworkSegment*> segments_;
+    osal::ThreadGroup progression_;
+};
+
+} // namespace padico::ptm

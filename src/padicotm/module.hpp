@@ -1,0 +1,61 @@
+#pragma once
+/// \file module.hpp
+/// Dynamically loadable middleware modules (paper §4.3.4: "the middleware
+/// systems, like any other PadicoTM module, are dynamically loadable; any
+/// combination of them may be used at the same time and can be dynamically
+/// changed"). In the real system these are dlopen'ed shared objects; here
+/// a module is a named, factory-constructed object owned by the Runtime,
+/// with the same load/unload/list life cycle.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace padico::ptm {
+
+class Runtime;
+
+/// Base class of every loadable middleware module.
+class Module {
+public:
+    virtual ~Module() = default;
+    virtual std::string name() const = 0;
+};
+
+/// Per-runtime module table plus a process-global factory registry.
+class ModuleManager {
+public:
+    using Factory = std::function<std::shared_ptr<Module>(Runtime&)>;
+
+    explicit ModuleManager(Runtime& rt) : rt_(&rt) {}
+
+    /// Register a module type (grid-wide, done once by each middleware
+    /// library via its install() function).
+    static void register_type(const std::string& name, Factory factory);
+    static bool has_type(const std::string& name);
+
+    /// Instantiate a registered module in this runtime (idempotent).
+    std::shared_ptr<Module> load(const std::string& name);
+
+    /// Drop a loaded module; its resources are released when the last
+    /// user lets go of the shared_ptr.
+    void unload(const std::string& name);
+
+    std::shared_ptr<Module> find(const std::string& name) const;
+    bool is_loaded(const std::string& name) const {
+        return find(name) != nullptr;
+    }
+    std::vector<std::string> loaded() const;
+
+private:
+    Runtime* rt_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<Module>> loaded_;
+};
+
+} // namespace padico::ptm

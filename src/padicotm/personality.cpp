@@ -1,0 +1,169 @@
+#include "padicotm/personality.hpp"
+
+namespace padico::ptm {
+
+// ---------------------------------------------------------------------------
+// BsdSocketApi
+
+BsdSocketApi::Entry& BsdSocketApi::entry(int fd) {
+    auto it = fds_.find(fd);
+    PADICO_CHECK(it != fds_.end(), "bad padico fd " + std::to_string(fd));
+    return it->second;
+}
+
+int BsdSocketApi::pad_listen(const std::string& service) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const int fd = next_fd_++;
+    fds_[fd].listener = std::make_unique<VLinkListener>(*rt_, service);
+    return fd;
+}
+
+int BsdSocketApi::pad_accept(int listen_fd) {
+    VLinkListener* listener;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        Entry& e = entry(listen_fd);
+        PADICO_CHECK(e.listener != nullptr, "fd is not listening");
+        listener = e.listener.get();
+    }
+    VLink link = listener->accept();
+    PADICO_CHECK(link.valid(), "listener shut down");
+    std::lock_guard<std::mutex> lk(mu_);
+    const int fd = next_fd_++;
+    fds_[fd].stream = std::make_unique<VLink>(std::move(link));
+    return fd;
+}
+
+int BsdSocketApi::pad_connect(const std::string& service) {
+    VLink link = VLink::connect(*rt_, service);
+    std::lock_guard<std::mutex> lk(mu_);
+    const int fd = next_fd_++;
+    fds_[fd].stream = std::make_unique<VLink>(std::move(link));
+    return fd;
+}
+
+std::int64_t BsdSocketApi::pad_send(int fd, const void* buf, std::size_t n) {
+    VLink* s;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        Entry& e = entry(fd);
+        PADICO_CHECK(e.stream != nullptr, "fd is not a stream");
+        s = e.stream.get();
+    }
+    s->write(buf, n);
+    return static_cast<std::int64_t>(n);
+}
+
+std::int64_t BsdSocketApi::pad_recv(int fd, void* buf, std::size_t n) {
+    VLink* s;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        Entry& e = entry(fd);
+        PADICO_CHECK(e.stream != nullptr, "fd is not a stream");
+        s = e.stream.get();
+    }
+    auto m = s->read_msg_opt(n);
+    if (!m.has_value()) return 0; // EOF
+    m->copy_out(0, buf, n);
+    return static_cast<std::int64_t>(n);
+}
+
+void BsdSocketApi::pad_close(int fd) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Entry& e = entry(fd);
+    if (e.stream) e.stream->close();
+    fds_.erase(fd);
+}
+
+// ---------------------------------------------------------------------------
+// AioApi
+
+AioApi::~AioApi() {
+    for (auto& t : workers_)
+        if (t.joinable()) t.join();
+}
+
+AioApi::ControlPtr AioApi::aio_write(VLink& link, const void* buf,
+                                     std::size_t n) {
+    auto cb = std::make_shared<Control>();
+    // Writes never block in the simulated stack: complete inline, like an
+    // AIO implementation with a large kernel buffer.
+    link.write(buf, n);
+    std::lock_guard<std::mutex> lk(mu_);
+    cb->done = true;
+    cb->result = static_cast<std::int64_t>(n);
+    return cb;
+}
+
+AioApi::ControlPtr AioApi::aio_read(VLink& link, void* buf, std::size_t n) {
+    auto cb = std::make_shared<Control>();
+    workers_.emplace_back([this, cb, &link, buf, n] {
+        std::int64_t result = 0;
+        auto m = link.read_msg_opt(n);
+        if (m.has_value()) {
+            m->copy_out(0, buf, n);
+            result = static_cast<std::int64_t>(n);
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            cb->result = result;
+            cb->done = true;
+        }
+        cv_.notify_all();
+    });
+    return cb;
+}
+
+std::int64_t AioApi::aio_suspend(const ControlPtr& cb) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return cb->done; });
+    return cb->result;
+}
+
+bool AioApi::aio_done(const ControlPtr& cb) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cb->done;
+}
+
+// ---------------------------------------------------------------------------
+// MadApi
+
+void MadApi::PackingConnection::pack(const void* data, std::size_t n) {
+    staged_.append(data, n);
+}
+
+void MadApi::PackingConnection::end_packing() {
+    circuit_->send(dst_, MadApi::kMadTag,
+                   util::to_message(std::move(staged_)));
+    staged_.clear();
+}
+
+void MadApi::UnpackingConnection::unpack(void* data, std::size_t n) {
+    PADICO_WIRE_CHECK(off_ + n <= msg_.size(), "unpack past end of message");
+    msg_.copy_out(off_, data, n);
+    off_ += n;
+}
+
+void MadApi::UnpackingConnection::end_unpacking() {
+    PADICO_WIRE_CHECK(off_ == msg_.size(),
+                      "end_unpacking with bytes left over");
+}
+
+// ---------------------------------------------------------------------------
+// FmApi
+
+void FmApi::fm_send(int dst_rank, int handler, const void* data,
+                    std::size_t n) {
+    PADICO_CHECK(handler >= 0, "handler numbers are non-negative");
+    circuit_->send(dst_rank, handler, util::to_message(util::ByteBuf(data, n)));
+}
+
+std::size_t FmApi::fm_extract(int handler, void* data, std::size_t cap,
+                              int* src_rank) {
+    util::Message m = circuit_->recv(kAnyRank, handler, src_rank);
+    PADICO_CHECK(m.size() <= cap, "fm_extract buffer too small");
+    m.copy_out(0, data, m.size());
+    return m.size();
+}
+
+} // namespace padico::ptm

@@ -1,0 +1,156 @@
+#pragma once
+/// \file personality.hpp
+/// The PadicoTM personality layer (paper §4.3.3): "thin adapters which
+/// adapt a generic API to make it look like another close API. They do not
+/// do protocol adaptation nor paradigm translation; they only adapt the
+/// syntax."
+///
+/// Implemented personalities, mirroring the paper's list:
+///  - BsdSocketApi : VLink  -> BSD socket syntax (fd table, send/recv)
+///  - AioApi       : VLink  -> Posix.2 asynchronous I/O syntax
+///  - MadApi       : Circuit-> Madeleine pack/unpack syntax
+///  - FmApi        : Circuit-> FastMessages send/extract syntax
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "padicotm/circuit.hpp"
+#include "padicotm/vlink.hpp"
+
+namespace padico::ptm {
+
+// ---------------------------------------------------------------------------
+// BSD socket personality on VLink
+
+/// File-descriptor flavored facade over VLink, for porting socket code
+/// without source changes (the paper ports omniORB & friends this way,
+/// "thanks to wrappers used at link stage").
+class BsdSocketApi {
+public:
+    explicit BsdSocketApi(Runtime& rt) : rt_(&rt) {}
+
+    /// socket()+bind()+listen() in one: returns a listening fd.
+    int pad_listen(const std::string& service);
+    /// accept(2): blocking; returns a connected fd.
+    int pad_accept(int listen_fd);
+    /// connect(2): returns a connected fd.
+    int pad_connect(const std::string& service);
+    /// send(2): always sends the full buffer (no short writes).
+    std::int64_t pad_send(int fd, const void* buf, std::size_t n);
+    /// recv(2): reads exactly \p n bytes; returns 0 at EOF, n otherwise.
+    std::int64_t pad_recv(int fd, void* buf, std::size_t n);
+    /// close(2).
+    void pad_close(int fd);
+
+private:
+    struct Entry {
+        std::unique_ptr<VLinkListener> listener;
+        std::unique_ptr<VLink> stream;
+    };
+    Entry& entry(int fd);
+
+    Runtime* rt_;
+    std::mutex mu_;
+    std::map<int, Entry> fds_;
+    int next_fd_ = 3; // 0/1/2 are taken, like home
+};
+
+// ---------------------------------------------------------------------------
+// Posix AIO personality on VLink
+
+/// Minimal aio_read/aio_write/aio_suspend lookalike over VLink.
+class AioApi {
+public:
+    struct Control {
+        bool done = false;
+        std::int64_t result = -1;
+    };
+    using ControlPtr = std::shared_ptr<Control>;
+
+    explicit AioApi(Runtime& rt) : rt_(&rt) {}
+    ~AioApi();
+
+    /// Begin an asynchronous write of the whole buffer.
+    ControlPtr aio_write(VLink& link, const void* buf, std::size_t n);
+    /// Begin an asynchronous read of exactly \p n bytes.
+    ControlPtr aio_read(VLink& link, void* buf, std::size_t n);
+    /// Block until the operation completes; returns its result.
+    std::int64_t aio_suspend(const ControlPtr& cb);
+    /// Poll without blocking (aio_error analogue: 0 done, EINPROGRESS else).
+    bool aio_done(const ControlPtr& cb);
+
+private:
+    Runtime* rt_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::thread> workers_;
+};
+
+// ---------------------------------------------------------------------------
+// Madeleine personality on Circuit
+
+/// Madeleine's incremental pack/unpack message construction syntax.
+class MadApi {
+public:
+    explicit MadApi(Circuit& c) : circuit_(&c) {}
+
+    class PackingConnection {
+    public:
+        void pack(const void* data, std::size_t n);
+        void end_packing();
+
+    private:
+        friend class MadApi;
+        PackingConnection(Circuit& c, int dst) : circuit_(&c), dst_(dst) {}
+        Circuit* circuit_;
+        int dst_;
+        util::ByteBuf staged_;
+    };
+
+    class UnpackingConnection {
+    public:
+        void unpack(void* data, std::size_t n);
+        void end_unpacking();
+
+    private:
+        friend class MadApi;
+        UnpackingConnection(util::Message msg) : msg_(std::move(msg)) {}
+        util::Message msg_;
+        std::size_t off_ = 0;
+    };
+
+    PackingConnection begin_packing(int dst_rank) {
+        return PackingConnection(*circuit_, dst_rank);
+    }
+    UnpackingConnection begin_unpacking(int src_rank) {
+        return UnpackingConnection(circuit_->recv(src_rank, kMadTag));
+    }
+
+    static constexpr int kMadTag = 0x7ad;
+
+private:
+    Circuit* circuit_;
+};
+
+// ---------------------------------------------------------------------------
+// FastMessages personality on Circuit
+
+/// Illinois Fast Messages style: handler-number addressed sends.
+class FmApi {
+public:
+    explicit FmApi(Circuit& c) : circuit_(&c) {}
+
+    void fm_send(int dst_rank, int handler, const void* data, std::size_t n);
+    /// Blocks for the next message to \p handler; returns payload bytes.
+    std::size_t fm_extract(int handler, void* data, std::size_t cap,
+                           int* src_rank = nullptr);
+
+private:
+    Circuit* circuit_;
+};
+
+} // namespace padico::ptm

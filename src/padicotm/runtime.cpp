@@ -1,0 +1,217 @@
+#include "padicotm/runtime.hpp"
+
+#include "madeleine/madeleine.hpp"
+#include "sockets/sockets.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace padico::ptm {
+
+// ---------------------------------------------------------------------------
+// ModuleManager
+
+namespace {
+std::mutex g_factory_mu;
+std::map<std::string, ModuleManager::Factory>& factories() {
+    static std::map<std::string, ModuleManager::Factory> f;
+    return f;
+}
+} // namespace
+
+void ModuleManager::register_type(const std::string& name, Factory factory) {
+    std::lock_guard<std::mutex> lk(g_factory_mu);
+    factories()[name] = std::move(factory);
+}
+
+bool ModuleManager::has_type(const std::string& name) {
+    std::lock_guard<std::mutex> lk(g_factory_mu);
+    return factories().count(name) != 0;
+}
+
+std::shared_ptr<Module> ModuleManager::load(const std::string& name) {
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = loaded_.find(name);
+        if (it != loaded_.end()) return it->second;
+    }
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lk(g_factory_mu);
+        auto it = factories().find(name);
+        if (it == factories().end())
+            throw LookupError("no module type registered as '" + name + "'");
+        factory = it->second;
+    }
+    auto mod = factory(*rt_);
+    std::lock_guard<std::mutex> lk(mu_);
+    loaded_[name] = mod;
+    return mod;
+}
+
+void ModuleManager::unload(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (loaded_.erase(name) == 0)
+        throw LookupError("module '" + name + "' is not loaded");
+}
+
+std::shared_ptr<Module> ModuleManager::find(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = loaded_.find(name);
+    return it == loaded_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ModuleManager::loaded() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::string> out;
+    for (const auto& [name, mod] : loaded_) out.push_back(name);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Wire costs
+
+WireCosts wire_costs_for(const fabric::NetworkSegment& seg) {
+    WireCosts w;
+    if (seg.params().paradigm == fabric::Paradigm::Parallel) {
+        const mad::MadCosts mc;
+        w.per_msg_send = mc.per_msg_send;
+        w.per_msg_recv = mc.per_msg_recv;
+        w.chunk = 0;
+        w.rendezvous_threshold = mc.rendezvous_threshold;
+        w.rendezvous_cpu = mc.rendezvous_cpu;
+    } else {
+        const sock::TcpCosts tc;
+        w.per_msg_send = tc.per_msg_send;
+        w.per_msg_recv = tc.per_msg_recv;
+        w.chunk = tc.chunk_size;
+        w.rendezvous_threshold = 0;
+        w.rendezvous_cpu = 0;
+    }
+    return w;
+}
+
+// ---------------------------------------------------------------------------
+// Security personality
+
+util::Message crypt(const util::Message& m) {
+    util::ByteBuf flat = m.gather();
+    std::uint32_t key = 0x9d2c5680u;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        key = key * 1664525u + 1013904223u;
+        flat.data()[i] ^= static_cast<util::byte>(key >> 24);
+    }
+    return util::to_message(std::move(flat));
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+
+Runtime::Runtime(fabric::Process& proc, RuntimeOptions opts)
+    : proc_(&proc), opts_(opts), engine_(proc, opts.demux_cost),
+      modules_(*this) {}
+
+fabric::ChannelId Runtime::fresh_channel(const std::string& prefix) {
+    const std::uint64_t n = next_dyn_.fetch_add(1);
+    return grid().channel_id(util::strfmt(
+        "%s/%u/%llu", prefix.c_str(), proc_->id(),
+        static_cast<unsigned long long>(n)));
+}
+
+fabric::NetworkSegment* Runtime::select_segment(fabric::ProcessId dst) {
+    fabric::Machine& peer = grid().wait_process(dst).machine();
+    for (fabric::NetworkSegment* seg :
+         grid().common_segments(proc_->machine(), peer)) {
+        if (engine_.port_on(*seg) == nullptr) continue; // not arbitrated here
+        if (seg->port_for(dst) == nullptr) continue;    // peer engine not up
+        return seg;
+    }
+    return nullptr;
+}
+
+bool Runtime::would_encrypt(const fabric::NetworkSegment& seg) const {
+    if (opts_.encrypt_always) return true;
+    // The colocation optimization the paper proposes in §6: traffic that
+    // stays on a physically secure network skips encryption.
+    return opts_.enable_security && !seg.params().secure;
+}
+
+fabric::NetworkSegment* Runtime::post(fabric::ProcessId dst,
+                                      fabric::ChannelId ch,
+                                      util::Message msg) {
+    fabric::NetworkSegment* seg = select_segment(dst);
+    if (seg == nullptr)
+        throw LookupError(proc_->name() + ": no usable network toward pid " +
+                          std::to_string(dst));
+    auto& clk = proc_->clock();
+    const WireCosts w = wire_costs_for(*seg);
+    const std::size_t bytes = msg.size();
+
+    std::uint32_t flags = 0;
+    if (would_encrypt(*seg)) {
+        clk.advance(transfer_time(bytes, opts_.crypto_mb));
+        msg = crypt(msg);
+        flags |= fabric::kFlagEncrypted;
+    }
+
+    const std::size_t chunks =
+        w.chunk == 0 ? 1 : std::max<std::size_t>(1, (bytes + w.chunk - 1) / w.chunk);
+    clk.advance(static_cast<SimTime>(chunks) * w.per_msg_send);
+    if (w.rendezvous_threshold != 0 && bytes > w.rendezvous_threshold)
+        clk.advance(2 * seg->params().latency + w.rendezvous_cpu);
+
+    fabric::Port* port = engine_.port_on(*seg);
+    clk.set(port->send(dst, ch, std::move(msg), clk.now(), flags));
+    {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        auto& c = stats_.by_segment[seg->name()];
+        ++c.messages;
+        c.bytes += bytes;
+        if (flags & fabric::kFlagEncrypted) ++c.encrypted_messages;
+    }
+    return seg;
+}
+
+TrafficCounters Runtime::stats() const {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return stats_;
+}
+
+std::string TrafficCounters::to_string() const {
+    std::string out;
+    for (const auto& [name, c] : by_segment) {
+        out += util::strfmt("%s: %llu msgs, %llu bytes (%llu encrypted)\n",
+                            name.c_str(),
+                            static_cast<unsigned long long>(c.messages),
+                            static_cast<unsigned long long>(c.bytes),
+                            static_cast<unsigned long long>(
+                                c.encrypted_messages));
+    }
+    return out;
+}
+
+Runtime::Peeled Runtime::peel(const Delivery& d) {
+    Peeled out;
+    if (d.via != nullptr) {
+        const WireCosts w = wire_costs_for(*d.via);
+        const std::size_t bytes = d.payload.size();
+        const std::size_t chunks =
+            w.chunk == 0 ? 1
+                         : std::max<std::size_t>(1, (bytes + w.chunk - 1) / w.chunk);
+        out.cost += static_cast<SimTime>(chunks) * w.per_msg_recv;
+    }
+    if (d.flags & fabric::kFlagEncrypted) {
+        out.cost += transfer_time(d.payload.size(), opts_.crypto_mb);
+        out.payload = crypt(d.payload); // the XOR keystream is its own inverse
+    } else {
+        out.payload = d.payload;
+    }
+    return out;
+}
+
+util::Message Runtime::finish(Delivery&& d) {
+    Peeled p = peel(d);
+    consume(d.deliver_time, p.cost);
+    return std::move(p.payload);
+}
+
+} // namespace padico::ptm

@@ -1,0 +1,144 @@
+#pragma once
+/// \file runtime.hpp
+/// The per-process PadicoTM runtime. Ties together the arbitration layer
+/// (NetEngine), the automatic network selection of the abstraction layer,
+/// the security personality, and the module manager.
+
+#include <atomic>
+#include <string>
+
+#include "padicotm/engine.hpp"
+#include "padicotm/module.hpp"
+
+namespace padico::ptm {
+
+/// Wire-level software costs by paradigm; the abstraction layer charges
+/// these per message (parallel networks) or per chunk (TCP-like networks).
+struct WireCosts {
+    SimTime per_msg_send = 0;
+    SimTime per_msg_recv = 0;
+    std::size_t chunk = 0;              ///< 0: message-based (no chunking)
+    std::size_t rendezvous_threshold = 0; ///< 0: eager only
+    SimTime rendezvous_cpu = 0;
+};
+
+/// Wire costs of the driver used on \p seg: Madeleine numbers on parallel
+/// networks, TCP numbers on distributed ones.
+WireCosts wire_costs_for(const fabric::NetworkSegment& seg);
+
+struct RuntimeOptions {
+    /// Encrypt traffic that crosses insecure segments (paper §2 security
+    /// scenario). The CORBA security service analogue.
+    bool enable_security = true;
+    /// Paranoid mode for the security ablation: encrypt on every segment,
+    /// even private SANs (what the paper's §6 says is "too coarse-grained").
+    bool encrypt_always = false;
+    /// Engine demultiplexing cost per message.
+    SimTime demux_cost = nsec(300);
+    /// Software encryption throughput (era symmetric cipher on a PIII).
+    double crypto_mb = 40.0;
+};
+
+/// Traffic accounting of one runtime, per network segment (what the
+/// arbitration layer actually multiplexed where).
+struct TrafficCounters {
+    struct PerSegment {
+        std::uint64_t messages = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t encrypted_messages = 0;
+    };
+    std::map<std::string, PerSegment> by_segment;
+
+    std::uint64_t total_bytes() const {
+        std::uint64_t t = 0;
+        for (const auto& [name, c] : by_segment) t += c.bytes;
+        return t;
+    }
+    /// "segname: N msgs, M bytes (E encrypted)" lines.
+    std::string to_string() const;
+};
+
+/// Per-process PadicoTM instance.
+class Runtime {
+public:
+    explicit Runtime(fabric::Process& proc, RuntimeOptions opts = {});
+    ~Runtime() = default;
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    fabric::Process& process() noexcept { return *proc_; }
+    fabric::Grid& grid() noexcept { return proc_->grid(); }
+    const RuntimeOptions& options() const noexcept { return opts_; }
+    NetEngine& engine() noexcept { return engine_; }
+    ModuleManager& modules() noexcept { return modules_; }
+
+    // --- abstraction-layer services -------------------------------------
+
+    /// Mailbox of a channel (subscribing if needed).
+    MailboxPtr subscribe(fabric::ChannelId ch) {
+        return engine_.demux().subscribe(ch);
+    }
+    void unsubscribe(fabric::ChannelId ch) {
+        engine_.demux().unsubscribe(ch);
+    }
+
+    /// A grid-unique channel id (dynamic connections).
+    fabric::ChannelId fresh_channel(const std::string& prefix);
+
+    /// Best usable segment toward \p dst: highest attainable bandwidth among
+    /// the segments this engine controls on which \p dst currently has a
+    /// port. Returns nullptr when unreachable.
+    fabric::NetworkSegment* select_segment(fabric::ProcessId dst);
+
+    /// Send \p msg to (dst, ch) over the automatically selected network,
+    /// charging paradigm-appropriate software costs and applying the
+    /// security personality when the segment is insecure. Returns the
+    /// segment used.
+    fabric::NetworkSegment* post(fabric::ProcessId dst, fabric::ChannelId ch,
+                                 util::Message msg);
+
+    /// Decode a delivery without touching the clock: decrypts if needed and
+    /// reports the receive-side processing cost (per-chunk software cost +
+    /// decryption time). Matching layers (e.g. MPI's unexpected-message
+    /// queue) peel on arrival, then charge via consume() only when the
+    /// message is actually matched.
+    struct Peeled {
+        util::Message payload;
+        SimTime cost = 0;
+    };
+    Peeled peel(const Delivery& d);
+
+    /// Account a peeled delivery that is being consumed now: merge the
+    /// delivery timestamp, then charge the processing cost.
+    void consume(SimTime deliver_time, SimTime cost) {
+        proc_->clock().merge(deliver_time);
+        proc_->clock().advance(cost);
+    }
+
+    /// Consume a delivery in one step: merge, charge, return the payload.
+    util::Message finish(Delivery&& d);
+
+    /// True when traffic to \p seg would be encrypted under the current
+    /// security options.
+    bool would_encrypt(const fabric::NetworkSegment& seg) const;
+
+    /// Snapshot of the outbound traffic this runtime multiplexed, per
+    /// segment.
+    TrafficCounters stats() const;
+
+private:
+    fabric::Process* proc_;
+    RuntimeOptions opts_;
+    NetEngine engine_;
+    ModuleManager modules_;
+    std::atomic<std::uint64_t> next_dyn_{0};
+    mutable std::mutex stats_mu_;
+    TrafficCounters stats_;
+};
+
+/// XOR-scramble "encryption" used by the security personality. Real data
+/// transformation (so tests catch missing decryption) with modeled cost
+/// charged by the caller.
+util::Message crypt(const util::Message& m);
+
+} // namespace padico::ptm

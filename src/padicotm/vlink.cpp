@@ -1,0 +1,173 @@
+#include "padicotm/vlink.hpp"
+
+#include "util/log.hpp"
+
+namespace padico::ptm {
+
+namespace {
+
+/// Handshake payloads. A zero-length data message is the EOF marker (writes
+/// of zero bytes are suppressed, so the encoding is unambiguous); the ACK
+/// therefore carries one byte.
+struct SynBody {
+    fabric::ChannelId c2s;
+    fabric::ChannelId s2c;
+};
+
+util::Message encode_syn(const SynBody& b) {
+    util::ByteBuf buf;
+    buf.append(&b, sizeof b);
+    return util::to_message(std::move(buf));
+}
+
+SynBody decode_syn(const util::Message& m) {
+    PADICO_WIRE_CHECK(m.size() == sizeof(SynBody), "bad VLink SYN");
+    SynBody b;
+    m.copy_out(0, &b, sizeof b);
+    return b;
+}
+
+util::Message ack_msg() {
+    util::ByteBuf one;
+    one.append("A", 1);
+    return util::to_message(std::move(one));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// VLinkListener
+
+VLinkListener::VLinkListener(Runtime& rt, const std::string& service)
+    : rt_(&rt), service_(service) {
+    listen_ch_ = rt.grid().channel_id("vlink/listen/" + service);
+    inbox_ = rt.subscribe(listen_ch_);
+    rt.grid().register_service("vlink/" + service, rt.process().id());
+}
+
+VLinkListener::~VLinkListener() { rt_->unsubscribe(listen_ch_); }
+
+VLink VLinkListener::accept() {
+    auto d = inbox_->pop();
+    if (!d.has_value()) return VLink(); // shut down
+    const fabric::ProcessId peer = d->src;
+    const SynBody body = decode_syn(rt_->finish(std::move(*d)));
+    auto inbox = rt_->subscribe(body.c2s);
+    VLink link(*rt_, peer, body.s2c, body.c2s, std::move(inbox));
+    // ACK completes the handshake.
+    rt_->post(peer, body.s2c, ack_msg());
+    return link;
+}
+
+void VLinkListener::shutdown() {
+    inbox_->close();
+}
+
+// ---------------------------------------------------------------------------
+// VLink
+
+VLink VLink::connect(Runtime& rt, const std::string& service) {
+    auto& grid = rt.grid();
+    const fabric::ProcessId dst = grid.wait_service("vlink/" + service);
+    const fabric::ChannelId listen_ch =
+        grid.channel_id("vlink/listen/" + service);
+    SynBody body;
+    body.c2s = rt.fresh_channel("vlink/c2s");
+    body.s2c = rt.fresh_channel("vlink/s2c");
+    auto inbox = rt.subscribe(body.s2c); // before SYN: no ACK race
+    rt.post(dst, listen_ch, encode_syn(body));
+    auto ack = inbox->pop();
+    PADICO_CHECK(ack.has_value(), "VLink closed during connect");
+    PADICO_WIRE_CHECK(rt.finish(std::move(*ack)).size() == 1,
+                      "bad VLink ACK");
+    return VLink(rt, dst, body.c2s, body.s2c, std::move(inbox));
+}
+
+void VLink::release() {
+    if (rt_ != nullptr) rt_->unsubscribe(rx_);
+    rt_ = nullptr;
+}
+
+fabric::NetworkSegment* VLink::mapped_segment() const {
+    PADICO_CHECK(valid(), "mapped_segment on invalid VLink");
+    return rt_->select_segment(peer_);
+}
+
+void VLink::write(util::Message msg) {
+    PADICO_CHECK(valid(), "write on invalid VLink");
+    PADICO_CHECK(!fin_sent_, "write after close");
+    if (msg.empty()) return;
+    rt_->post(peer_, tx_, std::move(msg));
+}
+
+void VLink::write(const void* data, std::size_t n) {
+    write(util::to_message(util::ByteBuf(data, n)));
+}
+
+bool VLink::fill(std::size_t need) {
+    while (!eof_ && buffered_.size() - buf_off_ < need) {
+        auto d = inbox_->pop();
+        if (!d.has_value()) {
+            eof_ = true;
+            break;
+        }
+        util::Message chunk = rt_->finish(std::move(*d));
+        if (chunk.empty()) { // FIN marker
+            eof_ = true;
+            break;
+        }
+        buffered_.append(chunk);
+    }
+    return buffered_.size() - buf_off_ >= need;
+}
+
+std::optional<util::Message> VLink::read_msg_opt(std::size_t n) {
+    PADICO_CHECK(valid(), "read on invalid VLink");
+    if (!fill(n)) return std::nullopt;
+    util::Message out = buffered_.slice(buf_off_, n);
+    buf_off_ += n;
+    if (buf_off_ == buffered_.size()) {
+        buffered_ = util::Message();
+        buf_off_ = 0;
+    } else if (buf_off_ > (1u << 20)) {
+        buffered_ = buffered_.slice(buf_off_, buffered_.size() - buf_off_);
+        buf_off_ = 0;
+    }
+    return out;
+}
+
+util::Message VLink::read_msg(std::size_t n) {
+    auto m = read_msg_opt(n);
+    if (!m.has_value())
+        throw ProtocolError("VLink closed while expecting " +
+                            std::to_string(n) + " bytes");
+    return std::move(*m);
+}
+
+void VLink::read(void* dst, std::size_t n) {
+    read_msg(n).copy_out(0, dst, n);
+}
+
+void VLink::abort() {
+    if (!valid()) return;
+    // Closing the mailbox wakes a blocked pop(); the reader then observes
+    // end-of-stream. The Demux keeps the mailbox entry until unsubscribe.
+    inbox_->close();
+}
+
+void VLink::close() {
+    if (!valid() || fin_sent_) return;
+    fin_sent_ = true;
+    // Zero-length message = FIN. post() is bypassed for the empty payload
+    // suppression in write(); send directly. Best-effort: the peer may
+    // already have shut down its runtime, in which case there is nobody
+    // left to notify.
+    try {
+        rt_->post(peer_, tx_, util::Message());
+    } catch (const LookupError&) {
+    }
+    rt_->unsubscribe(rx_);
+    eof_ = true;
+}
+
+} // namespace padico::ptm

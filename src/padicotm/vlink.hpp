@@ -1,0 +1,120 @@
+#pragma once
+/// \file vlink.hpp
+/// VLink: PadicoTM's distributed-oriented abstract interface (paper §4.3.2).
+/// Dynamic, connection-oriented, reliable byte streams — socket semantics —
+/// transparently mapped onto whatever network connects the two peers:
+/// straight onto the TCP-like driver on LAN/WAN, or cross-paradigm onto the
+/// Madeleine driver when the peers share a SAN. This cross-paradigm mapping
+/// is what lets an unmodified CORBA implementation run at Myrinet speed
+/// (the headline of Fig. 7).
+
+#include <optional>
+#include <string>
+
+#include "padicotm/runtime.hpp"
+
+namespace padico::ptm {
+
+class VLink;
+
+/// Accepts incoming VLink connections on a published service name.
+class VLinkListener {
+public:
+    VLinkListener(Runtime& rt, const std::string& service);
+    ~VLinkListener();
+    VLinkListener(const VLinkListener&) = delete;
+    VLinkListener& operator=(const VLinkListener&) = delete;
+
+    /// Block until a peer connects; completes the handshake.
+    /// Returns an unconnected VLink after shutdown().
+    VLink accept();
+
+    /// Unblock pending accept() calls (used for server shutdown).
+    void shutdown();
+
+    const std::string& service() const noexcept { return service_; }
+
+private:
+    Runtime* rt_;
+    std::string service_;
+    fabric::ChannelId listen_ch_;
+    MailboxPtr inbox_;
+};
+
+/// A connected stream.
+class VLink {
+public:
+    VLink() = default;
+    // Move must clear the source: the destructor unsubscribes rx_.
+    VLink(VLink&& o) noexcept { swap(o); }
+    VLink& operator=(VLink&& o) noexcept {
+        if (this != &o) {
+            release();
+            swap(o);
+        }
+        return *this;
+    }
+    VLink(const VLink&) = delete;
+    VLink& operator=(const VLink&) = delete;
+    ~VLink() { release(); }
+
+    /// Open a stream to a published service (blocks for handshake).
+    static VLink connect(Runtime& rt, const std::string& service);
+
+    bool valid() const noexcept { return rt_ != nullptr; }
+    fabric::ProcessId peer() const noexcept { return peer_; }
+
+    /// The segment the runtime currently maps this stream onto.
+    fabric::NetworkSegment* mapped_segment() const;
+
+    /// Write the whole message to the stream.
+    void write(util::Message msg);
+    void write(const void* data, std::size_t n);
+
+    /// Read exactly \p n bytes (zero-copy message view); nullopt on EOF or
+    /// shutdown.
+    std::optional<util::Message> read_msg_opt(std::size_t n);
+    /// Read exactly \p n bytes; throws ProtocolError on EOF.
+    util::Message read_msg(std::size_t n);
+    void read(void* dst, std::size_t n);
+
+    /// Half-close: signals EOF to the peer's reads and stops local reads.
+    void close();
+
+    /// Force-unblock a reader from another thread (server shutdown): closes
+    /// the receive mailbox so a blocked read observes EOF. Does not notify
+    /// the peer. Safe to call while another thread is blocked in read.
+    void abort();
+
+private:
+    friend class VLinkListener;
+    VLink(Runtime& rt, fabric::ProcessId peer, fabric::ChannelId tx,
+          fabric::ChannelId rx, MailboxPtr inbox)
+        : rt_(&rt), peer_(peer), tx_(tx), rx_(rx), inbox_(std::move(inbox)) {}
+
+    void swap(VLink& o) noexcept {
+        std::swap(rt_, o.rt_);
+        std::swap(peer_, o.peer_);
+        std::swap(tx_, o.tx_);
+        std::swap(rx_, o.rx_);
+        std::swap(inbox_, o.inbox_);
+        std::swap(buffered_, o.buffered_);
+        std::swap(buf_off_, o.buf_off_);
+        std::swap(eof_, o.eof_);
+        std::swap(fin_sent_, o.fin_sent_);
+    }
+    void release();
+    bool fill(std::size_t need);
+
+    Runtime* rt_ = nullptr;
+    fabric::ProcessId peer_ = fabric::kNoProcess;
+    fabric::ChannelId tx_ = 0;
+    fabric::ChannelId rx_ = 0;
+    MailboxPtr inbox_;
+    util::Message buffered_;
+    std::size_t buf_off_ = 0;
+    bool eof_ = false;
+    bool fin_sent_ = false;
+};
+
+} // namespace padico::ptm

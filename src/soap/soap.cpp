@@ -1,0 +1,180 @@
+#include "soap/soap.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace padico::soap {
+
+namespace {
+
+std::string xml_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '"': out += "&quot;"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+/// Charge the XML processing cost for a payload of \p bytes.
+void charge_xml(ptm::Runtime& rt, std::size_t bytes) {
+    rt.process().clock().advance(
+        static_cast<SimTime>(static_cast<double>(bytes) * kXmlNsPerByte));
+}
+
+/// Length-prefixed text frames on the stream.
+void send_text(ptm::Runtime& rt, ptm::VLink& conn, const std::string& text) {
+    charge_xml(rt, text.size());
+    const std::uint64_t len = text.size();
+    util::ByteBuf framed(&len, sizeof len);
+    framed.append(text.data(), text.size());
+    conn.write(util::to_message(std::move(framed)));
+}
+
+std::optional<std::string> recv_text(ptm::Runtime& rt, ptm::VLink& conn) {
+    auto lm = conn.read_msg_opt(sizeof(std::uint64_t));
+    if (!lm.has_value()) return std::nullopt;
+    std::uint64_t len = 0;
+    lm->copy_out(0, &len, sizeof len);
+    util::Message body = conn.read_msg(len);
+    auto flat = body.gather();
+    charge_xml(rt, flat.size());
+    return std::string(reinterpret_cast<const char*>(flat.data()),
+                       flat.size());
+}
+
+} // namespace
+
+std::string make_envelope(const std::string& op, const Params& params) {
+    std::string xml = "<Envelope><Body><" + op + ">";
+    for (const auto& [key, value] : params)
+        xml += "<" + key + ">" + xml_escape(value) + "</" + key + ">";
+    xml += "</" + op + "></Body></Envelope>";
+    return xml;
+}
+
+std::pair<std::string, Params> parse_envelope(const std::string& xml) {
+    const auto root = util::xml_parse(xml);
+    PADICO_WIRE_CHECK(root->name() == "Envelope", "not a SOAP envelope");
+    const auto body = root->require_child("Body");
+    PADICO_WIRE_CHECK(body->children().size() == 1,
+                      "SOAP body must hold one element");
+    const auto& opnode = body->children().front();
+    Params params;
+    for (const auto& p : opnode->children()) params[p->name()] = p->text();
+    return {opnode->name(), params};
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+SoapServer::SoapServer(ptm::Runtime& rt, const std::string& endpoint)
+    : rt_(&rt) {
+    listener_ = std::make_unique<ptm::VLinkListener>(rt, endpoint);
+    acceptor_ = std::thread([this] { serve_loop(); });
+}
+
+SoapServer::~SoapServer() { shutdown(); }
+
+void SoapServer::bind(const std::string& op, Handler handler) {
+    std::lock_guard<std::mutex> lk(mu_);
+    handlers_[op] = std::move(handler);
+}
+
+void SoapServer::shutdown() {
+    if (stopping_.exchange(true)) {
+        if (acceptor_.joinable()) acceptor_.join();
+        return;
+    }
+    listener_->shutdown();
+    if (acceptor_.joinable()) acceptor_.join();
+    {
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        for (auto& c : conns_) c->abort();
+    }
+    workers_.join_all();
+}
+
+void SoapServer::serve_loop() {
+    fabric::Process::bind_to_thread(&rt_->process());
+    while (!stopping_.load()) {
+        ptm::VLink conn = listener_->accept();
+        if (!conn.valid()) return;
+        auto shared = std::make_shared<ptm::VLink>(std::move(conn));
+        {
+            std::lock_guard<std::mutex> lk(conns_mu_);
+            conns_.push_back(shared);
+        }
+        workers_.spawn([this, shared] {
+            fabric::Process::bind_to_thread(&rt_->process());
+            connection_loop(shared);
+        });
+    }
+}
+
+void SoapServer::connection_loop(std::shared_ptr<ptm::VLink> conn) {
+    try {
+        while (true) {
+            auto text = recv_text(*rt_, *conn);
+            if (!text.has_value()) return;
+            std::string reply;
+            try {
+                auto [op, params] = parse_envelope(*text);
+                Handler handler;
+                {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    auto it = handlers_.find(op);
+                    if (it != handlers_.end()) handler = it->second;
+                }
+                if (!handler) {
+                    reply = make_envelope("Fault",
+                                          {{"faultstring",
+                                            "no such operation: " + op}});
+                } else {
+                    reply = make_envelope(op + "Response", handler(params));
+                }
+            } catch (const Error& e) {
+                reply = make_envelope("Fault", {{"faultstring", e.what()}});
+            }
+            send_text(*rt_, *conn, reply);
+        }
+    } catch (const std::exception& e) {
+        PLOG(warn, "soap") << "connection ended: " << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+SoapClient::SoapClient(ptm::Runtime& rt, const std::string& endpoint)
+    : rt_(&rt), conn_(ptm::VLink::connect(rt, endpoint)) {}
+
+Params SoapClient::call(const std::string& op, const Params& params) {
+    std::lock_guard<std::mutex> lk(mu_);
+    send_text(*rt_, conn_, make_envelope(op, params));
+    auto text = recv_text(*rt_, conn_);
+    PADICO_CHECK(text.has_value(), "SOAP connection closed");
+    auto [rop, rparams] = parse_envelope(*text);
+    if (rop == "Fault")
+        throw RemoteError("SOAP fault: " +
+                          (rparams.count("faultstring")
+                               ? rparams.at("faultstring")
+                               : std::string("unknown")));
+    PADICO_WIRE_CHECK(rop == op + "Response", "mismatched SOAP response");
+    return rparams;
+}
+
+void install() {
+    if (!ptm::ModuleManager::has_type("gsoap"))
+        ptm::ModuleManager::register_type(
+            "gsoap", [](ptm::Runtime& rt) -> std::shared_ptr<ptm::Module> {
+                return std::make_shared<SoapModule>(rt);
+            });
+}
+
+} // namespace padico::soap

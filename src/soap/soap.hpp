@@ -1,0 +1,87 @@
+#pragma once
+/// \file soap.hpp
+/// gSOAP substitute (paper §4.3.4: "the SOAP implementation gSOAP has also
+/// been seamlessly used on top of PadicoTM"). A minimal XML-envelope RPC on
+/// VLink: string-typed parameters, request/response envelopes, a service
+/// dispatcher. Deliberately text-based — its role in the reproduction is to
+/// show a third, very different middleware sharing the same runtime (and to
+/// make Web Services' "performance is poor" point measurable: every call
+/// pays XML encode/parse on both sides).
+
+#include <functional>
+#include <map>
+#include <thread>
+
+#include "padicotm/module.hpp"
+#include "padicotm/vlink.hpp"
+#include "util/xml.hpp"
+
+namespace padico::soap {
+
+/// A SOAP-ish call: operation name + named string parameters.
+using Params = std::map<std::string, std::string>;
+
+/// Handler: receives parameters, returns result parameters.
+using Handler = std::function<Params(const Params&)>;
+
+/// Modeled per-byte cost of XML parsing/printing (era expat-class parser).
+inline constexpr double kXmlNsPerByte = 80.0;
+
+/// Build/parse envelopes (exposed for tests).
+std::string make_envelope(const std::string& op, const Params& params);
+std::pair<std::string, Params> parse_envelope(const std::string& xml);
+
+/// Server: dispatches operations registered with bind().
+class SoapServer {
+public:
+    SoapServer(ptm::Runtime& rt, const std::string& endpoint);
+    ~SoapServer();
+    SoapServer(const SoapServer&) = delete;
+    SoapServer& operator=(const SoapServer&) = delete;
+
+    void bind(const std::string& op, Handler handler);
+    void shutdown();
+
+private:
+    void serve_loop();
+    void connection_loop(std::shared_ptr<ptm::VLink> conn);
+
+    ptm::Runtime* rt_;
+    std::mutex mu_;
+    std::map<std::string, Handler> handlers_;
+    std::unique_ptr<ptm::VLinkListener> listener_;
+    std::thread acceptor_;
+    osal::ThreadGroup workers_;
+    std::mutex conns_mu_;
+    std::vector<std::shared_ptr<ptm::VLink>> conns_;
+    std::atomic<bool> stopping_{false};
+};
+
+/// Client: one connection per proxy.
+class SoapClient {
+public:
+    SoapClient(ptm::Runtime& rt, const std::string& endpoint);
+
+    /// Synchronous call; throws RemoteError on a fault envelope.
+    Params call(const std::string& op, const Params& params);
+
+private:
+    ptm::Runtime* rt_;
+    ptm::VLink conn_;
+    std::mutex mu_;
+};
+
+/// The loadable module wrapper ("gsoap").
+class SoapModule : public ptm::Module {
+public:
+    explicit SoapModule(ptm::Runtime& rt) : rt_(&rt) {}
+    std::string name() const override { return "gsoap"; }
+    ptm::Runtime& runtime() noexcept { return *rt_; }
+
+private:
+    ptm::Runtime* rt_;
+};
+
+void install();
+
+} // namespace padico::soap

@@ -1,0 +1,148 @@
+#include "sockets/sockets.hpp"
+
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace padico::sock {
+
+namespace {
+
+/// SYN payload: the two channel ids of the new connection.
+struct SynBody {
+    fabric::ChannelId c2s;
+    fabric::ChannelId s2c;
+};
+
+util::Message encode_syn(const SynBody& b) {
+    util::ByteBuf buf;
+    buf.append(&b, sizeof b);
+    return util::to_message(std::move(buf));
+}
+
+SynBody decode_syn(const util::Message& m) {
+    PADICO_WIRE_CHECK(m.size() == sizeof(SynBody), "bad SYN");
+    SynBody b;
+    m.copy_out(0, &b, sizeof b);
+    return b;
+}
+
+} // namespace
+
+SocketStack::SocketStack(fabric::Process& proc,
+                         fabric::NetworkSegment& segment,
+                         const std::string& owner_tag, const TcpCosts& costs)
+    : proc_(&proc), segment_(&segment), costs_(costs) {
+    PADICO_CHECK(segment.params().paradigm == fabric::Paradigm::Distributed ||
+                     !segment.params().exclusive_open,
+                 "socket stack needs a shareable (distributed) network; use "
+                 "madeleine or PadicoTM for " +
+                     segment.name());
+    fabric::Adapter* nic = proc.machine().adapter_on(segment);
+    if (nic == nullptr)
+        throw LookupError("machine " + proc.machine().name() +
+                          " has no adapter on " + segment.name());
+    port_ = nic->open(proc, owner_tag);
+}
+
+Listener SocketStack::listen(const std::string& service) {
+    auto& grid = proc_->grid();
+    const fabric::ChannelId ch = grid.channel_id("sock/listen/" + service);
+    grid.register_service("sock/" + service, proc_->id());
+    return Listener(*this, service, ch);
+}
+
+Stream SocketStack::connect(const std::string& service) {
+    auto& grid = proc_->grid();
+    const fabric::ProcessId dst = grid.wait_service("sock/" + service);
+    const fabric::ChannelId listen_ch =
+        grid.channel_id("sock/listen/" + service);
+    const std::uint64_t conn = next_conn_.fetch_add(1);
+    SynBody body;
+    body.c2s = grid.channel_id(
+        util::strfmt("sock/conn/%u/%llu/c2s", proc_->id(),
+                     static_cast<unsigned long long>(conn)));
+    body.s2c = grid.channel_id(
+        util::strfmt("sock/conn/%u/%llu/s2c", proc_->id(),
+                     static_cast<unsigned long long>(conn)));
+
+    auto& clk = proc_->clock();
+    clk.advance(costs_.per_msg_send);
+    clk.set(port_->send(dst, listen_ch, encode_syn(body), clk.now()));
+
+    // Wait for the zero-length ACK on the server-to-client channel.
+    auto ack = port_->recv_from(dst, body.s2c);
+    PADICO_CHECK(ack.has_value(), "socket closed during connect");
+    PADICO_WIRE_CHECK(ack->payload.empty(), "expected empty ACK");
+    clk.merge(ack->deliver_time);
+    clk.advance(costs_.per_msg_recv);
+    return Stream(*this, dst, body.c2s, body.s2c);
+}
+
+Stream Listener::accept() {
+    auto& proc = stack_->process();
+    auto pkt = stack_->port_->recv_on(listen_ch_);
+    PADICO_CHECK(pkt.has_value(), "socket closed during accept");
+    proc.clock().merge(pkt->deliver_time);
+    proc.clock().advance(stack_->costs().per_msg_recv);
+    const SynBody body = decode_syn(pkt->payload);
+
+    // ACK: zero-length message on the server-to-client channel.
+    proc.clock().advance(stack_->costs().per_msg_send);
+    proc.clock().set(stack_->port_->send(pkt->src, body.s2c, util::Message(),
+                                         proc.clock().now()));
+    return Stream(*stack_, pkt->src, body.s2c, body.c2s);
+}
+
+void Stream::write(util::Message msg) {
+    PADICO_CHECK(valid(), "write on invalid stream");
+    auto& proc = stack_->process();
+    auto& clk = proc.clock();
+    const std::size_t chunk = stack_->costs().chunk_size;
+    std::size_t off = 0;
+    const std::size_t total = msg.size();
+    if (total == 0) return;
+    while (off < total) {
+        const std::size_t n = std::min(chunk, total - off);
+        clk.advance(stack_->costs().per_msg_send);
+        clk.set(stack_->port_->send(peer_, tx_, msg.slice(off, n), clk.now()));
+        off += n;
+    }
+}
+
+void Stream::write(const void* data, std::size_t n) {
+    write(util::to_message(util::ByteBuf(data, n)));
+}
+
+void Stream::fill(std::size_t need) {
+    auto& proc = stack_->process();
+    while (available() < need) {
+        auto pkt = stack_->port_->recv_from(peer_, rx_);
+        PADICO_CHECK(pkt.has_value(), "stream closed while reading");
+        proc.clock().merge(pkt->deliver_time);
+        proc.clock().advance(stack_->costs().per_msg_recv);
+        buffered_.append(pkt->payload);
+    }
+}
+
+util::Message Stream::read_msg(std::size_t n) {
+    PADICO_CHECK(valid(), "read on invalid stream");
+    fill(n);
+    util::Message out = buffered_.slice(buf_off_, n);
+    buf_off_ += n;
+    // Periodically compact the consumed prefix.
+    if (buf_off_ == buffered_.size()) {
+        buffered_ = util::Message();
+        buf_off_ = 0;
+    } else if (buf_off_ > (1u << 20)) {
+        buffered_ = buffered_.slice(buf_off_, buffered_.size() - buf_off_);
+        buf_off_ = 0;
+    }
+    return out;
+}
+
+void Stream::read(void* dst, std::size_t n) {
+    read_msg(n).copy_out(0, dst, n);
+}
+
+} // namespace padico::sock

@@ -1,0 +1,114 @@
+#pragma once
+/// \file sockets.hpp
+/// Substitute for the plain BSD socket / TCP path the paper uses for
+/// distributed-oriented links (WAN, LAN): connection-oriented byte streams
+/// with a connect/accept handshake, chunked transmission and per-chunk
+/// protocol costs. One SocketStack per (process, segment) plays the role of
+/// the kernel TCP stack bound to one interface.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fabric/grid.hpp"
+
+namespace padico::sock {
+
+/// Software cost parameters of the TCP-like stack (era Linux 2.2 numbers;
+/// with Fast-Ethernet's 50+10 us this lands on the paper's ~60 us TCP
+/// latency and ~11.2 MB/s peak).
+struct TcpCosts {
+    SimTime per_msg_send = usec(5.0);
+    SimTime per_msg_recv = usec(5.0);
+    std::size_t chunk_size = 64 * 1024;
+};
+
+class Stream;
+class Listener;
+
+/// The TCP-like endpoint of one process on one distributed-oriented segment.
+class SocketStack {
+public:
+    SocketStack(fabric::Process& proc, fabric::NetworkSegment& segment,
+                const std::string& owner_tag = "tcp-stack",
+                const TcpCosts& costs = {});
+
+    fabric::Process& process() noexcept { return *proc_; }
+    fabric::NetworkSegment& segment() noexcept { return *segment_; }
+    const TcpCosts& costs() const noexcept { return costs_; }
+
+    /// Bind a named service (host:port analogue) and publish it.
+    Listener listen(const std::string& service);
+
+    /// Connect to a published service; blocks until the listener exists and
+    /// the SYN/ACK handshake completes (one modeled round-trip).
+    Stream connect(const std::string& service);
+
+private:
+    friend class Listener;
+    friend class Stream;
+
+    fabric::Process* proc_;
+    fabric::NetworkSegment* segment_;
+    TcpCosts costs_;
+    fabric::PortRef port_;
+    std::atomic<std::uint64_t> next_conn_{0};
+};
+
+/// A connected, ordered, reliable byte stream.
+class Stream {
+public:
+    Stream() = default;
+
+    bool valid() const noexcept { return stack_ != nullptr; }
+    fabric::ProcessId peer() const noexcept { return peer_; }
+
+    /// Write the whole message (chunked into MTU-sized packets).
+    void write(util::Message msg);
+    void write(const void* data, std::size_t n);
+
+    /// Read exactly \p n bytes as a (possibly zero-copy) message.
+    util::Message read_msg(std::size_t n);
+    /// Read exactly \p n bytes into \p dst.
+    void read(void* dst, std::size_t n);
+
+    /// Bytes currently buffered without blocking.
+    std::size_t available() const noexcept { return buffered_.size() - buf_off_; }
+
+private:
+    friend class SocketStack;
+    friend class Listener;
+    Stream(SocketStack& s, fabric::ProcessId peer, fabric::ChannelId tx,
+           fabric::ChannelId rx)
+        : stack_(&s), peer_(peer), tx_(tx), rx_(rx) {}
+
+    void fill(std::size_t need);
+
+    SocketStack* stack_ = nullptr;
+    fabric::ProcessId peer_ = fabric::kNoProcess;
+    fabric::ChannelId tx_ = 0;
+    fabric::ChannelId rx_ = 0;
+    util::Message buffered_;
+    std::size_t buf_off_ = 0;
+};
+
+/// Accepts incoming connections on a bound service.
+class Listener {
+public:
+    /// Block until a connection arrives, complete the handshake.
+    Stream accept();
+
+    const std::string& service() const noexcept { return service_; }
+
+private:
+    friend class SocketStack;
+    Listener(SocketStack& s, std::string service, fabric::ChannelId ch)
+        : stack_(&s), service_(std::move(service)), listen_ch_(ch) {}
+
+    SocketStack* stack_;
+    std::string service_;
+    fabric::ChannelId listen_ch_;
+};
+
+} // namespace padico::sock

@@ -1,0 +1,45 @@
+#include "util/bytes.hpp"
+
+namespace padico::util {
+
+void Message::copy_out(std::size_t off, void* dst, std::size_t n) const {
+    PADICO_CHECK(off + n <= total_, "copy_out out of range");
+    byte* out = static_cast<byte*>(dst);
+    std::size_t pos = 0; // logical offset of current segment start
+    for (const auto& s : segments_) {
+        if (n == 0) break;
+        const std::size_t seg_end = pos + s.size();
+        if (off < seg_end) {
+            const std::size_t in_seg = off - pos;
+            const std::size_t take = std::min(n, s.size() - in_seg);
+            std::memcpy(out, s.data() + in_seg, take);
+            out += take;
+            off += take;
+            n -= take;
+        }
+        pos = seg_end;
+    }
+    PADICO_CHECK(n == 0, "copy_out ran out of segments");
+}
+
+Message Message::slice(std::size_t off, std::size_t n) const {
+    PADICO_CHECK(off + n <= total_, "slice out of range");
+    Message out;
+    std::size_t pos = 0;
+    for (const auto& s : segments_) {
+        if (n == 0) break;
+        const std::size_t seg_end = pos + s.size();
+        if (off < seg_end) {
+            const std::size_t in_seg = off - pos;
+            const std::size_t take = std::min(n, s.size() - in_seg);
+            out.append(s.slice(in_seg, take));
+            off += take;
+            n -= take;
+        }
+        pos = seg_end;
+    }
+    PADICO_CHECK(n == 0, "slice ran out of segments");
+    return out;
+}
+
+} // namespace padico::util

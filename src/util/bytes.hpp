@@ -1,0 +1,148 @@
+#pragma once
+/// \file bytes.hpp
+/// Byte containers used on the data path.
+///
+/// - ByteBuf: a contiguous, growable byte buffer (the unit of marshalling).
+/// - Segment: a reference-counted [offset,len) view into an immutable ByteBuf.
+/// - Message: an ordered list of Segments (an iovec). Messages move through
+///   the simulated fabric by reference, which is what makes the "zero-copy"
+///   marshalling path of omniORB-like profiles literal in this codebase:
+///   a large sequence argument travels as a Segment aliasing the caller's
+///   encoder buffer, with no intermediate memcpy.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace padico::util {
+
+using byte = std::uint8_t;
+
+/// Contiguous growable byte buffer.
+class ByteBuf {
+public:
+    ByteBuf() = default;
+    explicit ByteBuf(std::size_t n) : data_(n) {}
+    ByteBuf(const void* p, std::size_t n)
+        : data_(static_cast<const byte*>(p), static_cast<const byte*>(p) + n) {}
+
+    std::size_t size() const noexcept { return data_.size(); }
+    bool empty() const noexcept { return data_.empty(); }
+    byte* data() noexcept { return data_.data(); }
+    const byte* data() const noexcept { return data_.data(); }
+
+    void clear() noexcept { data_.clear(); }
+    void reserve(std::size_t n) { data_.reserve(n); }
+    void resize(std::size_t n) { data_.resize(n); }
+
+    /// Append raw bytes.
+    void append(const void* p, std::size_t n) {
+        const byte* b = static_cast<const byte*>(p);
+        data_.insert(data_.end(), b, b + n);
+    }
+    void append(std::span<const byte> s) { append(s.data(), s.size()); }
+
+    /// Append \p n zero bytes (used for CDR alignment padding).
+    void pad(std::size_t n) { data_.insert(data_.end(), n, byte{0}); }
+
+    std::span<const byte> view() const noexcept {
+        return {data_.data(), data_.size()};
+    }
+    std::span<byte> view() noexcept { return {data_.data(), data_.size()}; }
+
+    bool operator==(const ByteBuf& other) const = default;
+
+private:
+    std::vector<byte> data_;
+};
+
+using BufPtr = std::shared_ptr<const ByteBuf>;
+
+/// Make a shared immutable buffer from raw bytes.
+inline BufPtr make_buf(const void* p, std::size_t n) {
+    return std::make_shared<const ByteBuf>(p, n);
+}
+inline BufPtr make_buf(ByteBuf&& b) {
+    return std::make_shared<const ByteBuf>(std::move(b));
+}
+
+/// Reference-counted view into an immutable buffer.
+class Segment {
+public:
+    Segment() = default;
+    Segment(BufPtr buf, std::size_t offset, std::size_t len)
+        : buf_(std::move(buf)), offset_(offset), len_(len) {
+        PADICO_CHECK(buf_ != nullptr, "segment over null buffer");
+        PADICO_CHECK(offset_ + len_ <= buf_->size(), "segment out of range");
+    }
+    explicit Segment(BufPtr buf)
+        : Segment(buf, 0, buf ? buf->size() : 0) {}
+
+    std::size_t size() const noexcept { return len_; }
+    const byte* data() const noexcept {
+        return buf_ ? buf_->data() + offset_ : nullptr;
+    }
+    std::span<const byte> view() const noexcept { return {data(), len_}; }
+
+    /// Sub-view; [off, off+n) must fit.
+    Segment slice(std::size_t off, std::size_t n) const {
+        PADICO_CHECK(off + n <= len_, "slice out of range");
+        return Segment(buf_, offset_ + off, n);
+    }
+
+private:
+    BufPtr buf_;
+    std::size_t offset_ = 0;
+    std::size_t len_ = 0;
+};
+
+/// A scatter-gather message: ordered segments, moved by reference.
+class Message {
+public:
+    Message() = default;
+    explicit Message(Segment s) { append(std::move(s)); }
+
+    void append(Segment s) {
+        total_ += s.size();
+        segments_.push_back(std::move(s));
+    }
+    void append(const Message& m) {
+        for (const auto& s : m.segments_) append(s);
+    }
+
+    std::size_t size() const noexcept { return total_; }
+    bool empty() const noexcept { return total_ == 0; }
+    std::size_t segment_count() const noexcept { return segments_.size(); }
+    const std::vector<Segment>& segments() const noexcept { return segments_; }
+
+    /// Copy the message into one contiguous buffer.
+    ByteBuf gather() const {
+        ByteBuf out;
+        out.reserve(total_);
+        for (const auto& s : segments_) out.append(s.view());
+        return out;
+    }
+
+    /// Copy [off, off+n) of the logical byte stream into \p dst.
+    void copy_out(std::size_t off, void* dst, std::size_t n) const;
+
+    /// Logical sub-range as a new (still zero-copy) message.
+    Message slice(std::size_t off, std::size_t n) const;
+
+private:
+    std::vector<Segment> segments_;
+    std::size_t total_ = 0;
+};
+
+/// Convenience: wrap a contiguous buffer as a one-segment message.
+inline Message to_message(ByteBuf&& b) {
+    return Message(Segment(make_buf(std::move(b))));
+}
+
+} // namespace padico::util

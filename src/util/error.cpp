@@ -1,0 +1,20 @@
+#include "util/error.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace padico::detail {
+
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+    const char* base = std::strrchr(file, '/');
+    std::ostringstream os;
+    os << (base ? base + 1 : file) << ':' << line << ": " << msg << " ["
+       << expr << ']';
+    if (std::strcmp(kind, "wire") == 0)
+        throw ProtocolError(os.str());
+    throw UsageError(os.str());
+}
+
+} // namespace padico::detail

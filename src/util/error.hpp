@@ -1,0 +1,74 @@
+#pragma once
+/// \file error.hpp
+/// Exception hierarchy and invariant-checking helpers used across Padico.
+
+#include <stdexcept>
+#include <string>
+
+namespace padico {
+
+/// Root of all Padico exceptions.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated an API precondition (bad argument, wrong state).
+class UsageError : public Error {
+public:
+    explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// A communication endpoint, object or service could not be found.
+class LookupError : public Error {
+public:
+    explicit LookupError(const std::string& what) : Error(what) {}
+};
+
+/// Raw hardware resource conflict (e.g. double-open of an exclusive NIC).
+class ResourceConflict : public Error {
+public:
+    explicit ResourceConflict(const std::string& what) : Error(what) {}
+};
+
+/// A wire message / descriptor could not be decoded.
+class ProtocolError : public Error {
+public:
+    explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// A remote invocation failed on the server side.
+class RemoteError : public Error {
+public:
+    explicit RemoteError(const std::string& what) : Error(what) {}
+};
+
+/// Deployment could not satisfy the assembly's constraints.
+class DeploymentError : public Error {
+public:
+    explicit DeploymentError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg);
+} // namespace detail
+
+} // namespace padico
+
+/// Check a runtime condition; throws padico::UsageError when violated.
+#define PADICO_CHECK(expr, msg)                                               \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::padico::detail::check_failed("check", #expr, __FILE__,          \
+                                           __LINE__, (msg));                  \
+    } while (0)
+
+/// Check a decode/wire-format condition; throws padico::ProtocolError.
+#define PADICO_WIRE_CHECK(expr, msg)                                          \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::padico::detail::check_failed("wire", #expr, __FILE__, __LINE__, \
+                                           (msg));                            \
+    } while (0)

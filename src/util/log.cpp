@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace padico::log {
+
+namespace {
+
+Level initial_level() {
+    const char* env = std::getenv("PADICO_LOG");
+    if (!env) return Level::warn;
+    if (std::strcmp(env, "error") == 0) return Level::error;
+    if (std::strcmp(env, "warn") == 0) return Level::warn;
+    if (std::strcmp(env, "info") == 0) return Level::info;
+    if (std::strcmp(env, "debug") == 0) return Level::debug;
+    if (std::strcmp(env, "trace") == 0) return Level::trace;
+    return Level::warn;
+}
+
+std::atomic<int> g_level{static_cast<int>(initial_level())};
+std::mutex g_mutex;
+
+const char* name(Level lv) {
+    switch (lv) {
+    case Level::error: return "ERROR";
+    case Level::warn: return "WARN ";
+    case Level::info: return "INFO ";
+    case Level::debug: return "DEBUG";
+    case Level::trace: return "TRACE";
+    }
+    return "?";
+}
+
+} // namespace
+
+Level level() noexcept { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(Level lv) noexcept {
+    g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+void emit(Level lv, const std::string& component, const std::string& text) {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    std::fprintf(stderr, "[padico %s %-9s] %s\n", name(lv), component.c_str(),
+                 text.c_str());
+}
+
+} // namespace padico::log

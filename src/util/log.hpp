@@ -1,0 +1,53 @@
+#pragma once
+/// \file log.hpp
+/// Minimal thread-safe leveled logger. Level is taken from the
+/// PADICO_LOG environment variable (error|warn|info|debug|trace),
+/// default "warn", and can be overridden programmatically.
+
+#include <sstream>
+#include <string>
+
+namespace padico::log {
+
+enum class Level : int { error = 0, warn = 1, info = 2, debug = 3, trace = 4 };
+
+/// Current global level.
+Level level() noexcept;
+
+/// Override the global level (also used by tests to silence output).
+void set_level(Level lv) noexcept;
+
+/// True when a message at \p lv would be emitted.
+inline bool enabled(Level lv) noexcept {
+    return static_cast<int>(lv) <= static_cast<int>(level());
+}
+
+/// Emit one line; prefixing and locking handled internally.
+void emit(Level lv, const std::string& component, const std::string& text);
+
+namespace detail {
+class LineStream {
+public:
+    LineStream(Level lv, const char* component) : lv_(lv), comp_(component) {}
+    ~LineStream() { emit(lv_, comp_, os_.str()); }
+    template <typename T> LineStream& operator<<(const T& v) {
+        os_ << v;
+        return *this;
+    }
+
+private:
+    Level lv_;
+    const char* comp_;
+    std::ostringstream os_;
+};
+} // namespace detail
+
+} // namespace padico::log
+
+/// Usage: PLOG(info, "fabric") << "link up " << name;
+#define PLOG(lvl, component)                                                  \
+    if (!::padico::log::enabled(::padico::log::Level::lvl))                   \
+        ;                                                                     \
+    else                                                                      \
+        ::padico::log::detail::LineStream(::padico::log::Level::lvl,          \
+                                          component)

@@ -1,0 +1,35 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random numbers (SplitMix64). Used by tests,
+/// examples and workload generators; never by the performance model.
+
+#include <cstdint>
+
+namespace padico::util {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [0, bound).
+    std::uint64_t below(std::uint64_t bound) noexcept {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace padico::util

@@ -1,0 +1,22 @@
+#include "util/simtime.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace padico {
+
+std::string format_simtime(SimTime t) {
+    char buf[64];
+    const double ns = static_cast<double>(t);
+    if (std::abs(ns) < 1e3)
+        std::snprintf(buf, sizeof buf, "%.0f ns", ns);
+    else if (std::abs(ns) < 1e6)
+        std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
+    else if (std::abs(ns) < 1e9)
+        std::snprintf(buf, sizeof buf, "%.2f ms", ns / 1e6);
+    else
+        std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+    return buf;
+}
+
+} // namespace padico

@@ -1,0 +1,41 @@
+#pragma once
+/// \file simtime.hpp
+/// Virtual time. All modeled durations and timestamps in the simulated grid
+/// are SimTime values, in nanoseconds. Wall-clock time never enters the
+/// performance model, which makes every benchmark deterministic and
+/// independent of the host machine.
+
+#include <cstdint>
+#include <string>
+
+namespace padico {
+
+/// Virtual nanoseconds.
+using SimTime = std::int64_t;
+
+constexpr SimTime nsec(std::int64_t n) { return n; }
+constexpr SimTime usec(double u) { return static_cast<SimTime>(u * 1e3); }
+constexpr SimTime msec(double m) { return static_cast<SimTime>(m * 1e6); }
+constexpr SimTime sec(double s) { return static_cast<SimTime>(s * 1e9); }
+
+constexpr double to_usec(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_msec(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+/// Time to move \p bytes at \p mb_per_s (1 MB/s == 1e6 bytes/s).
+constexpr SimTime transfer_time(std::uint64_t bytes, double mb_per_s) {
+    return mb_per_s <= 0.0
+               ? 0
+               : static_cast<SimTime>(static_cast<double>(bytes) * 1e3 /
+                                      mb_per_s);
+}
+
+/// Throughput in MB/s for \p bytes moved in \p t virtual time.
+constexpr double mb_per_s(std::uint64_t bytes, SimTime t) {
+    return t <= 0 ? 0.0 : static_cast<double>(bytes) * 1e3 / static_cast<double>(t);
+}
+
+/// Human-readable rendering, e.g. "12.3 us" / "4.56 ms".
+std::string format_simtime(SimTime t);
+
+} // namespace padico

@@ -1,0 +1,53 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace padico::util {
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    PADICO_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    PADICO_CHECK(cells.size() == header_.size(),
+                 "row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << cells[c]
+               << std::string(width[c] - cells[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    line(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << '|' << std::string(width[c] + 2, '-');
+    os << "|\n";
+    for (const auto& row : rows_) line(row);
+    return os.str();
+}
+
+std::string versus(double measured, double paper, const char* unit) {
+    if (paper <= 0.0) return strfmt("%.1f %s", measured, unit);
+    return strfmt("%.1f %s (paper %.1f, ratio %.2f)", measured, unit, paper,
+                  measured / paper);
+}
+
+} // namespace padico::util

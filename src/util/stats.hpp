@@ -1,0 +1,62 @@
+#pragma once
+/// \file stats.hpp
+/// Statistics accumulators and a fixed-width table printer used by the
+/// benchmark harness to render paper-style tables.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace padico::util {
+
+/// Streaming min/max/mean/variance (Welford).
+class Accumulator {
+public:
+    void add(double x) noexcept {
+        ++n_;
+        const double d = x - mean_;
+        mean_ += d / static_cast<double>(n_);
+        m2_ += d * (x - mean_);
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+
+    std::uint64_t count() const noexcept { return n_; }
+    double mean() const noexcept { return mean_; }
+    double min() const noexcept { return n_ ? min_ : 0.0; }
+    double max() const noexcept { return n_ ? max_ : 0.0; }
+    double variance() const noexcept {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    double stddev() const noexcept;
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Renders rows of strings as an aligned ASCII table with a header.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Formatted table, ready for stdout.
+    std::string to_string() const;
+
+    std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Paper-vs-measured comparison helper: "measured (paper x.xx, ratio r)".
+std::string versus(double measured, double paper, const char* unit);
+
+} // namespace padico::util

@@ -1,0 +1,73 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace padico::util {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string strfmt(const char* fmt, ...) {
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+    if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+std::uint64_t parse_uint(std::string_view s) {
+    s = trim(s);
+    PADICO_CHECK(!s.empty(), "empty integer");
+    std::uint64_t v = 0;
+    for (char c : s) {
+        PADICO_CHECK(c >= '0' && c <= '9',
+                     "bad integer '" + std::string(s) + "'");
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+}
+
+double parse_double(std::string_view s) {
+    s = trim(s);
+    PADICO_CHECK(!s.empty(), "empty number");
+    std::string tmp(s);
+    char* end = nullptr;
+    const double v = std::strtod(tmp.c_str(), &end);
+    PADICO_CHECK(end && *end == '\0', "bad number '" + tmp + "'");
+    return v;
+}
+
+} // namespace padico::util

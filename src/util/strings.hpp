@@ -1,0 +1,28 @@
+#pragma once
+/// \file strings.hpp
+/// Small string helpers shared across modules.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace padico::util {
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parse a non-negative integer; throws UsageError on garbage.
+std::uint64_t parse_uint(std::string_view s);
+
+/// Parse a double; throws UsageError on garbage.
+double parse_double(std::string_view s);
+
+} // namespace padico::util

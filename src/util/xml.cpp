@@ -1,0 +1,221 @@
+#include "util/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace padico::util {
+
+const std::string& XmlNode::attr(const std::string& key) const {
+    auto it = attrs_.find(key);
+    PADICO_WIRE_CHECK(it != attrs_.end(),
+                      "<" + name_ + "> missing attribute '" + key + "'");
+    return it->second;
+}
+
+std::string XmlNode::attr_or(const std::string& key,
+                             const std::string& dflt) const {
+    auto it = attrs_.find(key);
+    return it == attrs_.end() ? dflt : it->second;
+}
+
+std::vector<XmlNodePtr> XmlNode::children_named(const std::string& name) const {
+    std::vector<XmlNodePtr> out;
+    for (const auto& c : children_)
+        if (c->name() == name) out.push_back(c);
+    return out;
+}
+
+XmlNodePtr XmlNode::child(const std::string& name) const {
+    for (const auto& c : children_)
+        if (c->name() == name) return c;
+    return nullptr;
+}
+
+XmlNodePtr XmlNode::require_child(const std::string& name) const {
+    auto c = child(name);
+    PADICO_WIRE_CHECK(c != nullptr,
+                      "<" + name_ + "> missing child <" + name + ">");
+    return c;
+}
+
+namespace {
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '"': out += "&quot;"; break;
+        case '\'': out += "&apos;"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+class Parser {
+public:
+    explicit Parser(const std::string& in) : in_(in) {}
+
+    XmlNodePtr parse_document() {
+        skip_misc();
+        XmlNodePtr root = parse_element();
+        skip_misc();
+        PADICO_WIRE_CHECK(pos_ == in_.size(), "trailing content after root");
+        return root;
+    }
+
+private:
+    char peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+    char get() {
+        PADICO_WIRE_CHECK(pos_ < in_.size(), "unexpected end of XML");
+        return in_[pos_++];
+    }
+    bool eat(const std::string& tok) {
+        if (in_.compare(pos_, tok.size(), tok) == 0) {
+            pos_ += tok.size();
+            return true;
+        }
+        return false;
+    }
+    void skip_ws() {
+        while (pos_ < in_.size() &&
+               std::isspace(static_cast<unsigned char>(in_[pos_])))
+            ++pos_;
+    }
+    void skip_until(const std::string& tok) {
+        const std::size_t p = in_.find(tok, pos_);
+        PADICO_WIRE_CHECK(p != std::string::npos, "unterminated '" + tok + "'");
+        pos_ = p + tok.size();
+    }
+    /// Skip whitespace, comments and processing instructions.
+    void skip_misc() {
+        while (true) {
+            skip_ws();
+            if (eat("<!--")) {
+                skip_until("-->");
+            } else if (eat("<?")) {
+                skip_until("?>");
+            } else {
+                return;
+            }
+        }
+    }
+
+    static bool is_name_char(char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '-' || c == '.' || c == ':';
+    }
+
+    std::string parse_name() {
+        std::string n;
+        while (is_name_char(peek())) n += get();
+        PADICO_WIRE_CHECK(!n.empty(), "expected XML name");
+        return n;
+    }
+
+    std::string decode_entities(const std::string& raw) {
+        std::string out;
+        out.reserve(raw.size());
+        for (std::size_t i = 0; i < raw.size();) {
+            if (raw[i] != '&') {
+                out += raw[i++];
+                continue;
+            }
+            const std::size_t semi = raw.find(';', i);
+            PADICO_WIRE_CHECK(semi != std::string::npos, "bad entity");
+            const std::string ent = raw.substr(i + 1, semi - i - 1);
+            if (ent == "amp") out += '&';
+            else if (ent == "lt") out += '<';
+            else if (ent == "gt") out += '>';
+            else if (ent == "quot") out += '"';
+            else if (ent == "apos") out += '\'';
+            else PADICO_WIRE_CHECK(false, "unknown entity &" + ent + ";");
+            i = semi + 1;
+        }
+        return out;
+    }
+
+    std::string parse_attr_value() {
+        const char quote = get();
+        PADICO_WIRE_CHECK(quote == '"' || quote == '\'',
+                          "attribute value must be quoted");
+        std::string raw;
+        while (peek() != quote) raw += get();
+        ++pos_; // closing quote
+        return decode_entities(raw);
+    }
+
+    XmlNodePtr parse_element() {
+        PADICO_WIRE_CHECK(get() == '<', "expected '<'");
+        auto node = std::make_shared<XmlNode>(parse_name());
+        // attributes
+        while (true) {
+            skip_ws();
+            if (eat("/>")) return node;
+            if (eat(">")) break;
+            const std::string key = parse_name();
+            skip_ws();
+            PADICO_WIRE_CHECK(get() == '=', "expected '=' after attribute");
+            skip_ws();
+            node->set_attr(key, parse_attr_value());
+        }
+        // content
+        std::string text;
+        while (true) {
+            if (eat("<!--")) {
+                skip_until("-->");
+            } else if (in_.compare(pos_, 2, "</") == 0) {
+                pos_ += 2;
+                const std::string close = parse_name();
+                PADICO_WIRE_CHECK(close == node->name(),
+                                  "mismatched </" + close + "> for <" +
+                                      node->name() + ">");
+                skip_ws();
+                PADICO_WIRE_CHECK(get() == '>', "expected '>'");
+                node->append_text(std::string(trim(decode_entities(text))));
+                return node;
+            } else if (peek() == '<') {
+                node->add_child(parse_element());
+            } else {
+                text += get();
+            }
+        }
+    }
+
+    const std::string& in_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string XmlNode::to_string(int indent) const {
+    std::ostringstream os;
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    os << pad << '<' << name_;
+    for (const auto& [k, v] : attrs_) os << ' ' << k << "=\"" << escape(v) << '"';
+    if (children_.empty() && text_.empty()) {
+        os << "/>\n";
+        return os.str();
+    }
+    os << '>';
+    if (!text_.empty()) os << escape(text_);
+    if (!children_.empty()) {
+        os << '\n';
+        for (const auto& c : children_) os << c->to_string(indent + 1);
+        os << pad;
+    }
+    os << "</" << name_ << ">\n";
+    return os.str();
+}
+
+XmlNodePtr xml_parse(const std::string& input) {
+    return Parser(input).parse_document();
+}
+
+} // namespace padico::util

@@ -1,0 +1,73 @@
+#pragma once
+/// \file xml.hpp
+/// A small XML parser and DOM, sufficient for CCM/GridCCM descriptors
+/// (the paper's OSD software descriptors and the GridCCM parallelism
+/// description are XML vocabularies). Supports elements, attributes,
+/// text content, comments, XML declarations and the five predefined
+/// entities. No namespaces, CDATA or DTDs.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace padico::util {
+
+class XmlNode;
+using XmlNodePtr = std::shared_ptr<XmlNode>;
+
+/// One XML element.
+class XmlNode {
+public:
+    explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const noexcept { return name_; }
+
+    /// Concatenated text content directly under this element, trimmed.
+    const std::string& text() const noexcept { return text_; }
+    void append_text(const std::string& t) { text_ += t; }
+
+    // --- attributes ---------------------------------------------------
+    bool has_attr(const std::string& key) const {
+        return attrs_.count(key) != 0;
+    }
+    /// Required attribute; throws ProtocolError if absent.
+    const std::string& attr(const std::string& key) const;
+    /// Optional attribute with default.
+    std::string attr_or(const std::string& key, const std::string& dflt) const;
+    void set_attr(const std::string& key, const std::string& value) {
+        attrs_[key] = value;
+    }
+    const std::map<std::string, std::string>& attrs() const noexcept {
+        return attrs_;
+    }
+
+    // --- children ------------------------------------------------------
+    void add_child(XmlNodePtr c) { children_.push_back(std::move(c)); }
+    const std::vector<XmlNodePtr>& children() const noexcept {
+        return children_;
+    }
+    /// All direct children with a given element name.
+    std::vector<XmlNodePtr> children_named(const std::string& name) const;
+    /// First direct child with a given name, or nullptr.
+    XmlNodePtr child(const std::string& name) const;
+    /// First direct child with a given name; throws ProtocolError if absent.
+    XmlNodePtr require_child(const std::string& name) const;
+
+    /// Serialize back to XML text (used by tests and descriptors round-trip).
+    std::string to_string(int indent = 0) const;
+
+private:
+    std::string name_;
+    std::string text_;
+    std::map<std::string, std::string> attrs_;
+    std::vector<XmlNodePtr> children_;
+};
+
+/// Parse a complete document; returns the root element.
+/// Throws ProtocolError on malformed input.
+XmlNodePtr xml_parse(const std::string& input);
+
+} // namespace padico::util

@@ -1,0 +1,510 @@
+// Tests for the CORBA middleware: CDR marshalling (round trips, alignment,
+// zero-copy strategy, malformed input), GIOP invocations, user/system
+// exceptions, oneway calls, the naming service, module registration, and
+// the per-implementation performance profiles of the paper's Fig. 7.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "corba/naming.hpp"
+#include "corba/stub.hpp"
+#include "fabric/grid.hpp"
+#include "osal/sync.hpp"
+#include "util/rng.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+using namespace padico::corba;
+
+namespace {
+
+struct DuoGrid {
+    Grid grid;
+    Machine* server;
+    Machine* client;
+
+    DuoGrid() {
+        auto& myri = grid.add_segment("myri0", NetTech::Myrinet2000);
+        auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+        server = &grid.add_machine("srv");
+        client = &grid.add_machine("cli");
+        for (auto* m : {server, client}) {
+            grid.attach(*m, myri);
+            grid.attach(*m, eth);
+        }
+    }
+};
+
+/// Test interface: the moral output of "interface Echo" through an IDL
+/// compiler.
+class EchoServant : public Servant {
+public:
+    std::string interface() const override { return "IDL:Echo:1.0"; }
+
+    void dispatch(const std::string& op, cdr::Decoder& in,
+                  cdr::Encoder& out) override {
+        if (op == "echo_string") {
+            skel::ret(out, skel::arg<std::string>(in));
+        } else if (op == "sum") {
+            const auto xs = skel::arg<std::vector<std::int32_t>>(in);
+            skel::ret(out, std::accumulate(xs.begin(), xs.end(),
+                                           std::int64_t{0}));
+        } else if (op == "fail") {
+            throw RemoteError("deliberate");
+        } else if (op == "note") { // oneway
+            notes.fetch_add(skel::arg<std::int32_t>(in));
+        } else {
+            throw RemoteError("BAD_OPERATION " + op);
+        }
+    }
+
+    static std::atomic<std::int64_t> notes;
+};
+
+std::atomic<std::int64_t> EchoServant::notes{0};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// CDR
+
+TEST(Cdr, PrimitiveRoundTripWithAlignment) {
+    cdr::Encoder e(true);
+    e.put_u8(7);
+    e.put_u32(0xdeadbeef); // forces 3 bytes of padding
+    e.put_u16(99);
+    e.put_f64(2.75); // forces padding to 8
+    e.put_bool(true);
+    e.put_i64(-5);
+    cdr::Decoder d(e.take());
+    EXPECT_EQ(d.get_u8(), 7);
+    EXPECT_EQ(d.get_u32(), 0xdeadbeefu);
+    EXPECT_EQ(d.get_u16(), 99);
+    EXPECT_DOUBLE_EQ(d.get_f64(), 2.75);
+    EXPECT_TRUE(d.get_bool());
+    EXPECT_EQ(d.get_i64(), -5);
+    d.expect_end();
+}
+
+TEST(Cdr, StringsWithNulRules) {
+    cdr::Encoder e(true);
+    e.put_string("grid");
+    e.put_string("");
+    cdr::Decoder d(e.take());
+    EXPECT_EQ(d.get_string(), "grid");
+    EXPECT_EQ(d.get_string(), "");
+    d.expect_end();
+}
+
+TEST(Cdr, UnderrunAndTrailingDetected) {
+    cdr::Encoder e(true);
+    e.put_u32(1);
+    cdr::Decoder d(e.take());
+    EXPECT_THROW(d.get_u64(), ProtocolError);
+    cdr::Decoder d2(cdr::encode(true, std::uint32_t{1}, std::uint32_t{2}));
+    (void)d2.get_u32();
+    EXPECT_THROW(d2.expect_end(), ProtocolError);
+}
+
+class CdrSeq : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CdrSeq, SequenceRoundTripBothStrategies) {
+    const std::size_t n = GetParam();
+    std::vector<std::int32_t> xs(n);
+    std::iota(xs.begin(), xs.end(), -3);
+    for (bool zero_copy : {true, false}) {
+        cdr::Encoder e(zero_copy);
+        e.put_u8(1); // misalign on purpose
+        e.put_seq(std::span<const std::int32_t>(xs));
+        e.put_string("tail");
+        cdr::Decoder d(e.take());
+        EXPECT_EQ(d.get_u8(), 1);
+        EXPECT_EQ(d.get_seq<std::int32_t>(), xs);
+        EXPECT_EQ(d.get_string(), "tail");
+        d.expect_end();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CdrSeq,
+                         ::testing::Values(0, 1, 3, 255, 256, 1024, 100000));
+
+TEST(Cdr, ZeroCopyEmitsSeparateSegments) {
+    std::vector<double> big(4096);
+    cdr::Encoder zc(true);
+    zc.put_seq(std::span<const double>(big));
+    util::Message m = zc.take();
+    EXPECT_GE(m.segment_count(), 2u); // header + payload segment
+
+    cdr::Encoder copy(false);
+    copy.put_seq(std::span<const double>(big));
+    EXPECT_EQ(copy.take().segment_count(), 1u); // memcpy'd into the stream
+}
+
+TEST(Cdr, ZeroCopySharedSegmentIsAliased) {
+    // The GridCCM fragment path: a message slice goes out without a copy.
+    util::ByteBuf raw(64 * sizeof(float));
+    auto buf = util::make_buf(std::move(raw));
+    util::Segment seg(buf);
+    cdr::Encoder e(true);
+    e.put_seq_shared<float>(seg, 64);
+    util::Message m = e.take();
+    bool aliased = false;
+    for (const auto& s : m.segments())
+        if (s.data() == buf->data()) aliased = true;
+    EXPECT_TRUE(aliased);
+
+    std::size_t count = 0;
+    cdr::Decoder d(std::move(m));
+    util::Message view = d.get_seq_msg<float>(&count);
+    EXPECT_EQ(count, 64u);
+    EXPECT_EQ(view.segments()[0].data(), buf->data()); // still zero-copy
+}
+
+TEST(Cdr, RandomizedRoundTripProperty) {
+    // Fuzz the codec: random sequences of typed puts must decode to the
+    // same values in the same order, under both marshalling strategies.
+    padico::util::Rng rng(20030422); // IPDPS 2003 ;-)
+    for (int iter = 0; iter < 50; ++iter) {
+        const bool zero_copy = (iter % 2) == 0;
+        cdr::Encoder e(zero_copy);
+        std::vector<int> kinds;
+        std::vector<std::uint64_t> ints;
+        std::vector<std::string> strs;
+        std::vector<std::vector<std::int16_t>> seqs;
+        const int n_ops = 1 + static_cast<int>(rng.below(20));
+        for (int i = 0; i < n_ops; ++i) {
+            const int kind = static_cast<int>(rng.below(4));
+            kinds.push_back(kind);
+            switch (kind) {
+            case 0: {
+                const std::uint64_t v = rng.next();
+                ints.push_back(v);
+                e.put_u64(v);
+                break;
+            }
+            case 1: {
+                const std::uint8_t v = static_cast<std::uint8_t>(rng.below(256));
+                ints.push_back(v);
+                e.put_u8(v);
+                break;
+            }
+            case 2: {
+                std::string s(rng.below(40), 'a');
+                for (auto& c : s)
+                    c = static_cast<char>('a' + rng.below(26));
+                strs.push_back(s);
+                e.put_string(s);
+                break;
+            }
+            default: {
+                std::vector<std::int16_t> v(rng.below(2000));
+                for (auto& x : v)
+                    x = static_cast<std::int16_t>(rng.next());
+                seqs.push_back(v);
+                e.put_seq(std::span<const std::int16_t>(v));
+            }
+            }
+        }
+        cdr::Decoder d(e.take());
+        std::size_t ii = 0, si = 0, qi = 0;
+        for (int kind : kinds) {
+            switch (kind) {
+            case 0: ASSERT_EQ(d.get_u64(), ints[ii++]); break;
+            case 1: ASSERT_EQ(d.get_u8(), ints[ii++]); break;
+            case 2: ASSERT_EQ(d.get_string(), strs[si++]); break;
+            default: ASSERT_EQ(d.get_seq<std::int16_t>(), seqs[qi++]);
+            }
+        }
+        d.expect_end();
+    }
+}
+
+TEST(Cdr, NestedStructsViaAdl) {
+    std::vector<std::string> names{"a", "bc", ""};
+    std::vector<std::vector<std::int32_t>> nested{{1, 2}, {}, {3}};
+    util::Message m = cdr::encode(true, names, nested);
+    cdr::Decoder d(std::move(m));
+    std::vector<std::string> n2;
+    std::vector<std::vector<std::int32_t>> v2;
+    cdr_get(d, n2);
+    cdr_get(d, v2);
+    EXPECT_EQ(n2, names);
+    EXPECT_EQ(v2, nested);
+}
+
+// ---------------------------------------------------------------------------
+// IOR
+
+TEST(Ior, StringRoundTrip) {
+    IOR ior{"endpoint-7", 42, "IDL:a/b:1.0"};
+    const IOR back = IOR::from_string(ior.to_string());
+    EXPECT_EQ(back.endpoint, ior.endpoint);
+    EXPECT_EQ(back.key, ior.key);
+    EXPECT_EQ(back.type, ior.type);
+    EXPECT_THROW(IOR::from_string("junk"), ProtocolError);
+    EXPECT_THROW(IOR::from_string("IOR:onlyendpoint"), ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// GIOP invocations
+
+TEST(Giop, EchoInvocationAndUserException) {
+    DuoGrid g;
+    osal::Event served;
+    osal::Event done;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        orb.serve("echo-ep");
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("test/echo/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        done.wait();
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        served.wait();
+        IOR ior{"echo-ep", proc.grid().wait_service("test/echo/key"),
+                "IDL:Echo:1.0"};
+        ObjectRef ref = orb.resolve(ior);
+        EXPECT_EQ(call<std::string>(ref, "echo_string",
+                                    std::string("bonjour")),
+                  "bonjour");
+        std::vector<std::int32_t> xs{1, 2, 3, 4};
+        EXPECT_EQ(call<std::int64_t>(ref, "sum", xs), 10);
+        EXPECT_THROW(call<void>(ref, "fail"), RemoteError);
+        // Still usable after a user exception.
+        EXPECT_EQ(call<std::string>(ref, "echo_string", std::string("x")),
+                  "x");
+        // Unknown object key -> system exception.
+        IOR bogus = ior;
+        bogus.key = 999999;
+        ObjectRef bad = orb.resolve(bogus);
+        EXPECT_THROW(call<void>(bad, "echo_string", std::string("y")),
+                     RemoteError);
+        done.set();
+    });
+    g.grid.join_all();
+}
+
+TEST(Giop, OnewayDeliversWithoutReply) {
+    DuoGrid g;
+    EchoServant::notes = 0;
+    osal::Event served, done;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_mico());
+        orb.serve("ow-ep");
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("test/ow/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        done.wait();
+        orb.shutdown();
+        EXPECT_EQ(EchoServant::notes.load(), 5 + 7);
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_mico());
+        served.wait();
+        IOR ior{"ow-ep", proc.grid().wait_service("test/ow/key"),
+                "IDL:Echo:1.0"};
+        ObjectRef ref = orb.resolve(ior);
+        call_oneway(ref, "note", std::int32_t{5});
+        call_oneway(ref, "note", std::int32_t{7});
+        // A synchronous call flushes the oneways (same ordered stream).
+        call<std::string>(ref, "echo_string", std::string("flush"));
+        done.set();
+    });
+    g.grid.join_all();
+}
+
+TEST(Giop, ActivateDeactivateLifecycle) {
+    DuoGrid g;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb3());
+        orb.serve("lc-ep");
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        EXPECT_EQ(ior.type, "IDL:Echo:1.0");
+        orb.deactivate(ior);
+        EXPECT_THROW(orb.deactivate(ior), LookupError);
+        orb.shutdown();
+    });
+    g.grid.join_all();
+}
+
+TEST(Giop, EsiopFramingInteroperates) {
+    // An ESIOP client against the same server machinery: the receiver
+    // auto-detects the framing, so GIOP and ESIOP clients can mix.
+    DuoGrid g;
+    osal::Event served, done;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4_esiop());
+        orb.serve("es-ep");
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("test/es/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        done.wait();
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        served.wait();
+        IOR ior{"es-ep", proc.grid().wait_service("test/es/key"),
+                "IDL:Echo:1.0"};
+        // ESIOP client.
+        Orb eorb(rt, profile_omniorb4_esiop());
+        ObjectRef eref = eorb.resolve(ior);
+        EXPECT_EQ(call<std::string>(eref, "echo_string",
+                                    std::string("via-esiop")),
+                  "via-esiop");
+        // Plain GIOP client against the same servant.
+        Orb gorb(rt, profile_omniorb4());
+        ObjectRef gref = gorb.resolve(ior);
+        EXPECT_EQ(call<std::string>(gref, "echo_string",
+                                    std::string("via-giop")),
+                  "via-giop");
+        done.set();
+    });
+    g.grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Naming service
+
+TEST(Naming, BindResolveUnbindList) {
+    DuoGrid g;
+    osal::Event done;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        start_naming_service(orb);
+        done.wait();
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        NamingClient naming = NamingClient::connect(orb);
+        IOR ior{"some-ep", 3, "IDL:Chemistry:1.0"};
+        naming.bind("coupling/chemistry", ior);
+        const IOR got = naming.resolve("coupling/chemistry");
+        EXPECT_EQ(got.endpoint, "some-ep");
+        EXPECT_EQ(got.type, "IDL:Chemistry:1.0");
+        EXPECT_EQ(naming.resolve_wait("coupling/chemistry").key, 3u);
+        EXPECT_THROW(naming.resolve("absent"), RemoteError);
+        EXPECT_EQ(naming.list(), std::vector<std::string>{
+                                     "coupling/chemistry"});
+        naming.unbind("coupling/chemistry");
+        EXPECT_THROW(naming.resolve("coupling/chemistry"), RemoteError);
+        done.set();
+    });
+    g.grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Modules
+
+TEST(CorbaModules, AllProfilesRegistered) {
+    corba::install();
+    for (const auto& p : all_profiles())
+        EXPECT_TRUE(ptm::ModuleManager::has_type("corba/" + p.name));
+    EXPECT_TRUE(ptm::ModuleManager::has_type("corba/OpenCCM-Java"));
+
+    DuoGrid g;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        auto mod = rt.modules().load("corba/omniORB-4.0.0");
+        EXPECT_EQ(mod->name(), "corba/omniORB-4.0.0");
+        auto orb = std::static_pointer_cast<Orb>(mod);
+        EXPECT_TRUE(orb->profile().zero_copy);
+    });
+    g.grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Performance profiles (paper Fig. 7 and §4.4 latency text)
+
+namespace {
+
+/// Round-trip of a payload under a profile; returns (latency_us, bw_mb) as
+/// measured by a 4-byte ping-pong and a 1 MB invocation.
+std::pair<double, double> measure_profile(const OrbProfile& profile) {
+    DuoGrid g;
+    osal::Event served, done;
+    double latency = 0, bandwidth = 0;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile);
+        orb.serve("perf-ep");
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("test/perf/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        done.wait();
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile);
+        served.wait();
+        IOR ior{"perf-ep", proc.grid().wait_service("test/perf/key"),
+                "IDL:Echo:1.0"};
+        ObjectRef ref = orb.resolve(ior);
+        // Warm the connection.
+        call<std::string>(ref, "echo_string", std::string("w"));
+
+        constexpr int kIters = 10;
+        const SimTime t0 = proc.now();
+        for (int i = 0; i < kIters; ++i)
+            call<std::string>(ref, "echo_string", std::string("ping"));
+        latency = to_usec(proc.now() - t0) / (2.0 * kIters);
+
+        std::vector<std::int32_t> mb(1 << 18); // 1 MiB of longs
+        const SimTime t1 = proc.now();
+        call<std::int64_t>(ref, "sum", mb);
+        bandwidth = mb_per_s(mb.size() * 4, proc.now() - t1);
+        done.set();
+    });
+    g.grid.join_all();
+    return {latency, bandwidth};
+}
+
+} // namespace
+
+TEST(CorbaPerf, OmniOrbReachesMyrinetSpeed) {
+    const auto [lat, bw] = measure_profile(profile_omniorb4());
+    EXPECT_NEAR(lat, 20.0, 2.0);  // paper: 20 us
+    EXPECT_GT(bw, 220.0);         // paper: ~240 MB/s, same as MPI
+}
+
+TEST(CorbaPerf, MicoLimitedByMarshallingCopies) {
+    const auto [lat, bw] = measure_profile(profile_mico());
+    EXPECT_NEAR(lat, 62.0, 4.0); // paper: 62 us
+    EXPECT_NEAR(bw, 55.0, 4.0);  // paper: 55 MB/s
+}
+
+TEST(CorbaPerf, OrbacusBetween) {
+    const auto [lat, bw] = measure_profile(profile_orbacus());
+    EXPECT_NEAR(lat, 54.0, 4.0); // paper: 54 us
+    EXPECT_NEAR(bw, 63.0, 4.0);  // paper: 63 MB/s
+}
+
+TEST(CorbaPerf, EsiopLowersLatencyBelowGiop) {
+    // The paper's §4.4 remark: a specific protocol (ESIOP) instead of the
+    // general GIOP lowers latency; MPI's 11 us remains the floor.
+    const auto [lat_giop, bw_giop] = measure_profile(profile_omniorb4());
+    const auto [lat_esiop, bw_esiop] =
+        measure_profile(profile_omniorb4_esiop());
+    EXPECT_LT(lat_esiop, lat_giop - 3.0);
+    EXPECT_GT(lat_esiop, 11.0);
+    EXPECT_NEAR(bw_esiop, bw_giop, 5.0); // bandwidth unchanged (zero-copy)
+}

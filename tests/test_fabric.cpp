@@ -1,0 +1,471 @@
+// Unit and property tests for the simulated grid fabric: topology, process
+// spawning, adapter exclusivity, the virtual-time link model, and discovery.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "fabric/grid.hpp"
+#include "fabric/netmodel.hpp"
+#include "fabric/registry.hpp"
+#include "osal/sync.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+
+namespace {
+
+/// Two machines attached to one segment of the given technology.
+struct Pair {
+    Grid grid;
+    Machine* a;
+    Machine* b;
+    NetworkSegment* seg;
+
+    explicit Pair(NetTech tech) {
+        seg = &grid.add_segment("net0", tech);
+        a = &grid.add_machine("ma");
+        b = &grid.add_machine("mb");
+        grid.attach(*a, *seg);
+        grid.attach(*b, *seg);
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Net model
+
+TEST(NetModel, DefaultsMatchPaperTestbed) {
+    const auto myri = default_params(NetTech::Myrinet2000);
+    EXPECT_NEAR(attainable_mb(myri), 240.0, 0.01); // paper: 96% of 250 MB/s
+    EXPECT_TRUE(myri.exclusive_open);
+    EXPECT_EQ(myri.paradigm, Paradigm::Parallel);
+
+    const auto eth = default_params(NetTech::FastEthernet);
+    EXPECT_NEAR(attainable_mb(eth), 11.25, 0.01);
+    EXPECT_FALSE(eth.exclusive_open);
+
+    const auto wan = default_params(NetTech::Wan);
+    EXPECT_FALSE(wan.secure);
+}
+
+TEST(NetModel, OneWayTimeComposition) {
+    const auto myri = default_params(NetTech::Myrinet2000);
+    StackCosts stack{"test", usec(1.0), usec(2.0), 1.0, 1.0};
+    const SimTime t = one_way_time(myri, stack, 1000000);
+    // latency + wire + cpu: 7us + 1e6/240 us + 1+2us + 2e6 ns
+    const SimTime expect = usec(7.0) + transfer_time(1000000, 240.0) +
+                           usec(3.0) + nsec(2000000);
+    EXPECT_EQ(t, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+
+TEST(Grid, TopologyConstructionAndLookup) {
+    Grid g;
+    auto& myri = g.add_segment("myri0", NetTech::Myrinet2000);
+    auto& eth = g.add_segment("eth0", NetTech::FastEthernet);
+    auto& m0 = g.add_machine("node0");
+    auto& m1 = g.add_machine("node1");
+    g.attach(m0, myri);
+    g.attach(m0, eth);
+    g.attach(m1, eth);
+
+    EXPECT_EQ(&g.machine("node0"), &m0);
+    EXPECT_EQ(&g.segment("eth0"), &eth);
+    EXPECT_THROW(g.machine("nope"), LookupError);
+    EXPECT_THROW(g.segment("nope"), LookupError);
+    EXPECT_NE(m0.adapter_on(myri), nullptr);
+    EXPECT_EQ(m1.adapter_on(myri), nullptr);
+    EXPECT_THROW(g.attach(m0, myri), UsageError); // double attach
+
+    auto common = g.common_segments(m0, m1);
+    ASSERT_EQ(common.size(), 1u);
+    EXPECT_EQ(common[0], &eth);
+}
+
+TEST(Grid, CommonSegmentsSortedByBandwidth) {
+    Grid g;
+    auto& eth = g.add_segment("eth", NetTech::FastEthernet);
+    auto& myri = g.add_segment("myri", NetTech::Myrinet2000);
+    auto& wan = g.add_segment("wan", NetTech::Wan);
+    auto& a = g.add_machine("a");
+    auto& b = g.add_machine("b");
+    for (auto* s : {&eth, &myri, &wan}) {
+        g.attach(a, *s);
+        g.attach(b, *s);
+    }
+    auto common = g.common_segments(a, b);
+    ASSERT_EQ(common.size(), 3u);
+    EXPECT_EQ(common[0], &myri);
+    EXPECT_EQ(common[1], &eth);
+    EXPECT_EQ(common[2], &wan);
+}
+
+// ---------------------------------------------------------------------------
+// Processes and clocks
+
+TEST(Grid, SpawnJoinAndCurrentProcess) {
+    Grid g;
+    auto& m = g.add_machine("host");
+    std::atomic<int> ran{0};
+    g.spawn(m, [&](Process& p) {
+        EXPECT_EQ(&Process::current(), &p);
+        EXPECT_EQ(p.machine().name(), "host");
+        p.compute(usec(5.0));
+        EXPECT_EQ(p.now(), usec(5.0));
+        ++ran;
+    });
+    g.join_all();
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(Process::current_or_null(), nullptr);
+}
+
+TEST(Grid, JoinAllRethrowsProcessFailure) {
+    Grid g;
+    auto& m = g.add_machine("host");
+    g.spawn(m, [](Process&) { throw LookupError("boom"); });
+    EXPECT_THROW(g.join_all(), LookupError);
+    // A second join is clean (failure consumed).
+    g.join_all();
+}
+
+TEST(Grid, RunSpmdPassesRanks) {
+    Grid g;
+    auto& m0 = g.add_machine("h0");
+    auto& m1 = g.add_machine("h1");
+    std::atomic<int> sum{0};
+    run_spmd(g, {&m0, &m1, &m0}, [&](Process&, int rank, int size) {
+        EXPECT_EQ(size, 3);
+        sum += rank;
+    });
+    g.join_all();
+    EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Name service
+
+TEST(Grid, ChannelIdsStableAndDistinct) {
+    Grid g;
+    const ChannelId a = g.channel_id("alpha");
+    const ChannelId b = g.channel_id("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(g.channel_id("alpha"), a);
+}
+
+TEST(Grid, ServiceRegistrationBlocksUntilAvailable) {
+    Grid g;
+    auto& m = g.add_machine("h");
+    g.spawn(m, [](Process& p) {
+        const ProcessId who = p.grid().wait_service("late");
+        EXPECT_EQ(who, p.grid().wait_service("late"));
+    });
+    g.spawn(m, [](Process& p) {
+        p.grid().register_service("late", p.id());
+    });
+    g.join_all();
+    EXPECT_TRUE(g.try_lookup("late").has_value());
+    EXPECT_FALSE(g.try_lookup("never").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Adapter exclusivity (the conflict PadicoTM arbitrates, paper §4.3.1)
+
+TEST(Adapter, ExclusiveSanRejectsSecondOwner) {
+    Pair p(NetTech::Myrinet2000);
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        Adapter* nic = proc.machine().adapter_on(*p.seg);
+        auto port1 = nic->open(proc, "mpich-raw");
+        EXPECT_TRUE(nic->is_open());
+        EXPECT_EQ(nic->owner_tag(), "mpich-raw");
+        // Same owner may re-open (refcounted)...
+        auto port2 = nic->open(proc, "mpich-raw");
+        EXPECT_EQ(port2.get(), port1.get());
+        // ...a different middleware may not: BIP-style exclusivity.
+        EXPECT_THROW(nic->open(proc, "corba-raw"), ResourceConflict);
+        port1.release();
+        EXPECT_THROW(nic->open(proc, "corba-raw"), ResourceConflict);
+        port2.release();
+        // Fully released: a new owner can now claim the NIC.
+        auto port3 = nic->open(proc, "corba-raw");
+        EXPECT_TRUE(port3);
+    });
+    p.grid.join_all();
+}
+
+TEST(Adapter, SharedLanAllowsManyOwners) {
+    Pair p(NetTech::FastEthernet);
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        Adapter* nic = proc.machine().adapter_on(*p.seg);
+        auto s1 = nic->open(proc, "tcp-stack-a");
+        auto s2 = nic->open(proc, "tcp-stack-b");
+        EXPECT_EQ(s1.get(), s2.get()); // one port per process, shared
+    });
+    p.grid.join_all();
+}
+
+TEST(Adapter, ExclusiveSanRejectsSecondProcess) {
+    Pair p(NetTech::Myrinet2000);
+    osal::Event first_open;
+    osal::Event done;
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(*p.seg)->open(proc, "mad");
+        first_open.set();
+        done.wait();
+    });
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        first_open.wait();
+        EXPECT_THROW(proc.machine().adapter_on(*p.seg)->open(proc, "mad"),
+                     ResourceConflict);
+        done.set();
+    });
+    p.grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Link timing model
+
+TEST(LinkModel, SingleMessageTiming) {
+    Pair p(NetTech::Myrinet2000);
+    const ChannelId ch = p.grid.channel_id("t");
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(*p.seg)->open(proc, "x");
+        util::ByteBuf payload(240000); // 1 ms of wire time at 240 MB/s
+        const SimTime tx_done =
+            port->send(1, ch, util::to_message(std::move(payload)), 0);
+        EXPECT_EQ(tx_done, msec(1.0));
+    });
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(*p.seg)->open(proc, "x");
+        auto pkt = port->recv_on(ch);
+        ASSERT_TRUE(pkt.has_value());
+        EXPECT_EQ(pkt->payload.size(), 240000u);
+        // delivery = wire (1ms) + latency (7us)
+        EXPECT_EQ(pkt->deliver_time, msec(1.0) + usec(7.0));
+    });
+    p.grid.join_all();
+}
+
+TEST(LinkModel, SenderSerializesOnTx) {
+    // Two back-to-back sends from one NIC serialize on tx_free.
+    Pair p(NetTech::Myrinet2000);
+    const ChannelId ch = p.grid.channel_id("t2");
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(*p.seg)->open(proc, "x");
+        util::ByteBuf m1(240000), m2(240000);
+        EXPECT_EQ(port->send(1, ch, util::to_message(std::move(m1)), 0),
+                  msec(1.0));
+        EXPECT_EQ(port->send(1, ch, util::to_message(std::move(m2)), 0),
+                  msec(2.0));
+    });
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(*p.seg)->open(proc, "x");
+        auto pkt1 = port->recv_on(ch);
+        auto pkt2 = port->recv_on(ch);
+        EXPECT_EQ(pkt2->deliver_time, msec(2.0) + usec(7.0));
+        (void)pkt1;
+    });
+    p.grid.join_all();
+}
+
+TEST(LinkModel, IncastSerializesOnRx) {
+    // Two senders into one receiver NIC: second delivery pushed out.
+    Grid g;
+    auto& seg = g.add_segment("myri", NetTech::Myrinet2000);
+    auto& a = g.add_machine("a");
+    auto& b = g.add_machine("b");
+    auto& c = g.add_machine("c");
+    for (auto* m : {&a, &b, &c}) g.attach(*m, seg);
+    const ChannelId ch = g.channel_id("incast");
+
+    osal::Barrier ready(2);
+    g.spawn(a, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(seg)->open(proc, "x");
+        ready.arrive_and_wait();
+        port->send(2, ch, util::to_message(util::ByteBuf(240000)), 0);
+    });
+    g.spawn(b, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(seg)->open(proc, "x");
+        ready.arrive_and_wait();
+        port->send(2, ch, util::to_message(util::ByteBuf(240000)), 0);
+    });
+    g.spawn(c, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(seg)->open(proc, "x");
+        auto p1 = port->recv_on(ch);
+        auto p2 = port->recv_on(ch);
+        const SimTime t1 = std::min(p1->deliver_time, p2->deliver_time);
+        const SimTime t2 = std::max(p1->deliver_time, p2->deliver_time);
+        EXPECT_EQ(t1, msec(1.0) + usec(7.0));
+        // Second transfer waits for the receiver NIC to drain the first.
+        EXPECT_EQ(t2, msec(2.0) + usec(7.0));
+    });
+    g.join_all();
+}
+
+TEST(LinkModel, FairSharingEmergesOnSharedNic) {
+    // One sender NIC, two destination processes: tx serialization means the
+    // aggregate never exceeds link bandwidth and both flows progress.
+    Grid g;
+    auto& seg = g.add_segment("myri", NetTech::Myrinet2000);
+    auto& a = g.add_machine("a");
+    auto& b = g.add_machine("b");
+    g.attach(a, seg);
+    g.attach(b, seg);
+    const ChannelId ch1 = g.channel_id("f1");
+    const ChannelId ch2 = g.channel_id("f2");
+    constexpr int kMsgs = 50;
+    constexpr std::size_t kBytes = 96000; // 0.4 ms each at 240 MB/s
+
+    g.spawn(a, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(seg)->open(proc, "x");
+        SimTime now = 0;
+        for (int i = 0; i < kMsgs; ++i) {
+            now = port->send(1, ch1, util::to_message(util::ByteBuf(kBytes)),
+                             now);
+            now = port->send(1, ch2, util::to_message(util::ByteBuf(kBytes)),
+                             now);
+        }
+    });
+    g.spawn(b, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(seg)->open(proc, "x");
+        SimTime last1 = 0, last2 = 0;
+        for (int i = 0; i < kMsgs; ++i) {
+            last1 = port->recv_on(ch1)->deliver_time;
+            last2 = port->recv_on(ch2)->deliver_time;
+        }
+        const double agg =
+            mb_per_s(2.0 * kMsgs * kBytes, std::max(last1, last2));
+        EXPECT_LE(agg, 240.0 + 1e-6);
+        EXPECT_GT(agg, 230.0); // link stays saturated
+        // Each flow gets about half.
+        const double f1 = mb_per_s(kMsgs * kBytes, last1);
+        EXPECT_NEAR(f1, 120.0, 12.0);
+    });
+    g.join_all();
+}
+
+TEST(LinkModel, UnreachablePeerThrows) {
+    // The peer process exists but its machine is not attached to the
+    // segment: topologically unreachable.
+    Grid g;
+    auto& seg = g.add_segment("eth", NetTech::FastEthernet);
+    auto& a = g.add_machine("a");
+    auto& island = g.add_machine("island"); // no adapters at all
+    g.attach(a, seg);
+    osal::Event stay;
+    g.spawn(island, [&](Process&) { stay.wait(); }); // pid 0
+    g.spawn(a, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(seg)->open(proc, "x");
+        EXPECT_THROW(port->send(0, 1, util::Message(), 0), LookupError);
+        stay.set();
+    });
+    g.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// BusyList (the NIC capacity reservation structure)
+
+TEST(BusyList, SequentialReservationsChain) {
+    BusyList bl;
+    EXPECT_EQ(bl.reserve(0, 100), 0);
+    EXPECT_EQ(bl.reserve(0, 100), 100); // serialized behind the first
+    EXPECT_EQ(bl.reserve(0, 50), 200);
+    EXPECT_EQ(bl.spans(), 1u); // coalesced into one span
+}
+
+TEST(BusyList, GapsAreUsed) {
+    BusyList bl;
+    EXPECT_EQ(bl.reserve(1000, 100), 1000); // [1000,1100)
+    EXPECT_EQ(bl.reserve(0, 500), 0);       // fits before
+    EXPECT_EQ(bl.reserve(0, 600), 1100);    // gap [500,1000) too small
+    EXPECT_EQ(bl.reserve(400, 100), 500);   // exact fit in the gap
+}
+
+TEST(BusyList, InsensitiveToBookingOrder) {
+    // The causality property: a virtually-late small reservation must not
+    // delay a virtually-early large one, whatever the booking order.
+    BusyList late_first;
+    EXPECT_EQ(late_first.reserve(100000, 10), 100000);
+    EXPECT_EQ(late_first.reserve(0, 50000), 0);
+
+    BusyList early_first;
+    EXPECT_EQ(early_first.reserve(0, 50000), 0);
+    EXPECT_EQ(early_first.reserve(100000, 10), 100000);
+}
+
+TEST(BusyList, ZeroDurationIsFree) {
+    BusyList bl;
+    EXPECT_EQ(bl.reserve(7, 0), 7);
+    EXPECT_EQ(bl.spans(), 0u);
+}
+
+TEST(BusyList, CoalescingBoundsGrowthUnderStreaming) {
+    BusyList bl;
+    SimTime t = 0;
+    for (int i = 0; i < 1000; ++i) t = bl.reserve(t, 10) + 10;
+    EXPECT_EQ(bl.spans(), 1u);
+    EXPECT_EQ(t, 10000);
+}
+
+// ---------------------------------------------------------------------------
+// Discovery registry
+
+TEST(Registry, DiscoverByAttributesNetworkAndCpus) {
+    Grid g;
+    auto& myri = g.add_segment("myri", NetTech::Myrinet2000);
+    auto& eth = g.add_segment("eth", NetTech::FastEthernet);
+    auto& n0 = g.add_machine("n0", 2);
+    auto& n1 = g.add_machine("n1", 4);
+    auto& n2 = g.add_machine("n2", 1);
+    n0.set_attr("owner", "companyX");
+    n1.set_attr("owner", "companyX");
+    n2.set_attr("owner", "inria");
+    g.attach(n0, eth);
+    g.attach(n1, myri);
+    g.attach(n1, eth);
+    g.attach(n2, myri);
+
+    MachineQuery q;
+    q.attrs = {{"owner", "companyX"}};
+    EXPECT_EQ(discover(g, q).size(), 2u);
+
+    q.network = NetTech::Myrinet2000;
+    auto r = discover(g, q);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0]->name(), "n1");
+
+    MachineQuery qbw;
+    qbw.min_bandwidth_mb = 100.0;
+    EXPECT_EQ(discover(g, qbw).size(), 2u); // n1, n2 via myrinet
+
+    MachineQuery qcpu;
+    qcpu.min_cpus = 4;
+    ASSERT_EQ(discover(g, qcpu).size(), 1u);
+    EXPECT_EQ(discover(g, qcpu)[0]->name(), "n1");
+}
+
+TEST(Registry, BuildGridFromXml) {
+    Grid g;
+    build_grid_from_xml(g, R"(<grid>
+        <segment name="myri0" tech="myrinet2000"/>
+        <segment name="wan0" tech="wan"/>
+        <segment name="lan0" tech="fast-ethernet" secure="false"/>
+        <machine name="n0" cpus="2" owner="inria" site="rennes">
+          <attach segment="myri0"/>
+          <attach segment="wan0"/>
+        </machine>
+        <machine name="n1">
+          <attach segment="lan0"/>
+        </machine>
+      </grid>)");
+    EXPECT_EQ(g.machines().size(), 2u);
+    EXPECT_EQ(g.machine("n0").attr_or("site", ""), "rennes");
+    EXPECT_NE(g.machine("n0").adapter_on(g.segment("wan0")), nullptr);
+    EXPECT_FALSE(g.segment("lan0").params().secure);
+    EXPECT_THROW(build_grid_from_xml(g, "<grid><segment name='x' tech='bogus'/></grid>"),
+                 UsageError);
+    EXPECT_THROW(build_grid_from_xml(g, "<notgrid/>"), ProtocolError);
+}

@@ -1,0 +1,571 @@
+// Tests for GridCCM, the paper's primary contribution: distributions and
+// redistribution plans (property sweeps), the parallelism descriptor,
+// the stub/skeleton interception layer under all three redistribution
+// strategies, parallel-to-parallel and sequential-to-parallel invocation,
+// and full deployment of parallel components.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ccm/deployer.hpp"
+#include "gridccm/component.hpp"
+#include "osal/sync.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+using namespace padico::gridccm;
+
+// ---------------------------------------------------------------------------
+// Distributions: property sweeps
+
+struct DistCase {
+    Distribution dist;
+    int nranks;
+    std::size_t len;
+};
+
+class DistProps : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistProps, IntervalsPartitionTheSequence) {
+    const auto& p = GetParam();
+    std::vector<int> owner_of(p.len, -1);
+    std::size_t total = 0;
+    for (int r = 0; r < p.nranks; ++r) {
+        std::size_t local = 0;
+        for (const auto& iv : p.dist.intervals(r, p.nranks, p.len)) {
+            ASSERT_LT(iv.lo, iv.hi);
+            ASSERT_LE(iv.hi, p.len);
+            for (std::size_t g = iv.lo; g < iv.hi; ++g) {
+                ASSERT_EQ(owner_of[g], -1) << "double ownership at " << g;
+                owner_of[g] = r;
+            }
+            local += iv.size();
+        }
+        ASSERT_EQ(local, p.dist.local_size(r, p.nranks, p.len));
+        total += local;
+    }
+    ASSERT_EQ(total, p.len); // full coverage
+    // owner() agrees with the interval walk.
+    for (std::size_t g = 0; g < p.len; ++g)
+        ASSERT_EQ(p.dist.owner(g, p.nranks, p.len), owner_of[g]);
+}
+
+TEST_P(DistProps, GlobalToLocalRoundTrip) {
+    const auto& p = GetParam();
+    for (int r = 0; r < p.nranks; ++r) {
+        std::size_t local = 0;
+        for (const auto& iv : p.dist.intervals(r, p.nranks, p.len)) {
+            for (std::size_t g = iv.lo; g < iv.hi; ++g) {
+                ASSERT_EQ(p.dist.global_to_local(g, r, p.nranks, p.len),
+                          local);
+                ++local;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistProps,
+    ::testing::Values(
+        DistCase{Distribution::block(), 1, 10},
+        DistCase{Distribution::block(), 4, 1024},
+        DistCase{Distribution::block(), 4, 1027}, // uneven
+        DistCase{Distribution::block(), 7, 3},    // more ranks than items
+        DistCase{Distribution::cyclic(), 3, 100},
+        DistCase{Distribution::cyclic(), 5, 7},
+        DistCase{Distribution::block_cyclic(4), 3, 100},
+        DistCase{Distribution::block_cyclic(16), 4, 1000},
+        DistCase{Distribution::block_cyclic(32), 2, 31},
+        DistCase{Distribution::block_rows(10), 3, 120},   // 12 rows of 10
+        DistCase{Distribution::block_rows(7), 4, 7 * 9},  // 9 rows of 7
+        DistCase{Distribution::block_rows(5), 6, 5 * 4}), // rows < ranks
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+        std::string name = info.param.dist.str() + "_n" +
+                           std::to_string(info.param.nranks) + "_L" +
+                           std::to_string(info.param.len);
+        for (auto& c : name)
+            if (c == '-' || c == ':') c = '_';
+        return name;
+    });
+
+TEST(Distribution, ParseAndStr) {
+    EXPECT_EQ(Distribution::parse("block"), Distribution::block());
+    EXPECT_EQ(Distribution::parse("cyclic"), Distribution::cyclic());
+    EXPECT_EQ(Distribution::parse("block-cyclic:8"),
+              Distribution::block_cyclic(8));
+    EXPECT_EQ(Distribution::block_cyclic(8).str(), "block-cyclic:8");
+    EXPECT_EQ(Distribution::parse("block-rows:32"),
+              Distribution::block_rows(32));
+    EXPECT_EQ(Distribution::block_rows(32).str(), "block-rows:32");
+    EXPECT_THROW(Distribution::parse("diagonal"), UsageError);
+    EXPECT_THROW(Distribution::block_cyclic(0), UsageError);
+    EXPECT_THROW(Distribution::block_rows(0), UsageError);
+}
+
+TEST(Distribution, BlockRowsKeepsRowsWhole) {
+    // 10 rows of width 8 over 3 ranks: 4/3/3 rows, element ranges
+    // row-aligned and contiguous.
+    const Distribution d = Distribution::block_rows(8);
+    const std::size_t len = 80;
+    auto iv0 = d.intervals(0, 3, len);
+    ASSERT_EQ(iv0.size(), 1u);
+    EXPECT_EQ(iv0[0], (Interval{0, 32}));
+    auto iv2 = d.intervals(2, 3, len);
+    EXPECT_EQ(iv2[0], (Interval{56, 80}));
+    for (std::size_t g = 0; g < len; ++g)
+        EXPECT_EQ(d.owner(g, 3, len), d.owner(g - g % 8, 3, len))
+            << "row straddles ranks at element " << g;
+    // Ragged lengths are rejected.
+    EXPECT_THROW(d.intervals(0, 3, 81), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Redistribution plans
+
+struct PlanCase {
+    Distribution src;
+    int n_src;
+    Distribution dst;
+    int n_dst;
+    std::size_t len;
+};
+
+class PlanProps : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanProps, PlanMovesEveryElementExactlyOnce) {
+    const auto& p = GetParam();
+    const RedistPlan plan =
+        compute_plan(p.src, p.n_src, p.dst, p.n_dst, p.len);
+    EXPECT_EQ(plan.total(), p.len);
+
+    // Simulate the move on integer payloads and check the result layout.
+    std::vector<std::vector<int>> src_data(
+        static_cast<std::size_t>(p.n_src));
+    for (int r = 0; r < p.n_src; ++r) {
+        std::size_t local = 0;
+        src_data[static_cast<std::size_t>(r)].resize(
+            p.src.local_size(r, p.n_src, p.len));
+        for (const auto& iv : p.src.intervals(r, p.n_src, p.len))
+            for (std::size_t g = iv.lo; g < iv.hi; ++g)
+                src_data[static_cast<std::size_t>(r)][local++] =
+                    static_cast<int>(g);
+    }
+    std::vector<std::vector<int>> dst_data(
+        static_cast<std::size_t>(p.n_dst));
+    for (int r = 0; r < p.n_dst; ++r)
+        dst_data[static_cast<std::size_t>(r)].assign(
+            p.dst.local_size(r, p.n_dst, p.len), -1);
+
+    for (const auto& f : plan.fragments) {
+        for (std::size_t i = 0; i < f.len; ++i) {
+            int& slot = dst_data[static_cast<std::size_t>(f.dst)]
+                                [f.dst_off + i];
+            ASSERT_EQ(slot, -1) << "double write";
+            slot = src_data[static_cast<std::size_t>(f.src)][f.src_off + i];
+        }
+    }
+    for (int r = 0; r < p.n_dst; ++r) {
+        std::size_t local = 0;
+        for (const auto& iv : p.dst.intervals(r, p.n_dst, p.len))
+            for (std::size_t g = iv.lo; g < iv.hi; ++g)
+                ASSERT_EQ(dst_data[static_cast<std::size_t>(r)][local++],
+                          static_cast<int>(g));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlanProps,
+    ::testing::Values(
+        PlanCase{Distribution::block(), 1, Distribution::block(), 4, 1000},
+        PlanCase{Distribution::block(), 4, Distribution::block(), 1, 1000},
+        PlanCase{Distribution::block(), 4, Distribution::block(), 4, 1024},
+        PlanCase{Distribution::block(), 2, Distribution::block(), 3, 17},
+        PlanCase{Distribution::block(), 3, Distribution::block(), 5, 0},
+        PlanCase{Distribution::cyclic(), 2, Distribution::block(), 3, 101},
+        PlanCase{Distribution::block(), 3, Distribution::cyclic(), 2, 64},
+        PlanCase{Distribution::block_cyclic(4), 3,
+                 Distribution::block_cyclic(6), 2, 200},
+        PlanCase{Distribution::cyclic(), 4, Distribution::cyclic(), 4, 37},
+        // 2D: a 20x16 row-major matrix moving from 4 row-blocks to 2, and
+        // a row-block to flat-block relayout.
+        PlanCase{Distribution::block_rows(16), 4,
+                 Distribution::block_rows(16), 2, 320},
+        PlanCase{Distribution::block_rows(16), 3, Distribution::block(), 5,
+                 320}),
+    [](const ::testing::TestParamInfo<PlanCase>& info) {
+        return "c" + std::to_string(info.index);
+    });
+
+TEST(Plan, IdentityIsOneFragmentPerRank) {
+    const RedistPlan plan = compute_plan(Distribution::block(), 4,
+                                         Distribution::block(), 4, 1000);
+    EXPECT_EQ(plan.fragments.size(), 4u);
+    for (const auto& f : plan.fragments) {
+        EXPECT_EQ(f.src, f.dst);
+        EXPECT_EQ(f.src_off, 0u);
+        EXPECT_EQ(f.dst_off, 0u);
+    }
+    EXPECT_EQ(plan.targets_of(2), std::vector<int>{2});
+    EXPECT_EQ(plan.from(1).size(), 1u);
+    EXPECT_EQ(plan.to(3).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor
+
+TEST(Descriptor, ParseAndCdrRoundTrip) {
+    ParallelFacetDesc d = ParallelFacetDesc::parse(R"(
+      <parallel-interface component="Chemistry" facet="sim"
+                          distribution="block-cyclic:8">
+        <operation name="setField" argument="block" result="distributed"/>
+        <operation name="advance" argument="cyclic"/>
+      </parallel-interface>)");
+    EXPECT_EQ(d.component, "Chemistry");
+    EXPECT_EQ(d.server_dist, Distribution::block_cyclic(8));
+    EXPECT_TRUE(d.op("setField").result_distributed);
+    EXPECT_FALSE(d.op("advance").result_distributed);
+    EXPECT_EQ(d.op("advance").arg_dist, Distribution::cyclic());
+    EXPECT_THROW(d.op("nope"), LookupError);
+
+    d.members = 3;
+    d.member_refs = {corba::IOR{"e0", 1, "t"}, corba::IOR{"e1", 2, "t"},
+                     corba::IOR{"e2", 3, "t"}};
+    corba::cdr::Encoder e(true);
+    cdr_put(e, d);
+    corba::cdr::Decoder dec(e.take());
+    ParallelFacetDesc back;
+    cdr_get(dec, back);
+    EXPECT_EQ(back.component, "Chemistry");
+    EXPECT_EQ(back.member_refs.size(), 3u);
+    EXPECT_EQ(back.member_refs[2].key, 3u);
+    EXPECT_EQ(back.ops.size(), 2u);
+}
+
+TEST(Descriptor, ParseErrors) {
+    EXPECT_THROW(ParallelFacetDesc::parse("<wrong/>"), ProtocolError);
+    EXPECT_THROW(ParallelFacetDesc::parse(
+                     R"(<parallel-interface component="C" facet="f"/>)"),
+                 ProtocolError); // no operations
+    EXPECT_THROW(ParallelFacetDesc::parse(R"(
+      <parallel-interface component="C" facet="f">
+        <operation name="op"/><operation name="op"/>
+      </parallel-interface>)"),
+                 ProtocolError); // duplicate op
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end stub/skeleton through full deployment
+
+namespace {
+
+/// Parallel test component: "Scaler" doubles a distributed vector of
+/// int64, and "probe" checks that member collectives work inside an op.
+class Scaler : public ParallelComponent {
+public:
+    Scaler() {
+        declare_parallel_facet(
+            R"(<parallel-interface component="Scaler" facet="vec"
+                                   distribution="block">
+                 <operation name="scale" argument="block"
+                            result="distributed"/>
+                 <operation name="probe" argument="block"
+                            collective="true"/>
+               </parallel-interface>)",
+            {
+                {"scale",
+                 [](const OpContext& ctx, util::Message arg) {
+                     std::vector<std::int64_t> xs(ctx.local_len);
+                     arg.copy_out(0, xs.data(), arg.size());
+                     for (auto& x : xs) x *= 2;
+                     util::ByteBuf out(xs.data(),
+                                       xs.size() * sizeof(std::int64_t));
+                     return util::to_message(std::move(out));
+                 }},
+                {"probe",
+                 [](const OpContext& ctx, util::Message) {
+                     // The paper's Fig. 8 workload runs an MPI_Barrier in
+                     // the invoked operation.
+                     if (ctx.comm != nullptr) ctx.comm->barrier();
+                     return util::Message();
+                 }},
+            });
+    }
+    std::string type() const override { return "Scaler"; }
+};
+
+/// Client-side parallel component invoking the Scaler.
+class Driver : public ParallelComponent {
+public:
+    Driver() {
+        use_receptacle("vec");
+    }
+    std::string type() const override { return "Driver"; }
+    using ParallelComponent::bind_parallel;
+};
+
+void install_parallel_components() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        ccm::ComponentRegistry::register_type(
+            "Scaler", [] { return std::make_unique<Scaler>(); });
+        ccm::ComponentRegistry::register_type(
+            "Driver", [] { return std::make_unique<Driver>(); });
+    });
+}
+
+/// Myrinet cluster with component servers on n machines + a frontend.
+struct PGrid {
+    Grid grid;
+    std::vector<Machine*> nodes;
+    Machine* front;
+
+    explicit PGrid(int n) {
+        auto& myri = grid.add_segment("myri0", NetTech::Myrinet2000);
+        auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+        for (int i = 0; i < n; ++i) {
+            auto& m = grid.add_machine("node" + std::to_string(i));
+            m.set_attr("pool", "cluster");
+            grid.attach(m, myri);
+            grid.attach(m, eth);
+            nodes.push_back(&m);
+        }
+        front = &grid.add_machine("front");
+        grid.attach(*front, eth);
+    }
+
+    void start_servers() {
+        for (auto* m : nodes)
+            grid.spawn(*m, [](Process& proc) {
+                ccm::component_server_main(proc, corba::profile_mico());
+            });
+    }
+    void stop_servers(corba::Orb& orb) {
+        for (auto* m : nodes)
+            ccm::connect_component_server(orb, m->name()).shutdown();
+    }
+};
+
+/// Expected scaled block of rank r under block distribution.
+std::vector<std::int64_t> expected_block(int r, int n, std::size_t len) {
+    const Distribution d = Distribution::block();
+    std::vector<std::int64_t> out;
+    for (const auto& iv : d.intervals(r, n, len))
+        for (std::size_t g = iv.lo; g < iv.hi; ++g)
+            out.push_back(static_cast<std::int64_t>(g) * 2);
+    return out;
+}
+
+std::vector<std::int64_t> input_block(int r, int n, std::size_t len) {
+    const Distribution d = Distribution::block();
+    std::vector<std::int64_t> out;
+    for (const auto& iv : d.intervals(r, n, len))
+        for (std::size_t g = iv.lo; g < iv.hi; ++g)
+            out.push_back(static_cast<std::int64_t>(g));
+    return out;
+}
+
+} // namespace
+
+class GridccmE2e : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(GridccmE2e, ParallelToParallelScale) {
+    const Strategy strategy = GetParam();
+    install_parallel_components();
+    PGrid g(5); // 3 servers + 2 clients
+    g.start_servers();
+    g.grid.spawn(*g.front, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_mico());
+        ccm::Deployer deployer(orb);
+        auto dep = deployer.deploy(ccm::Assembly::parse(R"(
+          <assembly name="e2e">
+            <component id="scaler" type="Scaler" parallel="3"/>
+            <component id="driver" type="Driver" parallel="2"/>
+            <connection from="driver:vec" to="scaler:vec"/>
+          </assembly>)"));
+
+        // Drive the invocation from inside the Driver members: ask each
+        // member container for its instance and run the stub collectively.
+        // (Test shortcut: reach into the containers via a facet-less path
+        // is not available remotely, so drive through a parallel stub
+        // owned by this test over an ad-hoc group of 1 per driver member
+        // is not collective. Instead: sequential stub here, parallel stub
+        // exercised below through the Driver component's own facet in the
+        // coupling example. Here we validate strategies with a group of 1.)
+        corba::IOR home =
+            deployer.facet_of(dep, ccm::PortAddr{"scaler", "vec"});
+        ParallelStub stub(orb, home);
+        EXPECT_EQ(stub.desc().members, 3);
+
+        constexpr std::size_t kLen = 1003;
+        auto in = input_block(0, 1, kLen);
+        auto out = stub.invoke<std::int64_t>(
+            "scale", std::span<const std::int64_t>(in), kLen, strategy);
+        EXPECT_EQ(out, expected_block(0, 1, kLen));
+
+        // Void op with a member barrier inside.
+        auto none = stub.invoke<std::int64_t>(
+            "probe", std::span<const std::int64_t>(in), kLen, strategy);
+        EXPECT_TRUE(none.empty());
+
+        deployer.teardown(dep);
+        g.stop_servers(orb);
+    });
+    g.grid.join_all();
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, GridccmE2e,
+                         ::testing::Values(Strategy::InFlight,
+                                           Strategy::ServerSide,
+                                           Strategy::Auto),
+                         [](const ::testing::TestParamInfo<Strategy>& info) {
+                             std::string n = strategy_name(info.param);
+                             for (auto& c : n)
+                                 if (c == '-') c = '_';
+                             return n;
+                         });
+
+TEST(Gridccm, CollectiveOpReachesMembersWithoutData) {
+    // A collective="true" operation must be observed by EVERY member even
+    // when the data layout leaves some without a fragment (here: a 1-element
+    // sequence over 3 members, whose op body runs a member barrier). Without
+    // the flag, members 1..2 would never be invoked and the barrier would
+    // deadlock.
+    install_parallel_components();
+    PGrid g(3);
+    g.start_servers();
+    g.grid.spawn(*g.front, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        ccm::Deployer deployer(orb);
+        auto dep = deployer.deploy(ccm::Assembly::parse(R"(
+          <assembly name="coll">
+            <component id="scaler" type="Scaler" parallel="3"/>
+          </assembly>)"));
+        ParallelStub stub(orb, deployer.facet_of(
+                                   dep, ccm::PortAddr{"scaler", "vec"}));
+        // "probe" is declared collective="true" and its body is a barrier.
+        std::vector<std::int64_t> one(1, 5);
+        auto out = stub.invoke<std::int64_t>(
+            "probe", std::span<const std::int64_t>(one), 1);
+        EXPECT_TRUE(out.empty());
+        deployer.teardown(dep);
+        g.stop_servers(orb);
+    });
+    g.grid.join_all();
+}
+
+TEST(Gridccm, StrategyChooser) {
+    // Identity: in-flight. Fragmented cyclic->block with more clients:
+    // client-side. Fragmented with fewer clients: server-side.
+    ParallelFacetDesc d;
+    d.component = "X";
+    d.facet = "f";
+    d.server_dist = Distribution::block();
+    d.members = 2;
+    OpDesc op;
+    op.name = "op";
+    d.ops.push_back(op);
+    // choose_strategy is a method of a live stub; cover it through the
+    // contact-set helper instead (pure logic):
+    auto contacts = gridccm_contacted_servers(
+        Strategy::InFlight, Distribution::block(), 2, 0,
+        Distribution::block(), 2, 100, false);
+    EXPECT_EQ(contacts, std::vector<int>{0});
+    contacts = gridccm_contacted_servers(Strategy::ServerSide,
+                                         Distribution::block(), 2, 1,
+                                         Distribution::block(), 3, 100,
+                                         false);
+    EXPECT_EQ(contacts.size(), 3u); // raw mode touches every server
+    // Result-only contacts appear when the result is distributed.
+    contacts = gridccm_contacted_servers(Strategy::InFlight,
+                                         Distribution::block(), 4, 3,
+                                         Distribution::block(), 1, 100,
+                                         true);
+    EXPECT_EQ(contacts, std::vector<int>{0});
+}
+
+// ---------------------------------------------------------------------------
+// Parallel client group -> parallel server through deployed components
+
+TEST(Gridccm, GroupedClientInvocation) {
+    install_parallel_components();
+    PGrid g(4); // 2 servers + 2 clients share the pool
+    g.start_servers();
+
+    // An MPI group of 2 "application" processes acting as the client side
+    // of GridCCM, outside any container (the library-level API).
+    auto& grid = g.grid;
+    std::vector<Machine*> client_hosts{g.nodes[0], g.nodes[1]};
+    // note: component servers already run there; app processes coexist.
+    osal::Barrier sync(2);
+    corba::IOR home_ior;
+    std::mutex home_mu;
+    osal::Event home_ready;
+
+    g.grid.spawn(*g.front, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        ccm::Deployer deployer(orb);
+        auto dep = deployer.deploy(ccm::Assembly::parse(R"(
+          <assembly name="grp">
+            <component id="scaler" type="Scaler" parallel="2">
+              <constraint attr="pool" value="cluster"/>
+            </component>
+          </assembly>)"));
+        {
+            std::lock_guard<std::mutex> lk(home_mu);
+            home_ior = deployer.facet_of(dep, ccm::PortAddr{"scaler",
+                                                            "vec"});
+        }
+        home_ready.set();
+        // Keep the deployment alive until clients are done.
+        proc.grid().wait_service("clients-done");
+        deployer.teardown(dep);
+        g.stop_servers(orb);
+    });
+
+    constexpr std::size_t kLen = 2048;
+    for (int r = 0; r < 2; ++r) {
+        grid.spawn(*client_hosts[static_cast<std::size_t>(r)],
+                   [&, r](Process& proc) {
+                       ptm::Runtime rt(proc);
+                       corba::Orb orb(rt, corba::profile_omniorb4());
+                       home_ready.wait();
+                       // Build the client group collectively.
+                       proc.grid().register_service(
+                           "grpclient/" + std::to_string(r), proc.id());
+                       std::vector<ProcessId> members(2);
+                       for (int i = 0; i < 2; ++i)
+                           members[static_cast<std::size_t>(i)] =
+                               proc.grid().wait_service(
+                                   "grpclient/" + std::to_string(i));
+                       auto world =
+                           mpi::World::create(rt, "grpclients", members);
+                       mpi::Comm& comm = world->world();
+
+                       corba::IOR home;
+                       {
+                           std::lock_guard<std::mutex> lk(home_mu);
+                           home = home_ior;
+                       }
+                       ParallelStub stub(orb, comm, home);
+                       auto in = input_block(r, 2, kLen);
+                       for (Strategy s :
+                            {Strategy::InFlight, Strategy::ClientSide,
+                             Strategy::ServerSide}) {
+                           auto out = stub.invoke<std::int64_t>(
+                               "scale", std::span<const std::int64_t>(in),
+                               kLen, s);
+                           EXPECT_EQ(out, expected_block(r, 2, kLen))
+                               << strategy_name(s);
+                       }
+                       comm.barrier();
+                       if (r == 0)
+                           proc.grid().register_service("clients-done",
+                                                        proc.id());
+                   });
+    }
+    g.grid.join_all();
+}

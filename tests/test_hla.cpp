@@ -1,0 +1,241 @@
+// Tests for the HLA (Certi substitute) module: federation life cycle,
+// publish/subscribe, object discovery (including late subscribers),
+// attribute reflection, ownership rules, and cohabitation with the other
+// middleware on one PadicoTM runtime.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+
+#include "hla/hla.hpp"
+#include "osal/sync.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+using namespace padico::hla;
+
+namespace {
+
+struct Net {
+    Grid grid;
+    std::vector<Machine*> nodes;
+    explicit Net(int n) {
+        auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+        for (int i = 0; i < n; ++i) {
+            auto& m = grid.add_machine("h" + std::to_string(i));
+            grid.attach(m, eth);
+            nodes.push_back(&m);
+        }
+    }
+};
+
+/// Records callbacks; wakes waiters when a condition becomes observable.
+class RecordingAmbassador : public FederateAmbassador {
+public:
+    void discover_object(ObjectHandle handle, const std::string& cls,
+                         const std::string& owner) override {
+        std::lock_guard<std::mutex> lk(mu_);
+        discovered[handle] = cls + "@" + owner;
+        cv_.notify_all();
+    }
+    void reflect_attribute_values(ObjectHandle handle,
+                                  const AttributeMap& attrs) override {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const auto& [k, v] : attrs) reflected[handle][k] = v;
+        cv_.notify_all();
+    }
+
+    /// Block until \p handle has attribute \p key == \p value.
+    void wait_reflect(ObjectHandle handle, const std::string& key,
+                      const std::string& value) {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] {
+            auto it = reflected.find(handle);
+            return it != reflected.end() && it->second.count(key) != 0 &&
+                   it->second.at(key) == value;
+        });
+    }
+    void wait_discover(ObjectHandle handle) {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return discovered.count(handle) != 0; });
+    }
+
+    std::map<ObjectHandle, std::string> discovered;
+    std::map<ObjectHandle, AttributeMap> reflected;
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+};
+
+} // namespace
+
+TEST(Hla, CdrAttributeMapRoundTrip) {
+    AttributeMap attrs{{"x", "1.5"}, {"name", "probe"}, {"", "empty-key"}};
+    corba::cdr::Encoder e(true);
+    cdr_put(e, attrs);
+    corba::cdr::Decoder d(e.take());
+    AttributeMap back;
+    cdr_get(d, back);
+    EXPECT_EQ(back, attrs);
+    d.expect_end();
+}
+
+TEST(Hla, FederationPublishSubscribeReflect) {
+    Net net(3);
+    osal::Event rti_up, done;
+    osal::Latch resigned(2);
+
+    // RTI gateway process.
+    net.grid.spawn(*net.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        RtiGateway gateway(orb, "transport-sim");
+        rti_up.set();
+        done.wait();
+        resigned.wait();
+        EXPECT_EQ(gateway.federates(), 0u); // all resigned
+        orb.shutdown();
+    });
+
+    osal::Event pub_ready;
+    std::atomic<ObjectHandle> shared_handle{0};
+
+    // Publisher federate.
+    net.grid.spawn(*net.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        rti_up.wait();
+        RecordingAmbassador amb;
+        RtiAmbassador rtia(orb, "transport-sim", "producer", amb);
+        rtia.publish_object_class("Vehicle");
+        const ObjectHandle car = rtia.register_object("Vehicle");
+        shared_handle = car;
+        pub_ready.set();
+        rtia.update_attribute_values(car, {{"speed", "12"}, {"lane", "1"}});
+        rtia.update_attribute_values(car, {{"speed", "15"}});
+        // Unpublished class cannot be registered.
+        EXPECT_THROW(rtia.register_object("Plane"), RemoteError);
+        done.wait();
+        rtia.resign();
+        resigned.count_down();
+        orb.shutdown();
+    });
+
+    // Subscriber federate.
+    net.grid.spawn(*net.nodes[2], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        rti_up.wait();
+        RecordingAmbassador amb;
+        RtiAmbassador rtia(orb, "transport-sim", "observer", amb);
+        rtia.subscribe_object_class("Vehicle");
+        pub_ready.wait();
+        const ObjectHandle car = shared_handle.load();
+        amb.wait_discover(car);
+        EXPECT_EQ(amb.discovered[car], "Vehicle@producer");
+        amb.wait_reflect(car, "speed", "15");
+        EXPECT_EQ(amb.reflected[car]["lane"], "1"); // earlier update kept
+        rtia.resign();
+        resigned.count_down();
+        done.set();
+        orb.shutdown();
+    });
+
+    net.grid.join_all();
+}
+
+TEST(Hla, LateSubscriberDiscoversExistingObjects) {
+    Net net(3);
+    osal::Event rti_up, registered, done;
+    osal::Latch resigned(2);
+    std::atomic<ObjectHandle> h{0};
+
+    net.grid.spawn(*net.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        RtiGateway gateway(orb, "late");
+        rti_up.set();
+        resigned.wait();
+        orb.shutdown();
+    });
+    net.grid.spawn(*net.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        rti_up.wait();
+        RecordingAmbassador amb;
+        RtiAmbassador rtia(orb, "late", "early-bird", amb);
+        rtia.publish_object_class("Sensor");
+        h = rtia.register_object("Sensor");
+        registered.set();
+        done.wait();
+        rtia.resign();
+        resigned.count_down();
+        orb.shutdown();
+    });
+    net.grid.spawn(*net.nodes[2], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        registered.wait();
+        RecordingAmbassador amb;
+        RtiAmbassador rtia(orb, "late", "latecomer", amb);
+        rtia.subscribe_object_class("Sensor"); // object already exists
+        amb.wait_discover(h.load());
+        rtia.resign();
+        resigned.count_down();
+        done.set();
+        orb.shutdown();
+    });
+    net.grid.join_all();
+}
+
+TEST(Hla, OwnershipAndMembershipRules) {
+    Net net(3);
+    osal::Event rti_up, obj_ready, done;
+    osal::Latch resigned(2);
+    std::atomic<ObjectHandle> h{0};
+    net.grid.spawn(*net.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        RtiGateway gateway(orb, "rules");
+        rti_up.set();
+        resigned.wait();
+        orb.shutdown();
+    });
+    net.grid.spawn(*net.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        rti_up.wait();
+        RecordingAmbassador amb;
+        RtiAmbassador rtia(orb, "rules", "owner", amb);
+        rtia.publish_object_class("Thing");
+        h = rtia.register_object("Thing");
+        obj_ready.set();
+        done.wait();
+        rtia.resign();
+        resigned.count_down();
+        orb.shutdown();
+    });
+    net.grid.spawn(*net.nodes[2], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        obj_ready.wait();
+        RecordingAmbassador amb;
+        RtiAmbassador rtia(orb, "rules", "intruder", amb);
+        // Updating someone else's object is rejected.
+        EXPECT_THROW(
+            rtia.update_attribute_values(h.load(), {{"hacked", "1"}}),
+            RemoteError);
+        rtia.resign();
+        resigned.count_down();
+        done.set();
+        orb.shutdown();
+    });
+    net.grid.join_all();
+}
+
+TEST(Hla, ModuleRegistered) {
+    install();
+    EXPECT_TRUE(ptm::ModuleManager::has_type("certi"));
+}

@@ -1,0 +1,346 @@
+// Cross-stack integration and failure-injection tests: several middleware
+// systems interleaving over one runtime, protocol robustness against
+// malformed wire data, redeployment, randomized messaging against an
+// oracle, and virtual-time sanity properties.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "ccm/deployer.hpp"
+#include "corba/naming.hpp"
+#include "mpi/mpi.hpp"
+#include "osal/sync.hpp"
+#include "soap/soap.hpp"
+#include "util/rng.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+
+namespace {
+
+struct DualNet {
+    Grid grid;
+    std::vector<Machine*> nodes;
+    explicit DualNet(int n) {
+        auto& myri = grid.add_segment("myri0", NetTech::Myrinet2000);
+        auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+        for (int i = 0; i < n; ++i) {
+            auto& m = grid.add_machine("n" + std::to_string(i));
+            grid.attach(m, myri);
+            grid.attach(m, eth);
+            nodes.push_back(&m);
+        }
+    }
+};
+
+class EchoServant : public corba::Servant {
+public:
+    std::string interface() const override { return "IDL:Echo:1.0"; }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override {
+        if (op != "echo") throw RemoteError("BAD_OPERATION");
+        corba::skel::ret(out, corba::skel::arg<std::string>(in));
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Middleware cohabitation
+
+TEST(Integration, MpiAndCorbaInterleaveWithoutCorruption) {
+    DualNet g(2);
+    osal::Event up, done;
+    g.grid.spawn(*g.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        orb.serve("ix-ep");
+        corba::IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("ix/key",
+                                     static_cast<ProcessId>(ior.key));
+        auto world = mpi::World::create(rt, "ix", {0, 1});
+        up.set();
+        mpi::Comm& comm = world->world();
+        // Echo MPI messages back with a transformation.
+        for (int i = 0; i < 50; ++i) {
+            const auto v = comm.recv_value<std::int64_t>(1, 7);
+            comm.send_value<std::int64_t>(v * 2, 1, 8);
+        }
+        done.wait();
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        auto world = mpi::World::create(rt, "ix", {0, 1});
+        up.wait();
+        corba::IOR ior{"ix-ep", proc.grid().wait_service("ix/key"),
+                       "IDL:Echo:1.0"};
+        corba::ObjectRef ref = orb.resolve(ior);
+        mpi::Comm& comm = world->world();
+        util::Rng rng(42);
+        for (int i = 0; i < 50; ++i) {
+            const std::int64_t x = static_cast<std::int64_t>(rng.below(1u << 30));
+            comm.send_value<std::int64_t>(x, 0, 7);
+            // Interleave a CORBA call between MPI send and recv.
+            const std::string s = "msg" + std::to_string(i);
+            ASSERT_EQ(corba::call<std::string>(ref, "echo", s), s);
+            ASSERT_EQ(comm.recv_value<std::int64_t>(0, 8), x * 2);
+        }
+        done.set();
+    });
+    g.grid.join_all();
+}
+
+TEST(Integration, ThreeMiddlewareModulesCoexist) {
+    mpi::install();
+    corba::install();
+    soap::install();
+    DualNet g(1);
+    g.grid.spawn(*g.nodes[0], [](Process& proc) {
+        ptm::Runtime rt(proc);
+        rt.modules().load("mpi");
+        rt.modules().load("corba/Mico-2.3.7");
+        rt.modules().load("corba/omniORB-4.0.0");
+        rt.modules().load("gsoap");
+        EXPECT_EQ(rt.modules().loaded().size(), 4u);
+        rt.modules().unload("corba/Mico-2.3.7");
+        EXPECT_EQ(rt.modules().loaded().size(), 3u);
+    });
+    g.grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+
+TEST(Integration, GarbageOnGiopConnectionDoesNotKillServer) {
+    DualNet g(2);
+    osal::Event up, done;
+    g.grid.spawn(*g.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        orb.serve("rob-ep");
+        corba::IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("rob/key",
+                                     static_cast<ProcessId>(ior.key));
+        up.set();
+        done.wait();
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        up.wait();
+        // Connection 1: raw garbage instead of GIOP.
+        {
+            ptm::VLink bad = ptm::VLink::connect(rt, "rob-ep");
+            util::ByteBuf junk(64);
+            for (std::size_t i = 0; i < junk.size(); ++i)
+                junk.data()[i] = static_cast<util::byte>(i * 13 + 1);
+            bad.write(util::to_message(std::move(junk)));
+            bad.close();
+        }
+        // Connection 2: a legitimate client still works afterwards.
+        corba::IOR ior{"rob-ep", proc.grid().wait_service("rob/key"),
+                       "IDL:Echo:1.0"};
+        corba::ObjectRef ref = orb.resolve(ior);
+        EXPECT_EQ(corba::call<std::string>(ref, "echo",
+                                           std::string("alive")),
+                  "alive");
+        done.set();
+    });
+    g.grid.join_all();
+}
+
+TEST(Integration, TruncatedCdrPayloadYieldsSystemException) {
+    DualNet g(2);
+    osal::Event up, done;
+    g.grid.spawn(*g.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        orb.serve("trunc-ep");
+        corba::IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("trunc/key",
+                                     static_cast<ProcessId>(ior.key));
+        up.set();
+        done.wait();
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        up.wait();
+        corba::IOR ior{"trunc-ep", proc.grid().wait_service("trunc/key"),
+                       "IDL:Echo:1.0"};
+        corba::ObjectRef ref = orb.resolve(ior);
+        // Args claim a 100-byte string but carry 4 bytes.
+        corba::cdr::Encoder e(true);
+        e.put_u32(100);
+        e.put_bytes("abcd", 4);
+        EXPECT_THROW(ref.invoke("echo", e.take()), RemoteError);
+        // The connection survives the decode failure.
+        EXPECT_EQ(corba::call<std::string>(ref, "echo", std::string("ok")),
+                  "ok");
+        done.set();
+    });
+    g.grid.join_all();
+}
+
+TEST(Integration, RedeployAfterTeardownReusesContainers) {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        ccm::ComponentRegistry::register_type("EchoComp", [] {
+            class EchoComp : public ccm::Component {
+            public:
+                EchoComp() {
+                    provide_facet("echo",
+                                  std::make_shared<EchoServant>());
+                }
+                std::string type() const override { return "EchoComp"; }
+            };
+            return std::unique_ptr<ccm::Component>(new EchoComp());
+        });
+    });
+    DualNet g(2);
+    g.grid.spawn(*g.nodes[0], [](Process& proc) {
+        ccm::component_server_main(proc, corba::profile_omniorb4());
+    });
+    g.grid.spawn(*g.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        ccm::Deployer deployer(orb);
+        const auto assembly = ccm::Assembly::parse(R"(
+            <assembly name="re"><component id="e" type="EchoComp"/>
+            </assembly>)");
+        for (int round = 0; round < 3; ++round) {
+            auto dep = deployer.deploy(assembly);
+            corba::ObjectRef ref = orb.resolve(
+                deployer.facet_of(dep, ccm::PortAddr{"e", "echo"}));
+            EXPECT_EQ(corba::call<std::string>(
+                          ref, "echo", "round" + std::to_string(round)),
+                      "round" + std::to_string(round));
+            deployer.teardown(dep);
+        }
+        ccm::connect_component_server(orb, g.nodes[0]->name()).shutdown();
+    });
+    g.grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized messaging against an oracle
+
+TEST(Integration, RandomizedTagTrafficMatchesOracle) {
+    DualNet g(2);
+    constexpr int kMsgs = 200;
+    run_spmd(g.grid, {g.nodes[0], g.nodes[1]},
+             [&](Process& proc, int rank, int) {
+                 ptm::Runtime rt(proc);
+                 auto world = mpi::World::create(rt, "rand", {0, 1});
+                 mpi::Comm& comm = world->world();
+                 util::Rng rng(7);
+                 if (rank == 0) {
+                     for (int i = 0; i < kMsgs; ++i) {
+                         const int tag = static_cast<int>(rng.below(5));
+                         std::int64_t payload =
+                             (static_cast<std::int64_t>(tag) << 32) | i;
+                         comm.send_value(payload, 1, tag);
+                     }
+                 } else {
+                     // Drain by tag in a different order than sent; FIFO
+                     // must hold per tag.
+                     std::map<int, int> next_per_tag;
+                     util::Rng pick(99);
+                     int received = 0;
+                     while (received < kMsgs) {
+                         const int tag = static_cast<int>(pick.below(5));
+                         auto got = comm.try_recv_msg(0, tag);
+                         if (!got) {
+                             // Fall back to wildcard to keep draining.
+                             mpi::Status st;
+                             got = comm.try_recv_msg(mpi::kAnySource,
+                                                     mpi::kAnyTag, &st);
+                             if (!got) {
+                                 std::this_thread::yield();
+                                 continue;
+                             }
+                             std::int64_t v;
+                             got->copy_out(0, &v, sizeof v);
+                             EXPECT_EQ(v >> 32, st.tag);
+                             ++received;
+                             continue;
+                         }
+                         std::int64_t v;
+                         got->copy_out(0, &v, sizeof v);
+                         EXPECT_EQ(v >> 32, tag);
+                         ++received;
+                     }
+                 }
+             });
+    g.grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time properties
+
+TEST(Integration, ClocksAreMonotoneAcrossCommunication) {
+    DualNet g(3);
+    run_spmd(g.grid, {g.nodes[0], g.nodes[1], g.nodes[2]},
+             [&](Process& proc, int rank, int size) {
+                 ptm::Runtime rt(proc);
+                 auto world =
+                     mpi::World::create(rt, "mono", {0, 1, 2});
+                 mpi::Comm& comm = world->world();
+                 SimTime last = proc.now();
+                 util::Rng rng(static_cast<std::uint64_t>(rank) + 1);
+                 for (int i = 0; i < 30; ++i) {
+                     const int peer = (rank + 1) % size;
+                     const int from = (rank + size - 1) % size;
+                     util::ByteBuf b(rng.below(5000) + 1);
+                     comm.send_msg(util::to_message(std::move(b)), peer, 0);
+                     comm.recv_msg(from, 0);
+                     proc.compute(static_cast<SimTime>(rng.below(10000)));
+                     ASSERT_GE(proc.now(), last);
+                     last = proc.now();
+                 }
+                 // A barrier leaves everyone at >= the max of all clocks.
+                 const SimTime before = proc.now();
+                 comm.barrier();
+                 ASSERT_GE(proc.now(), before);
+             });
+    g.grid.join_all();
+}
+
+TEST(Integration, BandwidthNeverExceedsLinkCapacity) {
+    // Saturate one Myrinet link from two concurrent middleware systems and
+    // check the aggregate stays within the modeled hardware capacity.
+    DualNet g(2);
+    constexpr std::size_t kLen = 1 << 20;
+    constexpr int kIters = 10;
+    std::atomic<std::int64_t> total_ns{0};
+    run_spmd(g.grid, {g.nodes[0], g.nodes[1]},
+             [&](Process& proc, int rank, int) {
+                 ptm::Runtime rt(proc);
+                 auto world = mpi::World::create(rt, "cap", {0, 1});
+                 mpi::Comm& comm = world->world();
+                 if (rank == 0) {
+                     const SimTime t0 = proc.now();
+                     for (int i = 0; i < kIters; ++i)
+                         comm.send_msg(
+                             util::to_message(util::ByteBuf(kLen)), 1, 0);
+                     char ack;
+                     comm.recv_bytes(&ack, 1, 1, 1);
+                     total_ns = proc.now() - t0;
+                 } else {
+                     for (int i = 0; i < kIters; ++i) comm.recv_msg(0, 0);
+                     comm.send_bytes("k", 1, 0, 1);
+                 }
+             });
+    g.grid.join_all();
+    const double bw =
+        mb_per_s(static_cast<std::uint64_t>(kIters) * kLen, total_ns.load());
+    EXPECT_LE(bw, 240.0 + 1e-6); // attainable Myrinet-2000 bandwidth
+    EXPECT_GT(bw, 230.0);
+}

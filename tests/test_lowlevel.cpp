@@ -1,0 +1,302 @@
+// Tests for the two raw low-level libraries: madeleine (parallel paradigm,
+// SAN) and sockets (distributed paradigm, LAN/WAN).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "madeleine/madeleine.hpp"
+#include "osal/queue.hpp"
+#include "osal/sync.hpp"
+#include "sockets/sockets.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+
+namespace {
+
+util::Message text_msg(const std::string& s) {
+    return util::to_message(util::ByteBuf(s.data(), s.size()));
+}
+
+std::string msg_text(const util::Message& m) {
+    auto flat = m.gather();
+    return std::string(reinterpret_cast<const char*>(flat.data()),
+                       flat.size());
+}
+
+struct SanPair {
+    Grid grid;
+    Machine* a;
+    Machine* b;
+    NetworkSegment* seg;
+    SanPair() {
+        seg = &grid.add_segment("myri0", NetTech::Myrinet2000);
+        a = &grid.add_machine("ma");
+        b = &grid.add_machine("mb");
+        grid.attach(*a, *seg);
+        grid.attach(*b, *seg);
+    }
+};
+
+struct LanPair {
+    Grid grid;
+    Machine* a;
+    Machine* b;
+    NetworkSegment* seg;
+    LanPair() {
+        seg = &grid.add_segment("eth0", NetTech::FastEthernet);
+        a = &grid.add_machine("ma");
+        b = &grid.add_machine("mb");
+        grid.attach(*a, *seg);
+        grid.attach(*b, *seg);
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// osal
+
+TEST(Osal, QueueMatchingAndClose) {
+    osal::BlockingQueue<int> q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    auto two = q.pop_matching([](int v) { return v == 2; });
+    ASSERT_TRUE(two.has_value());
+    EXPECT_EQ(*two, 2);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(*q.pop(), 1);
+    EXPECT_FALSE(q.try_pop_matching([](int v) { return v == 9; }));
+    q.close();
+    EXPECT_EQ(*q.pop(), 3); // drains before reporting closed
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Osal, LatchAndBarrier) {
+    osal::Latch latch(2);
+    osal::Barrier barrier(3);
+    std::atomic<int> phase{0};
+    osal::ThreadGroup tg;
+    for (int i = 0; i < 2; ++i)
+        tg.spawn([&] {
+            latch.count_down();
+            barrier.arrive_and_wait();
+            ++phase;
+            barrier.arrive_and_wait();
+        });
+    latch.wait();
+    barrier.arrive_and_wait();
+    barrier.arrive_and_wait();
+    EXPECT_EQ(phase.load(), 2);
+    tg.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// madeleine
+
+TEST(Madeleine, PingPongDataAndTiming) {
+    SanPair p;
+    const ChannelId ch = p.grid.channel_id("mad/pp");
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        mad::Endpoint ep(proc, *p.seg);
+        ep.send(1, ch, text_msg("ping"));
+        EXPECT_EQ(msg_text(ep.recv(1, ch)), "pong");
+        // RTT/2 for a tiny message: hw latency + 2x madeleine overhead.
+        // 4 half-trips happened on this clock? No: send+recv = one RTT.
+        const SimTime rtt = proc.now();
+        const SimTime expect_half = usec(7.0) + usec(1.2) + usec(1.2);
+        EXPECT_NEAR(to_usec(rtt) / 2.0, to_usec(expect_half), 0.2);
+    });
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        mad::Endpoint ep(proc, *p.seg);
+        EXPECT_EQ(msg_text(ep.recv(0, ch)), "ping");
+        ep.send(0, ch, text_msg("pong"));
+    });
+    p.grid.join_all();
+}
+
+TEST(Madeleine, RendezvousChargesRoundTrip) {
+    SanPair p;
+    const ChannelId ch = p.grid.channel_id("mad/rdv");
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        mad::Endpoint ep(proc, *p.seg);
+        util::ByteBuf big(64 * 1024); // above the 32 KB threshold
+        ep.send(1, ch, util::to_message(std::move(big)));
+        // sender time = per_msg + rdv RTT + wire submission
+        const SimTime wire = transfer_time(64 * 1024, 240.0);
+        const SimTime expect = usec(1.2) + 2 * usec(7.0) + usec(0.5) + wire;
+        EXPECT_EQ(proc.now(), expect);
+    });
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        mad::Endpoint ep(proc, *p.seg);
+        EXPECT_EQ(ep.recv(0, ch).size(), 64u * 1024u);
+    });
+    p.grid.join_all();
+}
+
+TEST(Madeleine, OrderingPerChannelAndRecvAny) {
+    SanPair p;
+    const ChannelId ch = p.grid.channel_id("mad/ord");
+    constexpr int kN = 32;
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        mad::Endpoint ep(proc, *p.seg);
+        for (int i = 0; i < kN; ++i) {
+            util::ByteBuf b(&i, sizeof i);
+            ep.send(1, ch, util::to_message(std::move(b)));
+        }
+    });
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        mad::Endpoint ep(proc, *p.seg);
+        for (int i = 0; i < kN; ++i) {
+            ProcessId src = kNoProcess;
+            auto m = ep.recv_any(ch, &src);
+            EXPECT_EQ(src, 0u);
+            int got = -1;
+            m.copy_out(0, &got, sizeof got);
+            EXPECT_EQ(got, i); // FIFO per (src, channel)
+        }
+    });
+    p.grid.join_all();
+}
+
+TEST(Madeleine, MissingAdapterThrows) {
+    Grid g;
+    auto& seg = g.add_segment("myri", NetTech::Myrinet2000);
+    auto& off = g.add_machine("offnet");
+    (void)seg;
+    g.spawn(off, [&](Process& proc) {
+        EXPECT_THROW(mad::Endpoint(proc, g.segment("myri")), LookupError);
+    });
+    g.join_all();
+}
+
+TEST(Madeleine, RawConflictOnExclusiveNic) {
+    // The scenario from paper §4.3.1: two middleware systems each bring
+    // their own raw communication library to the same Myrinet NIC.
+    SanPair p;
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        mad::Endpoint mpi_raw(proc, *p.seg, "mpich/bip");
+        EXPECT_THROW(mad::Endpoint(proc, *p.seg, "omniorb/raw"),
+                     ResourceConflict);
+    });
+    p.grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// sockets
+
+TEST(Sockets, ConnectAcceptEcho) {
+    LanPair p;
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        sock::SocketStack stack(proc, *p.seg);
+        auto listener = stack.listen("echo");
+        auto s = listener.accept();
+        char buf[5] = {};
+        s.read(buf, 5);
+        EXPECT_EQ(std::string(buf, 5), "hello");
+        s.write("world", 5);
+    });
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        sock::SocketStack stack(proc, *p.seg);
+        auto s = stack.connect("echo");
+        s.write("hello", 5);
+        char buf[5] = {};
+        s.read(buf, 5);
+        EXPECT_EQ(std::string(buf, 5), "world");
+        // Handshake + 1 data RTT happened: clock advanced beyond 2 RTT.
+        EXPECT_GT(proc.now(), 4 * usec(60.0));
+    });
+    p.grid.join_all();
+}
+
+TEST(Sockets, StreamReassemblyAcrossChunks) {
+    LanPair p;
+    constexpr std::size_t kLen = 300 * 1024; // several 64 KB chunks
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        sock::SocketStack stack(proc, *p.seg);
+        auto s = stack.listen("bulk").accept();
+        // Read in odd-sized pieces to exercise buffering.
+        std::vector<std::uint8_t> got;
+        std::size_t remaining = kLen;
+        std::size_t piece = 7;
+        while (remaining > 0) {
+            const std::size_t n = std::min(piece, remaining);
+            std::vector<std::uint8_t> tmp(n);
+            s.read(tmp.data(), n);
+            got.insert(got.end(), tmp.begin(), tmp.end());
+            remaining -= n;
+            piece = piece * 3 + 1;
+        }
+        for (std::size_t i = 0; i < kLen; ++i)
+            ASSERT_EQ(got[i], static_cast<std::uint8_t>(i * 31 + 7));
+    });
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        sock::SocketStack stack(proc, *p.seg);
+        auto s = stack.connect("bulk");
+        util::ByteBuf data(kLen);
+        for (std::size_t i = 0; i < kLen; ++i)
+            data.data()[i] = static_cast<std::uint8_t>(i * 31 + 7);
+        s.write(util::to_message(std::move(data)));
+    });
+    p.grid.join_all();
+}
+
+TEST(Sockets, TwoConcurrentStreamsKeepDataSeparate) {
+    LanPair p;
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        sock::SocketStack stack(proc, *p.seg);
+        auto listener = stack.listen("multi");
+        auto s1 = listener.accept();
+        auto s2 = listener.accept();
+        char b1[2] = {}, b2[2] = {};
+        s1.read(b1, 2);
+        s2.read(b2, 2);
+        // Order of accept matches order of SYN arrival (same client).
+        EXPECT_EQ(std::string(b1, 2), "s1");
+        EXPECT_EQ(std::string(b2, 2), "s2");
+    });
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        sock::SocketStack stack(proc, *p.seg);
+        auto s1 = stack.connect("multi");
+        auto s2 = stack.connect("multi");
+        s2.write("s2", 2);
+        s1.write("s1", 2);
+    });
+    p.grid.join_all();
+}
+
+TEST(Sockets, RefusesParallelOnlyNetwork) {
+    SanPair p;
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        EXPECT_THROW(sock::SocketStack(proc, *p.seg), UsageError);
+    });
+    p.grid.join_all();
+}
+
+TEST(Sockets, ThroughputMatchesTcpModel) {
+    // Reference curve of Fig. 7: TCP on Fast-Ethernet peaks near 11 MB/s.
+    LanPair p;
+    constexpr std::size_t kLen = 2 * 1024 * 1024;
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        sock::SocketStack stack(proc, *p.seg);
+        auto s = stack.listen("tput").accept();
+        auto m = s.read_msg(kLen);
+        s.write("k", 1);
+        (void)m;
+    });
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        sock::SocketStack stack(proc, *p.seg);
+        auto s = stack.connect("tput");
+        const SimTime t0 = proc.now();
+        util::ByteBuf data(kLen);
+        s.write(util::to_message(std::move(data)));
+        char ack;
+        s.read(&ack, 1);
+        const double bw = mb_per_s(kLen, proc.now() - t0);
+        EXPECT_GT(bw, 10.0);
+        EXPECT_LT(bw, 11.3);
+    });
+    p.grid.join_all();
+}

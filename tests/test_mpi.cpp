@@ -1,0 +1,428 @@
+// Tests for PadMPI: point-to-point semantics, nonblocking requests,
+// collectives against sequential oracles (parameterized sweeps),
+// communicator management, derived datatypes, and the paper's §4.4
+// MPI-on-Myrinet performance points (11 us latency, 240 MB/s peak).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fabric/grid.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/mpi.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+
+namespace {
+
+/// A Myrinet cluster of n machines (plus Fast-Ethernet control network).
+struct Cluster {
+    Grid grid;
+    std::vector<Machine*> nodes;
+
+    explicit Cluster(int n) {
+        auto& myri = grid.add_segment("myri0", NetTech::Myrinet2000);
+        auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+        for (int i = 0; i < n; ++i) {
+            auto& m = grid.add_machine("node" + std::to_string(i));
+            grid.attach(m, myri);
+            grid.attach(m, eth);
+            nodes.push_back(&m);
+        }
+    }
+
+    /// Run an SPMD body with an MPI world already set up.
+    void run(const std::function<void(mpi::Comm&, fabric::Process&)>& body) {
+        std::vector<ProcessId> members(nodes.size());
+        std::iota(members.begin(), members.end(), 0u);
+        run_spmd(grid, nodes, [&, members](Process& proc, int, int) {
+            ptm::Runtime rt(proc);
+            mpi::install();
+            auto mod = std::static_pointer_cast<mpi::MpiModule>(
+                rt.modules().load("mpi"));
+            auto world = mod->init("test", members);
+            body(world->world(), proc);
+        });
+        grid.join_all();
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Point to point
+
+TEST(MpiP2p, SendRecvTyped) {
+    Cluster c(2);
+    c.run([](mpi::Comm& comm, Process&) {
+        if (comm.rank() == 0) {
+            std::vector<double> xs{1.5, 2.5, 3.5};
+            comm.send(std::span<const double>(xs), 1, 42);
+            comm.send_value<std::int32_t>(7, 1, 43);
+        } else {
+            std::vector<double> xs(3);
+            mpi::Status st = comm.recv(std::span<double>(xs), 0, 42);
+            EXPECT_EQ(st.source, 0);
+            EXPECT_EQ(st.tag, 42);
+            EXPECT_EQ(st.bytes, 3 * sizeof(double));
+            EXPECT_DOUBLE_EQ(xs[2], 3.5);
+            EXPECT_EQ(comm.recv_value<std::int32_t>(0, 43), 7);
+        }
+    });
+}
+
+TEST(MpiP2p, WildcardsAndOrdering) {
+    Cluster c(3);
+    c.run([](mpi::Comm& comm, Process&) {
+        if (comm.rank() != 0) {
+            for (int i = 0; i < 3; ++i)
+                comm.send_value<std::int32_t>(comm.rank() * 10 + i, 0,
+                                              comm.rank());
+        } else {
+            // ANY_SOURCE with a fixed tag picks the right sender...
+            int got_from_2 = 0;
+            for (int i = 0; i < 3; ++i) {
+                std::int32_t v = 0;
+                const mpi::Status st =
+                    comm.recv_bytes(&v, sizeof v, mpi::kAnySource, 2);
+                EXPECT_EQ(st.source, 2);
+                EXPECT_EQ(v, 20 + got_from_2); // per-sender FIFO order
+                ++got_from_2;
+            }
+            // ...and ANY_TAG drains the rest.
+            int count = 0;
+            for (int i = 0; i < 3; ++i) {
+                std::int32_t v = 0;
+                mpi::Status st =
+                    comm.recv_bytes(&v, sizeof v, 1, mpi::kAnyTag);
+                EXPECT_EQ(st.source, 1);
+                EXPECT_EQ(v, 10 + count);
+                ++count;
+            }
+        }
+    });
+}
+
+TEST(MpiP2p, TruncationIsAnError) {
+    Cluster c(2);
+    c.run([](mpi::Comm& comm, Process&) {
+        if (comm.rank() == 0) {
+            std::vector<std::int32_t> big(16);
+            comm.send(std::span<const std::int32_t>(big), 1, 0);
+        } else {
+            std::int32_t tiny[2];
+            EXPECT_THROW(comm.recv_bytes(tiny, sizeof tiny, 0, 0),
+                         UsageError);
+        }
+    });
+}
+
+TEST(MpiP2p, NonblockingIsendIrecvWait) {
+    Cluster c(2);
+    c.run([](mpi::Comm& comm, Process&) {
+        if (comm.rank() == 0) {
+            std::int64_t v = 0x1234;
+            auto req = comm.isend_bytes(&v, sizeof v, 1, 5);
+            EXPECT_TRUE(req.test()); // sends complete eagerly
+            req.wait();
+        } else {
+            std::int64_t v = 0;
+            auto req = comm.irecv_bytes(&v, sizeof v, 0, 5);
+            mpi::Status st = req.wait();
+            EXPECT_EQ(v, 0x1234);
+            EXPECT_EQ(st.bytes, sizeof v);
+            EXPECT_TRUE(req.test()); // idempotent after completion
+        }
+    });
+}
+
+TEST(MpiP2p, WaitAllMixedRequests) {
+    Cluster c(2);
+    c.run([](mpi::Comm& comm, Process&) {
+        constexpr int kN = 8;
+        if (comm.rank() == 0) {
+            std::vector<mpi::Request> reqs;
+            std::vector<std::int32_t> vals(kN);
+            for (int i = 0; i < kN; ++i) {
+                vals[i] = i * i;
+                reqs.push_back(
+                    comm.isend_bytes(&vals[i], sizeof(std::int32_t), 1, i));
+            }
+            mpi::wait_all(reqs);
+        } else {
+            std::vector<mpi::Request> reqs;
+            std::vector<std::int32_t> got(kN);
+            for (int i = 0; i < kN; ++i)
+                reqs.push_back(
+                    comm.irecv_bytes(&got[i], sizeof(std::int32_t), 0, i));
+            mpi::wait_all(reqs);
+            for (int i = 0; i < kN; ++i) EXPECT_EQ(got[i], i * i);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Collectives: parameterized sweep against sequential oracles
+
+struct CollCase {
+    int nodes;
+    std::size_t elems;
+};
+
+class MpiCollectives : public ::testing::TestWithParam<CollCase> {};
+
+TEST_P(MpiCollectives, BcastMatchesRoot) {
+    const auto param = GetParam();
+    Cluster c(param.nodes);
+    c.run([&](mpi::Comm& comm, Process&) {
+        for (int root = 0; root < comm.size(); ++root) {
+            std::vector<std::int64_t> data(param.elems);
+            if (comm.rank() == root)
+                for (std::size_t i = 0; i < data.size(); ++i)
+                    data[i] = static_cast<std::int64_t>(i * 3 + root);
+            comm.bcast(std::span<std::int64_t>(data), root);
+            for (std::size_t i = 0; i < data.size(); ++i)
+                ASSERT_EQ(data[i], static_cast<std::int64_t>(i * 3 + root));
+        }
+    });
+}
+
+TEST_P(MpiCollectives, ReduceAndAllreduceOracle) {
+    const auto param = GetParam();
+    Cluster c(param.nodes);
+    c.run([&](mpi::Comm& comm, Process&) {
+        std::vector<std::int64_t> mine(param.elems);
+        for (std::size_t i = 0; i < mine.size(); ++i)
+            mine[i] = static_cast<std::int64_t>((comm.rank() + 1) * (i + 1));
+        // Oracle on every rank.
+        std::vector<std::int64_t> expect_sum(param.elems, 0);
+        std::vector<std::int64_t> expect_max(param.elems);
+        for (std::size_t i = 0; i < param.elems; ++i) {
+            for (int r = 0; r < comm.size(); ++r)
+                expect_sum[i] += static_cast<std::int64_t>((r + 1) * (i + 1));
+            expect_max[i] =
+                static_cast<std::int64_t>(comm.size() * (i + 1));
+        }
+        std::vector<std::int64_t> out(param.elems);
+        comm.reduce(std::span<const std::int64_t>(mine),
+                    std::span<std::int64_t>(out), mpi::Op::Sum, 0);
+        if (comm.rank() == 0) EXPECT_EQ(out, expect_sum);
+
+        comm.allreduce(std::span<const std::int64_t>(mine),
+                       std::span<std::int64_t>(out), mpi::Op::Max);
+        EXPECT_EQ(out, expect_max);
+    });
+}
+
+TEST_P(MpiCollectives, GatherScatterAllgatherAlltoall) {
+    const auto param = GetParam();
+    Cluster c(param.nodes);
+    c.run([&](mpi::Comm& comm, Process&) {
+        const int n = comm.size();
+        const std::size_t e = param.elems;
+        auto value = [e](int owner, std::size_t i) {
+            return static_cast<std::int32_t>(owner * 1000 +
+                                             static_cast<int>(i % 997));
+        };
+        std::vector<std::int32_t> mine(e);
+        for (std::size_t i = 0; i < e; ++i) mine[i] = value(comm.rank(), i);
+
+        // gather -> scatter round trip through root 0
+        std::vector<std::int32_t> all(e * static_cast<std::size_t>(n));
+        comm.gather(std::span<const std::int32_t>(mine),
+                    std::span<std::int32_t>(all), 0);
+        if (comm.rank() == 0)
+            for (int r = 0; r < n; ++r)
+                for (std::size_t i = 0; i < e; ++i)
+                    ASSERT_EQ(all[static_cast<std::size_t>(r) * e + i],
+                              value(r, i));
+        std::vector<std::int32_t> back(e);
+        comm.scatter(std::span<const std::int32_t>(all),
+                     std::span<std::int32_t>(back), 0);
+        EXPECT_EQ(back, mine);
+
+        // allgather
+        std::vector<std::int32_t> all2(all.size());
+        comm.allgather(std::span<const std::int32_t>(mine),
+                       std::span<std::int32_t>(all2));
+        for (int r = 0; r < n; ++r)
+            for (std::size_t i = 0; i < e; ++i)
+                ASSERT_EQ(all2[static_cast<std::size_t>(r) * e + i],
+                          value(r, i));
+
+        // alltoall: send value(rank, dest-block) -> receive value(src, ...)
+        std::vector<std::int32_t> a2a_in(all.size());
+        for (int r = 0; r < n; ++r)
+            for (std::size_t i = 0; i < e; ++i)
+                a2a_in[static_cast<std::size_t>(r) * e + i] =
+                    value(comm.rank(), static_cast<std::size_t>(r) * e + i);
+        std::vector<std::int32_t> a2a_out(all.size());
+        comm.alltoall(std::span<const std::int32_t>(a2a_in),
+                      std::span<std::int32_t>(a2a_out));
+        for (int r = 0; r < n; ++r)
+            for (std::size_t i = 0; i < e; ++i)
+                ASSERT_EQ(a2a_out[static_cast<std::size_t>(r) * e + i],
+                          value(r, static_cast<std::size_t>(comm.rank()) * e +
+                                       i));
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MpiCollectives,
+    ::testing::Values(CollCase{1, 4}, CollCase{2, 1}, CollCase{2, 1000},
+                      CollCase{3, 7}, CollCase{4, 64}, CollCase{4, 2048}),
+    [](const ::testing::TestParamInfo<CollCase>& info) {
+        return "n" + std::to_string(info.param.nodes) + "e" +
+               std::to_string(info.param.elems);
+    });
+
+TEST(MpiColl, BarrierSynchronizesVirtualClocks) {
+    Cluster c(4);
+    c.run([](mpi::Comm& comm, Process& proc) {
+        // Skew the clocks, then barrier: everyone ends up past the max.
+        proc.compute(usec(100.0 * comm.rank()));
+        comm.barrier();
+        EXPECT_GE(proc.now(), usec(300.0));
+    });
+}
+
+TEST(MpiColl, AlltoallvMessages) {
+    Cluster c(3);
+    c.run([](mpi::Comm& comm, Process&) {
+        std::vector<util::Message> out;
+        for (int r = 0; r < comm.size(); ++r) {
+            const std::string text = "from" + std::to_string(comm.rank()) +
+                                     "to" + std::to_string(r);
+            out.push_back(util::to_message(util::ByteBuf(text.data(),
+                                                         text.size())));
+        }
+        auto in = comm.alltoallv_msg(std::move(out));
+        for (int r = 0; r < comm.size(); ++r) {
+            const std::string expect = "from" + std::to_string(r) + "to" +
+                                       std::to_string(comm.rank());
+            auto flat = in[static_cast<std::size_t>(r)].gather();
+            EXPECT_EQ(std::string(reinterpret_cast<const char*>(flat.data()),
+                                  flat.size()),
+                      expect);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Communicators
+
+TEST(MpiComm, DupIsolatesTraffic) {
+    Cluster c(2);
+    c.run([](mpi::Comm& comm, Process&) {
+        mpi::Comm dup = comm.dup();
+        if (comm.rank() == 0) {
+            comm.send_value<std::int32_t>(1, 1, 9);
+            dup.send_value<std::int32_t>(2, 1, 9);
+        } else {
+            // Same tag, different communicators: no cross-talk.
+            EXPECT_EQ(dup.recv_value<std::int32_t>(0, 9), 2);
+            EXPECT_EQ(comm.recv_value<std::int32_t>(0, 9), 1);
+        }
+    });
+}
+
+TEST(MpiComm, SplitByParity) {
+    Cluster c(4);
+    c.run([](mpi::Comm& comm, Process&) {
+        mpi::Comm sub = comm.split(comm.rank() % 2, comm.rank());
+        ASSERT_TRUE(sub.valid());
+        EXPECT_EQ(sub.size(), 2);
+        EXPECT_EQ(sub.rank(), comm.rank() / 2);
+        // Reduce within the split group only.
+        const std::int64_t mine = comm.rank();
+        std::int64_t sum = -1;
+        sub.allreduce(std::span<const std::int64_t>(&mine, 1),
+                      std::span<std::int64_t>(&sum, 1), mpi::Op::Sum);
+        EXPECT_EQ(sum, comm.rank() % 2 == 0 ? 0 + 2 : 1 + 3);
+    });
+}
+
+TEST(MpiComm, SplitWithNegativeColorYieldsNull) {
+    Cluster c(2);
+    c.run([](mpi::Comm& comm, Process&) {
+        mpi::Comm sub = comm.split(comm.rank() == 0 ? 0 : -1, 0);
+        EXPECT_EQ(sub.valid(), comm.rank() == 0);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Derived datatypes
+
+TEST(MpiDatatype, VectorPackUnpackRoundTrip) {
+    // A column of a 4x6 row-major matrix: 4 blocks of 1, stride 6.
+    mpi::VectorType col{4, 1, 6};
+    std::vector<std::int32_t> matrix(24);
+    std::iota(matrix.begin(), matrix.end(), 0);
+    auto packed = mpi::pack(col, std::span<const std::int32_t>(matrix));
+    ASSERT_EQ(packed.size(), 4u);
+    EXPECT_EQ(packed[0], 0);
+    EXPECT_EQ(packed[3], 18);
+
+    std::vector<std::int32_t> out(24, -1);
+    mpi::unpack(col, std::span<const std::int32_t>(packed),
+                std::span<std::int32_t>(out));
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[6], 6);
+    EXPECT_EQ(out[1], -1); // untouched
+}
+
+TEST(MpiDatatype, InvalidShapesRejected) {
+    mpi::VectorType overlap{3, 4, 2}; // blocklen > stride
+    std::vector<float> src(32);
+    EXPECT_THROW(mpi::pack(overlap, std::span<const float>(src)),
+                 UsageError);
+    mpi::VectorType vt{4, 2, 8};
+    std::vector<float> small(8);
+    EXPECT_THROW(mpi::pack(vt, std::span<const float>(small)), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Paper performance points (§4.4)
+
+TEST(MpiPerf, MyrinetLatencyEleven) {
+    Cluster c(2);
+    c.run([](mpi::Comm& comm, Process& proc) {
+        constexpr int kIters = 20;
+        char b = 0;
+        if (comm.rank() == 0) {
+            const SimTime t0 = proc.now();
+            for (int i = 0; i < kIters; ++i) {
+                comm.send_bytes(&b, 1, 1, 0);
+                comm.recv_bytes(&b, 1, 1, 0);
+            }
+            const double lat = to_usec(proc.now() - t0) / (2.0 * kIters);
+            EXPECT_NEAR(lat, 11.0, 0.8); // paper: 11 us
+        } else {
+            for (int i = 0; i < kIters; ++i) {
+                comm.recv_bytes(&b, 1, 0, 0);
+                comm.send_bytes(&b, 1, 0, 0);
+            }
+        }
+    });
+}
+
+TEST(MpiPerf, MyrinetBandwidth240) {
+    Cluster c(2);
+    c.run([](mpi::Comm& comm, Process& proc) {
+        constexpr std::size_t kLen = 1 << 20;
+        util::ByteBuf payload(kLen);
+        if (comm.rank() == 0) {
+            const SimTime t0 = proc.now();
+            comm.send_msg(util::to_message(std::move(payload)), 1, 0);
+            char ack;
+            comm.recv_bytes(&ack, 1, 1, 1);
+            const double bw = mb_per_s(kLen, proc.now() - t0);
+            EXPECT_GT(bw, 225.0); // paper: 240 MB/s (96% of Myrinet-2000)
+            EXPECT_LE(bw, 241.0);
+        } else {
+            comm.recv_msg(0, 0);
+            comm.send_bytes("k", 1, 0, 1);
+        }
+    });
+}

@@ -1,0 +1,138 @@
+// Tests for the gSOAP substitute: envelope codec, RPC round trips, faults,
+// module registration, and the "Web Services performance is poor" claim
+// (paper §5) made measurable against CORBA on the same link.
+
+#include <gtest/gtest.h>
+
+#include "corba/stub.hpp"
+#include "fabric/grid.hpp"
+#include "osal/sync.hpp"
+#include "soap/soap.hpp"
+#include "util/strings.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+using namespace padico::soap;
+
+namespace {
+
+struct LanPair {
+    Grid grid;
+    Machine* a;
+    Machine* b;
+    LanPair() {
+        auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+        a = &grid.add_machine("ma");
+        b = &grid.add_machine("mb");
+        grid.attach(*a, eth);
+        grid.attach(*b, eth);
+    }
+};
+
+} // namespace
+
+TEST(SoapEnvelope, RoundTrip) {
+    Params p{{"x", "1"}, {"name", "a<b&c"}};
+    const std::string xml = make_envelope("getDensity", p);
+    auto [op, parsed] = parse_envelope(xml);
+    EXPECT_EQ(op, "getDensity");
+    EXPECT_EQ(parsed, p);
+}
+
+TEST(SoapEnvelope, RejectsGarbage) {
+    EXPECT_THROW(parse_envelope("<NotEnvelope/>"), ProtocolError);
+    EXPECT_THROW(parse_envelope("<Envelope><Body/></Envelope>"),
+                 ProtocolError);
+    EXPECT_THROW(parse_envelope("not xml at all"), ProtocolError);
+}
+
+TEST(Soap, RpcRoundTripAndFault) {
+    LanPair p;
+    osal::Event up, done;
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        SoapServer server(rt, "soap-calc");
+        server.bind("add", [](const Params& in) {
+            const double x = util::parse_double(in.at("x"));
+            const double y = util::parse_double(in.at("y"));
+            return Params{{"sum", util::strfmt("%g", x + y)}};
+        });
+        server.bind("boom", [](const Params&) -> Params {
+            throw RemoteError("kaput");
+        });
+        up.set();
+        done.wait();
+        server.shutdown();
+    });
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        up.wait();
+        SoapClient client(rt, "soap-calc");
+        auto r = client.call("add", {{"x", "2.5"}, {"y", "4"}});
+        EXPECT_EQ(r.at("sum"), "6.5");
+        EXPECT_THROW(client.call("boom", {}), RemoteError);
+        EXPECT_THROW(client.call("missing_op", {}), RemoteError);
+        // Connection still healthy after faults.
+        EXPECT_EQ(client.call("add", {{"x", "1"}, {"y", "1"}}).at("sum"),
+                  "2");
+        done.set();
+    });
+    p.grid.join_all();
+}
+
+TEST(Soap, ModuleRegistered) {
+    install();
+    EXPECT_TRUE(ptm::ModuleManager::has_type("gsoap"));
+}
+
+TEST(Soap, SlowerThanCorbaOnSameLink) {
+    // Paper §5 on Web Services: "their performance is poor". Same payload,
+    // same Fast-Ethernet, SOAP XML-codec cost vs CORBA CDR.
+    LanPair p;
+    osal::Event up, done;
+    SimTime soap_time = 0, corba_time = 0;
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        SoapServer server(rt, "soap-perf");
+        server.bind("take", [](const Params&) { return Params{}; });
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        orb.serve("corba-perf");
+        class Sink : public corba::Servant {
+        public:
+            std::string interface() const override { return "IDL:Sink:1.0"; }
+            void dispatch(const std::string&, corba::cdr::Decoder& in,
+                          corba::cdr::Encoder& out) override {
+                (void)corba::skel::arg<std::string>(in);
+                corba::skel::ret(out, true);
+            }
+        };
+        corba::IOR ior = orb.activate(std::make_shared<Sink>());
+        proc.grid().register_service("perf/key",
+                                     static_cast<ProcessId>(ior.key));
+        up.set();
+        done.wait();
+        server.shutdown();
+        orb.shutdown();
+    });
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        up.wait();
+        const std::string payload(32 * 1024, 'x');
+
+        SoapClient soap(rt, "soap-perf");
+        SimTime t0 = proc.now();
+        soap.call("take", {{"data", payload}});
+        soap_time = proc.now() - t0;
+
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        corba::IOR ior{"corba-perf", proc.grid().wait_service("perf/key"),
+                       "IDL:Sink:1.0"};
+        auto ref = orb.resolve(ior);
+        t0 = proc.now();
+        corba::call<bool>(ref, "take", payload);
+        corba_time = proc.now() - t0;
+        EXPECT_GT(soap_time, corba_time);
+        done.set();
+    });
+    p.grid.join_all();
+}

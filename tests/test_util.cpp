@@ -1,0 +1,187 @@
+// Unit tests for the util module: bytes/messages, XML, stats, strings,
+// simtime and the error helpers.
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/simtime.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/xml.hpp"
+
+namespace pu = padico::util;
+using padico::SimTime;
+
+// ---------------------------------------------------------------------------
+// bytes
+
+TEST(ByteBuf, AppendAndView) {
+    pu::ByteBuf b;
+    b.append("abc", 3);
+    b.pad(2);
+    b.append("z", 1);
+    ASSERT_EQ(b.size(), 6u);
+    EXPECT_EQ(b.data()[0], 'a');
+    EXPECT_EQ(b.data()[3], 0);
+    EXPECT_EQ(b.data()[5], 'z');
+}
+
+TEST(Segment, SliceBounds) {
+    pu::ByteBuf b("hello world", 11);
+    pu::Segment s(pu::make_buf(std::move(b)));
+    auto mid = s.slice(6, 5);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(mid.data()), 5),
+              "world");
+    EXPECT_THROW(s.slice(7, 5), padico::UsageError);
+}
+
+TEST(Message, GatherAcrossSegments) {
+    pu::Message m;
+    m.append(pu::Segment(pu::make_buf("foo", 3)));
+    m.append(pu::Segment(pu::make_buf("barbaz", 6)));
+    EXPECT_EQ(m.size(), 9u);
+    EXPECT_EQ(m.segment_count(), 2u);
+    auto flat = m.gather();
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(flat.data()), 9),
+              "foobarbaz");
+}
+
+TEST(Message, CopyOutStraddlesSegments) {
+    pu::Message m;
+    m.append(pu::Segment(pu::make_buf("abcd", 4)));
+    m.append(pu::Segment(pu::make_buf("efgh", 4)));
+    char out[4];
+    m.copy_out(2, out, 4);
+    EXPECT_EQ(std::string(out, 4), "cdef");
+    EXPECT_THROW(m.copy_out(6, out, 4), padico::UsageError);
+}
+
+TEST(Message, SliceIsZeroCopy) {
+    pu::ByteBuf big(1 << 20);
+    pu::Message m = pu::to_message(std::move(big));
+    auto part = m.slice(100, 500);
+    EXPECT_EQ(part.size(), 500u);
+    EXPECT_EQ(part.segment_count(), 1u);
+    // Same underlying storage: pointer arithmetic holds.
+    EXPECT_EQ(part.segments()[0].data(), m.segments()[0].data() + 100);
+}
+
+TEST(Message, SliceEmptyAndFull) {
+    pu::Message m;
+    m.append(pu::Segment(pu::make_buf("xy", 2)));
+    EXPECT_EQ(m.slice(0, 0).size(), 0u);
+    EXPECT_EQ(m.slice(0, 2).gather().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// xml
+
+TEST(Xml, ParsesElementsAttrsText) {
+    auto root = pu::xml_parse(R"(<?xml version="1.0"?>
+      <!-- top comment -->
+      <assembly name="coupling">
+        <component id="chem" type="Chemistry" parallel="4"/>
+        <component id="trans" type="Transport"/>
+        <connection from="chem.out" to="trans.in">note &amp; text</connection>
+      </assembly>)");
+    EXPECT_EQ(root->name(), "assembly");
+    EXPECT_EQ(root->attr("name"), "coupling");
+    auto comps = root->children_named("component");
+    ASSERT_EQ(comps.size(), 2u);
+    EXPECT_EQ(comps[0]->attr("parallel"), "4");
+    EXPECT_EQ(comps[1]->attr_or("parallel", "1"), "1");
+    EXPECT_EQ(root->require_child("connection")->text(), "note & text");
+}
+
+TEST(Xml, RoundTripThroughToString) {
+    auto root = pu::xml_parse("<a x=\"1\"><b/><c y='q&quot;z'>t</c></a>");
+    auto again = pu::xml_parse(root->to_string());
+    EXPECT_EQ(again->attr("x"), "1");
+    EXPECT_EQ(again->require_child("c")->attr("y"), "q\"z");
+    EXPECT_EQ(again->require_child("c")->text(), "t");
+}
+
+TEST(Xml, RejectsMalformed) {
+    EXPECT_THROW(pu::xml_parse("<a><b></a>"), padico::ProtocolError);
+    EXPECT_THROW(pu::xml_parse("<a x=1/>"), padico::ProtocolError);
+    EXPECT_THROW(pu::xml_parse("<a/>junk"), padico::ProtocolError);
+    EXPECT_THROW(pu::xml_parse("<a>&bogus;</a>"), padico::ProtocolError);
+    EXPECT_THROW(pu::xml_parse(""), padico::ProtocolError);
+}
+
+TEST(Xml, MissingAttrAndChildThrow) {
+    auto root = pu::xml_parse("<a/>");
+    EXPECT_THROW(root->attr("nope"), padico::ProtocolError);
+    EXPECT_THROW(root->require_child("nope"), padico::ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// simtime
+
+TEST(SimTime, UnitsAndFormat) {
+    EXPECT_EQ(padico::usec(1.0), 1000);
+    EXPECT_EQ(padico::msec(1.0), 1000000);
+    EXPECT_DOUBLE_EQ(padico::to_usec(padico::usec(12.5)), 12.5);
+    EXPECT_EQ(padico::format_simtime(padico::usec(12.0)), "12.00 us");
+}
+
+TEST(SimTime, TransferTimeAndBandwidth) {
+    // 1 MB at 250 MB/s = 4 ms... in bytes: 1e6 B at 250 MB/s = 4000 us.
+    const SimTime t = padico::transfer_time(1000000, 250.0);
+    EXPECT_EQ(t, padico::usec(4000.0));
+    EXPECT_NEAR(padico::mb_per_s(1000000, t), 250.0, 1e-9);
+    EXPECT_EQ(padico::transfer_time(0, 250.0), 0);
+    EXPECT_EQ(padico::transfer_time(100, 0.0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// stats
+
+TEST(Stats, AccumulatorMoments) {
+    pu::Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_NEAR(a.stddev(), 2.138, 1e-3);
+}
+
+TEST(Stats, TableAlignsColumns) {
+    pu::Table t({"nodes", "latency"});
+    t.add_row({"1 to 1", "62"});
+    t.add_row({"8 to 8", "148"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| nodes  | latency |"), std::string::npos);
+    EXPECT_NE(s.find("| 8 to 8 | 148     |"), std::string::npos);
+    EXPECT_THROW(t.add_row({"only one"}), padico::UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// strings
+
+TEST(Strings, SplitTrimParse) {
+    auto parts = pu::split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(pu::trim("  x y \t"), "x y");
+    EXPECT_EQ(pu::parse_uint(" 42 "), 42u);
+    EXPECT_THROW(pu::parse_uint("4x"), padico::UsageError);
+    EXPECT_DOUBLE_EQ(pu::parse_double("2.5"), 2.5);
+    EXPECT_THROW(pu::parse_double("abc"), padico::UsageError);
+    EXPECT_EQ(pu::strfmt("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Rng, Deterministic) {
+    pu::Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+    pu::Rng c(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(c.below(10), 10u);
+        const double u = c.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
