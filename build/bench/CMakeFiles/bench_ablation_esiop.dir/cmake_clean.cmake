@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_esiop.dir/bench_ablation_esiop.cpp.o"
+  "CMakeFiles/bench_ablation_esiop.dir/bench_ablation_esiop.cpp.o.d"
+  "bench_ablation_esiop"
+  "bench_ablation_esiop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_esiop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

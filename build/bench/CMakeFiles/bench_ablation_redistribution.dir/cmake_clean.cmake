@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_redistribution.dir/bench_ablation_redistribution.cpp.o"
+  "CMakeFiles/bench_ablation_redistribution.dir/bench_ablation_redistribution.cpp.o.d"
+  "bench_ablation_redistribution"
+  "bench_ablation_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_share.dir/bench_concurrent_share.cpp.o"
+  "CMakeFiles/bench_concurrent_share.dir/bench_concurrent_share.cpp.o.d"
+  "bench_concurrent_share"
+  "bench_concurrent_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ethernet_gridccm.dir/bench_ethernet_gridccm.cpp.o"
+  "CMakeFiles/bench_ethernet_gridccm.dir/bench_ethernet_gridccm.cpp.o.d"
+  "bench_ethernet_gridccm"
+  "bench_ethernet_gridccm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ethernet_gridccm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

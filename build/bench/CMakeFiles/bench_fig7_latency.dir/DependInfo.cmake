@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_latency.cpp" "bench/CMakeFiles/bench_fig7_latency.dir/bench_fig7_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_latency.dir/bench_fig7_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corba/CMakeFiles/padico_corba.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/padico_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/padicotm/CMakeFiles/padico_padicotm.dir/DependInfo.cmake"
+  "/root/repo/build/src/madeleine/CMakeFiles/padico_madeleine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/padico_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/padico_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/padico_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gridccm.dir/bench_fig8_gridccm.cpp.o"
+  "CMakeFiles/bench_fig8_gridccm.dir/bench_fig8_gridccm.cpp.o.d"
+  "bench_fig8_gridccm"
+  "bench_fig8_gridccm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gridccm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_coupling.dir/code_coupling.cpp.o"
+  "CMakeFiles/code_coupling.dir/code_coupling.cpp.o.d"
+  "code_coupling"
+  "code_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

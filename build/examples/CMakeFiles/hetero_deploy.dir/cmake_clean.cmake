@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_deploy.dir/hetero_deploy.cpp.o"
+  "CMakeFiles/hetero_deploy.dir/hetero_deploy.cpp.o.d"
+  "hetero_deploy"
+  "hetero_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

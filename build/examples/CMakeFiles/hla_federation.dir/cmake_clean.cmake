@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hla_federation.dir/hla_federation.cpp.o"
+  "CMakeFiles/hla_federation.dir/hla_federation.cpp.o.d"
+  "hla_federation"
+  "hla_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hla_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

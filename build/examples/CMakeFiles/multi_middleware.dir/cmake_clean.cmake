@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_middleware.dir/multi_middleware.cpp.o"
+  "CMakeFiles/multi_middleware.dir/multi_middleware.cpp.o.d"
+  "multi_middleware"
+  "multi_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("osal")
+subdirs("fabric")
+subdirs("madeleine")
+subdirs("sockets")
+subdirs("padicotm")
+subdirs("mpi")
+subdirs("corba")
+subdirs("soap")
+subdirs("ccm")
+subdirs("gridccm")
+subdirs("hla")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_ccm.dir/assembly.cpp.o"
+  "CMakeFiles/padico_ccm.dir/assembly.cpp.o.d"
+  "CMakeFiles/padico_ccm.dir/component.cpp.o"
+  "CMakeFiles/padico_ccm.dir/component.cpp.o.d"
+  "CMakeFiles/padico_ccm.dir/container.cpp.o"
+  "CMakeFiles/padico_ccm.dir/container.cpp.o.d"
+  "CMakeFiles/padico_ccm.dir/deployer.cpp.o"
+  "CMakeFiles/padico_ccm.dir/deployer.cpp.o.d"
+  "libpadico_ccm.a"
+  "libpadico_ccm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_ccm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpadico_ccm.a"
+)

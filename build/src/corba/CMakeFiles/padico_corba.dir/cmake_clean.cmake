@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_corba.dir/cdr.cpp.o"
+  "CMakeFiles/padico_corba.dir/cdr.cpp.o.d"
+  "CMakeFiles/padico_corba.dir/module.cpp.o"
+  "CMakeFiles/padico_corba.dir/module.cpp.o.d"
+  "CMakeFiles/padico_corba.dir/naming.cpp.o"
+  "CMakeFiles/padico_corba.dir/naming.cpp.o.d"
+  "CMakeFiles/padico_corba.dir/orb.cpp.o"
+  "CMakeFiles/padico_corba.dir/orb.cpp.o.d"
+  "libpadico_corba.a"
+  "libpadico_corba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_corba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/grid.cpp" "src/fabric/CMakeFiles/padico_fabric.dir/grid.cpp.o" "gcc" "src/fabric/CMakeFiles/padico_fabric.dir/grid.cpp.o.d"
+  "/root/repo/src/fabric/netmodel.cpp" "src/fabric/CMakeFiles/padico_fabric.dir/netmodel.cpp.o" "gcc" "src/fabric/CMakeFiles/padico_fabric.dir/netmodel.cpp.o.d"
+  "/root/repo/src/fabric/registry.cpp" "src/fabric/CMakeFiles/padico_fabric.dir/registry.cpp.o" "gcc" "src/fabric/CMakeFiles/padico_fabric.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/padico_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_fabric.dir/grid.cpp.o"
+  "CMakeFiles/padico_fabric.dir/grid.cpp.o.d"
+  "CMakeFiles/padico_fabric.dir/netmodel.cpp.o"
+  "CMakeFiles/padico_fabric.dir/netmodel.cpp.o.d"
+  "CMakeFiles/padico_fabric.dir/registry.cpp.o"
+  "CMakeFiles/padico_fabric.dir/registry.cpp.o.d"
+  "libpadico_fabric.a"
+  "libpadico_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_gridccm.dir/component.cpp.o"
+  "CMakeFiles/padico_gridccm.dir/component.cpp.o.d"
+  "CMakeFiles/padico_gridccm.dir/descriptor.cpp.o"
+  "CMakeFiles/padico_gridccm.dir/descriptor.cpp.o.d"
+  "CMakeFiles/padico_gridccm.dir/distribution.cpp.o"
+  "CMakeFiles/padico_gridccm.dir/distribution.cpp.o.d"
+  "CMakeFiles/padico_gridccm.dir/skeleton.cpp.o"
+  "CMakeFiles/padico_gridccm.dir/skeleton.cpp.o.d"
+  "CMakeFiles/padico_gridccm.dir/stub.cpp.o"
+  "CMakeFiles/padico_gridccm.dir/stub.cpp.o.d"
+  "libpadico_gridccm.a"
+  "libpadico_gridccm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_gridccm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

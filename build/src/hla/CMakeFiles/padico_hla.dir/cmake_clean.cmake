@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_hla.dir/hla.cpp.o"
+  "CMakeFiles/padico_hla.dir/hla.cpp.o.d"
+  "libpadico_hla.a"
+  "libpadico_hla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_hla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for padico_hla.
+# This may be replaced when dependencies are built.

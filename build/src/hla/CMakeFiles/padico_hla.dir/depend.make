@@ -1,0 +1,2 @@
+# Empty dependencies file for padico_hla.
+# This may be replaced when dependencies are built.

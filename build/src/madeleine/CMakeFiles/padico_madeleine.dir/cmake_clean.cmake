@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_madeleine.dir/madeleine.cpp.o"
+  "CMakeFiles/padico_madeleine.dir/madeleine.cpp.o.d"
+  "libpadico_madeleine.a"
+  "libpadico_madeleine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_madeleine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

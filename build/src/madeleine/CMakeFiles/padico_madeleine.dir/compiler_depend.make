@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for padico_madeleine.
+# This may be replaced when dependencies are built.

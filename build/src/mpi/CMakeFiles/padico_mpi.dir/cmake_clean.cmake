@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_mpi.dir/comm.cpp.o"
+  "CMakeFiles/padico_mpi.dir/comm.cpp.o.d"
+  "libpadico_mpi.a"
+  "libpadico_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

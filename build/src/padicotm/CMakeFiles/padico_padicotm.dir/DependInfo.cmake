@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/padicotm/circuit.cpp" "src/padicotm/CMakeFiles/padico_padicotm.dir/circuit.cpp.o" "gcc" "src/padicotm/CMakeFiles/padico_padicotm.dir/circuit.cpp.o.d"
+  "/root/repo/src/padicotm/engine.cpp" "src/padicotm/CMakeFiles/padico_padicotm.dir/engine.cpp.o" "gcc" "src/padicotm/CMakeFiles/padico_padicotm.dir/engine.cpp.o.d"
+  "/root/repo/src/padicotm/personality.cpp" "src/padicotm/CMakeFiles/padico_padicotm.dir/personality.cpp.o" "gcc" "src/padicotm/CMakeFiles/padico_padicotm.dir/personality.cpp.o.d"
+  "/root/repo/src/padicotm/runtime.cpp" "src/padicotm/CMakeFiles/padico_padicotm.dir/runtime.cpp.o" "gcc" "src/padicotm/CMakeFiles/padico_padicotm.dir/runtime.cpp.o.d"
+  "/root/repo/src/padicotm/vlink.cpp" "src/padicotm/CMakeFiles/padico_padicotm.dir/vlink.cpp.o" "gcc" "src/padicotm/CMakeFiles/padico_padicotm.dir/vlink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/padico_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/madeleine/CMakeFiles/padico_madeleine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/padico_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/padico_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

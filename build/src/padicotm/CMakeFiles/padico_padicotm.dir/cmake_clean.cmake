@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_padicotm.dir/circuit.cpp.o"
+  "CMakeFiles/padico_padicotm.dir/circuit.cpp.o.d"
+  "CMakeFiles/padico_padicotm.dir/engine.cpp.o"
+  "CMakeFiles/padico_padicotm.dir/engine.cpp.o.d"
+  "CMakeFiles/padico_padicotm.dir/personality.cpp.o"
+  "CMakeFiles/padico_padicotm.dir/personality.cpp.o.d"
+  "CMakeFiles/padico_padicotm.dir/runtime.cpp.o"
+  "CMakeFiles/padico_padicotm.dir/runtime.cpp.o.d"
+  "CMakeFiles/padico_padicotm.dir/vlink.cpp.o"
+  "CMakeFiles/padico_padicotm.dir/vlink.cpp.o.d"
+  "libpadico_padicotm.a"
+  "libpadico_padicotm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_padicotm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for padico_padicotm.
+# This may be replaced when dependencies are built.

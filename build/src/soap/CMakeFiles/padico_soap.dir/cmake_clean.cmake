@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_soap.dir/soap.cpp.o"
+  "CMakeFiles/padico_soap.dir/soap.cpp.o.d"
+  "libpadico_soap.a"
+  "libpadico_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_sockets.dir/sockets.cpp.o"
+  "CMakeFiles/padico_sockets.dir/sockets.cpp.o.d"
+  "libpadico_sockets.a"
+  "libpadico_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

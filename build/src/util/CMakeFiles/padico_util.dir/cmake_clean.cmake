@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padico_util.dir/bytes.cpp.o"
+  "CMakeFiles/padico_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/padico_util.dir/error.cpp.o"
+  "CMakeFiles/padico_util.dir/error.cpp.o.d"
+  "CMakeFiles/padico_util.dir/log.cpp.o"
+  "CMakeFiles/padico_util.dir/log.cpp.o.d"
+  "CMakeFiles/padico_util.dir/simtime.cpp.o"
+  "CMakeFiles/padico_util.dir/simtime.cpp.o.d"
+  "CMakeFiles/padico_util.dir/stats.cpp.o"
+  "CMakeFiles/padico_util.dir/stats.cpp.o.d"
+  "CMakeFiles/padico_util.dir/strings.cpp.o"
+  "CMakeFiles/padico_util.dir/strings.cpp.o.d"
+  "CMakeFiles/padico_util.dir/xml.cpp.o"
+  "CMakeFiles/padico_util.dir/xml.cpp.o.d"
+  "libpadico_util.a"
+  "libpadico_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padico_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gridccm.dir/test_gridccm.cpp.o"
+  "CMakeFiles/test_gridccm.dir/test_gridccm.cpp.o.d"
+  "test_gridccm"
+  "test_gridccm.pdb"
+  "test_gridccm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gridccm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

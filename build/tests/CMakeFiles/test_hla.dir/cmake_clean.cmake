@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hla.dir/test_hla.cpp.o"
+  "CMakeFiles/test_hla.dir/test_hla.cpp.o.d"
+  "test_hla"
+  "test_hla.pdb"
+  "test_hla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowlevel.dir/test_lowlevel.cpp.o"
+  "CMakeFiles/test_lowlevel.dir/test_lowlevel.cpp.o.d"
+  "test_lowlevel"
+  "test_lowlevel.pdb"
+  "test_lowlevel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_padicotm.dir/test_padicotm.cpp.o"
+  "CMakeFiles/test_padicotm.dir/test_padicotm.cpp.o.d"
+  "test_padicotm"
+  "test_padicotm.pdb"
+  "test_padicotm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_padicotm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

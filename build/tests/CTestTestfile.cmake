@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_lowlevel[1]_include.cmake")
+include("/root/repo/build/tests/test_padicotm[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_corba[1]_include.cmake")
+include("/root/repo/build/tests/test_soap[1]_include.cmake")
+include("/root/repo/build/tests/test_ccm[1]_include.cmake")
+include("/root/repo/build/tests/test_gridccm[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_hla[1]_include.cmake")
