@@ -1,0 +1,248 @@
+// Wall-clock microbenchmark of the hot-path fast lanes (route cache,
+// redistribution-plan cache, persistent fan-out pool). Unlike the fig/table
+// benches, the metric here is REAL time: the same repeated-invocation
+// workloads run with the fast lanes enabled and disabled; the serial
+// (scheduling-insensitive) workload must produce bit-identical virtual
+// times while the enabled runs finish faster. Prints one JSON object.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "ccm/deployer.hpp"
+#include "gridccm/component.hpp"
+#include "osal/sync.hpp"
+#include "padicotm/runtime.hpp"
+#include "util/cache.hpp"
+
+namespace padico::bench {
+namespace {
+
+using namespace padico::fabric;
+using namespace padico::gridccm;
+
+constexpr int kClients = 4;
+constexpr int kIters = 400;
+constexpr std::size_t kGlobalLen = 32768; // elements (int32)
+
+/// Server side: the Fig. 8 op body (a member barrier), but invoked from a
+/// mismatched client layout so every call needs a real redistribution plan
+/// and a multi-server fan-out.
+class HotpathComp : public ParallelComponent {
+public:
+    HotpathComp() {
+        declare_parallel_facet(
+            R"(<parallel-interface component="HotpathComp" facet="hot"
+                                   distribution="block">
+                 <operation name="xfer" argument="block"/>
+               </parallel-interface>)",
+            {{"xfer", [](const OpContext& ctx, util::Message) {
+                  if (ctx.comm != nullptr) ctx.comm->barrier();
+                  return util::Message();
+              }}});
+    }
+    std::string type() const override { return "HotpathComp"; }
+};
+
+void install_component() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        ccm::ComponentRegistry::register_type(
+            "HotpathComp", [] { return std::make_unique<HotpathComp>(); });
+    });
+}
+
+struct RunResult {
+    double wall_ms = 0;
+    SimTime virtual_end = 0;
+    ptm::TrafficCounters::RouteCache route;
+    PlanCacheStats plans;
+};
+
+/// `serial`: one sequential client invoking a one-member component, with
+/// the deployer hosted by the client process so exactly two processes ever
+/// exchange messages — every virtual-time event is strictly ordered, so
+/// the enabled and disabled runs must agree bit-for-bit. Otherwise 4
+/// block-cyclic clients onto 3 members: each call fans out to 2-3 servers
+/// through the worker pool; contended adapter reservations make its
+/// completion time booking-order-sensitive (already true of the
+/// thread-per-call baseline), so only wall-clock is compared there.
+RunResult run_workload(bool fast_lanes, bool serial) {
+    util::set_caches_enabled(fast_lanes);
+    reset_plan_cache();
+    install_component();
+    const int kServers = serial ? 1 : 3;
+    const int nClients = serial ? 1 : kClients;
+
+    Testbed tb(kServers + nClients);
+    const std::string assembly_xml = util::strfmt(
+        R"(<assembly name="hotpath">
+             <component id="hot" type="HotpathComp" parallel="%d"/>
+           </assembly>)",
+        kServers);
+
+    for (int i = 0; i < kServers; ++i)
+        tb.grid.spawn(*tb.nodes[static_cast<std::size_t>(i)],
+                      [](Process& proc) {
+                          ccm::component_server_main(
+                              proc, corba::profile_omniorb4());
+                      });
+
+    corba::IOR home;
+    std::mutex home_mu;
+    osal::Event home_ready;
+    RunResult res;
+    std::mutex res_mu;
+
+    if (!serial) {
+        auto& front = tb.grid.add_machine("front");
+        tb.grid.attach(front, tb.grid.segment("eth0"));
+        tb.grid.spawn(front, [&](Process& proc) {
+            ptm::Runtime rt(proc);
+            corba::Orb orb(rt, corba::profile_omniorb4());
+            ccm::Deployer deployer(orb);
+            auto dep = deployer.deploy(ccm::Assembly::parse(assembly_xml));
+            {
+                std::lock_guard<std::mutex> lk(home_mu);
+                home = deployer.facet_of(dep, ccm::PortAddr{"hot", "hot"});
+            }
+            home_ready.set();
+            proc.grid().wait_service("hotpath/done");
+            deployer.teardown(dep);
+            for (int i = 0; i < kServers; ++i)
+                ccm::connect_component_server(
+                    orb, tb.nodes[static_cast<std::size_t>(i)]->name())
+                    .shutdown();
+        });
+    }
+
+    for (int r = 0; r < nClients; ++r) {
+        tb.grid.spawn(*tb.nodes[static_cast<std::size_t>(kServers + r)],
+                      [&, r](Process& proc) {
+            ptm::Runtime rt(proc);
+            corba::Orb orb(rt, corba::profile_omniorb4());
+            std::shared_ptr<mpi::World> world;
+            mpi::Comm* comm = nullptr;
+            std::unique_ptr<ccm::Deployer> deployer;
+            std::optional<ccm::Deployment> dep;
+            corba::IOR h;
+            if (serial) {
+                deployer = std::make_unique<ccm::Deployer>(orb);
+                dep = deployer->deploy(ccm::Assembly::parse(assembly_xml));
+                h = deployer->facet_of(*dep, ccm::PortAddr{"hot", "hot"});
+            } else {
+                home_ready.wait();
+                proc.grid().register_service(
+                    "hotpath/client/" + std::to_string(r), proc.id());
+                std::vector<ProcessId> members(
+                    static_cast<std::size_t>(nClients));
+                for (int i = 0; i < nClients; ++i)
+                    members[static_cast<std::size_t>(i)] =
+                        proc.grid().wait_service("hotpath/client/" +
+                                                 std::to_string(i));
+                world = mpi::World::create(rt, "hotclients", members);
+                comm = &world->world();
+                std::lock_guard<std::mutex> lk(home_mu);
+                h = home;
+            }
+            const Distribution cdist =
+                serial ? Distribution::block()
+                       : Distribution::block_cyclic(4096);
+            auto stub = serial
+                            ? std::make_unique<ParallelStub>(orb, h)
+                            : std::make_unique<ParallelStub>(orb, *comm, h,
+                                                             cdist);
+            std::vector<std::int32_t> local(
+                cdist.local_size(r, nClients, kGlobalLen), 1);
+
+            stub->invoke<std::int32_t>(
+                "xfer", std::span<const std::int32_t>(local),
+                kGlobalLen); // warm up
+            if (comm != nullptr) comm->barrier();
+            const auto w0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < kIters; ++i)
+                stub->invoke<std::int32_t>(
+                    "xfer", std::span<const std::int32_t>(local),
+                    kGlobalLen);
+            if (comm != nullptr) comm->barrier();
+            const auto w1 = std::chrono::steady_clock::now();
+            if (r == 0) {
+                std::lock_guard<std::mutex> lk(res_mu);
+                res.wall_ms =
+                    std::chrono::duration<double, std::milli>(w1 - w0)
+                        .count();
+                res.virtual_end = proc.now();
+                res.route = rt.stats().route_cache;
+            }
+            if (comm != nullptr) comm->barrier();
+            if (serial) {
+                deployer->teardown(*dep);
+                ccm::connect_component_server(orb, tb.nodes[0]->name())
+                    .shutdown();
+            } else if (r == 0) {
+                proc.grid().register_service("hotpath/done", proc.id());
+            }
+        });
+    }
+    tb.grid.join_all();
+    res.plans = plan_cache_stats();
+    return res;
+}
+
+void print_run(const char* name, const RunResult& r, bool last) {
+    std::printf(
+        "  \"%s\": {\"wall_ms\": %.2f, \"virtual_us\": %.3f,\n"
+        "    \"route_cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"invalidations\": %llu},\n"
+        "    \"plan_cache\": {\"hits\": %llu, \"misses\": %llu}}%s\n",
+        name, r.wall_ms, to_usec(r.virtual_end),
+        static_cast<unsigned long long>(r.route.hits),
+        static_cast<unsigned long long>(r.route.misses),
+        static_cast<unsigned long long>(r.route.invalidations),
+        static_cast<unsigned long long>(r.plans.hits),
+        static_cast<unsigned long long>(r.plans.misses), last ? "" : ",");
+}
+
+int run() {
+    // Baselines (fast lanes off) first so cold-start costs cannot be
+    // blamed on the enabled runs.
+    const RunResult fan_off = run_workload(false, false);
+    const RunResult fan_on = run_workload(true, false);
+    const RunResult ser_off = run_workload(false, true);
+    const RunResult ser_on = run_workload(true, true);
+    const double fan_speedup =
+        fan_on.wall_ms > 0 ? fan_off.wall_ms / fan_on.wall_ms : 0.0;
+    const double ser_speedup =
+        ser_on.wall_ms > 0 ? ser_off.wall_ms / ser_on.wall_ms : 0.0;
+    const bool identical = ser_off.virtual_end == ser_on.virtual_end;
+
+    std::printf("{\n  \"bench\": \"hotpath\", \"iters\": %d, "
+                "\"clients\": %d, \"global_len\": %zu,\n",
+                kIters, kClients, kGlobalLen);
+    std::printf(" \"fanout\": {\n");
+    print_run("fast_lanes_off", fan_off, false);
+    print_run("fast_lanes_on", fan_on, false);
+    std::printf("  \"speedup\": %.2f},\n", fan_speedup);
+    std::printf(" \"serial\": {\n");
+    print_run("fast_lanes_off", ser_off, false);
+    print_run("fast_lanes_on", ser_on, false);
+    std::printf("  \"speedup\": %.2f,\n"
+                "  \"virtual_time_identical\": %s},\n",
+                ser_speedup, identical ? "true" : "false");
+    std::printf("  \"speedup\": %.2f,\n  \"virtual_time_identical\": %s\n}\n",
+                fan_speedup, identical ? "true" : "false");
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: virtual time diverged (off %.3fus vs on %.3fus)\n",
+                     to_usec(ser_off.virtual_end),
+                     to_usec(ser_on.virtual_end));
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace padico::bench
+
+int main() { return padico::bench::run(); }

@@ -109,6 +109,7 @@ PortRef Adapter::open(Process& p, const std::string& owner_tag) {
             std::lock_guard<std::mutex> rk(segment_->route_mu_);
             segment_->routes_[p.id()] = it->second.get();
         }
+        segment_->grid_->bump_route_generation();
         segment_->route_cv_.notify_all();
         PLOG(debug, "fabric") << "open " << machine_->name() << "/"
                               << segment_->name() << " by " << owner_tag
@@ -136,6 +137,7 @@ void Adapter::release(Port* port) {
         std::lock_guard<std::mutex> rk(segment_->route_mu_);
         segment_->routes_.erase(pid);
     }
+    segment_->grid_->bump_route_generation();
     port->rx_.close();
     ports_.erase(pid);
 }
@@ -147,6 +149,17 @@ Port* NetworkSegment::port_for(ProcessId pid) {
     std::lock_guard<std::mutex> lk(route_mu_);
     auto it = routes_.find(pid);
     return it == routes_.end() ? nullptr : it->second;
+}
+
+NetworkSegment::RouteSnapshot NetworkSegment::route_snapshot() {
+    // Generation first: if a route changes while we copy, the snapshot's
+    // stamp is already stale and consumers revalidate — never the reverse.
+    RouteSnapshot snap;
+    snap.generation = grid_->route_generation();
+    std::lock_guard<std::mutex> lk(route_mu_);
+    snap.routes.reserve(routes_.size());
+    for (const auto& [pid, port] : routes_) snap.routes.emplace_back(pid, port);
+    return snap;
 }
 
 Port* NetworkSegment::wait_port_for(ProcessId pid) {

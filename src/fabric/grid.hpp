@@ -10,6 +10,8 @@
 /// different owner tags throws ResourceConflict. PadicoTM's arbitration
 /// layer is the component that opens each adapter once and multiplexes it.
 
+#include <atomic>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <map>
@@ -178,6 +180,16 @@ public:
     /// The port of process \p pid on this segment, or nullptr.
     Port* port_for(ProcessId pid);
 
+    /// Point-in-time copy of the routes open on this segment, stamped with
+    /// the grid route generation it was taken at: a consumer holding a
+    /// snapshot knows it is current as long as Grid::route_generation()
+    /// has not moved.
+    struct RouteSnapshot {
+        std::uint64_t generation = 0;
+        std::vector<std::pair<ProcessId, Port*>> routes;
+    };
+    RouteSnapshot route_snapshot();
+
     /// Like port_for, but when the process's machine IS attached to this
     /// segment, blocks until the process opens its port (processes boot
     /// asynchronously; a sender may race a slower peer's startup). Returns
@@ -325,7 +337,21 @@ public:
     std::vector<NetworkSegment*> common_segments(const Machine& a,
                                                  const Machine& b);
 
+    /// Monotonic counter bumped whenever a port opens or closes anywhere
+    /// on the grid. Layers that cache routing decisions (e.g. the
+    /// runtime's destination→segment cache) stamp entries with this and
+    /// revalidate on mismatch instead of re-deriving per message.
+    std::uint64_t route_generation() const noexcept {
+        return route_gen_.load(std::memory_order_acquire);
+    }
+
 private:
+    friend class Adapter;
+    void bump_route_generation() noexcept {
+        route_gen_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    std::atomic<std::uint64_t> route_gen_{0};
     std::vector<std::unique_ptr<Machine>> machines_;
     std::vector<std::unique_ptr<NetworkSegment>> segments_;
     std::vector<std::unique_ptr<Adapter>> adapters_;

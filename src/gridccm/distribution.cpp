@@ -1,7 +1,12 @@
 #include "gridccm/distribution.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <tuple>
 
+#include "util/cache.hpp"
 #include "util/strings.hpp"
 
 namespace padico::gridccm {
@@ -210,6 +215,69 @@ RedistPlan compute_plan(const Distribution& src_dist, int n_src,
         }
     }
     return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+
+namespace {
+
+// (src kind, src grain, n_src, dst kind, dst grain, n_dst, len)
+using PlanKey = std::tuple<int, std::size_t, int, int, std::size_t, int,
+                           std::size_t>;
+
+std::mutex g_plan_mu;
+std::map<PlanKey, PlanPtr>& plan_table() {
+    static std::map<PlanKey, PlanPtr> t;
+    return t;
+}
+std::atomic<std::uint64_t> g_plan_hits{0};
+std::atomic<std::uint64_t> g_plan_misses{0};
+
+} // namespace
+
+PlanPtr shared_plan(const Distribution& src_dist, int n_src,
+                    const Distribution& dst_dist, int n_dst,
+                    std::size_t len) {
+    if (!util::caches_enabled()) {
+        // Full bypass: fresh object, counters untouched (so a disabled run
+        // reports 0/0 rather than fake misses).
+        return std::make_shared<const RedistPlan>(
+            compute_plan(src_dist, n_src, dst_dist, n_dst, len));
+    }
+    const PlanKey key{static_cast<int>(src_dist.kind), src_dist.grain, n_src,
+                      static_cast<int>(dst_dist.kind), dst_dist.grain, n_dst,
+                      len};
+    {
+        std::lock_guard<std::mutex> lk(g_plan_mu);
+        auto it = plan_table().find(key);
+        if (it != plan_table().end()) {
+            g_plan_hits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Compute outside the lock (plans can be large); concurrent fillers of
+    // the same key agree on the value, the first insert wins.
+    g_plan_misses.fetch_add(1, std::memory_order_relaxed);
+    auto plan = std::make_shared<const RedistPlan>(
+        compute_plan(src_dist, n_src, dst_dist, n_dst, len));
+    std::lock_guard<std::mutex> lk(g_plan_mu);
+    auto [it, inserted] = plan_table().try_emplace(key, std::move(plan));
+    return it->second;
+}
+
+PlanCacheStats plan_cache_stats() {
+    PlanCacheStats s;
+    s.hits = g_plan_hits.load(std::memory_order_relaxed);
+    s.misses = g_plan_misses.load(std::memory_order_relaxed);
+    return s;
+}
+
+void reset_plan_cache() {
+    std::lock_guard<std::mutex> lk(g_plan_mu);
+    plan_table().clear();
+    g_plan_hits.store(0, std::memory_order_relaxed);
+    g_plan_misses.store(0, std::memory_order_relaxed);
 }
 
 } // namespace padico::gridccm

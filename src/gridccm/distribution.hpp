@@ -12,6 +12,7 @@
 /// sequences, which compose out of the 1D machinery.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -108,5 +109,28 @@ struct RedistPlan {
 RedistPlan compute_plan(const Distribution& src_dist, int n_src,
                         const Distribution& dst_dist, int n_dst,
                         std::size_t len);
+
+/// Immutable shared handle onto a redistribution plan.
+using PlanPtr = std::shared_ptr<const RedistPlan>;
+
+/// Fast lane: process-wide memoized plans, keyed by
+/// (src_dist, n_src, dst_dist, n_dst, len). A plan is pure — it depends
+/// only on the key — so every stub, skeleton and strategy chooser asking
+/// for the same shape shares ONE computation instead of re-deriving the
+/// communication matrix per call. Bypasses the table (computes fresh)
+/// when util::caches_enabled() is off.
+PlanPtr shared_plan(const Distribution& src_dist, int n_src,
+                    const Distribution& dst_dist, int n_dst,
+                    std::size_t len);
+
+/// Plan-cache effectiveness counters (process-wide).
+struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+PlanCacheStats plan_cache_stats();
+
+/// Drop every memoized plan and zero the counters (benches/tests).
+void reset_plan_cache();
 
 } // namespace padico::gridccm

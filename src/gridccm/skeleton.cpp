@@ -68,8 +68,9 @@ std::vector<int> contacted_servers(Strategy strat,
     }
     switch (strat) {
     case Strategy::InFlight: {
-        const RedistPlan in = compute_plan(cdist, n_c, sdist, n_s, len);
-        for (int s : in.targets_of(r)) hit[static_cast<std::size_t>(s)] = true;
+        const PlanPtr in = shared_plan(cdist, n_c, sdist, n_s, len);
+        for (int s : in->targets_of(r))
+            hit[static_cast<std::size_t>(s)] = true;
         break;
     }
     case Strategy::ClientSide: {
@@ -89,8 +90,8 @@ std::vector<int> contacted_servers(Strategy strat,
         throw UsageError("Auto must be resolved before wire use");
     }
     if (result_distributed) {
-        const RedistPlan out = compute_plan(sdist, n_s, cdist, n_c, len);
-        for (const auto& f : out.fragments)
+        const PlanPtr out = shared_plan(sdist, n_s, cdist, n_c, len);
+        for (const auto& f : out->fragments)
             if (f.dst == r) hit[static_cast<std::size_t>(f.src)] = true;
     }
     std::vector<int> out;
@@ -141,9 +142,10 @@ util::ByteBuf ParallelSkeleton::server_side_shuffle(Invocation& inv,
     // communicator so each member ends up with its own block.
     const std::size_t esz = h.elem_size;
     const int n_s = desc_.members;
-    const RedistPlan plan =
-        compute_plan(h.client_dist, static_cast<int>(h.n_clients),
-                     desc_.server_dist, n_s, h.global_len);
+    const PlanPtr plan_ptr =
+        shared_plan(h.client_dist, static_cast<int>(h.n_clients),
+                    desc_.server_dist, n_s, h.global_len);
+    const RedistPlan& plan = *plan_ptr;
 
     // Build one message per destination member: [u32 count,
     // {u64 dst_off, u64 len, payload}...]. Count first, ONE stream per
@@ -232,10 +234,10 @@ void ParallelSkeleton::run_operation(Invocation& inv, const FragHeader& h,
                                  rank_, desc_.members, h.global_len) *
                                  h.elem_size,
             "operation result block has the wrong length");
-        inv.out_plan = compute_plan(desc_.server_dist, desc_.members,
-                                    h.client_dist,
-                                    static_cast<int>(h.n_clients),
-                                    h.global_len);
+        inv.out_plan = shared_plan(desc_.server_dist, desc_.members,
+                                   h.client_dist,
+                                   static_cast<int>(h.n_clients),
+                                   h.global_len);
     } else {
         PADICO_CHECK(result.empty(),
                      "operation declared void returned data");
@@ -340,7 +342,7 @@ void ParallelSkeleton::handle_frag(corba::cdr::Decoder& in,
     // the stream start, so sub-encoders cannot be concatenated inline.
     std::vector<const Fragment*> mine;
     if (opd.result_distributed) {
-        for (const auto& f : inv.out_plan.fragments) {
+        for (const auto& f : inv.out_plan->fragments) {
             if (f.src == rank_ &&
                 f.dst == static_cast<int>(h.client_rank))
                 mine.push_back(&f);

@@ -93,7 +93,7 @@ private:
         std::map<std::uint32_t, util::ByteBuf> raw;
         // Result: this member's local result block (empty for void ops).
         util::Message result;
-        RedistPlan out_plan; ///< server layout -> client layout
+        PlanPtr out_plan; ///< server layout -> client layout (shared)
         std::condition_variable cv;
     };
 

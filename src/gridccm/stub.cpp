@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "util/cache.hpp"
 #include "util/log.hpp"
 
 namespace padico::gridccm {
@@ -97,10 +98,10 @@ Strategy ParallelStub::choose_strategy(std::size_t global_len,
     // consolidate.
     if (n_clients_ == n_s && client_dist_ == desc_.server_dist)
         return Strategy::InFlight;
-    const RedistPlan plan = compute_plan(client_dist_, n_clients_,
-                                         desc_.server_dist, n_s, global_len);
+    const PlanPtr plan = shared_plan(client_dist_, n_clients_,
+                                     desc_.server_dist, n_s, global_len);
     const std::size_t total_frags = std::max<std::size_t>(
-        1, plan.fragments.size());
+        1, plan->fragments.size());
     const std::size_t avg_frag_bytes =
         global_len * elem_size / total_frags;
     // Mismatched *contiguous* layouts (block->block with different node
@@ -215,10 +216,9 @@ util::Message ParallelStub::invoke(const std::string& op,
 
     switch (strategy) {
     case Strategy::InFlight: {
-        const RedistPlan plan = compute_plan(client_dist_, n_clients_,
-                                             desc_.server_dist, n_s,
-                                             global_len);
-        for (const auto& f : plan.from(rank_)) per_server[f.dst].push_back(f);
+        const PlanPtr plan = shared_plan(client_dist_, n_clients_,
+                                         desc_.server_dist, n_s, global_len);
+        for (const auto& f : plan->from(rank_)) per_server[f.dst].push_back(f);
         break;
     }
     case Strategy::ServerSide: {
@@ -236,9 +236,10 @@ util::Message ParallelStub::invoke(const std::string& op,
     }
     case Strategy::ClientSide: {
         PADICO_CHECK(group_ != nullptr, "client-side strategy needs a group");
-        const RedistPlan plan = compute_plan(client_dist_, n_clients_,
+        const PlanPtr plan_ptr = shared_plan(client_dist_, n_clients_,
                                              desc_.server_dist, n_s,
                                              global_len);
+        const RedistPlan& plan = *plan_ptr;
         // Staging layout of each client: its owned server blocks in
         // ascending server order.
         auto staging_off = [&](int owner, int server) {
@@ -344,9 +345,26 @@ util::Message ParallelStub::invoke(const std::string& op,
         for (int s : contacts)
             contact_server(s, header, frags_for(s), data, elem_size,
                            opd.result_distributed ? &result : nullptr);
-    } else {
+    } else if (util::caches_enabled()) {
         // Fan out in parallel: all nodes of a parallel component
         // participate in inter-component communication (paper §4.2.1).
+        // Fast lane: the persistent pool reuses its workers across
+        // invocations instead of a spawn/join per contacted server.
+        if (!fanout_) {
+            fabric::Process* bound = &proc;
+            fanout_ = std::make_unique<osal::TaskPool>(
+                [bound] { fabric::Process::bind_to_thread(bound); });
+        }
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(contacts.size());
+        for (int s : contacts) {
+            tasks.push_back([&, s] {
+                contact_server(s, header, frags_for(s), data, elem_size,
+                               opd.result_distributed ? &result : nullptr);
+            });
+        }
+        fanout_->run(std::move(tasks));
+    } else {
         std::vector<std::thread> threads;
         std::mutex err_mu;
         std::exception_ptr first_error;

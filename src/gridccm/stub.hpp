@@ -6,7 +6,10 @@
 /// operation is translated into fragment requests to the member nodes of
 /// the server component according to the redistribution plan and strategy.
 
+#include <memory>
+
 #include "gridccm/skeleton.hpp"
+#include "osal/sync.hpp"
 
 namespace padico::gridccm {
 
@@ -85,6 +88,11 @@ private:
     std::uint64_t next_seq_ = 1;
     std::map<int, corba::ObjectRef> members_;
     std::mutex members_mu_;
+    /// Fast lane: persistent fan-out workers, created on the first
+    /// multi-server invocation and reused for every later one (replaces a
+    /// std::thread spawn/join per contacted server per call). Unused when
+    /// util::caches_enabled() is off.
+    std::unique_ptr<osal::TaskPool> fanout_;
 };
 
 /// Shared stub/skeleton contact-set logic (defined in skeleton.cpp).

@@ -8,6 +8,8 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -81,6 +83,90 @@ private:
     std::size_t n_;
     std::size_t arrived_ = 0;
     std::size_t generation_ = 0;
+};
+
+/// Persistent worker pool for repeated fan-out batches: spawn threads
+/// once, reuse them for every batch instead of a spawn/join per call (the
+/// GridCCM stub's per-invocation fan-out is the motivating hot path).
+///
+/// run() grows the pool to the batch size — tasks may block on replies, so
+/// full batch concurrency is preserved exactly as with one fresh thread
+/// per task — dispatches the batch, blocks until every task finished, and
+/// rethrows the first exception any task threw. Workers run \p thread_init
+/// once at startup (middleware threads bind to their owning fabric
+/// process there). One batch at a time: run() is not reentrant.
+class TaskPool {
+public:
+    explicit TaskPool(std::function<void()> thread_init = {})
+        : thread_init_(std::move(thread_init)) {}
+    TaskPool(const TaskPool&) = delete;
+    TaskPool& operator=(const TaskPool&) = delete;
+
+    ~TaskPool() {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (auto& t : threads_) t.join();
+    }
+
+    void run(std::vector<std::function<void()>> tasks) {
+        if (tasks.empty()) return;
+        std::unique_lock<std::mutex> lk(mu_);
+        while (threads_.size() < tasks.size())
+            threads_.emplace_back([this] { worker(); });
+        first_error_ = nullptr;
+        inflight_ = tasks.size();
+        for (auto& t : tasks) queue_.push_back(std::move(t));
+        work_cv_.notify_all();
+        done_cv_.wait(lk, [&] { return inflight_ == 0; });
+        if (first_error_) {
+            std::exception_ptr e = first_error_;
+            first_error_ = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return threads_.size();
+    }
+
+private:
+    void worker() {
+        if (thread_init_) thread_init_();
+        std::unique_lock<std::mutex> lk(mu_);
+        while (true) {
+            work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_) return;
+                continue;
+            }
+            auto task = std::move(queue_.front());
+            queue_.pop_front();
+            lk.unlock();
+            std::exception_ptr err;
+            try {
+                task();
+            } catch (...) {
+                err = std::current_exception();
+            }
+            lk.lock();
+            if (err && !first_error_) first_error_ = err;
+            if (--inflight_ == 0) done_cv_.notify_all();
+        }
+    }
+
+    std::function<void()> thread_init_;
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t inflight_ = 0;
+    std::exception_ptr first_error_;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
 };
 
 /// Owns a set of threads; joins them on destruction (RAII).

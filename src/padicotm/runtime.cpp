@@ -1,7 +1,11 @@
 #include "padicotm/runtime.hpp"
 
+#include <array>
+#include <cstring>
+
 #include "madeleine/madeleine.hpp"
 #include "sockets/sockets.hpp"
+#include "util/cache.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -43,9 +47,13 @@ std::shared_ptr<Module> ModuleManager::load(const std::string& name) {
         factory = it->second;
     }
     auto mod = factory(*rt_);
+    // Two threads may have raced past the first check and both run the
+    // factory; re-check under the lock and keep the winner's instance so
+    // every caller observes ONE module per name (the loser's construct is
+    // discarded, matching dlopen's once-per-name semantics).
     std::lock_guard<std::mutex> lk(mu_);
-    loaded_[name] = mod;
-    return mod;
+    auto [it, inserted] = loaded_.try_emplace(name, std::move(mod));
+    return it->second;
 }
 
 void ModuleManager::unload(const std::string& name) {
@@ -93,12 +101,62 @@ WireCosts wire_costs_for(const fabric::NetworkSegment& seg) {
 // ---------------------------------------------------------------------------
 // Security personality
 
+namespace {
+
+constexpr std::uint32_t kCryptMul = 1664525u;
+constexpr std::uint32_t kCryptAdd = 1013904223u;
+
+/// Affine composition of k LCG steps: key_{n+k} = mul * key_n + add.
+struct LcgJump {
+    std::uint32_t mul = 1;
+    std::uint32_t add = 0;
+};
+
+constexpr LcgJump lcg_jump(int k) {
+    LcgJump j;
+    for (int i = 0; i < k; ++i) {
+        j.mul *= kCryptMul;
+        j.add = j.add * kCryptMul + kCryptAdd;
+    }
+    return j;
+}
+
+constexpr std::array<LcgJump, 9> kCryptJumps = [] {
+    std::array<LcgJump, 9> a{};
+    for (int k = 0; k < 9; ++k) a[static_cast<std::size_t>(k)] = lcg_jump(k);
+    return a;
+}();
+
+} // namespace
+
 util::Message crypt(const util::Message& m) {
+    // XOR with the top byte of an LCG keystream, 8 bytes per iteration:
+    // the eight keystream words of a block are derived independently from
+    // the block's entry key via precomputed k-step jumps, so the multiplies
+    // pipeline instead of forming one serial dependency chain per byte.
+    // Byte-exact match with the byte-serial reference is asserted by
+    // Security.CryptMatchesByteSerialReference (wire compatibility).
     util::ByteBuf flat = m.gather();
+    util::byte* p = flat.data();
+    const std::size_t n = flat.size();
     std::uint32_t key = 0x9d2c5680u;
-    for (std::size_t i = 0; i < flat.size(); ++i) {
-        key = key * 1664525u + 1013904223u;
-        flat.data()[i] ^= static_cast<util::byte>(key >> 24);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        util::byte ks[8];
+        for (int j = 0; j < 8; ++j) {
+            const LcgJump& jmp = kCryptJumps[static_cast<std::size_t>(j + 1)];
+            ks[j] = static_cast<util::byte>((jmp.mul * key + jmp.add) >> 24);
+        }
+        std::uint64_t w, k64;
+        std::memcpy(&w, p + i, 8);
+        std::memcpy(&k64, ks, 8);
+        w ^= k64;
+        std::memcpy(p + i, &w, 8);
+        key = kCryptJumps[8].mul * key + kCryptJumps[8].add;
+    }
+    for (; i < n; ++i) {
+        key = key * kCryptMul + kCryptAdd;
+        p[i] ^= static_cast<util::byte>(key >> 24);
     }
     return util::to_message(std::move(flat));
 }
@@ -108,7 +166,7 @@ util::Message crypt(const util::Message& m) {
 
 Runtime::Runtime(fabric::Process& proc, RuntimeOptions opts)
     : proc_(&proc), opts_(opts), engine_(proc, opts.demux_cost),
-      modules_(*this) {}
+      modules_(*this), seg_stats_(engine_.segments().size()) {}
 
 fabric::ChannelId Runtime::fresh_channel(const std::string& prefix) {
     const std::uint64_t n = next_dyn_.fetch_add(1);
@@ -118,14 +176,45 @@ fabric::ChannelId Runtime::fresh_channel(const std::string& prefix) {
 }
 
 fabric::NetworkSegment* Runtime::select_segment(fabric::ProcessId dst) {
+    // Generation captured BEFORE the derivation: if a port opens or closes
+    // while we compute, the stored entry is already stale and the next
+    // lookup revalidates — never the reverse.
+    const std::uint64_t gen = grid().route_generation();
+    const bool fast = util::caches_enabled();
+    if (fast) {
+        std::lock_guard<std::mutex> lk(route_cache_mu_);
+        auto it = route_cache_.find(dst);
+        if (it != route_cache_.end()) {
+            if (it->second.gen == gen) {
+                route_hits_.fetch_add(1, std::memory_order_relaxed);
+                return it->second.seg;
+            }
+            route_invalidations_.fetch_add(1, std::memory_order_relaxed);
+            route_cache_.erase(it);
+        }
+    }
+    route_misses_.fetch_add(1, std::memory_order_relaxed);
+    fabric::NetworkSegment* found = nullptr;
     fabric::Machine& peer = grid().wait_process(dst).machine();
     for (fabric::NetworkSegment* seg :
          grid().common_segments(proc_->machine(), peer)) {
         if (engine_.port_on(*seg) == nullptr) continue; // not arbitrated here
         if (seg->port_for(dst) == nullptr) continue;    // peer engine not up
-        return seg;
+        found = seg;
+        break;
     }
-    return nullptr;
+    if (fast) {
+        std::lock_guard<std::mutex> lk(route_cache_mu_);
+        route_cache_[dst] = RouteEntry{found, gen};
+    }
+    return found;
+}
+
+Runtime::CachedRoute Runtime::cached_route(fabric::ProcessId dst) const {
+    std::lock_guard<std::mutex> lk(route_cache_mu_);
+    auto it = route_cache_.find(dst);
+    if (it == route_cache_.end()) return CachedRoute{};
+    return CachedRoute{it->second.seg, it->second.gen, true};
 }
 
 bool Runtime::would_encrypt(const fabric::NetworkSegment& seg) const {
@@ -161,19 +250,39 @@ fabric::NetworkSegment* Runtime::post(fabric::ProcessId dst,
 
     fabric::Port* port = engine_.port_on(*seg);
     clk.set(port->send(dst, ch, std::move(msg), clk.now(), flags));
-    {
-        std::lock_guard<std::mutex> lk(stats_mu_);
-        auto& c = stats_.by_segment[seg->name()];
-        ++c.messages;
-        c.bytes += bytes;
-        if (flags & fabric::kFlagEncrypted) ++c.encrypted_messages;
+    // Per-segment accounting on atomics: the slot index is the segment's
+    // position in the engine's (fixed) segment list, so the per-message
+    // path never takes a stats lock.
+    const auto& segs = engine_.segments();
+    for (std::size_t slot = 0; slot < segs.size(); ++slot) {
+        if (segs[slot] != seg) continue;
+        SegSlot& c = seg_stats_[slot];
+        c.messages.fetch_add(1, std::memory_order_relaxed);
+        c.bytes.fetch_add(bytes, std::memory_order_relaxed);
+        if (flags & fabric::kFlagEncrypted)
+            c.encrypted.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
     return seg;
 }
 
 TrafficCounters Runtime::stats() const {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    return stats_;
+    TrafficCounters out;
+    const auto& segs = engine_.segments();
+    for (std::size_t slot = 0; slot < segs.size(); ++slot) {
+        const SegSlot& c = seg_stats_[slot];
+        const std::uint64_t msgs = c.messages.load(std::memory_order_relaxed);
+        if (msgs == 0) continue;
+        auto& per = out.by_segment[segs[slot]->name()];
+        per.messages = msgs;
+        per.bytes = c.bytes.load(std::memory_order_relaxed);
+        per.encrypted_messages = c.encrypted.load(std::memory_order_relaxed);
+    }
+    out.route_cache.hits = route_hits_.load(std::memory_order_relaxed);
+    out.route_cache.misses = route_misses_.load(std::memory_order_relaxed);
+    out.route_cache.invalidations =
+        route_invalidations_.load(std::memory_order_relaxed);
+    return out;
 }
 
 std::string TrafficCounters::to_string() const {
@@ -185,6 +294,13 @@ std::string TrafficCounters::to_string() const {
                             static_cast<unsigned long long>(c.bytes),
                             static_cast<unsigned long long>(
                                 c.encrypted_messages));
+    }
+    if (route_cache.hits + route_cache.misses != 0) {
+        out += util::strfmt(
+            "route-cache: %llu hits, %llu misses, %llu invalidations\n",
+            static_cast<unsigned long long>(route_cache.hits),
+            static_cast<unsigned long long>(route_cache.misses),
+            static_cast<unsigned long long>(route_cache.invalidations));
     }
     return out;
 }

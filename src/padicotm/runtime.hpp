@@ -5,7 +5,10 @@
 /// the security personality, and the module manager.
 
 #include <atomic>
+#include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "padicotm/engine.hpp"
 #include "padicotm/module.hpp"
@@ -49,6 +52,17 @@ struct TrafficCounters {
     };
     std::map<std::string, PerSegment> by_segment;
 
+    /// Route-cache effectiveness (the destination→segment fast lane): a
+    /// hit skips the per-message common_segments derivation entirely; an
+    /// invalidation is a cached entry dropped because the grid route
+    /// generation moved (port opened/released somewhere).
+    struct RouteCache {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t invalidations = 0;
+    };
+    RouteCache route_cache;
+
     std::uint64_t total_bytes() const {
         std::uint64_t t = 0;
         for (const auto& [name, c] : by_segment) t += c.bytes;
@@ -88,7 +102,23 @@ public:
     /// Best usable segment toward \p dst: highest attainable bandwidth among
     /// the segments this engine controls on which \p dst currently has a
     /// port. Returns nullptr when unreachable.
+    ///
+    /// Fast lane: the result is cached per destination, stamped with the
+    /// grid route generation; while no port opens or closes anywhere the
+    /// cached segment is returned without touching the topology. A
+    /// generation mismatch drops the entry and re-derives (ports may have
+    /// appeared, vanished, or moved to a better segment).
     fabric::NetworkSegment* select_segment(fabric::ProcessId dst);
+
+    /// Peek at the route-cache entry toward \p dst without filling or
+    /// validating it (tests/diagnostics). cached == false when no entry
+    /// exists; seg may be nullptr (a cached "unreachable" verdict).
+    struct CachedRoute {
+        fabric::NetworkSegment* seg = nullptr;
+        std::uint64_t generation = 0;
+        bool cached = false;
+    };
+    CachedRoute cached_route(fabric::ProcessId dst) const;
 
     /// Send \p msg to (dst, ch) over the automatically selected network,
     /// charging paradigm-appropriate software costs and applying the
@@ -127,13 +157,31 @@ public:
     TrafficCounters stats() const;
 
 private:
+    /// Lock-free traffic accounting: one slot per engine segment (the set
+    /// is fixed at engine construction), so post() only touches atomics on
+    /// the per-message path instead of a shared mutex + map.
+    struct SegSlot {
+        std::atomic<std::uint64_t> messages{0};
+        std::atomic<std::uint64_t> bytes{0};
+        std::atomic<std::uint64_t> encrypted{0};
+    };
+
+    struct RouteEntry {
+        fabric::NetworkSegment* seg = nullptr;
+        std::uint64_t gen = 0;
+    };
+
     fabric::Process* proc_;
     RuntimeOptions opts_;
     NetEngine engine_;
     ModuleManager modules_;
     std::atomic<std::uint64_t> next_dyn_{0};
-    mutable std::mutex stats_mu_;
-    TrafficCounters stats_;
+    std::vector<SegSlot> seg_stats_; ///< parallel to engine_.segments()
+    mutable std::mutex route_cache_mu_;
+    std::map<fabric::ProcessId, RouteEntry> route_cache_;
+    std::atomic<std::uint64_t> route_hits_{0};
+    std::atomic<std::uint64_t> route_misses_{0};
+    std::atomic<std::uint64_t> route_invalidations_{0};
 };
 
 /// XOR-scramble "encryption" used by the security personality. Real data

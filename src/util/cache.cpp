@@ -1,0 +1,31 @@
+#include "util/cache.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace padico::util {
+
+namespace {
+
+bool initial_state() {
+    const char* v = std::getenv("PADICO_DISABLE_CACHES");
+    return v == nullptr || *v == '\0' || std::string_view(v) == "0";
+}
+
+std::atomic<bool>& flag() {
+    static std::atomic<bool> enabled{initial_state()};
+    return enabled;
+}
+
+} // namespace
+
+bool caches_enabled() noexcept {
+    return flag().load(std::memory_order_relaxed);
+}
+
+void set_caches_enabled(bool on) noexcept {
+    flag().store(on, std::memory_order_relaxed);
+}
+
+} // namespace padico::util

@@ -1,0 +1,22 @@
+#pragma once
+/// \file cache.hpp
+/// Process-wide switch for the hot-path fast lanes: the runtime route
+/// cache, the gridccm redistribution-plan cache and the persistent fan-out
+/// worker pool. The fast lanes are pure wall-clock optimizations — virtual
+/// time results are bit-identical either way — so a single global toggle
+/// is enough: benches and tests flip it to measure/verify the invariant.
+///
+/// Defaults to enabled; the environment variable PADICO_DISABLE_CACHES
+/// (any value except "0") starts the process with the fast lanes off.
+
+namespace padico::util {
+
+/// True when the hot-path fast lanes are active.
+bool caches_enabled() noexcept;
+
+/// Flip the fast lanes at runtime (benches/tests). Callers that cached a
+/// decision keep using it until their own invalidation triggers; flip only
+/// between workloads, not mid-traffic.
+void set_caches_enabled(bool on) noexcept;
+
+} // namespace padico::util

@@ -1,0 +1,472 @@
+/// \file test_hotpath.cpp
+/// The hot-path fast lanes: destination→segment route cache (generation
+/// invalidation protocol), memoized redistribution plans, and the
+/// persistent fan-out pool — plus the governing invariant that turning
+/// every lane off changes nothing about virtual-time results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+#include "ccm/deployer.hpp"
+#include "gridccm/component.hpp"
+#include "osal/sync.hpp"
+#include "padicotm/runtime.hpp"
+#include "util/cache.hpp"
+#include "util/strings.hpp"
+
+namespace padico {
+namespace {
+
+using namespace padico::fabric;
+using namespace padico::gridccm;
+
+/// Restore the process-wide fast-lane toggle on scope exit (tests share
+/// one binary).
+struct LanesGuard {
+    explicit LanesGuard(bool on) : prev(util::caches_enabled()) {
+        util::set_caches_enabled(on);
+    }
+    ~LanesGuard() { util::set_caches_enabled(prev); }
+    bool prev;
+};
+
+// ---------------------------------------------------------------------------
+// Route cache
+
+TEST(RouteCache, RevalidatesOnPortOpenAndRelease) {
+    LanesGuard lanes(true);
+    Grid grid;
+    auto& myri = grid.add_segment("myri0", NetTech::Myrinet2000);
+    auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+    auto& m0 = grid.add_machine("n0");
+    auto& m1 = grid.add_machine("n1");
+    grid.attach(m0, myri);
+    grid.attach(m0, eth);
+    grid.attach(m1, myri);
+    grid.attach(m1, eth);
+
+    osal::Event eth_open, saw_eth, myri_open, saw_myri, myri_closed, done;
+
+    Process& pb = grid.spawn(m1, [&](Process& proc) {
+        // A raw peer (no Runtime): its ports appear and vanish under the
+        // sender's feet, exactly what the generation protocol must catch.
+        PortRef pe = m1.adapter_on(eth)->open(proc, "peer");
+        eth_open.set();
+        saw_eth.wait();
+        {
+            PortRef pm = m1.adapter_on(myri)->open(proc, "peer");
+            myri_open.set();
+            saw_myri.wait();
+        } // releases the Myrinet port
+        myri_closed.set();
+        done.wait();
+    });
+    const ProcessId bid = pb.id();
+
+    grid.spawn(m0, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        eth_open.wait();
+
+        // Only the Ethernet port exists: first lookup misses and derives.
+        EXPECT_EQ(rt.select_segment(bid), &eth);
+        auto rc = rt.stats().route_cache;
+        EXPECT_EQ(rc.misses, 1u);
+        EXPECT_EQ(rc.hits, 0u);
+
+        // Steady state: pure cache hit, entry visible to the peek API.
+        EXPECT_EQ(rt.select_segment(bid), &eth);
+        rc = rt.stats().route_cache;
+        EXPECT_EQ(rc.hits, 1u);
+        EXPECT_EQ(rc.misses, 1u);
+        auto peek = rt.cached_route(bid);
+        EXPECT_TRUE(peek.cached);
+        EXPECT_EQ(peek.seg, &eth);
+        saw_eth.set();
+
+        // A better port opened: generation moved, entry dropped, rederived.
+        myri_open.wait();
+        EXPECT_EQ(rt.select_segment(bid), &myri);
+        rc = rt.stats().route_cache;
+        EXPECT_EQ(rc.invalidations, 1u);
+        EXPECT_EQ(rc.misses, 2u);
+        saw_myri.set();
+
+        // The better port vanished: falls back to Ethernet, not a stale hit.
+        myri_closed.wait();
+        EXPECT_EQ(rt.select_segment(bid), &eth);
+        rc = rt.stats().route_cache;
+        EXPECT_EQ(rc.invalidations, 2u);
+        EXPECT_EQ(rc.misses, 3u);
+        done.set();
+    });
+    grid.join_all();
+}
+
+TEST(RouteCache, DisabledModeNeverCaches) {
+    LanesGuard lanes(false);
+    Grid grid;
+    auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+    auto& m0 = grid.add_machine("n0");
+    auto& m1 = grid.add_machine("n1");
+    grid.attach(m0, eth);
+    grid.attach(m1, eth);
+
+    osal::Event eth_open, done;
+    Process& pb = grid.spawn(m1, [&](Process& proc) {
+        PortRef pe = m1.adapter_on(eth)->open(proc, "peer");
+        eth_open.set();
+        done.wait();
+    });
+    const ProcessId bid = pb.id();
+
+    grid.spawn(m0, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        eth_open.wait();
+        EXPECT_EQ(rt.select_segment(bid), &eth);
+        EXPECT_EQ(rt.select_segment(bid), &eth);
+        const auto rc = rt.stats().route_cache;
+        EXPECT_EQ(rc.hits, 0u);
+        EXPECT_EQ(rc.misses, 2u); // every lookup takes the slow path
+        EXPECT_FALSE(rt.cached_route(bid).cached);
+        done.set();
+    });
+    grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+
+TEST(PlanCache, MemoizesByShape) {
+    LanesGuard lanes(true);
+    reset_plan_cache();
+
+    const Distribution bc = Distribution::block_cyclic(64);
+    const Distribution blk = Distribution::block();
+    PlanPtr a = shared_plan(bc, 4, blk, 3, 4096);
+    PlanPtr b = shared_plan(bc, 4, blk, 3, 4096);
+    EXPECT_EQ(a.get(), b.get()); // one computation, shared by all callers
+
+    // Any key component changing yields a different plan object.
+    PlanPtr c = shared_plan(bc, 4, blk, 3, 8192);
+    EXPECT_NE(a.get(), c.get());
+    PlanPtr d = shared_plan(Distribution::block_cyclic(32), 4, blk, 3, 4096);
+    EXPECT_NE(a.get(), d.get());
+
+    const PlanCacheStats st = plan_cache_stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 3u);
+
+    // The memoized plan matches a fresh computation exactly.
+    const RedistPlan fresh = compute_plan(bc, 4, blk, 3, 4096);
+    EXPECT_EQ(a->fragments, fresh.fragments);
+    EXPECT_EQ(a->len, fresh.len);
+    reset_plan_cache();
+}
+
+TEST(PlanCache, DisabledModeComputesFresh) {
+    LanesGuard lanes(false);
+    reset_plan_cache();
+    const Distribution blk = Distribution::block();
+    PlanPtr a = shared_plan(blk, 2, blk, 3, 1024);
+    PlanPtr b = shared_plan(blk, 2, blk, 3, 1024);
+    EXPECT_NE(a.get(), b.get()); // no table, fresh object each time
+    EXPECT_EQ(a->fragments, b->fragments);
+    const PlanCacheStats st = plan_cache_stats();
+    EXPECT_EQ(st.hits, 0u);
+    EXPECT_EQ(st.misses, 0u); // bypass does not even touch the counters
+    reset_plan_cache();
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out pool
+
+TEST(TaskPool, GrowsToBatchAndReuses) {
+    std::atomic<int> inits{0};
+    osal::TaskPool pool([&] { inits.fetch_add(1); });
+
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> batch;
+    for (int i = 0; i < 3; ++i) batch.push_back([&] { ran.fetch_add(1); });
+    pool.run(std::move(batch));
+    EXPECT_EQ(ran.load(), 3);
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_EQ(inits.load(), 3); // thread_init once per worker
+
+    // A larger batch grows the pool; a smaller one reuses it.
+    batch.clear();
+    for (int i = 0; i < 5; ++i) batch.push_back([&] { ran.fetch_add(1); });
+    pool.run(std::move(batch));
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_EQ(pool.size(), 5u);
+    EXPECT_EQ(inits.load(), 5);
+
+    batch.clear();
+    for (int i = 0; i < 2; ++i) batch.push_back([&] { ran.fetch_add(1); });
+    pool.run(std::move(batch));
+    EXPECT_EQ(ran.load(), 10);
+    EXPECT_EQ(pool.size(), 5u);
+    EXPECT_EQ(inits.load(), 5);
+}
+
+TEST(TaskPool, PropagatesErrorAndSurvivesIt) {
+    osal::TaskPool pool;
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> batch;
+    batch.push_back([&] { ran.fetch_add(1); });
+    batch.push_back([] { throw std::runtime_error("fanout boom"); });
+    batch.push_back([&] { ran.fetch_add(1); });
+    try {
+        pool.run(std::move(batch));
+        FAIL() << "expected the task error to propagate";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "fanout boom");
+    }
+    EXPECT_EQ(ran.load(), 2); // the other tasks still completed
+
+    // The pool is reusable after an error.
+    batch.clear();
+    batch.push_back([&] { ran.fetch_add(1); });
+    pool.run(std::move(batch));
+    EXPECT_EQ(ran.load(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// The governing invariant: virtual time is bit-identical with every fast
+// lane on or off — only wall-clock may differ.
+
+class HotpathTestComp : public ParallelComponent {
+public:
+    HotpathTestComp() {
+        declare_parallel_facet(
+            R"(<parallel-interface component="HotpathTestComp" facet="hot"
+                                   distribution="block">
+                 <operation name="xfer" argument="block"/>
+               </parallel-interface>)",
+            {{"xfer", [](const OpContext& ctx, util::Message) {
+                  if (ctx.comm != nullptr) ctx.comm->barrier();
+                  return util::Message();
+              }}});
+    }
+    std::string type() const override { return "HotpathTestComp"; }
+};
+
+void install_test_component() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        ccm::ComponentRegistry::register_type(
+            "HotpathTestComp",
+            [] { return std::make_unique<HotpathTestComp>(); });
+    });
+}
+
+struct WorkloadResult {
+    SimTime virtual_end = 0; ///< client rank 0 clock after the last barrier
+    ptm::TrafficCounters::RouteCache route;
+    PlanCacheStats plans;
+    /// Summed client-side traffic: segment name -> (messages, bytes).
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> traffic;
+    std::vector<SimTime> trace; ///< rank 0: clock after setup + each invoke
+};
+
+/// `serial` selects the shape. Serial: ONE sequential client invoking a
+/// single-member component — at no point are two transfers booked on the
+/// same adapter concurrently, so virtual time is exactly reproducible and
+/// the on/off comparison must agree bit-for-bit. Fanout: a 4-client group
+/// onto a 3-member component (block-cyclic vs block) — every call fans out
+/// to 2-3 servers through the worker pool, and concurrently booked
+/// reservations on one adapter are placed in real arrival order, so
+/// completion time carries sub-percent scheduling jitter ALREADY in the
+/// thread-per-call baseline; there the exact comparison is on traffic.
+WorkloadResult run_gridccm_workload(bool fast_lanes, bool serial) {
+    LanesGuard lanes(fast_lanes);
+    reset_plan_cache();
+    install_test_component();
+    const int kServers = serial ? 1 : 3;
+    const int kClients = serial ? 1 : 4;
+    constexpr std::size_t kLen = 6144;
+
+    Grid grid;
+    auto& myri = grid.add_segment("myri0", NetTech::Myrinet2000);
+    auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+    std::vector<Machine*> nodes;
+    for (int i = 0; i < kServers + kClients; ++i) {
+        auto& m = grid.add_machine("node" + std::to_string(i), 2);
+        m.set_attr("pool", "cluster");
+        grid.attach(m, myri);
+        grid.attach(m, eth);
+        nodes.push_back(&m);
+    }
+    // The serial shape runs the deployer inside the client process so that
+    // exactly two processes ever exchange messages; a third process would
+    // couple its deploy-time traffic into the server's (shared) virtual
+    // clock with real-time-dependent interleaving, smearing the absolute
+    // timestamps we want to compare bit-for-bit.
+    Machine* front = nullptr;
+    if (!serial) {
+        front = &grid.add_machine("front");
+        grid.attach(*front, eth);
+    }
+
+    for (int i = 0; i < kServers; ++i)
+        grid.spawn(*nodes[static_cast<std::size_t>(i)],
+                   [](Process& proc) {
+                       ccm::component_server_main(proc,
+                                                  corba::profile_omniorb4());
+                   });
+
+    corba::IOR home;
+    std::mutex home_mu;
+    osal::Event home_ready;
+    WorkloadResult res;
+    std::mutex res_mu;
+
+    const std::string assembly_xml = util::strfmt(
+        R"(<assembly name="hotpath-test">
+             <component id="hot" type="HotpathTestComp" parallel="%d"/>
+           </assembly>)",
+        kServers);
+
+    if (!serial) {
+        grid.spawn(*front, [&](Process& proc) {
+            ptm::Runtime rt(proc);
+            corba::Orb orb(rt, corba::profile_omniorb4());
+            ccm::Deployer deployer(orb);
+            auto dep = deployer.deploy(ccm::Assembly::parse(assembly_xml));
+            {
+                std::lock_guard<std::mutex> lk(home_mu);
+                home = deployer.facet_of(dep, ccm::PortAddr{"hot", "hot"});
+            }
+            home_ready.set();
+            proc.grid().wait_service("hotpath-test/done");
+            deployer.teardown(dep);
+            for (int i = 0; i < kServers; ++i)
+                ccm::connect_component_server(
+                    orb, nodes[static_cast<std::size_t>(i)]->name())
+                    .shutdown();
+        });
+    }
+
+    osal::Barrier clients_done(static_cast<std::size_t>(kClients));
+    for (int r = 0; r < kClients; ++r) {
+        grid.spawn(*nodes[static_cast<std::size_t>(kServers + r)],
+                   [&, r](Process& proc) {
+            ptm::Runtime rt(proc);
+            corba::Orb orb(rt, corba::profile_omniorb4());
+            std::shared_ptr<mpi::World> world;
+            mpi::Comm* comm = nullptr;
+            std::unique_ptr<ccm::Deployer> deployer;
+            std::optional<ccm::Deployment> dep;
+            corba::IOR h;
+            if (serial) {
+                deployer = std::make_unique<ccm::Deployer>(orb);
+                dep = deployer->deploy(ccm::Assembly::parse(assembly_xml));
+                h = deployer->facet_of(*dep, ccm::PortAddr{"hot", "hot"});
+            } else {
+                home_ready.wait();
+                proc.grid().register_service(
+                    "hotpath-test/client/" + std::to_string(r), proc.id());
+                std::vector<ProcessId> members(
+                    static_cast<std::size_t>(kClients));
+                for (int i = 0; i < kClients; ++i)
+                    members[static_cast<std::size_t>(i)] =
+                        proc.grid().wait_service("hotpath-test/client/" +
+                                                 std::to_string(i));
+                world = mpi::World::create(rt, "hotclients", members);
+                comm = &world->world();
+                std::lock_guard<std::mutex> lk(home_mu);
+                h = home;
+            }
+            const Distribution cdist = serial
+                                           ? Distribution::block()
+                                           : Distribution::block_cyclic(512);
+            auto stub = serial ? std::make_unique<ParallelStub>(orb, h)
+                               : std::make_unique<ParallelStub>(orb, *comm, h,
+                                                                cdist);
+            std::vector<std::int32_t> local(
+                cdist.local_size(r, kClients, kLen), 1);
+            // Every redistribution strategy takes its turn; in the serial
+            // shape each resolves to a single-contact 1→1 plan but still
+            // walks its own stub/skeleton code path.
+            const Strategy strats[] = {Strategy::Auto, Strategy::InFlight,
+                                       Strategy::ClientSide,
+                                       Strategy::ServerSide};
+            std::vector<SimTime> trace;
+            trace.push_back(proc.now());
+            for (int iter = 0; iter < 8; ++iter) {
+                stub->invoke<std::int32_t>(
+                    "xfer", std::span<const std::int32_t>(local), kLen,
+                    strats[iter % 4]);
+                trace.push_back(proc.now());
+            }
+            if (comm != nullptr) comm->barrier();
+            {
+                const ptm::TrafficCounters st = rt.stats();
+                std::lock_guard<std::mutex> lk(res_mu);
+                if (r == 0) {
+                    res.virtual_end = proc.now();
+                    res.route = st.route_cache;
+                    res.trace = trace;
+                }
+                for (const auto& [name, c] : st.by_segment) {
+                    auto& t = res.traffic[name];
+                    t.first += c.messages;
+                    t.second += c.bytes;
+                }
+            }
+            clients_done.arrive_and_wait();
+            if (serial) {
+                deployer->teardown(*dep);
+                ccm::connect_component_server(orb, nodes[0]->name())
+                    .shutdown();
+            } else if (r == 0) {
+                proc.grid().register_service("hotpath-test/done",
+                                             proc.id());
+            }
+        });
+    }
+    grid.join_all();
+    res.plans = plan_cache_stats();
+    reset_plan_cache();
+    return res;
+}
+
+TEST(FastLanes, VirtualTimeIdenticalOnAndOff) {
+    const WorkloadResult off = run_gridccm_workload(false, /*serial=*/true);
+    const WorkloadResult on = run_gridccm_workload(true, /*serial=*/true);
+
+    // The whole point: the fast lanes may only remove real-time work,
+    // never move a single virtual-time event.
+    EXPECT_EQ(on.virtual_end, off.virtual_end);
+    EXPECT_EQ(on.trace, off.trace);
+    EXPECT_GT(on.virtual_end, 0);
+    EXPECT_EQ(on.traffic, off.traffic);
+
+    // And the lanes did engage in the enabled run...
+    EXPECT_GT(on.route.hits, 0u);
+    EXPECT_GT(on.plans.hits, 0u);
+    // ...but not in the disabled one.
+    EXPECT_EQ(off.route.hits, 0u);
+    EXPECT_EQ(off.plans.hits + off.plans.misses, 0u);
+}
+
+TEST(FastLanes, FanoutTrafficIdenticalOnAndOff) {
+    // The multi-contact shape goes through the persistent pool when the
+    // lanes are on and through per-invocation threads when off. Its
+    // completion time is booking-order-sensitive either way (pre-existing
+    // property of contended BusyList reservations), but every message and
+    // byte the protocol emits must be identical.
+    const WorkloadResult off = run_gridccm_workload(false, /*serial=*/false);
+    const WorkloadResult on = run_gridccm_workload(true, /*serial=*/false);
+
+    EXPECT_EQ(on.traffic, off.traffic);
+    EXPECT_FALSE(on.traffic.empty());
+    EXPECT_GT(on.route.hits, 0u);
+    EXPECT_GT(on.plans.hits, 0u);
+}
+
+} // namespace
+} // namespace padico

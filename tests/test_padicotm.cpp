@@ -470,6 +470,31 @@ TEST(Security, CryptRoundTripsAndActuallyScrambles) {
     EXPECT_EQ(msg_text(ptm::crypt(enc)), msg_text(m));
 }
 
+TEST(Security, CryptMatchesByteSerialReference) {
+    // crypt() generates the keystream 8 bytes at a time through precomputed
+    // LCG jumps; it must stay byte-exact with the original one-step-per-byte
+    // generator, or peers built from different revisions could not decrypt
+    // each other. The reference below IS that original loop.
+    for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1021u}) {
+        util::ByteBuf plain(n);
+        for (std::size_t i = 0; i < n; ++i)
+            plain.data()[i] = static_cast<util::byte>(i * 131 + 7);
+
+        util::ByteBuf expect(plain.data(), plain.size());
+        std::uint32_t key = 0x9d2c5680u;
+        for (std::size_t i = 0; i < n; ++i) {
+            key = key * 1664525u + 1013904223u;
+            expect.data()[i] ^= static_cast<util::byte>(key >> 24);
+        }
+
+        const util::ByteBuf got =
+            ptm::crypt(util::to_message(
+                           util::ByteBuf(plain.data(), plain.size())))
+                .gather();
+        EXPECT_EQ(got, expect) << "length " << n;
+    }
+}
+
 TEST(Security, EncryptAlwaysCoversSecureSegments) {
     DualNetPair p;
     p.grid.spawn(*p.a, [&](Process& proc) {
