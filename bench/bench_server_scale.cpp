@@ -1,0 +1,214 @@
+// Server-scalability benchmark of the event-driven server core: N clients
+// x M requests against one CORBA server, run in both server shapes —
+// kEventDriven (shared readiness dispatcher + fixed pool) and
+// kThreadPerConnection (the historical acceptor + thread-per-link shape).
+//
+// Two legs:
+//  * serial: 1 client, M sequential requests, both modes. The virtual
+//    completion time after every request must be BIT-IDENTICAL across
+//    modes — the threading shape is real-time plumbing and must not move
+//    a single virtual-time event.
+//  * scale: 64 concurrent clients. The metric is the server's peak thread
+//    count (ServerCore tickets): the event core stays at 1 dispatcher +
+//    pool regardless of connections, the legacy shape grows O(clients).
+//
+// Prints one JSON object; exits nonzero if virtual times diverge or the
+// event-mode thread bound is violated.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "corba/orb.hpp"
+#include "osal/sync.hpp"
+#include "padicotm/runtime.hpp"
+
+namespace padico::bench {
+namespace {
+
+using namespace padico::fabric;
+using namespace padico::corba;
+
+constexpr int kScaleClients = 64;
+constexpr int kScaleRequests = 20; // per client
+constexpr int kSerialRequests = 200;
+constexpr std::size_t kPayload = 2048; // request payload bytes
+constexpr std::size_t kPoolWorkers = 2;
+
+class EchoServant : public Servant {
+public:
+    std::string interface() const override { return "IDL:Echo:1.0"; }
+    void dispatch(const std::string& op, cdr::Decoder& in,
+                  cdr::Encoder& out) override {
+        PADICO_CHECK(op == "echo", "unexpected op " + op);
+        out.put_string(in.get_string());
+    }
+};
+
+struct LegResult {
+    double wall_ms = 0;
+    svc::ServerCore::Stats stats;
+    std::vector<SimTime> trace; ///< client 0: virtual time after each reply
+};
+
+/// One GIOP request/reply round trip on a raw VLink (the wire shape
+/// ObjectRef::invoke produces — raw here so the client can close() the
+/// stream explicitly and the bench can watch the server prune it).
+void raw_echo_call(ptm::VLink& conn, std::uint64_t req_id,
+                   std::uint64_t key, const std::string& payload) {
+    cdr::Encoder req(true);
+    req.put_u64(req_id);
+    req.put_u64(key);
+    req.put_bool(true); // response expected
+    req.put_string("echo");
+    req.put_message(cdr::encode(true, payload));
+    giop::send_message(conn, giop::MsgType::Request, req.take());
+
+    auto reply = giop::recv_message(conn);
+    PADICO_CHECK(reply.has_value(), "connection closed during invocation");
+    cdr::Decoder dec(std::move(reply->second));
+    PADICO_CHECK(dec.get_u64() == req_id, "reply id mismatch");
+    PADICO_CHECK(dec.get_u8() ==
+                     static_cast<std::uint8_t>(giop::ReplyStatus::NoException),
+                 "echo raised");
+    const auto echoed =
+        cdr::decode_one<std::string>(dec.get_bytes_msg(dec.remaining()));
+    PADICO_CHECK(echoed == payload, "echo payload corrupted");
+}
+
+LegResult run_leg(svc::ServerCore::Mode mode, int n_clients, int n_requests) {
+    Testbed tb(n_clients + 1, /*with_myrinet=*/false);
+    osal::Event served;
+    osal::Latch clients_done(static_cast<std::size_t>(n_clients));
+    osal::Barrier start(static_cast<std::size_t>(n_clients));
+    LegResult res;
+    std::mutex res_mu;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    tb.grid.spawn(*tb.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        svc::ServerCore::Options opts;
+        opts.workers = kPoolWorkers;
+        opts.mode = mode;
+        orb.serve("scale-ep", opts);
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("bench/scale/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        clients_done.wait();
+        // Clients closed their streams; give the core a moment to prune.
+        for (int spin = 0; spin < 2000; ++spin) {
+            const auto st = orb.server_stats();
+            if (st.live_connections == 0 &&
+                st.pruned == st.accepted)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        {
+            std::lock_guard<std::mutex> lk(res_mu);
+            res.stats = orb.server_stats();
+        }
+        orb.shutdown();
+    });
+
+    for (int c = 0; c < n_clients; ++c) {
+        tb.grid.spawn(*tb.nodes[static_cast<std::size_t>(c + 1)],
+                      [&, c](Process& proc) {
+            ptm::Runtime rt(proc);
+            served.wait();
+            const std::uint64_t key =
+                proc.grid().wait_service("bench/scale/key");
+            ptm::VLink conn = ptm::VLink::connect(rt, "scale-ep");
+            // Everyone connects first, so the legacy shape holds all
+            // connection threads alive at once — the O(connections) peak
+            // the event core is measured against.
+            start.arrive_and_wait();
+            const std::string payload(kPayload, 'x');
+            std::vector<SimTime> trace;
+            for (int i = 0; i < n_requests; ++i) {
+                raw_echo_call(conn, static_cast<std::uint64_t>(i + 1), key,
+                              payload);
+                if (c == 0) trace.push_back(proc.now());
+            }
+            conn.close();
+            if (c == 0) {
+                std::lock_guard<std::mutex> lk(res_mu);
+                res.trace = std::move(trace);
+            }
+            clients_done.count_down();
+        });
+    }
+    tb.grid.join_all();
+    res.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return res;
+}
+
+void print_leg(const char* name, const LegResult& r) {
+    std::printf("  \"%s\": {\"wall_ms\": %.1f, \"peak_threads\": %zu, "
+                "\"accepted\": %llu, \"pruned\": %llu, \"frames\": %llu}",
+                name, r.wall_ms, r.stats.peak_threads,
+                static_cast<unsigned long long>(r.stats.accepted),
+                static_cast<unsigned long long>(r.stats.pruned),
+                static_cast<unsigned long long>(r.stats.frames));
+}
+
+int run() {
+    // --- serial leg: virtual time must not depend on the server shape ---
+    const LegResult se =
+        run_leg(svc::ServerCore::Mode::kEventDriven, 1, kSerialRequests);
+    const LegResult sl = run_leg(svc::ServerCore::Mode::kThreadPerConnection,
+                                 1, kSerialRequests);
+    const bool identical = se.trace == sl.trace && !se.trace.empty();
+
+    // --- scale leg: thread count vs 64 concurrent clients ---------------
+    const LegResult ce = run_leg(svc::ServerCore::Mode::kEventDriven,
+                                 kScaleClients, kScaleRequests);
+    const LegResult cl = run_leg(svc::ServerCore::Mode::kThreadPerConnection,
+                                 kScaleClients, kScaleRequests);
+    const bool bound_ok =
+        ce.stats.peak_threads == 1 + kPoolWorkers &&
+        cl.stats.peak_threads >= 1 + static_cast<std::size_t>(kScaleClients);
+
+    std::printf("{\n \"bench\": \"server_scale\",\n");
+    std::printf(" \"serial\": {\"requests\": %d, "
+                "\"virtual_end_event\": %lld, \"virtual_end_legacy\": %lld, "
+                "\"virtual_time_identical\": %s},\n",
+                kSerialRequests,
+                static_cast<long long>(se.trace.empty() ? 0
+                                                        : se.trace.back()),
+                static_cast<long long>(sl.trace.empty() ? 0
+                                                        : sl.trace.back()),
+                identical ? "true" : "false");
+    std::printf(" \"scale\": {\"clients\": %d, \"requests_per_client\": %d, "
+                "\"pool_workers\": %zu,\n",
+                kScaleClients, kScaleRequests, kPoolWorkers);
+    print_leg("event", ce);
+    std::printf(",\n");
+    print_leg("legacy", cl);
+    std::printf(",\n  \"thread_bound_ok\": %s}\n}\n",
+                bound_ok ? "true" : "false");
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: serial virtual times diverge across modes\n");
+        return 1;
+    }
+    if (!bound_ok) {
+        std::fprintf(stderr,
+                     "FAIL: thread-count bound violated (event peak %zu, "
+                     "legacy peak %zu)\n",
+                     ce.stats.peak_threads, cl.stats.peak_threads);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace padico::bench
+
+int main() { return padico::bench::run(); }

@@ -123,6 +123,73 @@ std::optional<std::pair<MsgType, util::Message>> recv_message(
     return std::make_pair(static_cast<MsgType>(h.msg_type), std::move(body));
 }
 
+FrameReader::Status FrameReader::poll(ptm::VLink& link, MsgType& type,
+                                      util::Message& body) {
+    for (;;) {
+        switch (state_) {
+        case State::kPrefix: {
+            auto prefix = link.try_read_msg(sizeof(EsiopHeader));
+            if (!prefix.has_value()) {
+                if (!link.at_eof()) return Status::kNeedMore;
+                // EOF is clean only on a frame boundary.
+                PADICO_WIRE_CHECK(link.buffered_bytes() == 0,
+                                  "stream ended inside inter-ORB prefix");
+                return Status::kClosed;
+            }
+            std::uint32_t magic_type = 0;
+            prefix->copy_out(0, &magic_type, sizeof magic_type);
+            if ((magic_type & 0x00ffffffu) ==
+                    (kEsiopMagic & 0x00ffffffu) &&
+                magic_type != kMagic) {
+                EsiopHeader h;
+                prefix->copy_out(0, &h, sizeof h);
+                type_ = static_cast<MsgType>((h.magic_type ^ kEsiopMagic) >>
+                                             24);
+                body_len_ = h.body_len;
+                state_ = State::kBody;
+                break;
+            }
+            PADICO_WIRE_CHECK(magic_type == kMagic, "bad inter-ORB magic");
+            prefix_ = std::move(*prefix);
+            state_ = State::kGiopRest;
+            break;
+        }
+        case State::kGiopRest: {
+            auto rest =
+                link.try_read_msg(sizeof(Header) - sizeof(EsiopHeader));
+            if (!rest.has_value()) {
+                PADICO_WIRE_CHECK(!link.at_eof(),
+                                  "stream ended inside inter-ORB header");
+                return Status::kNeedMore;
+            }
+            util::ByteBuf hb = prefix_.gather();
+            hb.append(rest->gather().view());
+            Header h;
+            PADICO_CHECK(hb.size() == sizeof h, "short inter-ORB header");
+            std::memcpy(&h, hb.data(), sizeof h);
+            PADICO_WIRE_CHECK(h.version == 1, "unsupported GIOP version");
+            type_ = static_cast<MsgType>(h.msg_type);
+            body_len_ = h.body_len;
+            prefix_ = util::Message();
+            state_ = State::kBody;
+            break;
+        }
+        case State::kBody: {
+            auto b = link.try_read_msg(body_len_);
+            if (!b.has_value()) {
+                PADICO_WIRE_CHECK(!link.at_eof(),
+                                  "stream ended inside inter-ORB body");
+                return Status::kNeedMore;
+            }
+            type = type_;
+            body = std::move(*b);
+            state_ = State::kPrefix;
+            return Status::kFrame;
+        }
+        }
+    }
+}
+
 } // namespace giop
 
 // ---------------------------------------------------------------------------
@@ -227,103 +294,101 @@ std::shared_ptr<Servant> Orb::find_servant(std::uint64_t key) {
     return it == objects_.end() ? nullptr : it->second;
 }
 
-void Orb::serve(const std::string& endpoint) {
-    PADICO_CHECK(listener_ == nullptr, "orb already serving");
+/// Per-connection server driver: GIOP/ESIOP frame reassembly on the
+/// dispatcher side, request dispatch on the worker side.
+class Orb::ServerProtocol : public svc::Protocol {
+public:
+    explicit ServerProtocol(Orb& orb) : orb_(&orb) {}
+
+    Extract try_extract(ptm::VLink& link, util::Message& frame) override {
+        giop::MsgType type;
+        switch (reader_.poll(link, type, frame)) {
+        case giop::FrameReader::Status::kNeedMore:
+            return Extract::kNeedMore;
+        case giop::FrameReader::Status::kClosed:
+            return Extract::kClosed;
+        case giop::FrameReader::Status::kFrame:
+            break;
+        }
+        PADICO_WIRE_CHECK(type == giop::MsgType::Request,
+                          "server expects GIOP Requests");
+        return Extract::kFrame;
+    }
+
+    void on_frame(ptm::VLink& link, util::Message frame) override {
+        orb_->handle_request(link, std::move(frame));
+    }
+
+private:
+    Orb* orb_;
+    giop::FrameReader reader_;
+};
+
+void Orb::serve(const std::string& endpoint, svc::ServerCore::Options opts) {
+    PADICO_CHECK(core_ == nullptr, "orb already serving");
     {
         std::lock_guard<std::mutex> lk(mu_);
         endpoint_ = endpoint;
     }
-    listener_ = std::make_unique<ptm::VLinkListener>(*rt_, endpoint);
-    acceptor_ = std::thread([this] { acceptor_loop(); });
+    core_ = std::make_unique<svc::ServerCore>(
+        *rt_, endpoint,
+        [this]() -> std::unique_ptr<svc::Protocol> {
+            return std::make_unique<ServerProtocol>(*this);
+        },
+        opts);
 }
 
 void Orb::shutdown() {
-    if (stopping_.exchange(true)) {
-        if (acceptor_.joinable()) acceptor_.join();
-        return;
-    }
-    if (listener_) listener_->shutdown();
-    if (acceptor_.joinable()) acceptor_.join();
-    {
-        // Unblock workers waiting on requests from clients that will never
-        // close their end.
-        std::lock_guard<std::mutex> lk(conns_mu_);
-        for (auto& c : conns_) c->abort();
-    }
-    workers_.join_all();
+    if (core_) core_->shutdown();
 }
 
-void Orb::acceptor_loop() {
-    fabric::Process::bind_to_thread(&rt_->process());
-    while (!stopping_.load()) {
-        ptm::VLink conn = listener_->accept();
-        if (!conn.valid()) return; // shut down
-        auto shared = std::make_shared<ptm::VLink>(std::move(conn));
-        {
-            std::lock_guard<std::mutex> lk(conns_mu_);
-            conns_.push_back(shared);
-        }
-        workers_.spawn([this, shared] {
-            fabric::Process::bind_to_thread(&rt_->process());
-            connection_loop(shared);
-        });
-    }
+svc::ServerCore::Stats Orb::server_stats() const {
+    return core_ ? core_->stats() : svc::ServerCore::Stats{};
 }
 
-void Orb::connection_loop(std::shared_ptr<ptm::VLink> conn) {
-    try {
-        while (true) {
-            auto msg = giop::recv_message(*conn);
-            if (!msg.has_value()) return; // client went away
-            PADICO_WIRE_CHECK(msg->first == giop::MsgType::Request,
-                              "server expects GIOP Requests");
-            cdr::Decoder dec(std::move(msg->second));
-            const std::uint64_t request_id = dec.get_u64();
-            const std::uint64_t key = dec.get_u64();
-            const bool want_reply = dec.get_bool();
-            const std::string op = dec.get_string();
-            util::Message args = dec.get_bytes_msg(dec.remaining());
-            charge(args.size());
+void Orb::handle_request(ptm::VLink& conn, util::Message request_body) {
+    cdr::Decoder dec(std::move(request_body));
+    const std::uint64_t request_id = dec.get_u64();
+    const std::uint64_t key = dec.get_u64();
+    const bool want_reply = dec.get_bool();
+    const std::string op = dec.get_string();
+    util::Message args = dec.get_bytes_msg(dec.remaining());
+    charge(args.size());
 
-            giop::ReplyStatus status = giop::ReplyStatus::NoException;
-            cdr::Encoder result(profile_.zero_copy);
-            auto servant = find_servant(key);
-            if (servant == nullptr) {
-                status = giop::ReplyStatus::SystemException;
-                cdr_put(result, std::string("OBJECT_NOT_EXIST: key " +
-                                            std::to_string(key)));
-            } else {
-                try {
-                    cdr::Decoder argdec(std::move(args));
-                    servant->dispatch(op, argdec, result);
-                } catch (const RemoteError& e) {
-                    PLOG(debug, "corba") << op << " raised: " << e.what();
-                    result = cdr::Encoder(profile_.zero_copy);
-                    status = giop::ReplyStatus::UserException;
-                    cdr_put(result, std::string(e.what()));
-                } catch (const Error& e) {
-                    PLOG(warn, "corba")
-                        << op << " failed with system exception: "
-                        << e.what();
-                    result = cdr::Encoder(profile_.zero_copy);
-                    status = giop::ReplyStatus::SystemException;
-                    cdr_put(result, std::string(e.what()));
-                }
-            }
-            if (!want_reply) continue;
-
-            cdr::Encoder rep(profile_.zero_copy);
-            rep.put_u64(request_id);
-            rep.put_u8(static_cast<std::uint8_t>(status));
-            util::Message payload = result.take();
-            charge(payload.size());
-            rep.put_message(payload);
-            giop::send_message(*conn, giop::MsgType::Reply, rep.take(),
-                               profile_.esiop);
+    giop::ReplyStatus status = giop::ReplyStatus::NoException;
+    cdr::Encoder result(profile_.zero_copy);
+    auto servant = find_servant(key);
+    if (servant == nullptr) {
+        status = giop::ReplyStatus::SystemException;
+        cdr_put(result, std::string("OBJECT_NOT_EXIST: key " +
+                                    std::to_string(key)));
+    } else {
+        try {
+            cdr::Decoder argdec(std::move(args));
+            servant->dispatch(op, argdec, result);
+        } catch (const RemoteError& e) {
+            PLOG(debug, "corba") << op << " raised: " << e.what();
+            result = cdr::Encoder(profile_.zero_copy);
+            status = giop::ReplyStatus::UserException;
+            cdr_put(result, std::string(e.what()));
+        } catch (const Error& e) {
+            PLOG(warn, "corba")
+                << op << " failed with system exception: " << e.what();
+            result = cdr::Encoder(profile_.zero_copy);
+            status = giop::ReplyStatus::SystemException;
+            cdr_put(result, std::string(e.what()));
         }
-    } catch (const std::exception& e) {
-        PLOG(warn, "corba") << "connection worker ended: " << e.what();
     }
+    if (!want_reply) return;
+
+    cdr::Encoder rep(profile_.zero_copy);
+    rep.put_u64(request_id);
+    rep.put_u8(static_cast<std::uint8_t>(status));
+    util::Message payload = result.take();
+    charge(payload.size());
+    rep.put_message(payload);
+    giop::send_message(conn, giop::MsgType::Reply, rep.take(),
+                       profile_.esiop);
 }
 
 } // namespace padico::corba

@@ -17,12 +17,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 
 #include "corba/cdr.hpp"
 #include "padicotm/module.hpp"
 #include "padicotm/runtime.hpp"
 #include "padicotm/vlink.hpp"
+#include "svc/server_core.hpp"
 
 namespace padico::corba {
 
@@ -138,12 +138,20 @@ public:
     IOR activate(std::shared_ptr<Servant> servant);
     void deactivate(const IOR& ior);
 
-    /// Publish the endpoint and start accepting GIOP connections
-    /// (one acceptor thread + one worker thread per connection).
-    void serve(const std::string& endpoint);
+    /// Publish the endpoint and start accepting GIOP connections on the
+    /// shared event-driven server core (thread count O(pool), regardless
+    /// of how many clients connect). Pass Options to size the pool or to
+    /// fall back to the thread-per-connection shape.
+    void serve(const std::string& endpoint,
+               svc::ServerCore::Options opts = {});
 
-    /// Stop the acceptor and all connection workers.
+    /// Stop the server core: no more accepts, live connections aborted,
+    /// every server thread joined.
     void shutdown();
+
+    /// Server-core counters (accepted/pruned connections, dispatched
+    /// frames, live/peak thread counts). Zeroes before serve().
+    svc::ServerCore::Stats server_stats() const;
 
     // --- client side -----------------------------------------------------
     ObjectRef resolve(const IOR& ior);
@@ -154,9 +162,11 @@ public:
 
 private:
     friend class ObjectRef;
+    class ServerProtocol; ///< GIOP framing + dispatch driver (orb.cpp)
 
-    void acceptor_loop();
-    void connection_loop(std::shared_ptr<ptm::VLink> conn);
+    /// Process one complete GIOP Request body: decode, dispatch to the
+    /// servant, write the Reply (runs on a ServerCore worker).
+    void handle_request(ptm::VLink& conn, util::Message request_body);
     std::shared_ptr<Servant> find_servant(std::uint64_t key);
 
     ptm::Runtime* rt_;
@@ -167,12 +177,7 @@ private:
     std::map<std::uint64_t, std::shared_ptr<Servant>> objects_;
     std::atomic<std::uint64_t> next_key_{1};
 
-    std::unique_ptr<ptm::VLinkListener> listener_;
-    std::thread acceptor_;
-    osal::ThreadGroup workers_;
-    std::mutex conns_mu_;
-    std::vector<std::shared_ptr<ptm::VLink>> conns_;
-    std::atomic<bool> stopping_{false};
+    std::unique_ptr<svc::ServerCore> core_;
 };
 
 /// Register every CORBA implementation profile as a loadable PadicoTM
@@ -222,6 +227,25 @@ void send_message(ptm::VLink& link, MsgType type, util::Message body,
 /// nullopt on clean EOF.
 std::optional<std::pair<MsgType, util::Message>> recv_message(
     ptm::VLink& link);
+
+/// Incremental, non-blocking counterpart of recv_message for readiness
+/// dispatchers: each poll() consumes whatever bytes are buffered on the
+/// link and keeps the framing state (prefix parsed, body length known)
+/// across calls until one whole message has been reassembled. Throws
+/// ProtocolError when the stream ends mid-frame or the framing is invalid.
+class FrameReader {
+public:
+    enum class Status { kFrame, kNeedMore, kClosed };
+
+    Status poll(ptm::VLink& link, MsgType& type, util::Message& body);
+
+private:
+    enum class State { kPrefix, kGiopRest, kBody };
+    State state_ = State::kPrefix;
+    MsgType type_ = MsgType::Request;
+    std::uint64_t body_len_ = 0;
+    util::Message prefix_; ///< first half of a general GIOP header
+};
 
 } // namespace giop
 

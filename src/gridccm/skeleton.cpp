@@ -1,6 +1,7 @@
 #include "gridccm/skeleton.hpp"
 
 #include "fabric/netmodel.hpp"
+#include "osal/blocking.hpp"
 #include "util/log.hpp"
 
 namespace padico::gridccm {
@@ -206,8 +207,13 @@ void ParallelSkeleton::run_operation(Invocation& inv, const FragHeader& h,
     if (static_cast<Strategy>(h.strategy) == Strategy::ServerSide) {
         // The shuffle is a collective: run it without the state lock so
         // concurrent contacts can still deposit into *other* invocations.
+        // It waits on peer members, so tell a pooled server thread it may
+        // lend its slot meanwhile.
         lk.unlock();
-        arg = server_side_shuffle(inv, h);
+        {
+            osal::BlockingHint::Region blocking;
+            arg = server_side_shuffle(inv, h);
+        }
         lk.lock();
     } else {
         arg = std::move(inv.arg);
@@ -222,10 +228,14 @@ void ParallelSkeleton::run_operation(Invocation& inv, const FragHeader& h,
     ctx.comm = comm_;
 
     auto handler = handlers_.at(h.op);
-    // The user operation may itself perform collectives; release the lock.
+    // The user operation may itself perform collectives; release the lock
+    // and mark the span as potentially blocking on peer progress.
     lk.unlock();
-    util::Message result =
-        handler(ctx, util::to_message(std::move(arg)));
+    util::Message result;
+    {
+        osal::BlockingHint::Region blocking;
+        result = handler(ctx, util::to_message(std::move(arg)));
+    }
     lk.lock();
 
     if (opd.result_distributed) {
@@ -335,7 +345,13 @@ void ParallelSkeleton::handle_frag(corba::cdr::Decoder& in,
         inv.started = true;
         run_operation(inv, h, lk);
     }
-    inv.cv.wait(lk, [&] { return inv.done; });
+    if (!inv.done) {
+        // Rendezvous: this contact parks until the peers' contacts (served
+        // on other connections) complete the invocation — the canonical
+        // cross-request wait a pooled server must be warned about.
+        osal::BlockingHint::Region blocking;
+        inv.cv.wait(lk, [&] { return inv.done; });
+    }
 
     // Build this client's reply: its share of the distributed result.
     // Encoded as ONE stream (count first): CDR alignment is relative to

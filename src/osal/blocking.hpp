@@ -1,0 +1,75 @@
+#pragma once
+/// \file blocking.hpp
+/// Cooperative blocking-region hints for pooled worker threads.
+///
+/// An event-driven server runs request handlers on a small fixed pool, so
+/// a handler that blocks waiting for progress made by ANOTHER request
+/// (e.g. a parallel-invocation rendezvous gathering contacts from several
+/// connections) can starve the very requests it is waiting for. The
+/// classic cure — Java ForkJoinPool's ManagedBlocker, omniORB's growable
+/// server pool — is cooperative: the handler declares "I am about to
+/// block on external progress", and the pool temporarily adds a spare
+/// thread so queued work keeps flowing, retiring it once the wait ends.
+///
+/// BlockingHint is the layering-neutral half of that contract: the pool
+/// installs per-thread enter/exit hooks (Scope), and any code that may
+/// block on cross-request progress brackets the wait with a Region.
+/// On threads without hooks (dedicated per-connection threads, tests,
+/// clients) a Region is a no-op, so marking a wait is always safe.
+
+#include <functional>
+#include <utility>
+
+namespace padico::osal {
+
+class BlockingHint {
+public:
+    struct Hooks {
+        std::function<void()> enter; ///< thread is about to block
+        std::function<void()> exit;  ///< the blocking wait is over
+    };
+
+    /// Installs \p hooks for the calling thread; restores the previous
+    /// hooks on destruction (pool worker loops hold one for their
+    /// lifetime).
+    class Scope {
+    public:
+        explicit Scope(Hooks hooks) : prev_(std::move(tl_hooks())) {
+            tl_hooks() = std::move(hooks);
+        }
+        ~Scope() { tl_hooks() = std::move(prev_); }
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+    private:
+        Hooks prev_;
+    };
+
+    /// Brackets a wait whose completion depends on other requests being
+    /// served. Construct immediately before blocking, destroy right after.
+    class Region {
+    public:
+        Region() {
+            if (tl_hooks().enter) {
+                active_ = true;
+                tl_hooks().enter();
+            }
+        }
+        ~Region() {
+            if (active_ && tl_hooks().exit) tl_hooks().exit();
+        }
+        Region(const Region&) = delete;
+        Region& operator=(const Region&) = delete;
+
+    private:
+        bool active_ = false;
+    };
+
+private:
+    static Hooks& tl_hooks() {
+        thread_local Hooks hooks;
+        return hooks;
+    }
+};
+
+} // namespace padico::osal

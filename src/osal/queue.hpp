@@ -4,24 +4,70 @@
 /// primitive under every simulated network adapter and channel mailbox.
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 namespace padico::osal {
 
+/// Lightweight wake-up hook a queue notifies on push/close. Shared (via
+/// shared_ptr) between one or more queues and whoever multiplexes over
+/// them (WaitSet): the queue fires it after releasing its own lock, so the
+/// hook can never deadlock against queue operations, and the shared_ptr
+/// keeps it alive even if the waiter detaches concurrently with a push.
+///
+/// The protocol is a sequence number, not a readiness flag: a consumer
+/// snapshots sequence(), polls actual queue state, and only then blocks in
+/// wait_changed(snapshot) — any notify() between the snapshot and the wait
+/// makes the wait return immediately, so wake-ups cannot be lost.
+class Waiter {
+public:
+    /// Fired by attached queues whenever their readiness may have changed.
+    void notify() {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++seq_;
+        }
+        cv_.notify_all();
+    }
+
+    std::uint64_t sequence() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return seq_;
+    }
+
+    /// Block until notify() has been called after \p seen was observed.
+    void wait_changed(std::uint64_t seen) {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return seq_ != seen; });
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::uint64_t seq_ = 0;
+};
+
 template <typename T> class BlockingQueue {
 public:
     /// Enqueue; never blocks (queues are unbounded — flow control is the
     /// business of the protocols above, as in the real stacks).
     /// notify_all: consumers may wait with different match predicates.
+    /// The broadcast happens under the lock: a woken consumer must then
+    /// reacquire mu_ before returning, so it cannot destroy the queue while
+    /// the producer is still inside the condvar (destroy/broadcast race).
     void push(T v) {
+        std::shared_ptr<Waiter> w;
         {
             std::lock_guard<std::mutex> lk(mu_);
             items_.push_back(std::move(v));
+            w = waiter_;
+            cv_.notify_all();
         }
-        cv_.notify_all();
+        if (w) w->notify();
     }
 
     /// Dequeue, blocking until an item is available or close() is called.
@@ -81,12 +127,16 @@ public:
     bool empty() const { return size() == 0; }
 
     /// Wake all blocked consumers; subsequent pops drain then return nullopt.
+    /// Broadcast under the lock for the same destroy-race reason as push().
     void close() {
+        std::shared_ptr<Waiter> w;
         {
             std::lock_guard<std::mutex> lk(mu_);
             closed_ = true;
+            w = waiter_;
+            cv_.notify_all();
         }
-        cv_.notify_all();
+        if (w) w->notify();
     }
 
     bool closed() const {
@@ -94,10 +144,36 @@ public:
         return closed_;
     }
 
+    /// Readiness as a WaitSet sees it: a pop (or a close verdict) would not
+    /// block. Level-triggered — a closed queue stays ready forever.
+    bool ready() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return !items_.empty() || closed_;
+    }
+
+    /// Attach the readiness hook (one per queue; WaitSet enforces single
+    /// ownership). Fires immediately if the queue is already ready, so a
+    /// waiter attached late still observes buffered items.
+    void set_waiter(std::shared_ptr<Waiter> w) {
+        std::shared_ptr<Waiter> fire;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            waiter_ = std::move(w);
+            if (waiter_ && (!items_.empty() || closed_)) fire = waiter_;
+        }
+        if (fire) fire->notify();
+    }
+
+    void clear_waiter() {
+        std::lock_guard<std::mutex> lk(mu_);
+        waiter_.reset();
+    }
+
 private:
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<T> items_;
+    std::shared_ptr<Waiter> waiter_;
     bool closed_ = false;
 };
 

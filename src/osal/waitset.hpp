@@ -1,0 +1,138 @@
+#pragma once
+/// \file waitset.hpp
+/// WaitSet: block on readiness of many BlockingQueues at once — the
+/// select()/poll() analogue for the mailbox world. One dispatcher thread
+/// waits on N queues instead of N threads each blocking on one queue; this
+/// is what lets a server core keep its thread count O(pool) while serving
+/// O(connections) streams (paper §4.3.1's "coherent multithreading policy"
+/// extended above the arbitration layer).
+///
+/// Semantics are level-triggered: wait() returns the keys of every
+/// registered queue on which a pop would not block (items buffered, or the
+/// queue closed). A closed queue stays ready until the caller removes it —
+/// callers must treat "ready + closed + empty" as end-of-stream and
+/// deregister, or wait() will keep returning that key.
+///
+/// Locking: the WaitSet registration lock and each queue's internal lock
+/// are only ever taken in the order registration -> queue (during polls);
+/// queues fire the shared Waiter hook after releasing their own lock, and
+/// the Waiter's lock is a leaf. add()/remove() touch the queue outside the
+/// registration lock. No cycle exists, and missed wake-ups are prevented
+/// by the Waiter sequence protocol (snapshot, poll, wait-for-change).
+///
+/// Lifetime: a queue must stay alive until it is remove()d (or the WaitSet
+/// is destroyed, which detaches every remaining queue). A queue belongs to
+/// at most one WaitSet at a time.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "osal/queue.hpp"
+#include "util/error.hpp"
+
+namespace padico::osal {
+
+class WaitSet {
+public:
+    using Key = std::uint64_t;
+
+    WaitSet() : waiter_(std::make_shared<Waiter>()) {}
+    WaitSet(const WaitSet&) = delete;
+    WaitSet& operator=(const WaitSet&) = delete;
+
+    ~WaitSet() {
+        std::map<Key, Entry> leftover;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            leftover.swap(entries_);
+        }
+        for (auto& [key, e] : leftover) e.detach();
+    }
+
+    /// Register \p q under \p key. The queue's current readiness counts:
+    /// items pushed (or a close) before add() still wake the next wait().
+    template <typename T> void add(BlockingQueue<T>& q, Key key) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            PADICO_CHECK(entries_.count(key) == 0,
+                         "WaitSet key registered twice");
+            entries_.emplace(key, Entry{[&q] { return q.ready(); },
+                                        [&q] { q.clear_waiter(); }});
+        }
+        q.set_waiter(waiter_);
+    }
+
+    /// Deregister a key, detaching the queue's waiter hook. The queue may
+    /// be destroyed once remove() returns. Unknown keys are ignored (a
+    /// dispatcher may race a prune against a late readiness report).
+    void remove(Key key) {
+        Entry e;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            auto it = entries_.find(key);
+            if (it == entries_.end()) return;
+            e = std::move(it->second);
+            entries_.erase(it);
+        }
+        e.detach();
+    }
+
+    /// Keys ready right now (non-blocking, possibly empty).
+    std::vector<Key> poll() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::vector<Key> ready;
+        for (const auto& [key, e] : entries_)
+            if (e.ready()) ready.push_back(key);
+        return ready;
+    }
+
+    /// Block until at least one registered queue is ready; returns the
+    /// ready keys. Returns an empty vector only after interrupt().
+    std::vector<Key> wait() {
+        for (;;) {
+            const std::uint64_t seen = waiter_->sequence();
+            std::vector<Key> ready = poll();
+            if (!ready.empty()) return ready;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (interrupted_) {
+                    interrupted_ = false;
+                    return {};
+                }
+            }
+            waiter_->wait_changed(seen);
+        }
+    }
+
+    /// Wake one pending (or the next) wait() with an empty result — the
+    /// shutdown path of a dispatcher loop.
+    void interrupt() {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            interrupted_ = true;
+        }
+        waiter_->notify();
+    }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return entries_.size();
+    }
+
+private:
+    struct Entry {
+        std::function<bool()> ready;
+        std::function<void()> detach;
+    };
+
+    std::shared_ptr<Waiter> waiter_;
+    mutable std::mutex mu_;
+    std::map<Key, Entry> entries_;
+    bool interrupted_ = false;
+};
+
+} // namespace padico::osal

@@ -21,6 +21,16 @@ MailboxPtr Demux::subscribe(fabric::ChannelId ch) {
 
 void Demux::unsubscribe(fabric::ChannelId ch) {
     std::lock_guard<std::mutex> lk(mu_);
+    auto pend = pending_.find(ch);
+    if (pend != pending_.end()) {
+        // Buffered for a subscriber that never came (or came and left).
+        dropped_pending_.fetch_add(pend->second.size(),
+                                   std::memory_order_relaxed);
+        PLOG(debug, "padicotm")
+            << "unsubscribe ch " << ch << " drops " << pend->second.size()
+            << " pending deliveries";
+        pending_.erase(pend);
+    }
     auto it = boxes_.find(ch);
     if (it == boxes_.end()) return;
     it->second->close();
@@ -50,6 +60,16 @@ void Demux::route(fabric::Packet&& pkt, SimTime demux_cost) {
 
 void Demux::close_all() {
     std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t orphaned = 0;
+    for (const auto& [ch, buf] : pending_) orphaned += buf.size();
+    if (orphaned != 0) {
+        dropped_pending_.fetch_add(orphaned, std::memory_order_relaxed);
+        PLOG(debug, "padicotm")
+            << "close_all drops " << orphaned
+            << " pending deliveries across " << pending_.size()
+            << " never-subscribed channels";
+    }
+    pending_.clear();
     for (auto& [ch, box] : boxes_) box->close();
 }
 

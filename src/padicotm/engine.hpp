@@ -11,6 +11,7 @@
 /// mailboxes; middleware above (Circuit, VLink and everything built on
 /// them) only ever touches mailboxes, never raw ports.
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,26 +37,39 @@ using MailboxPtr = std::shared_ptr<Mailbox>;
 
 /// Channel-id based demultiplexer. Packets for channels without a mailbox
 /// yet are buffered and replayed on subscribe (a peer may legitimately send
-/// before this side has finished joining a circuit).
+/// before this side has finished joining a circuit). Mailboxes are plain
+/// BlockingQueues, so readiness registration (osal::WaitSet) works on them
+/// directly — that is the hook the event-driven server core multiplexes on.
 class Demux {
 public:
     /// Create (or return) the mailbox of a channel.
     MailboxPtr subscribe(fabric::ChannelId ch);
 
-    /// Drop a channel; its mailbox is closed.
+    /// Drop a channel; its mailbox is closed. Deliveries buffered for the
+    /// channel (sent before any subscribe) are discarded and counted.
     void unsubscribe(fabric::ChannelId ch);
 
     /// Route one packet; \p demux_cost is added to the delivery timestamp
     /// (the engine's per-message software cost).
     void route(fabric::Packet&& pkt, SimTime demux_cost);
 
-    /// Close every mailbox (engine shutdown).
+    /// Close every mailbox (engine shutdown); remaining pending_ buffers —
+    /// messages sent to channels nobody ever subscribed — are counted as
+    /// dropped.
     void close_all();
+
+    /// Deliveries that were buffered for a channel and thrown away before
+    /// any consumer saw them (lost-before-subscribe traffic). Monotone;
+    /// nonzero values are logged at debug when the drop happens.
+    std::uint64_t dropped_pending() const {
+        return dropped_pending_.load(std::memory_order_relaxed);
+    }
 
 private:
     std::mutex mu_;
     std::map<fabric::ChannelId, MailboxPtr> boxes_;
     std::map<fabric::ChannelId, std::vector<Delivery>> pending_;
+    std::atomic<std::uint64_t> dropped_pending_{0};
 };
 
 /// Opens the machine's adapters and runs the progression loops.

@@ -59,6 +59,17 @@ VLink VLinkListener::accept() {
     return link;
 }
 
+std::optional<VLink> VLinkListener::try_accept() {
+    auto d = inbox_->try_pop();
+    if (!d.has_value()) return std::nullopt; // nothing queued (or shut down)
+    const fabric::ProcessId peer = d->src;
+    const SynBody body = decode_syn(rt_->finish(std::move(*d)));
+    auto inbox = rt_->subscribe(body.c2s);
+    VLink link(*rt_, peer, body.s2c, body.c2s, std::move(inbox));
+    rt_->post(peer, body.s2c, ack_msg());
+    return link;
+}
+
 void VLinkListener::shutdown() {
     inbox_->close();
 }
@@ -104,11 +115,14 @@ void VLink::write(const void* data, std::size_t n) {
     write(util::to_message(util::ByteBuf(data, n)));
 }
 
-bool VLink::fill(std::size_t need) {
+bool VLink::fill(std::size_t need, bool blocking) {
     while (!eof_ && buffered_.size() - buf_off_ < need) {
-        auto d = inbox_->pop();
+        auto d = blocking ? inbox_->pop() : inbox_->try_pop();
         if (!d.has_value()) {
-            eof_ = true;
+            // Blocking pop only returns empty on close. A failed try_pop
+            // may just mean "nothing arrived yet" — only a closed mailbox
+            // is end-of-stream.
+            if (blocking || inbox_->closed()) eof_ = true;
             break;
         }
         util::Message chunk = rt_->finish(std::move(*d));
@@ -121,9 +135,7 @@ bool VLink::fill(std::size_t need) {
     return buffered_.size() - buf_off_ >= need;
 }
 
-std::optional<util::Message> VLink::read_msg_opt(std::size_t n) {
-    PADICO_CHECK(valid(), "read on invalid VLink");
-    if (!fill(n)) return std::nullopt;
+util::Message VLink::take_buffered(std::size_t n) {
     util::Message out = buffered_.slice(buf_off_, n);
     buf_off_ += n;
     if (buf_off_ == buffered_.size()) {
@@ -134,6 +146,23 @@ std::optional<util::Message> VLink::read_msg_opt(std::size_t n) {
         buf_off_ = 0;
     }
     return out;
+}
+
+std::optional<util::Message> VLink::read_msg_opt(std::size_t n) {
+    PADICO_CHECK(valid(), "read on invalid VLink");
+    if (!fill(n, /*blocking=*/true)) return std::nullopt;
+    return take_buffered(n);
+}
+
+std::optional<util::Message> VLink::try_read_msg(std::size_t n) {
+    PADICO_CHECK(valid(), "read on invalid VLink");
+    if (!fill(n, /*blocking=*/false)) return std::nullopt;
+    return take_buffered(n);
+}
+
+Mailbox& VLink::rx_mailbox() {
+    PADICO_CHECK(valid(), "rx_mailbox on invalid VLink");
+    return *inbox_;
 }
 
 util::Message VLink::read_msg(std::size_t n) {

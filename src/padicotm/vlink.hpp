@@ -29,8 +29,22 @@ public:
     /// Returns an unconnected VLink after shutdown().
     VLink accept();
 
+    /// Non-blocking accept: completes the handshake of one pending
+    /// connection request, or returns nullopt when none is queued (also
+    /// after shutdown — check closed() to tell the two apart). A readiness
+    /// dispatcher registers mailbox() on a WaitSet and calls this when the
+    /// listener key reports ready.
+    std::optional<VLink> try_accept();
+
     /// Unblock pending accept() calls (used for server shutdown).
     void shutdown();
+
+    /// True once shutdown() ran: no further connections will arrive.
+    bool closed() const { return inbox_->closed(); }
+
+    /// The mailbox connection requests arrive on, for WaitSet readiness
+    /// registration. The listener must outlive the registration.
+    Mailbox& mailbox() noexcept { return *inbox_; }
 
     const std::string& service() const noexcept { return service_; }
 
@@ -78,6 +92,29 @@ public:
     util::Message read_msg(std::size_t n);
     void read(void* dst, std::size_t n);
 
+    /// Non-blocking read: drains whatever the receive mailbox holds into
+    /// the reassembly buffer and returns \p n bytes iff that many are now
+    /// available; nullopt otherwise (not enough yet, or EOF — check
+    /// at_eof()). Partial data stays buffered across calls, so a
+    /// dispatcher can reassemble frames incrementally as chunks arrive.
+    std::optional<util::Message> try_read_msg(std::size_t n);
+
+    /// True once the stream ended (peer FIN or local abort): after a
+    /// nullopt from try_read_msg this distinguishes "wait for more" from
+    /// "no more will ever come".
+    bool at_eof() const noexcept { return eof_; }
+
+    /// Bytes currently sitting in the reassembly buffer.
+    std::size_t buffered_bytes() const noexcept {
+        return buffered_.size() - buf_off_;
+    }
+
+    /// The receive mailbox, for WaitSet readiness registration. The VLink
+    /// must outlive the registration; mailbox readiness means "a chunk (or
+    /// EOF) is consumable", not "a full frame is ready" — pair it with
+    /// try_read_msg loops.
+    Mailbox& rx_mailbox();
+
     /// Half-close: signals EOF to the peer's reads and stops local reads.
     void close();
 
@@ -104,7 +141,8 @@ private:
         std::swap(fin_sent_, o.fin_sent_);
     }
     void release();
-    bool fill(std::size_t need);
+    bool fill(std::size_t need, bool blocking);
+    util::Message take_buffered(std::size_t n);
 
     Runtime* rt_ = nullptr;
     fabric::ProcessId peer_ = fabric::kNoProcess;

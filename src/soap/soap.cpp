@@ -73,10 +73,54 @@ std::pair<std::string, Params> parse_envelope(const std::string& xml) {
 // ---------------------------------------------------------------------------
 // Server
 
-SoapServer::SoapServer(ptm::Runtime& rt, const std::string& endpoint)
+/// Per-connection server driver: length-prefixed text frames reassembled
+/// on the dispatcher side, envelope dispatch on the worker side.
+class SoapServer::ServerProtocol : public svc::Protocol {
+public:
+    explicit ServerProtocol(SoapServer& server) : server_(&server) {}
+
+    Extract try_extract(ptm::VLink& link, util::Message& frame) override {
+        if (!have_len_) {
+            auto lm = link.try_read_msg(sizeof(std::uint64_t));
+            if (!lm.has_value()) {
+                if (!link.at_eof()) return Extract::kNeedMore;
+                PADICO_WIRE_CHECK(link.buffered_bytes() == 0,
+                                  "stream ended inside SOAP length prefix");
+                return Extract::kClosed;
+            }
+            lm->copy_out(0, &len_, sizeof len_);
+            have_len_ = true;
+        }
+        auto body = link.try_read_msg(len_);
+        if (!body.has_value()) {
+            PADICO_WIRE_CHECK(!link.at_eof(),
+                              "stream ended inside SOAP frame");
+            return Extract::kNeedMore;
+        }
+        have_len_ = false;
+        frame = std::move(*body);
+        return Extract::kFrame;
+    }
+
+    void on_frame(ptm::VLink& link, util::Message frame) override {
+        server_->handle_request(link, std::move(frame));
+    }
+
+private:
+    SoapServer* server_;
+    bool have_len_ = false;
+    std::uint64_t len_ = 0;
+};
+
+SoapServer::SoapServer(ptm::Runtime& rt, const std::string& endpoint,
+                       svc::ServerCore::Options opts)
     : rt_(&rt) {
-    listener_ = std::make_unique<ptm::VLinkListener>(rt, endpoint);
-    acceptor_ = std::thread([this] { serve_loop(); });
+    core_ = std::make_unique<svc::ServerCore>(
+        rt, endpoint,
+        [this]() -> std::unique_ptr<svc::Protocol> {
+            return std::make_unique<ServerProtocol>(*this);
+        },
+        opts);
 }
 
 SoapServer::~SoapServer() { shutdown(); }
@@ -86,66 +130,32 @@ void SoapServer::bind(const std::string& op, Handler handler) {
     handlers_[op] = std::move(handler);
 }
 
-void SoapServer::shutdown() {
-    if (stopping_.exchange(true)) {
-        if (acceptor_.joinable()) acceptor_.join();
-        return;
-    }
-    listener_->shutdown();
-    if (acceptor_.joinable()) acceptor_.join();
-    {
-        std::lock_guard<std::mutex> lk(conns_mu_);
-        for (auto& c : conns_) c->abort();
-    }
-    workers_.join_all();
-}
+void SoapServer::shutdown() { core_->shutdown(); }
 
-void SoapServer::serve_loop() {
-    fabric::Process::bind_to_thread(&rt_->process());
-    while (!stopping_.load()) {
-        ptm::VLink conn = listener_->accept();
-        if (!conn.valid()) return;
-        auto shared = std::make_shared<ptm::VLink>(std::move(conn));
-        {
-            std::lock_guard<std::mutex> lk(conns_mu_);
-            conns_.push_back(shared);
-        }
-        workers_.spawn([this, shared] {
-            fabric::Process::bind_to_thread(&rt_->process());
-            connection_loop(shared);
-        });
-    }
-}
-
-void SoapServer::connection_loop(std::shared_ptr<ptm::VLink> conn) {
+void SoapServer::handle_request(ptm::VLink& conn, util::Message body) {
+    auto flat = body.gather();
+    charge_xml(*rt_, flat.size());
+    const std::string text(reinterpret_cast<const char*>(flat.data()),
+                           flat.size());
+    std::string reply;
     try {
-        while (true) {
-            auto text = recv_text(*rt_, *conn);
-            if (!text.has_value()) return;
-            std::string reply;
-            try {
-                auto [op, params] = parse_envelope(*text);
-                Handler handler;
-                {
-                    std::lock_guard<std::mutex> lk(mu_);
-                    auto it = handlers_.find(op);
-                    if (it != handlers_.end()) handler = it->second;
-                }
-                if (!handler) {
-                    reply = make_envelope("Fault",
-                                          {{"faultstring",
-                                            "no such operation: " + op}});
-                } else {
-                    reply = make_envelope(op + "Response", handler(params));
-                }
-            } catch (const Error& e) {
-                reply = make_envelope("Fault", {{"faultstring", e.what()}});
-            }
-            send_text(*rt_, *conn, reply);
+        auto [op, params] = parse_envelope(text);
+        Handler handler;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            auto it = handlers_.find(op);
+            if (it != handlers_.end()) handler = it->second;
         }
-    } catch (const std::exception& e) {
-        PLOG(warn, "soap") << "connection ended: " << e.what();
+        if (!handler) {
+            reply = make_envelope(
+                "Fault", {{"faultstring", "no such operation: " + op}});
+        } else {
+            reply = make_envelope(op + "Response", handler(params));
+        }
+    } catch (const Error& e) {
+        reply = make_envelope("Fault", {{"faultstring", e.what()}});
     }
+    send_text(*rt_, conn, reply);
 }
 
 // ---------------------------------------------------------------------------

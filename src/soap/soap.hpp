@@ -10,10 +10,10 @@
 
 #include <functional>
 #include <map>
-#include <thread>
 
 #include "padicotm/module.hpp"
 #include "padicotm/vlink.hpp"
+#include "svc/server_core.hpp"
 #include "util/xml.hpp"
 
 namespace padico::soap {
@@ -31,10 +31,13 @@ inline constexpr double kXmlNsPerByte = 80.0;
 std::string make_envelope(const std::string& op, const Params& params);
 std::pair<std::string, Params> parse_envelope(const std::string& xml);
 
-/// Server: dispatches operations registered with bind().
+/// Server: dispatches operations registered with bind(). Runs on the
+/// shared event-driven ServerCore — same dispatcher/pool model as the
+/// CORBA ORB, so connection counts never inflate the thread count.
 class SoapServer {
 public:
-    SoapServer(ptm::Runtime& rt, const std::string& endpoint);
+    SoapServer(ptm::Runtime& rt, const std::string& endpoint,
+               svc::ServerCore::Options opts = {});
     ~SoapServer();
     SoapServer(const SoapServer&) = delete;
     SoapServer& operator=(const SoapServer&) = delete;
@@ -42,19 +45,18 @@ public:
     void bind(const std::string& op, Handler handler);
     void shutdown();
 
+    /// Server-core counters (accepted/pruned connections, thread counts).
+    svc::ServerCore::Stats server_stats() const { return core_->stats(); }
+
 private:
-    void serve_loop();
-    void connection_loop(std::shared_ptr<ptm::VLink> conn);
+    class ServerProtocol; ///< length-prefix framing + dispatch (soap.cpp)
+
+    void handle_request(ptm::VLink& conn, util::Message body);
 
     ptm::Runtime* rt_;
     std::mutex mu_;
     std::map<std::string, Handler> handlers_;
-    std::unique_ptr<ptm::VLinkListener> listener_;
-    std::thread acceptor_;
-    osal::ThreadGroup workers_;
-    std::mutex conns_mu_;
-    std::vector<std::shared_ptr<ptm::VLink>> conns_;
-    std::atomic<bool> stopping_{false};
+    std::unique_ptr<svc::ServerCore> core_;
 };
 
 /// Client: one connection per proxy.

@@ -1,0 +1,304 @@
+#include "svc/server_core.hpp"
+
+#include "util/log.hpp"
+
+namespace padico::svc {
+
+namespace {
+constexpr osal::WaitSet::Key kListenerKey = 0;
+} // namespace
+
+ServerCore::ServerCore(ptm::Runtime& rt, const std::string& endpoint,
+                       ProtocolFactory factory, Options opts)
+    : rt_(&rt), endpoint_(endpoint), factory_(std::move(factory)),
+      opts_(opts) {
+    PADICO_CHECK(factory_ != nullptr, "ServerCore needs a protocol factory");
+    PADICO_CHECK(opts_.workers > 0, "ServerCore needs at least one worker");
+    listener_ = std::make_unique<ptm::VLinkListener>(rt, endpoint);
+    if (opts_.mode == Mode::kEventDriven) {
+        waitset_.add(listener_->mailbox(), kListenerKey);
+        dispatcher_ = std::thread([this] { dispatch_loop(); });
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        for (std::size_t i = 0; i < opts_.workers; ++i) pool_spawn_locked();
+    } else {
+        dispatcher_ = std::thread([this] { legacy_accept_loop(); });
+    }
+}
+
+ServerCore::~ServerCore() { shutdown(); }
+
+void ServerCore::shutdown() {
+    stopping_.store(true);
+    std::lock_guard<std::mutex> slk(shutdown_mu_);
+    if (stopped_.load()) return;
+    listener_->shutdown();
+    waitset_.interrupt();
+    if (dispatcher_.joinable()) dispatcher_.join();
+    {
+        // Unblock anything still reading from clients that will never
+        // close their end (legacy conn loops; nothing in event mode —
+        // the dispatcher is already gone).
+        std::lock_guard<std::mutex> lk(mu_);
+        for (auto& [key, conn] : conns_) conn->link->abort();
+    }
+    work_.close();
+    workers_.join_all();
+    join_pool();
+    {
+        // Detach every remaining readiness registration before the
+        // connections (and their mailboxes) are released.
+        std::lock_guard<std::mutex> lk(mu_);
+        waitset_.remove(kListenerKey);
+        for (auto& [key, conn] : conns_) waitset_.remove(key);
+        conns_.clear();
+    }
+    stopped_.store(true);
+}
+
+ServerCore::Stats ServerCore::stats() const {
+    Stats s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.pruned = pruned_.load(std::memory_order_relaxed);
+    s.frames = frames_.load(std::memory_order_relaxed);
+    s.threads = threads_live_.load(std::memory_order_relaxed);
+    s.peak_threads = threads_peak_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
+    s.live_connections = conns_.size();
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Shared plumbing
+
+ServerCore::ConnPtr ServerCore::adopt(ptm::VLink&& link) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto conn = std::make_shared<Conn>(next_key_++);
+    conn->link = std::make_shared<ptm::VLink>(std::move(link));
+    conn->proto = factory_();
+    conns_.emplace(conn->key, conn);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    return conn;
+}
+
+void ServerCore::maybe_prune_locked(const ConnPtr& conn) {
+    if (!conn->closed || conn->busy || !conn->frames.empty()) return;
+    if (conns_.erase(conn->key) != 0)
+        pruned_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven mode
+
+void ServerCore::dispatch_loop() {
+    fabric::Process::bind_to_thread(&rt_->process());
+    ThreadTicket ticket(*this);
+    bool accepting = true;
+    while (!stopping_.load()) {
+        const auto ready = waitset_.wait();
+        if (stopping_.load()) break;
+        for (const auto key : ready) {
+            if (key == kListenerKey) {
+                if (accepting) accepting = accept_ready();
+            } else {
+                drive_conn(key);
+            }
+        }
+    }
+}
+
+bool ServerCore::accept_ready() {
+    // Drain every queued connection request, then check whether the
+    // listener itself closed: a closed mailbox stays level-triggered
+    // ready, so it must leave the wait set or the dispatcher would spin.
+    for (;;) {
+        auto link = listener_->try_accept();
+        if (!link.has_value()) break;
+        ConnPtr conn = adopt(std::move(*link));
+        waitset_.add(conn->link->rx_mailbox(), conn->key);
+    }
+    if (listener_->closed()) {
+        waitset_.remove(kListenerKey);
+        return false;
+    }
+    return true;
+}
+
+void ServerCore::drive_conn(osal::WaitSet::Key key) {
+    ConnPtr conn;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = conns_.find(key);
+        if (it == conns_.end()) return; // pruned before this readiness
+        conn = it->second;
+    }
+    for (;;) {
+        util::Message frame;
+        Protocol::Extract st;
+        try {
+            st = conn->proto->try_extract(*conn->link, frame);
+        } catch (const std::exception& e) {
+            PLOG(warn, "svc") << endpoint_
+                              << ": connection dropped: " << e.what();
+            conn->link->abort();
+            st = Protocol::Extract::kClosed;
+        }
+        if (st == Protocol::Extract::kFrame) {
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lk(mu_);
+            conn->frames.push_back(std::move(frame));
+            if (!conn->busy) {
+                conn->busy = true;
+                work_.push(conn);
+            }
+            continue;
+        }
+        if (st == Protocol::Extract::kNeedMore) break;
+        // Closed: no further frames will ever be extracted. Deregister
+        // first (so the closed mailbox stops reporting ready), then prune
+        // unless a worker still holds queued frames.
+        waitset_.remove(key);
+        std::lock_guard<std::mutex> lk(mu_);
+        conn->closed = true;
+        maybe_prune_locked(conn);
+        break;
+    }
+}
+
+// Pool elasticity: a handler that waits on progress made by OTHER
+// requests (parallel-invocation rendezvous, member collectives) would
+// deadlock a fixed pool once such waits occupy every worker. Handlers
+// bracket those waits with osal::BlockingHint::Region; the enter hook
+// spawns a spare worker whenever the last runnable one is about to
+// block, and surplus workers retire once the waits are over. Protocols
+// that never block (plain request/reply) keep the pool at exactly
+// Options::workers.
+
+void ServerCore::pool_spawn_locked() {
+    pool_.emplace_back([this] { worker_loop(); });
+    ++pool_threads_;
+}
+
+void ServerCore::worker_entered_blocking() {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    ++pool_blocked_;
+    if (pool_threads_ == pool_blocked_ && !stopping_.load())
+        pool_spawn_locked();
+}
+
+void ServerCore::worker_exited_blocking() {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    --pool_blocked_;
+}
+
+void ServerCore::join_pool() {
+    // Workers spawn peers (enter hook), so drain in rounds; stopping_ is
+    // already set, which stops further growth.
+    for (;;) {
+        std::vector<std::thread> batch;
+        {
+            std::lock_guard<std::mutex> lk(pool_mu_);
+            batch.swap(pool_);
+        }
+        if (batch.empty()) return;
+        for (auto& t : batch) t.join();
+    }
+}
+
+void ServerCore::worker_loop() {
+    fabric::Process::bind_to_thread(&rt_->process());
+    ThreadTicket ticket(*this);
+    osal::BlockingHint::Scope hint({[this] { worker_entered_blocking(); },
+                                    [this] { worker_exited_blocking(); }});
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lk(pool_mu_);
+            if (pool_threads_ > opts_.workers + pool_blocked_) {
+                --pool_threads_; // surplus spare: retire
+                return;
+            }
+        }
+        auto item = work_.pop();
+        if (!item.has_value()) break;
+        ConnPtr conn = std::move(*item);
+        for (;;) {
+            util::Message frame;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (conn->frames.empty()) {
+                    conn->busy = false;
+                    maybe_prune_locked(conn);
+                    break;
+                }
+                frame = std::move(conn->frames.front());
+                conn->frames.pop_front();
+            }
+            try {
+                conn->proto->on_frame(*conn->link, std::move(frame));
+            } catch (const std::exception& e) {
+                PLOG(warn, "svc") << endpoint_
+                                  << ": request handler failed: "
+                                  << e.what();
+                // Drop the connection: discard its queued frames and mark
+                // the stream dead so the dispatcher deregisters + prunes.
+                conn->link->abort();
+                std::lock_guard<std::mutex> lk(mu_);
+                conn->frames.clear();
+            }
+        }
+    }
+    std::lock_guard<std::mutex> lk(pool_mu_); // work_ closed: shutting down
+    --pool_threads_;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-per-connection mode (the historical server shape, kept as the
+// baseline bench_server_scale compares against)
+
+void ServerCore::legacy_accept_loop() {
+    fabric::Process::bind_to_thread(&rt_->process());
+    ThreadTicket ticket(*this);
+    while (!stopping_.load()) {
+        ptm::VLink link = listener_->accept();
+        if (!link.valid()) return; // shut down
+        ConnPtr conn = adopt(std::move(link));
+        workers_.spawn([this, conn] { blocking_conn_loop(conn); });
+    }
+}
+
+void ServerCore::blocking_conn_loop(ConnPtr conn) {
+    fabric::Process::bind_to_thread(&rt_->process());
+    ThreadTicket ticket(*this);
+    osal::WaitSet ws;
+    ws.add(conn->link->rx_mailbox(), 1);
+    for (;;) {
+        util::Message frame;
+        Protocol::Extract st;
+        try {
+            st = conn->proto->try_extract(*conn->link, frame);
+        } catch (const std::exception& e) {
+            PLOG(warn, "svc") << endpoint_
+                              << ": connection dropped: " << e.what();
+            st = Protocol::Extract::kClosed;
+        }
+        if (st == Protocol::Extract::kFrame) {
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            try {
+                conn->proto->on_frame(*conn->link, std::move(frame));
+            } catch (const std::exception& e) {
+                PLOG(warn, "svc") << endpoint_
+                                  << ": request handler failed: "
+                                  << e.what();
+                break;
+            }
+            continue;
+        }
+        if (st == Protocol::Extract::kClosed) break;
+        ws.wait(); // kNeedMore: block until a chunk (or EOF) arrives
+    }
+    ws.remove(1);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (conns_.erase(conn->key) != 0)
+        pruned_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace padico::svc

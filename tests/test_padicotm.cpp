@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "madeleine/madeleine.hpp"
 #include "padicotm/circuit.hpp"
@@ -360,6 +362,143 @@ TEST(VLink, ListenerShutdownUnblocksAccept) {
         listener.shutdown();
         t.join();
         EXPECT_TRUE(unblocked.load());
+    });
+    p.grid.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Readiness/teardown races (the event-driven server core leans on these)
+
+TEST(Engine, DemuxReplaysPendingInOrderUnderConcurrentSubscribe) {
+    // Send-before-subscribe race: a producer routes a stream of packets
+    // while the consumer subscribes mid-stream. Every packet must arrive
+    // exactly once and in order, whether it was replayed from the pending
+    // buffer or delivered straight to the mailbox.
+    for (int round = 0; round < 20; ++round) {
+        Demux demux;
+        constexpr int kMsgs = 64;
+        std::thread producer([&] {
+            for (int i = 0; i < kMsgs; ++i) {
+                Packet pkt;
+                pkt.channel = 7;
+                pkt.src = 1;
+                pkt.payload = text_msg(std::to_string(i));
+                demux.route(std::move(pkt), 0);
+            }
+        });
+        auto box = demux.subscribe(7);
+        producer.join();
+        for (int i = 0; i < kMsgs; ++i) {
+            auto d = box->pop();
+            ASSERT_TRUE(d.has_value());
+            EXPECT_EQ(msg_text(d->payload), std::to_string(i));
+        }
+        EXPECT_FALSE(box->try_pop().has_value());
+        EXPECT_EQ(demux.dropped_pending(), 0u);
+    }
+}
+
+TEST(Engine, DroppedPendingCountedOnUnsubscribeAndCloseAll) {
+    Demux demux;
+    auto orphan = [&](ChannelId ch) {
+        Packet pkt;
+        pkt.channel = ch;
+        pkt.src = 2;
+        pkt.payload = text_msg("orphan");
+        demux.route(std::move(pkt), 0);
+    };
+    orphan(5);
+    orphan(5);
+    orphan(9);
+    EXPECT_EQ(demux.dropped_pending(), 0u); // still buffered, not dropped
+    demux.unsubscribe(5); // never-subscribed channel holding 2 deliveries
+    EXPECT_EQ(demux.dropped_pending(), 2u);
+    demux.close_all(); // channel 9 still orphaned
+    EXPECT_EQ(demux.dropped_pending(), 3u);
+
+    // Delivered traffic is never counted, even when discarded unread.
+    Demux clean;
+    auto box = clean.subscribe(4);
+    Packet pkt;
+    pkt.channel = 4;
+    pkt.src = 3;
+    pkt.payload = text_msg("read-me-not");
+    clean.route(std::move(pkt), 0);
+    clean.unsubscribe(4);
+    clean.close_all();
+    EXPECT_EQ(clean.dropped_pending(), 0u);
+    EXPECT_TRUE(box->try_pop().has_value()); // it reached the mailbox
+}
+
+TEST(VLink, ShutdownRacesSecondAccept) {
+    // shutdown() concurrent with another thread (re-)entering accept():
+    // the racing accept must return an invalid link — never hang — and
+    // the already-accepted stream must stay usable.
+    for (int round = 0; round < 5; ++round) {
+        DualNetPair p;
+        const std::string service = "race" + std::to_string(round);
+        osal::Event first_served;
+        p.grid.spawn(*p.a, [&](Process& proc) {
+            Runtime rt(proc);
+            VLinkListener listener(rt, service);
+            std::atomic<bool> second_returned{false};
+            std::thread acceptor([&] {
+                VLink s = listener.accept();
+                ASSERT_TRUE(s.valid());
+                char b;
+                s.read(&b, 1);
+                s.write(&b, 1);
+                first_served.set();
+                VLink s2 = listener.accept(); // races shutdown() below
+                EXPECT_FALSE(s2.valid());
+                second_returned = true;
+            });
+            first_served.wait();
+            listener.shutdown();
+            acceptor.join();
+            EXPECT_TRUE(second_returned.load());
+            EXPECT_TRUE(listener.closed());
+        });
+        p.grid.spawn(*p.b, [&](Process& proc) {
+            Runtime rt(proc);
+            VLink c = VLink::connect(rt, service);
+            char b = 'x';
+            c.write(&b, 1);
+            c.read(&b, 1);
+            EXPECT_EQ(b, 'x');
+            c.close();
+        });
+        p.grid.join_all();
+    }
+}
+
+TEST(VLink, AbortUnblocksConcurrentReader) {
+    DualNetPair p;
+    osal::Event done;
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        Runtime rt(proc);
+        VLinkListener listener(rt, "abort-race");
+        VLink s = listener.accept();
+        ASSERT_TRUE(s.valid());
+        std::atomic<bool> unblocked{false};
+        std::thread reader([&] {
+            auto m = s.read_msg_opt(16); // blocks: the peer never writes
+            EXPECT_FALSE(m.has_value());
+            EXPECT_TRUE(s.at_eof());
+            unblocked = true;
+        });
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        EXPECT_FALSE(unblocked.load());
+        s.abort(); // from another thread, while the reader is parked
+        reader.join();
+        EXPECT_TRUE(unblocked.load());
+        done.set();
+    });
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        Runtime rt(proc);
+        VLink c = VLink::connect(rt, "abort-race");
+        done.wait();
+        c.close();
     });
     p.grid.join_all();
 }

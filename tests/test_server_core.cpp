@@ -1,0 +1,363 @@
+// Tests for the event-driven server stack: osal::WaitSet readiness
+// multiplexing, ServerCore connection lifecycle (accept, frame dispatch,
+// prune-on-close), the thread-count bound vs concurrent clients, pool
+// elasticity under blocking handlers, and virtual-time equivalence of the
+// event-driven and thread-per-connection server shapes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+
+#include "corba/orb.hpp"
+#include "fabric/grid.hpp"
+#include "osal/blocking.hpp"
+#include "osal/sync.hpp"
+#include "osal/waitset.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+using namespace padico::corba;
+
+namespace {
+
+struct DuoGrid {
+    Grid grid;
+    Machine* server;
+    Machine* client;
+
+    DuoGrid() {
+        auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+        server = &grid.add_machine("srv");
+        client = &grid.add_machine("cli");
+        for (auto* m : {server, client}) grid.attach(*m, eth);
+    }
+};
+
+class EchoServant : public Servant {
+public:
+    std::string interface() const override { return "IDL:Echo:1.0"; }
+    void dispatch(const std::string& op, cdr::Decoder& in,
+                  cdr::Encoder& out) override {
+        if (op != "echo") throw RemoteError("BAD_OPERATION " + op);
+        out.put_string(in.get_string());
+    }
+};
+
+/// Rendezvous servant: the first caller parks inside the handler until a
+/// second caller arrives — the cross-request wait that deadlocks a fixed
+/// pool unless the pool honors BlockingHint regions.
+class MeetServant : public Servant {
+public:
+    std::string interface() const override { return "IDL:Meet:1.0"; }
+    void dispatch(const std::string& op, cdr::Decoder&,
+                  cdr::Encoder& out) override {
+        if (op != "meet") throw RemoteError("BAD_OPERATION " + op);
+        std::unique_lock<std::mutex> lk(mu_);
+        ++arrived_;
+        if (arrived_ < 2) {
+            osal::BlockingHint::Region blocking;
+            cv_.wait(lk, [&] { return arrived_ >= 2; });
+        } else {
+            cv_.notify_all();
+        }
+        out.put_bool(true);
+    }
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int arrived_ = 0;
+};
+
+/// One raw GIOP request/reply round trip (the wire shape ObjectRef::invoke
+/// produces). Raw so tests control when the stream close()s.
+std::string raw_echo_call(ptm::VLink& conn, std::uint64_t req_id,
+                          std::uint64_t key, const std::string& payload,
+                          const std::string& op = "echo") {
+    cdr::Encoder req(true);
+    req.put_u64(req_id);
+    req.put_u64(key);
+    req.put_bool(true);
+    req.put_string(op);
+    req.put_message(cdr::encode(true, payload));
+    giop::send_message(conn, giop::MsgType::Request, req.take());
+
+    auto reply = giop::recv_message(conn);
+    EXPECT_TRUE(reply.has_value());
+    cdr::Decoder dec(std::move(reply->second));
+    EXPECT_EQ(dec.get_u64(), req_id);
+    EXPECT_EQ(dec.get_u8(),
+              static_cast<std::uint8_t>(giop::ReplyStatus::NoException));
+    if (op != "echo") return {};
+    return cdr::decode_one<std::string>(dec.get_bytes_msg(dec.remaining()));
+}
+
+/// Poll server stats until \p pred holds or ~2s elapse.
+template <typename Pred>
+svc::ServerCore::Stats poll_stats(const Orb& orb, Pred pred) {
+    svc::ServerCore::Stats st;
+    for (int spin = 0; spin < 2000; ++spin) {
+        st = orb.server_stats();
+        if (pred(st)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return st;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// WaitSet
+
+TEST(WaitSet, ItemsPushedBeforeAddStillReport) {
+    osal::BlockingQueue<int> q;
+    q.push(7);
+    osal::WaitSet ws;
+    ws.add(q, 3);
+    const auto ready = ws.wait(); // must not block: readiness is level
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0], 3u);
+    EXPECT_EQ(q.try_pop(), std::optional<int>(7));
+    EXPECT_TRUE(ws.poll().empty());
+}
+
+TEST(WaitSet, PushWakesABlockedWait) {
+    osal::BlockingQueue<int> q;
+    osal::WaitSet ws;
+    ws.add(q, 1);
+    std::atomic<bool> woke{false};
+    std::thread t([&] {
+        const auto ready = ws.wait();
+        ASSERT_EQ(ready.size(), 1u);
+        EXPECT_EQ(ready[0], 1u);
+        woke = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(woke.load());
+    q.push(42);
+    t.join();
+    EXPECT_TRUE(woke.load());
+    ws.remove(1);
+}
+
+TEST(WaitSet, CloseCountsAsReadyUntilRemoved) {
+    osal::BlockingQueue<int> q;
+    osal::WaitSet ws;
+    ws.add(q, 9);
+    q.close();
+    EXPECT_EQ(ws.wait(), std::vector<osal::WaitSet::Key>{9});
+    // Level-triggered: still ready until the caller deregisters.
+    EXPECT_EQ(ws.poll(), std::vector<osal::WaitSet::Key>{9});
+    ws.remove(9);
+    EXPECT_TRUE(ws.poll().empty());
+    EXPECT_EQ(ws.size(), 0u);
+}
+
+TEST(WaitSet, InterruptReturnsEmpty) {
+    osal::BlockingQueue<int> q;
+    osal::WaitSet ws;
+    ws.add(q, 1);
+    std::thread t([&] { EXPECT_TRUE(ws.wait().empty()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ws.interrupt();
+    t.join();
+}
+
+TEST(WaitSet, ReportsEveryReadyQueue) {
+    osal::BlockingQueue<int> a, b, c;
+    osal::WaitSet ws;
+    ws.add(a, 10);
+    ws.add(b, 20);
+    ws.add(c, 30);
+    a.push(1);
+    c.push(3);
+    const auto ready = ws.wait();
+    EXPECT_EQ(ready, (std::vector<osal::WaitSet::Key>{10, 30}));
+    ws.remove(10);
+    ws.remove(20);
+    ws.remove(30);
+    // Removing unknown keys is a no-op (prune races a late readiness).
+    ws.remove(99);
+}
+
+// ---------------------------------------------------------------------------
+// ServerCore lifecycle
+
+TEST(ServerCore, ClosedConnectionIsPruned) {
+    // Regression: the old per-connection servers kept every accepted
+    // connection in conns_ forever; the core must release a connection
+    // (and its VLink/channel subscription) once the stream closes.
+    DuoGrid g;
+    osal::Event served, client_done;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        orb.serve("prune-ep");
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("test/prune/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        client_done.wait();
+        const auto st = poll_stats(orb, [](const svc::ServerCore::Stats& s) {
+            return s.live_connections == 0 && s.pruned >= 1;
+        });
+        EXPECT_EQ(st.accepted, 1u);
+        EXPECT_EQ(st.pruned, 1u);
+        EXPECT_EQ(st.live_connections, 0u);
+        EXPECT_EQ(st.frames, 2u);
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        served.wait();
+        const std::uint64_t key = proc.grid().wait_service("test/prune/key");
+        ptm::VLink conn = ptm::VLink::connect(rt, "prune-ep");
+        EXPECT_EQ(raw_echo_call(conn, 1, key, "ping"), "ping");
+        EXPECT_EQ(raw_echo_call(conn, 2, key, "pong"), "pong");
+        conn.close();
+        client_done.set();
+    });
+    g.grid.join_all();
+}
+
+TEST(ServerCore, ThreadCountBoundedByPoolNotConnections) {
+    constexpr int kClients = 8;
+    Grid grid;
+    auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+    auto& srv = grid.add_machine("srv");
+    grid.attach(srv, eth);
+    std::vector<Machine*> clients;
+    for (int i = 0; i < kClients; ++i) {
+        auto& m = grid.add_machine("cli" + std::to_string(i));
+        grid.attach(m, eth);
+        clients.push_back(&m);
+    }
+    osal::Event served;
+    osal::Latch done(kClients);
+    osal::Barrier start(kClients);
+    grid.spawn(srv, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        svc::ServerCore::Options opts;
+        opts.workers = 2;
+        orb.serve("bound-ep", opts);
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("test/bound/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        done.wait();
+        const auto st = poll_stats(orb, [](const svc::ServerCore::Stats& s) {
+            return s.live_connections == 0;
+        });
+        EXPECT_EQ(st.accepted, static_cast<std::uint64_t>(kClients));
+        EXPECT_EQ(st.pruned, static_cast<std::uint64_t>(kClients));
+        // 1 dispatcher + the pool, no matter how many clients connected.
+        EXPECT_EQ(st.peak_threads, 1u + 2u);
+        orb.shutdown();
+    });
+    for (int c = 0; c < kClients; ++c) {
+        grid.spawn(*clients[static_cast<std::size_t>(c)],
+                   [&, c](Process& proc) {
+            ptm::Runtime rt(proc);
+            served.wait();
+            const std::uint64_t key =
+                proc.grid().wait_service("test/bound/key");
+            ptm::VLink conn = ptm::VLink::connect(rt, "bound-ep");
+            start.arrive_and_wait(); // all connections live at once
+            for (int i = 0; i < 4; ++i)
+                EXPECT_EQ(raw_echo_call(conn,
+                                        static_cast<std::uint64_t>(i + 1),
+                                        key, "c" + std::to_string(c)),
+                          "c" + std::to_string(c));
+            conn.close();
+            done.count_down();
+        });
+    }
+    grid.join_all();
+}
+
+TEST(ServerCore, BlockingHintGrowsAndShrinksPool) {
+    // Two clients rendezvous inside the servant. With a pool of ONE the
+    // first contact would starve the second forever — unless the blocked
+    // handler's BlockingHint region lends its slot to a spare thread.
+    DuoGrid g;
+    osal::Event served, done;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        svc::ServerCore::Options opts;
+        opts.workers = 1;
+        orb.serve("meet-ep", opts);
+        IOR ior = orb.activate(std::make_shared<MeetServant>());
+        proc.grid().register_service("test/meet/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        done.wait();
+        const auto st = orb.server_stats();
+        // The rendezvous needed a spare thread beyond dispatcher + pool.
+        EXPECT_GE(st.peak_threads, 3u);
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        served.wait();
+        const std::uint64_t key = proc.grid().wait_service("test/meet/key");
+        ptm::VLink c1 = ptm::VLink::connect(rt, "meet-ep");
+        ptm::VLink c2 = ptm::VLink::connect(rt, "meet-ep");
+        std::thread first(
+            [&] { raw_echo_call(c1, 1, key, "", "meet"); });
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        raw_echo_call(c2, 1, key, "", "meet");
+        first.join();
+        c1.close();
+        c2.close();
+        done.set();
+    });
+    g.grid.join_all();
+}
+
+TEST(ServerCore, SerialVirtualTimeIdenticalAcrossModes) {
+    // The server shape is real-time plumbing: a serialized workload must
+    // produce bit-identical virtual completion times in both modes.
+    auto run = [](svc::ServerCore::Mode mode) {
+        DuoGrid g;
+        osal::Event served, done;
+        std::vector<SimTime> trace;
+        g.grid.spawn(*g.server, [&](Process& proc) {
+            ptm::Runtime rt(proc);
+            Orb orb(rt, profile_omniorb4());
+            svc::ServerCore::Options opts;
+            opts.mode = mode;
+            orb.serve("vt-ep", opts);
+            IOR ior = orb.activate(std::make_shared<EchoServant>());
+            proc.grid().register_service("test/vt/key",
+                                         static_cast<ProcessId>(ior.key));
+            served.set();
+            done.wait();
+            orb.shutdown();
+        });
+        g.grid.spawn(*g.client, [&](Process& proc) {
+            ptm::Runtime rt(proc);
+            served.wait();
+            const std::uint64_t key = proc.grid().wait_service("test/vt/key");
+            ptm::VLink conn = ptm::VLink::connect(rt, "vt-ep");
+            for (int i = 0; i < 24; ++i) {
+                raw_echo_call(conn, static_cast<std::uint64_t>(i + 1), key,
+                              std::string(100 + i, 'p'));
+                trace.push_back(proc.now());
+            }
+            conn.close();
+            done.set();
+        });
+        g.grid.join_all();
+        return trace;
+    };
+    const auto event = run(svc::ServerCore::Mode::kEventDriven);
+    const auto legacy = run(svc::ServerCore::Mode::kThreadPerConnection);
+    ASSERT_EQ(event.size(), 24u);
+    EXPECT_EQ(event, legacy);
+    EXPECT_GT(event.back(), 0);
+}
