@@ -1,0 +1,297 @@
+// Fabric data-plane scaling benchmark: the sharded timing model
+// (per-NIC-direction locks + indexed/pruned BusyList + lock-free route
+// reads) against the legacy segment-global data plane (one lock per
+// segment, scan-from-zero BusyList that never forgets spans, route lookup
+// under route_mu_), kept as TimingMode::kSegmentGlobal for A/B.
+//
+// Three legs:
+//  * pairs: N disjoint machine pairs streaming on ONE switched segment,
+//    with a small flow-control window (receivers merge their clocks, so
+//    watermark pruning can follow). Wall-clock packets/sec per mode; the
+//    per-pair serialized virtual times must be BIT-IDENTICAL across modes.
+//  * serial: one sender, two destinations, a deterministic mixed workload
+//    booked strictly sequentially; the full trace of sender-side
+//    completions and delivery times must be bit-identical across modes.
+//  * soak: one streaming pair long enough that the legacy never-pruned
+//    BusyList hurts; reports span high-water marks, pruned spans and
+//    route fast-path counters.
+//
+// Emits one JSON object to stdout AND to BENCH_fabric.json (override with
+// --out <path>). --quick shrinks sizes for the CTest smoke run and skips
+// the wall-clock speedup assertion (virtual-identity is always asserted).
+// Exits nonzero when an assertion fails.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fabric/grid.hpp"
+#include "osal/sync.hpp"
+#include "util/rng.hpp"
+
+namespace padico::bench {
+namespace {
+
+using namespace padico::fabric;
+
+constexpr std::size_t kBytes = 256;   // ~23 us wire time on Fast-Ethernet
+constexpr SimTime kGap = usec(50.0);  // compute gap between sends
+constexpr int kWindow = 256;          // flow-control window (in-flight msgs)
+
+struct PairLeg {
+    double wall_ms = 0;
+    /// Per pair: {last sender-side completion, FNV-mixed delivery trace}.
+    std::vector<std::pair<SimTime, std::uint64_t>> sig;
+    AdapterCounters tx_nic;  ///< sender NIC of pair 0
+    AdapterCounters rx_nic;  ///< receiver NIC of pair 0
+    std::uint64_t fast_hits = 0, fast_misses = 0;
+};
+
+PairLeg run_pairs(TimingMode mode, int n_pairs, int msgs) {
+    Grid g;
+    auto& seg = g.add_segment("eth", NetTech::FastEthernet);
+    seg.set_timing_mode(mode);
+    std::vector<Machine*> ms;
+    for (int i = 0; i < 2 * n_pairs; ++i) {
+        ms.push_back(&g.add_machine("n" + std::to_string(i)));
+        g.attach(*ms.back(), seg);
+    }
+    const ChannelId ch = g.channel_id("pairs");
+    PairLeg res;
+    res.sig.resize(static_cast<std::size_t>(n_pairs));
+    std::vector<std::unique_ptr<std::atomic<int>>> consumed;
+    for (int i = 0; i < n_pairs; ++i)
+        consumed.push_back(std::make_unique<std::atomic<int>>(0));
+    osal::Barrier start(static_cast<std::size_t>(2 * n_pairs) + 1);
+
+    for (int i = 0; i < n_pairs; ++i) {
+        const ProcessId rx_pid = static_cast<ProcessId>(2 * i + 1);
+        g.spawn(*ms[static_cast<std::size_t>(2 * i)],
+                [&, i, rx_pid](Process& proc) {
+            auto port = proc.machine().adapter_on(seg)->open(proc, "bench");
+            start.arrive_and_wait();
+            SimTime tx = 0;
+            for (int m = 0; m < msgs; ++m) {
+                while (m - consumed[static_cast<std::size_t>(i)]->load(
+                               std::memory_order_relaxed) > kWindow)
+                    std::this_thread::yield();
+                proc.compute(kGap);
+                tx = port->send(rx_pid, ch,
+                                util::to_message(util::ByteBuf(kBytes)),
+                                proc.now());
+                proc.clock().set(tx);
+            }
+            res.sig[static_cast<std::size_t>(i)].first = tx;
+        });
+        g.spawn(*ms[static_cast<std::size_t>(2 * i + 1)],
+                [&, i](Process& proc) {
+            auto port = proc.machine().adapter_on(seg)->open(proc, "bench");
+            start.arrive_and_wait();
+            std::uint64_t h = 1469598103934665603ULL; // FNV offset basis
+            for (int m = 0; m < msgs; ++m) {
+                auto pkt = port->recv();
+                if (!pkt) break;
+                proc.clock().merge(pkt->deliver_time);
+                h = (h ^ static_cast<std::uint64_t>(pkt->deliver_time)) *
+                    1099511628211ULL;
+                consumed[static_cast<std::size_t>(i)]->store(
+                    m + 1, std::memory_order_relaxed);
+            }
+            res.sig[static_cast<std::size_t>(i)].second = h;
+        });
+    }
+    start.arrive_and_wait();
+    const auto t0 = std::chrono::steady_clock::now();
+    g.join_all();
+    res.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    res.tx_nic = ms[0]->adapters()[0]->counters();
+    res.rx_nic = ms[1]->adapters()[0]->counters();
+    res.fast_hits = seg.route_fast_hits();
+    res.fast_misses = seg.route_fast_misses();
+    return res;
+}
+
+/// Strictly sequential mixed workload: every booking decision is made by
+/// one thread, so the full virtual-time trace must be independent of the
+/// timing mode.
+std::vector<SimTime> run_serial(TimingMode mode, int msgs) {
+    Grid g;
+    auto& seg = g.add_segment("eth", NetTech::FastEthernet);
+    seg.set_timing_mode(mode);
+    std::vector<Machine*> ms;
+    for (int i = 0; i < 3; ++i) {
+        ms.push_back(&g.add_machine("n" + std::to_string(i)));
+        g.attach(*ms.back(), seg);
+    }
+    const ChannelId ch = g.channel_id("serial");
+    std::array<std::vector<SimTime>, 3> parts; // fixed slot per thread
+    osal::Event sender_done;
+    osal::Latch receivers_ready(2);
+
+    g.spawn(*ms[0], [&](Process& proc) {
+        auto port = proc.machine().adapter_on(seg)->open(proc, "bench");
+        receivers_ready.wait();
+        util::Rng rng(123);
+        for (int m = 0; m < msgs; ++m) {
+            proc.compute(nsec(static_cast<SimTime>(rng.below(100000))));
+            const std::size_t bytes = 64 + rng.below(8192);
+            const ProcessId dst = static_cast<ProcessId>(1 + m % 2);
+            const SimTime tx = port->send(
+                dst, ch, util::to_message(util::ByteBuf(bytes)), proc.now());
+            proc.clock().set(tx);
+            parts[0].push_back(tx);
+        }
+        sender_done.set();
+    });
+    for (int r = 0; r < 2; ++r) {
+        const int expect = (msgs + 1 - r) / 2;
+        g.spawn(*ms[static_cast<std::size_t>(1 + r)],
+                [&, r, expect](Process& proc) {
+            auto port = proc.machine().adapter_on(seg)->open(proc, "bench");
+            receivers_ready.count_down();
+            sender_done.wait(); // drain after the fact: bookings stay serial
+            for (int m = 0; m < expect; ++m) {
+                auto pkt = port->recv();
+                if (!pkt) break;
+                parts[static_cast<std::size_t>(1 + r)].push_back(
+                    pkt->deliver_time);
+            }
+        });
+    }
+    g.join_all();
+    std::vector<SimTime> trace;
+    for (const auto& p : parts) trace.insert(trace.end(), p.begin(), p.end());
+    return trace;
+}
+
+int run(bool quick, const std::string& out_path) {
+    const std::vector<int> pair_counts =
+        quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
+    const int pair_msgs = quick ? 300 : 5000;
+    const int serial_msgs = quick ? 200 : 2000;
+    const int soak_msgs = quick ? 2000 : 30000;
+
+    std::string rows;
+    bool all_identical = true;
+    double speedup_at_max = 0;
+    for (int n : pair_counts) {
+        const PairLeg sh = run_pairs(TimingMode::kSharded, n, pair_msgs);
+        const PairLeg lg = run_pairs(TimingMode::kSegmentGlobal, n,
+                                     pair_msgs);
+        const bool identical = sh.sig == lg.sig;
+        all_identical = all_identical && identical;
+        const double total_pkts = static_cast<double>(n) * pair_msgs;
+        const double speedup = sh.wall_ms > 0 ? lg.wall_ms / sh.wall_ms : 0;
+        speedup_at_max = speedup; // pair_counts is ascending
+        rows += util::strfmt(
+            "  {\"pairs\": %d, \"msgs_per_pair\": %d, "
+            "\"wall_ms_sharded\": %.1f, \"wall_ms_legacy\": %.1f, "
+            "\"kpkts_s_sharded\": %.0f, \"kpkts_s_legacy\": %.0f, "
+            "\"speedup\": %.2f, \"virtual_identical\": %s},\n",
+            n, pair_msgs, sh.wall_ms, lg.wall_ms,
+            total_pkts / sh.wall_ms, total_pkts / lg.wall_ms, speedup,
+            identical ? "true" : "false");
+        std::fprintf(stderr, "pairs=%2d sharded %7.1f ms, legacy %7.1f ms, "
+                             "speedup %.2fx, identical=%d\n",
+                     n, sh.wall_ms, lg.wall_ms, speedup, identical);
+    }
+    if (!rows.empty()) rows.erase(rows.size() - 2); // drop trailing ",\n"
+
+    const auto serial_sh = run_serial(TimingMode::kSharded, serial_msgs);
+    const auto serial_lg = run_serial(TimingMode::kSegmentGlobal,
+                                      serial_msgs);
+    const bool serial_identical =
+        serial_sh == serial_lg && !serial_sh.empty();
+
+    const PairLeg soak_sh = run_pairs(TimingMode::kSharded, 1, soak_msgs);
+    const PairLeg soak_lg = run_pairs(TimingMode::kSegmentGlobal, 1,
+                                      soak_msgs);
+    const bool soak_identical = soak_sh.sig == soak_lg.sig;
+
+    const bool soak_pruned_ok = soak_sh.tx_nic.tx_pruned_spans > 0 &&
+                                soak_sh.tx_nic.tx_span_high_water < 4096;
+    const bool speedup_ok = quick || speedup_at_max >= 3.0;
+    const bool ok = all_identical && serial_identical && soak_identical &&
+                    soak_pruned_ok && speedup_ok;
+
+    std::string json = util::strfmt(
+        "{\n \"bench\": \"fabric_scale\",\n \"quick\": %s,\n"
+        " \"cpus\": %u,\n \"pairs\": [\n%s\n ],\n"
+        " \"speedup_at_max_pairs\": %.2f,\n"
+        " \"serial\": {\"events\": %zu, \"identical\": %s},\n",
+        quick ? "true" : "false", std::thread::hardware_concurrency(),
+        rows.c_str(), speedup_at_max, serial_sh.size(),
+        serial_identical ? "true" : "false");
+    json += util::strfmt(
+        " \"soak\": {\"msgs\": %d, \"window\": %d, \"identical\": %s,\n"
+        "  \"sharded\": {\"wall_ms\": %.1f, \"tx_span_high_water\": %llu, "
+        "\"tx_pruned_spans\": %llu, \"rx_span_high_water\": %llu, "
+        "\"rx_pruned_spans\": %llu, \"route_fast_hits\": %llu, "
+        "\"route_fast_misses\": %llu},\n"
+        "  \"legacy\": {\"wall_ms\": %.1f, \"tx_span_high_water\": %llu, "
+        "\"tx_pruned_spans\": %llu}},\n \"ok\": %s\n}\n",
+        soak_msgs, kWindow, soak_identical ? "true" : "false",
+        soak_sh.wall_ms,
+        static_cast<unsigned long long>(soak_sh.tx_nic.tx_span_high_water),
+        static_cast<unsigned long long>(soak_sh.tx_nic.tx_pruned_spans),
+        static_cast<unsigned long long>(soak_sh.rx_nic.rx_span_high_water),
+        static_cast<unsigned long long>(soak_sh.rx_nic.rx_pruned_spans),
+        static_cast<unsigned long long>(soak_sh.fast_hits),
+        static_cast<unsigned long long>(soak_sh.fast_misses),
+        soak_lg.wall_ms,
+        static_cast<unsigned long long>(soak_lg.tx_nic.tx_span_high_water),
+        static_cast<unsigned long long>(soak_lg.tx_nic.tx_pruned_spans),
+        ok ? "true" : "false");
+
+    std::fputs(json.c_str(), stdout);
+    if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "WARN: cannot write %s\n", out_path.c_str());
+    }
+
+    if (!all_identical || !serial_identical || !soak_identical) {
+        std::fprintf(stderr, "FAIL: virtual times diverge across modes\n");
+        return 1;
+    }
+    if (!soak_pruned_ok) {
+        std::fprintf(stderr,
+                     "FAIL: soak pruning ineffective (high water %llu, "
+                     "pruned %llu)\n",
+                     static_cast<unsigned long long>(
+                         soak_sh.tx_nic.tx_span_high_water),
+                     static_cast<unsigned long long>(
+                         soak_sh.tx_nic.tx_pruned_spans));
+        return 1;
+    }
+    if (!speedup_ok) {
+        std::fprintf(stderr, "FAIL: speedup at %d pairs is %.2fx (< 3x)\n",
+                     pair_counts.back(), speedup_at_max);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace padico::bench
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    std::string out = "BENCH_fabric.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out = argv[++i];
+    }
+    return padico::bench::run(quick, out);
+}

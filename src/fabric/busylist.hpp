@@ -7,7 +7,22 @@
 /// a small, virtually-late message can no longer push a virtually-early
 /// transfer behind it (threads book reservations in scheduling order, not
 /// in virtual-time order).
+///
+/// Two cost bounds keep the structure cheap under streaming workloads:
+///  * reserve() binary-searches for the first span that can still overlap
+///    the request instead of scanning from index 0 (spans are disjoint and
+///    sorted, so their end times are sorted too);
+///  * prune() retires spans behind a completed-time watermark. The caller
+///    contracts that every later reserve() uses earliest >= horizon — the
+///    fabric derives the horizon from the minimum virtual clock of the
+///    processes that can still book on this list — which makes pruning
+///    EXACT: no subsequent reservation can observe the difference. As a
+///    belt-and-braces guard, reservations are clamped to never start
+///    before the prune floor, so even a contract-violating caller can
+///    never claim wire time that may already have been booked and retired.
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "util/simtime.hpp"
@@ -20,26 +35,77 @@ public:
     /// the reserved start time.
     SimTime reserve(SimTime earliest, SimTime duration) {
         if (duration <= 0) return earliest;
-        // Find the first gap of the required length.
-        SimTime cursor = earliest;
+        SimTime cursor = std::max(earliest, floor_);
+        // First span whose end lies beyond the cursor — everything before
+        // it is already behind us. Spans are disjoint and sorted by start,
+        // hence also by end, so this is a plain binary search.
+        std::size_t pos = static_cast<std::size_t>(
+            std::lower_bound(busy_.begin(), busy_.end(), cursor,
+                             [](const Span& s, SimTime t) {
+                                 return s.end <= t;
+                             }) -
+            busy_.begin());
+        return fit_from(pos, cursor, duration);
+    }
+
+    /// The pre-sharding reference implementation: scan from index 0 and
+    /// never prune. Kept as the A/B comparison path for the legacy
+    /// segment-global timing mode; results are bit-identical to reserve()
+    /// (a test asserts this).
+    SimTime reserve_linear(SimTime earliest, SimTime duration) {
+        if (duration <= 0) return earliest;
+        SimTime cursor = std::max(earliest, floor_);
         std::size_t pos = 0;
         for (; pos < busy_.size(); ++pos) {
-            const Span& b = busy_[pos];
-            if (b.end <= cursor) continue;       // already behind us
-            if (b.start >= cursor + duration) break; // gap before this span
-            cursor = b.end;                      // hop over the busy span
+            if (busy_[pos].end <= cursor) continue; // already behind us
+            break;
         }
-        insert(pos, cursor, cursor + duration);
-        return cursor;
+        return fit_from(pos, cursor, duration);
+    }
+
+    /// Retire every span that ends at or before \p horizon. Exact as long
+    /// as all later reserve() calls use earliest >= horizon (see file
+    /// comment); the floor clamp keeps violations conservative.
+    void prune(SimTime horizon) {
+        if (horizon <= floor_) return;
+        floor_ = horizon;
+        std::size_t n = 0;
+        while (n < busy_.size() && busy_[n].end <= horizon) ++n;
+        if (n != 0) {
+            busy_.erase(busy_.begin(),
+                        busy_.begin() + static_cast<std::ptrdiff_t>(n));
+            pruned_ += n;
+        }
     }
 
     std::size_t spans() const noexcept { return busy_.size(); }
+
+    /// Most spans ever held at once (memory high-water mark).
+    std::size_t high_water() const noexcept { return high_water_; }
+
+    /// Total spans retired by prune() over the list's lifetime.
+    std::uint64_t pruned() const noexcept { return pruned_; }
+
+    /// Current prune watermark: no reservation can start before this.
+    SimTime floor() const noexcept { return floor_; }
 
 private:
     struct Span {
         SimTime start;
         SimTime end;
     };
+
+    /// Hop over busy spans from \p pos until a gap of \p duration opens at
+    /// or after \p cursor, insert, and return the reserved start.
+    SimTime fit_from(std::size_t pos, SimTime cursor, SimTime duration) {
+        for (; pos < busy_.size(); ++pos) {
+            const Span& b = busy_[pos];
+            if (b.start >= cursor + duration) break; // gap before this span
+            cursor = b.end;                          // hop over the busy span
+        }
+        insert(pos, cursor, cursor + duration);
+        return cursor;
+    }
 
     void insert(std::size_t pos, SimTime start, SimTime end) {
         // `pos` is the index of the first span beginning after the new one
@@ -58,9 +124,13 @@ private:
             busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(pos),
                          Span{start, end});
         }
+        high_water_ = std::max(high_water_, busy_.size());
     }
 
     std::vector<Span> busy_; ///< sorted by start, disjoint
+    SimTime floor_ = 0;
+    std::size_t high_water_ = 0;
+    std::uint64_t pruned_ = 0;
 };
 
 } // namespace padico::fabric

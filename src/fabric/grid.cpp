@@ -1,7 +1,9 @@
 #include "fabric/grid.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "util/cache.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -9,6 +11,11 @@ namespace padico::fabric {
 
 namespace {
 thread_local Process* tls_current_process = nullptr;
+
+/// Every kPruneInterval-th send through an adapter retires BusyList spans
+/// behind the segment's minimum virtual clock (sharded mode only — the
+/// legacy mode reproduces the historical never-forget behavior).
+constexpr std::uint64_t kPruneInterval = 64;
 } // namespace
 
 // --------------------------------------------------------------------------
@@ -17,7 +24,9 @@ thread_local Process* tls_current_process = nullptr;
 SimTime Port::send(ProcessId dst, ChannelId channel, util::Message payload,
                    SimTime sender_now, std::uint32_t flags) {
     NetworkSegment& seg = *adapter_->segment_;
-    Port* dst_port = seg.wait_port_for(dst);
+    const TimingMode mode = seg.timing_mode();
+    Port* dst_port = mode == TimingMode::kSharded ? seg.lookup_port(dst)
+                                                  : seg.wait_port_for(dst);
     if (dst_port == nullptr)
         throw LookupError("process " + std::to_string(dst) +
                           " unreachable on segment " + seg.name());
@@ -31,23 +40,58 @@ SimTime Port::send(ProcessId dst, ChannelId channel, util::Message payload,
     pkt.via = &seg;
     pkt.payload = std::move(payload);
 
-    SimTime tx_done;
-    {
+    Adapter& dst_nic = *dst_port->adapter_;
+    const double eff_bw = attainable_mb(seg.params());
+    const SimTime xmit = transfer_time(bytes, eff_bw);
+    SimTime start, tx_done;
+    if (mode == TimingMode::kSegmentGlobal) {
+        // Legacy/shared-medium data plane: one lock for the whole segment,
+        // linear BusyList scans, no pruning. The shard locks are taken
+        // under it only so `busy` stays under its own guard for
+        // counters(); they cannot contend here.
         std::lock_guard<std::mutex> lk(seg.time_mu_);
-        const double eff_bw = attainable_mb(seg.params());
-        const SimTime xmit = transfer_time(bytes, eff_bw);
-        const SimTime start = adapter_->tx_busy_.reserve(sender_now, xmit);
+        std::scoped_lock shards(adapter_->tx_shard_.mu, dst_nic.rx_shard_.mu);
+        start = adapter_->tx_shard_.busy.reserve_linear(sender_now, xmit);
         tx_done = start + xmit;
+        const SimTime rx_start = dst_nic.rx_shard_.busy.reserve_linear(
+            start + seg.params().latency, xmit);
+        pkt.deliver_time = rx_start + xmit;
+    } else {
+        const bool do_prune =
+            (adapter_->send_tick_.fetch_add(1, std::memory_order_relaxed) +
+             1) % kPruneInterval == 0;
+        // The watermark is derived before the timing locks (it takes
+        // route_mu_); pruning with it is exact, so the prune cadence never
+        // moves a virtual time.
+        const SimTime horizon = do_prune ? seg.min_route_owner_clock() : 0;
 
-        Adapter& dst_nic = *dst_port->adapter_;
+        // tx lock on the sender NIC, rx lock on the destination NIC, in
+        // the fixed global order assigned at attach time (tx ranks even,
+        // rx ranks odd, so the two are never equal and disjoint machine
+        // pairs on a switched segment never contend).
+        Adapter::DirShard& tx = adapter_->tx_shard_;
+        Adapter::DirShard& rx = dst_nic.rx_shard_;
+        const std::uint64_t tx_rank = adapter_->order_ * 2;
+        const std::uint64_t rx_rank = dst_nic.order_ * 2 + 1;
+        std::unique_lock<std::mutex> first(tx_rank < rx_rank ? tx.mu : rx.mu);
+        std::unique_lock<std::mutex> second(tx_rank < rx_rank ? rx.mu : tx.mu);
+        if (do_prune) {
+            tx.busy.prune(horizon);
+            rx.busy.prune(horizon);
+        }
+        start = tx.busy.reserve(sender_now, xmit);
+        tx_done = start + xmit;
         const SimTime rx_start =
-            dst_nic.rx_busy_.reserve(start + seg.params().latency, xmit);
+            rx.busy.reserve(start + seg.params().latency, xmit);
         pkt.deliver_time = rx_start + xmit;
     }
+    adapter_->tx_shard_.packets.fetch_add(1, std::memory_order_relaxed);
+    adapter_->tx_shard_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    dst_nic.rx_shard_.packets.fetch_add(1, std::memory_order_relaxed);
+    dst_nic.rx_shard_.bytes.fetch_add(bytes, std::memory_order_relaxed);
     PLOG(trace, "fabric") << "xfer " << bytes << "B pid" << owner_->id()
                           << "->pid" << dst << " ch " << channel << " start "
-                          << format_simtime(std::max(sender_now, tx_done))
-                          << " deliver "
+                          << format_simtime(start) << " deliver "
                           << format_simtime(pkt.deliver_time);
     dst_port->rx_.push(std::move(pkt));
     return tx_done;
@@ -110,6 +154,7 @@ PortRef Adapter::open(Process& p, const std::string& owner_tag) {
             segment_->routes_[p.id()] = it->second.get();
         }
         segment_->grid_->bump_route_generation();
+        segment_->publish_routes();
         segment_->route_cv_.notify_all();
         PLOG(debug, "fabric") << "open " << machine_->name() << "/"
                               << segment_->name() << " by " << owner_tag
@@ -138,8 +183,28 @@ void Adapter::release(Port* port) {
         segment_->routes_.erase(pid);
     }
     segment_->grid_->bump_route_generation();
+    segment_->publish_routes();
     port->rx_.close();
     ports_.erase(pid);
+}
+
+AdapterCounters Adapter::counters() const {
+    AdapterCounters c;
+    c.tx_packets = tx_shard_.packets.load(std::memory_order_relaxed);
+    c.tx_bytes = tx_shard_.bytes.load(std::memory_order_relaxed);
+    c.rx_packets = rx_shard_.packets.load(std::memory_order_relaxed);
+    c.rx_bytes = rx_shard_.bytes.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(tx_shard_.mu);
+        c.tx_span_high_water = tx_shard_.busy.high_water();
+        c.tx_pruned_spans = tx_shard_.busy.pruned();
+    }
+    {
+        std::lock_guard<std::mutex> lk(rx_shard_.mu);
+        c.rx_span_high_water = rx_shard_.busy.high_water();
+        c.rx_pruned_spans = rx_shard_.busy.pruned();
+    }
+    return c;
 }
 
 // --------------------------------------------------------------------------
@@ -160,6 +225,56 @@ NetworkSegment::RouteSnapshot NetworkSegment::route_snapshot() {
     snap.routes.reserve(routes_.size());
     for (const auto& [pid, port] : routes_) snap.routes.emplace_back(pid, port);
     return snap;
+}
+
+Port* NetworkSegment::lookup_port(ProcessId pid) {
+    if (util::caches_enabled()) {
+        const RouteTable* t = route_table_.load(std::memory_order_acquire);
+        if (t != nullptr && t->generation == grid_->route_generation()) {
+            auto it = std::lower_bound(
+                t->entries.begin(), t->entries.end(), pid,
+                [](const std::pair<ProcessId, Port*>& e, ProcessId p) {
+                    return e.first < p;
+                });
+            if (it != t->entries.end() && it->first == pid) {
+                route_fast_hits_.fetch_add(1, std::memory_order_relaxed);
+                return it->second;
+            }
+            // pid absent from a CURRENT table: the peer has not opened its
+            // port yet — fall through to the blocking slow path.
+        }
+    }
+    route_fast_misses_.fetch_add(1, std::memory_order_relaxed);
+    Port* p = wait_port_for(pid);
+    if (p != nullptr) {
+        // A generation bump elsewhere on the grid leaves our (unchanged)
+        // table stale-stamped; refresh it so subsequent sends go fast.
+        const RouteTable* t = route_table_.load(std::memory_order_acquire);
+        if (t == nullptr || t->generation != grid_->route_generation())
+            publish_routes();
+    }
+    return p;
+}
+
+void NetworkSegment::publish_routes() {
+    auto t = std::make_unique<RouteTable>();
+    // Generation first: if a route changes while we copy, the table's
+    // stamp is already stale and readers fall back — never the reverse.
+    t->generation = grid_->route_generation();
+    std::lock_guard<std::mutex> lk(route_mu_);
+    t->entries.reserve(routes_.size());
+    for (const auto& [pid, port] : routes_) t->entries.emplace_back(pid, port);
+    route_table_.store(t.get(), std::memory_order_release);
+    route_tables_.push_back(std::move(t));
+}
+
+SimTime NetworkSegment::min_route_owner_clock() {
+    std::lock_guard<std::mutex> lk(route_mu_);
+    if (routes_.empty()) return 0;
+    SimTime h = std::numeric_limits<SimTime>::max();
+    for (const auto& [pid, port] : routes_)
+        h = std::min(h, port->owner().clock().now());
+    return h;
 }
 
 Port* NetworkSegment::wait_port_for(ProcessId pid) {
@@ -239,6 +354,9 @@ Adapter& Grid::attach(Machine& m, NetworkSegment& s) {
     PADICO_CHECK(m.adapter_on(s) == nullptr,
                  "machine " + m.name() + " already attached to " + s.name());
     adapters_.push_back(std::make_unique<Adapter>(m, s));
+    // Grid-wide rank used to acquire per-NIC timing locks in one fixed
+    // global order (see Port::send).
+    adapters_.back()->order_ = adapters_.size() - 1;
     m.adapters_.push_back(adapters_.back().get());
     return *adapters_.back();
 }

@@ -38,6 +38,32 @@ class Port;
 class Process;
 class Grid;
 
+/// How timing bookkeeping is serialized on a segment.
+///
+/// kSharded (the default) models a *switched* fabric: each transfer books
+/// wire time under two per-NIC-direction locks (tx on the sender adapter,
+/// rx on the destination adapter, acquired in a fixed global order), so
+/// transfers between disjoint machine pairs never contend on the wall
+/// clock. kSegmentGlobal keeps the historical data plane — one segment
+/// lock, linear BusyList scans, route lookups under route_mu_ — both to
+/// model a genuinely shared medium (a hub or bus, where one global
+/// arbiter is the honest picture of the hardware) and as the A/B
+/// reference mode for bench_fabric_scale. Serialized virtual completion
+/// times are bit-identical across modes; only wall-clock cost differs.
+enum class TimingMode { kSharded, kSegmentGlobal };
+
+/// Observable data-plane counters of one NIC (both directions).
+struct AdapterCounters {
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_span_high_water = 0; ///< most BusyList spans held at once
+    std::uint64_t rx_span_high_water = 0;
+    std::uint64_t tx_pruned_spans = 0; ///< spans retired by watermark pruning
+    std::uint64_t rx_pruned_spans = 0;
+};
+
 /// One NIC endpoint opened by a process. Owns the receive queue.
 class Port {
 public:
@@ -52,6 +78,10 @@ public:
     /// is the virtual time at which the send completes on the sender side
     /// (synchronous submission at wire rate). The packet is stamped with
     /// its modeled delivery time and enqueued at the destination port.
+    /// Contract: \p sender_now must be at or after the owning process's
+    /// current virtual clock — the fabric retires reservation history
+    /// behind the minimum clock on the segment (see BusyList::prune), so
+    /// booking into the past is not allowed.
     SimTime send(ProcessId dst, ChannelId channel, util::Message payload,
                  SimTime sender_now, std::uint32_t flags = 0);
 
@@ -141,20 +171,38 @@ public:
 
     bool is_open() const;
 
+    /// Snapshot of this NIC's data-plane counters (packets/bytes per
+    /// direction, BusyList span high-water marks, pruned spans).
+    AdapterCounters counters() const;
+
 private:
     friend class Port;
     friend class PortRef;
     friend class NetworkSegment;
+    friend class Grid;
 
     void release(Port* port);
+
+    /// Modeled hardware timing state of one NIC direction. `mu` alone
+    /// guards `busy` in sharded mode; the legacy segment-global mode holds
+    /// the segment's time_mu_ on top (the shard locks are then uncontended
+    /// but keep `busy` under a single guard for counters()).
+    /// Packet/byte counters are lock-free.
+    struct DirShard {
+        mutable std::mutex mu;
+        BusyList busy;
+        std::atomic<std::uint64_t> packets{0};
+        std::atomic<std::uint64_t> bytes{0};
+    };
 
     Machine* machine_;
     NetworkSegment* segment_;
     mutable std::mutex mu_;
     std::map<ProcessId, std::unique_ptr<Port>> ports_;
-    // Modeled hardware timing state (guarded by the segment's time mutex).
-    BusyList tx_busy_;
-    BusyList rx_busy_;
+    DirShard tx_shard_;
+    DirShard rx_shard_;
+    std::uint64_t order_ = 0; ///< global lock-ordering rank (set by attach)
+    std::atomic<std::uint64_t> send_tick_{0}; ///< drives periodic pruning
 };
 
 /// A physical network: a set of adapters plus the link cost model.
@@ -177,8 +225,31 @@ public:
     /// "communication security"); WANs default to insecure already.
     void set_secure(bool secure) { params_.secure = secure; }
 
+    /// Timing serialization mode (see TimingMode). Switch only while the
+    /// segment is quiescent (no in-flight sends).
+    TimingMode timing_mode() const noexcept {
+        return timing_mode_.load(std::memory_order_acquire);
+    }
+    void set_timing_mode(TimingMode m) noexcept {
+        timing_mode_.store(m, std::memory_order_release);
+    }
+
     /// The port of process \p pid on this segment, or nullptr.
     Port* port_for(ProcessId pid);
+
+    /// Read-mostly route lookup for the per-packet data plane: consults a
+    /// generation-stamped immutable route table without taking route_mu_;
+    /// falls back to the blocking wait_port_for slow path on generation
+    /// mismatch or unknown peer (the slow path also refreshes the table's
+    /// stamp). Hit/miss counts are exported via route_fast_hits/misses.
+    Port* lookup_port(ProcessId pid);
+
+    std::uint64_t route_fast_hits() const noexcept {
+        return route_fast_hits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t route_fast_misses() const noexcept {
+        return route_fast_misses_.load(std::memory_order_relaxed);
+    }
 
     /// Point-in-time copy of the routes open on this segment, stamped with
     /// the grid route generation it was taken at: a consumer holding a
@@ -201,6 +272,24 @@ private:
     friend class Port;
     friend class Grid;
 
+    /// Immutable point-in-time route table, readable without route_mu_.
+    /// Stamped with the grid route generation observed BEFORE the copy, so
+    /// a concurrent change can only make the stamp stale, never the
+    /// reverse (same protocol as RouteSnapshot).
+    struct RouteTable {
+        std::uint64_t generation = 0;
+        std::vector<std::pair<ProcessId, Port*>> entries; ///< sorted by pid
+    };
+
+    /// Rebuild and atomically publish the lock-free route table.
+    void publish_routes();
+
+    /// Minimum virtual clock over the processes holding ports on this
+    /// segment — the watermark behind which BusyList spans can be retired
+    /// exactly (no later reservation can start before it, given that
+    /// senders pass their current clock as sender_now).
+    SimTime min_route_owner_clock();
+
     Grid* grid_;
     std::string name_;
     LinkParams params_;
@@ -208,7 +297,16 @@ private:
     std::mutex route_mu_;
     std::condition_variable route_cv_;
     std::map<ProcessId, Port*> routes_;
-    std::mutex time_mu_; ///< serializes timing bookkeeping on this segment
+    std::atomic<TimingMode> timing_mode_{TimingMode::kSharded};
+    std::atomic<const RouteTable*> route_table_{nullptr};
+    /// All tables ever published, newest last (guarded by route_mu_).
+    /// Superseded tables stay alive so lock-free readers mid-lookup never
+    /// dangle; growth is bounded by route churn (opens/closes), not
+    /// traffic.
+    std::vector<std::unique_ptr<const RouteTable>> route_tables_;
+    std::atomic<std::uint64_t> route_fast_hits_{0};
+    std::atomic<std::uint64_t> route_fast_misses_{0};
+    std::mutex time_mu_; ///< serializes bookkeeping in kSegmentGlobal mode
 };
 
 /// A host in the grid.

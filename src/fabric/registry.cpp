@@ -57,6 +57,10 @@ void build_grid_from_xml(Grid& grid, const std::string& xml_text) {
             grid.add_segment(seg->attr("name"), parse_tech(seg->attr("tech")));
         if (seg->has_attr("secure"))
             s.set_secure(seg->attr("secure") == "true");
+        // shared="true": a genuinely shared medium (hub/bus) — timing is
+        // serialized segment-globally instead of per NIC direction.
+        if (seg->has_attr("shared") && seg->attr("shared") == "true")
+            s.set_timing_mode(TimingMode::kSegmentGlobal);
     }
     for (const auto& mx : root->children_named("machine")) {
         const int cpus =

@@ -282,6 +282,25 @@ TrafficCounters Runtime::stats() const {
     out.route_cache.misses = route_misses_.load(std::memory_order_relaxed);
     out.route_cache.invalidations =
         route_invalidations_.load(std::memory_order_relaxed);
+    for (fabric::NetworkSegment* seg : segs) {
+        const fabric::Adapter* nic = proc_->machine().adapter_on(*seg);
+        if (nic == nullptr) continue;
+        const fabric::AdapterCounters c = nic->counters();
+        if (c.tx_packets + c.rx_packets == 0 &&
+            seg->route_fast_hits() + seg->route_fast_misses() == 0)
+            continue;
+        auto& f = out.fabric_by_segment[seg->name()];
+        f.tx_packets = c.tx_packets;
+        f.tx_bytes = c.tx_bytes;
+        f.rx_packets = c.rx_packets;
+        f.rx_bytes = c.rx_bytes;
+        f.tx_span_high_water = c.tx_span_high_water;
+        f.rx_span_high_water = c.rx_span_high_water;
+        f.tx_pruned_spans = c.tx_pruned_spans;
+        f.rx_pruned_spans = c.rx_pruned_spans;
+        f.route_fast_hits = seg->route_fast_hits();
+        f.route_fast_misses = seg->route_fast_misses();
+    }
     return out;
 }
 
@@ -301,6 +320,22 @@ std::string TrafficCounters::to_string() const {
             static_cast<unsigned long long>(route_cache.hits),
             static_cast<unsigned long long>(route_cache.misses),
             static_cast<unsigned long long>(route_cache.invalidations));
+    }
+    for (const auto& [name, f] : fabric_by_segment) {
+        out += util::strfmt(
+            "fabric %s: tx %llu pkts/%llu B, rx %llu pkts/%llu B, "
+            "spans hw %llu/%llu, pruned %llu/%llu, "
+            "route-fast %llu hits/%llu misses\n",
+            name.c_str(), static_cast<unsigned long long>(f.tx_packets),
+            static_cast<unsigned long long>(f.tx_bytes),
+            static_cast<unsigned long long>(f.rx_packets),
+            static_cast<unsigned long long>(f.rx_bytes),
+            static_cast<unsigned long long>(f.tx_span_high_water),
+            static_cast<unsigned long long>(f.rx_span_high_water),
+            static_cast<unsigned long long>(f.tx_pruned_spans),
+            static_cast<unsigned long long>(f.rx_pruned_spans),
+            static_cast<unsigned long long>(f.route_fast_hits),
+            static_cast<unsigned long long>(f.route_fast_misses));
     }
     return out;
 }

@@ -63,6 +63,25 @@ struct TrafficCounters {
     };
     RouteCache route_cache;
 
+    /// Fabric data-plane counters of this process's NIC on each engine
+    /// segment: packets/bytes per direction, BusyList span high-water mark
+    /// and watermark-pruned spans, plus the segment's lock-free route
+    /// lookup fast-path hits/misses. The route counters are segment-wide
+    /// (shared by every process on the segment), the rest are per NIC.
+    struct FabricShard {
+        std::uint64_t tx_packets = 0;
+        std::uint64_t tx_bytes = 0;
+        std::uint64_t rx_packets = 0;
+        std::uint64_t rx_bytes = 0;
+        std::uint64_t tx_span_high_water = 0;
+        std::uint64_t rx_span_high_water = 0;
+        std::uint64_t tx_pruned_spans = 0;
+        std::uint64_t rx_pruned_spans = 0;
+        std::uint64_t route_fast_hits = 0;
+        std::uint64_t route_fast_misses = 0;
+    };
+    std::map<std::string, FabricShard> fabric_by_segment;
+
     std::uint64_t total_bytes() const {
         std::uint64_t t = 0;
         for (const auto& [name, c] : by_segment) t += c.bytes;

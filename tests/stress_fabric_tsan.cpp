@@ -1,0 +1,118 @@
+// Fabric stress scenario compiled wholesale under ThreadSanitizer and run
+// as part of tier-1 (see tests/CMakeLists.txt: every translation unit it
+// touches — fabric AND util — is recompiled with -fsanitize=thread, so
+// races in the sharded data plane itself are visible, not just in this
+// file). Standalone main instead of gtest so no uninstrumented library
+// code runs on the hot threads.
+//
+// Scenario: disjoint streaming pairs, a shared incast sink (rx-shard
+// contention on one NIC), and a process churning its port open/closed to
+// republish the lock-free route table while traffic flows.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "fabric/grid.hpp"
+#include "osal/sync.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+
+namespace {
+int failures = 0;
+void check(bool ok, const char* what) {
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what);
+        ++failures;
+    }
+}
+} // namespace
+
+int main() {
+    constexpr int kPairs = 4;
+    constexpr int kMsgs = 300;
+    constexpr std::size_t kBytes = 1024;
+    constexpr int kIncastEvery = 8;
+
+    Grid g;
+    auto& seg = g.add_segment("eth", NetTech::FastEthernet);
+    std::vector<Machine*> ms;
+    for (int i = 0; i < 2 * kPairs + 2; ++i) {
+        ms.push_back(&g.add_machine("s" + std::to_string(i)));
+        g.attach(*ms.back(), seg);
+    }
+    const ChannelId ch = g.channel_id("stress");
+    const ProcessId sink_pid = 2 * kPairs;
+    std::atomic<bool> stop_churn{false};
+    osal::Barrier start(2 * kPairs + 1);
+
+    for (int i = 0; i < kPairs; ++i) {
+        const ProcessId rx_pid = static_cast<ProcessId>(2 * i + 1);
+        g.spawn(*ms[static_cast<std::size_t>(2 * i)],
+                [&, rx_pid](Process& proc) {
+            auto port = proc.machine().adapter_on(seg)->open(proc, "st");
+            start.arrive_and_wait();
+            for (int m = 0; m < kMsgs; ++m) {
+                proc.compute(usec(5.0));
+                const ProcessId dst =
+                    m % kIncastEvery == 0 ? sink_pid : rx_pid;
+                proc.clock().set(port->send(
+                    dst, ch, util::to_message(util::ByteBuf(kBytes)),
+                    proc.now()));
+            }
+        });
+        g.spawn(*ms[static_cast<std::size_t>(2 * i + 1)],
+                [&](Process& proc) {
+            auto port = proc.machine().adapter_on(seg)->open(proc, "st");
+            start.arrive_and_wait();
+            const int expect =
+                kMsgs - (kMsgs + kIncastEvery - 1) / kIncastEvery;
+            for (int m = 0; m < expect; ++m) {
+                auto pkt = port->recv();
+                check(pkt.has_value(), "pair receiver starved");
+                if (!pkt) return;
+                proc.clock().merge(pkt->deliver_time);
+            }
+        });
+    }
+    g.spawn(*ms[static_cast<std::size_t>(2 * kPairs)],
+            [&](Process& proc) { // incast sink
+        auto port = proc.machine().adapter_on(seg)->open(proc, "st");
+        start.arrive_and_wait();
+        const int expect =
+            kPairs * ((kMsgs + kIncastEvery - 1) / kIncastEvery);
+        for (int m = 0; m < expect; ++m) {
+            auto pkt = port->recv();
+            check(pkt.has_value(), "incast sink starved");
+            if (!pkt) break;
+            proc.clock().merge(pkt->deliver_time);
+        }
+        stop_churn.store(true);
+    });
+    g.spawn(*ms[static_cast<std::size_t>(2 * kPairs + 1)],
+            [&](Process& proc) { // route churn
+        Adapter* nic = proc.machine().adapter_on(seg);
+        while (!stop_churn.load()) {
+            auto port = nic->open(proc, "churn");
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+    });
+    g.join_all();
+
+    std::uint64_t tx_total = 0, rx_total = 0;
+    for (Machine* m : ms) {
+        const AdapterCounters c = m->adapters()[0]->counters();
+        tx_total += c.tx_packets;
+        rx_total += c.rx_packets;
+    }
+    check(tx_total == static_cast<std::uint64_t>(kPairs) * kMsgs,
+          "tx packet count off");
+    check(rx_total == tx_total, "rx packet count off");
+
+    if (failures == 0) std::puts("stress_fabric_tsan: OK");
+    return failures == 0 ? 0 : 1;
+}

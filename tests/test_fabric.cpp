@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
+#include <vector>
 
 #include "fabric/grid.hpp"
 #include "fabric/netmodel.hpp"
 #include "fabric/registry.hpp"
 #include "osal/sync.hpp"
+#include "util/cache.hpp"
+#include "util/rng.hpp"
 
 using namespace padico;
 using namespace padico::fabric;
@@ -347,6 +351,189 @@ TEST(LinkModel, FairSharingEmergesOnSharedNic) {
     g.join_all();
 }
 
+TEST(LinkModel, ShuffledBookingOrderIsDeterministic) {
+    // The same per-pair workload, booked from concurrently scheduled
+    // threads under two different start staggers and in both timing
+    // modes, must serialize to identical virtual times: disjoint pairs
+    // touch disjoint NIC shards, per-pair bookings are in program order,
+    // and watermark pruning is exact.
+    constexpr int kPairs = 4;
+    constexpr int kMsgs = 150;
+    // Transfer time (~23 us) below the compute gap (50 us): reservations
+    // fragment, so the sharded mode's pruning is actually exercised.
+    constexpr std::size_t kBytes = 256;
+
+    struct PairTimes {
+        SimTime last_tx = 0;
+        SimTime last_deliver = 0;
+        bool operator==(const PairTimes&) const = default;
+    };
+    auto run = [&](TimingMode mode, bool reversed_stagger) {
+        Grid g;
+        auto& seg = g.add_segment("eth", NetTech::FastEthernet);
+        seg.set_timing_mode(mode);
+        std::vector<Machine*> ms;
+        for (int i = 0; i < 2 * kPairs; ++i) {
+            ms.push_back(&g.add_machine("m" + std::to_string(i)));
+            g.attach(*ms.back(), seg);
+        }
+        const ChannelId ch = g.channel_id("det");
+        std::vector<PairTimes> times(kPairs);
+        osal::Barrier start(2 * kPairs);
+        for (int i = 0; i < kPairs; ++i) {
+            const ProcessId rx_pid = static_cast<ProcessId>(2 * i + 1);
+            g.spawn(*ms[2 * i], [&, i, rx_pid](Process& proc) {
+                auto port =
+                    proc.machine().adapter_on(seg)->open(proc, "det");
+                start.arrive_and_wait();
+                // Different real-time booking orders across runs.
+                const int stagger = reversed_stagger ? kPairs - 1 - i : i;
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200 * stagger));
+                SimTime tx = 0;
+                for (int m = 0; m < kMsgs; ++m) {
+                    proc.compute(usec(50.0)); // gappy stream: fragments
+                    tx = port->send(rx_pid, ch,
+                                    util::to_message(util::ByteBuf(kBytes)),
+                                    proc.now());
+                    proc.clock().set(tx);
+                }
+                times[static_cast<std::size_t>(i)].last_tx = tx;
+            });
+            g.spawn(*ms[2 * i + 1], [&, i](Process& proc) {
+                auto port =
+                    proc.machine().adapter_on(seg)->open(proc, "det");
+                start.arrive_and_wait();
+                SimTime last = 0;
+                for (int m = 0; m < kMsgs; ++m) {
+                    auto pkt = port->recv();
+                    ASSERT_TRUE(pkt.has_value());
+                    last = pkt->deliver_time;
+                    proc.clock().merge(last);
+                }
+                times[static_cast<std::size_t>(i)].last_deliver = last;
+            });
+        }
+        g.join_all();
+        return times;
+    };
+
+    const auto reference = run(TimingMode::kSegmentGlobal, false);
+    EXPECT_EQ(reference, run(TimingMode::kSegmentGlobal, true));
+    EXPECT_EQ(reference, run(TimingMode::kSharded, false));
+    EXPECT_EQ(reference, run(TimingMode::kSharded, true));
+}
+
+TEST(FabricStress, ConcurrentPairsIncastAndRouteChurn) {
+    // TSan workhorse (run under PADICO_SANITIZE=thread in the build-tsan
+    // tree): disjoint streaming pairs, a shared incast sink, and a
+    // process churning its port open/closed to invalidate the lock-free
+    // route table while traffic flows.
+    constexpr int kPairs = 4;
+    constexpr int kMsgs = 400;
+    constexpr std::size_t kBytes = 1024;
+
+    Grid g;
+    auto& seg = g.add_segment("eth", NetTech::FastEthernet);
+    std::vector<Machine*> ms;
+    for (int i = 0; i < 2 * kPairs + 2; ++i) {
+        ms.push_back(&g.add_machine("s" + std::to_string(i)));
+        g.attach(*ms.back(), seg);
+    }
+    const ChannelId ch = g.channel_id("stress");
+    const ProcessId sink_pid = 2 * kPairs;
+    constexpr int kIncastEvery = 8;
+    std::atomic<bool> stop_churn{false};
+    osal::Barrier start(2 * kPairs + 1);
+
+    for (int i = 0; i < kPairs; ++i) {
+        const ProcessId rx_pid = static_cast<ProcessId>(2 * i + 1);
+        g.spawn(*ms[2 * i], [&, rx_pid](Process& proc) {
+            auto port = proc.machine().adapter_on(seg)->open(proc, "st");
+            start.arrive_and_wait();
+            for (int m = 0; m < kMsgs; ++m) {
+                proc.compute(usec(5.0));
+                const ProcessId dst =
+                    m % kIncastEvery == 0 ? sink_pid : rx_pid;
+                proc.clock().set(port->send(
+                    dst, ch, util::to_message(util::ByteBuf(kBytes)),
+                    proc.now()));
+            }
+        });
+        g.spawn(*ms[2 * i + 1], [&](Process& proc) {
+            auto port = proc.machine().adapter_on(seg)->open(proc, "st");
+            start.arrive_and_wait();
+            const int expect = kMsgs - (kMsgs + kIncastEvery - 1) /
+                                           kIncastEvery;
+            for (int m = 0; m < expect; ++m) {
+                auto pkt = port->recv();
+                ASSERT_TRUE(pkt.has_value());
+                proc.clock().merge(pkt->deliver_time);
+            }
+        });
+    }
+    g.spawn(*ms[2 * kPairs], [&](Process& proc) { // incast sink
+        auto port = proc.machine().adapter_on(seg)->open(proc, "st");
+        start.arrive_and_wait();
+        const int expect =
+            kPairs * ((kMsgs + kIncastEvery - 1) / kIncastEvery);
+        for (int m = 0; m < expect; ++m) {
+            auto pkt = port->recv();
+            ASSERT_TRUE(pkt.has_value());
+            proc.clock().merge(pkt->deliver_time);
+        }
+        stop_churn.store(true);
+    });
+    g.spawn(*ms[2 * kPairs + 1], [&](Process& proc) { // route churn
+        Adapter* nic = proc.machine().adapter_on(seg);
+        while (!stop_churn.load()) {
+            auto port = nic->open(proc, "churn");
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+    });
+    g.join_all();
+
+    std::uint64_t tx_total = 0, rx_total = 0;
+    for (int i = 0; i < 2 * kPairs + 2; ++i) {
+        const AdapterCounters c = ms[i]->adapters()[0]->counters();
+        tx_total += c.tx_packets;
+        rx_total += c.rx_packets;
+    }
+    EXPECT_EQ(tx_total, static_cast<std::uint64_t>(kPairs) * kMsgs);
+    EXPECT_EQ(rx_total, tx_total);
+}
+
+TEST(LinkModel, RouteFastPathCountersAndFallback) {
+    Pair p(NetTech::FastEthernet);
+    const ChannelId ch = p.grid.channel_id("fast");
+    constexpr int kMsgs = 32;
+    osal::Event b_open;
+    p.grid.spawn(*p.a, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(*p.seg)->open(proc, "x");
+        b_open.wait();
+        for (int i = 0; i < kMsgs; ++i)
+            proc.clock().set(port->send(
+                1, ch, util::to_message(util::ByteBuf(64)), proc.now()));
+        // With the table warm and no route churn, at most the first send
+        // misses; everything after reads the table without route_mu_.
+        EXPECT_GE(p.seg->route_fast_hits(), kMsgs - 1u);
+        // Disabling the fast lanes forces every lookup down the slow path.
+        const std::uint64_t hits_before = p.seg->route_fast_hits();
+        util::set_caches_enabled(false);
+        proc.clock().set(port->send(
+            1, ch, util::to_message(util::ByteBuf(64)), proc.now()));
+        util::set_caches_enabled(true);
+        EXPECT_EQ(p.seg->route_fast_hits(), hits_before);
+    });
+    p.grid.spawn(*p.b, [&](Process& proc) {
+        auto port = proc.machine().adapter_on(*p.seg)->open(proc, "x");
+        b_open.set();
+        for (int i = 0; i < kMsgs + 1; ++i) (void)port->recv();
+    });
+    p.grid.join_all();
+    EXPECT_GT(p.seg->route_fast_misses(), 0u);
+}
+
 TEST(LinkModel, UnreachablePeerThrows) {
     // The peer process exists but its machine is not attached to the
     // segment: topologically unreachable.
@@ -410,6 +597,80 @@ TEST(BusyList, CoalescingBoundsGrowthUnderStreaming) {
     EXPECT_EQ(t, 10000);
 }
 
+TEST(BusyList, FragmentationAndCoalescingEdges) {
+    BusyList bl;
+    EXPECT_EQ(bl.reserve(0, 10), 0);    // [0,10)
+    EXPECT_EQ(bl.reserve(20, 10), 20);  // [20,30), gap [10,20)
+    EXPECT_EQ(bl.spans(), 2u);
+    EXPECT_EQ(bl.reserve(10, 10), 10);  // exact fill joins both neighbours
+    EXPECT_EQ(bl.spans(), 1u);
+    EXPECT_EQ(bl.high_water(), 2u);
+    // Insert before the head span and after the tail span.
+    EXPECT_EQ(bl.reserve(100, 5), 100);
+    EXPECT_EQ(bl.reserve(0, 5), 30); // head busy [0,30): lands right after
+    EXPECT_EQ(bl.reserve(200, 1), 200);
+    EXPECT_EQ(bl.spans(), 3u);
+    EXPECT_EQ(bl.high_water(), 3u);
+    // A too-small gap is skipped, a barely-large-enough one is used.
+    EXPECT_EQ(bl.reserve(0, 70), 105); // [35,100) has 65 < 70 → after [100,105)
+    EXPECT_EQ(bl.reserve(0, 65), 35);  // exact fit in [35,100)
+}
+
+TEST(BusyList, LinearAndIndexedReserveAgree) {
+    // reserve() (binary search) and reserve_linear() (the pre-sharding
+    // scan-from-zero reference) must be bit-identical on any workload.
+    util::Rng rng(42);
+    BusyList indexed, linear;
+    for (int i = 0; i < 2000; ++i) {
+        const SimTime earliest = static_cast<SimTime>(rng.below(100000));
+        const SimTime dur = static_cast<SimTime>(1 + rng.below(500));
+        EXPECT_EQ(indexed.reserve(earliest, dur),
+                  linear.reserve_linear(earliest, dur));
+    }
+    EXPECT_EQ(indexed.spans(), linear.spans());
+}
+
+TEST(BusyList, PruneRetiresCompletedSpansExactly) {
+    // Build a fragmented history, prune behind a horizon, then verify a
+    // long mixed reserve sequence (all at or after the horizon, per the
+    // prune contract) is bit-identical to the unpruned copy.
+    util::Rng rng(7);
+    BusyList base;
+    for (int i = 0; i < 300; ++i)
+        base.reserve(static_cast<SimTime>(rng.below(50000)),
+                     static_cast<SimTime>(1 + rng.below(40)));
+    const SimTime horizon = 25000;
+    BusyList pruned = base; // BusyList is a value type: plain copy
+    pruned.prune(horizon);
+    EXPECT_GT(pruned.pruned(), 0u);
+    EXPECT_LT(pruned.spans(), base.spans());
+    EXPECT_EQ(pruned.floor(), horizon);
+    for (int i = 0; i < 500; ++i) {
+        const SimTime earliest =
+            horizon + static_cast<SimTime>(rng.below(50000));
+        const SimTime dur = static_cast<SimTime>(1 + rng.below(40));
+        EXPECT_EQ(pruned.reserve(earliest, dur), base.reserve(earliest, dur));
+    }
+    EXPECT_EQ(pruned.spans(), base.spans() - pruned.pruned());
+}
+
+TEST(BusyList, PruneFloorClampsContractViolators) {
+    BusyList bl;
+    EXPECT_EQ(bl.reserve(1000, 100), 1000);
+    bl.prune(500); // nothing ends before 500: only the floor moves
+    EXPECT_EQ(bl.pruned(), 0u);
+    EXPECT_EQ(bl.floor(), 500);
+    // A reservation booked "into the past" is clamped to the floor: it can
+    // never claim wire time that pruning may already have retired.
+    EXPECT_EQ(bl.reserve(0, 100), 500);
+    // Straddling spans survive pruning whole.
+    BusyList s;
+    s.reserve(0, 100);
+    s.prune(50);
+    EXPECT_EQ(s.spans(), 1u);
+    EXPECT_EQ(s.reserve(0, 10), 100); // [0,100) still booked
+}
+
 // ---------------------------------------------------------------------------
 // Discovery registry
 
@@ -452,7 +713,7 @@ TEST(Registry, BuildGridFromXml) {
     build_grid_from_xml(g, R"(<grid>
         <segment name="myri0" tech="myrinet2000"/>
         <segment name="wan0" tech="wan"/>
-        <segment name="lan0" tech="fast-ethernet" secure="false"/>
+        <segment name="lan0" tech="fast-ethernet" secure="false" shared="true"/>
         <machine name="n0" cpus="2" owner="inria" site="rennes">
           <attach segment="myri0"/>
           <attach segment="wan0"/>
@@ -465,6 +726,9 @@ TEST(Registry, BuildGridFromXml) {
     EXPECT_EQ(g.machine("n0").attr_or("site", ""), "rennes");
     EXPECT_NE(g.machine("n0").adapter_on(g.segment("wan0")), nullptr);
     EXPECT_FALSE(g.segment("lan0").params().secure);
+    // shared="true" models a hub/bus: segment-global timing serialization.
+    EXPECT_EQ(g.segment("lan0").timing_mode(), TimingMode::kSegmentGlobal);
+    EXPECT_EQ(g.segment("myri0").timing_mode(), TimingMode::kSharded);
     EXPECT_THROW(build_grid_from_xml(g, "<grid><segment name='x' tech='bogus'/></grid>"),
                  UsageError);
     EXPECT_THROW(build_grid_from_xml(g, "<notgrid/>"), ProtocolError);
