@@ -2,6 +2,9 @@
 
 #include <mutex>
 
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
+
 namespace padico::ccm {
 
 // ---------------------------------------------------------------------------
@@ -112,7 +115,7 @@ void Component::emit(const std::string& source, const Event& ev) {
 // ComponentRegistry
 
 namespace {
-std::mutex g_reg_mu;
+osal::CheckedMutex g_reg_mu{lockrank::kCcmRegistry, "ccm.registry"};
 std::map<std::string, ComponentRegistry::Factory>& registry() {
     static std::map<std::string, ComponentRegistry::Factory> r;
     return r;
@@ -121,19 +124,19 @@ std::map<std::string, ComponentRegistry::Factory>& registry() {
 
 void ComponentRegistry::register_type(const std::string& type,
                                       Factory factory) {
-    std::lock_guard<std::mutex> lk(g_reg_mu);
+    osal::CheckedLock lk(g_reg_mu);
     registry()[type] = std::move(factory);
 }
 
 bool ComponentRegistry::has_type(const std::string& type) {
-    std::lock_guard<std::mutex> lk(g_reg_mu);
+    osal::CheckedLock lk(g_reg_mu);
     return registry().count(type) != 0;
 }
 
 std::unique_ptr<Component> ComponentRegistry::create(const std::string& type) {
     Factory factory;
     {
-        std::lock_guard<std::mutex> lk(g_reg_mu);
+        osal::CheckedLock lk(g_reg_mu);
         auto it = registry().find(type);
         if (it == registry().end())
             throw DeploymentError("no component implementation installed for "
@@ -149,7 +152,7 @@ std::unique_ptr<Component> ComponentRegistry::create(const std::string& type) {
 }
 
 std::vector<std::string> ComponentRegistry::types() {
-    std::lock_guard<std::mutex> lk(g_reg_mu);
+    osal::CheckedLock lk(g_reg_mu);
     std::vector<std::string> out;
     for (const auto& [t, f] : registry()) out.push_back(t);
     return out;

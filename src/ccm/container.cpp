@@ -11,7 +11,7 @@ Container::Container(ptm::Runtime& rt, corba::Orb& orb, std::string name)
     : rt_(&rt), orb_(&orb), name_(std::move(name)) {}
 
 Container::~Container() {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     for (auto& [id, e] : instances_) e.component->ccm_remove();
     instances_.clear();
 }
@@ -20,7 +20,7 @@ InstanceId Container::create(const std::string& type) {
     auto comp = ComponentRegistry::create(type);
     comp->set_context(Context{orb_, this, rt_});
     const InstanceId id = next_id_.fetch_add(1);
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     instances_[id].component = std::move(comp);
     PLOG(info, "ccm") << name_ << ": created " << type << " as instance "
                       << id;
@@ -36,12 +36,12 @@ Container::Entry& Container::entry(InstanceId id) {
 }
 
 Component& Container::instance(InstanceId id) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     return *entry(id).component;
 }
 
 void Container::remove(InstanceId id) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     Entry& e = entry(id);
     e.component->ccm_remove();
     for (auto& [facet, ior] : e.facet_iors) orb_->deactivate(ior);
@@ -50,14 +50,14 @@ void Container::remove(InstanceId id) {
 }
 
 std::vector<InstanceId> Container::instances() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     std::vector<InstanceId> out;
     for (const auto& [id, e] : instances_) out.push_back(id);
     return out;
 }
 
 corba::IOR Container::facet_ior(InstanceId id, const std::string& facet) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     Entry& e = entry(id);
     auto it = e.facet_iors.find(facet);
     if (it != e.facet_iors.end()) return it->second;
@@ -67,7 +67,7 @@ corba::IOR Container::facet_ior(InstanceId id, const std::string& facet) {
 }
 
 corba::IOR Container::consumer_ior(InstanceId id, const std::string& sink) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     Entry& e = entry(id);
     auto it = e.consumer_iors.find(sink);
     if (it != e.consumer_iors.end()) return it->second;
@@ -81,24 +81,24 @@ corba::IOR Container::consumer_ior(InstanceId id, const std::string& sink) {
 
 void Container::connect(InstanceId id, const std::string& receptacle,
                         const corba::IOR& target) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     entry(id).component->bind_receptacle(receptacle, orb_->resolve(target));
 }
 
 void Container::subscribe(InstanceId id, const std::string& source,
                           const corba::IOR& consumer) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     entry(id).component->add_consumer(source, consumer);
 }
 
 void Container::configure(InstanceId id, const std::string& attr,
                           const std::string& value) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     entry(id).component->set_attribute(attr, value);
 }
 
 void Container::configuration_complete(InstanceId id) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     entry(id).component->configuration_complete();
 }
 

@@ -10,6 +10,8 @@
 
 #include "ccm/component.hpp"
 #include "corba/naming.hpp"
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 
 namespace padico::ccm {
 
@@ -60,7 +62,8 @@ private:
     ptm::Runtime* rt_;
     corba::Orb* orb_;
     std::string name_;
-    mutable std::mutex mu_;
+    mutable osal::CheckedMutex mu_{lockrank::kCcmContainer,
+                                   "ccm.container"};
     std::map<InstanceId, Entry> instances_;
     std::atomic<InstanceId> next_id_{1};
 };

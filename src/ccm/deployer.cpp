@@ -2,6 +2,9 @@
 
 #include <thread>
 
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
+
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -98,7 +101,7 @@ Deployment Deployer::deploy(const Assembly& assembly) {
         for (const auto& machine : placed.machines)
             clients.push_back(&server_for(machine));
         std::vector<std::thread> threads;
-        std::mutex err_mu;
+        osal::CheckedMutex err_mu{lockrank::kScratch, "ccm.deploy.err"};
         std::exception_ptr first_error;
         fabric::Process& self = orb_->runtime().process();
         for (std::size_t r = 0; r < placed.instances.size(); ++r) {
@@ -107,7 +110,7 @@ Deployment Deployer::deploy(const Assembly& assembly) {
                 try {
                     clients[r]->configuration_complete(placed.instances[r]);
                 } catch (...) {
-                    std::lock_guard<std::mutex> lk(err_mu);
+                    osal::CheckedLock lk(err_mu);
                     if (!first_error)
                         first_error = std::current_exception();
                 }

@@ -9,30 +9,30 @@ void NamingServant::dispatch(const std::string& op, cdr::Decoder& in,
     if (op == "bind") {
         const auto name = skel::arg<std::string>(in);
         const auto ior = skel::arg<IOR>(in);
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         bindings_[name] = ior;
         skel::ret(out, true);
     } else if (op == "resolve") {
         const auto name = skel::arg<std::string>(in);
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         auto it = bindings_.find(name);
         if (it == bindings_.end())
             throw RemoteError("NotFound: " + name);
         skel::ret(out, it->second);
     } else if (op == "try_resolve") {
         const auto name = skel::arg<std::string>(in);
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         auto it = bindings_.find(name);
         skel::ret(out, it != bindings_.end());
         if (it != bindings_.end()) skel::ret(out, it->second);
     } else if (op == "unbind") {
         const auto name = skel::arg<std::string>(in);
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         if (bindings_.erase(name) == 0)
             throw RemoteError("NotFound: " + name);
         skel::ret(out, true);
     } else if (op == "list") {
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         std::vector<std::string> names;
         for (const auto& [n, ior] : bindings_) names.push_back(n);
         skel::ret(out, names);

@@ -8,6 +8,8 @@
 #include <map>
 
 #include "corba/stub.hpp"
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 
 namespace padico::corba {
 
@@ -21,7 +23,7 @@ public:
                   cdr::Encoder& out) override;
 
 private:
-    std::mutex mu_;
+    osal::CheckedMutex mu_{lockrank::kNaming, "corba.naming"};
     std::map<std::string, IOR> bindings_;
 };
 

@@ -204,7 +204,7 @@ void ObjectRef::ensure_connected() {
 
 util::Message ObjectRef::invoke(const std::string& op, util::Message args) {
     PADICO_CHECK(valid(), "invoke on a nil reference");
-    std::lock_guard<std::mutex> lk(*conn_mu_);
+    osal::CheckedLock lk(*conn_mu_);
     ensure_connected();
 
     cdr::Encoder req(orb_->profile().zero_copy);
@@ -234,7 +234,7 @@ util::Message ObjectRef::invoke(const std::string& op, util::Message args) {
 
 void ObjectRef::oneway(const std::string& op, util::Message args) {
     PADICO_CHECK(valid(), "oneway on a nil reference");
-    std::lock_guard<std::mutex> lk(*conn_mu_);
+    osal::CheckedLock lk(*conn_mu_);
     ensure_connected();
     cdr::Encoder req(orb_->profile().zero_copy);
     req.put_u64(next_request_++);
@@ -269,7 +269,7 @@ IOR Orb::activate(std::shared_ptr<Servant> servant) {
     ior.key = key;
     ior.type = servant->interface();
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         objects_[key] = std::move(servant);
         ior.endpoint = endpoint_;
     }
@@ -282,14 +282,14 @@ ObjectRef Orb::resolve(const IOR& ior) {
 }
 
 void Orb::deactivate(const IOR& ior) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     if (objects_.erase(ior.key) == 0)
         throw LookupError("no active object with key " +
                           std::to_string(ior.key));
 }
 
 std::shared_ptr<Servant> Orb::find_servant(std::uint64_t key) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     auto it = objects_.find(key);
     return it == objects_.end() ? nullptr : it->second;
 }
@@ -327,7 +327,7 @@ private:
 void Orb::serve(const std::string& endpoint, svc::ServerCore::Options opts) {
     PADICO_CHECK(core_ == nullptr, "orb already serving");
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         endpoint_ = endpoint;
     }
     core_ = std::make_unique<svc::ServerCore>(

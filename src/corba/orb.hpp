@@ -19,6 +19,8 @@
 #include <string>
 
 #include "corba/cdr.hpp"
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "padicotm/module.hpp"
 #include "padicotm/runtime.hpp"
 #include "padicotm/vlink.hpp"
@@ -115,7 +117,9 @@ private:
     Orb* orb_ = nullptr;
     IOR ior_;
     std::shared_ptr<ptm::VLink> conn_;
-    std::shared_ptr<std::mutex> conn_mu_ = std::make_shared<std::mutex>();
+    std::shared_ptr<osal::CheckedMutex> conn_mu_ =
+        std::make_shared<osal::CheckedMutex>(lockrank::kOrbConn,
+                                             "corba.conn");
     std::uint64_t next_request_ = 1;
 };
 
@@ -173,7 +177,7 @@ private:
     OrbProfile profile_;
     std::string endpoint_;
 
-    std::mutex mu_;
+    osal::CheckedMutex mu_{lockrank::kOrb, "corba.orb"};
     std::map<std::uint64_t, std::shared_ptr<Servant>> objects_;
     std::atomic<std::uint64_t> next_key_{1};
 

@@ -23,8 +23,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "osal/checked.hpp"
 #include "util/simtime.hpp"
 
 namespace padico::fabric {
@@ -45,7 +47,9 @@ public:
                                  return s.end <= t;
                              }) -
             busy_.begin());
-        return fit_from(pos, cursor, duration);
+        const SimTime start = fit_from(pos, cursor, duration);
+        audit();
+        return start;
     }
 
     /// The pre-sharding reference implementation: scan from index 0 and
@@ -60,7 +64,9 @@ public:
             if (busy_[pos].end <= cursor) continue; // already behind us
             break;
         }
-        return fit_from(pos, cursor, duration);
+        const SimTime start = fit_from(pos, cursor, duration);
+        audit();
+        return start;
     }
 
     /// Retire every span that ends at or before \p horizon. Exact as long
@@ -76,6 +82,7 @@ public:
                         busy_.begin() + static_cast<std::ptrdiff_t>(n));
             pruned_ += n;
         }
+        audit();
     }
 
     std::size_t spans() const noexcept { return busy_.size(); }
@@ -88,6 +95,15 @@ public:
 
     /// Current prune watermark: no reservation can start before this.
     SimTime floor() const noexcept { return floor_; }
+
+#ifdef PADICO_CHECK_ENABLED
+    /// Test seam for the padico::check audit: raw span insertion with no
+    /// sorting, coalescing, or audit — lets a test seed a corrupt list and
+    /// assert the next reserve() reports it.
+    void debug_inject_span(SimTime start, SimTime end) {
+        busy_.push_back(Span{start, end});
+    }
+#endif
 
 private:
     struct Span {
@@ -125,6 +141,35 @@ private:
                          Span{start, end});
         }
         high_water_ = std::max(high_water_, busy_.size());
+    }
+
+    /// PADICO_CHECK=ON structural audit, run after every mutation: spans
+    /// sorted, positive, disjoint (non-overlap), and none astride the
+    /// prune floor (prune-exactness — a span the watermark passed through
+    /// would mean retired wire time is still bookable, or vice versa).
+    void audit() const {
+#ifdef PADICO_CHECK_ENABLED
+        for (std::size_t i = 0; i < busy_.size(); ++i) {
+            const Span& s = busy_[i];
+            PADICO_AUDIT(s.start < s.end,
+                         "empty or inverted span [" +
+                             std::to_string(s.start) + "," +
+                             std::to_string(s.end) + ")");
+            PADICO_AUDIT(s.end > floor_,
+                         "span [" + std::to_string(s.start) + "," +
+                             std::to_string(s.end) +
+                             ") survived below the prune floor " +
+                             std::to_string(floor_));
+            if (i == 0) continue;
+            const Span& p = busy_[i - 1];
+            PADICO_AUDIT(p.end <= s.start,
+                         "overlapping/unsorted spans [" +
+                             std::to_string(p.start) + "," +
+                             std::to_string(p.end) + ") and [" +
+                             std::to_string(s.start) + "," +
+                             std::to_string(s.end) + ")");
+        }
+#endif
     }
 
     std::vector<Span> busy_; ///< sorted by start, disjoint

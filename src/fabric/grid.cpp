@@ -16,6 +16,20 @@ thread_local Process* tls_current_process = nullptr;
 /// behind the segment's minimum virtual clock (sharded mode only — the
 /// legacy mode reproduces the historical never-forget behavior).
 constexpr std::uint64_t kPruneInterval = 64;
+
+/// Receive-side Lamport/addressing audit, applied by every recv variant.
+std::optional<Packet> audit_rx([[maybe_unused]] ProcessId owner,
+                               std::optional<Packet> p) {
+#ifdef PADICO_CHECK_ENABLED
+    if (p.has_value()) {
+        PADICO_AUDIT(p->deliver_time >= p->check_sent_at,
+                     "packet delivered before it was sent");
+        PADICO_AUDIT(p->dst == owner,
+                     "packet dequeued by a port it was not addressed to");
+    }
+#endif
+    return p;
+}
 } // namespace
 
 // --------------------------------------------------------------------------
@@ -48,13 +62,21 @@ SimTime Port::send(ProcessId dst, ChannelId channel, util::Message payload,
         // Legacy/shared-medium data plane: one lock for the whole segment,
         // linear BusyList scans, no pruning. The shard locks are taken
         // under it only so `busy` stays under its own guard for
-        // counters(); they cannot contend here.
-        std::lock_guard<std::mutex> lk(seg.time_mu_);
-        std::scoped_lock shards(adapter_->tx_shard_.mu, dst_nic.rx_shard_.mu);
-        start = adapter_->tx_shard_.busy.reserve_linear(sender_now, xmit);
+        // counters(); they cannot contend here — but they must still be
+        // acquired in the same fixed global order as the sharded branch
+        // (std::scoped_lock's unspecified internal order registers as a
+        // rank inversion under bidirectional traffic).
+        Adapter::DirShard& tx = adapter_->tx_shard_;
+        Adapter::DirShard& rx = dst_nic.rx_shard_;
+        const std::uint64_t tx_rank = adapter_->order_ * 2;
+        const std::uint64_t rx_rank = dst_nic.order_ * 2 + 1;
+        osal::CheckedLock lk(seg.time_mu_);
+        osal::CheckedUniqueLock first(tx_rank < rx_rank ? tx.mu : rx.mu);
+        osal::CheckedUniqueLock second(tx_rank < rx_rank ? rx.mu : tx.mu);
+        start = tx.busy.reserve_linear(sender_now, xmit);
         tx_done = start + xmit;
-        const SimTime rx_start = dst_nic.rx_shard_.busy.reserve_linear(
-            start + seg.params().latency, xmit);
+        const SimTime rx_start =
+            rx.busy.reserve_linear(start + seg.params().latency, xmit);
         pkt.deliver_time = rx_start + xmit;
     } else {
         const bool do_prune =
@@ -73,8 +95,8 @@ SimTime Port::send(ProcessId dst, ChannelId channel, util::Message payload,
         Adapter::DirShard& rx = dst_nic.rx_shard_;
         const std::uint64_t tx_rank = adapter_->order_ * 2;
         const std::uint64_t rx_rank = dst_nic.order_ * 2 + 1;
-        std::unique_lock<std::mutex> first(tx_rank < rx_rank ? tx.mu : rx.mu);
-        std::unique_lock<std::mutex> second(tx_rank < rx_rank ? rx.mu : tx.mu);
+        osal::CheckedUniqueLock first(tx_rank < rx_rank ? tx.mu : rx.mu);
+        osal::CheckedUniqueLock second(tx_rank < rx_rank ? rx.mu : tx.mu);
         if (do_prune) {
             tx.busy.prune(horizon);
             rx.busy.prune(horizon);
@@ -85,6 +107,17 @@ SimTime Port::send(ProcessId dst, ChannelId channel, util::Message payload,
             rx.busy.reserve(start + seg.params().latency, xmit);
         pkt.deliver_time = rx_start + xmit;
     }
+    // Lamport discipline of the virtual wire: a transfer can be queued
+    // behind earlier traffic, never started before its submission, and its
+    // delivery happens-after its transmission completes.
+    PADICO_AUDIT(start >= sender_now,
+                 "tx reservation booked before the sender's clock");
+    PADICO_AUDIT(tx_done == start + xmit, "tx completion != start + xmit");
+    PADICO_AUDIT(pkt.deliver_time >= tx_done,
+                 "delivery modeled before tx completion");
+#ifdef PADICO_CHECK_ENABLED
+    pkt.check_sent_at = sender_now;
+#endif
     adapter_->tx_shard_.packets.fetch_add(1, std::memory_order_relaxed);
     adapter_->tx_shard_.bytes.fetch_add(bytes, std::memory_order_relaxed);
     dst_nic.rx_shard_.packets.fetch_add(1, std::memory_order_relaxed);
@@ -97,25 +130,33 @@ SimTime Port::send(ProcessId dst, ChannelId channel, util::Message payload,
     return tx_done;
 }
 
-std::optional<Packet> Port::recv() { return rx_.pop(); }
+std::optional<Packet> Port::recv() {
+    return audit_rx(owner_->id(), rx_.pop());
+}
 
-std::optional<Packet> Port::try_recv() { return rx_.try_pop(); }
+std::optional<Packet> Port::try_recv() {
+    return audit_rx(owner_->id(), rx_.try_pop());
+}
 
 std::optional<Packet> Port::recv_on(ChannelId channel) {
-    return rx_.pop_matching(
-        [channel](const Packet& p) { return p.channel == channel; });
+    return audit_rx(owner_->id(),
+                    rx_.pop_matching([channel](const Packet& p) {
+                        return p.channel == channel;
+                    }));
 }
 
 std::optional<Packet> Port::recv_from(ProcessId src, ChannelId channel) {
-    return rx_.pop_matching([src, channel](const Packet& p) {
-        return p.channel == channel && p.src == src;
-    });
+    return audit_rx(owner_->id(),
+                    rx_.pop_matching([src, channel](const Packet& p) {
+                        return p.channel == channel && p.src == src;
+                    }));
 }
 
 std::optional<Packet> Port::try_recv_from(ProcessId src, ChannelId channel) {
-    return rx_.try_pop_matching([src, channel](const Packet& p) {
-        return p.channel == channel && p.src == src;
-    });
+    return audit_rx(owner_->id(),
+                    rx_.try_pop_matching([src, channel](const Packet& p) {
+                        return p.channel == channel && p.src == src;
+                    }));
 }
 
 void PortRef::release() {
@@ -128,7 +169,7 @@ void PortRef::release() {
 // Adapter
 
 PortRef Adapter::open(Process& p, const std::string& owner_tag) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     if (segment_->params().exclusive_open) {
         // Hardware with a single-owner driver (BIP on Myrinet, SCI maps):
         // exactly one port, one owner tag, one process.
@@ -150,7 +191,7 @@ PortRef Adapter::open(Process& p, const std::string& owner_tag) {
         port->owner_tag_ = owner_tag;
         it = ports_.emplace(p.id(), std::move(port)).first;
         {
-            std::lock_guard<std::mutex> rk(segment_->route_mu_);
+            osal::CheckedLock rk(segment_->route_mu_);
             segment_->routes_[p.id()] = it->second.get();
         }
         segment_->grid_->bump_route_generation();
@@ -165,21 +206,21 @@ PortRef Adapter::open(Process& p, const std::string& owner_tag) {
 }
 
 std::string Adapter::owner_tag() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     return ports_.empty() ? std::string() : ports_.begin()->second->owner_tag_;
 }
 
 bool Adapter::is_open() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     return !ports_.empty();
 }
 
 void Adapter::release(Port* port) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     if (--port->refcount_ > 0) return;
     const ProcessId pid = port->owner_->id();
     {
-        std::lock_guard<std::mutex> rk(segment_->route_mu_);
+        osal::CheckedLock rk(segment_->route_mu_);
         segment_->routes_.erase(pid);
     }
     segment_->grid_->bump_route_generation();
@@ -195,12 +236,12 @@ AdapterCounters Adapter::counters() const {
     c.rx_packets = rx_shard_.packets.load(std::memory_order_relaxed);
     c.rx_bytes = rx_shard_.bytes.load(std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lk(tx_shard_.mu);
+        osal::CheckedLock lk(tx_shard_.mu);
         c.tx_span_high_water = tx_shard_.busy.high_water();
         c.tx_pruned_spans = tx_shard_.busy.pruned();
     }
     {
-        std::lock_guard<std::mutex> lk(rx_shard_.mu);
+        osal::CheckedLock lk(rx_shard_.mu);
         c.rx_span_high_water = rx_shard_.busy.high_water();
         c.rx_pruned_spans = rx_shard_.busy.pruned();
     }
@@ -211,7 +252,7 @@ AdapterCounters Adapter::counters() const {
 // NetworkSegment / Machine
 
 Port* NetworkSegment::port_for(ProcessId pid) {
-    std::lock_guard<std::mutex> lk(route_mu_);
+    osal::CheckedLock lk(route_mu_);
     auto it = routes_.find(pid);
     return it == routes_.end() ? nullptr : it->second;
 }
@@ -221,7 +262,7 @@ NetworkSegment::RouteSnapshot NetworkSegment::route_snapshot() {
     // stamp is already stale and consumers revalidate — never the reverse.
     RouteSnapshot snap;
     snap.generation = grid_->route_generation();
-    std::lock_guard<std::mutex> lk(route_mu_);
+    osal::CheckedLock lk(route_mu_);
     snap.routes.reserve(routes_.size());
     for (const auto& [pid, port] : routes_) snap.routes.emplace_back(pid, port);
     return snap;
@@ -261,7 +302,7 @@ void NetworkSegment::publish_routes() {
     // Generation first: if a route changes while we copy, the table's
     // stamp is already stale and readers fall back — never the reverse.
     t->generation = grid_->route_generation();
-    std::lock_guard<std::mutex> lk(route_mu_);
+    osal::CheckedLock lk(route_mu_);
     t->entries.reserve(routes_.size());
     for (const auto& [pid, port] : routes_) t->entries.emplace_back(pid, port);
     route_table_.store(t.get(), std::memory_order_release);
@@ -269,7 +310,7 @@ void NetworkSegment::publish_routes() {
 }
 
 SimTime NetworkSegment::min_route_owner_clock() {
-    std::lock_guard<std::mutex> lk(route_mu_);
+    osal::CheckedLock lk(route_mu_);
     if (routes_.empty()) return 0;
     SimTime h = std::numeric_limits<SimTime>::max();
     for (const auto& [pid, port] : routes_)
@@ -279,7 +320,7 @@ SimTime NetworkSegment::min_route_owner_clock() {
 
 Port* NetworkSegment::wait_port_for(ProcessId pid) {
     {
-        std::lock_guard<std::mutex> lk(route_mu_);
+        osal::CheckedLock lk(route_mu_);
         auto it = routes_.find(pid);
         if (it != routes_.end()) return it->second;
     }
@@ -289,7 +330,7 @@ Port* NetworkSegment::wait_port_for(ProcessId pid) {
     // host that never boots.
     Machine& peer = grid_->wait_process(pid).machine();
     if (peer.adapter_on(*this) == nullptr) return nullptr;
-    std::unique_lock<std::mutex> lk(route_mu_);
+    osal::CheckedUniqueLock lk(route_mu_);
     route_cv_.wait(lk, [&] { return routes_.count(pid) != 0; });
     return routes_[pid];
 }
@@ -355,10 +396,16 @@ Adapter& Grid::attach(Machine& m, NetworkSegment& s) {
                  "machine " + m.name() + " already attached to " + s.name());
     adapters_.push_back(std::make_unique<Adapter>(m, s));
     // Grid-wide rank used to acquire per-NIC timing locks in one fixed
-    // global order (see Port::send).
-    adapters_.back()->order_ = adapters_.size() - 1;
-    m.adapters_.push_back(adapters_.back().get());
-    return *adapters_.back();
+    // global order (see Port::send). Mirrored into the shard locks' check
+    // ranks so PADICO_CHECK=ON enforces the same order it documents.
+    Adapter& a = *adapters_.back();
+    a.order_ = adapters_.size() - 1;
+    a.tx_shard_.mu.set_rank(lockrank::shard_rank(a.order_, false),
+                            "fabric.shard.tx");
+    a.rx_shard_.mu.set_rank(lockrank::shard_rank(a.order_, true),
+                            "fabric.shard.rx");
+    m.adapters_.push_back(&a);
+    return a;
 }
 
 Machine& Grid::machine(const std::string& name) {
@@ -374,7 +421,7 @@ NetworkSegment& Grid::segment(const std::string& name) {
 }
 
 Process& Grid::spawn(Machine& m, std::function<void(Process&)> body) {
-    std::lock_guard<std::mutex> lk(proc_mu_);
+    osal::CheckedLock lk(proc_mu_);
     const ProcessId id = static_cast<ProcessId>(processes_.size());
     processes_.push_back(
         std::unique_ptr<Process>(new Process(*this, m, id)));
@@ -404,7 +451,7 @@ void Grid::join_all() {
     // Snapshot under lock; more processes must not be spawned while joining.
     std::vector<Process*> procs;
     {
-        std::lock_guard<std::mutex> lk(proc_mu_);
+        osal::CheckedLock lk(proc_mu_);
         for (auto& p : processes_) procs.push_back(p.get());
     }
     for (Process* p : procs)
@@ -419,19 +466,19 @@ void Grid::join_all() {
 }
 
 Process& Grid::process(ProcessId id) {
-    std::lock_guard<std::mutex> lk(proc_mu_);
+    osal::CheckedLock lk(proc_mu_);
     PADICO_CHECK(id < processes_.size(), "bad process id");
     return *processes_[id];
 }
 
 Process& Grid::wait_process(ProcessId id) {
-    std::unique_lock<std::mutex> lk(proc_mu_);
+    osal::CheckedUniqueLock lk(proc_mu_);
     proc_cv_.wait(lk, [&] { return id < processes_.size(); });
     return *processes_[id];
 }
 
 ChannelId Grid::channel_id(const std::string& name) {
-    std::lock_guard<std::mutex> lk(name_mu_);
+    osal::CheckedLock lk(name_mu_);
     auto it = channels_.find(name);
     if (it != channels_.end()) return it->second;
     const ChannelId id = next_channel_++;
@@ -441,20 +488,20 @@ ChannelId Grid::channel_id(const std::string& name) {
 
 void Grid::register_service(const std::string& name, ProcessId pid) {
     {
-        std::lock_guard<std::mutex> lk(name_mu_);
+        osal::CheckedLock lk(name_mu_);
         services_[name] = pid;
     }
     name_cv_.notify_all();
 }
 
 ProcessId Grid::wait_service(const std::string& name) {
-    std::unique_lock<std::mutex> lk(name_mu_);
+    osal::CheckedUniqueLock lk(name_mu_);
     name_cv_.wait(lk, [&] { return services_.count(name) != 0; });
     return services_[name];
 }
 
 std::optional<ProcessId> Grid::try_lookup(const std::string& name) {
-    std::lock_guard<std::mutex> lk(name_mu_);
+    osal::CheckedLock lk(name_mu_);
     auto it = services_.find(name);
     if (it == services_.end()) return std::nullopt;
     return it->second;

@@ -26,6 +26,8 @@
 #include "fabric/clock.hpp"
 #include "fabric/netmodel.hpp"
 #include "fabric/packet.hpp"
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "osal/queue.hpp"
 #include "util/error.hpp"
 
@@ -187,9 +189,12 @@ private:
     /// guards `busy` in sharded mode; the legacy segment-global mode holds
     /// the segment's time_mu_ on top (the shard locks are then uncontended
     /// but keep `busy` under a single guard for counters()).
-    /// Packet/byte counters are lock-free.
+    /// Packet/byte counters are lock-free. The shard lock's rank is
+    /// assigned by Grid::attach (lockrank::shard_rank over order_), so the
+    /// historically comment-only acquisition order is enforced under
+    /// PADICO_CHECK=ON.
     struct DirShard {
-        mutable std::mutex mu;
+        mutable osal::CheckedMutex mu;
         BusyList busy;
         std::atomic<std::uint64_t> packets{0};
         std::atomic<std::uint64_t> bytes{0};
@@ -197,7 +202,8 @@ private:
 
     Machine* machine_;
     NetworkSegment* segment_;
-    mutable std::mutex mu_;
+    mutable osal::CheckedMutex mu_{lockrank::kFabricAdapter,
+                                   "fabric.adapter"};
     std::map<ProcessId, std::unique_ptr<Port>> ports_;
     DirShard tx_shard_;
     DirShard rx_shard_;
@@ -294,8 +300,8 @@ private:
     std::string name_;
     LinkParams params_;
     std::optional<NetTech> tech_;
-    std::mutex route_mu_;
-    std::condition_variable route_cv_;
+    osal::CheckedMutex route_mu_{lockrank::kFabricRoute, "fabric.route"};
+    osal::CheckedCondVar route_cv_;
     std::map<ProcessId, Port*> routes_;
     std::atomic<TimingMode> timing_mode_{TimingMode::kSharded};
     std::atomic<const RouteTable*> route_table_{nullptr};
@@ -306,7 +312,9 @@ private:
     std::vector<std::unique_ptr<const RouteTable>> route_tables_;
     std::atomic<std::uint64_t> route_fast_hits_{0};
     std::atomic<std::uint64_t> route_fast_misses_{0};
-    std::mutex time_mu_; ///< serializes bookkeeping in kSegmentGlobal mode
+    osal::CheckedMutex time_mu_{
+        lockrank::kFabricTime,
+        "fabric.time"}; ///< serializes bookkeeping in kSegmentGlobal mode
 };
 
 /// A host in the grid.
@@ -454,12 +462,13 @@ private:
     std::vector<std::unique_ptr<NetworkSegment>> segments_;
     std::vector<std::unique_ptr<Adapter>> adapters_;
 
-    mutable std::mutex proc_mu_;
-    std::condition_variable proc_cv_;
+    mutable osal::CheckedMutex proc_mu_{lockrank::kFabricProcs,
+                                        "fabric.procs"};
+    osal::CheckedCondVar proc_cv_;
     std::vector<std::unique_ptr<Process>> processes_;
 
-    std::mutex name_mu_;
-    std::condition_variable name_cv_;
+    osal::CheckedMutex name_mu_{lockrank::kFabricNames, "fabric.names"};
+    osal::CheckedCondVar name_cv_;
     std::map<std::string, ChannelId> channels_;
     ChannelId next_channel_ = 1;
     std::map<std::string, ProcessId> services_;

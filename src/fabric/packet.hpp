@@ -31,6 +31,13 @@ struct Packet {
     std::uint32_t flags = 0;
     NetworkSegment* via = nullptr; ///< segment the packet traveled on
     util::Message payload;
+#ifdef PADICO_CHECK_ENABLED
+    /// Sender's virtual clock at submission, stamped by Port::send so the
+    /// receive side can audit Lamport monotonicity (deliver_time can never
+    /// precede the send). Exists only under PADICO_CHECK=ON: binaries with
+    /// and without the flag are ABI-incompatible and must not be mixed.
+    SimTime check_sent_at = 0;
+#endif
 };
 
 } // namespace padico::fabric

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <tuple>
 
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "util/cache.hpp"
 #include "util/strings.hpp"
 
@@ -226,7 +228,8 @@ namespace {
 using PlanKey = std::tuple<int, std::size_t, int, int, std::size_t, int,
                            std::size_t>;
 
-std::mutex g_plan_mu;
+osal::CheckedMutex g_plan_mu{lockrank::kGridccmPlanCache,
+                             "gridccm.plan_cache"};
 std::map<PlanKey, PlanPtr>& plan_table() {
     static std::map<PlanKey, PlanPtr> t;
     return t;
@@ -249,7 +252,7 @@ PlanPtr shared_plan(const Distribution& src_dist, int n_src,
                       static_cast<int>(dst_dist.kind), dst_dist.grain, n_dst,
                       len};
     {
-        std::lock_guard<std::mutex> lk(g_plan_mu);
+        osal::CheckedLock lk(g_plan_mu);
         auto it = plan_table().find(key);
         if (it != plan_table().end()) {
             g_plan_hits.fetch_add(1, std::memory_order_relaxed);
@@ -261,7 +264,7 @@ PlanPtr shared_plan(const Distribution& src_dist, int n_src,
     g_plan_misses.fetch_add(1, std::memory_order_relaxed);
     auto plan = std::make_shared<const RedistPlan>(
         compute_plan(src_dist, n_src, dst_dist, n_dst, len));
-    std::lock_guard<std::mutex> lk(g_plan_mu);
+    osal::CheckedLock lk(g_plan_mu);
     auto [it, inserted] = plan_table().try_emplace(key, std::move(plan));
     return it->second;
 }
@@ -274,7 +277,7 @@ PlanCacheStats plan_cache_stats() {
 }
 
 void reset_plan_cache() {
-    std::lock_guard<std::mutex> lk(g_plan_mu);
+    osal::CheckedLock lk(g_plan_mu);
     plan_table().clear();
     g_plan_hits.store(0, std::memory_order_relaxed);
     g_plan_misses.store(0, std::memory_order_relaxed);

@@ -201,7 +201,7 @@ util::ByteBuf ParallelSkeleton::server_side_shuffle(Invocation& inv,
 }
 
 void ParallelSkeleton::run_operation(Invocation& inv, const FragHeader& h,
-                                     std::unique_lock<std::mutex>& lk) {
+                                     osal::CheckedUniqueLock& lk) {
     const OpDesc& opd = desc_.op(h.op);
     util::ByteBuf arg;
     if (static_cast<Strategy>(h.strategy) == Strategy::ServerSide) {
@@ -267,7 +267,7 @@ void ParallelSkeleton::handle_frag(corba::cdr::Decoder& in,
     const std::size_t esz = h.elem_size;
     const int n_s = desc_.members;
 
-    std::unique_lock<std::mutex> lk(mu_);
+    osal::CheckedUniqueLock lk(mu_);
     auto key = std::make_pair(h.binding, h.seq);
     auto it = invocations_map_.find(key);
     if (it == invocations_map_.end()) {

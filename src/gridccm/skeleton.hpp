@@ -14,6 +14,8 @@
 #include "corba/stub.hpp"
 #include "gridccm/descriptor.hpp"
 #include "mpi/mpi.hpp"
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 
 namespace padico::gridccm {
 
@@ -94,12 +96,12 @@ private:
         // Result: this member's local result block (empty for void ops).
         util::Message result;
         PlanPtr out_plan; ///< server layout -> client layout (shared)
-        std::condition_variable cv;
+        osal::CheckedCondVar cv;
     };
 
     void handle_frag(corba::cdr::Decoder& in, corba::cdr::Encoder& out);
     void run_operation(Invocation& inv, const FragHeader& h,
-                       std::unique_lock<std::mutex>& lk);
+                       osal::CheckedUniqueLock& lk);
     util::ByteBuf server_side_shuffle(Invocation& inv, const FragHeader& h);
 
     ParallelFacetDesc desc_;
@@ -107,7 +109,8 @@ private:
     mpi::Comm* comm_;
     std::map<std::string, OpHandler> handlers_;
 
-    std::mutex mu_;
+    osal::CheckedMutex mu_{lockrank::kGridccmSkeleton,
+                           "gridccm.skeleton"};
     std::map<std::pair<std::uint64_t, std::uint64_t>,
              std::unique_ptr<Invocation>>
         invocations_map_;

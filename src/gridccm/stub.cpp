@@ -77,7 +77,7 @@ void ParallelStub::fetch_description(const corba::IOR& home) {
 }
 
 corba::ObjectRef& ParallelStub::member_ref(int s) {
-    std::lock_guard<std::mutex> lk(members_mu_);
+    osal::CheckedLock lk(members_mu_);
     auto it = members_.find(s);
     if (it == members_.end()) {
         it = members_
@@ -366,7 +366,7 @@ util::Message ParallelStub::invoke(const std::string& op,
         fanout_->run(std::move(tasks));
     } else {
         std::vector<std::thread> threads;
-        std::mutex err_mu;
+        osal::CheckedMutex err_mu{lockrank::kScratch, "gridccm.stub.err"};
         std::exception_ptr first_error;
         for (int s : contacts) {
             threads.emplace_back([&, s] {
@@ -376,7 +376,7 @@ util::Message ParallelStub::invoke(const std::string& op,
                                    opd.result_distributed ? &result
                                                           : nullptr);
                 } catch (...) {
-                    std::lock_guard<std::mutex> lk(err_mu);
+                    osal::CheckedLock lk(err_mu);
                     if (!first_error)
                         first_error = std::current_exception();
                 }

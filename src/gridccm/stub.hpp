@@ -87,7 +87,8 @@ private:
     std::uint64_t binding_ = 0;
     std::uint64_t next_seq_ = 1;
     std::map<int, corba::ObjectRef> members_;
-    std::mutex members_mu_;
+    osal::CheckedMutex members_mu_{lockrank::kGridccmMembers,
+                                   "gridccm.members"};
     /// Fast lane: persistent fan-out workers, created on the first
     /// multi-server invocation and reused for every later one (replaces a
     /// std::thread spawn/join per contacted server per call). Unused when

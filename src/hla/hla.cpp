@@ -1,5 +1,8 @@
 #include "hla/hla.hpp"
 
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
+
 #include "util/log.hpp"
 
 namespace padico::hla {
@@ -31,7 +34,7 @@ public:
     std::string interface() const override { return "IDL:padico/RTI:1.0"; }
 
     std::size_t federates() const {
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         return members_.size();
     }
 
@@ -42,26 +45,26 @@ public:
             const auto name = skel::arg<std::string>(in);
             corba::IOR callback;
             corba::cdr_get(in, callback);
-            std::lock_guard<std::mutex> lk(mu_);
+            osal::CheckedLock lk(mu_);
             PADICO_CHECK(members_.count(name) == 0,
                          "federate '" + name + "' already joined");
             members_[name] = Member{callback, {}, {}};
             skel::ret(out, true);
         } else if (op == "resign") {
             const auto name = skel::arg<std::string>(in);
-            std::lock_guard<std::mutex> lk(mu_);
+            osal::CheckedLock lk(mu_);
             members_.erase(name);
             skel::ret(out, true);
         } else if (op == "publish") {
             const auto name = skel::arg<std::string>(in);
             const auto cls = skel::arg<std::string>(in);
-            std::lock_guard<std::mutex> lk(mu_);
+            osal::CheckedLock lk(mu_);
             member(name).publishes.insert(cls);
             skel::ret(out, true);
         } else if (op == "subscribe") {
             const auto name = skel::arg<std::string>(in);
             const auto cls = skel::arg<std::string>(in);
-            std::lock_guard<std::mutex> lk(mu_);
+            osal::CheckedLock lk(mu_);
             member(name).subscribes.insert(cls);
             // Late subscribers discover existing instances and receive the
             // current attribute values.
@@ -75,7 +78,7 @@ public:
         } else if (op == "register_object") {
             const auto name = skel::arg<std::string>(in);
             const auto cls = skel::arg<std::string>(in);
-            std::lock_guard<std::mutex> lk(mu_);
+            osal::CheckedLock lk(mu_);
             PADICO_CHECK(member(name).publishes.count(cls) != 0,
                          "federate '" + name + "' does not publish '" + cls +
                              "'");
@@ -91,7 +94,7 @@ public:
             const auto handle = skel::arg<ObjectHandle>(in);
             AttributeMap attrs;
             cdr_get(in, attrs);
-            std::lock_guard<std::mutex> lk(mu_);
+            osal::CheckedLock lk(mu_);
             auto it = objects_.find(handle);
             PADICO_CHECK(it != objects_.end(), "unknown object handle");
             PADICO_CHECK(it->second.owner == name,
@@ -144,7 +147,7 @@ private:
     }
 
     corba::Orb* orb_;
-    mutable std::mutex mu_;
+    mutable osal::CheckedMutex mu_{lockrank::kHlaGateway, "hla.gateway"};
     std::map<std::string, Member> members_;
     std::map<ObjectHandle, Object> objects_;
     ObjectHandle next_handle_ = 1;

@@ -1,0 +1,457 @@
+#pragma once
+/// \file checked.hpp
+/// padico::check — the zero-cost-when-off lock-order and invariant
+/// analysis layer (DESIGN.md §11).
+///
+/// Compile with PADICO_CHECK=ON (cmake option; defines
+/// PADICO_CHECK_ENABLED) and every osal::CheckedMutex acquisition
+///  * maintains a per-thread held-lock stack,
+///  * enforces the process-wide rank discipline of lockrank.hpp (a thread
+///    may only acquire a ranked mutex whose rank is strictly greater than
+///    every ranked mutex it already holds),
+///  * feeds a global lock-order graph and reports any cycle — a potential
+///    ABBA deadlock — online, with both acquisition sites in the witness.
+/// The same flag arms the invariant audits (PADICO_AUDIT) sprinkled through
+/// BusyList, Port::send/recv and the WaitSet/queue waiter protocol.
+///
+/// Violations are recorded (check::violations()) and logged to stderr; the
+/// first report arms an atexit hook that terminates the process with a
+/// nonzero status if violations are still unconsumed at exit, so "the
+/// suite is green under PADICO_CHECK=ON" really means zero violations.
+/// Tests that deliberately seed a violation assert on it and then call
+/// check::clear_violations().
+///
+/// With the flag off, CheckedMutex/CheckedLock/CheckedUniqueLock/
+/// CheckedCondVar are the plain std types (CheckedMutex adds only no-op
+/// annotation constructors): no extra state, no extra locking, unchanged
+/// hot-path code.
+
+#include <condition_variable>
+#include <mutex>
+
+#ifdef PADICO_CHECK_ENABLED
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <source_location>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace padico::osal {
+
+namespace check {
+
+constexpr int kUnranked = -1;
+
+enum class Kind {
+    kRankInversion, ///< acquired a rank <= one already held
+    kOrderCycle,    ///< new lock-order edge closes a cycle (potential ABBA)
+    kInvariant,     ///< a PADICO_AUDIT data-structure invariant failed
+    kProtocol,      ///< a locking/waiter usage protocol was violated
+};
+
+inline const char* kind_name(Kind k) {
+    switch (k) {
+    case Kind::kRankInversion: return "rank-inversion";
+    case Kind::kOrderCycle: return "order-cycle";
+    case Kind::kInvariant: return "invariant";
+    case Kind::kProtocol: return "protocol";
+    }
+    return "?";
+}
+
+struct Violation {
+    Kind kind;
+    std::string message;
+};
+
+/// Graph node: ranked mutexes collapse onto their rank (every instance of
+/// a class shares one discipline); unranked mutexes are tracked per
+/// instance.
+using NodeKey = std::uint64_t;
+
+/// Process-wide checker state. Guarded by a raw std::mutex deliberately
+/// outside the instrumented world (the checker does not check itself);
+/// it is only ever held for bookkeeping, never across user code.
+/// Leaked on purpose so the atexit enforcement hook can always read it.
+struct State {
+    std::mutex mu;
+    std::vector<Violation> violations;
+    std::map<int, const char*> rank_names;
+    struct Edge {
+        std::string from_label, to_label;
+        std::string from_site, to_site;
+    };
+    std::map<NodeKey, std::map<NodeKey, Edge>> edges;
+    bool exit_hook_armed = false;
+};
+
+inline State& state() {
+    static State* s = new State; // leaked: must outlive static destruction
+    return *s;
+}
+
+inline std::string site_str(const std::source_location& l) {
+    return std::string(l.file_name()) + ":" + std::to_string(l.line());
+}
+
+inline void register_rank(int rank, const char* name) {
+    if (rank == kUnranked || name == nullptr) return;
+    State& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.rank_names.emplace(rank, name);
+}
+
+inline std::string label_for(int rank, const char* name) {
+    std::string out = name != nullptr ? name : "<unnamed>";
+    if (rank != kUnranked) out += " (rank " + std::to_string(rank) + ")";
+    return out;
+}
+
+inline void arm_exit_hook_locked(State& s) {
+    if (s.exit_hook_armed) return;
+    s.exit_hook_armed = true;
+    std::atexit(+[] {
+        State& st = state();
+        std::lock_guard<std::mutex> lk(st.mu);
+        if (st.violations.empty()) return;
+        std::fprintf(stderr,
+                     "padico::check: %zu unconsumed violation(s) at exit\n",
+                     st.violations.size());
+        std::_Exit(82);
+    });
+}
+
+/// Record a violation and log it. Also the entry point for the invariant
+/// audits outside osal (BusyList, Port::send).
+inline void report(Kind kind, std::string message) {
+    State& s = state();
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        arm_exit_hook_locked(s);
+        s.violations.push_back({kind, message});
+    }
+    std::fprintf(stderr, "padico::check[%s]: %s\n", kind_name(kind),
+                 message.c_str());
+}
+
+inline std::vector<Violation> violations() {
+    State& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.violations;
+}
+
+inline std::size_t violation_count() {
+    State& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.violations.size();
+}
+
+inline void clear_violations() {
+    State& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.violations.clear();
+}
+
+/// Forget all recorded lock-order edges. Test isolation only: the graph
+/// keys unranked mutexes by address, so a test creating short-lived
+/// mutexes on the stack could otherwise inherit edges from a previous
+/// test whose (destroyed) mutexes occupied the same addresses.
+inline void clear_order_graph() {
+    State& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.edges.clear();
+}
+
+/// One entry of the per-thread held-lock stack.
+struct Held {
+    const void* mutex;
+    int rank;
+    const char* name;
+    std::source_location site;
+};
+
+inline thread_local std::vector<Held> t_held;
+
+inline NodeKey node_key(const void* mutex, int rank) {
+    if (rank != kUnranked)
+        return (std::uint64_t{1} << 63) | static_cast<std::uint32_t>(rank);
+    return reinterpret_cast<std::uintptr_t>(mutex);
+}
+
+/// Insert the order-graph edge held->next; if it is new and closes a
+/// cycle, build the witness (every edge on the cycle with the acquisition
+/// sites that first established it).
+inline void note_order_edge(const Held& held, const void* next_mutex,
+                            int next_rank, const char* next_name,
+                            const std::source_location& next_site) {
+    const NodeKey from = node_key(held.mutex, held.rank);
+    const NodeKey to = node_key(next_mutex, next_rank);
+    if (from == to) return; // same class: the rank check covers this
+    std::string cycle_msg;
+    State& s = state();
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        auto& out = s.edges[from];
+        if (out.count(to) != 0) return; // edge already known
+        out.emplace(to, State::Edge{label_for(held.rank, held.name),
+                                    label_for(next_rank, next_name),
+                                    site_str(held.site),
+                                    site_str(next_site)});
+        // DFS from `to`: a path back to `from` means the new edge closed a
+        // cycle. Record parents so the witness can list the whole loop.
+        std::map<NodeKey, NodeKey> parent;
+        std::vector<NodeKey> stack{to};
+        parent[to] = to;
+        bool found = false;
+        while (!stack.empty() && !found) {
+            const NodeKey u = stack.back();
+            stack.pop_back();
+            auto it = s.edges.find(u);
+            if (it == s.edges.end()) continue;
+            for (const auto& [v, e] : it->second) {
+                if (parent.count(v) != 0) continue;
+                parent[v] = u;
+                if (v == from) {
+                    found = true;
+                    break;
+                }
+                stack.push_back(v);
+            }
+        }
+        if (found) {
+            // Path to -> ... -> from, plus the new edge from -> to.
+            std::vector<NodeKey> path;
+            for (NodeKey v = from; v != to; v = parent[v]) path.push_back(v);
+            path.push_back(to);
+            // path is [from, ..., to] reversed; walk to->...->from.
+            cycle_msg = "lock-order cycle (potential ABBA deadlock):";
+            for (std::size_t i = path.size(); i-- > 1;) {
+                const State::Edge& e = s.edges[path[i]].at(path[i - 1]);
+                cycle_msg += "\n  " + e.from_label + " acquired at " +
+                             e.from_site + ", then " + e.to_label + " at " +
+                             e.to_site;
+            }
+            const State::Edge& closing = s.edges[from].at(to);
+            cycle_msg += "\n  closing edge: " + closing.from_label +
+                         " acquired at " + closing.from_site + ", then " +
+                         closing.to_label + " at " + closing.to_site;
+        }
+    }
+    if (!cycle_msg.empty()) report(Kind::kOrderCycle, std::move(cycle_msg));
+}
+
+/// Bookkeeping for an acquisition (called before blocking on the real
+/// mutex, so an impending deadlock is reported rather than hung on).
+inline void on_lock(const void* mutex, int rank, const char* name,
+                    const std::source_location& site) {
+    // Rank discipline: strictly increasing over the ranked locks held.
+    if (rank != kUnranked) {
+        for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+            if (it->rank == kUnranked) continue;
+            if (it->rank >= rank) {
+                report(Kind::kRankInversion,
+                       "rank inversion: acquiring " +
+                           label_for(rank, name) + " at " + site_str(site) +
+                           " while holding " +
+                           label_for(it->rank, it->name) + " acquired at " +
+                           site_str(it->site));
+            }
+            break; // ranked holds are increasing, checking the top suffices
+        }
+    }
+    if (!t_held.empty())
+        note_order_edge(t_held.back(), mutex, rank, name, site);
+    t_held.push_back(Held{mutex, rank, name, site});
+}
+
+/// Bookkeeping for a successful try_lock: records the hold (so later
+/// acquisitions see it) without feeding the order graph — a non-blocking
+/// acquisition cannot deadlock.
+inline void on_try_lock(const void* mutex, int rank, const char* name,
+                        const std::source_location& site) {
+    t_held.push_back(Held{mutex, rank, name, site});
+}
+
+inline void on_unlock(const void* mutex, int rank, const char* name) {
+    for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+        if (it->mutex != mutex) continue;
+        t_held.erase(std::next(it).base());
+        return;
+    }
+    report(Kind::kProtocol,
+           "unlock of " + label_for(rank, name) +
+               " which this thread does not hold (cross-thread unlock or "
+               "double unlock)");
+}
+
+/// Depth of the calling thread's held-lock stack (tests/diagnostics).
+inline std::size_t held_count() { return t_held.size(); }
+
+} // namespace check
+
+/// Drop-in std::mutex replacement carrying a lock rank and a name. The
+/// rank is either fixed at construction or assigned later via set_rank()
+/// (for ranks only known at runtime, e.g. the per-NIC shard order).
+class CheckedMutex {
+public:
+    CheckedMutex() = default;
+    explicit CheckedMutex(int rank, const char* name = nullptr)
+        : rank_(rank), name_(name) {
+        check::register_rank(rank, name);
+    }
+    CheckedMutex(const CheckedMutex&) = delete;
+    CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+    void set_rank(int rank, const char* name = nullptr) {
+        rank_.store(rank, std::memory_order_relaxed);
+        if (name != nullptr) name_.store(name, std::memory_order_relaxed);
+        check::register_rank(rank, name);
+    }
+
+    int rank() const noexcept {
+        return rank_.load(std::memory_order_relaxed);
+    }
+    const char* name() const noexcept {
+        return name_.load(std::memory_order_relaxed);
+    }
+
+    void lock(std::source_location site = std::source_location::current()) {
+        check::on_lock(this, rank(), name(), site);
+        mu_.lock();
+    }
+
+    bool try_lock(
+        std::source_location site = std::source_location::current()) {
+        if (!mu_.try_lock()) return false;
+        check::on_try_lock(this, rank(), name(), site);
+        return true;
+    }
+
+    void unlock() {
+        check::on_unlock(this, rank(), name());
+        mu_.unlock();
+    }
+
+private:
+    std::mutex mu_;
+    std::atomic<int> rank_{check::kUnranked};
+    std::atomic<const char*> name_{nullptr};
+};
+
+/// lock_guard counterpart capturing the acquisition site.
+class CheckedLock {
+public:
+    explicit CheckedLock(
+        CheckedMutex& m,
+        std::source_location site = std::source_location::current())
+        : m_(&m) {
+        m_->lock(site);
+    }
+    ~CheckedLock() { m_->unlock(); }
+    CheckedLock(const CheckedLock&) = delete;
+    CheckedLock& operator=(const CheckedLock&) = delete;
+
+private:
+    CheckedMutex* m_;
+};
+
+/// unique_lock counterpart (BasicLockable, so CheckedCondVar waits on it).
+class CheckedUniqueLock {
+public:
+    CheckedUniqueLock() = default;
+    explicit CheckedUniqueLock(
+        CheckedMutex& m,
+        std::source_location site = std::source_location::current())
+        : m_(&m), site_(site) {
+        m_->lock(site_);
+        owns_ = true;
+    }
+    ~CheckedUniqueLock() {
+        if (owns_) m_->unlock();
+    }
+    CheckedUniqueLock(CheckedUniqueLock&& o) noexcept
+        : m_(o.m_), site_(o.site_), owns_(o.owns_) {
+        o.m_ = nullptr;
+        o.owns_ = false;
+    }
+    CheckedUniqueLock& operator=(CheckedUniqueLock&& o) noexcept {
+        if (this != &o) {
+            if (owns_) m_->unlock();
+            m_ = o.m_;
+            site_ = o.site_;
+            owns_ = o.owns_;
+            o.m_ = nullptr;
+            o.owns_ = false;
+        }
+        return *this;
+    }
+    CheckedUniqueLock(const CheckedUniqueLock&) = delete;
+    CheckedUniqueLock& operator=(const CheckedUniqueLock&) = delete;
+
+    /// Reacquisitions (manual or from a condition wait) reuse the
+    /// construction site as the witness location.
+    void lock() {
+        m_->lock(site_);
+        owns_ = true;
+    }
+    void unlock() {
+        m_->unlock();
+        owns_ = false;
+    }
+    bool owns_lock() const noexcept { return owns_; }
+
+private:
+    CheckedMutex* m_ = nullptr;
+    std::source_location site_{};
+    bool owns_ = false;
+};
+
+/// condition_variable_any works with any BasicLockable, so waits keep the
+/// full acquisition bookkeeping through the unlock/relock inside wait().
+using CheckedCondVar = std::condition_variable_any;
+
+} // namespace padico::osal
+
+/// Invariant audit: record (not throw) when \p cond is false, so an audit
+/// deep in the data plane cannot change control flow. \p msg is any
+/// expression convertible to std::string, evaluated only on failure.
+#define PADICO_AUDIT(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::padico::osal::check::report(                                  \
+                ::padico::osal::check::Kind::kInvariant,                    \
+                std::string(__FILE__ ":") + std::to_string(__LINE__) +      \
+                    ": audit failed: " #cond " — " + (msg));                \
+    } while (0)
+
+#else // !PADICO_CHECK_ENABLED
+
+namespace padico::osal {
+
+/// Checking disabled: literally a std::mutex plus no-op annotation hooks.
+/// Being a derived class (with no members) rather than an alias keeps the
+/// rank-annotation constructors compilable while std::unique_lock,
+/// std::lock_guard and std::condition_variable all bind to the base.
+class CheckedMutex : public std::mutex {
+public:
+    CheckedMutex() = default;
+    explicit CheckedMutex(int /*rank*/, const char* /*name*/ = nullptr) {}
+    void set_rank(int /*rank*/, const char* /*name*/ = nullptr) noexcept {}
+};
+
+using CheckedLock = std::lock_guard<std::mutex>;
+using CheckedUniqueLock = std::unique_lock<std::mutex>;
+using CheckedCondVar = std::condition_variable;
+
+} // namespace padico::osal
+
+#define PADICO_AUDIT(cond, msg)                                             \
+    do {                                                                    \
+    } while (0)
+
+#endif // PADICO_CHECK_ENABLED

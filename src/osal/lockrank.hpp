@@ -1,0 +1,90 @@
+#pragma once
+/// \file lockrank.hpp
+/// The process-wide lock-rank registry of padico::check. Every long-lived
+/// mutex in the tree is annotated with one of these ranks; under
+/// PADICO_CHECK=ON, osal::CheckedMutex enforces that a thread only ever
+/// acquires mutexes in strictly increasing rank order (see checked.hpp).
+///
+/// Ranks increase as control descends the stack: a layer may call into the
+/// layers below it while holding its own locks, never the reverse. The
+/// bands mirror the include-layering order that tools/padico_lint enforces
+/// (ccm < gridccm < hla/soap < corba < svc < padicotm < fabric), with gaps
+/// left inside each band so new mutexes slot in without renumbering.
+///
+/// To annotate a new mutex:
+///   1. add a `constexpr int kMyLock = ...;` here, in the band of the layer
+///      that owns it, strictly between the ranks it is acquired inside of
+///      and the ranks acquired while it is held;
+///   2. construct it as `osal::CheckedMutex mu_{lockrank::kMyLock, "name"};`
+///      (or call set_rank() for ranks only known at runtime);
+///   3. run the suite with -DPADICO_CHECK=ON — inversions and order-graph
+///      cycles are reported with both acquisition sites.
+/// tools/padico_lint rejects `lockrank::` identifiers that are not declared
+/// in this file, so the registry stays the single source of truth.
+
+#include <cstdint>
+
+namespace padico::lockrank {
+
+// --- ccm: containers hold their lock while talking to corba --------------
+constexpr int kCcmRegistry = 1000;    ///< ccm/component.cpp g_reg_mu
+constexpr int kCcmContainer = 1010;   ///< ccm::Container::mu_
+
+// --- gridccm --------------------------------------------------------------
+constexpr int kGridccmMembers = 1100;  ///< gridccm::ParallelStub members_mu_
+constexpr int kGridccmSkeleton = 1110; ///< gridccm::ParallelSkeleton::mu_
+constexpr int kGridccmPlanCache = 1130; ///< distribution.cpp g_plan_mu
+                                        ///< (taken under the skeleton lock)
+
+// --- hla: the gateway servant calls back out through corba ---------------
+constexpr int kHlaGateway = 1200; ///< hla RtiGateway servant mu_
+
+// --- soap -----------------------------------------------------------------
+constexpr int kSoapServer = 1300; ///< soap::SoapServer::mu_
+constexpr int kSoapClient = 1310; ///< soap::SoapClient::mu_
+
+// --- corba ----------------------------------------------------------------
+constexpr int kOrb = 1400;     ///< corba::Orb::mu_ (object adapter table)
+constexpr int kNaming = 1410;  ///< corba::NamingServant::mu_
+constexpr int kOrbConn = 1420; ///< corba::ObjectRef conn_mu_ (held across
+                               ///< connect/invoke, i.e. into padicotm)
+
+// --- svc ------------------------------------------------------------------
+constexpr int kServerShutdown = 1500; ///< svc::ServerCore::shutdown_mu_
+constexpr int kServerConns = 1510;    ///< svc::ServerCore::mu_
+constexpr int kServerPool = 1520;     ///< svc::ServerCore::pool_mu_
+
+// --- padicotm -------------------------------------------------------------
+constexpr int kSocketApi = 1600;     ///< ptm::BsdSocketApi::mu_
+constexpr int kAioApi = 1605;        ///< ptm::AioApi::mu_
+constexpr int kCircuit = 1610;       ///< ptm::Circuit::mu_
+constexpr int kModules = 1620;       ///< ptm::ModuleManager::mu_
+constexpr int kModuleFactory = 1625; ///< runtime.cpp g_factory_mu
+constexpr int kRouteCache = 1640;    ///< ptm::Runtime::route_cache_mu_
+constexpr int kDemux = 1650;         ///< ptm::Demux::mu_
+
+// --- fabric (static) ------------------------------------------------------
+constexpr int kFabricAdapter = 1700; ///< fabric::Adapter::mu_ (port table)
+constexpr int kFabricRoute = 1710;   ///< fabric::NetworkSegment::route_mu_
+constexpr int kFabricTime = 1720;    ///< fabric::NetworkSegment::time_mu_
+constexpr int kFabricProcs = 1730;   ///< fabric::Grid::proc_mu_
+constexpr int kFabricNames = 1740;   ///< fabric::Grid::name_mu_
+
+// --- fabric (dynamic): per-NIC-direction timing shards --------------------
+/// The shard band sits above every static rank: shard locks are innermost
+/// on the data path (taken under time_mu_ in legacy mode, last in sharded
+/// mode). The per-adapter order assigned by Grid::attach becomes the rank —
+/// tx even, rx odd — turning grid.hpp's historically comment-only
+/// discipline into an enforced one.
+constexpr int kFabricShardBase = 10000;
+constexpr int shard_rank(std::uint64_t adapter_order, bool rx) {
+    return kFabricShardBase + static_cast<int>(adapter_order) * 2 +
+           (rx ? 1 : 0);
+}
+
+// --- leaf: short-lived local mutexes --------------------------------------
+/// For block-scoped mutexes (parallel-loop error collectors) that are
+/// always innermost and never nest with each other.
+constexpr int kScratch = 1 << 20;
+
+} // namespace padico::lockrank

@@ -11,6 +11,8 @@
 #include <optional>
 #include <utility>
 
+#include "osal/checked.hpp"
+
 namespace padico::osal {
 
 /// Lightweight wake-up hook a queue notifies on push/close. Shared (via
@@ -42,6 +44,18 @@ public:
     /// Block until notify() has been called after \p seen was observed.
     void wait_changed(std::uint64_t seen) {
         std::unique_lock<std::mutex> lk(mu_);
+#ifdef PADICO_CHECK_ENABLED
+        // A snapshot ahead of the live sequence was not taken from THIS
+        // waiter (or the waiter was replaced under the consumer): the
+        // lost-wake-up guarantee no longer holds for it.
+        if (seen > seq_)
+            check::report(check::Kind::kProtocol,
+                          "Waiter::wait_changed with snapshot " +
+                              std::to_string(seen) +
+                              " ahead of live sequence " +
+                              std::to_string(seq_) +
+                              " (snapshot from a different Waiter?)");
+#endif
         cv_.wait(lk, [&] { return seq_ != seen; });
     }
 
@@ -158,6 +172,15 @@ public:
         std::shared_ptr<Waiter> fire;
         {
             std::lock_guard<std::mutex> lk(mu_);
+#ifdef PADICO_CHECK_ENABLED
+            // Single-ownership protocol: a second multiplexer silently
+            // stealing the hook would starve the first one's wait loop.
+            if (w && waiter_ && waiter_ != w)
+                check::report(
+                    check::Kind::kProtocol,
+                    "BlockingQueue::set_waiter replacing a live waiter "
+                    "(two WaitSets multiplexing one queue?)");
+#endif
             waiter_ = std::move(w);
             if (waiter_ && (!items_.empty() || closed_)) fire = waiter_;
         }

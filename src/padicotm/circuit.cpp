@@ -95,7 +95,7 @@ std::optional<util::Message> Circuit::match_pending(int src_rank, int tag,
 
 util::Message Circuit::recv(int src_rank, int tag, int* out_src,
                             int* out_tag) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     while (true) {
         if (auto hit = match_pending(src_rank, tag, out_src, out_tag))
             return std::move(*hit);
@@ -115,7 +115,7 @@ util::Message Circuit::recv(int src_rank, int tag, int* out_src,
 
 std::optional<util::Message> Circuit::try_recv(int src_rank, int tag,
                                                int* out_src, int* out_tag) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     while (true) {
         if (auto hit = match_pending(src_rank, tag, out_src, out_tag))
             return hit;

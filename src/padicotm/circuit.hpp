@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "padicotm/runtime.hpp"
 
 namespace padico::ptm {
@@ -74,7 +76,9 @@ private:
     int rank_ = -1;
     MailboxPtr inbox_;
 
-    std::mutex mu_; ///< guards pending_ (recv may be called by 2+ threads)
+    osal::CheckedMutex mu_{
+        lockrank::kCircuit,
+        "ptm.circuit"}; ///< guards pending_ (recv may be called by 2+ threads)
     std::deque<Pending> pending_;
 };
 

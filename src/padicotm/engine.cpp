@@ -5,7 +5,7 @@
 namespace padico::ptm {
 
 MailboxPtr Demux::subscribe(fabric::ChannelId ch) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     PLOG(trace, "padicotm") << "subscribe ch " << ch;
     auto it = boxes_.find(ch);
     if (it != boxes_.end()) return it->second;
@@ -20,7 +20,7 @@ MailboxPtr Demux::subscribe(fabric::ChannelId ch) {
 }
 
 void Demux::unsubscribe(fabric::ChannelId ch) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     auto pend = pending_.find(ch);
     if (pend != pending_.end()) {
         // Buffered for a subscriber that never came (or came and left).
@@ -45,7 +45,7 @@ void Demux::route(fabric::Packet&& pkt, SimTime demux_cost) {
     d.via = pkt.via;
     d.payload = std::move(pkt.payload);
 
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     auto it = boxes_.find(pkt.channel);
     PLOG(trace, "padicotm") << "route ch " << pkt.channel << " from "
                             << pkt.src << " (" << d.payload.size()
@@ -59,7 +59,7 @@ void Demux::route(fabric::Packet&& pkt, SimTime demux_cost) {
 }
 
 void Demux::close_all() {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     std::uint64_t orphaned = 0;
     for (const auto& [ch, buf] : pending_) orphaned += buf.size();
     if (orphaned != 0) {

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "fabric/grid.hpp"
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "osal/queue.hpp"
 #include "osal/sync.hpp"
 
@@ -66,7 +68,7 @@ public:
     }
 
 private:
-    std::mutex mu_;
+    osal::CheckedMutex mu_{lockrank::kDemux, "ptm.demux"};
     std::map<fabric::ChannelId, MailboxPtr> boxes_;
     std::map<fabric::ChannelId, std::vector<Delivery>> pending_;
     std::atomic<std::uint64_t> dropped_pending_{0};

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "util/error.hpp"
 
 namespace padico::ptm {
@@ -54,7 +56,7 @@ public:
 
 private:
     Runtime* rt_;
-    mutable std::mutex mu_;
+    mutable osal::CheckedMutex mu_{lockrank::kModules, "ptm.modules"};
     std::map<std::string, std::shared_ptr<Module>> loaded_;
 };
 

@@ -12,7 +12,7 @@ BsdSocketApi::Entry& BsdSocketApi::entry(int fd) {
 }
 
 int BsdSocketApi::pad_listen(const std::string& service) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     const int fd = next_fd_++;
     fds_[fd].listener = std::make_unique<VLinkListener>(*rt_, service);
     return fd;
@@ -21,14 +21,14 @@ int BsdSocketApi::pad_listen(const std::string& service) {
 int BsdSocketApi::pad_accept(int listen_fd) {
     VLinkListener* listener;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         Entry& e = entry(listen_fd);
         PADICO_CHECK(e.listener != nullptr, "fd is not listening");
         listener = e.listener.get();
     }
     VLink link = listener->accept();
     PADICO_CHECK(link.valid(), "listener shut down");
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     const int fd = next_fd_++;
     fds_[fd].stream = std::make_unique<VLink>(std::move(link));
     return fd;
@@ -36,7 +36,7 @@ int BsdSocketApi::pad_accept(int listen_fd) {
 
 int BsdSocketApi::pad_connect(const std::string& service) {
     VLink link = VLink::connect(*rt_, service);
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     const int fd = next_fd_++;
     fds_[fd].stream = std::make_unique<VLink>(std::move(link));
     return fd;
@@ -45,7 +45,7 @@ int BsdSocketApi::pad_connect(const std::string& service) {
 std::int64_t BsdSocketApi::pad_send(int fd, const void* buf, std::size_t n) {
     VLink* s;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         Entry& e = entry(fd);
         PADICO_CHECK(e.stream != nullptr, "fd is not a stream");
         s = e.stream.get();
@@ -57,7 +57,7 @@ std::int64_t BsdSocketApi::pad_send(int fd, const void* buf, std::size_t n) {
 std::int64_t BsdSocketApi::pad_recv(int fd, void* buf, std::size_t n) {
     VLink* s;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         Entry& e = entry(fd);
         PADICO_CHECK(e.stream != nullptr, "fd is not a stream");
         s = e.stream.get();
@@ -69,7 +69,7 @@ std::int64_t BsdSocketApi::pad_recv(int fd, void* buf, std::size_t n) {
 }
 
 void BsdSocketApi::pad_close(int fd) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     Entry& e = entry(fd);
     if (e.stream) e.stream->close();
     fds_.erase(fd);
@@ -89,7 +89,7 @@ AioApi::ControlPtr AioApi::aio_write(VLink& link, const void* buf,
     // Writes never block in the simulated stack: complete inline, like an
     // AIO implementation with a large kernel buffer.
     link.write(buf, n);
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     cb->done = true;
     cb->result = static_cast<std::int64_t>(n);
     return cb;
@@ -105,7 +105,7 @@ AioApi::ControlPtr AioApi::aio_read(VLink& link, void* buf, std::size_t n) {
             result = static_cast<std::int64_t>(n);
         }
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            osal::CheckedLock lk(mu_);
             cb->result = result;
             cb->done = true;
         }
@@ -115,13 +115,13 @@ AioApi::ControlPtr AioApi::aio_read(VLink& link, void* buf, std::size_t n) {
 }
 
 std::int64_t AioApi::aio_suspend(const ControlPtr& cb) {
-    std::unique_lock<std::mutex> lk(mu_);
+    osal::CheckedUniqueLock lk(mu_);
     cv_.wait(lk, [&] { return cb->done; });
     return cb->result;
 }
 
 bool AioApi::aio_done(const ControlPtr& cb) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     return cb->done;
 }
 

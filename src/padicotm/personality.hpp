@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "padicotm/circuit.hpp"
 #include "padicotm/vlink.hpp"
 
@@ -54,7 +56,7 @@ private:
     Entry& entry(int fd);
 
     Runtime* rt_;
-    std::mutex mu_;
+    osal::CheckedMutex mu_{lockrank::kSocketApi, "ptm.socket_api"};
     std::map<int, Entry> fds_;
     int next_fd_ = 3; // 0/1/2 are taken, like home
 };
@@ -85,8 +87,8 @@ public:
 
 private:
     Runtime* rt_;
-    std::mutex mu_;
-    std::condition_variable cv_;
+    osal::CheckedMutex mu_{lockrank::kAioApi, "ptm.aio_api"};
+    osal::CheckedCondVar cv_;
     std::vector<std::thread> workers_;
 };
 

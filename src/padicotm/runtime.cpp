@@ -15,7 +15,7 @@ namespace padico::ptm {
 // ModuleManager
 
 namespace {
-std::mutex g_factory_mu;
+osal::CheckedMutex g_factory_mu{lockrank::kModuleFactory, "ptm.module_factory"};
 std::map<std::string, ModuleManager::Factory>& factories() {
     static std::map<std::string, ModuleManager::Factory> f;
     return f;
@@ -23,24 +23,24 @@ std::map<std::string, ModuleManager::Factory>& factories() {
 } // namespace
 
 void ModuleManager::register_type(const std::string& name, Factory factory) {
-    std::lock_guard<std::mutex> lk(g_factory_mu);
+    osal::CheckedLock lk(g_factory_mu);
     factories()[name] = std::move(factory);
 }
 
 bool ModuleManager::has_type(const std::string& name) {
-    std::lock_guard<std::mutex> lk(g_factory_mu);
+    osal::CheckedLock lk(g_factory_mu);
     return factories().count(name) != 0;
 }
 
 std::shared_ptr<Module> ModuleManager::load(const std::string& name) {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         auto it = loaded_.find(name);
         if (it != loaded_.end()) return it->second;
     }
     Factory factory;
     {
-        std::lock_guard<std::mutex> lk(g_factory_mu);
+        osal::CheckedLock lk(g_factory_mu);
         auto it = factories().find(name);
         if (it == factories().end())
             throw LookupError("no module type registered as '" + name + "'");
@@ -51,25 +51,25 @@ std::shared_ptr<Module> ModuleManager::load(const std::string& name) {
     // factory; re-check under the lock and keep the winner's instance so
     // every caller observes ONE module per name (the loser's construct is
     // discarded, matching dlopen's once-per-name semantics).
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     auto [it, inserted] = loaded_.try_emplace(name, std::move(mod));
     return it->second;
 }
 
 void ModuleManager::unload(const std::string& name) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     if (loaded_.erase(name) == 0)
         throw LookupError("module '" + name + "' is not loaded");
 }
 
 std::shared_ptr<Module> ModuleManager::find(const std::string& name) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     auto it = loaded_.find(name);
     return it == loaded_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> ModuleManager::loaded() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     std::vector<std::string> out;
     for (const auto& [name, mod] : loaded_) out.push_back(name);
     return out;
@@ -182,7 +182,7 @@ fabric::NetworkSegment* Runtime::select_segment(fabric::ProcessId dst) {
     const std::uint64_t gen = grid().route_generation();
     const bool fast = util::caches_enabled();
     if (fast) {
-        std::lock_guard<std::mutex> lk(route_cache_mu_);
+        osal::CheckedLock lk(route_cache_mu_);
         auto it = route_cache_.find(dst);
         if (it != route_cache_.end()) {
             if (it->second.gen == gen) {
@@ -204,14 +204,14 @@ fabric::NetworkSegment* Runtime::select_segment(fabric::ProcessId dst) {
         break;
     }
     if (fast) {
-        std::lock_guard<std::mutex> lk(route_cache_mu_);
+        osal::CheckedLock lk(route_cache_mu_);
         route_cache_[dst] = RouteEntry{found, gen};
     }
     return found;
 }
 
 Runtime::CachedRoute Runtime::cached_route(fabric::ProcessId dst) const {
-    std::lock_guard<std::mutex> lk(route_cache_mu_);
+    osal::CheckedLock lk(route_cache_mu_);
     auto it = route_cache_.find(dst);
     if (it == route_cache_.end()) return CachedRoute{};
     return CachedRoute{it->second.seg, it->second.gen, true};

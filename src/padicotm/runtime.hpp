@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "padicotm/engine.hpp"
 #include "padicotm/module.hpp"
 
@@ -196,7 +198,8 @@ private:
     ModuleManager modules_;
     std::atomic<std::uint64_t> next_dyn_{0};
     std::vector<SegSlot> seg_stats_; ///< parallel to engine_.segments()
-    mutable std::mutex route_cache_mu_;
+    mutable osal::CheckedMutex route_cache_mu_{lockrank::kRouteCache,
+                                               "ptm.route_cache"};
     std::map<fabric::ProcessId, RouteEntry> route_cache_;
     std::atomic<std::uint64_t> route_hits_{0};
     std::atomic<std::uint64_t> route_misses_{0};

@@ -126,7 +126,7 @@ SoapServer::SoapServer(ptm::Runtime& rt, const std::string& endpoint,
 SoapServer::~SoapServer() { shutdown(); }
 
 void SoapServer::bind(const std::string& op, Handler handler) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     handlers_[op] = std::move(handler);
 }
 
@@ -142,7 +142,7 @@ void SoapServer::handle_request(ptm::VLink& conn, util::Message body) {
         auto [op, params] = parse_envelope(text);
         Handler handler;
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            osal::CheckedLock lk(mu_);
             auto it = handlers_.find(op);
             if (it != handlers_.end()) handler = it->second;
         }
@@ -165,7 +165,7 @@ SoapClient::SoapClient(ptm::Runtime& rt, const std::string& endpoint)
     : rt_(&rt), conn_(ptm::VLink::connect(rt, endpoint)) {}
 
 Params SoapClient::call(const std::string& op, const Params& params) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     send_text(*rt_, conn_, make_envelope(op, params));
     auto text = recv_text(*rt_, conn_);
     PADICO_CHECK(text.has_value(), "SOAP connection closed");

@@ -11,6 +11,8 @@
 #include <functional>
 #include <map>
 
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "padicotm/module.hpp"
 #include "padicotm/vlink.hpp"
 #include "svc/server_core.hpp"
@@ -54,7 +56,7 @@ private:
     void handle_request(ptm::VLink& conn, util::Message body);
 
     ptm::Runtime* rt_;
-    std::mutex mu_;
+    osal::CheckedMutex mu_{lockrank::kSoapServer, "soap.server"};
     std::map<std::string, Handler> handlers_;
     std::unique_ptr<svc::ServerCore> core_;
 };
@@ -70,7 +72,7 @@ public:
 private:
     ptm::Runtime* rt_;
     ptm::VLink conn_;
-    std::mutex mu_;
+    osal::CheckedMutex mu_{lockrank::kSoapClient, "soap.client"};
 };
 
 /// The loadable module wrapper ("gsoap").

@@ -18,7 +18,7 @@ ServerCore::ServerCore(ptm::Runtime& rt, const std::string& endpoint,
     if (opts_.mode == Mode::kEventDriven) {
         waitset_.add(listener_->mailbox(), kListenerKey);
         dispatcher_ = std::thread([this] { dispatch_loop(); });
-        std::lock_guard<std::mutex> lk(pool_mu_);
+        osal::CheckedLock lk(pool_mu_);
         for (std::size_t i = 0; i < opts_.workers; ++i) pool_spawn_locked();
     } else {
         dispatcher_ = std::thread([this] { legacy_accept_loop(); });
@@ -29,7 +29,7 @@ ServerCore::~ServerCore() { shutdown(); }
 
 void ServerCore::shutdown() {
     stopping_.store(true);
-    std::lock_guard<std::mutex> slk(shutdown_mu_);
+    osal::CheckedLock slk(shutdown_mu_);
     if (stopped_.load()) return;
     listener_->shutdown();
     waitset_.interrupt();
@@ -38,7 +38,7 @@ void ServerCore::shutdown() {
         // Unblock anything still reading from clients that will never
         // close their end (legacy conn loops; nothing in event mode —
         // the dispatcher is already gone).
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         for (auto& [key, conn] : conns_) conn->link->abort();
     }
     work_.close();
@@ -46,11 +46,17 @@ void ServerCore::shutdown() {
     join_pool();
     {
         // Detach every remaining readiness registration before the
-        // connections (and their mailboxes) are released.
-        std::lock_guard<std::mutex> lk(mu_);
-        waitset_.remove(kListenerKey);
-        for (auto& [key, conn] : conns_) waitset_.remove(key);
-        conns_.clear();
+        // connections (and their mailboxes) are released. The connections
+        // themselves are destroyed AFTER mu_ is dropped: ~Conn tears down
+        // its VLink, which posts FIN and unsubscribes from the Demux —
+        // channel-layer work that must not run under the conns lock.
+        std::map<osal::WaitSet::Key, ConnPtr> doomed;
+        {
+            osal::CheckedLock lk(mu_);
+            waitset_.remove(kListenerKey);
+            for (auto& [key, conn] : conns_) waitset_.remove(key);
+            doomed.swap(conns_);
+        }
     }
     stopped_.store(true);
 }
@@ -62,7 +68,7 @@ ServerCore::Stats ServerCore::stats() const {
     s.frames = frames_.load(std::memory_order_relaxed);
     s.threads = threads_live_.load(std::memory_order_relaxed);
     s.peak_threads = threads_peak_.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     s.live_connections = conns_.size();
     return s;
 }
@@ -71,7 +77,7 @@ ServerCore::Stats ServerCore::stats() const {
 // Shared plumbing
 
 ServerCore::ConnPtr ServerCore::adopt(ptm::VLink&& link) {
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     auto conn = std::make_shared<Conn>(next_key_++);
     conn->link = std::make_shared<ptm::VLink>(std::move(link));
     conn->proto = factory_();
@@ -126,7 +132,7 @@ bool ServerCore::accept_ready() {
 void ServerCore::drive_conn(osal::WaitSet::Key key) {
     ConnPtr conn;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         auto it = conns_.find(key);
         if (it == conns_.end()) return; // pruned before this readiness
         conn = it->second;
@@ -144,7 +150,7 @@ void ServerCore::drive_conn(osal::WaitSet::Key key) {
         }
         if (st == Protocol::Extract::kFrame) {
             frames_.fetch_add(1, std::memory_order_relaxed);
-            std::lock_guard<std::mutex> lk(mu_);
+            osal::CheckedLock lk(mu_);
             conn->frames.push_back(std::move(frame));
             if (!conn->busy) {
                 conn->busy = true;
@@ -157,7 +163,7 @@ void ServerCore::drive_conn(osal::WaitSet::Key key) {
         // first (so the closed mailbox stops reporting ready), then prune
         // unless a worker still holds queued frames.
         waitset_.remove(key);
-        std::lock_guard<std::mutex> lk(mu_);
+        osal::CheckedLock lk(mu_);
         conn->closed = true;
         maybe_prune_locked(conn);
         break;
@@ -179,14 +185,14 @@ void ServerCore::pool_spawn_locked() {
 }
 
 void ServerCore::worker_entered_blocking() {
-    std::lock_guard<std::mutex> lk(pool_mu_);
+    osal::CheckedLock lk(pool_mu_);
     ++pool_blocked_;
     if (pool_threads_ == pool_blocked_ && !stopping_.load())
         pool_spawn_locked();
 }
 
 void ServerCore::worker_exited_blocking() {
-    std::lock_guard<std::mutex> lk(pool_mu_);
+    osal::CheckedLock lk(pool_mu_);
     --pool_blocked_;
 }
 
@@ -196,7 +202,7 @@ void ServerCore::join_pool() {
     for (;;) {
         std::vector<std::thread> batch;
         {
-            std::lock_guard<std::mutex> lk(pool_mu_);
+            osal::CheckedLock lk(pool_mu_);
             batch.swap(pool_);
         }
         if (batch.empty()) return;
@@ -211,7 +217,7 @@ void ServerCore::worker_loop() {
                                     [this] { worker_exited_blocking(); }});
     for (;;) {
         {
-            std::lock_guard<std::mutex> lk(pool_mu_);
+            osal::CheckedLock lk(pool_mu_);
             if (pool_threads_ > opts_.workers + pool_blocked_) {
                 --pool_threads_; // surplus spare: retire
                 return;
@@ -223,7 +229,7 @@ void ServerCore::worker_loop() {
         for (;;) {
             util::Message frame;
             {
-                std::lock_guard<std::mutex> lk(mu_);
+                osal::CheckedLock lk(mu_);
                 if (conn->frames.empty()) {
                     conn->busy = false;
                     maybe_prune_locked(conn);
@@ -241,12 +247,12 @@ void ServerCore::worker_loop() {
                 // Drop the connection: discard its queued frames and mark
                 // the stream dead so the dispatcher deregisters + prunes.
                 conn->link->abort();
-                std::lock_guard<std::mutex> lk(mu_);
+                osal::CheckedLock lk(mu_);
                 conn->frames.clear();
             }
         }
     }
-    std::lock_guard<std::mutex> lk(pool_mu_); // work_ closed: shutting down
+    osal::CheckedLock lk(pool_mu_); // work_ closed: shutting down
     --pool_threads_;
 }
 
@@ -296,7 +302,7 @@ void ServerCore::blocking_conn_loop(ConnPtr conn) {
         ws.wait(); // kNeedMore: block until a chunk (or EOF) arrives
     }
     ws.remove(1);
-    std::lock_guard<std::mutex> lk(mu_);
+    osal::CheckedLock lk(mu_);
     if (conns_.erase(conn->key) != 0)
         pruned_.fetch_add(1, std::memory_order_relaxed);
 }

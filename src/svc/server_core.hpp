@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "osal/blocking.hpp"
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
 #include "osal/queue.hpp"
 #include "osal/sync.hpp"
 #include "osal/waitset.hpp"
@@ -166,15 +168,18 @@ private:
     /// Event-mode pool. ThreadGroup is not safe against concurrent
     /// spawn/join, and the BlockingHint enter hook spawns from worker
     /// threads — so the pool keeps its own mutex-guarded bookkeeping.
-    std::mutex pool_mu_;
+    osal::CheckedMutex pool_mu_{lockrank::kServerPool, "svc.server.pool"};
     std::vector<std::thread> pool_;
     std::size_t pool_threads_ = 0; ///< workers not yet retired
     std::size_t pool_blocked_ = 0; ///< workers inside a blocking Region
 
-    mutable std::mutex mu_;
+    mutable osal::CheckedMutex mu_{lockrank::kServerConns,
+                                   "svc.server.conns"};
     std::map<osal::WaitSet::Key, ConnPtr> conns_;
     osal::WaitSet::Key next_key_ = 1; ///< 0 is the listener
-    std::mutex shutdown_mu_; ///< serializes shutdown() callers
+    osal::CheckedMutex shutdown_mu_{
+        lockrank::kServerShutdown,
+        "svc.server.shutdown"}; ///< serializes shutdown() callers
     std::atomic<bool> stopping_{false};
     std::atomic<bool> stopped_{false};
 

@@ -1,3 +1,6 @@
+// padico-lint: allow(raw-mutex) — util sits below osal in the layering, so
+// the logger cannot use osal::CheckedMutex; its single leaf mutex is only
+// ever held across one fwrite.
 #include "util/log.hpp"
 
 #include <atomic>

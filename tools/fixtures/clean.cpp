@@ -1,0 +1,21 @@
+// expect: none
+// path: src/fabric/clean.cpp
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
+#include "util/simtime.hpp"
+
+struct Clean {
+    padico::osal::CheckedMutex mu{padico::lockrank::kTestDeclared, "clean"};
+    padico::osal::CheckedCondVar cv;
+    bool flag = false;
+    void wait_ready() {
+        padico::osal::CheckedUniqueLock lk(mu);
+        cv.wait(lk, [&] { return flag; }); // predicate form: fine
+    }
+    void poll() {
+        waitset.wait(); // zero-argument multiplex wait: fine
+    }
+    struct {
+        void wait() {}
+    } waitset;
+};

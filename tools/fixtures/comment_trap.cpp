@@ -1,0 +1,9 @@
+// expect: none
+// path: src/fabric/trap.cpp
+// A std::mutex mentioned in a comment, like std::scoped_lock's unspecified
+// order, must not trip the token rules; neither must cv.wait(lk) here.
+#include "osal/checked.hpp"
+
+/* block comment: std::lock_guard<std::mutex> lk(mu); cv.wait(lk); */
+const char* kDoc =
+    "string literal: std::mutex cv.wait(lk) lockrank::kNotDeclared";

@@ -1,0 +1,12 @@
+// expect: cv-wait
+// path: src/corba/waity.cpp
+#include <condition_variable>
+
+struct Waity {
+    padico::osal::CheckedMutex mu{padico::lockrank::kTestDeclared, "w"};
+    padico::osal::CheckedCondVar cv;
+    void f() {
+        padico::osal::CheckedUniqueLock lk(mu);
+        cv.wait(lk); // no predicate: lost wakeups / spurious wakeups
+    }
+};

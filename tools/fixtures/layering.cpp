@@ -1,0 +1,4 @@
+// expect: include-layering
+// path: src/fabric/upward.cpp
+#include "ccm/component.hpp"
+#include "util/simtime.hpp"

@@ -1,0 +1,8 @@
+// expect: literal-rank
+// path: src/svc/magic.cpp
+#include "osal/checked.hpp"
+
+struct Magic {
+    padico::osal::CheckedMutex mu{42, "magic"};
+    void g() { mu.set_rank(7); }
+};

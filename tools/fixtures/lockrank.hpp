@@ -1,0 +1,4 @@
+// Rank registry the self-test fixtures resolve lockrank:: against (the
+// real tree uses src/osal/lockrank.hpp).
+constexpr int kTestDeclared = 100;
+constexpr int shard_rank(int order, bool rx) { return order * 2 + rx; }

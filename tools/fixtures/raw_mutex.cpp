@@ -1,0 +1,8 @@
+// expect: raw-mutex
+// path: src/svc/raw.cpp
+#include <mutex>
+
+struct Raw {
+    std::mutex mu;
+    void f() { std::lock_guard<std::mutex> lk(mu); }
+};

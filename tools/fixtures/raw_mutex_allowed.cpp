@@ -1,0 +1,9 @@
+// expect: none
+// path: src/util/allowed.cpp
+// padico-lint: allow(raw-mutex) — below osal in the layering
+#include <mutex>
+
+struct Allowed {
+    std::mutex mu;
+    void f() { std::lock_guard<std::mutex> lk(mu); }
+};

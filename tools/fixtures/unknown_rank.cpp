@@ -1,0 +1,9 @@
+// expect: unknown-lockrank
+// path: src/padicotm/mystery.cpp
+#include "osal/checked.hpp"
+#include "osal/lockrank.hpp"
+
+struct Mystery {
+    padico::osal::CheckedMutex mu{padico::lockrank::kNotDeclaredAnywhere,
+                                  "mystery"};
+};

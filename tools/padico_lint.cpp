@@ -1,0 +1,471 @@
+/// \file padico_lint.cpp
+/// In-tree concurrency & layering lint for the Padico source tree
+/// (ISSUE: padico::check). A deliberately small token-level checker — no
+/// real C++ parsing — that enforces the repo-wide rules the compiler
+/// cannot:
+///
+///   raw-mutex        std::mutex / std::lock_guard / std::scoped_lock /
+///                    std::unique_lock outside src/osal/ — everything above
+///                    osal must use osal::CheckedMutex + CheckedLock so the
+///                    PADICO_CHECK=ON build sees every acquisition.
+///   cv-wait          .wait(lk) with exactly one argument outside src/osal/
+///                    — a condition wait without a predicate is a lost-wakeup
+///                    / spurious-wakeup bug waiting to happen.
+///   include-layering #include that reaches UP the layer stack (e.g.
+///                    fabric/ including ccm/); the allowed direction mirrors
+///                    the lock-rank bands in osal/lockrank.hpp.
+///   unknown-lockrank lockrank::<id> used but not declared in
+///                    osal/lockrank.hpp — the registry is the single source
+///                    of truth for ranks.
+///   literal-rank     CheckedMutex{<integer>, ...} or set_rank(<integer>)
+///                    outside src/osal/ — ranks must be named lockrank::
+///                    constants, not magic numbers.
+///
+/// A file opts out of one rule with a comment pragma anywhere in the file:
+///     // padico-lint: allow(raw-mutex)
+///
+/// Usage:
+///   padico_lint <src_dir>             lint every .hpp/.cpp under src_dir
+///   padico_lint --self-test <dir>     run the fixture suite in <dir>
+///
+/// Fixture format: first comment lines declare the expectation and the
+/// pretend path the rules should see:
+///     // expect: raw-mutex,cv-wait     (or: // expect: none)
+///     // path: src/fabric/foo.cpp
+/// Exit status: 0 clean, 1 findings (or fixture mismatch), 2 usage error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+    std::string file;
+    std::size_t line;
+    std::string rule;
+    std::string message;
+};
+
+/// Layer levels; an include must go strictly DOWN (lower level) or stay in
+/// the including file's own directory. Mirrors the lockrank.hpp bands.
+const std::map<std::string, int>& layer_levels() {
+    static const std::map<std::string, int> levels = {
+        {"util", 0},      {"osal", 1},    {"fabric", 2}, {"madeleine", 3},
+        {"sockets", 3},   {"padicotm", 4}, {"mpi", 5},   {"svc", 5},
+        {"corba", 6},     {"soap", 7},    {"hla", 7},    {"ccm", 7},
+        {"gridccm", 8},
+    };
+    return levels;
+}
+
+/// First path component after the leading "src/" (or the first component
+/// outright), i.e. the module directory the layering rules key on.
+std::string module_dir(const std::string& path) {
+    std::string p = path;
+    if (p.rfind("src/", 0) == 0) p = p.substr(4);
+    const auto slash = p.find('/');
+    return slash == std::string::npos ? std::string() : p.substr(0, slash);
+}
+
+/// Replace comments and string/char literals with spaces, preserving line
+/// structure, so token rules cannot fire inside either.
+std::string strip_comments_and_strings(const std::string& in) {
+    std::string out = in;
+    enum { kCode, kLine, kBlock, kStr, kChar } st = kCode;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const char c = in[i];
+        const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+        switch (st) {
+        case kCode:
+            if (c == '/' && n == '/') st = kLine;
+            else if (c == '/' && n == '*') st = kBlock;
+            else if (c == '"') st = kStr;
+            else if (c == '\'') st = kChar;
+            if (st != kCode) out[i] = ' ';
+            break;
+        case kLine:
+            if (c == '\n') st = kCode;
+            else out[i] = ' ';
+            break;
+        case kBlock:
+            if (c == '*' && n == '/') {
+                out[i] = out[i + 1] = ' ';
+                ++i;
+                st = kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case kStr:
+            if (c == '\\') {
+                out[i] = ' ';
+                if (i + 1 < in.size() && in[i + 1] != '\n') out[++i] = ' ';
+            } else if (c == '"') {
+                st = kCode;
+                out[i] = ' ';
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case kChar:
+            if (c == '\\') {
+                out[i] = ' ';
+                if (i + 1 < in.size() && in[i + 1] != '\n') out[++i] = ' ';
+            } else if (c == '\'') {
+                st = kCode;
+                out[i] = ' ';
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+    std::vector<std::string> lines;
+    std::istringstream is(s);
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+    return lines;
+}
+
+bool is_ident(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Rules the file's pragmas switch off: "// padico-lint: allow(a,b)".
+std::set<std::string> allowed_rules(const std::string& raw) {
+    std::set<std::string> out;
+    const std::string tag = "padico-lint: allow(";
+    std::size_t at = 0;
+    while ((at = raw.find(tag, at)) != std::string::npos) {
+        at += tag.size();
+        const std::size_t end = raw.find(')', at);
+        if (end == std::string::npos) break;
+        std::string inside = raw.substr(at, end - at);
+        std::string rule;
+        std::istringstream is(inside);
+        while (std::getline(is, rule, ','))
+            if (!rule.empty()) out.insert(rule);
+        at = end;
+    }
+    return out;
+}
+
+/// After ".wait(" at \p open (index of '('), count top-level arguments.
+/// Returns -1 when the parenthesis never closes in this file.
+int count_args(const std::string& code, std::size_t open) {
+    int depth = 0;
+    bool any = false;
+    int commas = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+        const char c = code[i];
+        if (c == '(' || c == '[' || c == '{') {
+            ++depth;
+        } else if (c == ')' || c == ']' || c == '}') {
+            --depth;
+            if (depth == 0) return any ? commas + 1 : 0;
+        } else if (depth == 1) {
+            if (c == ',') ++commas;
+            else if (!std::isspace(static_cast<unsigned char>(c))) any = true;
+        }
+    }
+    return -1;
+}
+
+std::size_t line_of(const std::string& s, std::size_t pos) {
+    return static_cast<std::size_t>(
+               std::count(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(pos), '\n')) +
+           1;
+}
+
+/// First non-space character at or after \p pos, skipping newlines too.
+char first_token_char(const std::string& s, std::size_t pos) {
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])))
+        ++pos;
+    return pos < s.size() ? s[pos] : '\0';
+}
+
+void lint_file(const std::string& path, const std::string& raw,
+               const std::set<std::string>& rank_decls,
+               std::vector<Finding>& findings) {
+    const std::string dir = module_dir(path);
+    const std::set<std::string> allowed = allowed_rules(raw);
+    const std::string code = strip_comments_and_strings(raw);
+    const std::vector<std::string> lines = split_lines(code);
+    const std::vector<std::string> raw_lines = split_lines(raw);
+    const bool in_osal = dir == "osal";
+
+    auto emit = [&](std::size_t line, const std::string& rule,
+                    const std::string& msg) {
+        if (allowed.count(rule) != 0) return;
+        findings.push_back(Finding{path, line, rule, msg});
+    };
+
+    // raw-mutex: std locking primitives outside osal/.
+    if (!in_osal) {
+        static const char* kRaw[] = {"std::mutex", "std::recursive_mutex",
+                                     "std::timed_mutex", "std::lock_guard",
+                                     "std::scoped_lock", "std::unique_lock"};
+        for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+            for (const char* tok : kRaw) {
+                const std::size_t at = lines[ln].find(tok);
+                if (at == std::string::npos) continue;
+                const std::size_t after = at + std::string(tok).size();
+                if (after < lines[ln].size() && is_ident(lines[ln][after]))
+                    continue; // e.g. std::mutexes — not our token
+                emit(ln + 1, "raw-mutex",
+                     std::string(tok) +
+                         " outside osal/ — use osal::CheckedMutex / "
+                         "CheckedLock (osal/checked.hpp)");
+                break;
+            }
+        }
+    }
+
+    // cv-wait: one-argument .wait( outside osal/ (zero args = WaitSet-style
+    // wait, two args = predicate form; both fine).
+    if (!in_osal) {
+        std::size_t at = 0;
+        while ((at = code.find(".wait", at)) != std::string::npos) {
+            std::size_t p = at + 5;
+            while (p < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[p])))
+                ++p;
+            if (p < code.size() && code[p] == '(' && !is_ident(code[at + 5])) {
+                if (count_args(code, p) == 1)
+                    emit(line_of(code, at), "cv-wait",
+                         "condition wait without a predicate — spurious "
+                         "wakeups and lost notifies; use wait(lock, pred)");
+            }
+            at += 5;
+        }
+    }
+
+    // include-layering: #include "dir/..." must go strictly down (or stay
+    // in the including file's own directory).
+    {
+        const auto& levels = layer_levels();
+        const auto self = levels.find(dir);
+        for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+            const std::string& l = lines[ln];
+            std::size_t at = l.find("#include");
+            if (at == std::string::npos) continue;
+            // Re-read the include target from the RAW line: the stripper
+            // blanks string literals, and "..." includes are one (raw and
+            // stripped text have identical line structure).
+            const std::string& raw_line = raw_lines[ln];
+            const std::size_t q1 = raw_line.find('"', at);
+            if (q1 == std::string::npos) continue;
+            const std::size_t q2 = raw_line.find('"', q1 + 1);
+            if (q2 == std::string::npos) continue;
+            const std::string target = raw_line.substr(q1 + 1, q2 - q1 - 1);
+            const std::string inc_dir = module_dir(target);
+            if (inc_dir.empty() || inc_dir == dir) continue;
+            const auto inc = levels.find(inc_dir);
+            if (inc == levels.end() || self == levels.end()) continue;
+            if (inc->second >= self->second)
+                emit(ln + 1, "include-layering",
+                     dir + "/ (layer " + std::to_string(self->second) +
+                         ") must not include " + inc_dir + "/ (layer " +
+                         std::to_string(inc->second) +
+                         ") — includes go down the stack only");
+        }
+    }
+
+    // unknown-lockrank: every lockrank::<id> must be declared in
+    // osal/lockrank.hpp.
+    {
+        const std::string ns = "lockrank::";
+        std::size_t at = 0;
+        while ((at = code.find(ns, at)) != std::string::npos) {
+            std::size_t p = at + ns.size();
+            std::string id;
+            while (p < code.size() && is_ident(code[p])) id += code[p++];
+            if (!id.empty() && rank_decls.count(id) == 0)
+                emit(line_of(code, at), "unknown-lockrank",
+                     "lockrank::" + id +
+                         " is not declared in osal/lockrank.hpp — the "
+                         "registry is the single source of truth");
+            at = p;
+        }
+    }
+
+    // literal-rank: integer-literal ranks outside osal/.
+    if (!in_osal) {
+        for (const std::string& tok : {std::string("CheckedMutex"),
+                                       std::string("set_rank")}) {
+            std::size_t at = 0;
+            while ((at = code.find(tok, at)) != std::string::npos) {
+                std::size_t p = at + tok.size();
+                if ((at > 0 && is_ident(code[at - 1])) ||
+                    (p < code.size() && is_ident(code[p]))) {
+                    at = p;
+                    continue; // part of a longer identifier
+                }
+                while (p < code.size() &&
+                       std::isspace(static_cast<unsigned char>(code[p])))
+                    ++p;
+                if (p < code.size() && (code[p] == '{' || code[p] == '(')) {
+                    const char first = first_token_char(code, p + 1);
+                    if (std::isdigit(static_cast<unsigned char>(first)))
+                        emit(line_of(code, at), "literal-rank",
+                             "magic-number lock rank — name it in "
+                             "osal/lockrank.hpp and use the constant");
+                }
+                at = p;
+            }
+        }
+    }
+}
+
+/// Identifiers declared `constexpr int <id>` in the rank registry.
+std::set<std::string> load_rank_decls(const fs::path& lockrank_hpp) {
+    std::set<std::string> out;
+    std::ifstream in(lockrank_hpp);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string tag = "constexpr int ";
+        const std::size_t at = line.find(tag);
+        if (at == std::string::npos) continue;
+        std::size_t p = at + tag.size();
+        std::string id;
+        while (p < line.size() && is_ident(line[p])) id += line[p++];
+        if (!id.empty()) out.insert(id);
+    }
+    return out;
+}
+
+std::string read_file(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+int lint_tree(const fs::path& src) {
+    const std::set<std::string> ranks =
+        load_rank_decls(src / "osal" / "lockrank.hpp");
+    if (ranks.empty()) {
+        std::fprintf(stderr,
+                     "padico_lint: no rank declarations found in %s\n",
+                     (src / "osal" / "lockrank.hpp").string().c_str());
+        return 2;
+    }
+    std::vector<Finding> findings;
+    std::vector<fs::path> files;
+    for (const auto& e : fs::recursive_directory_iterator(src)) {
+        if (!e.is_regular_file()) continue;
+        const std::string ext = e.path().extension().string();
+        if (ext == ".hpp" || ext == ".cpp") files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) {
+        const std::string rel =
+            "src/" + fs::relative(f, src).generic_string();
+        lint_file(rel, read_file(f), ranks, findings);
+    }
+    for (const auto& f : findings)
+        std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                     f.rule.c_str(), f.message.c_str());
+    std::printf("padico_lint: %zu file(s), %zu finding(s)\n", files.size(),
+                findings.size());
+    return findings.empty() ? 0 : 1;
+}
+
+int self_test(const fs::path& dir) {
+    const std::set<std::string> ranks =
+        load_rank_decls(dir / "lockrank.hpp");
+    int failures = 0;
+    std::size_t fixtures = 0;
+    std::vector<fs::path> files;
+    for (const auto& e : fs::directory_iterator(dir))
+        if (e.is_regular_file() && e.path().filename() != "lockrank.hpp")
+            files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) {
+        ++fixtures;
+        const std::string raw = read_file(f);
+        // Header: "// expect: a,b|none" and optional "// path: src/x/y.cpp".
+        std::set<std::string> expected;
+        std::string vpath = "src/fixture/" + f.filename().string();
+        {
+            std::istringstream is(raw);
+            std::string line;
+            while (std::getline(is, line)) {
+                if (line.rfind("// expect:", 0) == 0) {
+                    std::string list = line.substr(10);
+                    std::istringstream ls(list);
+                    std::string r;
+                    while (std::getline(ls, r, ',')) {
+                        r.erase(std::remove_if(r.begin(), r.end(),
+                                               [](unsigned char c) {
+                                                   return std::isspace(c);
+                                               }),
+                                r.end());
+                        if (!r.empty() && r != "none") expected.insert(r);
+                    }
+                } else if (line.rfind("// path:", 0) == 0) {
+                    std::string p = line.substr(8);
+                    p.erase(std::remove_if(p.begin(), p.end(),
+                                           [](unsigned char c) {
+                                               return std::isspace(c);
+                                           }),
+                            p.end());
+                    vpath = p;
+                } else if (line.rfind("//", 0) != 0) {
+                    break; // header ends at the first non-comment line
+                }
+            }
+        }
+        std::vector<Finding> findings;
+        lint_file(vpath, raw, ranks, findings);
+        std::set<std::string> got;
+        for (const auto& fd : findings) got.insert(fd.rule);
+        if (got == expected) {
+            std::printf("PASS %s\n", f.filename().string().c_str());
+        } else {
+            ++failures;
+            auto join = [](const std::set<std::string>& s) {
+                std::string out;
+                for (const auto& r : s) out += (out.empty() ? "" : ",") + r;
+                return out.empty() ? std::string("none") : out;
+            };
+            std::printf("FAIL %s: expected [%s], got [%s]\n",
+                        f.filename().string().c_str(),
+                        join(expected).c_str(), join(got).c_str());
+            for (const auto& fd : findings)
+                std::printf("     %s:%zu: [%s] %s\n", fd.file.c_str(),
+                            fd.line, fd.rule.c_str(), fd.message.c_str());
+        }
+    }
+    std::printf("padico_lint self-test: %zu fixture(s), %d failure(s)\n",
+                fixtures, failures);
+    if (fixtures == 0) return 2;
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc == 3 && std::string(argv[1]) == "--self-test")
+        return self_test(argv[2]);
+    if (argc == 2) return lint_tree(argv[1]);
+    std::fprintf(stderr,
+                 "usage: padico_lint <src_dir> | padico_lint --self-test "
+                 "<fixtures_dir>\n");
+    return 2;
+}
