@@ -1,0 +1,646 @@
+// Fan-in ingress benchmark: how many concurrent simulated connections one
+// PadicoTM server node sustains, and at what latency. This is the
+// ROADMAP's "Million-client ingress" item: the paper's middleware
+// personalities (CORBA, SOAP, HLA-over-CORBA) multiplexed over one
+// network core, driven by a deployment-scale client population instead of
+// bench_server_scale's 64.
+//
+// Legs:
+//  * serial: 1 client x 64 requests in each server mode (legacy
+//    thread-per-connection, PR-2 event dispatcher, sharded readiness).
+//    The virtual completion time after every request must be BIT-IDENTICAL
+//    across modes — the ingress machinery is real-time plumbing only.
+//  * legacy: closed-loop CORBA echo at a small connection count (the
+//    thread-per-connection shape cannot hold 100k threads) — the memory
+//    and thread baseline.
+//  * event: the PR-2 dispatcher at a mid connection count — its WaitSet
+//    poll is O(live connections) per wake, which is the wall this PR
+//    removes.
+//  * sharded: the full population (default 100k) with a mixed protocol
+//    population (75% CORBA echo / 20% SOAP echo / 5% HLA attribute
+//    updates), closed-loop rounds for service latency and a windowed
+//    open-loop pass for queueing latency; reports p50/p99/p999 (us),
+//    per-protocol ingress counters from Runtime::stats(), peak server
+//    threads, and resident memory per connection.
+//
+// Thread bound: total server threads across all three cores must stay
+// <= 2 x max(hardware_concurrency, 8). The max() floor keeps the bound
+// meaningful on 1-2 core CI containers — the point is that thread count
+// scales with the machine, never with the connection count.
+//
+// Latency methodology (EXPERIMENTS.md "ingress"): closed-loop samples are
+// per-request wall-clock round-trip times across every client; open-loop
+// samples stamp each request at send time inside a fixed-depth window and
+// measure completion minus stamp. Percentiles are nearest-rank with linear
+// interpolation over the merged sample set.
+//
+// Writes one JSON object to --out (default stdout); exits nonzero if the
+// virtual-time identity, the thread bound, or the sustained-connection
+// target fails.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "corba/orb.hpp"
+#include "hla/hla.hpp"
+#include "osal/sync.hpp"
+#include "padicotm/runtime.hpp"
+#include "soap/soap.hpp"
+
+namespace padico::bench {
+namespace {
+
+using namespace padico::fabric;
+using svc::ServerCore;
+
+constexpr std::size_t kPayload = 64; // CORBA echo payload bytes
+
+enum class Proto { kCorba, kSoap, kHla };
+
+/// 75/20/5 protocol mix, deterministic per connection index.
+Proto proto_of(std::uint64_t conn) {
+    const auto r = conn % 20;
+    if (r < 15) return Proto::kCorba;
+    if (r < 19) return Proto::kSoap;
+    return Proto::kHla;
+}
+
+struct Knobs {
+    bool quick = false;
+    std::uint64_t conns = 100000;   ///< sharded-leg population
+    std::uint64_t client_procs = 8; ///< client process count
+    std::uint64_t rounds = 2;       ///< closed-loop rounds over the population
+    std::uint64_t window = 512;     ///< open-loop in-flight window
+    std::size_t shards = 2;         ///< per-core readiness shards
+    std::size_t workers = 2;        ///< per-core pool workers
+    std::uint64_t thread_budget = 16;
+};
+
+Knobs make_knobs(bool quick) {
+    Knobs k;
+    k.quick = quick;
+    k.conns = env_u64("PADICO_INGRESS_CONNS", quick ? 1500 : 100000);
+    k.client_procs =
+        env_u64("PADICO_INGRESS_CLIENTS", quick ? 4 : 8);
+    k.rounds = env_u64("PADICO_INGRESS_ROUNDS", 2);
+    k.window = env_u64("PADICO_INGRESS_WINDOW", quick ? 256 : 512);
+    // Three server cores (CORBA echo, SOAP, HLA gateway) of (shards +
+    // workers) threads each, plus one idle sweeper, must fit the budget
+    // 2 x max(hw, 8): solve 6s + 1 <= 2*base for the shard/worker width.
+    const std::uint64_t hw = std::thread::hardware_concurrency();
+    const std::uint64_t base = std::max<std::uint64_t>(hw, 8);
+    k.thread_budget = 2 * base;
+    const std::uint64_t s = std::max<std::uint64_t>(1, base / 3);
+    k.shards = static_cast<std::size_t>(s);
+    k.workers = static_cast<std::size_t>(s);
+    return k;
+}
+
+struct LatencySummary {
+    double p50 = 0, p99 = 0, p999 = 0;
+    std::size_t samples = 0;
+};
+
+LatencySummary summarize(std::vector<double>& us) {
+    std::sort(us.begin(), us.end());
+    LatencySummary s;
+    s.samples = us.size();
+    s.p50 = percentile(us, 50);
+    s.p99 = percentile(us, 99);
+    s.p999 = percentile(us, 99.9);
+    return s;
+}
+
+double now_us() {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// ---------------------------------------------------------------------------
+// Serial virtual-time identity (the same check bench_server_scale runs,
+// here across all three modes with the ingress-tuned options).
+
+std::vector<SimTime> serial_trace(ServerCore::Mode mode, const Knobs& k) {
+    Testbed tb(2, /*with_myrinet=*/false);
+    osal::Event served;
+    std::vector<SimTime> trace;
+    std::mutex trace_mu;
+    osal::Event client_done;
+
+    tb.grid.spawn(*tb.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        corba::Orb orb(rt, corba::profile_omniorb4());
+        ServerCore::Options opts;
+        opts.workers = k.workers;
+        opts.mode = mode;
+        opts.readiness_shards = k.shards;
+        orb.serve("ingress-serial", opts);
+        corba::IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("bench/ingress/serial-key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        client_done.wait();
+        orb.shutdown();
+    });
+    tb.grid.spawn(*tb.nodes[1], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        served.wait();
+        const std::uint64_t key =
+            proc.grid().wait_service("bench/ingress/serial-key");
+        ptm::VLink conn = ptm::VLink::connect(rt, "ingress-serial");
+        const std::string payload(kPayload, 'x');
+        std::vector<SimTime> local;
+        for (int i = 0; i < 64; ++i) {
+            raw_echo_call(conn, static_cast<std::uint64_t>(i + 1), key,
+                          payload);
+            local.push_back(proc.now());
+        }
+        conn.close();
+        {
+            std::lock_guard<std::mutex> lk(trace_mu);
+            trace = std::move(local);
+        }
+        client_done.set();
+    });
+    tb.grid.join_all();
+    return trace;
+}
+
+// ---------------------------------------------------------------------------
+// One fan-in leg.
+
+struct LegResult {
+    std::string mode;
+    std::uint64_t conns = 0;
+    double setup_wall_ms = 0;
+    double traffic_wall_ms = 0;
+    std::uint64_t live_at_peak = 0; ///< live connections after setup
+    double rss_kb_per_conn = 0;
+    std::size_t peak_threads_total = 0; ///< sum over server cores
+    LatencySummary closed;
+    LatencySummary open; ///< sharded leg only (windowed pass)
+    std::map<std::string, ptm::TrafficCounters::Ingress> ingress;
+    bool mixed = false;
+};
+
+ServerCore::Options core_opts(ServerCore::Mode mode, const Knobs& k,
+                              std::uint64_t idle_ms = 0) {
+    ServerCore::Options o;
+    o.workers = k.workers;
+    o.mode = mode;
+    o.readiness_shards = k.shards;
+    o.idle_timeout_ms = idle_ms;
+    return o;
+}
+
+/// Runs one population against one server node. \p mixed selects the
+/// CORBA+SOAP+HLA mix (sharded leg); otherwise every connection is CORBA.
+LegResult run_leg(ServerCore::Mode mode, std::uint64_t n_conns,
+                  const Knobs& k, bool mixed, bool open_loop_pass) {
+    const std::uint64_t n_clients =
+        std::min<std::uint64_t>(k.client_procs, n_conns);
+    Testbed tb(static_cast<int>(n_clients) + 1, /*with_myrinet=*/false);
+    osal::Event served;
+    osal::Latch setup_done(static_cast<std::size_t>(n_clients));
+    osal::Event live_checked;
+    osal::Latch clients_done(static_cast<std::size_t>(n_clients));
+
+    LegResult res;
+    res.conns = n_conns;
+    res.mixed = mixed;
+    std::mutex res_mu;
+    std::vector<double> closed_us;
+    std::vector<double> open_us;
+
+    const std::uint64_t rss0 = maxrss_kb();
+    const auto t0 = std::chrono::steady_clock::now();
+    double setup_end_us = 0;
+
+    // --- server node ----------------------------------------------------
+    tb.grid.spawn(*tb.nodes[0], [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        // CORBA echo core. The sharded leg also carries the idle-sweep
+        // timer wheel (long timeout: nothing reaps, but every connection
+        // is parked on the wheel, so the sweep runs at population scale).
+        corba::Orb echo_orb(rt, corba::profile_omniorb4());
+        echo_orb.serve("ingress-corba",
+                       core_opts(mode, k,
+                                 mode == ServerCore::Mode::kShardedReadiness
+                                     ? 600000
+                                     : 0));
+        corba::IOR echo_ior =
+            echo_orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("bench/ingress/key",
+                                     static_cast<ProcessId>(echo_ior.key));
+
+        // SOAP + HLA cores only exist in the mixed leg.
+        std::unique_ptr<soap::SoapServer> soap_srv;
+        std::unique_ptr<corba::Orb> hla_orb;
+        std::unique_ptr<hla::RtiGateway> gateway;
+        if (mixed) {
+            soap_srv = std::make_unique<soap::SoapServer>(
+                rt, "ingress-soap", core_opts(mode, k));
+            soap_srv->bind("echo",
+                           [](const soap::Params& p) { return p; });
+            hla_orb = std::make_unique<corba::Orb>(
+                rt, corba::profile_omniorb4());
+            gateway = std::make_unique<hla::RtiGateway>(
+                *hla_orb, "ingress", core_opts(mode, k));
+        }
+        served.set();
+
+        setup_done.wait();
+        // Sustained-population snapshot: every client connect() has
+        // returned; spin until the cores have adopted them all (accepts
+        // are asynchronous), then record the concurrently-live count.
+        std::uint64_t live = 0;
+        for (int spin = 0; spin < 20000; ++spin) {
+            live = echo_orb.server_stats().live_connections;
+            if (soap_srv)
+                live += soap_srv->server_stats().live_connections;
+            if (hla_orb)
+                live += hla_orb->server_stats().live_connections;
+            if (live >= n_conns) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        {
+            std::lock_guard<std::mutex> lk(res_mu);
+            res.live_at_peak = live;
+            setup_end_us = now_us();
+        }
+        live_checked.set();
+
+        clients_done.wait();
+        // Clients closed their streams; let the cores prune.
+        const auto want = n_conns;
+        for (int spin = 0; spin < 20000; ++spin) {
+            std::uint64_t pruned = echo_orb.server_stats().pruned;
+            if (soap_srv) pruned += soap_srv->server_stats().pruned;
+            if (hla_orb) pruned += hla_orb->server_stats().pruned;
+            if (pruned >= want) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        {
+            std::lock_guard<std::mutex> lk(res_mu);
+            res.peak_threads_total = echo_orb.server_stats().peak_threads;
+            if (soap_srv)
+                res.peak_threads_total +=
+                    soap_srv->server_stats().peak_threads;
+            if (hla_orb)
+                res.peak_threads_total +=
+                    hla_orb->server_stats().peak_threads;
+            res.ingress = rt.stats().ingress_by_protocol;
+        }
+        if (gateway) gateway.reset();
+        if (hla_orb) hla_orb->shutdown();
+        if (soap_srv) soap_srv->shutdown();
+        echo_orb.shutdown();
+    });
+
+    // --- client nodes ---------------------------------------------------
+    for (std::uint64_t c = 0; c < n_clients; ++c) {
+        tb.grid.spawn(*tb.nodes[static_cast<std::size_t>(c) + 1],
+                      [&, c](Process& proc) {
+            ptm::Runtime rt(proc);
+            served.wait();
+            const std::uint64_t echo_key =
+                proc.grid().wait_service("bench/ingress/key");
+            std::uint64_t gw_key = 0;
+            if (mixed)
+                gw_key = proc.grid().wait_service("rti/ingress/key");
+
+            // This client's slice of the population.
+            struct ClientConn {
+                ptm::VLink link;
+                Proto proto;
+                std::uint64_t id;     ///< global connection index
+                std::uint64_t object = 0; ///< HLA object handle
+            };
+            std::vector<ClientConn> slice;
+            std::uint64_t next_req = 1;
+            for (std::uint64_t i = c; i < n_conns; i += n_clients) {
+                const Proto p = mixed ? proto_of(i) : Proto::kCorba;
+                const char* ep = p == Proto::kCorba ? "ingress-corba"
+                                 : p == Proto::kSoap
+                                     ? "ingress-soap"
+                                     : "rti-ep/ingress";
+                ClientConn cc{ptm::VLink::connect(rt, ep), p, i, 0};
+                if (p == Proto::kHla) {
+                    // join + publish + register once per federate conn.
+                    const std::string fed = "fed-" + std::to_string(i);
+                    corba::cdr::Encoder j(true);
+                    j.put_string(fed);
+                    corba::cdr_put(j, corba::IOR{});
+                    raw_giop_send(cc.link, next_req, gw_key, "join",
+                                  j.take());
+                    raw_giop_recv_reply(cc.link, next_req++);
+                    corba::cdr::Encoder pb(true);
+                    pb.put_string(fed);
+                    pb.put_string("Position");
+                    raw_giop_send(cc.link, next_req, gw_key, "publish",
+                                  pb.take());
+                    raw_giop_recv_reply(cc.link, next_req++);
+                    corba::cdr::Encoder ro(true);
+                    ro.put_string(fed);
+                    ro.put_string("Position");
+                    raw_giop_send(cc.link, next_req, gw_key,
+                                  "register_object", ro.take());
+                    cc.object = corba::cdr::decode_one<std::uint64_t>(
+                        raw_giop_recv_reply(cc.link, next_req++));
+                }
+                slice.push_back(std::move(cc));
+            }
+            setup_done.count_down();
+            live_checked.wait();
+
+            const std::string payload(kPayload, 'x');
+            std::vector<double> my_closed;
+            std::vector<double> my_open;
+            my_closed.reserve(slice.size() * k.rounds);
+
+            auto one_call = [&](ClientConn& cc) {
+                switch (cc.proto) {
+                case Proto::kCorba:
+                    raw_echo_call(cc.link, next_req++, echo_key, payload);
+                    break;
+                case Proto::kSoap: {
+                    raw_soap_send(rt, cc.link, "echo",
+                                  {{"v", std::to_string(cc.id)}});
+                    const auto r = raw_soap_recv(rt, cc.link);
+                    PADICO_CHECK(r.has_value(), "soap stream closed");
+                    break;
+                }
+                case Proto::kHla: {
+                    corba::cdr::Encoder u(true);
+                    u.put_string("fed-" + std::to_string(cc.id));
+                    u.put_u64(cc.object);
+                    hla::cdr_put(u, {{"x", std::to_string(cc.id)}});
+                    const std::uint64_t id = next_req++;
+                    raw_giop_send(cc.link, id, gw_key, "update", u.take());
+                    raw_giop_recv_reply(cc.link, id);
+                    break;
+                }
+                }
+            };
+
+            // Closed loop: one outstanding request per client process.
+            for (std::uint64_t r = 0; r < k.rounds; ++r) {
+                for (auto& cc : slice) {
+                    const double t = now_us();
+                    one_call(cc);
+                    my_closed.push_back(now_us() - t);
+                }
+            }
+
+            // Windowed open loop (sharded leg): keep `window` requests in
+            // flight across the slice, stamping each at send time.
+            if (open_loop_pass && !slice.empty()) {
+                const std::uint64_t win =
+                    std::min<std::uint64_t>(k.window, slice.size());
+                std::vector<double> sent_at(win);
+                for (std::uint64_t base = 0; base + win <= slice.size();
+                     base += win) {
+                    for (std::uint64_t i = 0; i < win; ++i) {
+                        ClientConn& cc = slice[base + i];
+                        sent_at[i] = now_us();
+                        switch (cc.proto) {
+                        case Proto::kCorba:
+                            raw_giop_send(cc.link, 1000000 + i, echo_key,
+                                          "echo",
+                                          corba::cdr::encode(true, payload));
+                            break;
+                        case Proto::kSoap:
+                            raw_soap_send(rt, cc.link, "echo",
+                                          {{"v", "w"}});
+                            break;
+                        case Proto::kHla: {
+                            corba::cdr::Encoder u(true);
+                            u.put_string("fed-" + std::to_string(cc.id));
+                            u.put_u64(cc.object);
+                            hla::cdr_put(u, {{"x", "w"}});
+                            raw_giop_send(cc.link, 1000000 + i, gw_key,
+                                          "update", u.take());
+                            break;
+                        }
+                        }
+                    }
+                    for (std::uint64_t i = 0; i < win; ++i) {
+                        ClientConn& cc = slice[base + i];
+                        if (cc.proto == Proto::kSoap) {
+                            const auto r = raw_soap_recv(rt, cc.link);
+                            PADICO_CHECK(r.has_value(),
+                                         "soap stream closed");
+                        } else {
+                            raw_giop_recv_reply(cc.link, 1000000 + i);
+                        }
+                        my_open.push_back(now_us() - sent_at[i]);
+                    }
+                }
+            }
+
+            for (auto& cc : slice) cc.link.close();
+            {
+                std::lock_guard<std::mutex> lk(res_mu);
+                closed_us.insert(closed_us.end(), my_closed.begin(),
+                                 my_closed.end());
+                open_us.insert(open_us.end(), my_open.begin(),
+                               my_open.end());
+            }
+            clients_done.count_down();
+        });
+    }
+
+    tb.grid.join_all();
+    const double total_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+    const std::uint64_t rss1 = maxrss_kb();
+    res.setup_wall_ms =
+        setup_end_us / 1000.0 -
+        std::chrono::duration<double, std::milli>(t0.time_since_epoch())
+            .count();
+    res.traffic_wall_ms = total_ms - res.setup_wall_ms;
+    res.rss_kb_per_conn = n_conns == 0
+                              ? 0
+                              : static_cast<double>(rss1 - rss0) /
+                                    static_cast<double>(n_conns);
+    res.closed = summarize(closed_us);
+    res.open = summarize(open_us);
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+
+void print_leg(std::FILE* f, const LegResult& r, const char* name,
+               bool thread_bound_ok) {
+    std::fprintf(f,
+                 "  {\"mode\": \"%s\", \"connections\": %llu, "
+                 "\"live_at_peak\": %llu,\n"
+                 "   \"setup_wall_ms\": %.1f, \"traffic_wall_ms\": %.1f, "
+                 "\"peak_threads\": %zu, \"thread_bound_ok\": %s,\n"
+                 "   \"rss_kb_per_conn\": %.2f,\n"
+                 "   \"closed_loop\": {\"samples\": %zu, \"p50_us\": %.2f, "
+                 "\"p99_us\": %.2f, \"p999_us\": %.2f}",
+                 name, static_cast<unsigned long long>(r.conns),
+                 static_cast<unsigned long long>(r.live_at_peak),
+                 r.setup_wall_ms, r.traffic_wall_ms, r.peak_threads_total,
+                 thread_bound_ok ? "true" : "false", r.rss_kb_per_conn,
+                 r.closed.samples, r.closed.p50, r.closed.p99,
+                 r.closed.p999);
+    if (r.open.samples > 0)
+        std::fprintf(f,
+                     ",\n   \"open_loop\": {\"samples\": %zu, "
+                     "\"p50_us\": %.2f, \"p99_us\": %.2f, "
+                     "\"p999_us\": %.2f}",
+                     r.open.samples, r.open.p50, r.open.p99, r.open.p999);
+    if (!r.ingress.empty()) {
+        std::fprintf(f, ",\n   \"ingress\": {");
+        bool first = true;
+        for (const auto& [proto, in] : r.ingress) {
+            std::fprintf(
+                f,
+                "%s\n    \"%s\": {\"accepted\": %llu, \"closed\": %llu, "
+                "\"idle_reaped\": %llu, \"frames\": %llu, "
+                "\"accept_batches\": %llu, \"accept_batch_max\": %llu, "
+                "\"stale_events\": %llu, "
+                "\"ready_queue_high_water\": %llu}",
+                first ? "" : ",", proto.c_str(),
+                static_cast<unsigned long long>(in.accepted),
+                static_cast<unsigned long long>(in.closed),
+                static_cast<unsigned long long>(in.idle_reaped),
+                static_cast<unsigned long long>(in.frames),
+                static_cast<unsigned long long>(in.accept_batches),
+                static_cast<unsigned long long>(in.accept_batch_max),
+                static_cast<unsigned long long>(in.stale_events),
+                static_cast<unsigned long long>(in.ready_queue_high_water));
+            first = false;
+        }
+        std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}");
+}
+
+int run(bool quick, const char* out_path) {
+    const Knobs k = make_knobs(quick);
+
+    // --- serial virtual-time identity across the three modes ------------
+    const auto tl = serial_trace(ServerCore::Mode::kThreadPerConnection, k);
+    const auto te = serial_trace(ServerCore::Mode::kEventDriven, k);
+    const auto ts = serial_trace(ServerCore::Mode::kShardedReadiness, k);
+    const bool identical = !tl.empty() && tl == te && tl == ts;
+
+    // --- fan-in legs -----------------------------------------------------
+    const std::uint64_t legacy_n = std::min<std::uint64_t>(k.conns, 256);
+    const std::uint64_t event_n = std::min<std::uint64_t>(k.conns, 4096);
+    LegResult legacy = run_leg(ServerCore::Mode::kThreadPerConnection,
+                               legacy_n, k, /*mixed=*/false,
+                               /*open_loop_pass=*/false);
+    LegResult event = run_leg(ServerCore::Mode::kEventDriven, event_n, k,
+                              /*mixed=*/false, /*open_loop_pass=*/false);
+    LegResult sharded = run_leg(ServerCore::Mode::kShardedReadiness,
+                                k.conns, k, /*mixed=*/true,
+                                /*open_loop_pass=*/true);
+
+    const bool sharded_bound_ok =
+        sharded.peak_threads_total <= k.thread_budget;
+    const bool sustained_ok = sharded.live_at_peak >= k.conns;
+    const bool mem_ok =
+        quick || sharded.rss_kb_per_conn < legacy.rss_kb_per_conn;
+
+    std::FILE* f = out_path != nullptr ? std::fopen(out_path, "w") : stdout;
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n \"bench\": \"ingress\",\n \"quick\": %s,\n",
+                 quick ? "true" : "false");
+    std::fprintf(f,
+                 " \"hardware_concurrency\": %u,\n"
+                 " \"thread_budget\": %llu,\n"
+                 " \"shards_per_core\": %zu, \"workers_per_core\": %zu,\n",
+                 std::thread::hardware_concurrency(),
+                 static_cast<unsigned long long>(k.thread_budget), k.shards,
+                 k.workers);
+    std::fprintf(f,
+                 " \"serial\": {\"requests\": 64, "
+                 "\"virtual_end_legacy\": %lld, "
+                 "\"virtual_end_event\": %lld, "
+                 "\"virtual_end_sharded\": %lld, "
+                 "\"virtual_time_identical\": %s},\n",
+                 static_cast<long long>(tl.empty() ? 0 : tl.back()),
+                 static_cast<long long>(te.empty() ? 0 : te.back()),
+                 static_cast<long long>(ts.empty() ? 0 : ts.back()),
+                 identical ? "true" : "false");
+    std::fprintf(f,
+                 " \"mix\": {\"corba_pct\": 75, \"soap_pct\": 20, "
+                 "\"hla_pct\": 5},\n");
+    std::fprintf(f, " \"legs\": [\n");
+    print_leg(f, legacy, "legacy", true);
+    std::fprintf(f, ",\n");
+    print_leg(f, event, "event", true);
+    std::fprintf(f, ",\n");
+    print_leg(f, sharded, "sharded", sharded_bound_ok);
+    std::fprintf(f, "\n ],\n");
+    std::fprintf(f,
+                 " \"sustained_connections\": %llu,\n"
+                 " \"sustained_ok\": %s,\n"
+                 " \"thread_bound_ok\": %s,\n"
+                 " \"memory_sublinear_ok\": %s,\n"
+                 " \"virtual_time_identical\": %s\n}\n",
+                 static_cast<unsigned long long>(sharded.live_at_peak),
+                 sustained_ok ? "true" : "false",
+                 sharded_bound_ok ? "true" : "false",
+                 mem_ok ? "true" : "false",
+                 identical ? "true" : "false");
+    if (f != stdout) std::fclose(f);
+
+    int rc = 0;
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: serial virtual times diverge across modes\n");
+        rc = 1;
+    }
+    if (!sharded_bound_ok) {
+        std::fprintf(stderr,
+                     "FAIL: server thread peak %zu exceeds budget %llu\n",
+                     sharded.peak_threads_total,
+                     static_cast<unsigned long long>(k.thread_budget));
+        rc = 1;
+    }
+    if (!sustained_ok) {
+        std::fprintf(stderr,
+                     "FAIL: sustained %llu < target %llu connections\n",
+                     static_cast<unsigned long long>(sharded.live_at_peak),
+                     static_cast<unsigned long long>(k.conns));
+        rc = 1;
+    }
+    if (!mem_ok) {
+        std::fprintf(stderr,
+                     "FAIL: sharded memory/conn %.2f kB not below legacy "
+                     "%.2f kB\n",
+                     sharded.rss_kb_per_conn, legacy.rss_kb_per_conn);
+        rc = 1;
+    }
+    return rc;
+}
+
+} // namespace
+} // namespace padico::bench
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    const char* out = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out = argv[++i];
+    }
+    return padico::bench::run(quick, out);
+}

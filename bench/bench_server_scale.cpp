@@ -31,52 +31,21 @@ namespace {
 using namespace padico::fabric;
 using namespace padico::corba;
 
-constexpr int kScaleClients = 64;
+/// Client count of the scale leg: historically hardcoded to 64, now an
+/// env knob so the same harness drives bigger fan-in runs.
+const int kScaleClients =
+    static_cast<int>(env_u64("PADICO_SCALE_CLIENTS", 64));
 constexpr int kScaleRequests = 20; // per client
 constexpr int kSerialRequests = 200;
 constexpr std::size_t kPayload = 2048; // request payload bytes
 constexpr std::size_t kPoolWorkers = 2;
-
-class EchoServant : public Servant {
-public:
-    std::string interface() const override { return "IDL:Echo:1.0"; }
-    void dispatch(const std::string& op, cdr::Decoder& in,
-                  cdr::Encoder& out) override {
-        PADICO_CHECK(op == "echo", "unexpected op " + op);
-        out.put_string(in.get_string());
-    }
-};
+constexpr std::size_t kShards = 2; // sharded-readiness mode
 
 struct LegResult {
     double wall_ms = 0;
     svc::ServerCore::Stats stats;
     std::vector<SimTime> trace; ///< client 0: virtual time after each reply
 };
-
-/// One GIOP request/reply round trip on a raw VLink (the wire shape
-/// ObjectRef::invoke produces — raw here so the client can close() the
-/// stream explicitly and the bench can watch the server prune it).
-void raw_echo_call(ptm::VLink& conn, std::uint64_t req_id,
-                   std::uint64_t key, const std::string& payload) {
-    cdr::Encoder req(true);
-    req.put_u64(req_id);
-    req.put_u64(key);
-    req.put_bool(true); // response expected
-    req.put_string("echo");
-    req.put_message(cdr::encode(true, payload));
-    giop::send_message(conn, giop::MsgType::Request, req.take());
-
-    auto reply = giop::recv_message(conn);
-    PADICO_CHECK(reply.has_value(), "connection closed during invocation");
-    cdr::Decoder dec(std::move(reply->second));
-    PADICO_CHECK(dec.get_u64() == req_id, "reply id mismatch");
-    PADICO_CHECK(dec.get_u8() ==
-                     static_cast<std::uint8_t>(giop::ReplyStatus::NoException),
-                 "echo raised");
-    const auto echoed =
-        cdr::decode_one<std::string>(dec.get_bytes_msg(dec.remaining()));
-    PADICO_CHECK(echoed == payload, "echo payload corrupted");
-}
 
 LegResult run_leg(svc::ServerCore::Mode mode, int n_clients, int n_requests) {
     Testbed tb(n_clients + 1, /*with_myrinet=*/false);
@@ -93,6 +62,7 @@ LegResult run_leg(svc::ServerCore::Mode mode, int n_clients, int n_requests) {
         svc::ServerCore::Options opts;
         opts.workers = kPoolWorkers;
         opts.mode = mode;
+        opts.readiness_shards = kShards;
         orb.serve("scale-ep", opts);
         IOR ior = orb.activate(std::make_shared<EchoServant>());
         proc.grid().register_service("bench/scale/key",
@@ -163,31 +133,42 @@ int run() {
         run_leg(svc::ServerCore::Mode::kEventDriven, 1, kSerialRequests);
     const LegResult sl = run_leg(svc::ServerCore::Mode::kThreadPerConnection,
                                  1, kSerialRequests);
-    const bool identical = se.trace == sl.trace && !se.trace.empty();
+    const LegResult ss = run_leg(svc::ServerCore::Mode::kShardedReadiness,
+                                 1, kSerialRequests);
+    const bool identical = se.trace == sl.trace && se.trace == ss.trace &&
+                           !se.trace.empty();
 
-    // --- scale leg: thread count vs 64 concurrent clients ---------------
+    // --- scale leg: thread count vs N concurrent clients ----------------
     const LegResult ce = run_leg(svc::ServerCore::Mode::kEventDriven,
+                                 kScaleClients, kScaleRequests);
+    const LegResult cs = run_leg(svc::ServerCore::Mode::kShardedReadiness,
                                  kScaleClients, kScaleRequests);
     const LegResult cl = run_leg(svc::ServerCore::Mode::kThreadPerConnection,
                                  kScaleClients, kScaleRequests);
     const bool bound_ok =
         ce.stats.peak_threads == 1 + kPoolWorkers &&
+        cs.stats.peak_threads <= kShards + kPoolWorkers &&
         cl.stats.peak_threads >= 1 + static_cast<std::size_t>(kScaleClients);
 
     std::printf("{\n \"bench\": \"server_scale\",\n");
     std::printf(" \"serial\": {\"requests\": %d, "
                 "\"virtual_end_event\": %lld, \"virtual_end_legacy\": %lld, "
+                "\"virtual_end_sharded\": %lld, "
                 "\"virtual_time_identical\": %s},\n",
                 kSerialRequests,
                 static_cast<long long>(se.trace.empty() ? 0
                                                         : se.trace.back()),
                 static_cast<long long>(sl.trace.empty() ? 0
                                                         : sl.trace.back()),
+                static_cast<long long>(ss.trace.empty() ? 0
+                                                        : ss.trace.back()),
                 identical ? "true" : "false");
     std::printf(" \"scale\": {\"clients\": %d, \"requests_per_client\": %d, "
                 "\"pool_workers\": %zu,\n",
                 kScaleClients, kScaleRequests, kPoolWorkers);
     print_leg("event", ce);
+    std::printf(",\n");
+    print_leg("sharded", cs);
     std::printf(",\n");
     print_leg("legacy", cl);
     std::printf(",\n  \"thread_bound_ok\": %s}\n}\n",
@@ -201,8 +182,9 @@ int run() {
     if (!bound_ok) {
         std::fprintf(stderr,
                      "FAIL: thread-count bound violated (event peak %zu, "
-                     "legacy peak %zu)\n",
-                     ce.stats.peak_threads, cl.stats.peak_threads);
+                     "sharded peak %zu, legacy peak %zu)\n",
+                     ce.stats.peak_threads, cs.stats.peak_threads,
+                     cl.stats.peak_threads);
         return 1;
     }
     return 0;

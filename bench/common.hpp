@@ -4,12 +4,19 @@
 /// builders matching the paper's testbed, measurement helpers, and
 /// paper-vs-measured table rendering.
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "corba/orb.hpp"
 #include "fabric/grid.hpp"
+#include "soap/soap.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
@@ -58,6 +65,119 @@ inline void print_header(const char* id, const char* what) {
     std::printf("\n==============================================================\n");
     std::printf("%s — %s\n", id, what);
     std::printf("==============================================================\n");
+}
+
+/// Environment override with a default (bench knobs: client counts, shard
+/// counts, ...). Zero/garbage values fall back to \p dflt.
+inline std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return dflt;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw || v == 0) return dflt;
+    return static_cast<std::uint64_t>(v);
+}
+
+/// Process max-RSS in kilobytes (Linux getrusage); deltas across bench
+/// phases give a (monotone) per-connection memory figure.
+inline std::uint64_t maxrss_kb() {
+    struct rusage ru {};
+    ::getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+/// p-quantile (0..100) of an ALREADY SORTED sample set, nearest-rank.
+inline double percentile(const std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// ---------------------------------------------------------------------------
+// Server-bench harness: raw wire-shape clients shared by bench_server_scale
+// and bench_ingress. Raw (below ObjectRef / SoapClient) so a bench client
+// can pipeline requests, close() streams explicitly, and watch the server
+// prune them.
+
+/// The echo servant both server benches load the ORB with.
+class EchoServant : public corba::Servant {
+public:
+    std::string interface() const override { return "IDL:Echo:1.0"; }
+    void dispatch(const std::string& op, corba::cdr::Decoder& in,
+                  corba::cdr::Encoder& out) override {
+        PADICO_CHECK(op == "echo", "unexpected op " + op);
+        out.put_string(in.get_string());
+    }
+};
+
+/// Send one GIOP Request frame (the wire shape ObjectRef::invoke produces)
+/// without waiting for the reply — open-loop generators pipeline these.
+inline void raw_giop_send(ptm::VLink& conn, std::uint64_t req_id,
+                          std::uint64_t key, const std::string& op,
+                          util::Message args, bool want_reply = true) {
+    corba::cdr::Encoder req(true);
+    req.put_u64(req_id);
+    req.put_u64(key);
+    req.put_bool(want_reply);
+    req.put_string(op);
+    req.put_message(std::move(args));
+    corba::giop::send_message(conn, corba::giop::MsgType::Request,
+                              req.take());
+}
+
+/// Receive one GIOP Reply frame, check \p req_id and NoException status,
+/// and return the result payload bytes.
+inline util::Message raw_giop_recv_reply(ptm::VLink& conn,
+                                         std::uint64_t req_id) {
+    auto reply = corba::giop::recv_message(conn);
+    PADICO_CHECK(reply.has_value(), "connection closed during invocation");
+    corba::cdr::Decoder dec(std::move(reply->second));
+    PADICO_CHECK(dec.get_u64() == req_id, "reply id mismatch");
+    PADICO_CHECK(dec.get_u8() == static_cast<std::uint8_t>(
+                                     corba::giop::ReplyStatus::NoException),
+                 "request raised");
+    return dec.get_bytes_msg(dec.remaining());
+}
+
+/// One GIOP echo round trip on a raw VLink; asserts the payload survives.
+inline void raw_echo_call(ptm::VLink& conn, std::uint64_t req_id,
+                          std::uint64_t key, const std::string& payload) {
+    raw_giop_send(conn, req_id, key, "echo",
+                  corba::cdr::encode(true, payload));
+    const auto echoed = corba::cdr::decode_one<std::string>(
+        raw_giop_recv_reply(conn, req_id));
+    PADICO_CHECK(echoed == payload, "echo payload corrupted");
+}
+
+/// Send one length-prefixed SOAP envelope (the SoapClient wire shape),
+/// charging the client-side XML cost like soap.cpp's send_text does.
+inline void raw_soap_send(ptm::Runtime& rt, ptm::VLink& conn,
+                          const std::string& op, const soap::Params& params) {
+    const std::string xml = soap::make_envelope(op, params);
+    rt.process().clock().advance(static_cast<SimTime>(
+        static_cast<double>(xml.size()) * soap::kXmlNsPerByte));
+    const std::uint64_t len = xml.size();
+    util::ByteBuf framed(&len, sizeof len);
+    framed.append(xml.data(), xml.size());
+    conn.write(util::to_message(std::move(framed)));
+}
+
+/// Receive one length-prefixed SOAP envelope; returns (op, params).
+inline std::optional<std::pair<std::string, soap::Params>>
+raw_soap_recv(ptm::Runtime& rt, ptm::VLink& conn) {
+    auto lm = conn.read_msg_opt(sizeof(std::uint64_t));
+    if (!lm.has_value()) return std::nullopt;
+    std::uint64_t len = 0;
+    lm->copy_out(0, &len, sizeof len);
+    util::Message body = conn.read_msg(len);
+    auto flat = body.gather();
+    rt.process().clock().advance(static_cast<SimTime>(
+        static_cast<double>(flat.size()) * soap::kXmlNsPerByte));
+    return soap::parse_envelope(std::string(
+        reinterpret_cast<const char*>(flat.data()), flat.size()));
 }
 
 } // namespace padico::bench

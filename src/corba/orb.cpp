@@ -330,6 +330,7 @@ void Orb::serve(const std::string& endpoint, svc::ServerCore::Options opts) {
         osal::CheckedLock lk(mu_);
         endpoint_ = endpoint;
     }
+    if (opts.protocol == "svc") opts.protocol = "corba";
     core_ = std::make_unique<svc::ServerCore>(
         *rt_, endpoint,
         [this]() -> std::unique_ptr<svc::Protocol> {

@@ -153,10 +153,12 @@ private:
     ObjectHandle next_handle_ = 1;
 };
 
-RtiGateway::RtiGateway(corba::Orb& orb, const std::string& federation)
+RtiGateway::RtiGateway(corba::Orb& orb, const std::string& federation,
+                       svc::ServerCore::Options server_opts)
     : orb_(&orb), federation_(federation) {
     servant_ = std::make_shared<Servant>(orb);
-    orb.serve("rti-ep/" + federation);
+    if (server_opts.protocol == "svc") server_opts.protocol = "hla";
+    orb.serve("rti-ep/" + federation, std::move(server_opts));
     ior_ = orb.activate(servant_);
     auto& grid = orb.runtime().grid();
     grid.register_service("rti/" + federation + "/key",

@@ -41,7 +41,11 @@ public:
 /// endpoint "rti/<federation>" grid-wide.
 class RtiGateway {
 public:
-    RtiGateway(corba::Orb& orb, const std::string& federation);
+    /// \p server_opts tunes the underlying svc::ServerCore (ingress mode,
+    /// shard/worker counts, idle timeout); the ingress-counter protocol
+    /// label defaults to "hla".
+    RtiGateway(corba::Orb& orb, const std::string& federation,
+               svc::ServerCore::Options server_opts = {});
     ~RtiGateway();
     RtiGateway(const RtiGateway&) = delete;
     RtiGateway& operator=(const RtiGateway&) = delete;

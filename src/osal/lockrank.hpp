@@ -54,12 +54,26 @@ constexpr int kServerShutdown = 1500; ///< svc::ServerCore::shutdown_mu_
 constexpr int kServerConns = 1510;    ///< svc::ServerCore::mu_
 constexpr int kServerPool = 1520;     ///< svc::ServerCore::pool_mu_
 
+/// Per-shard connection-state locks of the sharded-readiness ingress mode.
+/// Taken under nothing from svc (a shard thread or worker grabs exactly its
+/// connection's shard lock), and ordered before the slab and wheel locks
+/// which are acquired while a shard lock is held. Shard count is capped so
+/// the band stays below kServerSlab.
+constexpr int kServerConnShardBase = 1530; ///< svc::ServerCore per-shard mu
+constexpr int kServerConnShardMax = 32;    ///< shard count cap (rank space)
+constexpr int server_shard_rank(std::uint64_t shard) {
+    return kServerConnShardBase + static_cast<int>(shard);
+}
+constexpr int kServerSlab = 1570;  ///< svc::Slab alloc/free free-list mu
+constexpr int kServerWheel = 1580; ///< svc idle-sweep osal::TimerWheel mu
+
 // --- padicotm -------------------------------------------------------------
 constexpr int kSocketApi = 1600;     ///< ptm::BsdSocketApi::mu_
 constexpr int kAioApi = 1605;        ///< ptm::AioApi::mu_
 constexpr int kCircuit = 1610;       ///< ptm::Circuit::mu_
 constexpr int kModules = 1620;       ///< ptm::ModuleManager::mu_
 constexpr int kModuleFactory = 1625; ///< runtime.cpp g_factory_mu
+constexpr int kIngressRegistry = 1630; ///< ptm::Runtime::ingress_mu_
 constexpr int kRouteCache = 1640;    ///< ptm::Runtime::route_cache_mu_
 constexpr int kDemux = 1650;         ///< ptm::Demux::mu_
 

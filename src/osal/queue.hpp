@@ -27,8 +27,15 @@ namespace padico::osal {
 /// makes the wait return immediately, so wake-ups cannot be lost.
 class Waiter {
 public:
+    virtual ~Waiter() = default;
+
     /// Fired by attached queues whenever their readiness may have changed.
-    void notify() {
+    /// Virtual so edge-triggered consumers (e.g. the sharded-readiness
+    /// ingress in svc) can reroute wake-ups into their own queues; the
+    /// default implementation keeps the level-triggered sequence protocol
+    /// that WaitSet builds on. Queues call this AFTER releasing their own
+    /// lock, so overrides may take locks of their own.
+    virtual void notify() {
         {
             std::lock_guard<std::mutex> lk(mu_);
             ++seq_;

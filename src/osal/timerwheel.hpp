@@ -1,0 +1,157 @@
+#pragma once
+/// \file timerwheel.hpp
+/// Hierarchical timer wheel: O(1) schedule/cancel, O(expired + elapsed
+/// ticks) advance. Used by svc::ServerCore for the idle-connection sweep
+/// so reaping 100k connections costs what actually expires, not a scan of
+/// every live connection.
+///
+/// The wheel is the classic Varghese/Lauck hierarchy: kLevels levels of
+/// kSlots buckets each. Level 0 resolves single ticks; level l resolves
+/// kSlots^l ticks. A timer is parked in the coarsest level that still
+/// distinguishes its deadline from "now"; whenever a level-0 lap completes
+/// the next level cascades one bucket down, re-sorting its timers into
+/// finer levels. Ticks are caller-defined (ServerCore feeds milliseconds,
+/// tests feed virtual time) — the wheel never reads a clock, so firing
+/// order is a pure function of the schedule/advance call sequence and is
+/// deterministic under virtual time.
+///
+/// Determinism contract: advance() delivers expired timers ordered by
+/// deadline tick; within one tick the order is the (deterministic) order
+/// in which entries reached the level-0 bucket, which for timers parked at
+/// the same level is their schedule order. Two identical call sequences
+/// produce identical delivery sequences.
+///
+/// Thread safety: all operations lock the internal mutex; expired values
+/// are returned from advance() and handed to the caller outside the lock.
+/// Rank the mutex via the constructor (lockrank::kServerWheel in svc);
+/// the default-constructed wheel is unranked for tests.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "osal/checked.hpp"
+
+namespace padico::osal {
+
+template <typename T> class TimerWheel {
+public:
+    using Tick = std::uint64_t;
+    using TimerId = std::uint64_t;
+
+    TimerWheel() = default;
+    explicit TimerWheel(int lock_rank, const char* name = "osal.timerwheel")
+        : mu_(lock_rank, name) {}
+
+    /// Park \p value until \p deadline. Deadlines at or before the current
+    /// tick are clamped to now+1: a wheel slot can only fire when time
+    /// advances past it, so "immediately" means the next advance() step.
+    TimerId schedule(Tick deadline, T value) {
+        CheckedLock lk(mu_);
+        if (deadline <= now_) deadline = now_ + 1;
+        // A deadline beyond the wheel horizon still cascades correctly:
+        // place() parks it in the top level and every top-level lap
+        // re-places it until the real deadline becomes representable.
+        const TimerId id = next_id_++;
+        place(Entry{id, deadline, std::move(value)});
+        ++pending_;
+        return id;
+    }
+
+    /// Returns true iff the timer was still pending (it will never fire);
+    /// false if it already fired or was already cancelled — the
+    /// cancel-vs-fire race resolves to exactly one of the two outcomes.
+    bool cancel(TimerId id) {
+        CheckedLock lk(mu_);
+        if (id >= next_id_) return false;
+        for (auto& level : levels_)
+            for (auto& slot : level)
+                for (std::size_t i = 0; i < slot.size(); ++i)
+                    if (slot[i].id == id) {
+                        slot.erase(slot.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+                        --pending_;
+                        return true;
+                    }
+        return false;
+    }
+
+    /// Advance the wheel to tick \p to (no-op if time would move backward)
+    /// and collect every timer whose deadline is <= \p to, in deterministic
+    /// deadline-then-schedule order.
+    std::vector<T> advance(Tick to) {
+        std::vector<T> fired;
+        CheckedLock lk(mu_);
+        while (now_ < to) {
+            ++now_;
+            const std::size_t idx0 = index(now_, 0);
+            if (idx0 == 0) cascade(1);
+            auto& slot = levels_[0][idx0];
+            for (auto& e : slot) {
+                fired.push_back(std::move(e.value));
+                --pending_;
+            }
+            slot.clear();
+        }
+        return fired;
+    }
+
+    Tick now() const {
+        CheckedLock lk(mu_);
+        return now_;
+    }
+    std::size_t pending() const {
+        CheckedLock lk(mu_);
+        return pending_;
+    }
+
+private:
+    static constexpr std::size_t kLevelBits = 6;
+    static constexpr std::size_t kSlots = std::size_t{1} << kLevelBits;
+    static constexpr std::size_t kMask = kSlots - 1;
+    static constexpr std::size_t kLevels = 8; // 64^8 ticks ≈ 2.8e14 horizon
+
+    struct Entry {
+        TimerId id;
+        Tick deadline;
+        T value;
+    };
+
+    static std::size_t index(Tick tick, std::size_t level) {
+        return static_cast<std::size_t>(tick >> (kLevelBits * level)) & kMask;
+    }
+
+    /// Pick the coarsest level whose resolution still separates the entry
+    /// from now_, clamping far deadlines into the top level (they re-place
+    /// on each top-level cascade until representable).
+    void place(Entry e) {
+        Tick delta = e.deadline - now_;
+        std::size_t level = 0;
+        while (level + 1 < kLevels &&
+               (delta >> (kLevelBits * (level + 1))) != 0)
+            ++level;
+        Tick eff = e.deadline;
+        const Tick span = Tick{1} << (kLevelBits * kLevels);
+        if (delta >= span) eff = now_ + span - 1;
+        levels_[level][index(eff, level)].push_back(std::move(e));
+    }
+
+    /// One bucket of level \p level re-sorts into finer levels; recurses
+    /// upward when this level itself just completed a lap.
+    void cascade(std::size_t level) {
+        if (level >= kLevels) return;
+        const std::size_t idx = index(now_, level);
+        if (idx == 0) cascade(level + 1);
+        auto entries = std::move(levels_[level][idx]);
+        levels_[level][idx].clear();
+        for (auto& e : entries) place(std::move(e));
+    }
+
+    mutable CheckedMutex mu_;
+    Tick now_ = 0;
+    TimerId next_id_ = 1;
+    std::size_t pending_ = 0;
+    std::vector<Entry> levels_[kLevels][kSlots] = {};
+};
+
+} // namespace padico::osal

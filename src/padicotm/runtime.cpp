@@ -301,7 +301,32 @@ TrafficCounters Runtime::stats() const {
         f.route_fast_hits = seg->route_fast_hits();
         f.route_fast_misses = seg->route_fast_misses();
     }
+    // Snapshot callbacks reach back up into svc (whose locks rank BELOW the
+    // registry lock), so copy the source list out first and invoke with the
+    // registry lock released.
+    std::vector<IngressSource> sources;
+    {
+        osal::CheckedLock lk(ingress_mu_);
+        sources = ingress_sources_;
+    }
+    for (const auto& src : sources)
+        out.ingress_by_protocol[src.protocol].merge(src.snapshot());
     return out;
+}
+
+std::uint64_t Runtime::register_ingress(std::string protocol,
+                                        IngressSnapshot fn) {
+    osal::CheckedLock lk(ingress_mu_);
+    const std::uint64_t token = next_ingress_token_++;
+    ingress_sources_.push_back(
+        IngressSource{token, std::move(protocol), std::move(fn)});
+    return token;
+}
+
+void Runtime::unregister_ingress(std::uint64_t token) {
+    osal::CheckedLock lk(ingress_mu_);
+    std::erase_if(ingress_sources_,
+                  [token](const IngressSource& s) { return s.token == token; });
 }
 
 std::string TrafficCounters::to_string() const {

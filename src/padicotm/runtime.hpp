@@ -4,7 +4,9 @@
 /// (NetEngine), the automatic network selection of the abstraction layer,
 /// the security personality, and the module manager.
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -83,6 +85,41 @@ struct TrafficCounters {
         std::uint64_t route_fast_misses = 0;
     };
     std::map<std::string, FabricShard> fabric_by_segment;
+
+    /// Server-side fan-in counters, one bucket per ingress protocol
+    /// ("corba", "soap", "hla", ...). Populated by the svc::ServerCore
+    /// instances registered on this runtime (see Runtime::register_ingress):
+    /// the runtime layer cannot name svc types, so cores hand it snapshot
+    /// callbacks instead. Multiple cores serving the same protocol merge
+    /// into one bucket.
+    struct Ingress {
+        std::uint64_t accepted = 0;          ///< connections accepted
+        std::uint64_t closed = 0;            ///< connections fully retired
+        std::uint64_t idle_reaped = 0;       ///< closed by the idle sweep
+        std::uint64_t frames = 0;            ///< request frames extracted
+        std::uint64_t accept_batches = 0;    ///< listener-readiness drains
+        std::uint64_t accept_batch_max = 0;  ///< largest single drain
+        std::uint64_t stale_events = 0;      ///< readiness events dropped by
+                                             ///< the slab generation check
+        std::uint64_t ready_queue_high_water = 0; ///< deepest shard queue
+        std::uint64_t live_connections = 0;
+        std::uint64_t peak_threads = 0;
+
+        void merge(const Ingress& o) {
+            accepted += o.accepted;
+            closed += o.closed;
+            idle_reaped += o.idle_reaped;
+            frames += o.frames;
+            accept_batches += o.accept_batches;
+            accept_batch_max = std::max(accept_batch_max, o.accept_batch_max);
+            stale_events += o.stale_events;
+            ready_queue_high_water =
+                std::max(ready_queue_high_water, o.ready_queue_high_water);
+            live_connections += o.live_connections;
+            peak_threads += o.peak_threads;
+        }
+    };
+    std::map<std::string, Ingress> ingress_by_protocol;
 
     std::uint64_t total_bytes() const {
         std::uint64_t t = 0;
@@ -177,6 +214,19 @@ public:
     /// segment.
     TrafficCounters stats() const;
 
+    // --- ingress-counter registry ---------------------------------------
+
+    /// Snapshot callback a server core registers for its protocol bucket.
+    using IngressSnapshot = std::function<TrafficCounters::Ingress()>;
+
+    /// Register an ingress source; its snapshot is merged into
+    /// stats().ingress_by_protocol[\p protocol]. Returns a token for
+    /// unregister_ingress(). The callback must stay valid until then —
+    /// svc::ServerCore registers in its constructor and unregisters in
+    /// shutdown().
+    std::uint64_t register_ingress(std::string protocol, IngressSnapshot fn);
+    void unregister_ingress(std::uint64_t token);
+
 private:
     /// Lock-free traffic accounting: one slot per engine segment (the set
     /// is fixed at engine construction), so post() only touches atomics on
@@ -204,6 +254,16 @@ private:
     std::atomic<std::uint64_t> route_hits_{0};
     std::atomic<std::uint64_t> route_misses_{0};
     std::atomic<std::uint64_t> route_invalidations_{0};
+
+    struct IngressSource {
+        std::uint64_t token = 0;
+        std::string protocol;
+        IngressSnapshot snapshot;
+    };
+    mutable osal::CheckedMutex ingress_mu_{lockrank::kIngressRegistry,
+                                           "ptm.ingress_registry"};
+    std::vector<IngressSource> ingress_sources_;
+    std::uint64_t next_ingress_token_ = 1;
 };
 
 /// XOR-scramble "encryption" used by the security personality. Real data

@@ -115,6 +115,7 @@ private:
 SoapServer::SoapServer(ptm::Runtime& rt, const std::string& endpoint,
                        svc::ServerCore::Options opts)
     : rt_(&rt) {
+    if (opts.protocol == "svc") opts.protocol = "soap";
     core_ = std::make_unique<svc::ServerCore>(
         rt, endpoint,
         [this]() -> std::unique_ptr<svc::Protocol> {

@@ -1,28 +1,88 @@
 #include "svc/server_core.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace padico::svc {
 
 namespace {
-constexpr osal::WaitSet::Key kListenerKey = 0;
+/// Handle 0 stands for the listener in readiness queues and the wait set;
+/// real slab handles are never 0 (generations start odd at 1).
+constexpr std::uint64_t kListenerHandle = 0;
+
+/// Edge-triggered mailbox hook of the sharded mode: every push/close on
+/// the connection's receive mailbox enqueues the connection's slab handle
+/// on its shard's readiness queue. At-least-once is enough — a duplicate
+/// drains as kNeedMore, a stale handle (slot recycled) fails the slab
+/// generation check. The shard queues are members of ServerCore and
+/// outlive every mailbox: connections are freed in shutdown() before the
+/// core is destroyed.
+class ShardNotifier final : public osal::Waiter {
+public:
+    ShardNotifier(osal::BlockingQueue<std::uint64_t>& queue,
+                  std::uint64_t handle)
+        : queue_(&queue), handle_(handle) {}
+    void notify() override { queue_->push(handle_); }
+
+private:
+    osal::BlockingQueue<std::uint64_t>* queue_;
+    std::uint64_t handle_;
+};
 } // namespace
 
 ServerCore::ServerCore(ptm::Runtime& rt, const std::string& endpoint,
                        ProtocolFactory factory, Options opts)
     : rt_(&rt), endpoint_(endpoint), factory_(std::move(factory)),
-      opts_(opts) {
+      opts_(std::move(opts)), start_(std::chrono::steady_clock::now()) {
     PADICO_CHECK(factory_ != nullptr, "ServerCore needs a protocol factory");
     PADICO_CHECK(opts_.workers > 0, "ServerCore needs at least one worker");
     listener_ = std::make_unique<ptm::VLinkListener>(rt, endpoint);
     if (opts_.mode == Mode::kEventDriven) {
-        waitset_.add(listener_->mailbox(), kListenerKey);
+        waitset_.add(listener_->mailbox(), kListenerHandle);
         dispatcher_ = std::thread([this] { dispatch_loop(); });
+        osal::CheckedLock lk(pool_mu_);
+        for (std::size_t i = 0; i < opts_.workers; ++i) pool_spawn_locked();
+    } else if (opts_.mode == Mode::kShardedReadiness) {
+        const std::size_t n = std::clamp<std::size_t>(
+            opts_.readiness_shards, 1,
+            static_cast<std::size_t>(lockrank::kServerConnShardMax));
+        opts_.readiness_shards = n;
+        shards_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto sh = std::make_unique<Shard>();
+            sh->mu.set_rank(lockrank::server_shard_rank(i),
+                            "svc.server.shard");
+            shards_.push_back(std::move(sh));
+        }
+        // Accepts are handled by shard 0; the listener mailbox feeds it
+        // handle 0 on every pending-connection arrival.
+        listener_->mailbox().set_waiter(std::make_shared<ShardNotifier>(
+            shards_[0]->ready, kListenerHandle));
+        for (std::size_t i = 0; i < n; ++i)
+            shards_[i]->thread = std::thread([this, i] { shard_loop(i); });
         osal::CheckedLock lk(pool_mu_);
         for (std::size_t i = 0; i < opts_.workers; ++i) pool_spawn_locked();
     } else {
         dispatcher_ = std::thread([this] { legacy_accept_loop(); });
     }
+    if (opts_.idle_timeout_ms > 0)
+        sweeper_ = std::thread([this] { sweep_loop(); });
+    ingress_token_ = rt_->register_ingress(opts_.protocol, [this] {
+        const Stats s = stats();
+        ptm::TrafficCounters::Ingress in;
+        in.accepted = s.accepted;
+        in.closed = s.pruned;
+        in.idle_reaped = s.idle_reaped;
+        in.frames = s.frames;
+        in.accept_batches = s.accept_batches;
+        in.accept_batch_max = s.accept_batch_max;
+        in.stale_events = s.stale_events;
+        in.ready_queue_high_water = s.ready_queue_high_water;
+        in.live_connections = s.live_connections;
+        in.peak_threads = s.peak_threads;
+        return in;
+    });
 }
 
 ServerCore::~ServerCore() { shutdown(); }
@@ -32,32 +92,45 @@ void ServerCore::shutdown() {
     osal::CheckedLock slk(shutdown_mu_);
     if (stopped_.load()) return;
     listener_->shutdown();
+    // Detach the sharded accept notifier NOW: the listener outlives the
+    // shard vector in ~ServerCore, and its mailbox closes again during
+    // Demux unsubscribe — a retained ShardNotifier would push into a
+    // destroyed shard queue.
+    if (!shards_.empty()) listener_->mailbox().clear_waiter();
     waitset_.interrupt();
+    for (auto& sh : shards_) sh->ready.close();
     if (dispatcher_.joinable()) dispatcher_.join();
-    {
-        // Unblock anything still reading from clients that will never
-        // close their end (legacy conn loops; nothing in event mode —
-        // the dispatcher is already gone).
-        osal::CheckedLock lk(mu_);
-        for (auto& [key, conn] : conns_) conn->link->abort();
+    for (auto& sh : shards_)
+        if (sh->thread.joinable()) sh->thread.join();
+    if (sweeper_.joinable()) sweeper_.join();
+    // Unblock anything still reading from clients that will never close
+    // their end (legacy conn loops block in their private wait sets).
+    for (const Handle h : slab_.live_handles()) {
+        osal::CheckedLock lk(state_mu(h));
+        Conn* conn = slab_.get(h);
+        if (conn != nullptr && !conn->freeing) conn->link->abort();
     }
     work_.close();
     workers_.join_all();
     join_pool();
-    {
-        // Detach every remaining readiness registration before the
-        // connections (and their mailboxes) are released. The connections
-        // themselves are destroyed AFTER mu_ is dropped: ~Conn tears down
-        // its VLink, which posts FIN and unsubscribes from the Demux —
-        // channel-layer work that must not run under the conns lock.
-        std::map<osal::WaitSet::Key, ConnPtr> doomed;
+    // Release every remaining connection. The slot's VLink is destroyed by
+    // free_conn OUTSIDE all svc locks: teardown posts FIN and unsubscribes
+    // from the Demux — channel-layer work that must not run under them.
+    // Event-mode readiness registrations are detached first so the wait
+    // set never outlives a mailbox.
+    for (const Handle h : slab_.live_handles()) {
+        if (opts_.mode == Mode::kEventDriven) waitset_.remove(h);
+        bool do_free = false;
         {
-            osal::CheckedLock lk(mu_);
-            waitset_.remove(kListenerKey);
-            for (auto& [key, conn] : conns_) waitset_.remove(key);
-            doomed.swap(conns_);
+            osal::CheckedLock lk(state_mu(h));
+            Conn* conn = slab_.get(h);
+            do_free = conn != nullptr &&
+                      claim_free_locked(*conn, /*force=*/true);
         }
+        if (do_free) free_conn(h);
     }
+    if (opts_.mode == Mode::kEventDriven) waitset_.remove(kListenerHandle);
+    rt_->unregister_ingress(ingress_token_);
     stopped_.store(true);
 }
 
@@ -66,76 +139,80 @@ ServerCore::Stats ServerCore::stats() const {
     s.accepted = accepted_.load(std::memory_order_relaxed);
     s.pruned = pruned_.load(std::memory_order_relaxed);
     s.frames = frames_.load(std::memory_order_relaxed);
+    s.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+    s.accept_batches = accept_batches_.load(std::memory_order_relaxed);
+    s.accept_batch_max = accept_batch_max_.load(std::memory_order_relaxed);
+    s.stale_events = stale_events_.load(std::memory_order_relaxed);
+    for (const auto& sh : shards_)
+        s.ready_queue_high_water =
+            std::max(s.ready_queue_high_water,
+                     sh->ready_high_water.load(std::memory_order_relaxed));
     s.threads = threads_live_.load(std::memory_order_relaxed);
     s.peak_threads = threads_peak_.load(std::memory_order_relaxed);
-    osal::CheckedLock lk(mu_);
-    s.live_connections = conns_.size();
+    s.live_connections = slab_.live();
     return s;
 }
 
 // ---------------------------------------------------------------------------
 // Shared plumbing
 
-ServerCore::ConnPtr ServerCore::adopt(ptm::VLink&& link) {
-    osal::CheckedLock lk(mu_);
-    auto conn = std::make_shared<Conn>(next_key_++);
+std::uint64_t ServerCore::now_ms() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+}
+
+ServerCore::Handle ServerCore::adopt(ptm::VLink&& link) {
+    const Handle h = slab_.alloc();
+    Conn* conn = slab_.get(h);
     conn->link = std::make_shared<ptm::VLink>(std::move(link));
     conn->proto = factory_();
-    conns_.emplace(conn->key, conn);
+    const std::uint64_t now = now_ms();
+    conn->last_activity_ms.store(now, std::memory_order_relaxed);
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    return conn;
+    if (opts_.idle_timeout_ms > 0)
+        wheel_.schedule(now + opts_.idle_timeout_ms, h);
+    return h;
 }
 
-void ServerCore::maybe_prune_locked(const ConnPtr& conn) {
-    if (!conn->closed || conn->busy || !conn->frames.empty()) return;
-    if (conns_.erase(conn->key) != 0)
-        pruned_.fetch_add(1, std::memory_order_relaxed);
-}
-
-// ---------------------------------------------------------------------------
-// Event-driven mode
-
-void ServerCore::dispatch_loop() {
-    fabric::Process::bind_to_thread(&rt_->process());
-    ThreadTicket ticket(*this);
-    bool accepting = true;
-    while (!stopping_.load()) {
-        const auto ready = waitset_.wait();
-        if (stopping_.load()) break;
-        for (const auto key : ready) {
-            if (key == kListenerKey) {
-                if (accepting) accepting = accept_ready();
-            } else {
-                drive_conn(key);
-            }
-        }
-    }
-}
-
-bool ServerCore::accept_ready() {
-    // Drain every queued connection request, then check whether the
-    // listener itself closed: a closed mailbox stays level-triggered
-    // ready, so it must leave the wait set or the dispatcher would spin.
-    for (;;) {
-        auto link = listener_->try_accept();
-        if (!link.has_value()) break;
-        ConnPtr conn = adopt(std::move(*link));
-        waitset_.add(conn->link->rx_mailbox(), conn->key);
-    }
-    if (listener_->closed()) {
-        waitset_.remove(kListenerKey);
+bool ServerCore::claim_free_locked(Conn& conn, bool force) {
+    if (conn.freeing) return false;
+    if (!force && (!conn.closed || conn.busy || !conn.frames.empty()))
         return false;
-    }
+    conn.freeing = true;
     return true;
 }
 
-void ServerCore::drive_conn(osal::WaitSet::Key key) {
-    ConnPtr conn;
+void ServerCore::free_conn(Handle h) {
+    Conn* conn = slab_.get(h);
+    if (conn == nullptr) return;
+    // Detach the readiness hook first: a stale handle left in a shard
+    // queue is rejected by the generation check, but no NEW events should
+    // fire while the slot is torn down.
+    conn->link->rx_mailbox().clear_waiter();
+    slab_.free(h); // destroys the Conn (and its VLink) outside svc locks
+    pruned_.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Extract loop shared by the event dispatcher and the shard threads: the
+/// calling thread is the connection's only driver, so try_extract runs
+/// unlocked; the frames/busy/closed state flips under state_mu.
+void ServerCore::drive_conn(Handle h) {
+    Conn* conn;
     {
-        osal::CheckedLock lk(mu_);
-        auto it = conns_.find(key);
-        if (it == conns_.end()) return; // pruned before this readiness
-        conn = it->second;
+        osal::CheckedLock lk(state_mu(h));
+        conn = slab_.get(h);
+        if (conn == nullptr || conn->freeing) {
+            // Slot recycled (or being released) between the readiness
+            // event and this drain: the generation check rejected it.
+            stale_events_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        if (conn->closed) return; // duplicate event on a draining stream
+        // From here the pointer stays valid without the lock: closed is
+        // only ever set by this thread, and no release can be claimed
+        // while closed is false.
     }
     for (;;) {
         util::Message frame;
@@ -150,24 +227,146 @@ void ServerCore::drive_conn(osal::WaitSet::Key key) {
         }
         if (st == Protocol::Extract::kFrame) {
             frames_.fetch_add(1, std::memory_order_relaxed);
-            osal::CheckedLock lk(mu_);
+            conn->last_activity_ms.store(now_ms(),
+                                         std::memory_order_relaxed);
+            osal::CheckedLock lk(state_mu(h));
             conn->frames.push_back(std::move(frame));
             if (!conn->busy) {
                 conn->busy = true;
-                work_.push(conn);
+                work_.push(h);
             }
             continue;
         }
         if (st == Protocol::Extract::kNeedMore) break;
         // Closed: no further frames will ever be extracted. Deregister
-        // first (so the closed mailbox stops reporting ready), then prune
-        // unless a worker still holds queued frames.
-        waitset_.remove(key);
-        osal::CheckedLock lk(mu_);
-        conn->closed = true;
-        maybe_prune_locked(conn);
+        // first (so the closed mailbox stops reporting ready), then
+        // release unless a worker still holds queued frames.
+        if (opts_.mode == Mode::kEventDriven) waitset_.remove(h);
+        bool do_free = false;
+        {
+            osal::CheckedLock lk(state_mu(h));
+            conn->closed = true;
+            do_free = claim_free_locked(*conn);
+        }
+        if (do_free) free_conn(h);
         break;
     }
+}
+
+/// Drain every queued connection request (one "batch" per listener wake),
+/// then check whether the listener itself closed. Returns false once
+/// accepting is over.
+bool ServerCore::accept_batch() {
+    std::uint64_t batch = 0;
+    for (;;) {
+        auto link = listener_->try_accept();
+        if (!link.has_value()) break;
+        ++batch;
+        const Handle h = adopt(std::move(*link));
+        Conn* conn = slab_.get(h);
+        if (opts_.mode == Mode::kEventDriven) {
+            waitset_.add(conn->link->rx_mailbox(), h);
+        } else {
+            conn->link->rx_mailbox().set_waiter(
+                std::make_shared<ShardNotifier>(shard_of(h).ready, h));
+        }
+    }
+    if (batch > 0) {
+        accept_batches_.fetch_add(1, std::memory_order_relaxed);
+        std::uint64_t seen = accept_batch_max_.load(std::memory_order_relaxed);
+        while (batch > seen &&
+               !accept_batch_max_.compare_exchange_weak(seen, batch)) {
+        }
+    }
+    if (listener_->closed()) {
+        // A closed mailbox stays level-triggered ready, so in event mode
+        // it must leave the wait set or the dispatcher would spin.
+        if (opts_.mode == Mode::kEventDriven)
+            waitset_.remove(kListenerHandle);
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven mode
+
+void ServerCore::dispatch_loop() {
+    fabric::Process::bind_to_thread(&rt_->process());
+    ThreadTicket ticket(*this);
+    bool accepting = true;
+    while (!stopping_.load()) {
+        const auto ready = waitset_.wait();
+        if (stopping_.load()) break;
+        for (const auto key : ready) {
+            if (key == kListenerHandle) {
+                if (accepting) accepting = accept_batch();
+            } else {
+                drive_conn(key);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-readiness mode: shard i drains its own edge-triggered handle
+// queue; a connection belongs to shard (slot index % shards) for life, so
+// exactly one shard thread ever drives it. Shard 0 additionally owns the
+// accept path. A wake costs O(1) in the number of live connections — this
+// is what lets one core hold 100k+ of them (bench_ingress).
+
+void ServerCore::shard_loop(std::size_t shard) {
+    fabric::Process::bind_to_thread(&rt_->process());
+    ThreadTicket ticket(*this);
+    Shard& sh = *shards_[shard];
+    bool accepting = (shard == 0);
+    for (;;) {
+        const std::uint64_t depth = sh.ready.size();
+        if (depth > sh.ready_high_water.load(std::memory_order_relaxed))
+            sh.ready_high_water.store(depth, std::memory_order_relaxed);
+        auto ev = sh.ready.pop();
+        if (!ev.has_value()) return; // queue closed: shutting down
+        if (*ev == kListenerHandle) {
+            if (accepting && !stopping_.load()) accepting = accept_batch();
+        } else {
+            drive_conn(*ev);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Idle sweep (all modes): connections are parked on a hierarchical timer
+// wheel at accept time and lazily rescheduled — a deadline that fires
+// checks the connection's last-activity stamp and either re-parks it at
+// stamp+timeout or reaps it. Cost per sweep is O(expired), not O(conns);
+// an idle 100k-conn server advances the wheel and touches nothing.
+
+void ServerCore::sweep_loop() {
+    fabric::Process::bind_to_thread(&rt_->process());
+    ThreadTicket ticket(*this);
+    while (!stopping_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        const std::uint64_t now = now_ms();
+        for (const Handle h : wheel_.advance(now))
+            handle_idle_deadline(h, now);
+    }
+}
+
+void ServerCore::handle_idle_deadline(Handle h, std::uint64_t now) {
+    osal::CheckedLock lk(state_mu(h));
+    Conn* conn = slab_.get(h);
+    if (conn == nullptr || conn->closed || conn->freeing)
+        return; // already gone; its wheel entry just expired unused
+    const std::uint64_t last =
+        conn->last_activity_ms.load(std::memory_order_relaxed);
+    if (now < last + opts_.idle_timeout_ms) {
+        wheel_.schedule(last + opts_.idle_timeout_ms, h);
+        return;
+    }
+    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    // Closing the receive mailbox wakes the connection's driver (any
+    // mode), which then observes end-of-stream and releases the slot.
+    conn->link->abort();
 }
 
 // Pool elasticity: a handler that waits on progress made by OTHER
@@ -225,14 +424,17 @@ void ServerCore::worker_loop() {
         }
         auto item = work_.pop();
         if (!item.has_value()) break;
-        ConnPtr conn = std::move(*item);
+        const Handle h = *item;
+        Conn* conn = slab_.get(h);
+        if (conn == nullptr) continue; // released while queued (shutdown)
+        bool do_free = false;
         for (;;) {
             util::Message frame;
             {
-                osal::CheckedLock lk(mu_);
+                osal::CheckedLock lk(state_mu(h));
                 if (conn->frames.empty()) {
                     conn->busy = false;
-                    maybe_prune_locked(conn);
+                    do_free = claim_free_locked(*conn);
                     break;
                 }
                 frame = std::move(conn->frames.front());
@@ -245,12 +447,13 @@ void ServerCore::worker_loop() {
                                   << ": request handler failed: "
                                   << e.what();
                 // Drop the connection: discard its queued frames and mark
-                // the stream dead so the dispatcher deregisters + prunes.
+                // the stream dead so the driver deregisters + releases.
                 conn->link->abort();
-                osal::CheckedLock lk(mu_);
+                osal::CheckedLock lk(state_mu(h));
                 conn->frames.clear();
             }
         }
+        if (do_free) free_conn(h);
     }
     osal::CheckedLock lk(pool_mu_); // work_ closed: shutting down
     --pool_threads_;
@@ -258,7 +461,9 @@ void ServerCore::worker_loop() {
 
 // ---------------------------------------------------------------------------
 // Thread-per-connection mode (the historical server shape, kept as the
-// baseline bench_server_scale compares against)
+// baseline the benches compare against). Idle reaping works here too: the
+// sweeper's abort closes the receive mailbox, which wakes the private
+// wait set below and reads as end-of-stream.
 
 void ServerCore::legacy_accept_loop() {
     fabric::Process::bind_to_thread(&rt_->process());
@@ -266,14 +471,15 @@ void ServerCore::legacy_accept_loop() {
     while (!stopping_.load()) {
         ptm::VLink link = listener_->accept();
         if (!link.valid()) return; // shut down
-        ConnPtr conn = adopt(std::move(link));
-        workers_.spawn([this, conn] { blocking_conn_loop(conn); });
+        const Handle h = adopt(std::move(link));
+        workers_.spawn([this, h] { blocking_conn_loop(h); });
     }
 }
 
-void ServerCore::blocking_conn_loop(ConnPtr conn) {
+void ServerCore::blocking_conn_loop(Handle h) {
     fabric::Process::bind_to_thread(&rt_->process());
     ThreadTicket ticket(*this);
+    Conn* conn = slab_.get(h);
     osal::WaitSet ws;
     ws.add(conn->link->rx_mailbox(), 1);
     for (;;) {
@@ -288,6 +494,8 @@ void ServerCore::blocking_conn_loop(ConnPtr conn) {
         }
         if (st == Protocol::Extract::kFrame) {
             frames_.fetch_add(1, std::memory_order_relaxed);
+            conn->last_activity_ms.store(now_ms(),
+                                         std::memory_order_relaxed);
             try {
                 conn->proto->on_frame(*conn->link, std::move(frame));
             } catch (const std::exception& e) {
@@ -302,9 +510,13 @@ void ServerCore::blocking_conn_loop(ConnPtr conn) {
         ws.wait(); // kNeedMore: block until a chunk (or EOF) arrives
     }
     ws.remove(1);
-    osal::CheckedLock lk(mu_);
-    if (conns_.erase(conn->key) != 0)
-        pruned_.fetch_add(1, std::memory_order_relaxed);
+    bool do_free = false;
+    {
+        osal::CheckedLock lk(state_mu(h));
+        conn->closed = true;
+        do_free = claim_free_locked(*conn);
+    }
+    if (do_free) free_conn(h);
 }
 
 } // namespace padico::svc

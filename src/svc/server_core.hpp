@@ -1,32 +1,43 @@
 #pragma once
 /// \file server_core.hpp
-/// ServerCore: the shared event-driven server engine every VLink-based
-/// middleware server (CORBA ORB, SOAP server, and HLA through CORBA) runs
-/// on. One dispatcher thread owns an osal::WaitSet over the listener
-/// mailbox plus every live connection's receive mailbox; a small fixed
-/// worker pool executes protocol handlers. Thread count is O(pool), not
-/// O(connections) — the property the paper's arbitration layer (§4.3.1)
-/// provides below the abstraction layer, extended here to the server loops
-/// above it (MPICH-G2 makes the same single-progression-engine argument).
+/// ServerCore: the shared server engine every VLink-based middleware
+/// server (CORBA ORB, SOAP server, and HLA through CORBA) runs on. Thread
+/// count is O(pool), not O(connections) — the property the paper's
+/// arbitration layer (§4.3.1) provides below the abstraction layer,
+/// extended here to the server loops above it (MPICH-G2 makes the same
+/// single-progression-engine argument).
 ///
-/// The dispatcher accepts new links, drives per-connection incremental
-/// frame reassembly (VLink::try_read_msg), hands complete request frames
-/// to the pool (frames of one connection are handled strictly in order,
-/// one at a time), and prunes dead connections — releasing the VLink, and
-/// with it the channel subscription, as soon as the stream ends, so a
-/// long-running server no longer accumulates dead connections.
+/// Three ingress modes share one connection plumbing (see DESIGN.md §12):
 ///
-/// A thread-per-connection mode preserves the historical server shape
-/// (blocked acceptor + one worker per accepted link) behind the same
-/// interface: bench_server_scale runs both and checks that serialized
-/// workloads produce bit-identical virtual end times while the event mode
-/// keeps the thread count flat.
+///  - kEventDriven: one dispatcher thread owns an osal::WaitSet over the
+///    listener mailbox plus every live connection's receive mailbox; a
+///    small elastic worker pool executes protocol handlers. WaitSet::wait
+///    is O(live connections) per wake — fine to a few thousand conns.
+///  - kShardedReadiness: the 100k-conn shape. Connection mailboxes carry
+///    edge-triggered waiters that push the connection's slab handle into a
+///    per-shard readiness queue; each shard thread drains its own queue and
+///    drives only its own connections, so a wake costs O(1) regardless of
+///    connection count. Accepts are batched per listener wake. Stale
+///    handles (slot recycled between event and drain) are rejected by the
+///    slab's generation check — counted, never misdelivered.
+///  - kThreadPerConnection: the historical shape (blocked acceptor + one
+///    thread per link), kept as the baseline the benches compare against.
+///
+/// Connections live in a generation-tagged Slab (slab.hpp) instead of a
+/// heap map, and the idle sweep runs on a hierarchical osal::TimerWheel —
+/// O(expired), not O(conns) — shared by ALL modes, which fixes the legacy
+/// mode's historical never-reap-idle-connections bug.
+///
+/// bench_server_scale / bench_ingress run the modes side by side and check
+/// that serialized workloads produce bit-identical virtual end times: the
+/// ingress machinery is real-time plumbing only and never touches the
+/// virtual clocks.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,8 +49,11 @@
 #include "osal/lockrank.hpp"
 #include "osal/queue.hpp"
 #include "osal/sync.hpp"
+#include "osal/timerwheel.hpp"
 #include "osal/waitset.hpp"
+#include "padicotm/runtime.hpp"
 #include "padicotm/vlink.hpp"
+#include "svc/slab.hpp"
 
 namespace padico::svc {
 
@@ -57,8 +71,8 @@ public:
     };
 
     /// Non-blocking: try to cut one complete request frame out of the
-    /// link's reassembly buffer (dispatcher thread). Partial framing state
-    /// (e.g. a parsed header whose body has not arrived) lives in the
+    /// link's reassembly buffer (dispatcher/shard thread). Partial framing
+    /// state (e.g. a parsed header whose body has not arrived) lives in the
     /// implementation between calls. Throwing drops the connection.
     virtual Extract try_extract(ptm::VLink& link, util::Message& frame) = 0;
 
@@ -75,23 +89,37 @@ class ServerCore {
 public:
     enum class Mode {
         kEventDriven,         ///< dispatcher + fixed pool (the default)
+        kShardedReadiness,    ///< per-shard edge-triggered queues (fan-in)
         kThreadPerConnection, ///< legacy shape: acceptor + thread per link
     };
 
     struct Options {
-        /// Resident pool size (event-driven mode). The pool grows past
+        /// Resident pool size (event/sharded modes). The pool grows past
         /// this only while handlers sit in osal::BlockingHint::Region
         /// waits (cross-request rendezvous, member collectives) — one
         /// spare thread is kept runnable so queued frames never starve —
         /// and shrinks back once the waits end.
         std::size_t workers = 2;
         Mode mode = Mode::kEventDriven;
+        /// Readiness shard count (kShardedReadiness only); clamped to
+        /// [1, lockrank::kServerConnShardMax].
+        std::size_t readiness_shards = 2;
+        /// Close connections with no traffic for this long (real time).
+        /// 0 disables the sweep (and its sweeper thread) entirely.
+        std::uint64_t idle_timeout_ms = 0;
+        /// Protocol label for Runtime::stats() ingress counters.
+        std::string protocol = "svc";
     };
 
     struct Stats {
         std::uint64_t accepted = 0; ///< connections accepted
         std::uint64_t pruned = 0;   ///< dead connections released
         std::uint64_t frames = 0;   ///< complete request frames dispatched
+        std::uint64_t idle_reaped = 0;   ///< closed by the idle sweep
+        std::uint64_t accept_batches = 0; ///< listener-readiness drains
+        std::uint64_t accept_batch_max = 0; ///< largest single drain
+        std::uint64_t stale_events = 0; ///< readiness events dropped stale
+        std::uint64_t ready_queue_high_water = 0; ///< deepest shard queue
         std::size_t live_connections = 0;
         std::size_t threads = 0;      ///< server threads alive right now
         std::size_t peak_threads = 0; ///< high-water mark of `threads`
@@ -115,25 +143,56 @@ public:
     Stats stats() const;
 
 private:
+    /// Slab handle of a connection: (generation << 32 | slot index).
+    /// Matches Slab<Conn>::Handle (spelled out — Conn is incomplete here).
+    using Handle = std::uint64_t;
+
     struct Conn {
-        explicit Conn(osal::WaitSet::Key k) : key(k) {}
-        const osal::WaitSet::Key key;
         std::shared_ptr<ptm::VLink> link;
         std::unique_ptr<Protocol> proto;
         std::deque<util::Message> frames; ///< extracted, not yet handled
-        bool busy = false;   ///< a worker is draining `frames`
-        bool closed = false; ///< extractor saw end-of-stream
+        bool busy = false;    ///< a worker is draining `frames`
+        bool closed = false;  ///< extractor saw end-of-stream
+        bool freeing = false; ///< a thread claimed the slot release
+        /// Wheel tick (ms since core start) of the last extracted frame;
+        /// read by the sweeper without the state lock (lazy reschedule).
+        std::atomic<std::uint64_t> last_activity_ms{0};
     };
-    using ConnPtr = std::shared_ptr<Conn>;
+
+    struct Shard {
+        osal::CheckedMutex mu; ///< state lock of this shard's connections
+        osal::BlockingQueue<Handle> ready; ///< edge-triggered handle queue
+        std::thread thread;
+        std::atomic<std::uint64_t> ready_high_water{0};
+    };
 
     void dispatch_loop();
-    bool accept_ready();
-    void drive_conn(osal::WaitSet::Key key);
+    void shard_loop(std::size_t shard);
+    bool accept_batch();
+    void drive_conn(Handle h);
     void worker_loop();
     void legacy_accept_loop();
-    void blocking_conn_loop(ConnPtr conn);
-    ConnPtr adopt(ptm::VLink&& link);
-    void maybe_prune_locked(const ConnPtr& conn);
+    void blocking_conn_loop(Handle h);
+    void sweep_loop();
+    void handle_idle_deadline(Handle h, std::uint64_t now);
+
+    Handle adopt(ptm::VLink&& link);
+    Shard& shard_of(Handle h) {
+        return *shards_[Slab<Conn>::index_of(h) % shards_.size()];
+    }
+    /// The mutex guarding this connection's mutable state: the global
+    /// conns lock in event/legacy modes, the connection's shard lock in
+    /// sharded mode (a connection maps to exactly one shard for life, so
+    /// two threads touching one connection always contend the same lock).
+    osal::CheckedMutex& state_mu(Handle h) {
+        return shards_.empty() ? mu_ : shard_of(h).mu;
+    }
+    /// Under state_mu: true iff the caller just became responsible for
+    /// releasing the slot (exactly one thread ever wins).
+    bool claim_free_locked(Conn& conn, bool force = false);
+    /// NOT under state_mu: release a claimed slot (destroys the VLink).
+    void free_conn(Handle h);
+    std::uint64_t now_ms() const;
 
     // Elastic-pool accounting (BlockingHint hooks; see worker_loop).
     void pool_spawn_locked();
@@ -158,12 +217,15 @@ private:
     std::string endpoint_;
     ProtocolFactory factory_;
     Options opts_;
+    std::chrono::steady_clock::time_point start_;
 
     std::unique_ptr<ptm::VLinkListener> listener_;
     osal::WaitSet waitset_;
-    osal::BlockingQueue<ConnPtr> work_;
+    osal::BlockingQueue<Handle> work_;
     std::thread dispatcher_; ///< acceptor thread in legacy mode
+    std::thread sweeper_;    ///< idle sweep (only when idle_timeout_ms > 0)
     osal::ThreadGroup workers_; ///< legacy-mode per-connection threads
+    std::vector<std::unique_ptr<Shard>> shards_; ///< sharded mode only
 
     /// Event-mode pool. ThreadGroup is not safe against concurrent
     /// spawn/join, and the BlockingHint enter hook spawns from worker
@@ -173,19 +235,26 @@ private:
     std::size_t pool_threads_ = 0; ///< workers not yet retired
     std::size_t pool_blocked_ = 0; ///< workers inside a blocking Region
 
+    /// Global connection-state lock (event/legacy modes; see state_mu).
     mutable osal::CheckedMutex mu_{lockrank::kServerConns,
                                    "svc.server.conns"};
-    std::map<osal::WaitSet::Key, ConnPtr> conns_;
-    osal::WaitSet::Key next_key_ = 1; ///< 0 is the listener
+    Slab<Conn> slab_{lockrank::kServerSlab, "svc.server.slab"};
+    osal::TimerWheel<Handle> wheel_{lockrank::kServerWheel,
+                                    "svc.server.wheel"};
     osal::CheckedMutex shutdown_mu_{
         lockrank::kServerShutdown,
         "svc.server.shutdown"}; ///< serializes shutdown() callers
     std::atomic<bool> stopping_{false};
     std::atomic<bool> stopped_{false};
+    std::uint64_t ingress_token_ = 0; ///< Runtime::register_ingress token
 
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> pruned_{0};
     std::atomic<std::uint64_t> frames_{0};
+    std::atomic<std::uint64_t> idle_reaped_{0};
+    std::atomic<std::uint64_t> accept_batches_{0};
+    std::atomic<std::uint64_t> accept_batch_max_{0};
+    std::atomic<std::uint64_t> stale_events_{0};
     std::atomic<std::size_t> threads_live_{0};
     std::atomic<std::size_t> threads_peak_{0};
 };

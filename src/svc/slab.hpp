@@ -1,0 +1,185 @@
+#pragma once
+/// \file slab.hpp
+/// Generation-tagged connection slab for the ingress path. Replaces the
+/// per-connection heap map in svc::ServerCore: connections live in
+/// fixed-size slots recycled through a free list, and are referred to by
+/// 64-bit handles packing (generation << 32 | slot index). A handle from a
+/// previous tenancy of the slot carries a stale generation, so a stale
+/// readiness event is rejected by a single lock-free atomic compare — no
+/// lookup lock on the hot path, and no way to misdeliver an event to the
+/// slot's new tenant.
+///
+/// Storage is chunked (kChunkSlots slots per chunk) behind an array of
+/// atomic chunk pointers: slots never move, so a T* obtained from get()
+/// stays valid until that slot's generation is bumped by free(). Chunks are
+/// allocated on demand and only freed at slab destruction.
+///
+/// Concurrency contract:
+///  - get() is lock-free and safe from any thread; it returns nullptr for
+///    stale, freed, or never-allocated handles.
+///  - alloc()/free() serialize on the internal mutex (rank it via the
+///    constructor; ServerCore uses lockrank::kServerSlab).
+///  - The caller must guarantee a slot is not free()d while another thread
+///    still dereferences a T* for it (ServerCore does this with its
+///    per-shard state locks and the Conn::freeing tombstone).
+///  - free() destroys the T OUTSIDE the slab mutex, so T destructors may
+///    take lower-layer locks (VLink teardown reaches the channel layer).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "osal/checked.hpp"
+#include "util/error.hpp"
+
+namespace padico::svc {
+
+template <typename T> class Slab {
+public:
+    using Handle = std::uint64_t;
+    static constexpr Handle kNullHandle = 0;
+
+    Slab() = default;
+    explicit Slab(int lock_rank, const char* name = "svc.slab")
+        : mu_(lock_rank, name) {}
+    Slab(const Slab&) = delete;
+    Slab& operator=(const Slab&) = delete;
+
+    ~Slab() {
+        for (std::uint32_t idx = 0; idx < used_; ++idx) {
+            Slot& s = *slot_ptr(idx);
+            if (s.gen.load(std::memory_order_relaxed) & 1u)
+                std::launder(reinterpret_cast<T*>(s.storage))->~T();
+        }
+        for (auto& c : chunks_) delete c.load(std::memory_order_relaxed);
+    }
+
+    /// Construct a T in a recycled (or fresh) slot; returns its handle.
+    /// The slot only becomes visible to get() once construction finished.
+    template <typename... Args> Handle alloc(Args&&... args) {
+        osal::CheckedLock lk(mu_);
+        std::uint32_t idx;
+        if (!free_.empty()) {
+            idx = free_.back();
+            free_.pop_back();
+        } else {
+            idx = used_;
+            if ((idx >> kChunkBits) >= kMaxChunks)
+                throw Error("svc::Slab capacity exhausted");
+            if (chunks_[idx >> kChunkBits].load(
+                    std::memory_order_relaxed) == nullptr)
+                chunks_[idx >> kChunkBits].store(
+                    new Chunk, std::memory_order_release);
+            ++used_;
+        }
+        Slot& s = *slot_ptr(idx);
+        const std::uint32_t gen =
+            s.gen.load(std::memory_order_relaxed) + 1; // even -> odd: live
+        ::new (static_cast<void*>(s.storage)) T(std::forward<Args>(args)...);
+        s.gen.store(gen, std::memory_order_release);
+        ++live_;
+        return (Handle{gen} << 32) | idx;
+    }
+
+    /// Lock-free handle resolution: nullptr unless \p h names the slot's
+    /// current tenancy.
+    T* get(Handle h) const {
+        const std::uint32_t idx = index_of(h);
+        const std::uint32_t gen = generation_of(h);
+        if ((gen & 1u) == 0 || (idx >> kChunkBits) >= kMaxChunks)
+            return nullptr;
+        Chunk* chunk =
+            chunks_[idx >> kChunkBits].load(std::memory_order_acquire);
+        if (chunk == nullptr) return nullptr;
+        Slot& s = chunk->slots[idx & kChunkMask];
+        if (s.gen.load(std::memory_order_acquire) != gen) return nullptr;
+        return std::launder(
+            reinterpret_cast<T*>(const_cast<unsigned char*>(s.storage)));
+    }
+
+    /// Retire the slot named by \p h. Returns false if the handle is stale
+    /// (already freed). The generation is bumped (odd -> even) under the
+    /// slab mutex — get() on the old handle fails from that point — but the
+    /// T is destroyed after the mutex is released, and only then does the
+    /// slot re-enter the free list.
+    bool free(Handle h) {
+        const std::uint32_t idx = index_of(h);
+        const std::uint32_t gen = generation_of(h);
+        T* dead = nullptr;
+        {
+            osal::CheckedLock lk(mu_);
+            if ((gen & 1u) == 0 || idx >= used_) return false;
+            Slot& s = *slot_ptr(idx);
+            if (s.gen.load(std::memory_order_relaxed) != gen) return false;
+            s.gen.store(gen + 1, std::memory_order_release);
+            --live_;
+            dead = std::launder(reinterpret_cast<T*>(s.storage));
+        }
+        dead->~T();
+        {
+            osal::CheckedLock lk(mu_);
+            free_.push_back(idx);
+        }
+        return true;
+    }
+
+    std::size_t live() const {
+        osal::CheckedLock lk(mu_);
+        return live_;
+    }
+    /// Slot high-water mark (capacity actually touched).
+    std::size_t used_slots() const {
+        osal::CheckedLock lk(mu_);
+        return used_;
+    }
+
+    /// Snapshot of every live handle (shutdown sweep; O(used slots)).
+    std::vector<Handle> live_handles() const {
+        osal::CheckedLock lk(mu_);
+        std::vector<Handle> out;
+        out.reserve(live_);
+        for (std::uint32_t idx = 0; idx < used_; ++idx) {
+            const std::uint32_t gen =
+                slot_ptr(idx)->gen.load(std::memory_order_relaxed);
+            if (gen & 1u) out.push_back((Handle{gen} << 32) | idx);
+        }
+        return out;
+    }
+
+    static std::uint32_t index_of(Handle h) {
+        return static_cast<std::uint32_t>(h & 0xffffffffu);
+    }
+    static std::uint32_t generation_of(Handle h) {
+        return static_cast<std::uint32_t>(h >> 32);
+    }
+
+private:
+    static constexpr std::size_t kChunkBits = 12; // 4096 slots per chunk
+    static constexpr std::size_t kChunkMask = (1u << kChunkBits) - 1;
+    static constexpr std::size_t kMaxChunks = 1u << 12; // 16.7M handles
+
+    struct Slot {
+        std::atomic<std::uint32_t> gen{0}; // odd = live, even = free
+        alignas(alignof(T)) unsigned char storage[sizeof(T)];
+    };
+    struct Chunk {
+        Slot slots[std::size_t{1} << kChunkBits];
+    };
+
+    Slot* slot_ptr(std::uint32_t idx) const {
+        return &chunks_[idx >> kChunkBits]
+                    .load(std::memory_order_relaxed)
+                    ->slots[idx & kChunkMask];
+    }
+
+    mutable osal::CheckedMutex mu_;
+    std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+    std::vector<std::uint32_t> free_;
+    std::uint32_t used_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace padico::svc

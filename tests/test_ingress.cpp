@@ -1,0 +1,318 @@
+// Tests for the fan-in ingress machinery this layer of the server stack
+// added: the generation-tagged connection slab (stale handles must be
+// rejected, never misdelivered), the idle-connection sweep (a regression:
+// the legacy thread-per-connection shape historically never reaped idle
+// streams), and the per-protocol ingress counters surfaced through
+// ptm::Runtime::stats() — including their independence from the
+// PADICO_DISABLE_CACHES ablation toggle.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corba/orb.hpp"
+#include "fabric/grid.hpp"
+#include "osal/sync.hpp"
+#include "svc/slab.hpp"
+#include "util/cache.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+using namespace padico::corba;
+
+namespace {
+
+struct DuoGrid {
+    Grid grid;
+    Machine* server;
+    Machine* client;
+
+    DuoGrid() {
+        auto& eth = grid.add_segment("eth0", NetTech::FastEthernet);
+        server = &grid.add_machine("srv");
+        client = &grid.add_machine("cli");
+        for (auto* m : {server, client}) grid.attach(*m, eth);
+    }
+};
+
+class EchoServant : public Servant {
+public:
+    std::string interface() const override { return "IDL:Echo:1.0"; }
+    void dispatch(const std::string& op, cdr::Decoder& in,
+                  cdr::Encoder& out) override {
+        if (op != "echo") throw RemoteError("BAD_OPERATION " + op);
+        out.put_string(in.get_string());
+    }
+};
+
+std::string raw_echo_call(ptm::VLink& conn, std::uint64_t req_id,
+                          std::uint64_t key, const std::string& payload) {
+    cdr::Encoder req(true);
+    req.put_u64(req_id);
+    req.put_u64(key);
+    req.put_bool(true);
+    req.put_string("echo");
+    req.put_message(cdr::encode(true, payload));
+    giop::send_message(conn, giop::MsgType::Request, req.take());
+    auto reply = giop::recv_message(conn);
+    EXPECT_TRUE(reply.has_value());
+    cdr::Decoder dec(std::move(reply->second));
+    EXPECT_EQ(dec.get_u64(), req_id);
+    EXPECT_EQ(dec.get_u8(),
+              static_cast<std::uint8_t>(giop::ReplyStatus::NoException));
+    return cdr::decode_one<std::string>(dec.get_bytes_msg(dec.remaining()));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Slab: generation-tagged handles
+
+TEST(Slab, AllocGetFreeRoundTrip) {
+    svc::Slab<std::string> slab;
+    const auto h = slab.alloc("hello");
+    ASSERT_NE(slab.get(h), nullptr);
+    EXPECT_EQ(*slab.get(h), "hello");
+    EXPECT_EQ(slab.live(), 1u);
+    EXPECT_TRUE(slab.free(h));
+    EXPECT_EQ(slab.get(h), nullptr);
+    EXPECT_EQ(slab.live(), 0u);
+}
+
+TEST(Slab, HandleZeroIsNeverValid) {
+    svc::Slab<int> slab;
+    EXPECT_EQ(slab.get(0), nullptr);
+    const auto h = slab.alloc(1);
+    EXPECT_NE(h, 0u); // generations start odd: no live handle is ever 0
+}
+
+TEST(Slab, StaleGenerationRejectedAfterSlotReuse) {
+    // The ABA case the generation tag exists for: a readiness event
+    // carrying a stale handle must NOT reach the slot's new occupant.
+    svc::Slab<std::string> slab;
+    const auto h1 = slab.alloc("first");
+    EXPECT_TRUE(slab.free(h1));
+    const auto h2 = slab.alloc("second");
+    // Same physical slot, different generation.
+    EXPECT_EQ(svc::Slab<std::string>::index_of(h1),
+              svc::Slab<std::string>::index_of(h2));
+    EXPECT_NE(svc::Slab<std::string>::generation_of(h1),
+              svc::Slab<std::string>::generation_of(h2));
+    // The stale handle dereferences to nothing — not to "second".
+    EXPECT_EQ(slab.get(h1), nullptr);
+    ASSERT_NE(slab.get(h2), nullptr);
+    EXPECT_EQ(*slab.get(h2), "second");
+    // And a second free through the stale handle is refused.
+    EXPECT_FALSE(slab.free(h1));
+    EXPECT_EQ(slab.live(), 1u);
+}
+
+TEST(Slab, ChurnReusesSlotsWithFreshGenerations) {
+    svc::Slab<int> slab;
+    std::vector<std::uint64_t> stale;
+    for (int round = 0; round < 50; ++round) {
+        const auto h = slab.alloc(round);
+        EXPECT_TRUE(slab.free(h));
+        stale.push_back(h);
+    }
+    EXPECT_EQ(slab.used_slots(), 1u); // one slot recycled throughout
+    for (const auto h : stale) EXPECT_EQ(slab.get(h), nullptr);
+    const auto live = slab.alloc(99);
+    EXPECT_EQ(*slab.get(live), 99);
+    EXPECT_EQ(slab.live_handles(), std::vector<std::uint64_t>{live});
+}
+
+// ---------------------------------------------------------------------------
+// Idle sweep: every server mode reaps an idle connection
+
+class IdleReap : public ::testing::TestWithParam<svc::ServerCore::Mode> {};
+
+TEST_P(IdleReap, IdleConnectionIsReaped) {
+    // Regression: the legacy thread-per-connection shape parked its reader
+    // in read_msg_opt() forever; an idle client pinned a server thread and
+    // a connection slot for the life of the process. All modes now share
+    // the timer-wheel sweep.
+    DuoGrid g;
+    osal::Event served, reaped, client_done;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        svc::ServerCore::Options opts;
+        opts.mode = GetParam();
+        opts.idle_timeout_ms = 40;
+        orb.serve("reap-ep", opts);
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("test/reap/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        // The client goes quiet after one call; the sweep must retire the
+        // connection without any client-side close.
+        svc::ServerCore::Stats st;
+        for (int spin = 0; spin < 5000; ++spin) {
+            st = orb.server_stats();
+            if (st.idle_reaped >= 1 && st.live_connections == 0) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        EXPECT_GE(st.idle_reaped, 1u);
+        EXPECT_EQ(st.live_connections, 0u);
+        EXPECT_EQ(st.pruned, st.accepted);
+        reaped.set();
+        client_done.wait();
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        served.wait();
+        const std::uint64_t key = proc.grid().wait_service("test/reap/key");
+        ptm::VLink conn = ptm::VLink::connect(rt, "reap-ep");
+        EXPECT_EQ(raw_echo_call(conn, 1, key, "ping"), "ping");
+        reaped.wait(); // idle: no traffic, no close
+        conn.close();
+        client_done.set();
+    });
+    g.grid.join_all();
+}
+
+TEST_P(IdleReap, ActiveConnectionSurvivesSweep) {
+    // A connection that keeps talking must never be reaped: activity
+    // lazily pushes its wheel deadline forward.
+    DuoGrid g;
+    osal::Event served, done;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        svc::ServerCore::Options opts;
+        opts.mode = GetParam();
+        opts.idle_timeout_ms = 150;
+        orb.serve("live-ep", opts);
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("test/live/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        done.wait();
+        EXPECT_EQ(orb.server_stats().idle_reaped, 0u);
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        served.wait();
+        const std::uint64_t key = proc.grid().wait_service("test/live/key");
+        ptm::VLink conn = ptm::VLink::connect(rt, "live-ep");
+        // Keep the stream active well past several timeout periods, with a
+        // wide margin (150ms timeout vs 30ms gaps) so scheduler stalls on
+        // loaded CI machines cannot fake idleness.
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_EQ(raw_echo_call(conn, static_cast<std::uint64_t>(i + 1),
+                                    key, "tick"),
+                      "tick");
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        }
+        conn.close();
+        done.set();
+    });
+    g.grid.join_all();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, IdleReap,
+    ::testing::Values(svc::ServerCore::Mode::kThreadPerConnection,
+                      svc::ServerCore::Mode::kEventDriven,
+                      svc::ServerCore::Mode::kShardedReadiness),
+    [](const ::testing::TestParamInfo<svc::ServerCore::Mode>& info) {
+        switch (info.param) {
+        case svc::ServerCore::Mode::kThreadPerConnection: return "Legacy";
+        case svc::ServerCore::Mode::kEventDriven: return "Event";
+        case svc::ServerCore::Mode::kShardedReadiness: return "Sharded";
+        }
+        return "Unknown";
+    });
+
+// ---------------------------------------------------------------------------
+// Ingress counters in Runtime::stats()
+
+namespace {
+
+/// Fixed sharded workload; returns the server runtime's ingress map.
+std::map<std::string, ptm::TrafficCounters::Ingress>
+run_counter_workload() {
+    DuoGrid g;
+    osal::Event served, done;
+    std::map<std::string, ptm::TrafficCounters::Ingress> out;
+    g.grid.spawn(*g.server, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        Orb orb(rt, profile_omniorb4());
+        svc::ServerCore::Options opts;
+        opts.mode = svc::ServerCore::Mode::kShardedReadiness;
+        opts.readiness_shards = 2;
+        orb.serve("cnt-ep", opts);
+        IOR ior = orb.activate(std::make_shared<EchoServant>());
+        proc.grid().register_service("test/cnt/key",
+                                     static_cast<ProcessId>(ior.key));
+        served.set();
+        done.wait();
+        // Wait for the close to be fully retired so counters are stable.
+        for (int spin = 0; spin < 2000; ++spin) {
+            const auto st = orb.server_stats();
+            if (st.live_connections == 0 && st.pruned == st.accepted) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        out = rt.stats().ingress_by_protocol;
+        orb.shutdown();
+    });
+    g.grid.spawn(*g.client, [&](Process& proc) {
+        ptm::Runtime rt(proc);
+        served.wait();
+        const std::uint64_t key = proc.grid().wait_service("test/cnt/key");
+        ptm::VLink conn = ptm::VLink::connect(rt, "cnt-ep");
+        for (int i = 0; i < 12; ++i)
+            EXPECT_EQ(raw_echo_call(conn, static_cast<std::uint64_t>(i + 1),
+                                    key, "x"),
+                      "x");
+        conn.close();
+        done.set();
+    });
+    g.grid.join_all();
+    return out;
+}
+
+} // namespace
+
+TEST(IngressCounters, SurfacedPerProtocolInRuntimeStats) {
+    const auto by_proto = run_counter_workload();
+    ASSERT_EQ(by_proto.count("corba"), 1u);
+    const auto& in = by_proto.at("corba");
+    EXPECT_EQ(in.accepted, 1u);
+    EXPECT_EQ(in.closed, 1u);
+    EXPECT_EQ(in.idle_reaped, 0u);
+    EXPECT_EQ(in.frames, 12u);
+    EXPECT_GE(in.accept_batches, 1u);
+    EXPECT_GE(in.accept_batch_max, 1u);
+    EXPECT_EQ(in.live_connections, 0u);
+}
+
+TEST(IngressCounters, IdenticalWithCachesDisabled) {
+    // The counters are observability, not a cache: the
+    // PADICO_DISABLE_CACHES ablation toggle must not change a single one.
+    const auto with_caches = run_counter_workload();
+    util::set_caches_enabled(false);
+    const auto without_caches = run_counter_workload();
+    util::set_caches_enabled(true);
+
+    ASSERT_EQ(with_caches.size(), without_caches.size());
+    for (const auto& [proto, a] : with_caches) {
+        ASSERT_EQ(without_caches.count(proto), 1u) << proto;
+        const auto& b = without_caches.at(proto);
+        // Compare the workload-deterministic counters. Batch sizes,
+        // stale-event drops and queue high-waters are real-time
+        // scheduling artifacts — they legitimately vary run to run (with
+        // or without the toggle) and are excluded by design.
+        EXPECT_EQ(a.accepted, b.accepted) << proto;
+        EXPECT_EQ(a.closed, b.closed) << proto;
+        EXPECT_EQ(a.idle_reaped, b.idle_reaped) << proto;
+        EXPECT_EQ(a.frames, b.frames) << proto;
+        EXPECT_EQ(a.live_connections, b.live_connections) << proto;
+    }
+}

@@ -357,7 +357,9 @@ TEST(ServerCore, SerialVirtualTimeIdenticalAcrossModes) {
     };
     const auto event = run(svc::ServerCore::Mode::kEventDriven);
     const auto legacy = run(svc::ServerCore::Mode::kThreadPerConnection);
+    const auto sharded = run(svc::ServerCore::Mode::kShardedReadiness);
     ASSERT_EQ(event.size(), 24u);
     EXPECT_EQ(event, legacy);
+    EXPECT_EQ(event, sharded);
     EXPECT_GT(event.back(), 0);
 }

@@ -1,0 +1,200 @@
+// bench_schema_check: validates the shape of a BENCH_ingress.json emitted
+// by bench_ingress (the checked-in copy at the repo root and the smoke
+// copy the ctest leg produces). The benchmark's JSON is consumed by the
+// EXPERIMENTS.md tables and by future regression tooling, so its shape is
+// part of the contract: this tool fails CI when a bench edit drops or
+// renames a field.
+//
+// Deliberately not a JSON library: a small scanner that checks
+//  * braces/brackets balance and the file is one object,
+//  * every required key exists,
+//  * numeric keys are followed by a number, boolean keys by true/false,
+//  * the "legs" array holds one entry per server mode (legacy, event,
+//    sharded), each with connections + percentile fields.
+//
+// Usage: bench_schema_check <path-to-json>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int g_failures = 0;
+
+void fail(const std::string& what) {
+    std::fprintf(stderr, "schema: %s\n", what.c_str());
+    ++g_failures;
+}
+
+/// Position just past `"key":` or npos.
+std::size_t find_key(const std::string& s, const std::string& key,
+                     std::size_t from = 0) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = s.find(needle, from);
+    return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+std::string value_token(const std::string& s, std::size_t at) {
+    while (at < s.size() && std::isspace(static_cast<unsigned char>(s[at])))
+        ++at;
+    std::size_t end = at;
+    if (at < s.size() && s[at] == '"') {
+        end = s.find('"', at + 1);
+        return end == std::string::npos ? ""
+                                        : s.substr(at, end - at + 1);
+    }
+    while (end < s.size() &&
+           (std::isalnum(static_cast<unsigned char>(s[end])) ||
+            s[end] == '.' || s[end] == '-' || s[end] == '+'))
+        ++end;
+    return s.substr(at, end - at);
+}
+
+bool is_number(const std::string& tok) {
+    if (tok.empty()) return false;
+    char* end = nullptr;
+    std::strtod(tok.c_str(), &end);
+    return end == tok.c_str() + tok.size();
+}
+
+void require_number(const std::string& s, const std::string& key,
+                    std::size_t from = 0) {
+    const std::size_t at = find_key(s, key, from);
+    if (at == std::string::npos) {
+        fail("missing numeric key \"" + key + "\"");
+        return;
+    }
+    const std::string tok = value_token(s, at);
+    if (!is_number(tok))
+        fail("key \"" + key + "\" has non-numeric value '" + tok + "'");
+}
+
+void require_bool(const std::string& s, const std::string& key) {
+    const std::size_t at = find_key(s, key);
+    if (at == std::string::npos) {
+        fail("missing boolean key \"" + key + "\"");
+        return;
+    }
+    const std::string tok = value_token(s, at);
+    if (tok != "true" && tok != "false")
+        fail("key \"" + key + "\" has non-boolean value '" + tok + "'");
+}
+
+void require_string(const std::string& s, const std::string& key,
+                    const std::string& want) {
+    const std::size_t at = find_key(s, key);
+    if (at == std::string::npos) {
+        fail("missing key \"" + key + "\"");
+        return;
+    }
+    const std::string tok = value_token(s, at);
+    if (tok != "\"" + want + "\"")
+        fail("key \"" + key + "\" is " + tok + ", want \"" + want + "\"");
+}
+
+void check_balance(const std::string& s) {
+    int brace = 0, bracket = 0;
+    bool in_str = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (in_str) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_str = false;
+            continue;
+        }
+        if (c == '"') in_str = true;
+        else if (c == '{') ++brace;
+        else if (c == '}') --brace;
+        else if (c == '[') ++bracket;
+        else if (c == ']') --bracket;
+        if (brace < 0 || bracket < 0) {
+            fail("unbalanced close at offset " + std::to_string(i));
+            return;
+        }
+    }
+    if (brace != 0) fail("unbalanced braces");
+    if (bracket != 0) fail("unbalanced brackets");
+    if (in_str) fail("unterminated string");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: bench_schema_check <json>\n");
+        return 2;
+    }
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", argv[1]);
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string s = buf.str();
+
+    check_balance(s);
+    require_string(s, "bench", "ingress");
+    require_bool(s, "quick");
+    require_number(s, "hardware_concurrency");
+    require_number(s, "thread_budget");
+
+    // serial identity block
+    const std::size_t serial = find_key(s, "serial");
+    if (serial == std::string::npos) {
+        fail("missing \"serial\" block");
+    } else {
+        require_number(s, "virtual_end_legacy", serial);
+        require_number(s, "virtual_end_event", serial);
+        require_number(s, "virtual_end_sharded", serial);
+    }
+
+    // one leg per server mode, each with population + percentiles
+    const std::size_t legs = find_key(s, "legs");
+    if (legs == std::string::npos) {
+        fail("missing \"legs\" array");
+    } else {
+        for (const char* mode : {"legacy", "event", "sharded"}) {
+            std::size_t at = s.find("\"mode\": \"" + std::string(mode) + "\"",
+                                    legs);
+            if (at == std::string::npos) {
+                fail("missing leg for mode '" + std::string(mode) + "'");
+                continue;
+            }
+            require_number(s, "connections", at);
+            require_number(s, "peak_threads", at);
+            require_number(s, "rss_kb_per_conn", at);
+            require_number(s, "p50_us", at);
+            require_number(s, "p99_us", at);
+            require_number(s, "p999_us", at);
+        }
+        // The sharded leg reports the per-protocol ingress counters.
+        const std::size_t ingress = find_key(s, "ingress", legs);
+        if (ingress == std::string::npos) {
+            fail("missing \"ingress\" counters in sharded leg");
+        } else {
+            for (const char* k :
+                 {"accepted", "closed", "idle_reaped", "accept_batches",
+                  "accept_batch_max", "ready_queue_high_water"})
+                require_number(s, k, ingress);
+        }
+    }
+
+    require_number(s, "sustained_connections");
+    require_bool(s, "sustained_ok");
+    require_bool(s, "thread_bound_ok");
+    require_bool(s, "memory_sublinear_ok");
+    require_bool(s, "virtual_time_identical");
+
+    if (g_failures != 0) {
+        std::fprintf(stderr, "%d schema failure(s) in %s\n", g_failures,
+                     argv[1]);
+        return 1;
+    }
+    std::printf("%s: schema OK\n", argv[1]);
+    return 0;
+}
