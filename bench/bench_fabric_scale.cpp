@@ -16,10 +16,24 @@
 //    BusyList hurts; reports span high-water marks, pruned spans and
 //    route fast-path counters.
 //
+// A second family of legs exercises the hierarchical routing zones of
+// fabric::Topology (see topology.hpp):
+//  * zoned identity: the pair and soak workloads rebuilt through a
+//    ClusterZone (same wiring, zone-tagged segment) — serialized virtual
+//    times must be BIT-IDENTICAL to the flat build.
+//  * scaling: DSL-generated cluster/WAN hierarchies at 1k-10k simulated
+//    processes (no threads), measuring the per-process route-table entry
+//    bound — it must stay near-constant while a flat segment's would grow
+//    linearly with the grid.
+//  * live: a zoned grid with one real process per member machine, in-zone
+//    streaming plus cross-zone messages through gateway relays, sampling
+//    the ACTUAL per-segment route-table population and retirements.
+//
 // Emits one JSON object to stdout AND to BENCH_fabric.json (override with
-// --out <path>). --quick shrinks sizes for the CTest smoke run and skips
-// the wall-clock speedup assertion (virtual-identity is always asserted).
-// Exits nonzero when an assertion fails.
+// --out <path>); the zone legs write a second object to BENCH_topology.json
+// (--topology-out <path>). --quick shrinks sizes for the CTest smoke run
+// and skips the wall-clock speedup assertion (virtual-identity is always
+// asserted). Exits nonzero when an assertion fails.
 
 #include <array>
 #include <atomic>
@@ -33,6 +47,8 @@
 
 #include "bench/common.hpp"
 #include "fabric/grid.hpp"
+#include "fabric/registry.hpp"
+#include "fabric/topology.hpp"
 #include "osal/sync.hpp"
 #include "util/rng.hpp"
 
@@ -54,15 +70,31 @@ struct PairLeg {
     std::uint64_t fast_hits = 0, fast_misses = 0;
 };
 
-PairLeg run_pairs(TimingMode mode, int n_pairs, int msgs) {
+PairLeg run_pairs(TimingMode mode, int n_pairs, int msgs,
+                  bool zoned = false) {
     Grid g;
-    auto& seg = g.add_segment("eth", NetTech::FastEthernet);
-    seg.set_timing_mode(mode);
+    std::unique_ptr<Topology> topo;
     std::vector<Machine*> ms;
-    for (int i = 0; i < 2 * n_pairs; ++i) {
-        ms.push_back(&g.add_machine("n" + std::to_string(i)));
-        g.attach(*ms.back(), seg);
+    NetworkSegment* segp;
+    if (zoned) {
+        // Same single-segment wiring, built through a ClusterZone so the
+        // segment carries a real zone id: virtual times must not change.
+        topo = std::make_unique<Topology>(g);
+        ClusterSpec spec;
+        spec.size = static_cast<std::size_t>(2 * n_pairs);
+        spec.tech = NetTech::FastEthernet;
+        ClusterZone& cz = topo->add_cluster("pairs", spec);
+        ms = cz.members();
+        segp = cz.segments().front();
+    } else {
+        segp = &g.add_segment("eth", NetTech::FastEthernet);
+        for (int i = 0; i < 2 * n_pairs; ++i) {
+            ms.push_back(&g.add_machine("n" + std::to_string(i)));
+            g.attach(*ms.back(), *segp);
+        }
     }
+    NetworkSegment& seg = *segp;
+    seg.set_timing_mode(mode);
     const ChannelId ch = g.channel_id("pairs");
     PairLeg res;
     res.sig.resize(static_cast<std::size_t>(n_pairs));
@@ -171,6 +203,302 @@ std::vector<SimTime> run_serial(TimingMode mode, int msgs) {
     std::vector<SimTime> trace;
     for (const auto& p : parts) trace.insert(trace.end(), p.begin(), p.end());
     return trace;
+}
+
+
+// --- hierarchical-zone legs ------------------------------------------------
+
+/// DSL for n processes as full clusters of \p cluster_sz under site WANs of
+/// \p site_sz clusters, stitched by a core WAN when more than one site.
+std::string hier_dsl(std::size_t n, std::size_t cluster_sz = 32,
+                     std::size_t site_sz = 16) {
+    const std::size_t clusters = (n + cluster_sz - 1) / cluster_sz;
+    std::string dsl;
+    std::size_t left = n;
+    for (std::size_t c = 0; c < clusters; ++c) {
+        const std::size_t sz = left < cluster_sz ? left : cluster_sz;
+        left -= sz;
+        dsl += "cluster name=c" + std::to_string(c) +
+               " kind=full size=" + std::to_string(sz) +
+               " tech=fast-ethernet\n";
+    }
+    const std::size_t sites = (clusters + site_sz - 1) / site_sz;
+    for (std::size_t s = 0; s < sites; ++s) {
+        std::string links;
+        for (std::size_t c = s * site_sz;
+             c < clusters && c < (s + 1) * site_sz; ++c)
+            links += (links.empty() ? "" : ",") + ("c" + std::to_string(c));
+        dsl += "wan name=s" + std::to_string(s) + " link=" + links + "\n";
+    }
+    if (sites > 1) {
+        std::string links;
+        for (std::size_t s = 0; s < sites; ++s)
+            links += (links.empty() ? "" : ",") + ("s" + std::to_string(s));
+        dsl += "wan name=core tech=wan link=" + links + "\n";
+    }
+    return dsl;
+}
+
+struct ScaleRow {
+    std::size_t procs = 0, zones = 0, machines = 0, segments = 0;
+    std::size_t entries_max = 0;
+    double entries_mean = 0;
+    double build_ms = 0;
+};
+
+/// Build (no threads) and measure the per-process route-table entry bound:
+/// the sum over a machine's NICs of each segment's attachment count — the
+/// most entries the data plane can ever hold for that machine's traffic.
+/// A flat single-segment grid of the same size would bound at n.
+ScaleRow run_topology_scale(std::size_t n) {
+    Grid g;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto topo = build_topology_from_dsl(g, hier_dsl(n));
+    ScaleRow row;
+    row.build_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    row.procs = n;
+    row.zones = topo->zone_count();
+    row.machines = g.machines().size();
+    row.segments = g.segments().size();
+    std::size_t sum = 0;
+    for (const auto& m : g.machines()) {
+        const std::size_t e = Topology::route_entries_upper_bound(*m);
+        row.entries_max = e > row.entries_max ? e : row.entries_max;
+        sum += e;
+    }
+    row.entries_mean =
+        static_cast<double>(sum) / static_cast<double>(row.machines);
+    return row;
+}
+
+struct LiveRow {
+    std::size_t procs = 0, zones = 0, relays = 0;
+    std::size_t entries_max = 0;
+    double entries_mean = 0;
+    std::uint64_t messages = 0, routed = 0;
+    std::uint64_t tables_retired = 0;
+    double wall_ms = 0;
+};
+
+/// One real process per member machine of a zoned grid: in-cluster
+/// streaming plus a few cross-zone messages forwarded by gateway relays,
+/// then every member samples its segment's ACTUAL route-table population
+/// before any port closes.
+LiveRow run_topology_live(std::size_t n, int intra_msgs) {
+    Grid g;
+    auto topo = build_topology_from_dsl(g, hier_dsl(n));
+    std::vector<Machine*> members;
+    for (const auto& m : g.machines()) members.push_back(m.get());
+
+    // Relays on every cluster gateway (site/core gateways coincide).
+    std::vector<Machine*> gateways;
+    for (Zone* z : topo->zones())
+        if (z->kind() == ZoneKind::Cluster) gateways.push_back(&z->gateway());
+    std::atomic<bool> relay_stop{false};
+    for (Machine* gw : gateways)
+        g.spawn(*gw, [&topo, &relay_stop](Process& p) {
+            relay_loop(*topo, p, relay_stop);
+        });
+    const ProcessId pid0 = static_cast<ProcessId>(gateways.size());
+
+    // Member i's in-cluster peer: next member of the same cluster zone,
+    // cyclic — a permutation, so everyone receives what it sends.
+    const std::size_t nm = members.size();
+    std::vector<std::size_t> next_in_cluster(nm);
+    {
+        std::size_t i = 0;
+        for (Zone* z : topo->zones()) {
+            if (z->kind() != ZoneKind::Cluster) continue;
+            const std::size_t sz = z->members().size();
+            for (std::size_t k = 0; k < sz; ++k)
+                next_in_cluster[i + k] = i + (k + 1) % sz;
+            i += sz;
+        }
+    }
+    const bool multi_cluster = gateways.size() > 1;
+    const int cross_msgs = multi_cluster ? 2 : 0;
+    const ChannelId ch = g.channel_id("live");
+    osal::Barrier start(nm + 1);
+    osal::Barrier traffic_done(nm);
+    osal::Latch members_done(nm);
+    std::vector<std::size_t> entries(nm, 0);
+    std::atomic<std::uint64_t> routed_sent{0};
+
+    for (std::size_t i = 0; i < nm; ++i) {
+        g.spawn(*members[i], [&, i](Process& proc) {
+            // adapters()[0] is the cluster LAN (backbone NICs attach later).
+            auto port = proc.machine().adapters()[0]->open(proc, "bench");
+            start.arrive_and_wait();
+            for (int m = 0; m < intra_msgs; ++m) {
+                proc.compute(kGap);
+                const SimTime tx = port->send(
+                    pid0 + static_cast<ProcessId>(next_in_cluster[i]), ch,
+                    util::to_message(util::ByteBuf(kBytes)), proc.now());
+                proc.clock().set(tx);
+            }
+            // Cross-zone: to the same-position member one cluster over,
+            // store-and-forward through the gateway relays.
+            for (int m = 0; m < cross_msgs; ++m) {
+                proc.compute(kGap);
+                send_routed(*topo, proc, *port,
+                            pid0 + static_cast<ProcessId>((i + 32) % nm), ch,
+                            util::to_message(util::ByteBuf(kBytes)));
+                routed_sent.fetch_add(1, std::memory_order_relaxed);
+            }
+            for (int m = 0; m < intra_msgs + cross_msgs; ++m) {
+                auto pkt = port->recv();
+                if (!pkt) break;
+                proc.clock().merge(pkt->deliver_time);
+            }
+            // Sample while every member still holds its port.
+            traffic_done.arrive_and_wait();
+            entries[i] =
+                port->adapter().segment().route_snapshot().routes.size();
+            members_done.count_down();
+        });
+    }
+    start.arrive_and_wait();
+    const auto t0 = std::chrono::steady_clock::now();
+    members_done.wait();
+    relay_stop.store(true, std::memory_order_release);
+    g.join_all();
+    LiveRow row;
+    row.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    row.procs = nm;
+    row.zones = topo->zone_count();
+    row.relays = gateways.size();
+    std::size_t sum = 0;
+    for (std::size_t e : entries) {
+        row.entries_max = e > row.entries_max ? e : row.entries_max;
+        sum += e;
+    }
+    row.entries_mean = static_cast<double>(sum) / static_cast<double>(nm);
+    row.messages = static_cast<std::uint64_t>(nm) *
+                   static_cast<std::uint64_t>(intra_msgs + cross_msgs);
+    row.routed = routed_sent.load(std::memory_order_relaxed);
+    for (const auto& s : g.segments())
+        row.tables_retired += s->route_tables_retired();
+    return row;
+}
+
+/// Zone legs: identity of zoned vs flat wiring, generated-topology scaling
+/// and the live zoned grid. Writes one JSON object to \p out_path.
+int run_topology(bool quick, const std::string& out_path) {
+    const int pair_msgs = quick ? 300 : 5000;
+    const int soak_msgs = quick ? 2000 : 30000;
+    const int zn = quick ? 4 : 16;
+
+    const PairLeg flat_pairs =
+        run_pairs(TimingMode::kSharded, zn, pair_msgs, false);
+    const PairLeg zoned_pairs =
+        run_pairs(TimingMode::kSharded, zn, pair_msgs, true);
+    const bool pairs_identical = flat_pairs.sig == zoned_pairs.sig;
+    const PairLeg flat_soak =
+        run_pairs(TimingMode::kSharded, 1, soak_msgs, false);
+    const PairLeg zoned_soak =
+        run_pairs(TimingMode::kSharded, 1, soak_msgs, true);
+    const bool soak_identical = flat_soak.sig == zoned_soak.sig;
+    std::fprintf(stderr,
+                 "zoned identity: pairs=%d soak=%d (flat vs ClusterZone)\n",
+                 pairs_identical, soak_identical);
+
+    const std::vector<std::size_t> sizes =
+        quick ? std::vector<std::size_t>{128, 512}
+              : std::vector<std::size_t>{1000, 4000, 10000};
+    std::string rows;
+    std::vector<ScaleRow> scale;
+    for (std::size_t n : sizes) {
+        scale.push_back(run_topology_scale(n));
+        const ScaleRow& r = scale.back();
+        rows += util::strfmt(
+            "  {\"procs\": %zu, \"zones\": %zu, \"machines\": %zu, "
+            "\"segments\": %zu, \"route_entries_max\": %zu, "
+            "\"route_entries_mean\": %.1f, \"flat_equiv_entries\": %zu, "
+            "\"per_process_route_bytes_max\": %zu, \"build_ms\": %.1f},\n",
+            r.procs, r.zones, r.machines, r.segments, r.entries_max,
+            r.entries_mean, r.procs,
+            r.entries_max * sizeof(std::pair<ProcessId, Port*>), r.build_ms);
+        std::fprintf(stderr,
+                     "topology n=%5zu zones=%3zu entries max=%zu mean=%.1f "
+                     "(flat bound %zu) build %.1f ms\n",
+                     r.procs, r.zones, r.entries_max, r.entries_mean, r.procs,
+                     r.build_ms);
+    }
+    if (!rows.empty()) rows.erase(rows.size() - 2);
+    // Sub-linear: grid grew by n_ratio, the per-process bound must grow
+    // far slower, and at the top size sit at least 10x under the flat one.
+    const double n_ratio = static_cast<double>(scale.back().procs) /
+                           static_cast<double>(scale.front().procs);
+    const double entries_ratio =
+        static_cast<double>(scale.back().entries_max) /
+        static_cast<double>(scale.front().entries_max);
+    const bool sub_linear =
+        entries_ratio * 2.0 <= n_ratio &&
+        scale.back().entries_max * 10 <= scale.back().procs;
+
+    const std::size_t live_n = quick ? 64 : 1000;
+    const LiveRow live = run_topology_live(live_n, quick ? 20 : 50);
+    std::fprintf(stderr,
+                 "live n=%zu relays=%zu entries max=%zu mean=%.1f "
+                 "routed=%llu retired=%llu wall %.1f ms\n",
+                 live.procs, live.relays, live.entries_max, live.entries_mean,
+                 static_cast<unsigned long long>(live.routed),
+                 static_cast<unsigned long long>(live.tables_retired),
+                 live.wall_ms);
+    const bool live_ok =
+        live.routed > 0 && (quick || live.entries_max * 10 <= live.procs);
+
+    const bool ok = pairs_identical && soak_identical && sub_linear && live_ok;
+    const std::string json = util::strfmt(
+        "{\n \"bench\": \"topology\",\n \"quick\": %s,\n \"cpus\": %u,\n"
+        " \"zoned_pairs_identical\": %s,\n \"zoned_soak_identical\": %s,\n"
+        " \"scaling\": [\n%s\n ],\n"
+        " \"growth\": {\"n_ratio\": %.1f, \"entries_ratio\": %.2f, "
+        "\"sub_linear\": %s},\n"
+        " \"live\": {\"procs\": %zu, \"zones\": %zu, \"relays\": %zu, "
+        "\"entries_max\": %zu, \"entries_mean\": %.1f, "
+        "\"messages\": %llu, \"routed_messages\": %llu, "
+        "\"route_tables_retired\": %llu, \"wall_ms\": %.1f},\n"
+        " \"ok\": %s\n}\n",
+        quick ? "true" : "false", std::thread::hardware_concurrency(),
+        pairs_identical ? "true" : "false", soak_identical ? "true" : "false",
+        rows.c_str(), n_ratio, entries_ratio, sub_linear ? "true" : "false",
+        live.procs, live.zones, live.relays, live.entries_max,
+        live.entries_mean, static_cast<unsigned long long>(live.messages),
+        static_cast<unsigned long long>(live.routed),
+        static_cast<unsigned long long>(live.tables_retired), live.wall_ms,
+        ok ? "true" : "false");
+
+    std::fputs(json.c_str(), stdout);
+    if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "WARN: cannot write %s\n", out_path.c_str());
+    }
+    if (!pairs_identical || !soak_identical) {
+        std::fprintf(stderr,
+                     "FAIL: zoned wiring changed serialized virtual times\n");
+        return 1;
+    }
+    if (!sub_linear) {
+        std::fprintf(stderr,
+                     "FAIL: route-table bound not sub-linear (entries ratio "
+                     "%.2f over n ratio %.1f)\n",
+                     entries_ratio, n_ratio);
+        return 1;
+    }
+    if (!live_ok) {
+        std::fprintf(stderr, "FAIL: live zoned leg (routed=%llu, max=%zu)\n",
+                     static_cast<unsigned long long>(live.routed),
+                     live.entries_max);
+        return 1;
+    }
+    return 0;
 }
 
 int run(bool quick, const std::string& out_path) {
@@ -288,10 +616,15 @@ int run(bool quick, const std::string& out_path) {
 int main(int argc, char** argv) {
     bool quick = false;
     std::string out = "BENCH_fabric.json";
+    std::string topo_out = "BENCH_topology.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) quick = true;
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             out = argv[++i];
+        else if (std::strcmp(argv[i], "--topology-out") == 0 && i + 1 < argc)
+            topo_out = argv[++i];
     }
-    return padico::bench::run(quick, out);
+    const int rc = padico::bench::run(quick, out);
+    const int topo_rc = padico::bench::run_topology(quick, topo_out);
+    return rc != 0 ? rc : topo_rc;
 }

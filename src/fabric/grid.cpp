@@ -194,7 +194,7 @@ PortRef Adapter::open(Process& p, const std::string& owner_tag) {
             osal::CheckedLock rk(segment_->route_mu_);
             segment_->routes_[p.id()] = it->second.get();
         }
-        segment_->grid_->bump_route_generation();
+        segment_->grid_->bump_route_generation(segment_->zone_id());
         segment_->publish_routes();
         segment_->route_cv_.notify_all();
         PLOG(debug, "fabric") << "open " << machine_->name() << "/"
@@ -223,7 +223,7 @@ void Adapter::release(Port* port) {
         osal::CheckedLock rk(segment_->route_mu_);
         segment_->routes_.erase(pid);
     }
-    segment_->grid_->bump_route_generation();
+    segment_->grid_->bump_route_generation(segment_->zone_id());
     segment_->publish_routes();
     port->rx_.close();
     ports_.erase(pid);
@@ -270,28 +270,41 @@ NetworkSegment::RouteSnapshot NetworkSegment::route_snapshot() {
 
 Port* NetworkSegment::lookup_port(ProcessId pid) {
     if (util::caches_enabled()) {
-        const RouteTable* t = route_table_.load(std::memory_order_acquire);
-        if (t != nullptr && t->generation == grid_->route_generation()) {
+        // Reader registration for table retirement: the slot increment is
+        // seq_cst and so is the publisher's table-pointer store, so a
+        // publisher that samples this slot at zero afterwards knows we
+        // will observe its (or a later) table, never a superseded one.
+        const std::size_t slot =
+            reader_parity_.load(std::memory_order_relaxed) & 1;
+        table_readers_[slot].fetch_add(1, std::memory_order_seq_cst);
+        const RouteTable* t = route_table_.load(std::memory_order_seq_cst);
+        Port* hit = nullptr;
+        if (t != nullptr &&
+            t->generation == grid_->zone_route_generation(zone_id_)) {
             auto it = std::lower_bound(
                 t->entries.begin(), t->entries.end(), pid,
                 [](const std::pair<ProcessId, Port*>& e, ProcessId p) {
                     return e.first < p;
                 });
-            if (it != t->entries.end() && it->first == pid) {
-                route_fast_hits_.fetch_add(1, std::memory_order_relaxed);
-                return it->second;
-            }
+            if (it != t->entries.end() && it->first == pid) hit = it->second;
             // pid absent from a CURRENT table: the peer has not opened its
             // port yet — fall through to the blocking slow path.
+        }
+        table_readers_[slot].fetch_sub(1, std::memory_order_release);
+        if (hit != nullptr) {
+            route_fast_hits_.fetch_add(1, std::memory_order_relaxed);
+            return hit;
         }
     }
     route_fast_misses_.fetch_add(1, std::memory_order_relaxed);
     Port* p = wait_port_for(pid);
     if (p != nullptr) {
-        // A generation bump elsewhere on the grid leaves our (unchanged)
+        // A generation bump elsewhere in this ZONE leaves our (unchanged)
         // table stale-stamped; refresh it so subsequent sends go fast.
+        // Churn in other zones no longer reaches this stamp at all.
         const RouteTable* t = route_table_.load(std::memory_order_acquire);
-        if (t == nullptr || t->generation != grid_->route_generation())
+        if (t == nullptr ||
+            t->generation != grid_->zone_route_generation(zone_id_))
             publish_routes();
     }
     return p;
@@ -299,14 +312,71 @@ Port* NetworkSegment::lookup_port(ProcessId pid) {
 
 void NetworkSegment::publish_routes() {
     auto t = std::make_unique<RouteTable>();
-    // Generation first: if a route changes while we copy, the table's
+    // Zone generation first: if a route changes while we copy, the table's
     // stamp is already stale and readers fall back — never the reverse.
-    t->generation = grid_->route_generation();
+    t->generation = grid_->zone_route_generation(zone_id_);
     osal::CheckedLock lk(route_mu_);
     t->entries.reserve(routes_.size());
     for (const auto& [pid, port] : routes_) t->entries.emplace_back(pid, port);
-    route_table_.store(t.get(), std::memory_order_release);
+    if (!route_tables_.empty()) {
+        // Stamp the table being superseded with its quiescent horizon: the
+        // max owner clock right now. A reader still holding it is a port
+        // owner whose clock is frozen at or below this for the whole
+        // lookup, so min_route_owner_clock passing the stamp rules out
+        // in-flight readers of this table (modulo sibling-thread clock
+        // advances — retire_tables_locked's reader counters cover those).
+        RouteTable& prev = *route_tables_.back();
+        prev.retire_horizon = 0;
+        for (const auto& [pid, port] : routes_)
+            prev.retire_horizon =
+                std::max(prev.retire_horizon, port->owner().clock().now());
+        prev.superseded = true;
+    }
+    route_table_.store(t.get(), std::memory_order_seq_cst);
     route_tables_.push_back(std::move(t));
+    reader_parity_.fetch_add(1, std::memory_order_relaxed);
+    retire_tables_locked();
+}
+
+void NetworkSegment::retire_tables_locked() {
+    if (route_tables_.size() < 2) return;
+    const bool no_owners = routes_.empty();
+    SimTime min_clock = std::numeric_limits<SimTime>::max();
+    for (const auto& [pid, port] : routes_)
+        min_clock = std::min(min_clock, port->owner().clock().now());
+    bool any = false;
+    for (std::size_t i = 0; i + 1 < route_tables_.size(); ++i) {
+        if (no_owners || route_tables_[i]->retire_horizon < min_clock) {
+            any = true;
+            break;
+        }
+    }
+    if (!any) return;
+    // Reader drain proof: superseded tables gain no new readers (the live
+    // pointer was replaced with seq_cst before we got here), so observing
+    // slot 0 at zero and then slot 1 at zero means nobody holds ANY
+    // superseded table. The parity flip at publish biases current traffic
+    // into one slot so the other drains under load.
+    if (table_readers_[0].load(std::memory_order_seq_cst) != 0) return;
+    if (table_readers_[1].load(std::memory_order_seq_cst) != 0) return;
+    std::size_t kept = 0;
+    std::uint64_t freed = 0;
+    for (std::size_t i = 0; i + 1 < route_tables_.size(); ++i) {
+        if (no_owners || route_tables_[i]->retire_horizon < min_clock) {
+            route_tables_[i].reset();
+            ++freed;
+        } else {
+            route_tables_[kept++] = std::move(route_tables_[i]);
+        }
+    }
+    route_tables_[kept++] = std::move(route_tables_.back());
+    route_tables_.resize(kept);
+    route_tables_retired_.fetch_add(freed, std::memory_order_relaxed);
+}
+
+std::size_t NetworkSegment::route_tables_retained() {
+    osal::CheckedLock lk(route_mu_);
+    return route_tables_.size();
 }
 
 SimTime NetworkSegment::min_route_owner_clock() {
@@ -404,8 +474,36 @@ Adapter& Grid::attach(Machine& m, NetworkSegment& s) {
                             "fabric.shard.tx");
     a.rx_shard_.mu.set_rank(lockrank::shard_rank(a.order_, true),
                             "fabric.shard.rx");
+    s.attached_.fetch_add(1, std::memory_order_relaxed);
     m.adapters_.push_back(&a);
     return a;
+}
+
+Machine* Grid::find_machine(const std::string& name) noexcept {
+    for (auto& m : machines_)
+        if (m->name() == name) return m.get();
+    return nullptr;
+}
+
+NetworkSegment* Grid::find_segment(const std::string& name) noexcept {
+    for (auto& s : segments_)
+        if (s->name() == name) return s.get();
+    return nullptr;
+}
+
+ZoneId Grid::register_zone() {
+    const ZoneId id = next_zone_.fetch_add(1, std::memory_order_relaxed);
+    PADICO_CHECK(id < kMaxZones,
+                 "too many routing zones (cap " + std::to_string(kMaxZones) +
+                     ")");
+    return id;
+}
+
+std::uint64_t Grid::machine_route_stamp(const Machine& m) const noexcept {
+    std::uint64_t stamp = 0;
+    for (const Adapter* a : m.adapters())
+        stamp += zone_route_generation(a->segment_->zone_id());
+    return stamp;
 }
 
 Machine& Grid::machine(const std::string& name) {

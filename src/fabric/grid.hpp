@@ -40,6 +40,11 @@ class Port;
 class Process;
 class Grid;
 
+/// Routing-zone identifier (see fabric/topology.hpp). Zone 0 is the
+/// implicit flat zone every segment starts in; Topology assigns real ids
+/// via Grid::register_zone and tags the segments it wires.
+using ZoneId = std::uint32_t;
+
 /// How timing bookkeeping is serialized on a segment.
 ///
 /// kSharded (the default) models a *switched* fabric: each transfer books
@@ -227,6 +232,21 @@ public:
     std::optional<NetTech> tech() const noexcept { return tech_; }
     void set_tech(NetTech t) noexcept { tech_ = t; }
 
+    /// Routing zone this segment's wiring belongs to (0 = flat/unzoned).
+    /// Set once by the Topology that generates the segment, before traffic.
+    ZoneId zone_id() const noexcept { return zone_id_; }
+    const std::string& zone_name() const noexcept { return zone_name_; }
+    void set_zone(ZoneId id, std::string name) {
+        zone_id_ = id;
+        zone_name_ = std::move(name);
+    }
+
+    /// Number of machines attached (NICs on this segment) — the upper
+    /// bound of this segment's route-table population.
+    std::size_t attached() const noexcept {
+        return attached_.load(std::memory_order_relaxed);
+    }
+
     /// Mark this segment as crossing untrusted infrastructure (paper §2
     /// "communication security"); WANs default to insecure already.
     void set_secure(bool secure) { params_.secure = secure; }
@@ -257,6 +277,15 @@ public:
         return route_fast_misses_.load(std::memory_order_relaxed);
     }
 
+    /// Superseded route tables freed at a quiescent point (see
+    /// publish_routes); grows with route churn, stays 0 on a quiet segment.
+    std::uint64_t route_tables_retired() const noexcept {
+        return route_tables_retired_.load(std::memory_order_relaxed);
+    }
+    /// Tables currently kept alive (the live one plus any superseded ones
+    /// whose quiescent point has not been reached yet).
+    std::size_t route_tables_retained();
+
     /// Point-in-time copy of the routes open on this segment, stamped with
     /// the grid route generation it was taken at: a consumer holding a
     /// snapshot knows it is current as long as Grid::route_generation()
@@ -279,16 +308,38 @@ private:
     friend class Grid;
 
     /// Immutable point-in-time route table, readable without route_mu_.
-    /// Stamped with the grid route generation observed BEFORE the copy, so
-    /// a concurrent change can only make the stamp stale, never the
-    /// reverse (same protocol as RouteSnapshot).
+    /// Stamped with the segment's ZONE route generation observed BEFORE
+    /// the copy, so a concurrent change can only make the stamp stale,
+    /// never the reverse (same protocol as RouteSnapshot). Scoping the
+    /// stamp to the zone means port churn in another zone does not
+    /// invalidate this segment's fast path (flat grids put every segment
+    /// in zone 0, which degenerates to the old global behavior).
     struct RouteTable {
         std::uint64_t generation = 0;
         std::vector<std::pair<ProcessId, Port*>> entries; ///< sorted by pid
+        /// Virtual-time quiescence gate, set when the table is superseded:
+        /// the max owner clock on the segment at supersession. No reader
+        /// can still hold this table once the min owner clock has passed
+        /// it (a sending process's clock is frozen at or below this value
+        /// for the duration of its lookup) — same min-owner-clock horizon
+        /// trick as BusyList pruning.
+        SimTime retire_horizon = 0;
+        bool superseded = false;
     };
 
-    /// Rebuild and atomically publish the lock-free route table.
+    /// Rebuild and atomically publish the lock-free route table, then
+    /// retire superseded tables whose quiescent point has passed.
     void publish_routes();
+
+    /// Free superseded tables (all but the live one) that are provably
+    /// unreferenced. Two conditions, both required: the virtual-time
+    /// horizon has passed (or the segment has no port owners at all), and
+    /// both reader slots sample zero. The horizon alone is not a
+    /// happens-before proof — a sibling thread of the same process may
+    /// advance its clock mid-lookup — so the reader counters close that
+    /// hole; the horizon keeps retirement aligned with the BusyList
+    /// pruning discipline and cheap to evaluate. Caller holds route_mu_.
+    void retire_tables_locked();
 
     /// Minimum virtual clock over the processes holding ports on this
     /// segment — the watermark behind which BusyList spans can be retired
@@ -300,16 +351,26 @@ private:
     std::string name_;
     LinkParams params_;
     std::optional<NetTech> tech_;
+    ZoneId zone_id_ = 0;
+    std::string zone_name_;
+    std::atomic<std::size_t> attached_{0};
     osal::CheckedMutex route_mu_{lockrank::kFabricRoute, "fabric.route"};
     osal::CheckedCondVar route_cv_;
     std::map<ProcessId, Port*> routes_;
     std::atomic<TimingMode> timing_mode_{TimingMode::kSharded};
     std::atomic<const RouteTable*> route_table_{nullptr};
-    /// All tables ever published, newest last (guarded by route_mu_).
-    /// Superseded tables stay alive so lock-free readers mid-lookup never
-    /// dangle; growth is bounded by route churn (opens/closes), not
-    /// traffic.
-    std::vector<std::unique_ptr<const RouteTable>> route_tables_;
+    /// Retained tables, newest (live) last (guarded by route_mu_).
+    /// Superseded tables stay alive until retire_tables_locked proves no
+    /// lock-free reader can still hold them, then are freed; the steady
+    /// state is one or two tables, not one per churn event.
+    std::vector<std::unique_ptr<RouteTable>> route_tables_;
+    /// In-flight lock-free readers, two slots selected by reader_parity_.
+    /// The parity flips at every publish so steady traffic migrates to the
+    /// other slot and the old one can drain; sampling BOTH slots at zero
+    /// (after a supersession) proves no superseded table is referenced.
+    mutable std::atomic<std::uint64_t> table_readers_[2] = {{0}, {0}};
+    std::atomic<std::uint64_t> reader_parity_{0};
+    std::atomic<std::uint64_t> route_tables_retired_{0};
     std::atomic<std::uint64_t> route_fast_hits_{0};
     std::atomic<std::uint64_t> route_fast_misses_{0};
     osal::CheckedMutex time_mu_{
@@ -410,8 +471,16 @@ public:
 
     Machine& machine(const std::string& name);
     NetworkSegment& segment(const std::string& name);
+    /// Like machine()/segment() but return nullptr instead of throwing
+    /// (topology builders use these to reject duplicate names up front).
+    Machine* find_machine(const std::string& name) noexcept;
+    NetworkSegment* find_segment(const std::string& name) noexcept;
     const std::vector<std::unique_ptr<Machine>>& machines() const noexcept {
         return machines_;
+    }
+    const std::vector<std::unique_ptr<NetworkSegment>>& segments()
+        const noexcept {
+        return segments_;
     }
 
     // --- processes -------------------------------------------------------
@@ -451,13 +520,41 @@ public:
         return route_gen_.load(std::memory_order_acquire);
     }
 
+    // --- routing zones ----------------------------------------------------
+    /// Hard cap on zone count: the per-zone generation slots are a fixed
+    /// array so data-plane reads stay lock-free while a Topology grows.
+    static constexpr std::size_t kMaxZones = 4096;
+
+    /// Allocate a fresh zone id (> 0). Called by fabric::Topology for each
+    /// zone it creates; throws UsageError past kMaxZones.
+    ZoneId register_zone();
+
+    /// Per-zone route generation: bumped only when a port opens or closes
+    /// on a segment of that zone. Flat grids keep every segment in zone 0,
+    /// where this counts exactly what route_generation() counts.
+    std::uint64_t zone_route_generation(ZoneId z) const noexcept {
+        return zone_gens_[z % kMaxZones].load(std::memory_order_acquire);
+    }
+
+    /// Zone-scoped invalidation stamp for routes toward \p m: the sum of
+    /// the zone generations of the segments \p m is attached to. Any port
+    /// of a process on \p m lives on one of those segments, so the stamp
+    /// moves whenever such a port opens or closes — but NOT when churn
+    /// happens in unrelated zones. Monotonic (each term is), so equality
+    /// means "nothing relevant changed".
+    std::uint64_t machine_route_stamp(const Machine& m) const noexcept;
+
 private:
     friend class Adapter;
-    void bump_route_generation() noexcept {
+    friend class NetworkSegment;
+    void bump_route_generation(ZoneId zone) noexcept {
         route_gen_.fetch_add(1, std::memory_order_acq_rel);
+        zone_gens_[zone % kMaxZones].fetch_add(1, std::memory_order_acq_rel);
     }
 
     std::atomic<std::uint64_t> route_gen_{0};
+    std::atomic<std::uint64_t> zone_gens_[kMaxZones] = {};
+    std::atomic<ZoneId> next_zone_{1};
     std::vector<std::unique_ptr<Machine>> machines_;
     std::vector<std::unique_ptr<NetworkSegment>> segments_;
     std::vector<std::unique_ptr<Adapter>> adapters_;

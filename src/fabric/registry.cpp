@@ -1,5 +1,9 @@
 #include "fabric/registry.hpp"
 
+#include <algorithm>
+#include <map>
+#include <optional>
+
 #include "util/strings.hpp"
 #include "util/xml.hpp"
 
@@ -48,13 +52,36 @@ NetTech parse_tech(const std::string& name) {
     throw UsageError("unknown network technology '" + name + "'");
 }
 
+namespace {
+
+/// Required attribute with element context in the error message.
+const std::string& xml_attr(const util::XmlNode& el, const std::string& key) {
+    if (!el.has_attr(key))
+        throw ProtocolError("<" + el.name() + "> is missing required attribute '" +
+                            key + "'");
+    return el.attr(key);
+}
+
+} // namespace
+
 void build_grid_from_xml(Grid& grid, const std::string& xml_text) {
     const auto root = util::xml_parse(xml_text);
-    PADICO_WIRE_CHECK(root->name() == "grid", "topology root must be <grid>");
+    if (root->name() != "grid")
+        throw ProtocolError("topology root element must be <grid>, got <" +
+                            root->name() + ">");
 
     for (const auto& seg : root->children_named("segment")) {
-        NetworkSegment& s =
-            grid.add_segment(seg->attr("name"), parse_tech(seg->attr("tech")));
+        const std::string& name = xml_attr(*seg, "name");
+        if (grid.find_segment(name) != nullptr)
+            throw ResourceConflict("<segment name=\"" + name +
+                                   "\"> duplicates an earlier segment");
+        NetTech tech;
+        try {
+            tech = parse_tech(xml_attr(*seg, "tech"));
+        } catch (const UsageError& e) {
+            throw ProtocolError("<segment name=\"" + name + "\">: " + e.what());
+        }
+        NetworkSegment& s = grid.add_segment(name, tech);
         if (seg->has_attr("secure"))
             s.set_secure(seg->attr("secure") == "true");
         // shared="true": a genuinely shared medium (hub/bus) — timing is
@@ -63,15 +90,245 @@ void build_grid_from_xml(Grid& grid, const std::string& xml_text) {
             s.set_timing_mode(TimingMode::kSegmentGlobal);
     }
     for (const auto& mx : root->children_named("machine")) {
-        const int cpus =
-            static_cast<int>(util::parse_uint(mx->attr_or("cpus", "2")));
-        Machine& m = grid.add_machine(mx->attr("name"), cpus);
+        const std::string& name = xml_attr(*mx, "name");
+        if (grid.find_machine(name) != nullptr)
+            throw ResourceConflict("<machine name=\"" + name +
+                                   "\"> duplicates an earlier machine");
+        int cpus = 2;
+        if (mx->has_attr("cpus")) {
+            try {
+                cpus = static_cast<int>(util::parse_uint(mx->attr("cpus")));
+            } catch (const Error& e) {
+                throw ProtocolError("<machine name=\"" + name +
+                                    "\">: bad 'cpus' attribute: " + e.what());
+            }
+        }
+        Machine& m = grid.add_machine(name, cpus);
         for (const auto& [key, value] : mx->attrs()) {
             if (key != "name" && key != "cpus") m.set_attr(key, value);
         }
-        for (const auto& at : mx->children_named("attach"))
-            grid.attach(m, grid.segment(at->attr("segment")));
+        for (const auto& at : mx->children_named("attach")) {
+            const std::string& sname = xml_attr(*at, "segment");
+            NetworkSegment* s = grid.find_segment(sname);
+            if (s == nullptr)
+                throw LookupError("<attach segment=\"" + sname +
+                                  "\"> of machine \"" + name +
+                                  "\": no such segment");
+            grid.attach(m, *s);
+        }
     }
+}
+
+// --- topology-generator DSL ------------------------------------------------
+
+namespace {
+
+[[noreturn]] void dsl_error(int line, const std::string& what) {
+    throw UsageError("topology dsl line " + std::to_string(line) + ": " + what);
+}
+
+/// key=value arguments of one directive; get() marks keys as consumed so
+/// leftovers can be rejected by name.
+class DslArgs {
+public:
+    DslArgs(int line, std::string verb) : line_(line), verb_(std::move(verb)) {}
+
+    void add(const std::string& token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0)
+            dsl_error(line_, "expected key=value, got '" + token + "' in '" +
+                                 verb_ + "' directive");
+        const std::string key = token.substr(0, eq);
+        if (kv_.count(key) != 0)
+            dsl_error(line_, "duplicate key '" + key + "' in '" + verb_ +
+                                 "' directive");
+        kv_[key] = token.substr(eq + 1);
+    }
+
+    std::optional<std::string> get(const std::string& key) {
+        auto it = kv_.find(key);
+        if (it == kv_.end()) return std::nullopt;
+        consumed_.push_back(key);
+        return it->second;
+    }
+    std::string require(const std::string& key) {
+        auto v = get(key);
+        if (!v)
+            dsl_error(line_, "'" + verb_ + "' directive needs a " + key +
+                                 "= argument");
+        return *v;
+    }
+    std::string get_or(const std::string& key, const std::string& dflt) {
+        auto v = get(key);
+        return v ? *v : dflt;
+    }
+
+    std::size_t number(const std::string& key, const std::string& value) {
+        try {
+            return util::parse_uint(value);
+        } catch (const Error&) {
+            dsl_error(line_, "bad number '" + value + "' for " + key +
+                                 "= in '" + verb_ + "' directive");
+        }
+    }
+    std::size_t require_number(const std::string& key) {
+        return number(key, require(key));
+    }
+    std::vector<std::size_t> number_list(const std::string& key,
+                                         const std::string& value) {
+        std::vector<std::size_t> out;
+        for (const auto& part : util::split(value, ','))
+            out.push_back(number(key, part));
+        return out;
+    }
+    NetTech tech(const std::string& dflt) {
+        const std::string name = get_or("tech", dflt);
+        try {
+            return parse_tech(name);
+        } catch (const UsageError& e) {
+            dsl_error(line_, std::string(e.what()) + " in '" + verb_ +
+                                 "' directive");
+        }
+    }
+    int cpus() {
+        auto v = get("cpus");
+        return v ? static_cast<int>(number("cpus", *v)) : 2;
+    }
+
+    /// Reject keys no branch consumed (catches typos like sizes=).
+    void finish() const {
+        for (const auto& [key, value] : kv_) {
+            (void)value;
+            if (std::find(consumed_.begin(), consumed_.end(), key) ==
+                consumed_.end())
+                dsl_error(line_, "unknown key '" + key + "' in '" + verb_ +
+                                     "' directive");
+        }
+    }
+
+private:
+    int line_;
+    std::string verb_;
+    std::map<std::string, std::string> kv_;
+    std::vector<std::string> consumed_;
+};
+
+} // namespace
+
+std::unique_ptr<Topology> build_topology_from_dsl(Grid& grid,
+                                                  const std::string& text) {
+    auto topo = std::make_unique<Topology>(grid);
+    std::map<std::string, Zone*> byname;
+    int lineno = 0;
+    for (const auto& raw : util::split(text, '\n')) {
+        ++lineno;
+        std::string line(util::trim(raw.substr(0, raw.find('#'))));
+        if (line.empty()) continue;
+        std::vector<std::string> tokens;
+        for (const auto& t : util::split(line, ' '))
+            if (!util::trim(t).empty()) tokens.emplace_back(util::trim(t));
+        DslArgs args(lineno, tokens.front());
+        for (std::size_t i = 1; i < tokens.size(); ++i) args.add(tokens[i]);
+
+        const std::string& verb = tokens.front();
+        if (verb == "cluster") {
+            const std::string name = args.require("name");
+            const std::string kind = args.get_or("kind", "full");
+            Zone* z = nullptr;
+            try {
+                if (kind == "full" || kind == "star") {
+                    ClusterSpec spec;
+                    spec.size = args.require_number("size");
+                    spec.wiring = kind == "star" ? ClusterWiring::kStar
+                                                 : ClusterWiring::kFull;
+                    spec.tech = args.tech("fast-ethernet");
+                    spec.cpus = args.cpus();
+                    z = &topo->add_cluster(name, spec);
+                } else if (kind == "fattree") {
+                    FatTreeSpec spec;
+                    spec.down = args.number_list("down", args.require("down"));
+                    if (auto up = args.get("up"))
+                        spec.up = args.number_list("up", *up);
+                    spec.tech = args.tech("gigabit-ethernet");
+                    spec.cpus = args.cpus();
+                    z = &topo->add_fattree(name, std::move(spec));
+                } else if (kind == "dragonfly") {
+                    DragonflySpec spec;
+                    spec.groups = args.require_number("groups");
+                    spec.routers = args.require_number("routers");
+                    spec.hosts = args.require_number("hosts");
+                    spec.tech = args.tech("gigabit-ethernet");
+                    spec.cpus = args.cpus();
+                    z = &topo->add_dragonfly(name, spec);
+                } else {
+                    dsl_error(lineno, "unknown cluster kind '" + kind +
+                                          "' (full|star|fattree|dragonfly)");
+                }
+            } catch (const UsageError& e) {
+                if (std::string(e.what()).starts_with("topology dsl")) throw;
+                dsl_error(lineno, e.what());
+            } catch (const ResourceConflict& e) {
+                dsl_error(lineno, e.what());
+            }
+            byname[name] = z;
+        } else if (verb == "wan") {
+            const std::string name = args.require("name");
+            WanZone* w;
+            auto it = byname.find(name);
+            if (it == byname.end()) {
+                try {
+                    w = &topo->add_wan(name, args.tech("wan"));
+                } catch (const ResourceConflict& e) {
+                    dsl_error(lineno, e.what());
+                }
+                byname[name] = w;
+            } else {
+                w = dynamic_cast<WanZone*>(it->second);
+                if (w == nullptr)
+                    dsl_error(lineno, "zone '" + name + "' is not a wan");
+            }
+            if (auto links = args.get("link")) {
+                for (const auto& childname : util::split(*links, ',')) {
+                    auto cit = byname.find(std::string(util::trim(childname)));
+                    if (cit == byname.end())
+                        dsl_error(lineno,
+                                  "link= refers to unknown zone '" +
+                                      std::string(util::trim(childname)) + "'");
+                    try {
+                        w->link(*cit->second);
+                    } catch (const UsageError& e) {
+                        dsl_error(lineno, e.what());
+                    }
+                }
+            }
+        } else {
+            dsl_error(lineno, "unknown directive '" + verb +
+                                  "' (cluster|wan)");
+        }
+        args.finish();
+    }
+    if (byname.empty())
+        throw UsageError("topology dsl: no zones defined");
+    std::vector<std::string> roots;
+    for (const auto& [name, z] : byname)
+        if (z->parent() == nullptr) roots.push_back(name);
+    if (roots.size() != 1) {
+        std::string list;
+        for (const auto& r : roots) list += (list.empty() ? "" : ", ") + r;
+        throw UsageError(
+            "topology dsl: expected exactly one root zone after linking, "
+            "found " +
+            std::to_string(roots.size()) + " (" + list + ")");
+    }
+    return topo;
+}
+
+std::unique_ptr<Topology> build_topology_from_xml(Grid& grid,
+                                                  const std::string& xml_text) {
+    build_grid_from_xml(grid, xml_text);
+    auto topo = std::make_unique<Topology>(grid);
+    topo->wrap_flat("flat");
+    return topo;
 }
 
 } // namespace padico::fabric

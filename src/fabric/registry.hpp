@@ -6,11 +6,13 @@
 /// known statically — query them) and "localization constraints" (company X
 /// code must stay on company X machines).
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "fabric/grid.hpp"
+#include "fabric/topology.hpp"
 
 namespace padico::fabric {
 
@@ -40,9 +42,35 @@ std::vector<Machine*> discover(Grid& grid, const MachineQuery& query);
 ///
 /// Unknown machine attributes become discovery attributes. Technologies:
 /// myrinet2000, sci, fast-ethernet, gigabit-ethernet, wan.
+///
+/// Errors carry element/attribute context (which <segment>/<machine>, which
+/// attribute); duplicate machine or segment names are rejected explicitly.
 void build_grid_from_xml(Grid& grid, const std::string& xml_text);
 
 /// Parse a technology name as used in topology XML.
 NetTech parse_tech(const std::string& name);
+
+/// Build a zoned topology from the generator DSL — one directive per line,
+/// `#` comments, `key=value` arguments:
+///
+///   cluster name=siteA kind=full size=32 tech=fast-ethernet cpus=2
+///   cluster name=siteB kind=star size=16
+///   cluster name=treeC kind=fattree down=4,4,2 up=1,2,1
+///   cluster name=flyD kind=dragonfly groups=4 routers=4 hosts=8
+///   wan name=core tech=wan
+///   wan name=core link=siteA,siteB,treeC,flyD
+///
+/// Kinds: full | star | fattree | dragonfly. `wan link=` stitches the named
+/// child zones onto the WAN's backbone (repeatable; creates the WAN on first
+/// mention). Exactly one root zone must remain once all links are applied.
+/// Errors report the offending line, directive and key.
+std::unique_ptr<Topology> build_topology_from_dsl(Grid& grid,
+                                                  const std::string& text);
+
+/// Compatibility mode for hand-written flat XML: builds the grid with
+/// build_grid_from_xml and wraps it in a single FlatZone root named "flat"
+/// (all segments stay in zone 0 — identical routing to the pre-zone code).
+std::unique_ptr<Topology> build_topology_from_xml(Grid& grid,
+                                                  const std::string& xml_text);
 
 } // namespace padico::fabric

@@ -1,0 +1,785 @@
+/// \file topology.cpp
+/// Zone tree construction, deterministic wiring generators and the
+/// shared-prefix route resolution of fabric::Topology (see topology.hpp).
+
+#include "fabric/topology.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace padico::fabric {
+
+const char* zone_kind_name(ZoneKind k) {
+    switch (k) {
+    case ZoneKind::Cluster:
+        return "cluster";
+    case ZoneKind::FatTree:
+        return "fattree";
+    case ZoneKind::Dragonfly:
+        return "dragonfly";
+    case ZoneKind::Wan:
+        return "wan";
+    case ZoneKind::Flat:
+        return "flat";
+    }
+    return "?";
+}
+
+// --- Zone ------------------------------------------------------------------
+
+Zone::Zone(Topology& topo, Zone* parent, std::string name, ZoneKind kind)
+    : topo_(&topo), parent_(parent), name_(std::move(name)), kind_(kind) {
+    depth_ = parent_ ? parent_->depth_ + 1 : 0;
+    if (depth_ >= lockrank::kFabricZoneMaxDepth)
+        throw UsageError("zone tree deeper than " +
+                               std::to_string(lockrank::kFabricZoneMaxDepth) +
+                               " at zone " + name_);
+    id_ = kind_ == ZoneKind::Flat ? 0 : grid().register_zone();
+    mu_.set_rank(lockrank::zone_rank(depth_), name_.c_str());
+}
+
+Grid& Zone::grid() { return topo_->grid(); }
+
+std::string Zone::full_name() const {
+    return parent_ ? parent_->full_name() + "/" + name_ : name_;
+}
+
+NetworkSegment& Zone::make_segment(const std::string& suffix, NetTech tech) {
+    const std::string name = full_name() + "." + suffix;
+    if (grid().find_segment(name) != nullptr)
+        throw ResourceConflict("segment already exists: " + name);
+    NetworkSegment& s = grid().add_segment(name, tech);
+    s.set_zone(id_, full_name());
+    segments_.push_back(&s);
+    return s;
+}
+
+Machine& Zone::make_machine(const std::string& suffix, int cpus) {
+    const std::string name = full_name() + "." + suffix;
+    if (grid().find_machine(name) != nullptr)
+        throw ResourceConflict("machine already exists: " + name);
+    Machine& m = grid().add_machine(name, cpus);
+    owned_.push_back(&m);
+    return m;
+}
+
+void Zone::add_member(Machine& m) {
+    members_.push_back(&m);
+    topo_->index_member(m, *this);
+}
+
+bool Zone::contains(const Machine& m) {
+    // owned_/children_ are immutable once the tree is built, so the scan
+    // needs no lock (resolve calls this while holding ancestor zone locks).
+    for (const Machine* x : owned_)
+        if (x == &m) return true;
+    for (Zone* c : children_)
+        if (c->contains(m)) return true;
+    return false;
+}
+
+std::size_t Zone::try_member_index(const Machine& m) {
+    osal::CheckedLock lk(mu_);
+    if (index_.size() != members_.size()) {
+        index_.clear();
+        for (std::size_t i = 0; i < members_.size(); ++i)
+            index_[members_[i]] = i;
+    }
+    auto it = index_.find(&m);
+    return it == index_.end() ? npos : it->second;
+}
+
+std::size_t Zone::member_index(const Machine& m) {
+    const std::size_t i = try_member_index(m);
+    if (i == npos)
+        throw LookupError("machine " + m.name() +
+                                " is not a member of zone " + full_name());
+    return i;
+}
+
+void Zone::adopt(Zone& z) {
+    if (z.parent_ != nullptr)
+        throw UsageError("zone " + z.full_name() +
+                               " already has a parent");
+    if (&z == this)
+        throw UsageError("zone cannot adopt itself: " + full_name());
+    z.parent_ = this;
+    children_.push_back(&z);
+    // Re-depth the adopted subtree: depth decides the lock rank and the
+    // zone_name stamped on segments, both of which were provisional while
+    // the subtree was a free-standing root.
+    struct Fix {
+        static void apply(Zone& n) {
+            n.depth_ = n.parent_->depth_ + 1;
+            if (n.depth_ >= lockrank::kFabricZoneMaxDepth)
+                throw UsageError("zone tree deeper than " +
+                                       std::to_string(
+                                           lockrank::kFabricZoneMaxDepth) +
+                                       " at zone " + n.name_);
+            n.mu_.set_rank(lockrank::zone_rank(n.depth_), n.name_.c_str());
+            for (NetworkSegment* s : n.segments_)
+                s->set_zone(n.id_, n.full_name());
+            for (Zone* c : n.children_) apply(*c);
+        }
+    };
+    Fix::apply(z);
+    Zone* top = this;
+    while (top->parent_ != nullptr) top = top->parent_;
+    topo_->register_root(*top);
+}
+
+// --- ClusterZone -----------------------------------------------------------
+
+ClusterZone::ClusterZone(Topology& topo, Zone* parent, std::string name,
+                         const ClusterSpec& spec)
+    : Zone(topo, parent, std::move(name), ZoneKind::Cluster),
+      wiring_(spec.wiring) {
+    if (spec.size == 0)
+        throw UsageError("cluster " + full_name() + " has size 0");
+    if (wiring_ == ClusterWiring::kFull) {
+        shared_ = &make_segment("lan", spec.tech);
+    } else {
+        hub_ = &make_machine("hub", spec.cpus);
+    }
+    for (std::size_t i = 0; i < spec.size; ++i) {
+        Machine& m = make_machine("n" + std::to_string(i), spec.cpus);
+        if (wiring_ == ClusterWiring::kFull) {
+            grid().attach(m, *shared_);
+        } else {
+            NetworkSegment& spoke =
+                make_segment("spoke" + std::to_string(i), spec.tech);
+            grid().attach(*hub_, spoke);
+            grid().attach(m, spoke);
+            spokes_.push_back(&spoke);
+        }
+        add_member(m);
+    }
+}
+
+Machine& ClusterZone::gateway() {
+    return wiring_ == ClusterWiring::kStar ? *hub_ : *members_.front();
+}
+
+Path ClusterZone::path(Machine& a, Machine& b) {
+    if (wiring_ == ClusterWiring::kFull) return {{shared_, &b}};
+    if (&a == hub_) return {{spokes_[member_index(b)], &b}};
+    if (&b == hub_) return {{spokes_[member_index(a)], hub_}};
+    return {{spokes_[member_index(a)], hub_}, {spokes_[member_index(b)], &b}};
+}
+
+// --- FatTreeZone -----------------------------------------------------------
+
+FatTreeZone::FatTreeZone(Topology& topo, Zone* parent, std::string name,
+                         FatTreeSpec spec)
+    : Zone(topo, parent, std::move(name), ZoneKind::FatTree),
+      spec_(std::move(spec)) {
+    if (spec_.down.empty())
+        throw UsageError("fat tree " + full_name() + " has no levels");
+    if (spec_.up.empty()) spec_.up.assign(spec_.down.size(), 1);
+    if (spec_.up.size() != spec_.down.size())
+        throw UsageError("fat tree " + full_name() +
+                               ": up/down level counts differ");
+    std::size_t hosts = 1;
+    for (std::size_t d : spec_.down) {
+        if (d == 0)
+            throw UsageError("fat tree " + full_name() +
+                                   ": zero-arity level");
+        hosts *= d;
+    }
+    for (std::size_t u : spec_.up)
+        if (u == 0)
+            throw UsageError("fat tree " + full_name() +
+                                   ": zero parallel uplinks");
+
+    for (std::size_t h = 0; h < hosts; ++h) {
+        Machine& m = make_machine("h" + std::to_string(h), spec_.cpus);
+        add_member(m);
+    }
+    // Level l (1-based) has hosts / prod(down[0..l)) switches; the product
+    // telescopes to exactly 1 switch at the top level.
+    std::size_t n = hosts;
+    for (std::size_t l = 1; l <= spec_.down.size(); ++l) {
+        n /= spec_.down[l - 1];
+        std::vector<Machine*> row;
+        std::vector<NetworkSegment*> segrow;
+        for (std::size_t j = 0; j < n; ++j) {
+            Machine& sw = make_machine(
+                "sw" + std::to_string(l) + "_" + std::to_string(j),
+                spec_.cpus);
+            row.push_back(&sw);
+            for (std::size_t k = 0; k < spec_.up[l - 1]; ++k) {
+                NetworkSegment& seg = make_segment(
+                    "up" + std::to_string(l) + "_" + std::to_string(j) + "_" +
+                        std::to_string(k),
+                    spec_.tech);
+                grid().attach(sw, seg);
+                // Every child of this switch attaches to every parallel
+                // uplink; a hop picks k = child_index % up deterministically.
+                for (std::size_t c = j * spec_.down[l - 1];
+                     c < (j + 1) * spec_.down[l - 1]; ++c)
+                    grid().attach(node_at(l - 1, c), seg);
+                segrow.push_back(&seg);
+            }
+        }
+        switches_.push_back(std::move(row));
+        segs_.push_back(std::move(segrow));
+    }
+}
+
+Machine& FatTreeZone::gateway() { return switch_at(levels(), 0); }
+
+Machine& FatTreeZone::switch_at(std::size_t level, std::size_t j) {
+    return *switches_.at(level - 1).at(j);
+}
+
+Machine& FatTreeZone::node_at(std::size_t level, std::size_t idx) {
+    return level == 0 ? *members_.at(idx) : *switches_.at(level - 1).at(idx);
+}
+
+std::size_t FatTreeZone::ancestor(std::size_t h, std::size_t level) const {
+    for (std::size_t i = 0; i < level; ++i) h /= spec_.down[i];
+    return h;
+}
+
+NetworkSegment& FatTreeZone::upseg(std::size_t level, std::size_t j,
+                                   std::size_t k) {
+    return *segs_.at(level - 1).at(j * spec_.up[level - 1] + k);
+}
+
+std::pair<std::size_t, std::size_t> FatTreeZone::locate(const Machine& m) {
+    const std::size_t i = try_member_index(m);
+    if (i != npos) return {0, i};
+    for (std::size_t l = 0; l < switches_.size(); ++l)
+        for (std::size_t j = 0; j < switches_[l].size(); ++j)
+            if (switches_[l][j] == &m) return {l + 1, j};
+    throw LookupError("machine " + m.name() + " is not in fat tree " +
+                            full_name());
+}
+
+Path FatTreeZone::path(Machine& a, Machine& b) {
+    const auto [la, ja] = locate(a);
+    const auto [lb, jb] = locate(b);
+    // Ancestor index of node (l, j) at level t >= l.
+    const auto anc = [this](std::size_t l, std::size_t j, std::size_t t) {
+        for (std::size_t i = l; i < t; ++i) j /= spec_.down[i];
+        return j;
+    };
+    // Meet level: the lowest level where both ancestor chains coincide
+    // (exists because the top level has exactly one switch).
+    std::size_t m = std::max(la, lb);
+    while (anc(la, ja, m) != anc(lb, jb, m)) ++m;
+
+    Path p;
+    const auto climb = [&](std::size_t t) { // from level t-1 toward a's chain
+        const std::size_t child = anc(la, ja, t - 1);
+        const std::size_t par = anc(la, ja, t);
+        p.push_back({&upseg(t, par, child % spec_.up[t - 1]), &node_at(t, par)});
+    };
+    const auto descend = [&](std::size_t t) { // from level t toward b's chain
+        const std::size_t child = anc(lb, jb, t - 1);
+        const std::size_t par = anc(lb, jb, t);
+        p.push_back(
+            {&upseg(t, par, child % spec_.up[t - 1]), &node_at(t - 1, child)});
+    };
+    if (la == m) { // a is the common ancestor: pure descent
+        for (std::size_t t = m; t > lb; --t) descend(t);
+    } else if (lb == m) { // b is the common ancestor: pure climb
+        for (std::size_t t = la + 1; t <= m; ++t) climb(t);
+    } else {
+        for (std::size_t t = la + 1; t + 1 <= m; ++t) climb(t);
+        // Cross at the meet: both level m-1 nodes attach to all parallel
+        // uplinks of their shared parent, so one hop crosses the group
+        // segment without visiting the level-m switch.
+        const std::size_t par = anc(la, ja, m);
+        const std::size_t cb = anc(lb, jb, m - 1);
+        p.push_back(
+            {&upseg(m, par, cb % spec_.up[m - 1]), &node_at(m - 1, cb)});
+        for (std::size_t t = m - 1; t > lb; --t) descend(t);
+    }
+    return p;
+}
+
+// --- DragonflyZone ---------------------------------------------------------
+
+DragonflyZone::DragonflyZone(Topology& topo, Zone* parent, std::string name,
+                             DragonflySpec spec)
+    : Zone(topo, parent, std::move(name), ZoneKind::Dragonfly), spec_(spec) {
+    if (spec_.groups == 0 || spec_.routers == 0 || spec_.hosts == 0)
+        throw UsageError("dragonfly " + full_name() +
+                               ": groups/routers/hosts must all be > 0");
+    for (std::size_t g = 0; g < spec_.groups; ++g) {
+        NetworkSegment& local =
+            make_segment("local" + std::to_string(g), spec_.tech);
+        local_segs_.push_back(&local);
+        for (std::size_t r = 0; r < spec_.routers; ++r) {
+            Machine& rt = make_machine(
+                "g" + std::to_string(g) + "_rt" + std::to_string(r),
+                spec_.cpus);
+            routers_.push_back(&rt);
+            grid().attach(rt, local);
+            NetworkSegment& hs = make_segment(
+                "hseg" + std::to_string(g) + "_" + std::to_string(r),
+                spec_.tech);
+            host_segs_.push_back(&hs);
+            grid().attach(rt, hs);
+            for (std::size_t h = 0; h < spec_.hosts; ++h) {
+                Machine& m = make_machine("g" + std::to_string(g) + "_r" +
+                                              std::to_string(r) + "_h" +
+                                              std::to_string(h),
+                                          spec_.cpus);
+                grid().attach(m, hs);
+                add_member(m);
+            }
+        }
+    }
+    // All-to-all global links; (g1,g2) lands on router g2 % R in g1 and
+    // router g1 % R in g2 — a pure function of the spec.
+    for (std::size_t g1 = 0; g1 < spec_.groups; ++g1)
+        for (std::size_t g2 = g1 + 1; g2 < spec_.groups; ++g2) {
+            NetworkSegment& gl = make_segment(
+                "glob" + std::to_string(g1) + "_" + std::to_string(g2),
+                spec_.tech);
+            grid().attach(router(g1, g2 % spec_.routers), gl);
+            grid().attach(router(g2, g1 % spec_.routers), gl);
+            globals_[{g1, g2}] = &gl;
+        }
+}
+
+Machine& DragonflyZone::gateway() { return router(0, 0); }
+
+Machine& DragonflyZone::router(std::size_t group, std::size_t r) {
+    return *routers_.at(group * spec_.routers + r);
+}
+
+NetworkSegment& DragonflyZone::host_seg(std::size_t group, std::size_t r) {
+    return *host_segs_.at(group * spec_.routers + r);
+}
+
+NetworkSegment& DragonflyZone::local_seg(std::size_t group) {
+    return *local_segs_.at(group);
+}
+
+NetworkSegment& DragonflyZone::global_seg(std::size_t g1, std::size_t g2) {
+    return *globals_.at({std::min(g1, g2), std::max(g1, g2)});
+}
+
+DragonflyZone::Loc DragonflyZone::locate(const Machine& m) {
+    const std::size_t i = try_member_index(m);
+    if (i != npos) {
+        Loc loc;
+        loc.host = true;
+        loc.g = i / (spec_.routers * spec_.hosts);
+        loc.r = i / spec_.hosts % spec_.routers;
+        loc.h = i % spec_.hosts;
+        return loc;
+    }
+    for (std::size_t j = 0; j < routers_.size(); ++j)
+        if (routers_[j] == &m)
+            return {j / spec_.routers, j % spec_.routers, 0, false};
+    throw LookupError("machine " + m.name() + " is not in dragonfly " +
+                            full_name());
+}
+
+Path DragonflyZone::path(Machine& a, Machine& b) {
+    const Loc A = locate(a);
+    const Loc B = locate(b);
+    Path p;
+    if (A.host) {
+        // Sibling hosts (and a host's own router) share the host segment.
+        if (A.g == B.g && A.r == B.r) return {{&host_seg(A.g, A.r), &b}};
+        p.push_back({&host_seg(A.g, A.r), &router(A.g, A.r)});
+    }
+    if (A.g == B.g) {
+        if (A.r != B.r)
+            p.push_back({&local_seg(A.g), &router(A.g, B.r)});
+    } else {
+        const std::size_t exit_r = B.g % spec_.routers;
+        const std::size_t entry_r = A.g % spec_.routers;
+        if (A.r != exit_r)
+            p.push_back({&local_seg(A.g), &router(A.g, exit_r)});
+        p.push_back({&global_seg(A.g, B.g), &router(B.g, entry_r)});
+        if (entry_r != B.r)
+            p.push_back({&local_seg(B.g), &router(B.g, B.r)});
+    }
+    if (B.host) p.push_back({&host_seg(B.g, B.r), &b});
+    return p;
+}
+
+// --- WanZone ---------------------------------------------------------------
+
+WanZone::WanZone(Topology& topo, Zone* parent, std::string name, NetTech tech)
+    : Zone(topo, parent, std::move(name), ZoneKind::Wan) {
+    backbone_ = &make_segment("backbone", tech);
+}
+
+Machine& WanZone::gateway() {
+    if (children_.empty())
+        throw UsageError("WAN zone " + full_name() +
+                               " has no linked children");
+    return children_.front()->gateway();
+}
+
+void WanZone::link(Zone& child) {
+    // No zone lock here: link runs in the single-threaded build phase, and
+    // adopt() takes the topology lock (a LOWER rank) to move the root.
+    adopt(child);
+    grid().attach(child.gateway(), *backbone_);
+}
+
+Zone* WanZone::child_of(Machine& m) {
+    for (Zone* c : children_)
+        if (c->contains(m)) return c;
+    return nullptr;
+}
+
+Path WanZone::path(Machine& a, Machine& b) {
+    // Held while children are consulted: parent-before-child, ranked by
+    // depth, so padico::check verifies the ancestor-walk discipline.
+    osal::CheckedLock lk(mu_);
+    Zone* ca = child_of(a);
+    Zone* cb = child_of(b);
+    if (ca == nullptr || cb == nullptr)
+        throw LookupError("machine " +
+                                (ca == nullptr ? a.name() : b.name()) +
+                                " is not under WAN zone " + full_name());
+    if (ca == cb) return ca->path(a, b);
+    Path p;
+    Machine& out_gw = ca->gateway();
+    Machine& in_gw = cb->gateway();
+    if (&a != &out_gw) p = ca->path(a, out_gw);
+    p.push_back({backbone_, &in_gw});
+    if (&b != &in_gw) {
+        Path tail = cb->path(in_gw, b);
+        p.insert(p.end(), tail.begin(), tail.end());
+    }
+    return p;
+}
+
+// --- FlatZone --------------------------------------------------------------
+
+FlatZone::FlatZone(Topology& topo, std::string name)
+    : Zone(topo, nullptr, std::move(name), ZoneKind::Flat) {
+    // Wrap whatever the grid already holds (hand-written flat XML): every
+    // machine is a member, every segment stays in zone 0.
+    for (const auto& m : grid().machines()) {
+        owned_.push_back(m.get());
+        add_member(*m);
+    }
+    for (const auto& s : grid().segments()) segments_.push_back(s.get());
+}
+
+Machine& FlatZone::gateway() {
+    if (members_.empty())
+        throw UsageError("flat zone " + full_name() + " is empty");
+    return *members_.front();
+}
+
+Path FlatZone::path(Machine& a, Machine& b) {
+    auto segs = grid().common_segments(a, b);
+    if (segs.empty())
+        throw LookupError("no shared segment between " + a.name() +
+                                " and " + b.name());
+    return {{segs.front(), &b}};
+}
+
+// --- Topology --------------------------------------------------------------
+
+Zone& Topology::root() {
+    osal::CheckedLock lk(mu_);
+    if (root_ == nullptr) throw LookupError("topology has no zones");
+    return *root_;
+}
+
+void Topology::register_root(Zone& z) {
+    osal::CheckedLock lk(mu_);
+    root_ = &z;
+}
+
+void Topology::index_member(Machine& m, Zone& leaf) {
+    osal::CheckedLock lk(mu_);
+    leaf_of_[&m] = &leaf;
+}
+
+void Topology::check_fresh_name(const std::string& name) {
+    if (name.empty() || name.find('/') != std::string::npos ||
+        name.find('.') != std::string::npos)
+        throw UsageError("bad zone name '" + name +
+                               "' (must be non-empty, without '/' or '.')");
+    osal::CheckedLock lk(mu_);
+    for (const auto& z : zones_)
+        if (z->name() == name)
+            throw ResourceConflict("zone name already in use: " + name);
+}
+
+ClusterZone& Topology::add_cluster(const std::string& name,
+                                   const ClusterSpec& s) {
+    check_fresh_name(name);
+    ClusterZone& z = keep(std::unique_ptr<ClusterZone>(
+        new ClusterZone(*this, nullptr, name, s)));
+    register_root(z);
+    return z;
+}
+
+FatTreeZone& Topology::add_fattree(const std::string& name, FatTreeSpec s) {
+    check_fresh_name(name);
+    FatTreeZone& z = keep(std::unique_ptr<FatTreeZone>(
+        new FatTreeZone(*this, nullptr, name, std::move(s))));
+    register_root(z);
+    return z;
+}
+
+DragonflyZone& Topology::add_dragonfly(const std::string& name,
+                                       DragonflySpec s) {
+    check_fresh_name(name);
+    DragonflyZone& z = keep(std::unique_ptr<DragonflyZone>(
+        new DragonflyZone(*this, nullptr, name, s)));
+    register_root(z);
+    return z;
+}
+
+WanZone& Topology::add_wan(const std::string& name, NetTech tech) {
+    check_fresh_name(name);
+    WanZone& z = keep(
+        std::unique_ptr<WanZone>(new WanZone(*this, nullptr, name, tech)));
+    register_root(z);
+    return z;
+}
+
+FlatZone& Topology::wrap_flat(const std::string& name) {
+    check_fresh_name(name);
+    if (root_ != nullptr)
+        throw UsageError(
+            "wrap_flat on a topology that already has zones");
+    FlatZone& z = keep(std::unique_ptr<FlatZone>(new FlatZone(*this, name)));
+    register_root(z);
+    return z;
+}
+
+Zone* Topology::find_zone(const std::string& full_name) noexcept {
+    osal::CheckedLock lk(mu_);
+    for (const auto& z : zones_)
+        if (z->full_name() == full_name) return z.get();
+    // Fall back to the bare leaf name when it is unambiguous, so DSL
+    // users can say zone("a") without spelling the adopted path
+    // "core/a". Two zones with the same leaf name -> no match.
+    Zone* hit = nullptr;
+    for (const auto& z : zones_) {
+        if (z->name() != full_name) continue;
+        if (hit != nullptr) return nullptr;
+        hit = z.get();
+    }
+    return hit;
+}
+
+Zone& Topology::zone(const std::string& full_name) {
+    Zone* z = find_zone(full_name);
+    if (z == nullptr) throw LookupError("no such zone: " + full_name);
+    return *z;
+}
+
+Zone* Topology::zone_of(const Machine& m) {
+    osal::CheckedLock lk(mu_);
+    auto it = leaf_of_.find(&m);
+    if (it != leaf_of_.end()) return it->second;
+    // Infrastructure machines (switches, routers, hubs) are not members;
+    // resolve still needs their zone, so fall back to ownership.
+    for (const auto& z : zones_)
+        for (const Machine* x : z->owned_)
+            if (x == &m) return z.get();
+    return nullptr;
+}
+
+std::size_t Topology::zone_count() {
+    osal::CheckedLock lk(mu_);
+    return zones_.size();
+}
+
+std::vector<Zone*> Topology::zones() {
+    osal::CheckedLock lk(mu_);
+    std::vector<Zone*> out;
+    out.reserve(zones_.size());
+    for (const auto& z : zones_) out.push_back(z.get());
+    return out;
+}
+
+std::size_t Topology::route_entries_upper_bound(const Machine& m) {
+    std::size_t n = 0;
+    for (const Adapter* a : m.adapters())
+        n += const_cast<Adapter*>(a)->segment().attached();
+    return n;
+}
+
+Path Topology::resolve(Machine& a, Machine& b) {
+    if (&a == &b) return {};
+    Zone* za = zone_of(a);
+    Zone* zb = zone_of(b);
+    if (za == nullptr)
+        throw LookupError("machine not in topology: " + a.name());
+    if (zb == nullptr)
+        throw LookupError("machine not in topology: " + b.name());
+    if (za == zb) return za->path(a, b);
+    // Shared-prefix walk: collect a's ancestor chain, then walk b's chain
+    // upward until it first intersects — the lowest common ancestor.
+    std::vector<const Zone*> chain;
+    for (Zone* z = za; z != nullptr; z = z->parent()) chain.push_back(z);
+    Zone* lca = nullptr;
+    for (Zone* z = zb; z != nullptr && lca == nullptr; z = z->parent())
+        if (std::find(chain.begin(), chain.end(), z) != chain.end()) lca = z;
+    if (lca == nullptr)
+        throw LookupError("no common ancestor zone for " + a.name() +
+                                " and " + b.name());
+    return lca->path(a, b);
+}
+
+Hop Topology::next_hop(Machine& at, Machine& dst) {
+    Path p = resolve(at, dst);
+    if (p.empty())
+        throw UsageError("next_hop: already at " + dst.name());
+    return p.front();
+}
+
+// --- multi-hop forwarding helpers -----------------------------------------
+
+util::Message wrap_routed(ProcessId final_dst, util::Message payload) {
+    util::ByteBuf hdr;
+    const util::byte b[4] = {
+        static_cast<util::byte>(final_dst & 0xff),
+        static_cast<util::byte>(final_dst >> 8 & 0xff),
+        static_cast<util::byte>(final_dst >> 16 & 0xff),
+        static_cast<util::byte>(final_dst >> 24 & 0xff),
+    };
+    hdr.append(b, sizeof b);
+    util::Message m = util::to_message(std::move(hdr));
+    m.append(payload);
+    return m;
+}
+
+Routed unwrap_routed(const util::Message& m) {
+    if (m.size() < 4) throw ProtocolError("routed frame too short");
+    util::byte b[4];
+    m.copy_out(0, b, sizeof b);
+    Routed r;
+    r.final_dst = static_cast<ProcessId>(b[0]) |
+                  static_cast<ProcessId>(b[1]) << 8 |
+                  static_cast<ProcessId>(b[2]) << 16 |
+                  static_cast<ProcessId>(b[3]) << 24;
+    r.payload = m.slice(4, m.size() - 4);
+    return r;
+}
+
+SimTime send_routed(Topology& topo, Process& src, Port& port, ProcessId dst,
+                    ChannelId ch, util::Message payload) {
+    Grid& grid = topo.grid();
+    Machine& dst_machine = grid.wait_process(dst).machine();
+    SimTime t;
+    if (&src.machine() == &dst_machine) {
+        t = port.send(dst, ch, std::move(payload), src.now());
+    } else {
+        const Path p = topo.resolve(src.machine(), dst_machine);
+        if (p.front().seg != &port.adapter().segment()) {
+            // The route leaves through another of this machine's NICs
+            // (e.g. a gateway member sending out its backbone adapter).
+            // Hand the frame to the local relay, which holds ports on
+            // every NIC and will pick the right one.
+            const ProcessId relay =
+                grid.wait_service("relay@" + src.machine().name());
+            t = port.send(relay, ch, wrap_routed(dst, std::move(payload)),
+                          src.now());
+        } else if (p.size() == 1) {
+            t = port.send(dst, ch, std::move(payload), src.now());
+        } else {
+            const ProcessId relay =
+                grid.wait_service("relay@" + p.front().to->name());
+            t = port.send(relay, ch, wrap_routed(dst, std::move(payload)),
+                          src.now());
+        }
+    }
+    src.clock().set(t);
+    return t;
+}
+
+void relay_loop(Topology& topo, Process& self, std::atomic<bool>& stop) {
+    Grid& grid = topo.grid();
+    std::vector<PortRef> ports;
+    for (Adapter* a : self.machine().adapters())
+        ports.push_back(a->open(self, "relay"));
+    grid.register_service("relay@" + self.machine().name(), self.id());
+
+    // Deliver \p payload to a process on THIS machine: the terminal relay
+    // of a path ending at a gateway-resident endpoint. The process's port
+    // may be on any local segment (and may not be open yet — boot race),
+    // so poll the NICs until it appears.
+    const auto deliver_local = [&](ProcessId dst, ChannelId ch,
+                                   util::Message payload) {
+        for (;;) {
+            for (auto& p : ports)
+                if (p->adapter().segment().port_for(dst) != nullptr) {
+                    self.clock().set(
+                        p->send(dst, ch, std::move(payload), self.now()));
+                    return;
+                }
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    };
+
+    const auto forward = [&](Packet&& pkt) {
+        self.clock().merge(pkt.deliver_time); // Lamport merge, then send
+        Routed r = unwrap_routed(pkt.payload);
+        Machine& dst_machine = grid.wait_process(r.final_dst).machine();
+        if (&dst_machine == &self.machine()) {
+            deliver_local(r.final_dst, pkt.channel, std::move(r.payload));
+            return;
+        }
+        const Hop hop = topo.next_hop(self.machine(), dst_machine);
+        Port* out = nullptr;
+        for (auto& p : ports)
+            if (&p->adapter().segment() == hop.seg) {
+                out = p.get();
+                break;
+            }
+        if (out == nullptr)
+            throw LookupError("relay " + self.machine().name() +
+                                    " has no port on " + hop.seg->name());
+        SimTime t;
+        if (hop.to == &dst_machine &&
+            (hop.seg->port_for(r.final_dst) != nullptr ||
+             !grid.try_lookup("relay@" + hop.to->name()))) {
+            // Last hop and the endpoint listens on this very segment — or
+            // will: with no relay on the destination machine to hand over
+            // to, block in send until the port opens (boot race).
+            t = out->send(r.final_dst, pkt.channel, std::move(r.payload),
+                          self.now());
+        } else {
+            // Still in flight: either toward another zone, or toward the
+            // destination machine but addressed to a port on one of its
+            // OTHER segments (endpoint on a gateway) — its local relay
+            // finishes the job. Forward the frame as-is.
+            const ProcessId next =
+                grid.wait_service("relay@" + hop.to->name());
+            t = out->send(next, pkt.channel, std::move(pkt.payload),
+                          self.now());
+        }
+        self.clock().set(t);
+    };
+
+    for (;;) {
+        bool got = false;
+        for (auto& p : ports)
+            while (auto pkt = p->try_recv()) {
+                got = true;
+                forward(std::move(*pkt));
+            }
+        if (got) continue;
+        if (stop.load(std::memory_order_acquire)) {
+            bool pending = false;
+            for (auto& p : ports) pending = pending || p->pending() != 0;
+            if (!pending) break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+}
+
+} // namespace padico::fabric

@@ -77,6 +77,19 @@ constexpr int kIngressRegistry = 1630; ///< ptm::Runtime::ingress_mu_
 constexpr int kRouteCache = 1640;    ///< ptm::Runtime::route_cache_mu_
 constexpr int kDemux = 1650;         ///< ptm::Demux::mu_
 
+// --- fabric: topology / routing zones -------------------------------------
+/// The zone layer sits between padicotm and the fabric data plane: resolve
+/// walks the zone tree (topology lock, then zone locks top-down) and never
+/// touches route/time locks, while builders call down into Grid::attach.
+constexpr int kFabricTopology = 1660; ///< fabric::Topology::mu_ (zone tree)
+/// Per-zone lazy-state locks, ranked by tree depth: the ancestor walk may
+/// hold a parent zone's lock while consulting a child (containment maps),
+/// so parent-before-child is the enforced order. Depth is capped so the
+/// band stays below the static fabric ranks.
+constexpr int kFabricZoneBase = 1665;
+constexpr int kFabricZoneMaxDepth = 32;
+constexpr int zone_rank(int depth) { return kFabricZoneBase + depth; }
+
 // --- fabric (static) ------------------------------------------------------
 constexpr int kFabricAdapter = 1700; ///< fabric::Adapter::mu_ (port table)
 constexpr int kFabricRoute = 1710;   ///< fabric::NetworkSegment::route_mu_

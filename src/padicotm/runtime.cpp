@@ -176,16 +176,17 @@ fabric::ChannelId Runtime::fresh_channel(const std::string& prefix) {
 }
 
 fabric::NetworkSegment* Runtime::select_segment(fabric::ProcessId dst) {
-    // Generation captured BEFORE the derivation: if a port opens or closes
-    // while we compute, the stored entry is already stale and the next
-    // lookup revalidates — never the reverse.
-    const std::uint64_t gen = grid().route_generation();
     const bool fast = util::caches_enabled();
     if (fast) {
         osal::CheckedLock lk(route_cache_mu_);
         auto it = route_cache_.find(dst);
         if (it != route_cache_.end()) {
-            if (it->second.gen == gen) {
+            // Zone-scoped revalidation: the stamp sums the zone route
+            // generations of the peer machine's segments, so it moves
+            // exactly when a port opens or closes where the peer could
+            // hold one — churn in unrelated zones keeps the entry valid.
+            if (it->second.stamp ==
+                grid().machine_route_stamp(*it->second.peer)) {
                 route_hits_.fetch_add(1, std::memory_order_relaxed);
                 return it->second.seg;
             }
@@ -194,8 +195,12 @@ fabric::NetworkSegment* Runtime::select_segment(fabric::ProcessId dst) {
         }
     }
     route_misses_.fetch_add(1, std::memory_order_relaxed);
-    fabric::NetworkSegment* found = nullptr;
     fabric::Machine& peer = grid().wait_process(dst).machine();
+    // Stamp captured BEFORE the derivation: if a relevant port opens or
+    // closes while we compute, the stored entry is already stale and the
+    // next lookup revalidates — never the reverse.
+    const std::uint64_t stamp = grid().machine_route_stamp(peer);
+    fabric::NetworkSegment* found = nullptr;
     for (fabric::NetworkSegment* seg :
          grid().common_segments(proc_->machine(), peer)) {
         if (engine_.port_on(*seg) == nullptr) continue; // not arbitrated here
@@ -205,7 +210,7 @@ fabric::NetworkSegment* Runtime::select_segment(fabric::ProcessId dst) {
     }
     if (fast) {
         osal::CheckedLock lk(route_cache_mu_);
-        route_cache_[dst] = RouteEntry{found, gen};
+        route_cache_[dst] = RouteEntry{found, &peer, stamp};
     }
     return found;
 }
@@ -214,7 +219,7 @@ Runtime::CachedRoute Runtime::cached_route(fabric::ProcessId dst) const {
     osal::CheckedLock lk(route_cache_mu_);
     auto it = route_cache_.find(dst);
     if (it == route_cache_.end()) return CachedRoute{};
-    return CachedRoute{it->second.seg, it->second.gen, true};
+    return CachedRoute{it->second.seg, it->second.stamp, true};
 }
 
 bool Runtime::would_encrypt(const fabric::NetworkSegment& seg) const {
@@ -300,6 +305,8 @@ TrafficCounters Runtime::stats() const {
         f.rx_pruned_spans = c.rx_pruned_spans;
         f.route_fast_hits = seg->route_fast_hits();
         f.route_fast_misses = seg->route_fast_misses();
+        f.route_tables_retired = seg->route_tables_retired();
+        f.zone = seg->zone_name();
     }
     // Snapshot callbacks reach back up into svc (whose locks rank BELOW the
     // registry lock), so copy the source list out first and invoke with the

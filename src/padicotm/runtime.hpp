@@ -83,6 +83,11 @@ struct TrafficCounters {
         std::uint64_t rx_pruned_spans = 0;
         std::uint64_t route_fast_hits = 0;
         std::uint64_t route_fast_misses = 0;
+        /// Superseded lock-free route tables freed at a quiescent point
+        /// (segment-wide, like the route counters).
+        std::uint64_t route_tables_retired = 0;
+        /// Routing zone of the segment ("" until a Topology tags it).
+        std::string zone;
     };
     std::map<std::string, FabricShard> fabric_by_segment;
 
@@ -162,10 +167,13 @@ public:
     /// port. Returns nullptr when unreachable.
     ///
     /// Fast lane: the result is cached per destination, stamped with the
-    /// grid route generation; while no port opens or closes anywhere the
-    /// cached segment is returned without touching the topology. A
-    /// generation mismatch drops the entry and re-derives (ports may have
-    /// appeared, vanished, or moved to a better segment).
+    /// peer machine's zone-scoped route stamp (Grid::machine_route_stamp);
+    /// while no port opens or closes on a segment the peer is attached to,
+    /// the cached segment is returned without touching the topology. Port
+    /// churn in unrelated zones leaves the entry valid; a stamp mismatch
+    /// drops it and re-derives (ports may have appeared, vanished, or
+    /// moved to a better segment). Flat grids keep every segment in zone
+    /// 0, where the stamp moves with the global generation as before.
     fabric::NetworkSegment* select_segment(fabric::ProcessId dst);
 
     /// Peek at the route-cache entry toward \p dst without filling or
@@ -173,7 +181,7 @@ public:
     /// exists; seg may be nullptr (a cached "unreachable" verdict).
     struct CachedRoute {
         fabric::NetworkSegment* seg = nullptr;
-        std::uint64_t generation = 0;
+        std::uint64_t generation = 0; ///< peer-machine route stamp
         bool cached = false;
     };
     CachedRoute cached_route(fabric::ProcessId dst) const;
@@ -239,7 +247,8 @@ private:
 
     struct RouteEntry {
         fabric::NetworkSegment* seg = nullptr;
-        std::uint64_t gen = 0;
+        const fabric::Machine* peer = nullptr;
+        std::uint64_t stamp = 0; ///< machine_route_stamp at derivation
     };
 
     fabric::Process* proc_;

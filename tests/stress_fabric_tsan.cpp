@@ -8,6 +8,11 @@
 // Scenario: disjoint streaming pairs, a shared incast sink (rx-shard
 // contention on one NIC), and a process churning its port open/closed to
 // republish the lock-free route table while traffic flows.
+//
+// A second phase runs the same recompile-everything treatment over the
+// zone layer: two clusters under a WAN, gateway relays forwarding wrapped
+// frames in both directions while a member churns its port to republish
+// the per-zone tables the relays read lock-free.
 
 #include <atomic>
 #include <chrono>
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "fabric/grid.hpp"
+#include "fabric/topology.hpp"
 #include "osal/sync.hpp"
 
 using namespace padico;
@@ -30,6 +36,92 @@ void check(bool ok, const char* what) {
         ++failures;
     }
 }
+// Cross-zone traffic under the sanitizers: two clusters, relays on both
+// gateways, opposing streams crossing the backbone while a bystander
+// churns its LAN port (zone-scoped republish during relay reads).
+void zoned_phase() {
+    constexpr int kMsgs = 200;
+    constexpr std::size_t kBytes = 512;
+
+    Grid g;
+    Topology topo(g);
+    ClusterSpec spec;
+    spec.size = 4;
+    ClusterZone& c0 = topo.add_cluster("c0", spec);
+    ClusterZone& c1 = topo.add_cluster("c1", spec);
+    WanZone& wan = topo.add_wan("wan", NetTech::Wan);
+    wan.link(c0);
+    wan.link(c1);
+    const ChannelId ch = g.channel_id("zstress");
+
+    std::atomic<bool> relay_stop{false};
+    std::atomic<bool> churn_stop{false};
+    std::atomic<int> rx_done{0};
+    for (ClusterZone* c : {&c0, &c1})
+        g.spawn(c->gateway(), [&topo, &relay_stop](Process& p) {
+            relay_loop(topo, p, relay_stop);
+        });
+
+    ProcessId rx_ids[2] = {kNoProcess, kNoProcess};
+    osal::Event rx_up[2];
+    ClusterZone* zones[2] = {&c0, &c1};
+    for (int side = 0; side < 2; ++side) {
+        ClusterZone& mine = *zones[side];
+        NetworkSegment& lan = *mine.segments().front();
+        Process& rx = g.spawn(*mine.members()[2], [&, side](Process& proc) {
+            auto port = proc.machine()
+                            .adapter_on(*zones[side]->segments().front())
+                            ->open(proc, "app");
+            rx_up[side].set();
+            for (int m = 0; m < kMsgs; ++m) {
+                auto pkt = port->recv();
+                check(pkt.has_value(), "zoned receiver starved");
+                if (!pkt) break;
+                proc.clock().merge(pkt->deliver_time);
+            }
+            ++rx_done;
+        });
+        rx_ids[side] = rx.id();
+        // Sender on the OTHER side streams at this receiver through the
+        // gateways.
+        ClusterZone& far = *zones[1 - side];
+        g.spawn(*far.members()[1], [&, side](Process& proc) {
+            auto port = proc.machine()
+                            .adapter_on(*zones[1 - side]->segments().front())
+                            ->open(proc, "app");
+            rx_up[side].wait();
+            for (int m = 0; m < kMsgs; ++m) {
+                proc.compute(usec(2.0));
+                proc.clock().set(send_routed(
+                    topo, proc, *port, rx_ids[side], ch,
+                    util::to_message(util::ByteBuf(kBytes))));
+            }
+        });
+        (void)lan;
+    }
+    g.spawn(*c0.members()[3], [&](Process& proc) { // zone-table churn
+        Adapter* nic = proc.machine().adapter_on(*c0.segments().front());
+        while (!churn_stop.load()) {
+            auto port = nic->open(proc, "churn");
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        relay_stop.store(true, std::memory_order_release);
+    });
+    g.spawn(*c1.members()[3], [&](Process& proc) { // watches for the end
+        while (rx_done.load() < 2)
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        churn_stop.store(true, std::memory_order_release);
+    });
+    g.join_all();
+
+    check(rx_done.load() == 2, "zoned receivers incomplete");
+    std::uint64_t retired = 0;
+    for (const NetworkSegment* s : {c0.segments().front(),
+                                    c1.segments().front()})
+        retired += s->route_tables_retired();
+    check(retired > 0, "churn retired no superseded route tables");
+}
+
 } // namespace
 
 int main() {
@@ -112,6 +204,8 @@ int main() {
     check(tx_total == static_cast<std::uint64_t>(kPairs) * kMsgs,
           "tx packet count off");
     check(rx_total == tx_total, "rx packet count off");
+
+    zoned_phase();
 
     if (failures == 0) std::puts("stress_fabric_tsan: OK");
     return failures == 0 ? 0 : 1;

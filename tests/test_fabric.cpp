@@ -729,7 +729,9 @@ TEST(Registry, BuildGridFromXml) {
     // shared="true" models a hub/bus: segment-global timing serialization.
     EXPECT_EQ(g.segment("lan0").timing_mode(), TimingMode::kSegmentGlobal);
     EXPECT_EQ(g.segment("myri0").timing_mode(), TimingMode::kSharded);
+    // Malformed documents surface as ProtocolError carrying the element
+    // context (test_topology pins the message text).
     EXPECT_THROW(build_grid_from_xml(g, "<grid><segment name='x' tech='bogus'/></grid>"),
-                 UsageError);
+                 ProtocolError);
     EXPECT_THROW(build_grid_from_xml(g, "<notgrid/>"), ProtocolError);
 }

@@ -1,9 +1,10 @@
-// bench_schema_check: validates the shape of a BENCH_ingress.json emitted
-// by bench_ingress (the checked-in copy at the repo root and the smoke
-// copy the ctest leg produces). The benchmark's JSON is consumed by the
+// bench_schema_check: validates the shape of the BENCH_*.json files the
+// benchmarks emit (the checked-in copies at the repo root and the smoke
+// copies the ctest legs produce). The benchmarks' JSON is consumed by the
 // EXPERIMENTS.md tables and by future regression tooling, so its shape is
 // part of the contract: this tool fails CI when a bench edit drops or
-// renames a field.
+// renames a field. Dispatches on the top-level "bench" key: "ingress"
+// (bench_ingress) or "topology" (bench_fabric_scale zone legs).
 //
 // Deliberately not a JSON library: a small scanner that checks
 //  * braces/brackets balance and the file is one object,
@@ -84,16 +85,13 @@ void require_bool(const std::string& s, const std::string& key) {
         fail("key \"" + key + "\" has non-boolean value '" + tok + "'");
 }
 
-void require_string(const std::string& s, const std::string& key,
-                    const std::string& want) {
+std::string string_value(const std::string& s, const std::string& key) {
     const std::size_t at = find_key(s, key);
     if (at == std::string::npos) {
         fail("missing key \"" + key + "\"");
-        return;
+        return "";
     }
-    const std::string tok = value_token(s, at);
-    if (tok != "\"" + want + "\"")
-        fail("key \"" + key + "\" is " + tok + ", want \"" + want + "\"");
+    return value_token(s, at);
 }
 
 void check_balance(const std::string& s) {
@@ -121,6 +119,65 @@ void check_balance(const std::string& s) {
     if (in_str) fail("unterminated string");
 }
 
+/// BENCH_topology.json from the bench_fabric_scale zone legs: identity of
+/// zoned-vs-flat virtual times, the generated-topology scaling sweep with
+/// its sub-linearity verdict, and the live zoned-grid leg.
+void check_topology(const std::string& s) {
+    require_bool(s, "quick");
+    require_number(s, "cpus");
+    require_bool(s, "zoned_pairs_identical");
+    require_bool(s, "zoned_soak_identical");
+
+    const std::size_t scaling = find_key(s, "scaling");
+    if (scaling == std::string::npos) {
+        fail("missing \"scaling\" array");
+    } else {
+        // At least two rows, each with the full field set; rows must stop
+        // before the "growth" block that follows the array.
+        const std::size_t growth = s.find("\"growth\"", scaling);
+        std::size_t rows = 0;
+        for (std::size_t at = find_key(s, "procs", scaling);
+             at != std::string::npos && at < growth;
+             at = find_key(s, "procs", at)) {
+            ++rows;
+            for (const char* k :
+                 {"zones", "machines", "segments", "route_entries_max",
+                  "route_entries_mean", "flat_equiv_entries",
+                  "per_process_route_bytes_max", "build_ms"})
+                require_number(s, k, at);
+        }
+        if (rows < 2)
+            fail("\"scaling\" array has " + std::to_string(rows) +
+                 " row(s), want at least 2");
+    }
+
+    const std::size_t growth = find_key(s, "growth");
+    if (growth == std::string::npos) {
+        fail("missing \"growth\" block");
+    } else {
+        require_number(s, "n_ratio", growth);
+        require_number(s, "entries_ratio", growth);
+        const std::size_t at = find_key(s, "sub_linear", growth);
+        const std::string tok =
+            at == std::string::npos ? "" : value_token(s, at);
+        if (tok != "true" && tok != "false")
+            fail("key \"sub_linear\" has non-boolean value '" + tok + "'");
+    }
+
+    const std::size_t live = find_key(s, "live");
+    if (live == std::string::npos) {
+        fail("missing \"live\" block");
+    } else {
+        for (const char* k :
+             {"procs", "zones", "relays", "entries_max", "entries_mean",
+              "messages", "routed_messages", "route_tables_retired",
+              "wall_ms"})
+            require_number(s, k, live);
+    }
+
+    require_bool(s, "ok");
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -138,7 +195,20 @@ int main(int argc, char** argv) {
     const std::string s = buf.str();
 
     check_balance(s);
-    require_string(s, "bench", "ingress");
+    const std::string bench = string_value(s, "bench");
+    if (bench == "\"topology\"") {
+        check_topology(s);
+        if (g_failures != 0) {
+            std::fprintf(stderr, "%d schema failure(s) in %s\n", g_failures,
+                         argv[1]);
+            return 1;
+        }
+        std::printf("%s: schema OK\n", argv[1]);
+        return 0;
+    }
+    if (bench != "\"ingress\"")
+        fail("key \"bench\" is " + bench +
+             ", want \"ingress\" or \"topology\"");
     require_bool(s, "quick");
     require_number(s, "hardware_concurrency");
     require_number(s, "thread_budget");
