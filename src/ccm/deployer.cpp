@@ -105,7 +105,7 @@ Deployment Deployer::deploy(const Assembly& assembly) {
         std::exception_ptr first_error;
         fabric::Process& self = orb_->runtime().process();
         for (std::size_t r = 0; r < placed.instances.size(); ++r) {
-            threads.emplace_back([&, r] {
+            threads.emplace_back(osal::sched::spawn_thread([&, r] {
                 fabric::Process::bind_to_thread(&self);
                 try {
                     clients[r]->configuration_complete(placed.instances[r]);
@@ -114,9 +114,9 @@ Deployment Deployer::deploy(const Assembly& assembly) {
                     if (!first_error)
                         first_error = std::current_exception();
                 }
-            });
+            }, "ccm.deploy"));
         }
-        for (auto& t : threads) t.join();
+        for (auto& t : threads) osal::sched::join(t);
         if (first_error) std::rethrow_exception(first_error);
     }
 

@@ -524,10 +524,13 @@ Process& Grid::spawn(Machine& m, std::function<void(Process&)> body) {
     processes_.push_back(
         std::unique_ptr<Process>(new Process(*this, m, id)));
     Process* proc = processes_.back().get();
-    proc->thread_ = std::thread([proc, body = std::move(body)] {
+    proc->thread_ = osal::sched::spawn_thread([proc, body = std::move(body)] {
         tls_current_process = proc;
         try {
             body(*proc);
+        } catch (const osal::sched::Aborted&) {
+            // Scheduler-run abort (deadlock/step-limit exploration): the
+            // controller unwound us deliberately; not a process failure.
         } catch (const std::exception& e) {
             // Surface immediately: peers of a dead process typically block,
             // so a silent failure would look like a hang at join_all().
@@ -540,7 +543,7 @@ Process& Grid::spawn(Machine& m, std::function<void(Process&)> body) {
             proc->failure_ = std::current_exception();
         }
         tls_current_process = nullptr;
-    });
+    }, "fabric.process");
     proc_cv_.notify_all();
     return *proc;
 }
@@ -553,7 +556,7 @@ void Grid::join_all() {
         for (auto& p : processes_) procs.push_back(p.get());
     }
     for (Process* p : procs)
-        if (p->thread_.joinable()) p->thread_.join();
+        if (p->thread_.joinable()) osal::sched::join(p->thread_);
     for (Process* p : procs) {
         if (p->failure_) {
             std::exception_ptr e = p->failure_;

@@ -369,7 +369,7 @@ util::Message ParallelStub::invoke(const std::string& op,
         osal::CheckedMutex err_mu{lockrank::kScratch, "gridccm.stub.err"};
         std::exception_ptr first_error;
         for (int s : contacts) {
-            threads.emplace_back([&, s] {
+            threads.emplace_back(osal::sched::spawn_thread([&, s] {
                 fabric::Process::bind_to_thread(&proc);
                 try {
                     contact_server(s, header, frags_for(s), data, elem_size,
@@ -380,9 +380,9 @@ util::Message ParallelStub::invoke(const std::string& op,
                     if (!first_error)
                         first_error = std::current_exception();
                 }
-            });
+            }, "gridccm.fanout"));
         }
-        for (auto& t : threads) t.join();
+        for (auto& t : threads) osal::sched::join(t);
         if (first_error) std::rethrow_exception(first_error);
     }
 

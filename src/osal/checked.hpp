@@ -29,6 +29,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "osal/sched.hpp"
+
 #ifdef PADICO_CHECK_ENABLED
 
 #include <atomic>
@@ -304,6 +306,7 @@ public:
         : rank_(rank), name_(name) {
         check::register_rank(rank, name);
     }
+    ~CheckedMutex() { sched::forget_object(this); }
     CheckedMutex(const CheckedMutex&) = delete;
     CheckedMutex& operator=(const CheckedMutex&) = delete;
 
@@ -322,11 +325,25 @@ public:
 
     void lock(std::source_location site = std::source_location::current()) {
         check::on_lock(this, rank(), name(), site);
+#ifdef PADICO_SCHED_ENABLED
+        // Under the scheduler the controller grants the acquisition only
+        // once its modeled owner slot is free, so the real lock below can
+        // never block a managed thread (DESIGN.md §14).
+        sched::Controller::acquire(this, name());
+#endif
         mu_.lock();
     }
 
     bool try_lock(
         std::source_location site = std::source_location::current()) {
+#ifdef PADICO_SCHED_ENABLED
+        if (sched::Controller::managed()) {
+            if (!sched::Controller::try_acquire(this, name())) return false;
+            mu_.lock(); // model granted exclusivity: cannot contend
+            check::on_try_lock(this, rank(), name(), site);
+            return true;
+        }
+#endif
         if (!mu_.try_lock()) return false;
         check::on_try_lock(this, rank(), name(), site);
         return true;
@@ -335,6 +352,9 @@ public:
     void unlock() {
         check::on_unlock(this, rank(), name());
         mu_.unlock();
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::release(this);
+#endif
     }
 
 private:
@@ -411,9 +431,66 @@ private:
     bool owns_ = false;
 };
 
+#ifdef PADICO_SCHED_ENABLED
+
+/// Under the scheduler, condition waits and notifies are controller
+/// decisions: a wait parks the thread as blocked-on-this-condvar (lock
+/// dropped), a notify marks every such waiter runnable. Wakeups for
+/// managed threads are always "spurious" in the sense that the waiter
+/// re-evaluates its predicate after relocking — exactly the std contract.
+/// Unmanaged threads (and managed notify) still drive the real condvar so
+/// mixed setup/teardown phases work unchanged.
+class CheckedCondVar {
+public:
+    ~CheckedCondVar() { sched::forget_object(this); }
+
+    template <typename Lock> void wait(Lock& lk) {
+        if (sched::Controller::managed()) {
+            lk.unlock();
+            sched::Controller::block_on(this, sched::OpKind::kCvWait,
+                                        "condvar");
+            lk.lock();
+            return;
+        }
+        cv_.wait(lk);
+    }
+
+    template <typename Lock, typename Pred> void wait(Lock& lk, Pred pred) {
+        if (sched::Controller::managed()) {
+            while (!pred()) {
+                lk.unlock();
+                sched::Controller::block_on(this, sched::OpKind::kCvWait,
+                                            "condvar");
+                lk.lock();
+            }
+            return;
+        }
+        cv_.wait(lk, std::move(pred));
+    }
+
+    void notify_one() { notify(); }
+    void notify_all() { notify(); }
+
+private:
+    void notify() {
+        if (sched::Controller::managed()) {
+            sched::Controller::point(sched::OpKind::kCvNotify, this,
+                                     "condvar");
+            sched::Controller::signal(this);
+        }
+        cv_.notify_all();
+    }
+
+    std::condition_variable_any cv_;
+};
+
+#else // !PADICO_SCHED_ENABLED
+
 /// condition_variable_any works with any BasicLockable, so waits keep the
 /// full acquisition bookkeeping through the unlock/relock inside wait().
 using CheckedCondVar = std::condition_variable_any;
+
+#endif // PADICO_SCHED_ENABLED
 
 } // namespace padico::osal
 

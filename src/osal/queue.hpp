@@ -27,7 +27,9 @@ namespace padico::osal {
 /// makes the wait return immediately, so wake-ups cannot be lost.
 class Waiter {
 public:
-    virtual ~Waiter() = default;
+    // Retire this address with the scheduler: heap reuse must not hand a
+    // future object a dead waiter's identity (replay/DPOR determinism).
+    virtual ~Waiter() { sched::forget_object(this); }
 
     /// Fired by attached queues whenever their readiness may have changed.
     /// Virtual so edge-triggered consumers (e.g. the sharded-readiness
@@ -36,10 +38,16 @@ public:
     /// that WaitSet builds on. Queues call this AFTER releasing their own
     /// lock, so overrides may take locks of their own.
     virtual void notify() {
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::point(sched::OpKind::kNotify, this, "waiter");
+#endif
         {
             std::lock_guard<std::mutex> lk(mu_);
             ++seq_;
         }
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::signal(this);
+#endif
         cv_.notify_all();
     }
 
@@ -50,6 +58,26 @@ public:
 
     /// Block until notify() has been called after \p seen was observed.
     void wait_changed(std::uint64_t seen) {
+#ifdef PADICO_SCHED_ENABLED
+        if (sched::Controller::managed()) {
+            for (;;) {
+                {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    if (seen > seq_)
+                        check::report(
+                            check::Kind::kProtocol,
+                            "Waiter::wait_changed with snapshot " +
+                                std::to_string(seen) +
+                                " ahead of live sequence " +
+                                std::to_string(seq_) +
+                                " (snapshot from a different Waiter?)");
+                    if (seq_ != seen) return;
+                }
+                sched::Controller::block_on(this, sched::OpKind::kWait,
+                                            "waiter");
+            }
+        }
+#endif
         std::unique_lock<std::mutex> lk(mu_);
 #ifdef PADICO_CHECK_ENABLED
         // A snapshot ahead of the live sequence was not taken from THIS
@@ -74,6 +102,11 @@ private:
 
 template <typename T> class BlockingQueue {
 public:
+    BlockingQueue() = default;
+    ~BlockingQueue() { sched::forget_object(this); }
+    BlockingQueue(const BlockingQueue&) = delete;
+    BlockingQueue& operator=(const BlockingQueue&) = delete;
+
     /// Enqueue; never blocks (queues are unbounded — flow control is the
     /// business of the protocols above, as in the real stacks).
     /// notify_all: consumers may wait with different match predicates.
@@ -81,45 +114,155 @@ public:
     /// reacquire mu_ before returning, so it cannot destroy the queue while
     /// the producer is still inside the condvar (destroy/broadcast race).
     void push(T v) {
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::point(sched::OpKind::kQueuePush, this, "queue");
+#endif
         std::shared_ptr<Waiter> w;
         {
             std::lock_guard<std::mutex> lk(mu_);
             items_.push_back(std::move(v));
+#ifdef PADICO_SCHED_ENABLED
+            tags_.push_back(++next_tag_);
+            sched::Controller::annotate(next_tag_);
+#endif
             w = waiter_;
             cv_.notify_all();
         }
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::signal(this);
+#endif
         if (w) w->notify();
     }
 
     /// Dequeue, blocking until an item is available or close() is called.
     /// Returns nullopt only after close() with an empty queue.
     std::optional<T> pop() {
+#ifdef PADICO_SCHED_ENABLED
+        if (sched::Controller::managed()) {
+            // Blocking on an empty queue is forced, not a scheduling
+            // decision: no op is recorded for an attempt that would block
+            // (the eventual wake grant is the step, and it carries its
+            // enabling edge). Recording the attempt itself would split
+            // every producer→consumer handoff into two observationally
+            // identical schedule classes — attempt-then-block-then-push
+            // vs push-then-pop — doubling the explored space per handoff.
+            for (;;) {
+                bool ready;
+                {
+                    std::unique_lock<std::mutex> lk(mu_);
+                    ready = !items_.empty() || closed_;
+                }
+                if (!ready) {
+                    sched::Controller::block_on(
+                        this, sched::OpKind::kQueuePop, "queue");
+                    continue;
+                }
+                sched::Controller::point(sched::OpKind::kQueuePop, this,
+                                         "queue");
+                std::unique_lock<std::mutex> lk(mu_);
+                if (!items_.empty()) {
+                    T v = std::move(items_.front());
+                    items_.pop_front();
+                    sched::Controller::annotate(tags_.front());
+                    tags_.pop_front();
+                    return v;
+                }
+                if (closed_) {
+                    sched::Controller::annotate(sched::kAuxBoundary);
+                    return std::nullopt;
+                }
+                // Lost a race with another consumer between the grant and
+                // the take: wait again.
+            }
+        }
+#endif
         std::unique_lock<std::mutex> lk(mu_);
         cv_.wait(lk, [&] { return !items_.empty() || closed_; });
         if (items_.empty()) return std::nullopt;
         T v = std::move(items_.front());
         items_.pop_front();
+#ifdef PADICO_SCHED_ENABLED
+        tags_.pop_front();
+#endif
         return v;
     }
 
     /// Non-blocking dequeue.
     std::optional<T> try_pop() {
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::point(sched::OpKind::kQueuePop, this, "queue");
+#endif
         std::lock_guard<std::mutex> lk(mu_);
-        if (items_.empty()) return std::nullopt;
+        if (items_.empty()) {
+#ifdef PADICO_SCHED_ENABLED
+            sched::Controller::annotate(sched::kAuxBoundary);
+#endif
+            return std::nullopt;
+        }
         T v = std::move(items_.front());
         items_.pop_front();
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::annotate(tags_.front());
+        tags_.pop_front();
+#endif
         return v;
     }
 
     /// Dequeue the first element matching \p pred, blocking until one
     /// appears or the queue is closed (tag matching à la MPI).
     template <typename Pred> std::optional<T> pop_matching(Pred pred) {
+#ifdef PADICO_SCHED_ENABLED
+        if (sched::Controller::managed()) {
+            // Same blocking-is-not-a-decision structure as pop().
+            for (;;) {
+                bool ready;
+                {
+                    std::unique_lock<std::mutex> lk(mu_);
+                    ready = closed_;
+                    for (const T& item : items_)
+                        if (pred(item)) {
+                            ready = true;
+                            break;
+                        }
+                }
+                if (!ready) {
+                    sched::Controller::block_on(
+                        this, sched::OpKind::kQueuePop, "queue");
+                    continue;
+                }
+                sched::Controller::point(sched::OpKind::kQueuePop, this,
+                                         "queue");
+                std::unique_lock<std::mutex> lk(mu_);
+                for (std::size_t i = 0; i < items_.size(); ++i) {
+                    if (pred(items_[i])) {
+                        T v = std::move(items_[i]);
+                        items_.erase(items_.begin() +
+                                     static_cast<std::ptrdiff_t>(i));
+                        sched::Controller::annotate(tags_[i]);
+                        tags_.erase(tags_.begin() +
+                                    static_cast<std::ptrdiff_t>(i));
+                        return v;
+                    }
+                }
+                if (closed_) {
+                    sched::Controller::annotate(sched::kAuxBoundary);
+                    return std::nullopt;
+                }
+                // Lost a race with another consumer: wait again.
+            }
+        }
+#endif
         std::unique_lock<std::mutex> lk(mu_);
         while (true) {
-            for (auto it = items_.begin(); it != items_.end(); ++it) {
-                if (pred(*it)) {
-                    T v = std::move(*it);
-                    items_.erase(it);
+            for (std::size_t i = 0; i < items_.size(); ++i) {
+                if (pred(items_[i])) {
+                    T v = std::move(items_[i]);
+                    items_.erase(items_.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+#ifdef PADICO_SCHED_ENABLED
+                    tags_.erase(tags_.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+#endif
                     return v;
                 }
             }
@@ -130,14 +273,25 @@ public:
 
     /// Non-blocking variant of pop_matching.
     template <typename Pred> std::optional<T> try_pop_matching(Pred pred) {
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::point(sched::OpKind::kQueuePop, this, "queue");
+#endif
         std::lock_guard<std::mutex> lk(mu_);
-        for (auto it = items_.begin(); it != items_.end(); ++it) {
-            if (pred(*it)) {
-                T v = std::move(*it);
-                items_.erase(it);
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (pred(items_[i])) {
+                T v = std::move(items_[i]);
+                items_.erase(items_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+#ifdef PADICO_SCHED_ENABLED
+                sched::Controller::annotate(tags_[i]);
+                tags_.erase(tags_.begin() + static_cast<std::ptrdiff_t>(i));
+#endif
                 return v;
             }
         }
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::annotate(sched::kAuxBoundary);
+#endif
         return std::nullopt;
     }
 
@@ -150,6 +304,9 @@ public:
     /// Wake all blocked consumers; subsequent pops drain then return nullopt.
     /// Broadcast under the lock for the same destroy-race reason as push().
     void close() {
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::point(sched::OpKind::kQueueClose, this, "queue");
+#endif
         std::shared_ptr<Waiter> w;
         {
             std::lock_guard<std::mutex> lk(mu_);
@@ -157,6 +314,9 @@ public:
             w = waiter_;
             cv_.notify_all();
         }
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::signal(this);
+#endif
         if (w) w->notify();
     }
 
@@ -203,6 +363,14 @@ private:
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<T> items_;
+#ifdef PADICO_SCHED_ENABLED
+    /// Per-element tickets parallel to items_, reported to the explorer
+    /// via Controller::annotate: its conditional-dependence relation
+    /// lets a push and a pop of *different* elements commute, which is
+    /// what keeps pipelined producer/consumer chains exhaustible.
+    std::deque<std::uint64_t> tags_;
+    std::uint64_t next_tag_ = 0;
+#endif
     std::shared_ptr<Waiter> waiter_;
     bool closed_ = false;
 };

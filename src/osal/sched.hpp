@@ -1,0 +1,1143 @@
+#pragma once
+/// \file sched.hpp
+/// padico::sched — deterministic schedule exploration (DESIGN.md §14).
+///
+/// A scheduler-serialization harness: a test creates a sched::Controller,
+/// spawns its threads through it (everything the tree creates via
+/// osal::sched::spawn_thread — ThreadGroup, TaskPool, Grid::spawn,
+/// svc::ServerCore — inherits management automatically), and calls run().
+/// From then on exactly ONE managed thread executes at a time; every
+/// visible synchronization operation — CheckedMutex acquire, CheckedCondVar
+/// wait/notify, BlockingQueue push/pop/close, Waiter notify/wait,
+/// Event/Latch/Barrier, thread start/exit/join — parks the thread and hands
+/// the decision of who runs next to a pluggable Picker. On top of that one
+/// mechanism:
+///
+///  * RECORDING — every decision is appended to a Trace (thread id, op
+///    kind, object id); save_trace()/load_trace() round-trip it through a
+///    compact text file.
+///  * REPLAY — replay_picker(trace) re-executes a recorded schedule
+///    decision for decision, verifying op kinds as it goes. Because all
+///    nondeterminism is in the schedule, a replay reproduces bit-identical
+///    virtual times, counters and failures.
+///  * EXPLORATION — sched::Explorer drives repeated runs of the same
+///    configuration through a DFS over schedules with DPOR-lite pruning:
+///    sleep sets (a thread not chosen at a branch sleeps until an op
+///    dependent with its pending op executes) plus last-access pruning (an
+///    alternative is only worth branching to if some later op of another
+///    thread conflicted with its pending op). Two ops are dependent iff
+///    they touch the same object — conservative, hence sound.
+///
+/// Granularity: interleavings are explored at synchronization-operation
+/// level. Code between two parks runs atomically (only one thread runs at
+/// a time), so plain/atomic loads and stores are ordered by the schedule
+/// but are not themselves branch points. That is exactly the granularity
+/// the virtual-time-identity claims are made at: clocks are atomics whose
+/// updates commute, and everything else is behind the instrumented seams.
+///
+/// Deadlock: when no managed thread is runnable (every pending mutex held,
+/// every waiter unsignaled), the run reports kDeadlock with a per-thread
+/// wait witness and aborts: parked threads unwind with sched::Aborted,
+/// releasing their locks via RAII. A planted ABBA inversion is found as an
+/// actual deadlocked state, not just a lock-order heuristic.
+///
+/// Protocol contract: while run() is in flight, only managed threads may
+/// touch instrumented objects (the coordinating thread builds the
+/// configuration before run() and tears it down after). Compile-gated by
+/// PADICO_SCHED_ENABLED, which requires PADICO_CHECK_ENABLED — the explore
+/// binaries recompile their whole dependency cone with both flags, the
+/// same pattern as the stress_fabric_* targets. With the flag off this
+/// header only provides the trace types, the spawn/join passthroughs and
+/// sched::Aborted (so shared code compiles unchanged at zero cost).
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace padico::osal::sched {
+
+// ---------------------------------------------------------------------------
+// Trace model — available in every build (tools/sched_trace links this
+// without the sched flag).
+
+enum class OpKind : std::uint8_t {
+    kThreadStart, ///< first schedulable point of a managed thread
+    kThreadExit,  ///< thread body returned (recorded as it leaves)
+    kMutexLock,   ///< blocking CheckedMutex acquisition
+    kMutexTryLock,///< non-blocking acquisition attempt (always enabled)
+    kCvNotify,    ///< CheckedCondVar notify_one/notify_all
+    kCvWait,      ///< resumption of a CheckedCondVar wait
+    kQueuePush,   ///< BlockingQueue push
+    kQueuePop,    ///< BlockingQueue pop / try_pop / pop_matching attempt
+    kQueueClose,  ///< BlockingQueue close
+    kNotify,      ///< generic signal: Waiter::notify, Event::set, Latch
+                  ///< count_down, Barrier arrival
+    kWait,        ///< resumption of a generic wait (Waiter/Event/Latch/
+                  ///< Barrier)
+    kJoin,        ///< resumption of a thread join
+    kYield,       ///< explicit yield point
+};
+
+inline const char* op_name(OpKind k) {
+    switch (k) {
+    case OpKind::kThreadStart: return "thread-start";
+    case OpKind::kThreadExit: return "thread-exit";
+    case OpKind::kMutexLock: return "mutex-lock";
+    case OpKind::kMutexTryLock: return "mutex-trylock";
+    case OpKind::kCvNotify: return "cv-notify";
+    case OpKind::kCvWait: return "cv-wait";
+    case OpKind::kQueuePush: return "queue-push";
+    case OpKind::kQueuePop: return "queue-pop";
+    case OpKind::kQueueClose: return "queue-close";
+    case OpKind::kNotify: return "notify";
+    case OpKind::kWait: return "wait";
+    case OpKind::kJoin: return "join";
+    case OpKind::kYield: return "yield";
+    }
+    return "?";
+}
+
+inline std::optional<OpKind> op_from_name(const std::string& s) {
+    for (int i = 0; i <= static_cast<int>(OpKind::kYield); ++i)
+        if (s == op_name(static_cast<OpKind>(i)))
+            return static_cast<OpKind>(i);
+    return std::nullopt;
+}
+
+/// Annotation value for a queue pop that observed the empty/closed
+/// boundary instead of taking an element (see Controller::annotate).
+inline constexpr std::uint64_t kAuxBoundary = ~0ull;
+
+/// One scheduling decision: thread \p tid performed \p kind on object
+/// \p obj (a small id assigned per run in first-use order — deterministic
+/// for a deterministic schedule).
+struct TraceStep {
+    std::uint32_t tid = 0;
+    OpKind kind = OpKind::kYield;
+    std::uint32_t obj = 0;
+    std::string label; ///< best-effort object name for humans
+    /// 1 + index of the step whose signal woke this thread out of a
+    /// blocked wait; 0 when the thread parked here by its own choice.
+    /// In-memory only (not serialized): the explorer uses it to tell
+    /// enabling edges from races — a blocked thread was not co-enabled
+    /// with anything that ran at or before its waker.
+    std::size_t enabled_at = 0;
+    /// Op-specific annotation set via Controller::annotate after the
+    /// grant: queue pushes and element-taking pops carry the element's
+    /// ticket, boundary-observing pops carry kAuxBoundary, 0 means
+    /// unannotated. In-memory only (not serialized): the explorer's
+    /// conditional-dependence relation uses it to recognize commuting
+    /// queue operations (a push and a pop of different elements).
+    std::uint64_t aux = 0;
+};
+
+/// A recorded schedule plus enough metadata to sanity-check a replay.
+struct Trace {
+    std::string config;  ///< free-form configuration name
+    std::string status;  ///< completed | deadlock | step-limit
+    std::uint32_t threads = 0;
+    std::vector<TraceStep> steps;
+};
+
+/// Compact text format, one decision per line:
+///   # padico-sched-trace v1
+///   config <name> / threads <n> / status <s> / steps <m>
+///   <tid> <op-kind> <obj-id> <label to end of line>
+inline bool save_trace(const Trace& t, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "# padico-sched-trace v1\n";
+    out << "config " << (t.config.empty() ? "-" : t.config) << "\n";
+    out << "threads " << t.threads << "\n";
+    out << "status " << (t.status.empty() ? "-" : t.status) << "\n";
+    out << "steps " << t.steps.size() << "\n";
+    for (const TraceStep& s : t.steps)
+        out << s.tid << " " << op_name(s.kind) << " " << s.obj << " "
+            << s.label << "\n";
+    return static_cast<bool>(out);
+}
+
+inline std::optional<Trace> load_trace(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::string line;
+    if (!std::getline(in, line) || line != "# padico-sched-trace v1")
+        return std::nullopt;
+    Trace t;
+    std::size_t steps = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (!std::getline(in, line)) return std::nullopt;
+        std::istringstream ls(line);
+        std::string key, value;
+        ls >> key >> value;
+        if (key == "config") t.config = value == "-" ? "" : value;
+        else if (key == "threads") t.threads = std::stoul(value);
+        else if (key == "status") t.status = value == "-" ? "" : value;
+        else if (key == "steps") steps = std::stoul(value);
+        else return std::nullopt;
+    }
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        TraceStep s;
+        std::string kind;
+        if (!(ls >> s.tid >> kind >> s.obj)) return std::nullopt;
+        const auto k = op_from_name(kind);
+        if (!k) return std::nullopt;
+        s.kind = *k;
+        std::getline(ls, s.label);
+        if (!s.label.empty() && s.label[0] == ' ') s.label.erase(0, 1);
+        t.steps.push_back(std::move(s));
+    }
+    if (t.steps.size() != steps) return std::nullopt;
+    return t;
+}
+
+/// Thrown through a managed thread to unwind it when a run aborts
+/// (deadlock found, step budget exhausted). Defined in every build so
+/// shared code (fabric::Grid process bodies) can mention it.
+struct Aborted {};
+
+#ifndef PADICO_SCHED_ENABLED
+
+// ---------------------------------------------------------------------------
+// Flag off: zero-cost passthroughs for the shared thread-creation seams.
+
+inline std::thread spawn_thread(std::function<void()> fn,
+                                std::string /*label*/ = {}) {
+    return std::thread(std::move(fn));
+}
+
+inline void join(std::thread& t) { t.join(); }
+
+/// Object-identity retirement hook (no-op with the flag off).
+inline void forget_object(const void* /*obj*/) {}
+
+#else // PADICO_SCHED_ENABLED
+
+#ifndef PADICO_CHECK_ENABLED
+#error "PADICO_SCHED_ENABLED requires PADICO_CHECK_ENABLED (the scheduler \
+hooks live on the CheckedMutex/CheckedCondVar instrumentation)"
+#endif
+
+// ---------------------------------------------------------------------------
+// The serialization controller.
+
+/// Operation descriptor at a park point. obj is the controller-assigned id.
+struct Op {
+    OpKind kind = OpKind::kYield;
+    std::uint32_t obj = 0;
+    const char* label = nullptr;
+};
+
+/// Two ops are dependent iff they touch the same object (conservative:
+/// reorderings of same-object ops may matter, different-object ops
+/// provably commute at this granularity).
+inline bool dependent(const Op& a, const Op& b) { return a.obj == b.obj; }
+inline bool dependent(const Op& a, const TraceStep& s) {
+    return a.obj == s.obj;
+}
+
+/// A schedulable thread at a decision: its id and the op it will perform
+/// when granted.
+struct Candidate {
+    std::uint32_t tid = 0;
+    Op op;
+};
+
+class Controller {
+public:
+    struct Result {
+        enum class Status { kCompleted, kDeadlock, kStepLimit };
+        Status status = Status::kCompleted;
+        Trace trace;
+        std::string detail; ///< deadlock witness, step-limit info
+        bool aborted = false;
+
+        const char* status_name() const {
+            switch (status) {
+            case Status::kCompleted: return "completed";
+            case Status::kDeadlock: return "deadlock";
+            case Status::kStepLimit: return "step-limit";
+            }
+            return "?";
+        }
+    };
+
+    /// Picks the index of the candidate to run next. Called for EVERY
+    /// decision, including forced ones (single candidate), so pickers can
+    /// maintain per-step state. Out-of-range returns clamp to 0.
+    using Picker =
+        std::function<int(const std::vector<Candidate>&, std::size_t step)>;
+
+    explicit Controller(Picker picker, std::uint64_t max_steps = 1u << 20,
+                        std::string config_name = {})
+        : picker_(std::move(picker)), max_steps_(max_steps) {
+        trace_.config = std::move(config_name);
+        Controller*& slot = active_slot();
+        if (slot != nullptr)
+            std::abort(); // one controller at a time, by contract
+        slot = this;
+    }
+
+    ~Controller() {
+        if (active_slot() == this) active_slot() = nullptr;
+    }
+    Controller(const Controller&) = delete;
+    Controller& operator=(const Controller&) = delete;
+
+    static Controller* active() { return active_slot(); }
+    static bool managed() { return tl_self() != nullptr; }
+
+    /// Create a managed thread. Callable before run() (configuration
+    /// setup) or from a managed thread during the run (middleware pools).
+    /// Thread ids are assigned in creation order — deterministic for a
+    /// deterministic schedule.
+    std::thread spawn(std::function<void()> fn, std::string label = {}) {
+        ThreadRec* rec = nullptr;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            recs_.push_back(std::make_unique<ThreadRec>());
+            rec = recs_.back().get();
+            rec->tid = static_cast<std::uint32_t>(recs_.size() - 1);
+            rec->label = std::move(label);
+            rec->obj = obj_id_locked(rec, rec->label.empty()
+                                              ? "thread"
+                                              : rec->label.c_str());
+        }
+        std::thread t([this, rec, f = std::move(fn)]() mutable {
+            thread_main(rec, std::move(f));
+        });
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            rec->os_id = t.get_id();
+            os_ids_[t.get_id()] = rec->tid;
+        }
+        return t;
+    }
+
+    /// Coordinator loop: schedules managed threads decision by decision
+    /// until all have exited (or the run aborts). Must be called from an
+    /// UNmanaged thread (the test body).
+    Result run() {
+        std::unique_lock<std::mutex> lk(mu_);
+        running_ = true;
+        for (;;) {
+            main_cv_.wait(lk, [&] {
+                return abort_ ? all_exited_locked() : quiescent_locked();
+            });
+            if (all_exited_locked()) break;
+            const std::vector<Candidate> cands = candidates_locked();
+            if (cands.empty()) {
+                result_.status = Result::Status::kDeadlock;
+                result_.detail = deadlock_detail_locked();
+                start_abort_locked();
+                continue;
+            }
+            if (trace_.steps.size() >= max_steps_) {
+                result_.status = Result::Status::kStepLimit;
+                result_.detail = "step budget (" +
+                                 std::to_string(max_steps_) + ") exhausted";
+                start_abort_locked();
+                continue;
+            }
+            int idx = picker_(cands, trace_.steps.size());
+            if (idx < 0 || static_cast<std::size_t>(idx) >= cands.size())
+                idx = 0;
+            grant_locked(cands[static_cast<std::size_t>(idx)]);
+        }
+        running_ = false;
+        trace_.threads = static_cast<std::uint32_t>(recs_.size());
+        trace_.status = result_.status_name();
+        result_.trace = trace_;
+        Controller*& slot = active_slot();
+        if (slot == this) slot = nullptr;
+        return result_;
+    }
+
+    // --- instrumentation entry points (no-ops on unmanaged threads) -------
+
+    /// Non-blocking choice point: park, run when granted.
+    static void point(OpKind k, const void* obj, const char* label = nullptr) {
+        ThreadRec* self = tl_self();
+        Controller* c = active_slot();
+        if (self == nullptr || c == nullptr) return;
+        c->park_choice(*self, k, obj, label, /*may_throw=*/true);
+    }
+
+    /// Blocking mutex acquisition: enabled only while the modeled owner
+    /// slot is free; the grant records ownership, so the real lock that
+    /// follows can never block.
+    static void acquire(const void* mtx, const char* label = nullptr) {
+        ThreadRec* self = tl_self();
+        Controller* c = active_slot();
+        if (self == nullptr || c == nullptr) return;
+        c->park_choice(*self, OpKind::kMutexLock, mtx, label,
+                       /*may_throw=*/true);
+    }
+
+    /// Non-blocking acquisition attempt against the model. Returns whether
+    /// the caller may proceed to take the real lock (true on unmanaged
+    /// threads: the real try_lock decides there).
+    static bool try_acquire(const void* mtx, const char* label = nullptr) {
+        ThreadRec* self = tl_self();
+        Controller* c = active_slot();
+        if (self == nullptr || c == nullptr) return true;
+        c->park_choice(*self, OpKind::kMutexTryLock, mtx, label,
+                       /*may_throw=*/true);
+        std::lock_guard<std::mutex> lk(c->mu_);
+        if (c->abort_) return true;
+        const std::uint32_t obj = c->obj_id_locked(mtx, label);
+        if (c->mutex_owner_.count(obj) != 0) return false;
+        c->mutex_owner_[obj] = self->tid;
+        return true;
+    }
+
+    /// Release a modeled mutex (no park: an unlock cannot deadlock, and
+    /// keeping it out of the branch space roughly halves trace length).
+    static void release(const void* mtx) {
+        ThreadRec* self = tl_self();
+        Controller* c = active_slot();
+        if (self == nullptr || c == nullptr) return;
+        std::lock_guard<std::mutex> lk(c->mu_);
+        auto it = c->objs_.find(mtx);
+        if (it != c->objs_.end()) c->mutex_owner_.erase(it->second);
+    }
+
+    /// Park disabled until signal(obj). The caller re-checks its predicate
+    /// on return (wakeups may be spurious for the specific waiter).
+    static void block_on(const void* obj, OpKind k,
+                         const char* label = nullptr) {
+        ThreadRec* self = tl_self();
+        Controller* c = active_slot();
+        if (self == nullptr || c == nullptr) return;
+        c->park_blocked(*self, k, obj, label);
+    }
+
+    /// Mark every thread blocked on \p obj runnable (they stay candidates
+    /// until granted). No park of its own.
+    static void signal(const void* obj) {
+        ThreadRec* self = tl_self();
+        Controller* c = active_slot();
+        if (self == nullptr || c == nullptr) return;
+        std::lock_guard<std::mutex> lk(c->mu_);
+        auto it = c->objs_.find(obj);
+        if (it == c->objs_.end()) return;
+        for (auto& r : c->recs_)
+            if (r->st == St::kBlocked && r->pending.obj == it->second &&
+                !r->woken) {
+                r->woken = true;
+                r->enabled_at = c->trace_.steps.size(); // waker idx + 1
+            }
+    }
+
+    /// Attach an op-specific value to the calling thread's most recent
+    /// trace step (see TraceStep::aux). Safe between the step's grant and
+    /// the thread's next park: the token protocol guarantees no other
+    /// thread appends steps in that window.
+    static void annotate(std::uint64_t aux) {
+        ThreadRec* self = tl_self();
+        Controller* c = active_slot();
+        if (self == nullptr || c == nullptr) return;
+        std::lock_guard<std::mutex> lk(c->mu_);
+        if (!c->trace_.steps.empty() &&
+            c->trace_.steps.back().tid == self->tid)
+            c->trace_.steps.back().aux = aux;
+    }
+
+    /// Retire an object's identity when it is destroyed. Heap reuse would
+    /// otherwise hand a NEW object a dead one's id (the map is keyed by
+    /// address), making object identity — and with it replay and the
+    /// DPOR dependence relation — a function of malloc layout.
+    static void forget(const void* obj) {
+        Controller* c = active_slot();
+        if (c == nullptr) return;
+        std::lock_guard<std::mutex> lk(c->mu_);
+        auto it = c->objs_.find(obj);
+        if (it == c->objs_.end()) return;
+        c->mutex_owner_.erase(it->second);
+        c->objs_.erase(it);
+    }
+
+    /// Serialize a join: parks until the managed target exits, then the
+    /// caller performs the real (now non-blocking) std::thread::join.
+    /// Never throws Aborted — joins run inside destructors.
+    static void before_join(std::thread::id id) {
+        ThreadRec* self = tl_self();
+        Controller* c = active_slot();
+        if (self == nullptr || c == nullptr) return;
+        for (;;) {
+            const void* key = nullptr;
+            {
+                std::lock_guard<std::mutex> lk(c->mu_);
+                if (c->abort_) return; // target unwinds on its own
+                auto it = c->os_ids_.find(id);
+                if (it == c->os_ids_.end()) return; // unmanaged thread
+                ThreadRec& target = *c->recs_[it->second];
+                if (target.st == St::kExited) return;
+                key = &target;
+            }
+            c->park_blocked(*self, OpKind::kJoin, key, "thread",
+                            /*may_throw=*/false);
+        }
+    }
+
+private:
+    enum class St { kNew, kRunning, kParked, kBlocked, kExited };
+
+    struct ThreadRec {
+        std::uint32_t tid = 0;
+        std::uint32_t obj = 0; ///< object id for join/exit dependence
+        std::string label;
+        std::thread::id os_id;
+        St st = St::kNew;
+        Op pending;
+        bool woken = false;
+        std::size_t enabled_at = 0; ///< 1 + step index of the first waker
+        bool granted = false;
+        std::condition_variable cv;
+    };
+
+    static Controller*& active_slot() {
+        static Controller* c = nullptr;
+        return c;
+    }
+    static ThreadRec*& tl_self() {
+        thread_local ThreadRec* r = nullptr;
+        return r;
+    }
+
+    void thread_main(ThreadRec* rec, std::function<void()> fn) {
+        tl_self() = rec;
+        bool run_body = true;
+        {
+            // First park: the start of a thread is itself a scheduled
+            // decision. If the run is already aborting, the body never
+            // runs at all.
+            std::unique_lock<std::mutex> lk(mu_);
+            if (abort_) {
+                run_body = false;
+            } else {
+                rec->pending =
+                    Op{OpKind::kThreadStart, rec->obj,
+                       rec->label.empty() ? "thread" : rec->label.c_str()};
+                rec->st = St::kParked;
+                main_cv_.notify_all();
+                rec->cv.wait(lk, [&] { return rec->granted || abort_; });
+                if (!rec->granted) run_body = false; // aborted before start
+                rec->granted = false;
+                rec->st = St::kRunning;
+            }
+        }
+        if (run_body) {
+            try {
+                fn();
+            } catch (const Aborted&) {
+                // Unwound by a run abort: fall through to the exit
+                // bookkeeping; locks were released by RAII on the way up.
+            }
+        }
+        std::lock_guard<std::mutex> lk(mu_);
+        rec->st = St::kExited;
+        for (auto& r : recs_) // wake joiners
+            if (r->st == St::kBlocked && r->pending.obj == rec->obj &&
+                !r->woken) {
+                r->woken = true;
+                r->enabled_at = trace_.steps.size();
+            }
+        main_cv_.notify_all();
+    }
+
+    /// Park at a choice point; returns once granted. On abort, throws
+    /// Aborted (unless \p may_throw is false or the thread is already
+    /// unwinding — throwing into an active unwind would terminate).
+    void park_choice(ThreadRec& r, OpKind k, const void* obj,
+                     const char* label, bool may_throw) {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (abort_) return; // free-running teardown
+        r.pending = Op{k, obj_id_locked(obj, label), label};
+        r.st = St::kParked;
+        r.granted = false;
+        main_cv_.notify_all();
+        r.cv.wait(lk, [&] { return r.granted || abort_; });
+        const bool got = r.granted;
+        r.granted = false;
+        r.st = St::kRunning;
+        if (!got && may_throw && std::uncaught_exceptions() == 0) {
+            lk.unlock();
+            throw Aborted{};
+        }
+    }
+
+    void park_blocked(ThreadRec& r, OpKind k, const void* obj,
+                      const char* label, bool may_throw = true) {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (abort_) return; // spurious wake; caller re-checks its predicate
+        r.pending = Op{k, obj_id_locked(obj, label), label};
+        r.st = St::kBlocked;
+        r.woken = false;
+        r.granted = false;
+        main_cv_.notify_all();
+        r.cv.wait(lk, [&] { return r.granted || abort_; });
+        const bool got = r.granted;
+        r.granted = false;
+        r.st = St::kRunning;
+        if (!got && may_throw && std::uncaught_exceptions() == 0) {
+            lk.unlock();
+            throw Aborted{};
+        }
+    }
+
+    std::uint32_t obj_id_locked(const void* obj, const char* label) {
+        auto it = objs_.find(obj);
+        if (it != objs_.end()) return it->second;
+        // Monotonic counter, NOT objs_.size(): forget() erases entries, so
+        // size-derived ids would collide with live objects.
+        const std::uint32_t id = next_obj_id_++;
+        objs_.emplace(obj, id);
+        obj_labels_.emplace(id, label != nullptr ? label : "");
+        return id;
+    }
+
+    bool quiescent_locked() const {
+        for (const auto& r : recs_)
+            if (r->st == St::kNew || r->st == St::kRunning) return false;
+        return true;
+    }
+
+    bool all_exited_locked() const {
+        for (const auto& r : recs_)
+            if (r->st != St::kExited) return false;
+        return true;
+    }
+
+    std::vector<Candidate> candidates_locked() const {
+        std::vector<Candidate> out;
+        for (const auto& r : recs_) {
+            if (r->st == St::kParked) {
+                if (r->pending.kind == OpKind::kMutexLock &&
+                    mutex_owner_.count(r->pending.obj) != 0)
+                    continue; // lock held: disabled
+                out.push_back(Candidate{r->tid, r->pending});
+            } else if (r->st == St::kBlocked && r->woken) {
+                out.push_back(Candidate{r->tid, r->pending});
+            }
+        }
+        return out;
+    }
+
+    std::string deadlock_detail_locked() const {
+        std::string out = "no runnable thread:";
+        for (const auto& r : recs_) {
+            if (r->st == St::kExited) continue;
+            out += "\n  t" + std::to_string(r->tid);
+            if (!r->label.empty()) out += " (" + r->label + ")";
+            out += ": " + std::string(op_name(r->pending.kind)) + " obj#" +
+                   std::to_string(r->pending.obj);
+            auto lit = obj_labels_.find(r->pending.obj);
+            if (lit != obj_labels_.end() && !lit->second.empty())
+                out += " '" + lit->second + "'";
+            if (r->pending.kind == OpKind::kMutexLock) {
+                auto oit = mutex_owner_.find(r->pending.obj);
+                if (oit != mutex_owner_.end())
+                    out += " held by t" + std::to_string(oit->second);
+            }
+        }
+        return out;
+    }
+
+    void grant_locked(const Candidate& c) {
+        ThreadRec& r = *recs_[c.tid];
+        TraceStep s;
+        s.tid = c.tid;
+        s.kind = c.op.kind;
+        s.obj = c.op.obj;
+        if (r.st == St::kBlocked) s.enabled_at = r.enabled_at;
+        auto lit = obj_labels_.find(c.op.obj);
+        if (lit != obj_labels_.end()) s.label = lit->second;
+        trace_.steps.push_back(std::move(s));
+        if (c.op.kind == OpKind::kMutexLock) mutex_owner_[c.op.obj] = c.tid;
+        r.granted = true;
+        r.woken = false;
+        // Mark running here, under the lock: if the coordinator observed
+        // the thread still kParked while it wakes, quiescent_locked would
+        // hold and the same candidate would be granted again.
+        r.st = St::kRunning;
+        r.cv.notify_one();
+    }
+
+    void start_abort_locked() {
+        result_.aborted = true;
+        abort_ = true;
+        for (auto& r : recs_)
+            if (r->st == St::kParked || r->st == St::kBlocked)
+                r->cv.notify_one();
+    }
+
+    Picker picker_;
+    std::uint64_t max_steps_;
+    // The controller's own lock deliberately sits outside the instrumented
+    // world (raw std types; osal/ is exempt from the raw-mutex lint, same
+    // as the checker state in checked.hpp).
+    mutable std::mutex mu_;
+    std::condition_variable main_cv_;
+    std::vector<std::unique_ptr<ThreadRec>> recs_;
+    std::map<std::thread::id, std::uint32_t> os_ids_;
+    std::map<const void*, std::uint32_t> objs_;
+    std::map<std::uint32_t, std::string> obj_labels_;
+    std::map<std::uint32_t, std::uint32_t> mutex_owner_;
+    std::uint32_t next_obj_id_ = 1;
+    Trace trace_;
+    Result result_;
+    bool running_ = false;
+    bool abort_ = false;
+};
+
+/// Managed-thread creation seam: all thread creation in the tree funnels
+/// through here. With no active controller this is a plain std::thread.
+inline std::thread spawn_thread(std::function<void()> fn,
+                                std::string label = {}) {
+    if (Controller* c = Controller::active())
+        return c->spawn(std::move(fn), std::move(label));
+    return std::thread(std::move(fn));
+}
+
+/// Managed join seam: serializes the wait for a managed target, then
+/// performs the real join.
+inline void join(std::thread& t) {
+    if (Controller::active() != nullptr && Controller::managed())
+        Controller::before_join(t.get_id());
+    t.join();
+}
+
+/// Called from the osal wrappers' destructors: retire the dying object's
+/// identity so a later allocation at the same address gets a fresh id.
+inline void forget_object(const void* obj) { Controller::forget(obj); }
+
+// ---------------------------------------------------------------------------
+// Pickers.
+
+/// Deterministic baseline: always the lowest thread id.
+inline Controller::Picker default_picker() {
+    return [](const std::vector<Candidate>&, std::size_t) { return 0; };
+}
+
+/// Replays a recorded schedule decision by decision, verifying the op kind
+/// and object id at each step. Divergence (trace thread not a candidate,
+/// op mismatch, trace exhausted) is recorded into \p error and the picker
+/// degrades to lowest-tid so the run still terminates.
+inline Controller::Picker
+replay_picker(Trace trace, std::shared_ptr<std::string> error = nullptr) {
+    auto tr = std::make_shared<Trace>(std::move(trace));
+    auto pos = std::make_shared<std::size_t>(0);
+    return [tr, pos, error](const std::vector<Candidate>& cands,
+                            std::size_t step) -> int {
+        auto diverge = [&](const std::string& why) -> int {
+            if (error && error->empty())
+                *error = "replay diverged at step " + std::to_string(step) +
+                         ": " + why;
+            return 0;
+        };
+        if (*pos >= tr->steps.size())
+            return diverge("trace exhausted but run still has decisions");
+        const TraceStep& want = tr->steps[(*pos)++];
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (cands[i].tid != want.tid) continue;
+            if (cands[i].op.kind != want.kind)
+                return diverge("t" + std::to_string(want.tid) +
+                               " pending op " + op_name(cands[i].op.kind) +
+                               " != recorded " + op_name(want.kind));
+            if (cands[i].op.obj != want.obj)
+                return diverge("t" + std::to_string(want.tid) + " object #" +
+                               std::to_string(cands[i].op.obj) +
+                               " != recorded #" + std::to_string(want.obj));
+            return static_cast<int>(i);
+        }
+        return diverge("recorded thread t" + std::to_string(want.tid) +
+                       " is not runnable");
+    };
+}
+
+// ---------------------------------------------------------------------------
+// DPOR-lite explorer: DFS over schedules with sleep sets and last-access
+// pruning, via stateless re-execution.
+
+class Explorer {
+public:
+    struct Options {
+        std::uint64_t max_runs = 200000; ///< schedule budget (safety net)
+        std::uint64_t max_steps = 1u << 20; ///< per-run step budget
+        bool last_access = true; ///< prune alternatives nothing conflicts with
+        /// Branch on mutex-acquire order. On, lock-order bugs (ABBA) are
+        /// in scope but the space grows factorially with every contended
+        /// lock. Off, critical sections are treated as atomic blocks that
+        /// commute — exploration covers queue/waiter/message interleavings
+        /// only, the right granularity for configuration-level suites
+        /// (whose virtual-time-identity assertion then validates the
+        /// commutation empirically). See DESIGN.md §14.
+        bool branch_mutexes = true;
+        bool stop_on_failure = true;
+        std::string config_name;
+    };
+
+    struct Stats {
+        std::uint64_t runs = 0;      ///< schedules executed
+        std::uint64_t completed = 0; ///< ran to completion, non-redundant
+        std::uint64_t redundant = 0; ///< sleep-set-blocked (provably
+                                     ///< equivalent to an explored one)
+        std::uint64_t max_depth = 0; ///< deepest branch stack
+        bool exhausted = false;      ///< frontier emptied: coverage is total
+    };
+
+    Explorer() = default;
+    explicit Explorer(Options opts) : opts_(std::move(opts)) {}
+
+    /// True while another run should execute. Prepares the prescribed
+    /// prefix for it.
+    bool next() {
+        if (done_) return false;
+        if (stats_.runs >= opts_.max_runs) {
+            done_ = true;
+            return false;
+        }
+        if (stats_.runs > 0) {
+            while (!stack_.empty()) {
+                Node& n = stack_.back();
+                const std::uint32_t alt = next_alternative(n);
+                if (alt != kNoTid) {
+                    n.tried.insert(alt);
+                    n.chosen = alt;
+                    break;
+                }
+                stack_.pop_back();
+            }
+            if (stack_.empty()) {
+                stats_.exhausted = true;
+                done_ = true;
+                return false;
+            }
+        }
+        decision_idx_ = 0;
+        cur_sleep_.clear();
+        redundant_ = false;
+        return true;
+    }
+
+    /// Fresh controller for the upcoming run.
+    Controller make_controller() {
+        return Controller(picker(), opts_.max_steps, opts_.config_name);
+    }
+
+    Controller::Picker picker() {
+        return [this](const std::vector<Candidate>& cands,
+                      std::size_t step) { return pick(cands, step); };
+    }
+
+    /// Digest one finished run. \p invariants_ok is the test's per-run
+    /// verdict (virtual-time identity, padico::check cleanliness, ...).
+    void finish(const Controller::Result& r, bool invariants_ok) {
+        ++stats_.runs;
+        if (redundant_) ++stats_.redundant;
+        else ++stats_.completed;
+        if (stats_.max_depth < stack_.size()) stats_.max_depth = stack_.size();
+        const bool failed =
+            r.status != Controller::Result::Status::kCompleted ||
+            !invariants_ok;
+        if (failed && !failure_) {
+            failure_ = true;
+            failure_trace_ = r.trace;
+            failure_run_ = stats_.runs;
+            failure_reason_ =
+                r.status != Controller::Result::Status::kCompleted
+                    ? std::string(r.status_name()) +
+                          (r.detail.empty() ? "" : ": " + r.detail)
+                    : "invariant violation";
+            if (opts_.stop_on_failure) {
+                done_ = true;
+                return;
+            }
+        }
+        // DPOR marking (skipped after a divergence: stale nodes).
+        if (diverged_) return;
+        if (!opts_.last_access) {
+            // Pruning off: every non-sleeping candidate is a branch.
+            for (Node& n : stack_)
+                for (const Candidate& c : n.cands)
+                    if (n.sleep_entry.count(c.tid) == 0 &&
+                        (opts_.branch_mutexes || !mutex_kind(c.op.kind)))
+                        n.worthwhile.insert(c.tid);
+            return;
+        }
+        // Happens-before race marking. HB over one execution is the
+        // transitive closure of program order plus same-object access
+        // order. A pair (s_i, s_j) needs reversing iff dependent,
+        // different threads, and s_i is an *immediate* HB predecessor of
+        // s_j — no intermediate s_k with s_i HB s_k HB s_j. Reversing only
+        // immediate races still reaches every Mazurkiewicz class (composed
+        // adjacent reversals), while marking a pair already ordered by
+        // intervening synchronization re-branches on reorderings the
+        // configuration cannot in fact produce. Spawn edges are not
+        // recorded as ops, so a spawnee looks concurrent with its
+        // spawner's history — that only detects extra races (sound,
+        // conservatively weaker pruning).
+        using VClock = std::map<std::uint32_t, std::uint32_t>;
+        struct Access {
+            std::size_t step;          ///< trace index
+            std::uint32_t tid;
+            VClock post;               ///< thread clock after the access
+        };
+        std::map<std::size_t, Node*> node_at;
+        for (Node& n : stack_) node_at[n.step_index] = &n;
+        const auto join = [](VClock& into, const VClock& from) {
+            for (const auto& [t, s] : from) {
+                auto& v = into[t];
+                if (v < s) v = s;
+            }
+        };
+        const auto mark = [&](std::size_t i, std::uint32_t tid) {
+            const auto it = node_at.find(i);
+            if (it == node_at.end()) return; // forced step: no choice there
+            Node& n = *it->second;
+            bool is_cand = false;
+            for (const Candidate& c : n.cands)
+                if (c.tid == tid) is_cand = true;
+            if (is_cand) {
+                if (n.sleep_entry.count(tid) == 0) n.worthwhile.insert(tid);
+            } else {
+                // Classic fallback: the racing thread was not yet runnable
+                // at the node, so every non-sleeping candidate branches.
+                for (const Candidate& c : n.cands)
+                    if (n.sleep_entry.count(c.tid) == 0)
+                        n.worthwhile.insert(c.tid);
+            }
+        };
+        std::map<std::uint32_t, VClock> thread_clk;
+        std::map<std::uint64_t, std::vector<Access>> hist;
+        for (std::size_t j = 0; j < r.trace.steps.size(); ++j) {
+            const TraceStep& sj = r.trace.steps[j];
+            VClock& ct = thread_clk[sj.tid];
+            const bool sync = opts_.branch_mutexes || !mutex_kind(sj.kind);
+            if (sync) {
+                // Walk earlier same-object accesses newest-first;
+                // `covered` accumulates everything HB-before s_j via
+                // already-considered intermediates, so only immediate
+                // predecessors mark. Conditionally independent pairs
+                // (dependent_steps false) contribute neither an HB edge
+                // nor a race: they commute, so neither order constrains
+                // the other and reversing them cannot reach a new class.
+                VClock covered = ct;
+                const auto& h = hist[sj.obj];
+                for (auto it = h.rbegin(); it != h.rend(); ++it) {
+                    const Access& a = *it;
+                    if (!dependent_steps(r.trace.steps[a.step], sj))
+                        continue;
+                    // s_j's thread was blocked until its waker ran
+                    // (enabled_at = waker index + 1): anything at or
+                    // before the waker was never co-enabled with s_j —
+                    // an enabling edge, not a race.
+                    if (a.tid != sj.tid && a.step + 1 > sj.enabled_at) {
+                        const auto cv = covered.find(a.tid);
+                        const std::uint32_t aseq = a.post.at(a.tid);
+                        if (cv == covered.end() || cv->second < aseq)
+                            mark(a.step, sj.tid);
+                    }
+                    join(covered, a.post);
+                }
+                ct = std::move(covered);
+            }
+            ++ct[sj.tid];
+            if (sync) hist[sj.obj].push_back(Access{j, sj.tid, ct});
+        }
+    }
+
+    /// Conditional dependence between two same-object steps of one
+    /// execution — the same-object relation refined by what each
+    /// primitive's semantics actually make order-sensitive:
+    ///
+    ///  * Event set / Latch count_down / Waiter seq bump are monotone
+    ///    (an extra earlier signal can only re-enable, never disable),
+    ///    their waits are pure observations that re-check state on every
+    ///    wake, and a wait only records a step after genuinely blocking
+    ///    (its waker is an enabling edge, not a race) — so generic
+    ///    signal/wait pairs commute. Barriers are the exception: the
+    ///    n-th arrival flips the generation and does not wait, so
+    ///    arrival order is observable.
+    ///  * CheckedCondVar notify is modeled as a broadcast and every
+    ///    managed wait re-checks its predicate after waking, so lost
+    ///    wakeups cannot occur: notify<->notify and notify<->wait
+    ///    commute. wait<->wait stays dependent — grant order decides
+    ///    which waiter consumes predicate state.
+    ///  * Queue ops carry element tickets (TraceStep::aux). A push and
+    ///    a pop of different elements touch opposite ends of the deque
+    ///    and commute; an element-taking pop commutes with close (pops
+    ///    drain before honoring the flag); push commutes with close
+    ///    (push appends regardless, close sets a flag push never
+    ///    reads); close is idempotent. push<->push and pop<->pop stay
+    ///    dependent: their order is the FIFO element assignment. A
+    ///    boundary-observing pop (aux = kAuxBoundary) or an
+    ///    unannotated op (aux = 0) stays dependent on everything.
+    bool dependent_steps(const TraceStep& a, const TraceStep& b) const {
+        const OpKind k1 = a.kind, k2 = b.kind;
+        if (mutex_kind(k1) || mutex_kind(k2)) return true;
+        if (a.label == "barrier" || b.label == "barrier") return true;
+        const auto generic = [](OpKind k) {
+            return k == OpKind::kNotify || k == OpKind::kWait;
+        };
+        if (generic(k1) && generic(k2)) return false;
+        if ((k1 == OpKind::kCvNotify || k1 == OpKind::kCvWait) &&
+            (k2 == OpKind::kCvNotify || k2 == OpKind::kCvWait))
+            return k1 == OpKind::kCvWait && k2 == OpKind::kCvWait;
+        const auto is_pop = [](OpKind k) { return k == OpKind::kQueuePop; };
+        if ((k1 == OpKind::kQueuePush && is_pop(k2)) ||
+            (is_pop(k1) && k2 == OpKind::kQueuePush)) {
+            const TraceStep& pop = is_pop(k1) ? a : b;
+            const TraceStep& push = is_pop(k1) ? b : a;
+            return pop.aux == 0 || push.aux == 0 ||
+                   pop.aux == kAuxBoundary || pop.aux == push.aux;
+        }
+        if ((is_pop(k1) && k2 == OpKind::kQueueClose) ||
+            (k1 == OpKind::kQueueClose && is_pop(k2))) {
+            const TraceStep& pop = is_pop(k1) ? a : b;
+            return pop.aux == 0 || pop.aux == kAuxBoundary;
+        }
+        if ((k1 == OpKind::kQueuePush && k2 == OpKind::kQueueClose) ||
+            (k1 == OpKind::kQueueClose && k2 == OpKind::kQueuePush))
+            return false;
+        if (k1 == OpKind::kQueueClose && k2 == OpKind::kQueueClose)
+            return false;
+        return true;
+    }
+
+    bool failure_found() const { return failure_; }
+    const Trace& failure_trace() const { return failure_trace_; }
+    const std::string& failure_reason() const { return failure_reason_; }
+    std::uint64_t failure_run() const { return failure_run_; }
+    bool diverged() const { return diverged_; }
+    const Stats& stats() const { return stats_; }
+
+private:
+    static constexpr std::uint32_t kNoTid = 0xffffffffu;
+
+    struct Node {
+        std::size_t step_index = 0; ///< index of this decision in the trace
+        std::vector<Candidate> cands;
+        std::set<std::uint32_t> sleep_entry; ///< asleep on arrival
+        std::set<std::uint32_t> tried;
+        std::set<std::uint32_t> worthwhile; ///< conflict-justified branches
+        std::uint32_t chosen = 0;
+    };
+
+    std::uint32_t next_alternative(const Node& n) const {
+        for (const Candidate& c : n.cands) {
+            if (n.tried.count(c.tid) != 0) continue;
+            if (n.sleep_entry.count(c.tid) != 0) continue;
+            if (n.worthwhile.count(c.tid) == 0) continue;
+            return c.tid;
+        }
+        return kNoTid;
+    }
+
+    int pick(const std::vector<Candidate>& cands, std::size_t step) {
+        // After a sleep-block or divergence the rest of the run just
+        // executes deterministically; nothing more is recorded.
+        if (redundant_ || diverged_) return 0;
+        if (cands.size() == 1) {
+            wake_dependent(cands[0].op);
+            return 0;
+        }
+        const std::size_t ni = decision_idx_++;
+        if (ni < stack_.size()) {
+            // Prescribed prefix: follow the stored choice; threads tried
+            // in sibling branches enter this branch asleep.
+            Node& n = stack_[ni];
+            int idx = -1;
+            for (std::size_t i = 0; i < cands.size(); ++i)
+                if (cands[i].tid == n.chosen) idx = static_cast<int>(i);
+            if (idx < 0) {
+                diverged_ = true; // nondeterministic configuration
+                return 0;
+            }
+            n.step_index = step;
+            n.cands = cands; // refresh pending ops for this execution
+            for (const Candidate& c : cands)
+                if (c.tid != n.chosen && n.tried.count(c.tid) != 0)
+                    cur_sleep_[c.tid] = c.op;
+            wake_dependent(cands[static_cast<std::size_t>(idx)].op);
+            return idx;
+        }
+        // Fresh node: lowest awake candidate; all-asleep means this whole
+        // suffix is equivalent to an already-explored one.
+        Node n;
+        n.step_index = step;
+        n.cands = cands;
+        for (const Candidate& c : cands)
+            if (cur_sleep_.count(c.tid) != 0) n.sleep_entry.insert(c.tid);
+        int idx = -1;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (cur_sleep_.count(cands[i].tid) == 0) {
+                idx = static_cast<int>(i);
+                break;
+            }
+        }
+        if (idx < 0) {
+            redundant_ = true;
+            return 0;
+        }
+        n.chosen = cands[static_cast<std::size_t>(idx)].tid;
+        n.tried.insert(n.chosen);
+        stack_.push_back(std::move(n));
+        wake_dependent(cands[static_cast<std::size_t>(idx)].op);
+        return idx;
+    }
+
+    static bool mutex_kind(OpKind k) {
+        return k == OpKind::kMutexLock || k == OpKind::kMutexTryLock;
+    }
+
+    /// The explorer's dependence relation: same object, and — when mutex
+    /// branching is off — neither side a mutex acquire (critical sections
+    /// then commute by assumption).
+    bool dep(const Op& a, const Op& b) const {
+        if (!opts_.branch_mutexes &&
+            (mutex_kind(a.kind) || mutex_kind(b.kind)))
+            return false;
+        return dependent(a, b);
+    }
+
+    /// Sleep-set maintenance: executing \p op wakes every sleeper whose
+    /// pending op depends on it (their reordering now matters).
+    void wake_dependent(const Op& op) {
+        for (auto it = cur_sleep_.begin(); it != cur_sleep_.end();) {
+            if (dep(it->second, op)) it = cur_sleep_.erase(it);
+            else ++it;
+        }
+    }
+
+    Options opts_;
+    Stats stats_;
+    std::vector<Node> stack_;
+    std::map<std::uint32_t, Op> cur_sleep_; ///< sleeping tid -> pending op
+    std::size_t decision_idx_ = 0;
+    bool redundant_ = false;
+    bool diverged_ = false;
+    bool done_ = false;
+    bool failure_ = false;
+    Trace failure_trace_;
+    std::string failure_reason_;
+    std::uint64_t failure_run_ = 0;
+};
+
+#endif // PADICO_SCHED_ENABLED
+
+} // namespace padico::osal::sched

@@ -15,19 +15,41 @@
 #include <thread>
 #include <vector>
 
+#include "osal/sched.hpp"
+
 namespace padico::osal {
 
 /// Manual-reset event.
 class Event {
 public:
+    ~Event() { sched::forget_object(this); }
+
     void set() {
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::point(sched::OpKind::kNotify, this, "event");
+#endif
         {
             std::lock_guard<std::mutex> lk(mu_);
             set_ = true;
         }
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::signal(this);
+#endif
         cv_.notify_all();
     }
     void wait() {
+#ifdef PADICO_SCHED_ENABLED
+        if (sched::Controller::managed()) {
+            for (;;) {
+                {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    if (set_) return;
+                }
+                sched::Controller::block_on(this, sched::OpKind::kWait,
+                                            "event");
+            }
+        }
+#endif
         std::unique_lock<std::mutex> lk(mu_);
         cv_.wait(lk, [&] { return set_; });
     }
@@ -46,11 +68,32 @@ private:
 class Latch {
 public:
     explicit Latch(std::size_t count) : count_(count) {}
+    ~Latch() { sched::forget_object(this); }
     void count_down() {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (count_ > 0 && --count_ == 0) cv_.notify_all();
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::point(sched::OpKind::kNotify, this, "latch");
+#endif
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (count_ > 0 && --count_ == 0) cv_.notify_all();
+        }
+#ifdef PADICO_SCHED_ENABLED
+        sched::Controller::signal(this);
+#endif
     }
     void wait() {
+#ifdef PADICO_SCHED_ENABLED
+        if (sched::Controller::managed()) {
+            for (;;) {
+                {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    if (count_ == 0) return;
+                }
+                sched::Controller::block_on(this, sched::OpKind::kWait,
+                                            "latch");
+            }
+        }
+#endif
         std::unique_lock<std::mutex> lk(mu_);
         cv_.wait(lk, [&] { return count_ == 0; });
     }
@@ -65,7 +108,37 @@ private:
 class Barrier {
 public:
     explicit Barrier(std::size_t n) : n_(n) {}
+    ~Barrier() { sched::forget_object(this); }
     void arrive_and_wait() {
+#ifdef PADICO_SCHED_ENABLED
+        if (sched::Controller::managed()) {
+            sched::Controller::point(sched::OpKind::kNotify, this, "barrier");
+            std::size_t gen = 0;
+            bool last = false;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                gen = generation_;
+                if (++arrived_ == n_) {
+                    arrived_ = 0;
+                    ++generation_;
+                    last = true;
+                    cv_.notify_all();
+                }
+            }
+            if (last) {
+                sched::Controller::signal(this);
+                return;
+            }
+            for (;;) {
+                {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    if (generation_ != gen) return;
+                }
+                sched::Controller::block_on(this, sched::OpKind::kWait,
+                                            "barrier");
+            }
+        }
+#endif
         std::unique_lock<std::mutex> lk(mu_);
         const std::size_t gen = generation_;
         if (++arrived_ == n_) {
@@ -107,20 +180,49 @@ public:
             std::lock_guard<std::mutex> lk(mu_);
             stop_ = true;
         }
+#ifdef PADICO_SCHED_ENABLED
+        // signal only (no park): a destructor must never unwind with
+        // sched::Aborted, and a signal is not a scheduling decision.
+        sched::Controller::signal(&work_cv_);
+#endif
         work_cv_.notify_all();
-        for (auto& t : threads_) t.join();
+        for (auto& t : threads_) sched::join(t);
+        sched::forget_object(&work_cv_);
+        sched::forget_object(&done_cv_);
     }
 
     void run(std::vector<std::function<void()>> tasks) {
         if (tasks.empty()) return;
         std::unique_lock<std::mutex> lk(mu_);
         while (threads_.size() < tasks.size())
-            threads_.emplace_back([this] { worker(); });
+            threads_.emplace_back(sched::spawn_thread([this] { worker(); },
+                                                      "taskpool.worker"));
         first_error_ = nullptr;
         inflight_ = tasks.size();
         for (auto& t : tasks) queue_.push_back(std::move(t));
         work_cv_.notify_all();
+#ifdef PADICO_SCHED_ENABLED
+        if (sched::Controller::managed()) {
+            // Never park while holding the pool's raw mutex: a granted
+            // worker would real-block on it and stall the whole schedule.
+            lk.unlock();
+            sched::Controller::signal(&work_cv_);
+            for (;;) {
+                {
+                    std::lock_guard<std::mutex> g(mu_);
+                    if (inflight_ == 0) break;
+                }
+                sched::Controller::block_on(&done_cv_,
+                                            sched::OpKind::kCvWait,
+                                            "taskpool.done");
+            }
+            lk.lock();
+        } else {
+            done_cv_.wait(lk, [&] { return inflight_ == 0; });
+        }
+#else
         done_cv_.wait(lk, [&] { return inflight_ == 0; });
+#endif
         if (first_error_) {
             std::exception_ptr e = first_error_;
             first_error_ = nullptr;
@@ -138,7 +240,21 @@ private:
         if (thread_init_) thread_init_();
         std::unique_lock<std::mutex> lk(mu_);
         while (true) {
+#ifdef PADICO_SCHED_ENABLED
+            if (sched::Controller::managed()) {
+                while (!(stop_ || !queue_.empty())) {
+                    lk.unlock();
+                    sched::Controller::block_on(&work_cv_,
+                                                sched::OpKind::kCvWait,
+                                                "taskpool.work");
+                    lk.lock();
+                }
+            } else {
+                work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+            }
+#else
             work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+#endif
             if (queue_.empty()) {
                 if (stop_) return;
                 continue;
@@ -154,7 +270,12 @@ private:
             }
             lk.lock();
             if (err && !first_error_) first_error_ = err;
-            if (--inflight_ == 0) done_cv_.notify_all();
+            if (--inflight_ == 0) {
+#ifdef PADICO_SCHED_ENABLED
+                sched::Controller::signal(&done_cv_);
+#endif
+                done_cv_.notify_all();
+            }
         }
     }
 
@@ -178,12 +299,12 @@ public:
     ~ThreadGroup() { join_all(); }
 
     void spawn(std::function<void()> fn) {
-        threads_.emplace_back(std::move(fn));
+        threads_.emplace_back(sched::spawn_thread(std::move(fn)));
     }
 
     void join_all() {
         for (auto& t : threads_)
-            if (t.joinable()) t.join();
+            if (t.joinable()) sched::join(t);
         threads_.clear();
     }
 

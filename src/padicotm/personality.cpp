@@ -80,7 +80,7 @@ void BsdSocketApi::pad_close(int fd) {
 
 AioApi::~AioApi() {
     for (auto& t : workers_)
-        if (t.joinable()) t.join();
+        if (t.joinable()) osal::sched::join(t);
 }
 
 AioApi::ControlPtr AioApi::aio_write(VLink& link, const void* buf,
@@ -97,7 +97,8 @@ AioApi::ControlPtr AioApi::aio_write(VLink& link, const void* buf,
 
 AioApi::ControlPtr AioApi::aio_read(VLink& link, void* buf, std::size_t n) {
     auto cb = std::make_shared<Control>();
-    workers_.emplace_back([this, cb, &link, buf, n] {
+    workers_.emplace_back(osal::sched::spawn_thread([this, cb, &link, buf,
+                                                     n] {
         std::int64_t result = 0;
         auto m = link.read_msg_opt(n);
         if (m.has_value()) {
@@ -110,7 +111,7 @@ AioApi::ControlPtr AioApi::aio_read(VLink& link, void* buf, std::size_t n) {
             cb->done = true;
         }
         cv_.notify_all();
-    });
+    }, "ptm.aio"));
     return cb;
 }
 

@@ -321,6 +321,34 @@ TrafficCounters Runtime::stats() const {
     return out;
 }
 
+std::uint64_t Runtime::virtual_time_signature() const {
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(static_cast<std::uint64_t>(proc_->id()));
+    mix(static_cast<std::uint64_t>(proc_->clock().now()));
+    const auto& segs = engine_.segments();
+    for (std::size_t slot = 0; slot < segs.size(); ++slot) {
+        const SegSlot& c = seg_stats_[slot];
+        mix(c.messages.load(std::memory_order_relaxed));
+        mix(c.bytes.load(std::memory_order_relaxed));
+    }
+    for (fabric::NetworkSegment* seg : segs) {
+        const fabric::Adapter* nic = proc_->machine().adapter_on(*seg);
+        if (nic == nullptr) continue;
+        const fabric::AdapterCounters c = nic->counters();
+        mix(c.tx_packets);
+        mix(c.tx_bytes);
+        mix(c.rx_packets);
+        mix(c.rx_bytes);
+    }
+    return h;
+}
+
 std::uint64_t Runtime::register_ingress(std::string protocol,
                                         IngressSnapshot fn) {
     osal::CheckedLock lk(ingress_mu_);

@@ -222,6 +222,14 @@ public:
     /// segment.
     TrafficCounters stats() const;
 
+    /// Deterministic digest of this runtime's virtual state: process id,
+    /// virtual clock, and per-segment traffic/adapter counters, FNV-1a
+    /// folded in fixed segment order. Identical schedules (and schedules a
+    /// DPOR sleep set proves equivalent) must yield identical signatures —
+    /// this is the per-schedule virtual-time-identity assertion of the
+    /// explore_* suites and the replay tests (DESIGN.md §14).
+    std::uint64_t virtual_time_signature() const;
+
     // --- ingress-counter registry ---------------------------------------
 
     /// Snapshot callback a server core registers for its protocol bucket.

@@ -40,7 +40,8 @@ ServerCore::ServerCore(ptm::Runtime& rt, const std::string& endpoint,
     listener_ = std::make_unique<ptm::VLinkListener>(rt, endpoint);
     if (opts_.mode == Mode::kEventDriven) {
         waitset_.add(listener_->mailbox(), kListenerHandle);
-        dispatcher_ = std::thread([this] { dispatch_loop(); });
+        dispatcher_ = osal::sched::spawn_thread([this] { dispatch_loop(); },
+                                                "svc.dispatcher");
         osal::CheckedLock lk(pool_mu_);
         for (std::size_t i = 0; i < opts_.workers; ++i) pool_spawn_locked();
     } else if (opts_.mode == Mode::kShardedReadiness) {
@@ -60,14 +61,17 @@ ServerCore::ServerCore(ptm::Runtime& rt, const std::string& endpoint,
         listener_->mailbox().set_waiter(std::make_shared<ShardNotifier>(
             shards_[0]->ready, kListenerHandle));
         for (std::size_t i = 0; i < n; ++i)
-            shards_[i]->thread = std::thread([this, i] { shard_loop(i); });
+            shards_[i]->thread = osal::sched::spawn_thread(
+                [this, i] { shard_loop(i); }, "svc.shard");
         osal::CheckedLock lk(pool_mu_);
         for (std::size_t i = 0; i < opts_.workers; ++i) pool_spawn_locked();
     } else {
-        dispatcher_ = std::thread([this] { legacy_accept_loop(); });
+        dispatcher_ = osal::sched::spawn_thread(
+            [this] { legacy_accept_loop(); }, "svc.accept");
     }
     if (opts_.idle_timeout_ms > 0)
-        sweeper_ = std::thread([this] { sweep_loop(); });
+        sweeper_ = osal::sched::spawn_thread([this] { sweep_loop(); },
+                                             "svc.sweeper");
     ingress_token_ = rt_->register_ingress(opts_.protocol, [this] {
         const Stats s = stats();
         ptm::TrafficCounters::Ingress in;
@@ -99,10 +103,10 @@ void ServerCore::shutdown() {
     if (!shards_.empty()) listener_->mailbox().clear_waiter();
     waitset_.interrupt();
     for (auto& sh : shards_) sh->ready.close();
-    if (dispatcher_.joinable()) dispatcher_.join();
+    if (dispatcher_.joinable()) osal::sched::join(dispatcher_);
     for (auto& sh : shards_)
-        if (sh->thread.joinable()) sh->thread.join();
-    if (sweeper_.joinable()) sweeper_.join();
+        if (sh->thread.joinable()) osal::sched::join(sh->thread);
+    if (sweeper_.joinable()) osal::sched::join(sweeper_);
     // Unblock anything still reading from clients that will never close
     // their end (legacy conn loops block in their private wait sets).
     for (const Handle h : slab_.live_handles()) {
@@ -379,7 +383,8 @@ void ServerCore::handle_idle_deadline(Handle h, std::uint64_t now) {
 // Options::workers.
 
 void ServerCore::pool_spawn_locked() {
-    pool_.emplace_back([this] { worker_loop(); });
+    pool_.emplace_back(
+        osal::sched::spawn_thread([this] { worker_loop(); }, "svc.worker"));
     ++pool_threads_;
 }
 
@@ -405,7 +410,7 @@ void ServerCore::join_pool() {
             batch.swap(pool_);
         }
         if (batch.empty()) return;
-        for (auto& t : batch) t.join();
+        for (auto& t : batch) osal::sched::join(t);
     }
 }
 

@@ -1,0 +1,86 @@
+#pragma once
+/// Shared helpers for the explore_* suites (compiled with
+/// PADICO_SCHED_ENABLED + PADICO_CHECK_ENABLED; see tests/CMakeLists.txt).
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "osal/checked.hpp"
+#include "osal/sched.hpp"
+
+namespace explore {
+
+namespace sched = padico::osal::sched;
+namespace check = padico::osal::check;
+
+/// PADICO_SCHED_REPLAY=<trace-file>: tests that support it run the
+/// recorded schedule once instead of exploring — the deterministic-replay
+/// debugging workflow (DESIGN.md §14).
+inline std::optional<sched::Trace> replay_from_env() {
+    const char* path = std::getenv("PADICO_SCHED_REPLAY");
+    if (path == nullptr) return std::nullopt;
+    auto t = sched::load_trace(path);
+    if (!t) ADD_FAILURE() << "PADICO_SCHED_REPLAY: cannot load " << path;
+    return t;
+}
+
+/// True when the budget was overridden via PADICO_EXPLORE_BUDGET. Suites
+/// whose default budget provably exhausts their space only assert
+/// exhaustion when that default is in effect, so slow CI legs (sanitizers)
+/// can bound the run without turning the bound into a failure. An empty or
+/// zero value counts as unset (CI matrix legs without an override export
+/// the variable as "").
+inline bool budget_overridden() {
+    const char* b = std::getenv("PADICO_EXPLORE_BUDGET");
+    return b != nullptr && std::strtoull(b, nullptr, 10) > 0;
+}
+
+/// PADICO_EXPLORE_BUDGET overrides a suite's default schedule budget.
+inline std::uint64_t budget_or(std::uint64_t def) {
+    if (!budget_overridden()) return def;
+    return std::strtoull(std::getenv("PADICO_EXPLORE_BUDGET"), nullptr, 10);
+}
+
+/// Write a failing schedule where CI collects artifacts (PADICO_TRACE_DIR
+/// or the cwd) and print the one-line replay repro command.
+inline std::string dump_failure(const sched::Explorer& ex,
+                                const std::string& binary,
+                                const std::string& test) {
+    const char* dir = std::getenv("PADICO_TRACE_DIR");
+    const std::string path =
+        std::string(dir != nullptr ? dir : ".") + "/" + test + ".trace";
+    sched::save_trace(ex.failure_trace(), path);
+    std::fprintf(stderr,
+                 "padico::sched: failing schedule (%s) on run %llu written "
+                 "to %s\n  replay: PADICO_SCHED_REPLAY=%s ./%s "
+                 "--gtest_filter=*%s*\n",
+                 ex.failure_reason().c_str(),
+                 static_cast<unsigned long long>(ex.failure_run()),
+                 path.c_str(), path.c_str(), binary.c_str(), test.c_str());
+    return path;
+}
+
+/// Per-run checker reset. The order graph keys unranked mutexes by
+/// address, so a re-created configuration could inherit edges from the
+/// previous run's (destroyed) mutexes at recycled addresses and report
+/// phantom cycles.
+inline void reset_check() {
+    check::clear_order_graph();
+    check::clear_violations();
+}
+
+inline bool traces_equal(const sched::Trace& a, const sched::Trace& b) {
+    if (a.steps.size() != b.steps.size()) return false;
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+        if (a.steps[i].tid != b.steps[i].tid) return false;
+        if (a.steps[i].kind != b.steps[i].kind) return false;
+        if (a.steps[i].obj != b.steps[i].obj) return false;
+    }
+    return true;
+}
+
+} // namespace explore

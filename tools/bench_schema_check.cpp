@@ -4,7 +4,8 @@
 // EXPERIMENTS.md tables and by future regression tooling, so its shape is
 // part of the contract: this tool fails CI when a bench edit drops or
 // renames a field. Dispatches on the top-level "bench" key: "ingress"
-// (bench_ingress) or "topology" (bench_fabric_scale zone legs).
+// (bench_ingress), "topology" (bench_fabric_scale zone legs) or
+// "fabric_scale" (bench_fabric_scale pair sweep + soak).
 //
 // Deliberately not a JSON library: a small scanner that checks
 //  * braces/brackets balance and the file is one object,
@@ -178,6 +179,55 @@ void check_topology(const std::string& s) {
     require_bool(s, "ok");
 }
 
+/// BENCH_fabric.json from bench_fabric_scale: the pair-count sweep with
+/// sharded-vs-legacy wall clocks, the serial-engine identity leg and the
+/// windowed soak with its span-pruning counters.
+void check_fabric(const std::string& s) {
+    require_bool(s, "quick");
+    require_number(s, "cpus");
+
+    const std::size_t pairs = find_key(s, "pairs");
+    if (pairs == std::string::npos) {
+        fail("missing \"pairs\" array");
+    } else {
+        const std::size_t stop = s.find("\"speedup_at_max_pairs\"", pairs);
+        std::size_t rows = 0;
+        for (std::size_t at = find_key(s, "msgs_per_pair", pairs);
+             at != std::string::npos && at < stop;
+             at = find_key(s, "msgs_per_pair", at)) {
+            ++rows;
+            for (const char* k :
+                 {"wall_ms_sharded", "wall_ms_legacy", "kpkts_s_sharded",
+                  "kpkts_s_legacy", "speedup"})
+                require_number(s, k, at);
+        }
+        if (rows < 2)
+            fail("\"pairs\" array has " + std::to_string(rows) +
+                 " row(s), want at least 2");
+    }
+    require_number(s, "speedup_at_max_pairs");
+
+    const std::size_t serial = find_key(s, "serial");
+    if (serial == std::string::npos) {
+        fail("missing \"serial\" block");
+    } else {
+        require_number(s, "events", serial);
+    }
+
+    const std::size_t soak = find_key(s, "soak");
+    if (soak == std::string::npos) {
+        fail("missing \"soak\" block");
+    } else {
+        require_number(s, "msgs", soak);
+        require_number(s, "window", soak);
+        for (const char* k :
+             {"wall_ms", "tx_span_high_water", "tx_pruned_spans"})
+            require_number(s, k, soak);
+    }
+
+    require_bool(s, "ok");
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -206,9 +256,19 @@ int main(int argc, char** argv) {
         std::printf("%s: schema OK\n", argv[1]);
         return 0;
     }
+    if (bench == "\"fabric_scale\"") {
+        check_fabric(s);
+        if (g_failures != 0) {
+            std::fprintf(stderr, "%d schema failure(s) in %s\n", g_failures,
+                         argv[1]);
+            return 1;
+        }
+        std::printf("%s: schema OK\n", argv[1]);
+        return 0;
+    }
     if (bench != "\"ingress\"")
         fail("key \"bench\" is " + bench +
-             ", want \"ingress\" or \"topology\"");
+             ", want \"ingress\", \"topology\" or \"fabric_scale\"");
     require_bool(s, "quick");
     require_number(s, "hardware_concurrency");
     require_number(s, "thread_budget");

@@ -1,0 +1,101 @@
+// sched_trace: pretty-printer for padico::sched schedule traces
+// (DESIGN.md §14). The explorer dumps a failing schedule as a compact
+// trace file; this tool renders it human-readably — one swim-lane column
+// per thread so the interleaving is visible at a glance — and prints the
+// replay command for the matching explore_* binary.
+//
+// Usage: sched_trace [--summary] <trace-file>
+//
+// Works on any build: the trace format lives outside the
+// PADICO_SCHED_ENABLED gate, so the tool can inspect traces produced by an
+// instrumented binary even when built without the harness.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "osal/sched.hpp"
+
+namespace {
+
+namespace sched = padico::osal::sched;
+
+void print_summary(const sched::Trace& t) {
+    std::map<std::uint32_t, std::size_t> per_thread;
+    std::map<std::string, std::size_t> per_kind;
+    std::map<std::uint32_t, std::string> obj_label;
+    for (const auto& s : t.steps) {
+        ++per_thread[s.tid];
+        ++per_kind[sched::op_name(s.kind)];
+        if (!s.label.empty() && obj_label[s.obj].empty())
+            obj_label[s.obj] = s.label;
+    }
+    std::printf("config:  %s\n", t.config.empty() ? "-" : t.config.c_str());
+    std::printf("status:  %s\n", t.status.empty() ? "-" : t.status.c_str());
+    std::printf("threads: %u\n", t.threads);
+    std::printf("steps:   %zu\n", t.steps.size());
+    std::printf("objects: %zu\n", obj_label.size());
+    for (const auto& [tid, n] : per_thread)
+        std::printf("  t%-3u %6zu step(s)\n", tid, n);
+    for (const auto& [kind, n] : per_kind)
+        std::printf("  %-14s %6zu\n", kind.c_str(), n);
+}
+
+void print_lanes(const sched::Trace& t) {
+    // One column per thread; each row is one scheduling decision, placed
+    // in the lane of the thread that was granted.
+    const unsigned lanes = t.threads ? t.threads : 1;
+    const int width = 22;
+    std::printf("%5s ", "step");
+    for (unsigned i = 0; i < lanes; ++i)
+        std::printf(" %-*s", width, ("t" + std::to_string(i)).c_str());
+    std::printf("\n");
+    std::size_t n = 0;
+    for (const auto& s : t.steps) {
+        std::printf("%5zu ", n++);
+        std::string cell = std::string(sched::op_name(s.kind)) + " #" +
+                           std::to_string(s.obj);
+        if (!s.label.empty()) cell += " (" + s.label + ")";
+        if (cell.size() > static_cast<std::size_t>(width))
+            cell.resize(static_cast<std::size_t>(width));
+        for (unsigned i = 0; i < lanes; ++i) {
+            if (i == s.tid)
+                std::printf(" %-*s", width, cell.c_str());
+            else
+                std::printf(" %-*s", width, ".");
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool summary_only = false;
+    const char* path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--summary") == 0)
+            summary_only = true;
+        else
+            path = argv[i];
+    }
+    if (!path) {
+        std::fprintf(stderr, "usage: sched_trace [--summary] <trace-file>\n");
+        return 2;
+    }
+    auto t = sched::load_trace(path);
+    if (!t.has_value()) {
+        std::fprintf(stderr, "%s: not a padico-sched-trace v1 file\n", path);
+        return 1;
+    }
+    print_summary(*t);
+    if (!summary_only) {
+        std::printf("\n");
+        print_lanes(*t);
+    }
+    std::printf("\nreplay: PADICO_SCHED_REPLAY=%s ./tests/explore_<config> "
+                "--gtest_filter='*'\n",
+                path);
+    return 0;
+}
