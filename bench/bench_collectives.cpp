@@ -1,0 +1,377 @@
+// bench_collectives: flat vs topology-aware hierarchical collectives on
+// zoned grids (MPICH-G2-style multilevel algorithms, DESIGN.md §15). For
+// cluster counts 2..8 joined by a WAN backbone, runs each collective in
+// both modes across a message-size sweep and reports, per leg,
+//
+//   * virtual completion time per operation (max rank clock delta),
+//   * WAN crossings per operation (sender-side zone-level counters),
+//
+// reproducing the "WAN messages dominate" crossover: at small sizes the
+// hierarchical algorithms win by the crossing ratio (O(clusters) vs
+// O(n)/O(log n) * WAN latency); at large sizes the WAN bandwidth term
+// dominates and the gap narrows to the byte ratio. The run fails unless
+//   * hierarchical WAN crossings equal the closed-form O(clusters) counts
+//     exactly and stay strictly below the flat counts on every leg,
+//   * the hierarchical bcast/allreduce are >= 2x faster for small
+//     messages at the largest cluster count (8 in the full run; the
+//     quick sweep reports but does not gate on this),
+//   * on a flat (topology-free) grid, auto mode is bit-identical in
+//     virtual time to the forced-flat baseline.
+//
+// Emits BENCH_collectives.json (--out <path>); --quick shrinks the sweep
+// for the CTest smoke leg.
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "fabric/topology.hpp"
+#include "mpi/mpi.hpp"
+#include "util/strings.hpp"
+
+namespace padico::bench {
+namespace {
+
+using fabric::Grid;
+using fabric::Machine;
+using fabric::Process;
+using fabric::ProcessId;
+
+/// Zoned grid: `clusters` Myrinet clusters of `per_cluster` nodes joined
+/// by a WAN core; every member also attaches to the backbone so any rank
+/// pair shares a segment (intra-cluster pairs still pick the LAN).
+struct ZonedBed {
+    Grid grid;
+    std::unique_ptr<fabric::Topology> topo;
+    std::vector<Machine*> nodes;
+
+    ZonedBed(int clusters, int per_cluster) {
+        topo = std::make_unique<fabric::Topology>(grid);
+        auto& core = topo->add_wan("core");
+        for (int c = 0; c < clusters; ++c) {
+            fabric::ClusterSpec spec;
+            spec.size = static_cast<std::size_t>(per_cluster);
+            spec.tech = fabric::NetTech::Myrinet2000;
+            auto& cz =
+                topo->add_cluster("c" + std::to_string(c), spec);
+            core.link(cz);
+            for (Machine* m : cz.members()) {
+                if (m->adapter_on(core.backbone()) == nullptr)
+                    grid.attach(*m, core.backbone());
+                nodes.push_back(m);
+            }
+        }
+    }
+
+    void run(const std::function<void(mpi::Comm&)>& body) {
+        std::vector<ProcessId> members(nodes.size());
+        std::iota(members.begin(), members.end(), 0u);
+        fabric::run_spmd(grid, nodes, [&, members](Process& proc, int, int) {
+            ptm::Runtime rt(proc);
+            mpi::install();
+            auto mod = std::static_pointer_cast<mpi::MpiModule>(
+                rt.modules().load("mpi"));
+            auto world = mod->init("bench", members);
+            body(world->world());
+        });
+        grid.join_all();
+    }
+};
+
+enum class Coll { kBcast, kAllreduce, kBarrier };
+
+const char* coll_name(Coll c) {
+    switch (c) {
+    case Coll::kBcast: return "bcast";
+    case Coll::kAllreduce: return "allreduce";
+    case Coll::kBarrier: return "barrier";
+    }
+    return "?";
+}
+
+/// Closed-form WAN crossings per hierarchical operation at C clusters.
+std::uint64_t expected_wan(Coll c, std::uint64_t C) {
+    switch (c) {
+    case Coll::kBcast: return C - 1;
+    case Coll::kAllreduce: return 2 * (C - 1);
+    case Coll::kBarrier: return 2 * (C - 1);
+    }
+    return 0;
+}
+
+struct Measure {
+    double us_per_op = 0;      ///< virtual completion time
+    double wan_msgs_per_op = 0; ///< summed over ranks
+    double wan_bytes_per_op = 0;
+};
+
+/// One (clusters, op, bytes, mode) leg on a fresh grid. All measurement is
+/// virtual-time, so one measured iteration after a warmup is exact; the
+/// flat-mode fences around the measured window keep its mode traffic out
+/// of the counters of the next leg, and the counter snapshots are taken on
+/// the measuring rank's own sender-side counters only.
+Measure run_leg(int clusters, int per_cluster, Coll op, std::size_t bytes,
+                mpi::CollMode mode, int iters) {
+    ZonedBed bed(clusters, per_cluster);
+    Measure out;
+    std::mutex mu;
+    std::vector<double> per_rank_us(bed.nodes.size(), 0);
+    std::atomic<std::uint64_t> wan_msgs{0}, wan_bytes{0};
+
+    bed.run([&](mpi::Comm& comm) {
+        const std::size_t words =
+            std::max<std::size_t>(1, bytes / sizeof(std::int64_t));
+        std::vector<std::int64_t> in(words, comm.rank() + 1);
+        std::vector<std::int64_t> buf(words, 0);
+        auto once = [&](mpi::Comm& c) {
+            switch (op) {
+            case Coll::kBcast:
+                c.bcast(std::span<std::int64_t>(buf), 0);
+                break;
+            case Coll::kAllreduce:
+                c.allreduce(std::span<const std::int64_t>(in),
+                            std::span<std::int64_t>(buf), mpi::Op::Sum);
+                break;
+            case Coll::kBarrier:
+                c.barrier();
+                break;
+            }
+        };
+        ptm::Runtime& rt = comm.runtime();
+        comm.set_coll_mode(mode);
+        once(comm); // warmup: service registration, first-use costs
+        // Aligned virtual epoch: after a barrier the per-rank clocks still
+        // spread by up to a WAN latency (dissemination skew), which would
+        // smear the per-op critical path. Agree on a common instant safely
+        // past every clock -- the alignment allreduce itself advances
+        // clocks beyond the sampled max, so the epoch needs slack above it
+        // -- then jump every clock exactly there. The allreduce is
+        // globally synchronizing, so nothing is in flight at the jump.
+        comm.set_coll_mode(mpi::CollMode::kFlat);
+        comm.barrier();
+        const SimTime now = rt.process().now();
+        SimTime maxnow = 0;
+        comm.allreduce(std::span<const SimTime>(&now, 1),
+                       std::span<SimTime>(&maxnow, 1), mpi::Op::Max);
+        const SimTime epoch = maxnow + msec(100.0);
+        if (rt.process().now() > epoch) {
+            std::fprintf(stderr, "FATAL: epoch slack too small\n");
+            std::abort();
+        }
+        rt.process().clock().merge(epoch);
+        const auto s0 = rt.stats().zone_level;
+        comm.set_coll_mode(mode);
+        for (int i = 0; i < iters; ++i) once(comm);
+        const SimTime t1 = rt.process().now();
+        const auto s1 = rt.stats().zone_level;
+        wan_msgs.fetch_add(s1.wan_messages - s0.wan_messages);
+        wan_bytes.fetch_add(s1.wan_bytes - s0.wan_bytes);
+        std::lock_guard<std::mutex> lk(mu);
+        per_rank_us[static_cast<std::size_t>(comm.rank())] =
+            static_cast<double>(t1 - epoch) / 1000.0 / iters;
+    });
+
+    for (const double us : per_rank_us)
+        out.us_per_op = std::max(out.us_per_op, us);
+    out.wan_msgs_per_op =
+        static_cast<double>(wan_msgs.load()) / iters;
+    out.wan_bytes_per_op =
+        static_cast<double>(wan_bytes.load()) / iters;
+    return out;
+}
+
+/// Flat-grid A/B: the same workload on topology-free grids under auto and
+/// forced-flat modes must end on identical per-rank virtual-time
+/// signatures — auto mode may not perturb flat deployments.
+bool flat_identity(int n) {
+    auto signatures = [n](mpi::CollMode mode) {
+        Testbed bed(n);
+        std::vector<std::uint64_t> sigs(static_cast<std::size_t>(n), 0);
+        std::mutex mu;
+        std::vector<ProcessId> members(static_cast<std::size_t>(n));
+        std::iota(members.begin(), members.end(), 0u);
+        fabric::run_spmd(
+            bed.grid, bed.nodes, [&, members](Process& proc, int, int) {
+                ptm::Runtime rt(proc);
+                mpi::install();
+                auto mod = std::static_pointer_cast<mpi::MpiModule>(
+                    rt.modules().load("mpi"));
+                auto world = mod->init("flatid", members);
+                mpi::Comm& comm = world->world();
+                comm.set_coll_mode(mode);
+                std::vector<std::int64_t> b(16, comm.rank());
+                comm.bcast(std::span<std::int64_t>(b), 1);
+                std::vector<std::int64_t> o(16, 0);
+                comm.allreduce(std::span<const std::int64_t>(b),
+                               std::span<std::int64_t>(o), mpi::Op::Sum);
+                comm.barrier();
+                const std::uint64_t sig = rt.virtual_time_signature();
+                std::lock_guard<std::mutex> lk(mu);
+                sigs[static_cast<std::size_t>(comm.rank())] = sig;
+            });
+        bed.grid.join_all();
+        return sigs;
+    };
+    return signatures(mpi::CollMode::kAuto) ==
+           signatures(mpi::CollMode::kFlat);
+}
+
+struct Leg {
+    int clusters = 0;
+    int ranks = 0;
+    Coll op = Coll::kBcast;
+    std::size_t bytes = 0;
+    Measure flat, hier;
+    std::uint64_t wan_expected = 0;
+    bool wan_ok = false;
+};
+
+int run(bool quick, const std::string& out_path) {
+    const std::vector<int> cluster_counts =
+        quick ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8};
+    // Non-power-of-two cluster size: with 2^k-sized clusters the flat
+    // binomial masks accidentally align with cluster boundaries and
+    // cross the WAN only C-1 times themselves; any other size shows the
+    // generic O(n)/O(log n)-crossings behavior the figure is about.
+    const int per_cluster = quick ? 3 : 5;
+    const std::vector<std::size_t> sizes =
+        quick ? std::vector<std::size_t>{8, 16384}
+              : std::vector<std::size_t>{8, 4096, 262144};
+    const int iters = quick ? 1 : 2;
+
+    print_header("BENCH collectives",
+                 "flat vs hierarchical collectives on zoned grids");
+
+    std::vector<Leg> legs;
+    bool wan_all_ok = true;
+    for (const int C : cluster_counts)
+        for (const Coll op :
+             {Coll::kBcast, Coll::kAllreduce, Coll::kBarrier})
+            for (const std::size_t bytes : sizes) {
+                if (op == Coll::kBarrier && bytes != sizes.front())
+                    continue; // barrier carries no payload
+                Leg leg;
+                leg.clusters = C;
+                leg.ranks = C * per_cluster;
+                leg.op = op;
+                leg.bytes = op == Coll::kBarrier ? 0 : bytes;
+                leg.flat = run_leg(C, per_cluster, op, bytes,
+                                   mpi::CollMode::kFlat, iters);
+                leg.hier = run_leg(C, per_cluster, op, bytes,
+                                   mpi::CollMode::kAuto, iters);
+                leg.wan_expected =
+                    expected_wan(op, static_cast<std::uint64_t>(C));
+                leg.wan_ok =
+                    leg.hier.wan_msgs_per_op ==
+                        static_cast<double>(leg.wan_expected) &&
+                    leg.hier.wan_msgs_per_op < leg.flat.wan_msgs_per_op;
+                wan_all_ok = wan_all_ok && leg.wan_ok;
+                std::printf(
+                    "C=%d n=%2d %-9s %7zu B  flat %10.1f us / %5.0f wan"
+                    "  hier %10.1f us / %5.0f wan  speedup %5.2fx %s\n",
+                    C, leg.ranks, coll_name(op), leg.bytes,
+                    leg.flat.us_per_op, leg.flat.wan_msgs_per_op,
+                    leg.hier.us_per_op, leg.hier.wan_msgs_per_op,
+                    leg.flat.us_per_op / leg.hier.us_per_op,
+                    leg.wan_ok ? "" : "WAN-MISMATCH");
+                legs.push_back(leg);
+            }
+
+    // Headline: bcast/allreduce at the largest cluster count (>= 4),
+    // smallest size -- where the WAN-crossing ratio dominates. The quick
+    // sweep stops at 4 clusters, where flat bcast is only ~2 chained WAN
+    // latencies and the ratio sits at the boundary, so (as in
+    // bench_fabric_scale) the speedup gate applies to the full run only;
+    // the WAN-count and identity gates always apply.
+    const int cmax = cluster_counts.back();
+    double speedup_min = 1e30;
+    for (const Leg& l : legs)
+        if (l.clusters == cmax && l.bytes == sizes.front() &&
+            (l.op == Coll::kBcast || l.op == Coll::kAllreduce))
+            speedup_min = std::min(speedup_min,
+                                   l.flat.us_per_op / l.hier.us_per_op);
+    const bool speedup_ok = quick || speedup_min >= 2.0;
+    const bool identity_ok = flat_identity(quick ? 4 : 6);
+
+    std::string j;
+    j += util::strfmt(
+        "{\n \"bench\": \"collectives\",\n \"quick\": %s,\n"
+        " \"cpus\": %u,\n \"per_cluster\": %d,\n \"iters\": %d,\n",
+        quick ? "true" : "false", std::thread::hardware_concurrency(),
+        per_cluster, iters);
+    j += " \"legs\": [\n";
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+        const Leg& l = legs[i];
+        j += util::strfmt(
+            "  {\"clusters\": %d, \"ranks\": %d, \"op\": \"%s\", "
+            "\"bytes\": %zu, \"flat_us\": %.1f, \"hier_us\": %.1f, "
+            "\"speedup\": %.2f, \"flat_wan_msgs\": %.0f, "
+            "\"hier_wan_msgs\": %.0f, \"hier_wan_expected\": %llu, "
+            "\"hier_wan_bytes\": %.0f, \"flat_wan_bytes\": %.0f, "
+            "\"wan_ok\": %s}%s\n",
+            l.clusters, l.ranks, coll_name(l.op), l.bytes,
+            l.flat.us_per_op, l.hier.us_per_op,
+            l.flat.us_per_op / l.hier.us_per_op, l.flat.wan_msgs_per_op,
+            l.hier.wan_msgs_per_op,
+            static_cast<unsigned long long>(l.wan_expected),
+            l.hier.wan_bytes_per_op, l.flat.wan_bytes_per_op,
+            l.wan_ok ? "true" : "false",
+            i + 1 == legs.size() ? "" : ",");
+    }
+    j += " ],\n";
+    j += util::strfmt(
+        " \"cmax\": %d,\n"
+        " \"speedup_min_cmax_small\": %.2f,\n \"hier_wan_ok\": %s,\n"
+        " \"flat_identity\": %s,\n \"ok\": %s\n}\n",
+        cmax, speedup_min, wan_all_ok ? "true" : "false",
+        identity_ok ? "true" : "false",
+        (wan_all_ok && speedup_ok && identity_ok) ? "true" : "false");
+    std::fputs(j.c_str(), stdout);
+    if (!out_path.empty()) {
+        if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+            std::fputs(j.c_str(), f);
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr, "WARN: cannot write %s\n",
+                         out_path.c_str());
+        }
+    }
+
+    int rc = 0;
+    if (!wan_all_ok) {
+        std::fprintf(stderr, "FAIL: hierarchical WAN crossings off the "
+                             "closed form or not below flat\n");
+        rc = 1;
+    }
+    if (!speedup_ok) {
+        std::fprintf(stderr,
+                     "FAIL: min bcast/allreduce speedup at %d clusters "
+                     "small messages is %.2fx (< 2x)\n",
+                     cmax, speedup_min);
+        rc = 1;
+    }
+    if (!identity_ok) {
+        std::fprintf(stderr, "FAIL: flat-grid auto mode diverged from "
+                             "forced-flat virtual time\n");
+        rc = 1;
+    }
+    return rc;
+}
+
+} // namespace
+} // namespace padico::bench
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    std::string out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out = argv[++i];
+    }
+    return padico::bench::run(quick, out);
+}

@@ -39,6 +39,7 @@ class Adapter;
 class Port;
 class Process;
 class Grid;
+class Topology;
 
 /// Routing-zone identifier (see fabric/topology.hpp). Zone 0 is the
 /// implicit flat zone every segment starts in; Topology assigns real ids
@@ -234,12 +235,20 @@ public:
 
     /// Routing zone this segment's wiring belongs to (0 = flat/unzoned).
     /// Set once by the Topology that generates the segment, before traffic.
+    /// \p wan marks segments owned by a WAN zone, the classification the
+    /// per-zone-level traffic counters use (Runtime::stats).
     ZoneId zone_id() const noexcept { return zone_id_; }
     const std::string& zone_name() const noexcept { return zone_name_; }
-    void set_zone(ZoneId id, std::string name) {
+    void set_zone(ZoneId id, std::string name, bool wan = false) {
         zone_id_ = id;
         zone_name_ = std::move(name);
+        wan_ = wan;
     }
+
+    /// True when traffic on this segment crosses the wide area: the owning
+    /// zone is a WAN zone, or — on hand-built grids with no Topology — the
+    /// segment was built from the Wan technology class.
+    bool is_wan() const noexcept { return wan_ || tech_ == NetTech::Wan; }
 
     /// Number of machines attached (NICs on this segment) — the upper
     /// bound of this segment's route-table population.
@@ -353,6 +362,7 @@ private:
     std::optional<NetTech> tech_;
     ZoneId zone_id_ = 0;
     std::string zone_name_;
+    bool wan_ = false;
     std::atomic<std::size_t> attached_{0};
     osal::CheckedMutex route_mu_{lockrank::kFabricRoute, "fabric.route"};
     osal::CheckedCondVar route_cv_;
@@ -544,6 +554,17 @@ public:
     /// means "nothing relevant changed".
     std::uint64_t machine_route_stamp(const Machine& m) const noexcept;
 
+    /// The Topology describing this grid's zone tree, or nullptr on flat
+    /// hand-built grids. Registered by the Topology constructor (first one
+    /// wins), cleared by its destructor; non-owning. Consumers — e.g. the
+    /// MPI layer's communicator cluster map — treat nullptr as "flat".
+    Topology* topology() const noexcept {
+        return topology_.load(std::memory_order_acquire);
+    }
+    void set_topology(Topology* t) noexcept {
+        topology_.store(t, std::memory_order_release);
+    }
+
 private:
     friend class Adapter;
     friend class NetworkSegment;
@@ -553,6 +574,7 @@ private:
     }
 
     std::atomic<std::uint64_t> route_gen_{0};
+    std::atomic<Topology*> topology_{nullptr};
     std::atomic<std::uint64_t> zone_gens_[kMaxZones] = {};
     std::atomic<ZoneId> next_zone_{1};
     std::vector<std::unique_ptr<Machine>> machines_;

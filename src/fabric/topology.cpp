@@ -52,7 +52,7 @@ NetworkSegment& Zone::make_segment(const std::string& suffix, NetTech tech) {
     if (grid().find_segment(name) != nullptr)
         throw ResourceConflict("segment already exists: " + name);
     NetworkSegment& s = grid().add_segment(name, tech);
-    s.set_zone(id_, full_name());
+    s.set_zone(id_, full_name(), kind_ == ZoneKind::Wan);
     segments_.push_back(&s);
     return s;
 }
@@ -121,7 +121,8 @@ void Zone::adopt(Zone& z) {
                                        " at zone " + n.name_);
             n.mu_.set_rank(lockrank::zone_rank(n.depth_), n.name_.c_str());
             for (NetworkSegment* s : n.segments_)
-                s->set_zone(n.id_, n.full_name());
+                s->set_zone(n.id_, n.full_name(),
+                            n.kind_ == ZoneKind::Wan);
             for (Zone* c : n.children_) apply(*c);
         }
     };
@@ -487,6 +488,16 @@ Path FlatZone::path(Machine& a, Machine& b) {
 
 // --- Topology --------------------------------------------------------------
 
+Topology::Topology(Grid& grid) : grid_(&grid) {
+    // First topology wins: compat wrappers built later (wrap_flat over an
+    // already-zoned grid) must not displace the real zone tree.
+    if (grid.topology() == nullptr) grid.set_topology(this);
+}
+
+Topology::~Topology() {
+    if (grid_->topology() == this) grid_->set_topology(nullptr);
+}
+
 Zone& Topology::root() {
     osal::CheckedLock lk(mu_);
     if (root_ == nullptr) throw LookupError("topology has no zones");
@@ -701,76 +712,77 @@ SimTime send_routed(Topology& topo, Process& src, Port& port, ProcessId dst,
     return t;
 }
 
-void relay_loop(Topology& topo, Process& self, std::atomic<bool>& stop) {
-    Grid& grid = topo.grid();
+std::vector<PortRef> open_relay_ports(Topology& topo, Process& self) {
     std::vector<PortRef> ports;
     for (Adapter* a : self.machine().adapters())
         ports.push_back(a->open(self, "relay"));
-    grid.register_service("relay@" + self.machine().name(), self.id());
+    topo.grid().register_service("relay@" + self.machine().name(),
+                                 self.id());
+    return ports;
+}
 
-    // Deliver \p payload to a process on THIS machine: the terminal relay
-    // of a path ending at a gateway-resident endpoint. The process's port
-    // may be on any local segment (and may not be open yet — boot race),
-    // so poll the NICs until it appears.
-    const auto deliver_local = [&](ProcessId dst, ChannelId ch,
-                                   util::Message payload) {
+void relay_forward(Topology& topo, Process& self,
+                   std::vector<PortRef>& ports, Packet&& pkt) {
+    Grid& grid = topo.grid();
+    self.clock().merge(pkt.deliver_time); // Lamport merge, then send
+    Routed r = unwrap_routed(pkt.payload);
+    Machine& dst_machine = grid.wait_process(r.final_dst).machine();
+    if (&dst_machine == &self.machine()) {
+        // Deliver to a process on THIS machine: the terminal relay of a
+        // path ending at a gateway-resident endpoint. The process's port
+        // may be on any local segment (and may not be open yet — boot
+        // race), so poll the NICs until it appears.
         for (;;) {
             for (auto& p : ports)
-                if (p->adapter().segment().port_for(dst) != nullptr) {
-                    self.clock().set(
-                        p->send(dst, ch, std::move(payload), self.now()));
+                if (p->adapter().segment().port_for(r.final_dst) !=
+                    nullptr) {
+                    self.clock().set(p->send(r.final_dst, pkt.channel,
+                                             std::move(r.payload),
+                                             self.now()));
                     return;
                 }
             std::this_thread::sleep_for(std::chrono::microseconds(50));
         }
-    };
-
-    const auto forward = [&](Packet&& pkt) {
-        self.clock().merge(pkt.deliver_time); // Lamport merge, then send
-        Routed r = unwrap_routed(pkt.payload);
-        Machine& dst_machine = grid.wait_process(r.final_dst).machine();
-        if (&dst_machine == &self.machine()) {
-            deliver_local(r.final_dst, pkt.channel, std::move(r.payload));
-            return;
+    }
+    const Hop hop = topo.next_hop(self.machine(), dst_machine);
+    Port* out = nullptr;
+    for (auto& p : ports)
+        if (&p->adapter().segment() == hop.seg) {
+            out = p.get();
+            break;
         }
-        const Hop hop = topo.next_hop(self.machine(), dst_machine);
-        Port* out = nullptr;
-        for (auto& p : ports)
-            if (&p->adapter().segment() == hop.seg) {
-                out = p.get();
-                break;
-            }
-        if (out == nullptr)
-            throw LookupError("relay " + self.machine().name() +
-                                    " has no port on " + hop.seg->name());
-        SimTime t;
-        if (hop.to == &dst_machine &&
-            (hop.seg->port_for(r.final_dst) != nullptr ||
-             !grid.try_lookup("relay@" + hop.to->name()))) {
-            // Last hop and the endpoint listens on this very segment — or
-            // will: with no relay on the destination machine to hand over
-            // to, block in send until the port opens (boot race).
-            t = out->send(r.final_dst, pkt.channel, std::move(r.payload),
-                          self.now());
-        } else {
-            // Still in flight: either toward another zone, or toward the
-            // destination machine but addressed to a port on one of its
-            // OTHER segments (endpoint on a gateway) — its local relay
-            // finishes the job. Forward the frame as-is.
-            const ProcessId next =
-                grid.wait_service("relay@" + hop.to->name());
-            t = out->send(next, pkt.channel, std::move(pkt.payload),
-                          self.now());
-        }
-        self.clock().set(t);
-    };
+    if (out == nullptr)
+        throw LookupError("relay " + self.machine().name() +
+                                " has no port on " + hop.seg->name());
+    SimTime t;
+    if (hop.to == &dst_machine &&
+        (hop.seg->port_for(r.final_dst) != nullptr ||
+         !grid.try_lookup("relay@" + hop.to->name()))) {
+        // Last hop and the endpoint listens on this very segment — or
+        // will: with no relay on the destination machine to hand over
+        // to, block in send until the port opens (boot race).
+        t = out->send(r.final_dst, pkt.channel, std::move(r.payload),
+                      self.now());
+    } else {
+        // Still in flight: either toward another zone, or toward the
+        // destination machine but addressed to a port on one of its
+        // OTHER segments (endpoint on a gateway) — its local relay
+        // finishes the job. Forward the frame as-is.
+        const ProcessId next = grid.wait_service("relay@" + hop.to->name());
+        t = out->send(next, pkt.channel, std::move(pkt.payload),
+                      self.now());
+    }
+    self.clock().set(t);
+}
 
+void relay_loop(Topology& topo, Process& self, std::atomic<bool>& stop) {
+    std::vector<PortRef> ports = open_relay_ports(topo, self);
     for (;;) {
         bool got = false;
         for (auto& p : ports)
             while (auto pkt = p->try_recv()) {
                 got = true;
-                forward(std::move(*pkt));
+                relay_forward(topo, self, ports, std::move(*pkt));
             }
         if (got) continue;
         if (stop.load(std::memory_order_acquire)) {

@@ -222,6 +222,7 @@ void ParallelSkeleton::run_operation(Invocation& inv, const FragHeader& h,
     OpContext ctx;
     ctx.member_rank = rank_;
     ctx.member_size = desc_.members;
+    ctx.member_clusters = comm_ != nullptr ? comm_->topo().clusters() : 1;
     ctx.global_len = h.global_len;
     ctx.elem_size = h.elem_size;
     ctx.local_len = arg.size() / std::max<std::size_t>(1, h.elem_size);

@@ -34,6 +34,10 @@ const char* strategy_name(Strategy s);
 struct OpContext {
     int member_rank = 0;
     int member_size = 1;
+    /// Topology clusters the member communicator spans (from its TopoMap;
+    /// 1 on flat grids or without a communicator).  Operation bodies can
+    /// use it to pick cluster-aware algorithms.
+    int member_clusters = 1;
     std::size_t global_len = 0; ///< elements
     std::size_t elem_size = 1;  ///< bytes per element
     std::size_t local_len = 0;  ///< elements in this member's block

@@ -117,6 +117,13 @@ Strategy ParallelStub::choose_strategy(std::size_t global_len,
     // one contiguous block without per-fragment bookkeeping (paper §4.2.2:
     // the decision weighs client vs server network performance and memory
     // feasibility).
+    //
+    // When the client group spans several topology clusters, its shuffle
+    // rides the hierarchical alltoallv (same TopoMap as the collectives):
+    // streams aggregate at each cluster leader before crossing a gateway,
+    // so client-side consolidation wins regardless of the node-count tie.
+    if (group_ != nullptr && group_->topo().hierarchical())
+        return Strategy::ClientSide;
     return n_clients_ >= n_s ? Strategy::ClientSide : Strategy::ServerSide;
 }
 

@@ -1,6 +1,9 @@
 #include "mpi/mpi.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
 
 #include "util/strings.hpp"
 
@@ -10,9 +13,21 @@ namespace detail {
 
 int coll_tag(std::uint64_t& seq) {
     // Collectives get tags above the user range, cycling through a window
-    // wide enough that in-flight collectives can never alias.
+    // wide enough that in-flight collectives can never alias.  The stride
+    // of 4 leaves each collective a private window of sub-tags for its
+    // internal phases.
     return kMaxUserTag + 1 +
            static_cast<int>(seq++ % (1u << 10)) * 4;
+}
+
+void check_overlap(const void* in, std::size_t in_bytes, const void* out,
+                   std::size_t out_bytes) {
+    const auto a = reinterpret_cast<std::uintptr_t>(in);
+    const auto b = reinterpret_cast<std::uintptr_t>(out);
+    if (a == b && in_bytes == out_bytes) return; // exact alias: in place
+    const bool disjoint = a + in_bytes <= b || b + out_bytes <= a;
+    PADICO_CHECK(disjoint,
+                 "collective in/out buffers overlap without aliasing exactly");
 }
 
 } // namespace detail
@@ -20,10 +35,26 @@ int coll_tag(std::uint64_t& seq) {
 // ---------------------------------------------------------------------------
 // Comm
 
+namespace {
+
+CollMode initial_coll_mode() {
+    if (const char* e = std::getenv("PADICO_MPI_COLL")) {
+        if (std::string_view(e) == "flat") return CollMode::kFlat;
+        if (std::string_view(e) == "hier") return CollMode::kHier;
+    }
+    return CollMode::kAuto;
+}
+
+} // namespace
+
 Comm::Comm(ptm::Runtime& rt, const std::string& name,
            std::vector<fabric::ProcessId> members, MpiCosts costs)
     : circuit_(std::make_shared<ptm::Circuit>(rt, name, std::move(members))),
-      costs_(costs), coll_seq_(std::make_shared<std::uint64_t>(0)) {}
+      costs_(costs), coll_seq_(std::make_shared<std::uint64_t>(0)),
+      // The Circuit rendezvous above guarantees every member process
+      // exists, so the cluster map resolves without communication.
+      topo_(TopoMap::build(rt, circuit_->members(), costs.per_msg)),
+      coll_mode_(initial_coll_mode()) {}
 
 void Comm::send_msg(util::Message msg, int dst, int tag) {
     PADICO_CHECK(valid(), "operation on an invalid communicator");
@@ -139,26 +170,353 @@ void wait_all(std::span<Request> reqs) {
 }
 
 // ---------------------------------------------------------------------------
-// Collectives (byte level)
+// Collectives: group primitives
+//
+// A "group" is a subset of this communicator's ranks (identical vector on
+// every member, typically one cluster's ranks or the per-cluster leaders)
+// operating over one link class.  The primitives pick their shape -- star,
+// binomial tree, or long-message pipelined variants -- from the TopoMap's
+// link cost model; the choice is deterministic because every member derives
+// the same map and the same sizes.
 
-void Comm::barrier() {
-    // Dissemination barrier: ceil(log2 n) rounds.
-    const int tag = detail::coll_tag(*coll_seq_);
-    const int n = size();
-    for (int k = 1; k < n; k <<= 1) {
-        const int to = (rank() + k) % n;
-        const int from = (rank() - k + n) % n;
-        send_msg(util::to_message(util::ByteBuf("b", 1)), to, tag);
-        recv_msg(from, tag);
+namespace {
+
+int log2ceil(int p) {
+    int l = 0;
+    while ((1 << l) < p) ++l;
+    return l;
+}
+
+int index_of(const std::vector<int>& g, int rank) {
+    for (std::size_t i = 0; i < g.size(); ++i)
+        if (g[i] == rank) return static_cast<int>(i);
+    PADICO_CHECK(false, "rank not in collective group");
+    return -1;
+}
+
+enum class GroupAlgo { kStar, kBinomial, kScatterAllgather };
+
+/// Star vs binomial: a star pays one latency plus p-1 back-to-back
+/// occupancies at the root; a binomial tree chains ceil(log2 p) full
+/// message times (each including the link latency and any rendezvous
+/// round-trip).
+GroupAlgo pick_tree(const TopoMap::Link& l, std::size_t n, int p) {
+    if (p <= 2) return GroupAlgo::kStar;
+    const SimTime star =
+        l.latency + static_cast<SimTime>(p - 1) * l.occupancy(n);
+    const SimTime tree = static_cast<SimTime>(log2ceil(p)) * l.msg_time(n);
+    return star <= tree ? GroupAlgo::kStar : GroupAlgo::kBinomial;
+}
+
+/// Long-message bcast: van de Geijn scatter + ring allgather beats a tree
+/// once per-byte time dominates per-message time -- its chunks also stay
+/// under the rendezvous threshold longer, which msg_time() accounts for.
+GroupAlgo pick_bcast(const TopoMap::Link& l, std::size_t n, int p,
+                     bool allow_sag) {
+    const GroupAlgo t = pick_tree(l, n, p);
+    if (!allow_sag || p < 3 || n < static_cast<std::size_t>(p) * 64) return t;
+    const int lg = log2ceil(p);
+    const SimTime base =
+        t == GroupAlgo::kStar
+            ? l.latency + static_cast<SimTime>(p - 1) * l.occupancy(n)
+            : static_cast<SimTime>(lg) * l.msg_time(n);
+    const SimTime sag =
+        static_cast<SimTime>(lg) * l.msg_time(n / 2) +
+        static_cast<SimTime>(p - 1) *
+            l.msg_time(n / static_cast<std::size_t>(p));
+    return sag < base ? GroupAlgo::kScatterAllgather : t;
+}
+
+/// Ring allreduce (reduce-scatter + allgather) pays 2(p-1) slice messages
+/// against the flat composition's 2 ceil(log2 p) full-size ones.
+bool pick_ring(const TopoMap::Link& l, std::size_t n, int p) {
+    if (p < 3 || n < static_cast<std::size_t>(p) * 64) return false;
+    const SimTime flat2 =
+        2 * static_cast<SimTime>(log2ceil(p)) * l.msg_time(n);
+    const SimTime ring = 2 * static_cast<SimTime>(p - 1) *
+                         l.msg_time(n / static_cast<std::size_t>(p));
+    return ring < flat2;
+}
+
+/// Broadcast within group \p g from g[root_idx].  Every member of g calls
+/// this; uses \p tag and (scatter-allgather only) tag + 1.
+void group_bcast(Comm& c, int tag, const std::vector<int>& g, int root_idx,
+                 void* data, std::size_t n, const TopoMap::Link& link,
+                 bool allow_sag) {
+    const int p = static_cast<int>(g.size());
+    if (p <= 1) return;
+    const int me = index_of(g, c.rank());
+    const GroupAlgo a = pick_bcast(link, n, p, allow_sag);
+    if (a == GroupAlgo::kStar) {
+        if (me == root_idx) {
+            for (int i = 0; i < p; ++i)
+                if (i != root_idx) c.send_bytes(data, n, g[i], tag);
+        } else {
+            c.recv_bytes(data, n, g[root_idx], tag);
+        }
+        return;
+    }
+    const int rot = (me - root_idx + p) % p;
+    if (a == GroupAlgo::kBinomial) {
+        int mask = 1;
+        while (mask < p) {
+            if (rot & mask) {
+                c.recv_bytes(data, n, g[((rot & ~mask) + root_idx) % p], tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while (mask > 0) {
+            const int child = rot | mask;
+            if (child < p && !(rot & mask))
+                c.send_bytes(data, n, g[(child + root_idx) % p], tag);
+            mask >>= 1;
+        }
+        return;
+    }
+    // Scatter-allgather: binomial scatter of p contiguous slices (rotated
+    // rank r ends up owning slice r), then a ring allgather on tag + 1.
+    auto* bytes = static_cast<unsigned char*>(data);
+    std::vector<std::size_t> off(static_cast<std::size_t>(p) + 1, 0);
+    for (int i = 0; i < p; ++i)
+        off[static_cast<std::size_t>(i) + 1] =
+            off[static_cast<std::size_t>(i)] +
+            n / static_cast<std::size_t>(p) +
+            (static_cast<std::size_t>(i) < n % static_cast<std::size_t>(p)
+                 ? 1
+                 : 0);
+    int mask = 1;
+    while (mask < p) {
+        if (rot & mask) {
+            const int hi = std::min(rot + mask, p);
+            c.recv_bytes(bytes + off[static_cast<std::size_t>(rot)],
+                         off[static_cast<std::size_t>(hi)] -
+                             off[static_cast<std::size_t>(rot)],
+                         g[((rot & ~mask) + root_idx) % p], tag);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+        const int child = rot | mask;
+        if (child < p && !(rot & mask)) {
+            const int hi = std::min(child + mask, p);
+            c.send_bytes(bytes + off[static_cast<std::size_t>(child)],
+                         off[static_cast<std::size_t>(hi)] -
+                             off[static_cast<std::size_t>(child)],
+                         g[(child + root_idx) % p], tag);
+        }
+        mask >>= 1;
+    }
+    const int right = g[((rot + 1) % p + root_idx) % p];
+    const int left = g[((rot - 1 + p) % p + root_idx) % p];
+    for (int s = 0; s < p - 1; ++s) {
+        const auto ss = static_cast<std::size_t>((rot - s + 2 * p) % p);
+        const auto rs = static_cast<std::size_t>((rot - s - 1 + 2 * p) % p);
+        c.send_bytes(bytes + off[ss], off[ss + 1] - off[ss], right, tag + 1);
+        c.recv_bytes(bytes + off[rs], off[rs + 1] - off[rs], left, tag + 1);
     }
 }
 
+/// Reduce within group \p g onto g[root_idx]'s \p acc.  The partial-combine
+/// order is the rotated ascending group order for both shapes, so star and
+/// binomial agree for associative operators -- and match the flat tree when
+/// the groups partition the rank space into contiguous ascending intervals.
+void group_reduce(Comm& c, int tag, const std::vector<int>& g, int root_idx,
+                  void* acc, std::size_t elem, std::size_t count,
+                  Comm::Combiner comb, Op op, const TopoMap::Link& link) {
+    const int p = static_cast<int>(g.size());
+    if (p <= 1) return;
+    const std::size_t n = elem * count;
+    const int me = index_of(g, c.rank());
+    const int rot = (me - root_idx + p) % p;
+    std::vector<unsigned char> part(n);
+    if (pick_tree(link, n, p) == GroupAlgo::kStar) {
+        if (rot == 0) {
+            for (int i = 1; i < p; ++i) {
+                c.recv_bytes(part.data(), n, g[(root_idx + i) % p], tag);
+                comb(op, acc, part.data(), count);
+            }
+        } else {
+            c.send_bytes(acc, n, g[root_idx], tag);
+        }
+        return;
+    }
+    for (int mask = 1; mask < p; mask <<= 1) {
+        if (rot & mask) {
+            c.send_bytes(acc, n, g[((rot & ~mask) + root_idx) % p], tag);
+            break;
+        }
+        const int child = rot | mask;
+        if (child < p) {
+            c.recv_bytes(part.data(), n, g[(child + root_idx) % p], tag);
+            comb(op, acc, part.data(), count);
+        }
+    }
+}
+
+/// Bandwidth-optimal ring allreduce over the whole communicator (cluster-
+/// local long-message variant).  Slice combine order varies per slice, so
+/// the cost model only selects it where the operator is expected to be
+/// commutative-associative (like MPI's own ring algorithms); it never runs
+/// on topology-free grids.
+void ring_allreduce(Comm& c, int tag, void* data, std::size_t elem,
+                    std::size_t count, Comm::Combiner comb, Op op) {
+    const int p = c.size();
+    const int me = c.rank();
+    auto* bytes = static_cast<unsigned char*>(data);
+    std::vector<std::size_t> cnt(static_cast<std::size_t>(p));
+    std::vector<std::size_t> off(static_cast<std::size_t>(p) + 1, 0);
+    for (int i = 0; i < p; ++i) {
+        cnt[static_cast<std::size_t>(i)] =
+            count / static_cast<std::size_t>(p) +
+            (static_cast<std::size_t>(i) < count % static_cast<std::size_t>(p)
+                 ? 1
+                 : 0);
+        off[static_cast<std::size_t>(i) + 1] =
+            off[static_cast<std::size_t>(i)] + cnt[static_cast<std::size_t>(i)];
+    }
+    const int right = (me + 1) % p, left = (me - 1 + p) % p;
+    std::vector<unsigned char> part(
+        (count / static_cast<std::size_t>(p) + 1) * elem);
+    // Reduce-scatter: after p-1 steps rank me owns the full reduction of
+    // slice (me+1) mod p.
+    for (int s = 0; s < p - 1; ++s) {
+        const auto ss = static_cast<std::size_t>((me - s + 2 * p) % p);
+        const auto rs = static_cast<std::size_t>((me - s - 1 + 2 * p) % p);
+        c.send_bytes(bytes + off[ss] * elem, cnt[ss] * elem, right, tag);
+        c.recv_bytes(part.data(), cnt[rs] * elem, left, tag);
+        comb(op, bytes + off[rs] * elem, part.data(), cnt[rs]);
+    }
+    // Ring allgather of the reduced slices.
+    for (int s = 0; s < p - 1; ++s) {
+        const auto ss = static_cast<std::size_t>((me + 1 - s + 2 * p) % p);
+        const auto rs = static_cast<std::size_t>((me - s + 2 * p) % p);
+        c.send_bytes(bytes + off[ss] * elem, cnt[ss] * elem, right, tag + 1);
+        c.recv_bytes(bytes + off[rs] * elem, cnt[rs] * elem, left, tag + 1);
+    }
+}
+
+// Little-endian framing helpers for the leader-aggregated bundles.
+
+void put_u32(std::vector<unsigned char>& v, std::uint32_t x) {
+    for (int i = 0; i < 4; ++i)
+        v.push_back(static_cast<unsigned char>(x >> (8 * i)));
+}
+
+void put_u64(std::vector<unsigned char>& v, std::uint64_t x) {
+    for (int i = 0; i < 8; ++i)
+        v.push_back(static_cast<unsigned char>(x >> (8 * i)));
+}
+
+void put_msg(std::vector<unsigned char>& v, const util::Message& m) {
+    const std::size_t off = v.size();
+    v.resize(off + m.size());
+    m.copy_out(0, v.data() + off, m.size());
+}
+
+std::uint32_t get_u32(const util::Message& m, std::size_t off) {
+    unsigned char b[4];
+    m.copy_out(off, b, 4);
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) x |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return x;
+}
+
+std::uint64_t get_u64(const util::Message& m, std::size_t off) {
+    unsigned char b[8];
+    m.copy_out(off, b, 8);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return x;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Collectives (byte level)
+
+void Comm::barrier() {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
+    const int tag = detail::coll_tag(*coll_seq_);
+    const int n = size();
+    if (!hier_active()) {
+        // Dissemination barrier: ceil(log2 n) rounds.
+        for (int k = 1; k < n; k <<= 1) {
+            const int to = (rank() + k) % n;
+            const int from = (rank() - k + n) % n;
+            send_msg(util::to_message(util::ByteBuf("b", 1)), to, tag);
+            recv_msg(from, tag);
+        }
+        return;
+    }
+    // Multilevel barrier: members check in with their cluster leader, the
+    // leaders run a star gather + release through leader 0 over the WAN
+    // (2(C-1) crossings, two WAN latencies on the critical path -- a flat
+    // dissemination barrier crosses the WAN in every round), then each
+    // leader releases its members.
+    const TopoMap& m = *topo_;
+    const auto& cr = m.cluster_ranks(m.cluster_of(rank()));
+    const int leader = cr.front();
+    char b = 'b';
+    if (rank() != leader) {
+        send_bytes(&b, 1, leader, tag);
+        recv_bytes(&b, 1, leader, tag + 2);
+        return;
+    }
+    for (int r : cr)
+        if (r != rank()) recv_bytes(&b, 1, r, tag);
+    const auto& leaders = m.leaders();
+    if (rank() == leaders[0]) {
+        for (std::size_t i = 1; i < leaders.size(); ++i)
+            recv_bytes(&b, 1, leaders[i], tag + 1);
+        for (std::size_t i = 1; i < leaders.size(); ++i)
+            send_bytes(&b, 1, leaders[i], tag + 1);
+    } else {
+        send_bytes(&b, 1, leaders[0], tag + 1);
+        recv_bytes(&b, 1, leaders[0], tag + 1);
+    }
+    for (int r : cr)
+        if (r != rank()) send_bytes(&b, 1, r, tag + 2);
+}
+
 void Comm::bcast_bytes(void* data, std::size_t n, int root) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
     PADICO_CHECK(root >= 0 && root < size(), "bad root");
     const int tag = detail::coll_tag(*coll_seq_);
     const int sz = size();
+    const TopoMap& m = *topo_;
+    if (coll_mode_ != CollMode::kFlat && m.zoned()) {
+        if (m.hierarchical()) {
+            // WAN phase among per-cluster representatives (the root stands
+            // in for its own cluster, so a non-leader root costs no extra
+            // local hop), then cluster-local dissemination.  WAN crossings:
+            // exactly clusters-1.
+            const int rc = m.cluster_of(root);
+            const int mc = m.cluster_of(rank());
+            std::vector<int> reps;
+            reps.reserve(static_cast<std::size_t>(m.clusters()));
+            for (int c = 0; c < m.clusters(); ++c)
+                reps.push_back(c == rc ? root : m.leader_of(c));
+            const int rep = reps[static_cast<std::size_t>(mc)];
+            if (rank() == rep)
+                group_bcast(*this, tag, reps, rc, data, n, m.inter(), false);
+            const auto& cr = m.cluster_ranks(mc);
+            group_bcast(*this, tag + 1, cr, index_of(cr, rep), data, n,
+                        m.intra(mc), true);
+        } else {
+            // Zoned single cluster: let the cost model pick star, binomial,
+            // or the long-message scatter-allgather pipeline.
+            group_bcast(*this, tag, m.cluster_ranks(0), root, data, n,
+                        m.intra(0), true);
+        }
+        return;
+    }
+    // Flat binomial tree rooted at 0 (relative ranks) -- the legacy
+    // algorithm, bit-identical in virtual time on topology-free grids.
     const int me = (rank() - root + sz) % sz;
-    // Binomial tree rooted at 0 (relative ranks).
     int mask = 1;
     while (mask < sz) {
         if (me & mask) {
@@ -177,23 +535,428 @@ void Comm::bcast_bytes(void* data, std::size_t n, int root) {
     }
 }
 
+void Comm::reduce_bytes(const void* in, void* out, std::size_t elem,
+                        std::size_t count, Combiner comb, Op op, int root) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
+    PADICO_CHECK(root >= 0 && root < size(), "bad root");
+    const int tag = detail::coll_tag(*coll_seq_);
+    const int sz = size();
+    const std::size_t n = elem * count;
+    const TopoMap& m = *topo_;
+    std::vector<unsigned char> acc(n);
+    if (n != 0) std::memcpy(acc.data(), in, n);
+    // Hierarchical combining preserves the flat combine order only when
+    // clusters are contiguous in rank space and the root leads its own
+    // cluster; otherwise fall back to the flat tree so a reduction is
+    // order-identical in every mode (the determinism contract for
+    // non-commutative operators).
+    const bool hier = hier_active() && m.contiguous() &&
+                      root == m.leader_of(m.cluster_of(root));
+    if (hier) {
+        const int mc = m.cluster_of(rank());
+        group_reduce(*this, tag, m.cluster_ranks(mc), 0, acc.data(), elem,
+                     count, comb, op, m.intra(mc));
+        if (rank() == m.leader_of(mc))
+            group_reduce(*this, tag + 1, m.leaders(),
+                         m.cluster_of(root), acc.data(), elem, count, comb,
+                         op, m.inter());
+    } else {
+        // Flat binomial tree: children push partials toward the root.
+        const int me = (rank() - root + sz) % sz;
+        std::vector<unsigned char> part(n);
+        for (int mask = 1; mask < sz; mask <<= 1) {
+            if (me & mask) {
+                send_bytes(acc.data(), n, ((me & ~mask) + root) % sz, tag);
+                break;
+            }
+            const int child = me | mask;
+            if (child < sz) {
+                recv_bytes(part.data(), n, (child + root) % sz, tag);
+                comb(op, acc.data(), part.data(), count);
+            }
+        }
+    }
+    if (rank() == root && n != 0) std::memcpy(out, acc.data(), n);
+}
+
+void Comm::allreduce_bytes(const void* in, void* out, std::size_t elem,
+                           std::size_t count, Combiner comb, Op op) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
+    const std::size_t n = elem * count;
+    const TopoMap& m = *topo_;
+    const bool zoned = coll_mode_ != CollMode::kFlat && m.zoned();
+    if (zoned && !m.hierarchical() && pick_ring(m.intra(0), n, size())) {
+        // Cluster-local long-message variant: ring allreduce.
+        const int tag = detail::coll_tag(*coll_seq_);
+        if (out != in && n != 0) std::memcpy(out, in, n);
+        ring_allreduce(*this, tag, out, elem, count, comb, op);
+        return;
+    }
+    if (!hier_active() || !m.contiguous()) {
+        // Flat composition (also the non-contiguous fallback): reduce to
+        // rank 0, then broadcast -- the legacy double traversal.
+        reduce_bytes(in, out, elem, count, comb, op, 0);
+        bcast_bytes(out, n, 0);
+        return;
+    }
+    // Fused multilevel allreduce: one traversal up (cluster reduce, then a
+    // leaders-only WAN reduce) and one down (WAN bcast among leaders, then
+    // cluster bcast) -- 2(C-1) WAN crossings and two WAN latencies on the
+    // critical path, with no reduce+bcast double WAN traversal.  Combine
+    // order equals the flat tree rooted at 0 (clusters are contiguous and
+    // rank 0 leads cluster 0).
+    const int tag = detail::coll_tag(*coll_seq_);
+    const int tag2 = detail::coll_tag(*coll_seq_);
+    const int mc = m.cluster_of(rank());
+    const auto& cr = m.cluster_ranks(mc);
+    if (out != in && n != 0) std::memcpy(out, in, n);
+    group_reduce(*this, tag, cr, 0, out, elem, count, comb, op, m.intra(mc));
+    if (rank() == m.leader_of(mc)) {
+        group_reduce(*this, tag + 1, m.leaders(), 0, out, elem, count, comb,
+                     op, m.inter());
+        group_bcast(*this, tag + 2, m.leaders(), 0, out, n, m.inter(), false);
+    }
+    group_bcast(*this, tag2, cr, 0, out, n, m.intra(mc), true);
+}
+
+void Comm::gather_bytes(const void* in, void* out, std::size_t block,
+                        int root) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
+    PADICO_CHECK(root >= 0 && root < size(), "bad root");
+    const int tag = detail::coll_tag(*coll_seq_);
+    const int sz = size();
+    auto* ob = static_cast<unsigned char*>(out);
+    if (!hier_active()) {
+        // Flat: the root receives one block per rank, ascending.
+        if (rank() == root) {
+            for (int r = 0; r < sz; ++r) {
+                if (r == rank()) {
+                    if (block != 0)
+                        std::memcpy(ob + static_cast<std::size_t>(r) * block,
+                                    in, block);
+                } else {
+                    recv_bytes(ob + static_cast<std::size_t>(r) * block, block,
+                               r, tag);
+                }
+            }
+        } else {
+            send_bytes(in, block, root, tag);
+        }
+        return;
+    }
+    // Multilevel gather: the root's own cluster sends directly; every other
+    // cluster assembles one bundle at its leader (cluster-rank order) and
+    // ships it across the WAN once.  WAN crossings: exactly clusters-1.
+    const TopoMap& m = *topo_;
+    const int mc = m.cluster_of(rank());
+    const int rc = m.cluster_of(root);
+    if (rank() == root) {
+        for (int r : m.cluster_ranks(rc)) {
+            if (r == rank()) {
+                if (block != 0)
+                    std::memcpy(ob + static_cast<std::size_t>(r) * block, in,
+                                block);
+            } else {
+                recv_bytes(ob + static_cast<std::size_t>(r) * block, block, r,
+                           tag);
+            }
+        }
+        for (int c = 0; c < m.clusters(); ++c) {
+            if (c == rc) continue;
+            const auto& oc = m.cluster_ranks(c);
+            std::vector<unsigned char> bundle(oc.size() * block);
+            recv_bytes(bundle.data(), bundle.size(), m.leader_of(c), tag + 1);
+            for (std::size_t i = 0; i < oc.size(); ++i)
+                std::memcpy(ob + static_cast<std::size_t>(oc[i]) * block,
+                            bundle.data() + i * block, block);
+        }
+        return;
+    }
+    if (mc == rc) {
+        send_bytes(in, block, root, tag);
+        return;
+    }
+    const int leader = m.leader_of(mc);
+    if (rank() == leader) {
+        const auto& cr = m.cluster_ranks(mc);
+        std::vector<unsigned char> bundle(cr.size() * block);
+        for (std::size_t i = 0; i < cr.size(); ++i) {
+            if (cr[i] == rank()) {
+                if (block != 0)
+                    std::memcpy(bundle.data() + i * block, in, block);
+            } else {
+                recv_bytes(bundle.data() + i * block, block, cr[i], tag);
+            }
+        }
+        send_bytes(bundle.data(), bundle.size(), root, tag + 1);
+    } else {
+        send_bytes(in, block, leader, tag);
+    }
+}
+
+void Comm::scatter_bytes(const void* in, void* out, std::size_t block,
+                         int root) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
+    PADICO_CHECK(root >= 0 && root < size(), "bad root");
+    const int tag = detail::coll_tag(*coll_seq_);
+    const int sz = size();
+    const auto* ib = static_cast<const unsigned char*>(in);
+    if (!hier_active()) {
+        // Flat: the root sends one block per rank, ascending.
+        if (rank() == root) {
+            for (int r = 0; r < sz; ++r) {
+                if (r == rank()) {
+                    if (block != 0)
+                        std::memcpy(out,
+                                    ib + static_cast<std::size_t>(r) * block,
+                                    block);
+                } else {
+                    send_bytes(ib + static_cast<std::size_t>(r) * block, block,
+                               r, tag);
+                }
+            }
+        } else {
+            recv_bytes(out, block, root, tag);
+        }
+        return;
+    }
+    // Multilevel scatter (mirror of gather): one bundle per remote cluster
+    // crosses the WAN to the leader, which fans blocks out locally.
+    const TopoMap& m = *topo_;
+    const int mc = m.cluster_of(rank());
+    const int rc = m.cluster_of(root);
+    if (rank() == root) {
+        for (int r : m.cluster_ranks(rc)) {
+            if (r == rank()) {
+                if (block != 0)
+                    std::memcpy(out, ib + static_cast<std::size_t>(r) * block,
+                                block);
+            } else {
+                send_bytes(ib + static_cast<std::size_t>(r) * block, block, r,
+                           tag);
+            }
+        }
+        for (int c = 0; c < m.clusters(); ++c) {
+            if (c == rc) continue;
+            const auto& oc = m.cluster_ranks(c);
+            std::vector<unsigned char> bundle(oc.size() * block);
+            for (std::size_t i = 0; i < oc.size(); ++i)
+                std::memcpy(bundle.data() + i * block,
+                            ib + static_cast<std::size_t>(oc[i]) * block,
+                            block);
+            send_bytes(bundle.data(), bundle.size(), m.leader_of(c), tag + 1);
+        }
+        return;
+    }
+    if (mc == rc) {
+        recv_bytes(out, block, root, tag);
+        return;
+    }
+    const int leader = m.leader_of(mc);
+    if (rank() == leader) {
+        const auto& cr = m.cluster_ranks(mc);
+        std::vector<unsigned char> bundle(cr.size() * block);
+        recv_bytes(bundle.data(), bundle.size(), root, tag + 1);
+        for (std::size_t i = 0; i < cr.size(); ++i) {
+            if (cr[i] == rank()) {
+                if (block != 0)
+                    std::memcpy(out, bundle.data() + i * block, block);
+            } else {
+                send_bytes(bundle.data() + i * block, block, cr[i], tag + 2);
+            }
+        }
+    } else {
+        recv_bytes(out, block, leader, tag + 2);
+    }
+}
+
+void Comm::allgather_bytes(const void* in, void* out, std::size_t block) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
+    const int sz = size();
+    if (!hier_active()) {
+        // Flat composition: gather to rank 0, then broadcast the image.
+        gather_bytes(in, out, block, 0);
+        bcast_bytes(out, block * static_cast<std::size_t>(sz), 0);
+        return;
+    }
+    // Multilevel allgather: cluster gather at each leader (blocks placed at
+    // their global offsets), leader bundles to leader 0, full image back to
+    // the leaders (2(C-1) WAN crossings total), then cluster bcast.
+    const int tag = detail::coll_tag(*coll_seq_);
+    const int tag2 = detail::coll_tag(*coll_seq_);
+    const TopoMap& m = *topo_;
+    const int mc = m.cluster_of(rank());
+    const auto& cr = m.cluster_ranks(mc);
+    const int leader = m.leader_of(mc);
+    auto* ob = static_cast<unsigned char*>(out);
+    const std::size_t total = block * static_cast<std::size_t>(sz);
+    if (rank() == leader) {
+        for (int r : cr) {
+            if (r == rank()) {
+                if (block != 0)
+                    std::memcpy(ob + static_cast<std::size_t>(r) * block, in,
+                                block);
+            } else {
+                recv_bytes(ob + static_cast<std::size_t>(r) * block, block, r,
+                           tag);
+            }
+        }
+        const auto& leaders = m.leaders();
+        if (rank() == leaders[0]) {
+            for (std::size_t c = 1; c < leaders.size(); ++c) {
+                const auto& oc = m.cluster_ranks(static_cast<int>(c));
+                std::vector<unsigned char> bundle(oc.size() * block);
+                recv_bytes(bundle.data(), bundle.size(), leaders[c], tag + 1);
+                for (std::size_t i = 0; i < oc.size(); ++i)
+                    std::memcpy(ob + static_cast<std::size_t>(oc[i]) * block,
+                                bundle.data() + i * block, block);
+            }
+            for (std::size_t c = 1; c < leaders.size(); ++c)
+                send_bytes(ob, total, leaders[c], tag + 2);
+        } else {
+            std::vector<unsigned char> bundle(cr.size() * block);
+            for (std::size_t i = 0; i < cr.size(); ++i)
+                std::memcpy(bundle.data() + i * block,
+                            ob + static_cast<std::size_t>(cr[i]) * block,
+                            block);
+            send_bytes(bundle.data(), bundle.size(), leaders[0], tag + 1);
+            recv_bytes(ob, total, leaders[0], tag + 2);
+        }
+    } else {
+        send_bytes(in, block, leader, tag);
+    }
+    group_bcast(*this, tag2, cr, 0, ob, total, m.intra(mc), true);
+}
+
 std::vector<util::Message> Comm::alltoallv_msg(
     std::vector<util::Message> out) {
+    PADICO_CHECK(valid(), "operation on an invalid communicator");
     PADICO_CHECK(out.size() == static_cast<std::size_t>(size()),
                  "alltoallv needs one message per rank");
     const int tag = detail::coll_tag(*coll_seq_);
     std::vector<util::Message> in(out.size());
-    // Sends are buffered: issue them all, then drain receives.
-    for (int r = 0; r < size(); ++r) {
+    if (!hier_active()) {
+        // Flat: sends are buffered -- issue them all, then drain receives.
+        for (int r = 0; r < size(); ++r) {
+            if (r == rank())
+                in[static_cast<std::size_t>(r)] =
+                    std::move(out[static_cast<std::size_t>(r)]);
+            else
+                send_msg(std::move(out[static_cast<std::size_t>(r)]), r, tag);
+        }
+        for (int r = 0; r < size(); ++r) {
+            if (r == rank()) continue;
+            in[static_cast<std::size_t>(r)] = recv_msg(r, tag);
+        }
+        return in;
+    }
+    // Multilevel alltoallv (the GridCCM redistribution path): same-cluster
+    // payloads go direct; remote payloads are aggregated at the cluster
+    // leader, exchanged leader-to-leader as one bundle per cluster pair
+    // (C(C-1) WAN crossings instead of one per remote rank pair), and
+    // fanned out locally.  Every bundle is sent even when empty so message
+    // counts stay deterministic.
+    const TopoMap& m = *topo_;
+    const int mc = m.cluster_of(rank());
+    const auto& cr = m.cluster_ranks(mc);
+    const int leader = m.leader_of(mc);
+    const int C = m.clusters();
+    // Phase 1 (tag): same-cluster directs.
+    for (int r : cr) {
         if (r == rank())
             in[static_cast<std::size_t>(r)] =
                 std::move(out[static_cast<std::size_t>(r)]);
         else
             send_msg(std::move(out[static_cast<std::size_t>(r)]), r, tag);
     }
-    for (int r = 0; r < size(); ++r) {
-        if (r == rank()) continue;
-        in[static_cast<std::size_t>(r)] = recv_msg(r, tag);
+    if (rank() != leader) {
+        // Phase 2 (tag+1): upload remote-destined payloads to the leader,
+        // framed as [u32 dst, u64 len, bytes]*.
+        std::vector<unsigned char> up;
+        for (int dst = 0; dst < size(); ++dst) {
+            if (m.cluster_of(dst) == mc) continue;
+            put_u32(up, static_cast<std::uint32_t>(dst));
+            put_u64(up, out[static_cast<std::size_t>(dst)].size());
+            put_msg(up, out[static_cast<std::size_t>(dst)]);
+        }
+        send_bytes(up.data(), up.size(), leader, tag + 1);
+        for (int r : cr)
+            if (r != rank()) in[static_cast<std::size_t>(r)] = recv_msg(r, tag);
+        // Phase 4 (tag+3): download bundle [u32 src, u64 len, bytes]*.
+        util::Message dl = recv_msg(leader, tag + 3);
+        std::size_t off = 0;
+        while (off < dl.size()) {
+            const auto src = static_cast<std::size_t>(get_u32(dl, off));
+            const std::size_t len = get_u64(dl, off + 4);
+            in[src] = dl.slice(off + 12, len);
+            off += 12 + len;
+        }
+        return in;
+    }
+    // Leader: aggregate per destination cluster in source order (the leader
+    // is the cluster minimum, so iterating cr ascending puts its own
+    // payloads first), entries framed [u32 src, u32 dst, u64 len, bytes].
+    std::vector<std::vector<unsigned char>> xfer(static_cast<std::size_t>(C));
+    for (int r : cr) {
+        if (r == rank()) {
+            for (int dst = 0; dst < size(); ++dst) {
+                const int dc = m.cluster_of(dst);
+                if (dc == mc) continue;
+                auto& x = xfer[static_cast<std::size_t>(dc)];
+                put_u32(x, static_cast<std::uint32_t>(rank()));
+                put_u32(x, static_cast<std::uint32_t>(dst));
+                put_u64(x, out[static_cast<std::size_t>(dst)].size());
+                put_msg(x, out[static_cast<std::size_t>(dst)]);
+            }
+        } else {
+            util::Message up = recv_msg(r, tag + 1);
+            std::size_t off = 0;
+            while (off < up.size()) {
+                const auto dst = get_u32(up, off);
+                const std::size_t len = get_u64(up, off + 4);
+                const int dc = m.cluster_of(static_cast<int>(dst));
+                auto& x = xfer[static_cast<std::size_t>(dc)];
+                put_u32(x, static_cast<std::uint32_t>(r));
+                put_u32(x, dst);
+                put_u64(x, len);
+                put_msg(x, up.slice(off + 12, len));
+                off += 12 + len;
+            }
+        }
+    }
+    // Phase 3 (tag+2): leader-to-leader bundle exchange; send all, then
+    // receive in ascending cluster order.
+    for (int c = 0; c < C; ++c) {
+        if (c == mc) continue;
+        const auto& x = xfer[static_cast<std::size_t>(c)];
+        send_bytes(x.data(), x.size(), m.leader_of(c), tag + 2);
+    }
+    for (int r : cr)
+        if (r != rank()) in[static_cast<std::size_t>(r)] = recv_msg(r, tag);
+    std::vector<std::vector<unsigned char>> down(cr.size());
+    for (int c = 0; c < C; ++c) {
+        if (c == mc) continue;
+        util::Message b = recv_msg(m.leader_of(c), tag + 2);
+        std::size_t off = 0;
+        while (off < b.size()) {
+            const auto src = get_u32(b, off);
+            const auto dst = static_cast<int>(get_u32(b, off + 4));
+            const std::size_t len = get_u64(b, off + 8);
+            if (dst == rank()) {
+                in[static_cast<std::size_t>(src)] = b.slice(off + 16, len);
+            } else {
+                auto& d = down[static_cast<std::size_t>(index_of(cr, dst))];
+                put_u32(d, src);
+                put_u64(d, len);
+                put_msg(d, b.slice(off + 16, len));
+            }
+            off += 16 + len;
+        }
+    }
+    // Phase 4 (tag+3): per-member download bundles.
+    for (std::size_t i = 0; i < cr.size(); ++i) {
+        if (cr[i] == rank()) continue;
+        send_bytes(down[i].data(), down[i].size(), cr[i], tag + 3);
     }
     return in;
 }
@@ -202,7 +965,9 @@ std::vector<util::Message> Comm::alltoallv_msg(
 // Communicator management
 
 Comm Comm::dup() {
-    return Comm(runtime(), agree_name("d"), circuit_->members(), costs_);
+    Comm c(runtime(), agree_name("d"), circuit_->members(), costs_);
+    c.coll_mode_ = coll_mode_;
+    return c;
 }
 
 Comm Comm::split(int color, int key) {
@@ -232,7 +997,9 @@ Comm Comm::split(int color, int key) {
     const std::string name = util::strfmt("%s/s%d/c%d",
                                           circuit_->name().c_str(), derived,
                                           color);
-    return Comm(runtime(), name, std::move(members), costs_);
+    Comm c(runtime(), name, std::move(members), costs_);
+    c.coll_mode_ = coll_mode_;
+    return c;
 }
 
 std::string Comm::agree_name(const std::string& kind) {

@@ -4,8 +4,12 @@
 /// Circuit abstract interface — the analogue of the MPICH/Madeleine port
 /// the paper runs on PadicoTM (§4.3.4). Point-to-point with tag/source
 /// matching and wildcards, nonblocking requests, communicator duplication
-/// and splitting, and tree-based collectives whose timing emerges from the
-/// modeled p2p costs.
+/// and splitting, and collectives whose timing emerges from the modeled p2p
+/// costs.  Collectives are topology-aware in the MPICH-G2 style: on grids
+/// with a fabric::Topology they run as multilevel algorithms (cluster-local
+/// phase, leaders-only WAN phase, cluster-local dissemination) selected by
+/// a cost model over the zone link parameters; on flat grids they keep the
+/// legacy flat trees bit-identically (see TopoMap and CollMode).
 ///
 /// The library is a loadable PadicoTM module ("mpi"); it can also be
 /// instantiated directly with World::create.
@@ -16,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "mpi/topomap.hpp"
 #include "padicotm/circuit.hpp"
 #include "padicotm/module.hpp"
 #include "padicotm/runtime.hpp"
@@ -30,6 +35,15 @@ inline constexpr int kMaxUserTag = (1 << 20) - 1;
 
 /// Reduction operators.
 enum class Op { Sum, Prod, Min, Max };
+
+/// Collective algorithm selection for one communicator.  kAuto engages the
+/// topology-aware multilevel algorithms whenever the communicator spans
+/// more than one cluster of the grid's fabric::Topology; kFlat forces the
+/// legacy flat trees (the A/B baseline -- bit-identical in virtual time to
+/// the pre-topology behavior); kHier forces the multilevel paths wherever
+/// they are legal.  The PADICO_MPI_COLL environment variable ("flat" or
+/// "hier") overrides the initial mode of newly created communicators.
+enum class CollMode { kAuto, kFlat, kHier };
 
 struct Status {
     int source = kAnySource;
@@ -116,6 +130,35 @@ public:
     /// without communication.
     std::vector<util::Message> alltoallv_msg(std::vector<util::Message> out);
 
+    // --- collectives (byte level) -----------------------------------------
+    /// Type-erased element-wise combiner: folds \p count elements of
+    /// \p other into \p acc under \p op (detail::combine_elems<T>
+    /// instantiates one for a trivially copyable T).
+    using Combiner = void (*)(Op op, void* acc, const void* other,
+                              std::size_t count);
+
+    // The typed templates below are thin wrappers over these entry points;
+    // benches and GridCCM drive them directly.  \p out may alias \p in
+    // exactly (in-place operation) but never partially -- see
+    // detail::check_overlap.  Non-root ranks may pass nullptr for the
+    // buffer they do not contribute (out for reduce/gather, in for
+    // scatter).
+    void reduce_bytes(const void* in, void* out, std::size_t elem,
+                      std::size_t count, Combiner comb, Op op, int root);
+    void allreduce_bytes(const void* in, void* out, std::size_t elem,
+                         std::size_t count, Combiner comb, Op op);
+    void gather_bytes(const void* in, void* out, std::size_t block, int root);
+    void scatter_bytes(const void* in, void* out, std::size_t block, int root);
+    void allgather_bytes(const void* in, void* out, std::size_t block);
+
+    // --- topology ---------------------------------------------------------
+    /// The communicator's cluster map (single-cluster on topology-free
+    /// grids).  Only meaningful on a valid communicator.
+    const TopoMap& topo() const noexcept { return *topo_; }
+    /// A/B switch between flat and hierarchical collective algorithms.
+    void set_coll_mode(CollMode m) noexcept { coll_mode_ = m; }
+    CollMode coll_mode() const noexcept { return coll_mode_; }
+
     // --- communicator management -------------------------------------------
     /// Collective: a new communicator with the same group.
     Comm dup();
@@ -134,9 +177,17 @@ private:
     /// Collective agreement on a grid-unique name for a derived circuit.
     std::string agree_name(const std::string& kind);
 
+    /// True when the multilevel algorithms apply: the mode allows them and
+    /// the communicator spans more than one topology cluster.
+    bool hier_active() const noexcept {
+        return coll_mode_ != CollMode::kFlat && topo_->hierarchical();
+    }
+
     std::shared_ptr<ptm::Circuit> circuit_;
     MpiCosts costs_;
     std::shared_ptr<std::uint64_t> coll_seq_; ///< per-comm collective counter
+    std::shared_ptr<const TopoMap> topo_;     ///< cluster map (built eagerly)
+    CollMode coll_mode_ = CollMode::kAuto;
     int next_derived_ = 0;
 };
 
@@ -210,6 +261,21 @@ template <typename T> T combine(Op op, T a, T b) {
     throw UsageError("bad reduction op");
 }
 
+/// Element-wise fold of \p other into \p acc -- the Combiner instantiation
+/// for a trivially copyable T.
+template <typename T>
+void combine_elems(Op op, void* acc, const void* other, std::size_t count) {
+    T* a = static_cast<T*>(acc);
+    const T* b = static_cast<const T*>(other);
+    for (std::size_t i = 0; i < count; ++i) a[i] = combine(op, a[i], b[i]);
+}
+
+/// Collective buffer aliasing rule: input and output must either be
+/// disjoint or alias exactly (same pointer, same length, for in-place
+/// operation); partial overlap throws UsageError.
+void check_overlap(const void* in, std::size_t in_bytes, const void* out,
+                   std::size_t out_bytes);
+
 /// Tags used by collective phases; sequenced per communicator so that
 /// back-to-back collectives never cross-match.
 int coll_tag(std::uint64_t& seq);
@@ -219,83 +285,57 @@ int coll_tag(std::uint64_t& seq);
 template <typename T>
 void Comm::reduce(std::span<const T> in, std::span<T> out, Op op, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    PADICO_CHECK(root >= 0 && root < size(), "bad root");
-    const int tag = detail::coll_tag(*coll_seq_);
-    const int n = size();
-    const int me = (rank() - root + n) % n; // relative rank, root -> 0
-    std::vector<T> acc(in.begin(), in.end());
-    // Binomial tree: children push partial results toward the root.
-    for (int mask = 1; mask < n; mask <<= 1) {
-        if (me & mask) {
-            const int parent = ((me & ~mask) + root) % n;
-            send(std::span<const T>(acc), parent, tag);
-            break;
-        }
-        const int child = me | mask;
-        if (child < n) {
-            std::vector<T> part(in.size());
-            recv(std::span<T>(part), (child + root) % n, tag);
-            for (std::size_t i = 0; i < acc.size(); ++i)
-                acc[i] = detail::combine(op, acc[i], part[i]);
-        }
-    }
     if (rank() == root) {
         PADICO_CHECK(out.size() == in.size(), "reduce size mismatch");
-        std::memcpy(out.data(), acc.data(), acc.size() * sizeof(T));
+        detail::check_overlap(in.data(), in.size_bytes(), out.data(),
+                              out.size_bytes());
     }
+    reduce_bytes(in.data(), out.data(), sizeof(T), in.size(),
+                 &detail::combine_elems<T>, op, root);
 }
 
 template <typename T>
 void Comm::allreduce(std::span<const T> in, std::span<T> out, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
     PADICO_CHECK(out.size() == in.size(), "allreduce size mismatch");
-    reduce(in, out, op, 0);
-    bcast(out, 0);
+    detail::check_overlap(in.data(), in.size_bytes(), out.data(),
+                          out.size_bytes());
+    allreduce_bytes(in.data(), out.data(), sizeof(T), in.size(),
+                    &detail::combine_elems<T>, op);
 }
 
 template <typename T>
 void Comm::gather(std::span<const T> in, std::span<T> out, int root) {
-    const int tag = detail::coll_tag(*coll_seq_);
+    static_assert(std::is_trivially_copyable_v<T>);
     if (rank() == root) {
         PADICO_CHECK(out.size() == in.size() * static_cast<std::size_t>(size()),
                      "gather output size mismatch");
-        for (int r = 0; r < size(); ++r) {
-            auto slot = out.subspan(static_cast<std::size_t>(r) * in.size(),
-                                    in.size());
-            if (r == rank())
-                std::memcpy(slot.data(), in.data(), in.size_bytes());
-            else
-                recv(slot, r, tag);
-        }
-    } else {
-        send(in, root, tag);
+        detail::check_overlap(in.data(), in.size_bytes(), out.data(),
+                              out.size_bytes());
     }
+    gather_bytes(in.data(), out.data(), in.size_bytes(), root);
 }
 
 template <typename T>
 void Comm::scatter(std::span<const T> in, std::span<T> out, int root) {
-    const int tag = detail::coll_tag(*coll_seq_);
+    static_assert(std::is_trivially_copyable_v<T>);
     if (rank() == root) {
         PADICO_CHECK(in.size() == out.size() * static_cast<std::size_t>(size()),
                      "scatter input size mismatch");
-        for (int r = 0; r < size(); ++r) {
-            auto slot = in.subspan(static_cast<std::size_t>(r) * out.size(),
-                                   out.size());
-            if (r == rank())
-                std::memcpy(out.data(), slot.data(), out.size_bytes());
-            else
-                send(slot, r, tag);
-        }
-    } else {
-        recv(out, root, tag);
+        detail::check_overlap(in.data(), in.size_bytes(), out.data(),
+                              out.size_bytes());
     }
+    scatter_bytes(in.data(), out.data(), out.size_bytes(), root);
 }
 
 template <typename T>
 void Comm::allgather(std::span<const T> in, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
     PADICO_CHECK(out.size() == in.size() * static_cast<std::size_t>(size()),
                  "allgather output size mismatch");
-    gather(in, out, 0);
-    bcast(out, 0);
+    detail::check_overlap(in.data(), in.size_bytes(), out.data(),
+                          out.size_bytes());
+    allgather_bytes(in.data(), out.data(), in.size_bytes());
 }
 
 template <typename T>

@@ -1,0 +1,139 @@
+#include "mpi/topomap.hpp"
+
+#include <algorithm>
+
+#include "fabric/netmodel.hpp"
+#include "fabric/topology.hpp"
+
+namespace padico::mpi {
+
+namespace {
+
+/// Fold the best shared segment between two machines into a Link estimate.
+/// Pairs with no direct segment (relay-only paths) are modeled with WAN
+/// defaults -- the MPI layer cannot reach them anyway, so the estimate only
+/// has to be sane, not exact.
+TopoMap::Link link_between(fabric::Grid& g, const fabric::Machine& a,
+                           const fabric::Machine& b, SimTime mpi_per_msg) {
+    TopoMap::Link l;
+    l.per_msg = mpi_per_msg;
+    auto segs = g.common_segments(a, b);
+    if (segs.empty()) {
+        const fabric::LinkParams p = fabric::default_params(fabric::NetTech::Wan);
+        l.mb = fabric::attainable_mb(p);
+        l.latency = p.latency;
+        return l;
+    }
+    const fabric::NetworkSegment* s = segs.front();
+    const fabric::LinkParams& p = s->params();
+    const ptm::WireCosts w = ptm::wire_costs_for(*s);
+    l.mb = fabric::attainable_mb(p);
+    l.latency = p.latency;
+    l.rendezvous = w.rendezvous_threshold;
+    l.rendezvous_cost = 2 * p.latency + w.rendezvous_cpu;
+    l.per_msg = mpi_per_msg + w.per_msg_send + w.per_msg_recv;
+    return l;
+}
+
+/// Hop distance between two zones through their lowest common ancestor.
+int zone_distance(const fabric::Zone* a, const fabric::Zone* b) {
+    if (a == b) return 0;
+    int da = a->depth(), db = b->depth(), hops = 0;
+    while (da > db) { a = a->parent(); --da; ++hops; }
+    while (db > da) { b = b->parent(); --db; ++hops; }
+    while (a != b && a != nullptr && b != nullptr) {
+        a = a->parent();
+        b = b->parent();
+        hops += 2;
+    }
+    return hops;
+}
+
+} // namespace
+
+std::shared_ptr<const TopoMap> TopoMap::build(ptm::Runtime& rt,
+                                              const std::vector<fabric::ProcessId>& members,
+                                              SimTime mpi_per_msg) {
+    auto tm = std::make_shared<TopoMap>();
+    fabric::Grid& g = rt.grid();
+    const std::size_t n = members.size();
+    tm->cluster_of_.assign(n, 0);
+
+    // The Circuit rendezvous already proved every member exists, so
+    // wait_process returns promptly and every rank derives the same map.
+    std::vector<const fabric::Machine*> mach(n);
+    for (std::size_t i = 0; i < n; ++i)
+        mach[i] = &g.wait_process(members[i]).machine();
+
+    // Cluster = distinct leaf zone, numbered by first appearance in rank
+    // order (so cluster 0 contains rank 0 and leaders are min ranks).
+    std::vector<const fabric::Zone*> zones;
+    fabric::Topology* topo = g.topology();
+    bool flat = topo == nullptr;
+    if (!flat) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const fabric::Zone* z = topo->zone_of(*mach[i]);
+            if (z == nullptr || z->kind() == fabric::ZoneKind::Flat) {
+                flat = true;
+                break;
+            }
+            auto it = std::find(zones.begin(), zones.end(), z);
+            if (it == zones.end()) {
+                zones.push_back(z);
+                it = std::prev(zones.end());
+            }
+            tm->cluster_of_[i] = static_cast<int>(it - zones.begin());
+        }
+    }
+    if (flat) {
+        zones.clear();
+        std::fill(tm->cluster_of_.begin(), tm->cluster_of_.end(), 0);
+    }
+    tm->zoned_ = !flat;
+
+    const std::size_t nc = flat ? (n != 0 ? 1 : 0) : zones.size();
+    tm->cluster_ranks_.assign(nc, {});
+    for (std::size_t i = 0; i < n; ++i)
+        tm->cluster_ranks_[static_cast<std::size_t>(tm->cluster_of_[i])].push_back(
+            static_cast<int>(i));
+    tm->leaders_.reserve(nc);
+    for (const auto& cr : tm->cluster_ranks_) tm->leaders_.push_back(cr.front());
+
+    // Contiguity: each cluster must be one unbroken rank interval for the
+    // hierarchical reduction order to match the flat tree's.
+    tm->contiguous_ = true;
+    for (const auto& cr : tm->cluster_ranks_)
+        if (cr.back() - cr.front() + 1 != static_cast<int>(cr.size()))
+            tm->contiguous_ = false;
+
+    // Inter-cluster distance matrix (zone-tree hops via the LCA).
+    tm->dist_.assign(nc * nc, 0);
+    if (!flat) {
+        for (std::size_t a = 0; a < nc; ++a)
+            for (std::size_t b = a + 1; b < nc; ++b) {
+                const int d = zone_distance(zones[a], zones[b]);
+                tm->dist_[a * nc + b] = d;
+                tm->dist_[b * nc + a] = d;
+            }
+    }
+
+    // Link estimates: intra from the first two co-clustered machines,
+    // inter from the first two leaders' machines.
+    tm->intra_.assign(nc, Link{});
+    for (std::size_t c = 0; c < nc; ++c) {
+        const auto& cr = tm->cluster_ranks_[c];
+        if (cr.size() >= 2)
+            tm->intra_[c] = link_between(g, *mach[static_cast<std::size_t>(cr[0])],
+                                         *mach[static_cast<std::size_t>(cr[1])], mpi_per_msg);
+        else
+            tm->intra_[c].per_msg = mpi_per_msg;
+    }
+    if (nc >= 2)
+        tm->inter_ = link_between(g, *mach[static_cast<std::size_t>(tm->leaders_[0])],
+                                  *mach[static_cast<std::size_t>(tm->leaders_[1])], mpi_per_msg);
+    else if (nc == 1 && !tm->intra_.empty())
+        tm->inter_ = tm->intra_[0];
+    return tm;
+}
+
+} // namespace padico::mpi

@@ -1,0 +1,116 @@
+#pragma once
+/// \file topomap.hpp
+/// \brief mpi::TopoMap -- per-communicator cluster map derived from the
+///        grid's fabric::Topology zone tree.
+///
+/// A TopoMap answers, for one communicator, the questions the multilevel
+/// collectives need (DESIGN.md section 15):
+///
+///   - which cluster (leaf zone) does each rank live in,
+///   - which rank is the cluster's leader (the minimum rank in the cluster,
+///     so leaders are stable and cheap to compute on every member),
+///   - how far apart are two clusters in the zone tree (hop distance through
+///     the lowest common ancestor),
+///   - what do the intra-cluster and inter-cluster links cost (bandwidth,
+///     latency, rendezvous threshold), so algorithm selection can be fed
+///     from the same netmodel parameters the runtime charges.
+///
+/// The map is built locally with no communication: the Circuit constructor's
+/// rendezvous guarantees every member process exists, so pid -> machine ->
+/// zone lookups resolve immediately and every member derives the identical
+/// map.  Grids without a Topology (or wrapped in a FlatZone) collapse to a
+/// single cluster, which disables the hierarchical paths entirely.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "padicotm/runtime.hpp"
+
+namespace padico::mpi {
+
+/// Cluster structure of one communicator.  Immutable after build(); shared
+/// by value-copied Comm handles via shared_ptr.
+class TopoMap {
+public:
+    /// Cost-model view of one link class (intra-cluster LAN or inter-cluster
+    /// WAN), folded from the segment's LinkParams and WireCosts plus the MPI
+    /// layer's own per-message overhead.  Used only for algorithm selection,
+    /// never for charging time -- the runtime still charges the real costs.
+    struct Link {
+        double mb = 100.0;           ///< attainable bandwidth, MB/s
+        SimTime latency = 0;         ///< one-way wire latency
+        std::size_t rendezvous = 0;  ///< rendezvous threshold in bytes, 0 = eager only
+        SimTime rendezvous_cost = 0; ///< extra round-trip cost past the threshold
+        SimTime per_msg = 0;         ///< software per-message overhead (both ends)
+
+        /// Modeled one-way completion time of a `bytes`-sized message,
+        /// including the rendezvous penalty where it applies.
+        SimTime msg_time(std::size_t bytes) const noexcept {
+            SimTime t = per_msg + latency + transfer_time(bytes, mb);
+            if (rendezvous != 0 && bytes > rendezvous) t += rendezvous_cost;
+            return t;
+        }
+        /// Modeled cost of the non-latency part (overhead + wire occupancy);
+        /// the right unit for back-to-back sends from one sender.
+        SimTime occupancy(std::size_t bytes) const noexcept {
+            return msg_time(bytes) - latency;
+        }
+    };
+
+    /// Derive the map for `members` (rank -> pid) on `rt`'s grid.
+    /// `mpi_per_msg` is the MPI layer's per-message CPU cost (MpiCosts),
+    /// folded into the Link estimates.  Never fails: topology-free grids
+    /// yield a single-cluster map.
+    static std::shared_ptr<const TopoMap> build(ptm::Runtime& rt,
+                                                const std::vector<fabric::ProcessId>& members,
+                                                SimTime mpi_per_msg);
+
+    int size() const noexcept { return static_cast<int>(cluster_of_.size()); }
+    int clusters() const noexcept { return static_cast<int>(cluster_ranks_.size()); }
+    /// True when the communicator spans more than one cluster; the gate for
+    /// all multilevel algorithms.
+    bool hierarchical() const noexcept { return clusters() > 1; }
+    /// True when the map was derived from a real (non-flat) topology.  A
+    /// zoned single-cluster comm may still use long-message cluster-local
+    /// variants; a flat grid must stay bit-identical to the legacy tree.
+    bool zoned() const noexcept { return zoned_; }
+
+    /// Dense cluster index of `rank` (clusters are numbered by first
+    /// appearance in rank order, so cluster 0 always contains rank 0).
+    int cluster_of(int rank) const { return cluster_of_[static_cast<std::size_t>(rank)]; }
+    /// Ranks of cluster `c`, ascending.
+    const std::vector<int>& cluster_ranks(int c) const {
+        return cluster_ranks_[static_cast<std::size_t>(c)];
+    }
+    /// Leader (minimum rank) of cluster `c`.
+    int leader_of(int c) const { return cluster_ranks_[static_cast<std::size_t>(c)].front(); }
+    /// Leaders of all clusters, indexed by cluster.
+    const std::vector<int>& leaders() const noexcept { return leaders_; }
+    /// True when every cluster occupies a contiguous rank interval -- the
+    /// precondition for hierarchical reduction to reproduce the flat
+    /// combine order (reduce/allreduce fall back to flat otherwise).
+    bool contiguous() const noexcept { return contiguous_; }
+    /// Zone-tree hop distance between clusters (via the lowest common
+    /// ancestor); 0 on the diagonal.
+    int distance(int a, int b) const {
+        return dist_[static_cast<std::size_t>(a) * cluster_ranks_.size() +
+                     static_cast<std::size_t>(b)];
+    }
+    /// Link estimate inside cluster `c`.
+    const Link& intra(int c) const { return intra_[static_cast<std::size_t>(c)]; }
+    /// Link estimate between clusters (the gateway/WAN path).
+    const Link& inter() const noexcept { return inter_; }
+
+private:
+    std::vector<int> cluster_of_;               ///< rank -> cluster index
+    std::vector<std::vector<int>> cluster_ranks_; ///< cluster -> ranks, ascending
+    std::vector<int> leaders_;                  ///< cluster -> leader rank
+    std::vector<int> dist_;                     ///< clusters x clusters hop matrix
+    std::vector<Link> intra_;                   ///< per-cluster LAN estimate
+    Link inter_;                                ///< WAN estimate
+    bool contiguous_ = true;
+    bool zoned_ = false;
+};
+
+} // namespace padico::mpi

@@ -282,6 +282,13 @@ TrafficCounters Runtime::stats() const {
         per.messages = msgs;
         per.bytes = c.bytes.load(std::memory_order_relaxed);
         per.encrypted_messages = c.encrypted.load(std::memory_order_relaxed);
+        if (segs[slot]->is_wan()) {
+            out.zone_level.wan_messages += per.messages;
+            out.zone_level.wan_bytes += per.bytes;
+        } else {
+            out.zone_level.local_messages += per.messages;
+            out.zone_level.local_bytes += per.bytes;
+        }
     }
     out.route_cache.hits = route_hits_.load(std::memory_order_relaxed);
     out.route_cache.misses = route_misses_.load(std::memory_order_relaxed);

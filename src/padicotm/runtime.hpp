@@ -91,6 +91,21 @@ struct TrafficCounters {
     };
     std::map<std::string, FabricShard> fabric_by_segment;
 
+    /// Outbound traffic split by zone level: a message posted to a segment
+    /// a WAN zone owns (or, on hand-built grids, a NetTech::Wan segment —
+    /// see NetworkSegment::is_wan) counts as a wide-area crossing, the
+    /// rest as cluster-local. The hierarchical collectives and GridCCM
+    /// redistribution are judged by exactly this split: benches and tests
+    /// assert WAN-crossing counts directly instead of inferring them from
+    /// virtual time.
+    struct ZoneLevel {
+        std::uint64_t local_messages = 0;
+        std::uint64_t local_bytes = 0;
+        std::uint64_t wan_messages = 0;
+        std::uint64_t wan_bytes = 0;
+    };
+    ZoneLevel zone_level;
+
     /// Server-side fan-in counters, one bucket per ingress protocol
     /// ("corba", "soap", "hla", ...). Populated by the svc::ServerCore
     /// instances registered on this runtime (see Runtime::register_ingress):

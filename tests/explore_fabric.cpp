@@ -18,6 +18,7 @@
 #include "explore_util.hpp"
 #include "fabric/grid.hpp"
 #include "fabric/netmodel.hpp"
+#include "fabric/topology.hpp"
 #include "util/bytes.hpp"
 
 using namespace padico;
@@ -164,6 +165,180 @@ TEST(ExploreFabric, TwoPairExhaustiveVirtualTimeIdentity) {
     EXPECT_TRUE(have_baseline);
     std::fprintf(stderr,
                  "fabric-2x2: %llu schedules (%llu completed, %llu "
+                 "redundant), max depth %llu, exhausted=%d\n",
+                 static_cast<unsigned long long>(ex.stats().runs),
+                 static_cast<unsigned long long>(ex.stats().completed),
+                 static_cast<unsigned long long>(ex.stats().redundant),
+                 static_cast<unsigned long long>(ex.stats().max_depth),
+                 ex.stats().exhausted ? 1 : 0);
+    RecordProperty("schedules", static_cast<int>(ex.stats().runs));
+    RecordProperty("completed", static_cast<int>(ex.stats().completed));
+}
+
+// ---------------------------------------------------------------------------
+// Leader-relay broadcast across one gateway hop: the wire pattern of the
+// hierarchical collectives' WAN phase. A root in cluster a sends one
+// routed frame to each of two receivers in cluster b; both frames
+// store-and-forward through the two gateway relays. Every non-equivalent
+// schedule must deliver both frames, keep padico::check clean, and land on
+// the identical virtual-time signature — gateway relaying must not make
+// virtual time schedule-dependent.
+
+namespace {
+
+constexpr int kRelayFrames = 2; ///< frames through each gateway relay
+constexpr std::size_t kRelayBytes = 600;
+
+struct RelayOutcome {
+    sched::Controller::Result res;
+    std::array<SimTime, 5> finals{}; ///< relay a, relay b, rx1, rx2, root
+    std::uint64_t signature = 0;
+    int received = 0;
+};
+
+RelayOutcome relay_bcast_run(sched::Controller& c) {
+    RelayOutcome out;
+    fabric::Grid g;
+    fabric::Topology topo(g);
+    fabric::ClusterSpec spec;
+    spec.size = 2;
+    auto& ca = topo.add_cluster("a", spec);
+    auto& cb = topo.add_cluster("b", spec);
+    auto& wan = topo.add_wan("core", fabric::NetTech::Wan);
+    wan.link(ca);
+    wan.link(cb);
+    const fabric::ChannelId ch = g.channel_id("relay-bcast");
+    fabric::NetworkSegment& lan_a = *ca.segments().front();
+    fabric::NetworkSegment& lan_b = *cb.segments().front();
+    std::atomic<int> received{0};
+
+    // Bounded gateway relays: the production open/forward path, driven by
+    // a blocking recv of the exact frame count so every run terminates.
+    auto spawn_relay = [&](fabric::ClusterZone& cz,
+                           fabric::NetworkSegment& in_seg) {
+        g.spawn(cz.gateway(), [&topo, &in_seg, &out](fabric::Process& p) {
+            std::vector<fabric::PortRef> ports =
+                fabric::open_relay_ports(topo, p);
+            fabric::Port* in = nullptr;
+            for (auto& pr : ports)
+                if (&pr->adapter().segment() == &in_seg) in = pr.get();
+            ASSERT_NE(in, nullptr);
+            for (int f = 0; f < kRelayFrames; ++f) {
+                auto pkt = in->recv();
+                if (!pkt.has_value()) return;
+                fabric::relay_forward(topo, p, ports, std::move(*pkt));
+            }
+            out.finals[p.id()] = p.now();
+        });
+    };
+    spawn_relay(ca, lan_a);         // inbound from the root's LAN
+    spawn_relay(cb, wan.backbone()); // inbound from the backbone
+
+    auto spawn_rx = [&](const char* name) -> fabric::Process& {
+        return g.spawn(*cb.members()[1],
+                       [&, name](fabric::Process& proc) {
+                           auto port = proc.machine()
+                                           .adapter_on(lan_b)
+                                           ->open(proc, name);
+                           auto pkt = port->recv();
+                           if (!pkt.has_value()) return;
+                           proc.clock().merge(pkt->deliver_time);
+                           received.fetch_add(1);
+                           out.finals[proc.id()] = proc.now();
+                       });
+    };
+    fabric::Process& rx1 = spawn_rx("rx1");
+    fabric::Process& rx2 = spawn_rx("rx2");
+
+    g.spawn(*ca.members()[1], [&](fabric::Process& proc) {
+        auto port = proc.machine().adapter_on(lan_a)->open(proc, "root");
+        proc.compute(usec(5.0));
+        fabric::send_routed(topo, proc, *port, rx1.id(), ch,
+                            util::to_message(util::ByteBuf(kRelayBytes)));
+        fabric::send_routed(topo, proc, *port, rx2.id(), ch,
+                            util::to_message(util::ByteBuf(kRelayBytes)));
+        out.finals[proc.id()] = proc.now();
+    });
+
+    out.res = c.run();
+    g.join_all();
+    out.received = received.load();
+
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const SimTime t : out.finals) mix(static_cast<std::uint64_t>(t));
+    for (const auto& m : g.machines())
+        for (const fabric::Adapter* a : m->adapters()) {
+            const auto cnt = a->counters();
+            mix(cnt.tx_packets);
+            mix(cnt.tx_bytes);
+            mix(cnt.rx_packets);
+            mix(cnt.rx_bytes);
+        }
+    out.signature = h;
+    return out;
+}
+
+} // namespace
+
+TEST(ExploreFabric, RelayBcastExhaustiveVirtualTimeIdentity) {
+    if (auto t = explore::replay_from_env()) {
+        explore::reset_check();
+        auto err = std::make_shared<std::string>();
+        sched::Controller c(sched::replay_picker(*t, err), 1u << 20,
+                            t->config);
+        const auto o = relay_bcast_run(c);
+        EXPECT_EQ(*err, "") << "replay diverged";
+        std::fprintf(stderr, "replayed %s: status=%s signature=%016llx\n",
+                     t->config.c_str(), o.res.status_name(),
+                     static_cast<unsigned long long>(o.signature));
+        return;
+    }
+
+    sched::Explorer::Options opts;
+    opts.max_runs = explore::budget_or(50000);
+    opts.branch_mutexes = false;
+    opts.config_name = "relay-bcast";
+    sched::Explorer ex(opts);
+    std::uint64_t baseline = 0;
+    bool have_baseline = false;
+    std::string mismatch;
+    while (ex.next()) {
+        explore::reset_check();
+        sched::Controller c = ex.make_controller();
+        const auto o = relay_bcast_run(c);
+        bool ok = true;
+        if (o.res.status == sched::Controller::Result::Status::kCompleted) {
+            ok = o.received == 2 && check::violation_count() == 0;
+            if (ok) {
+                if (!have_baseline) {
+                    baseline = o.signature;
+                    have_baseline = true;
+                } else if (o.signature != baseline) {
+                    ok = false;
+                    mismatch = "virtual-time signature diverged across "
+                               "schedules";
+                }
+            }
+        }
+        ex.finish(o.res, ok);
+    }
+    if (ex.failure_found())
+        explore::dump_failure(ex, "explore_fabric",
+                              "RelayBcastExhaustiveVirtualTimeIdentity");
+    EXPECT_FALSE(ex.failure_found())
+        << ex.failure_reason() << " " << mismatch;
+    if (!explore::budget_overridden())
+        EXPECT_TRUE(ex.stats().exhausted)
+            << "budget too small: " << ex.stats().runs << " runs";
+    EXPECT_TRUE(have_baseline);
+    std::fprintf(stderr,
+                 "relay-bcast: %llu schedules (%llu completed, %llu "
                  "redundant), max depth %llu, exhausted=%d\n",
                  static_cast<unsigned long long>(ex.stats().runs),
                  static_cast<unsigned long long>(ex.stats().completed),

@@ -1,0 +1,564 @@
+// Topology-aware hierarchical collectives: TopoMap derivation from
+// fabric::Topology zones, multilevel algorithm correctness at non-power-of-
+// two sizes and non-zero roots, WAN-crossing counter assertions (the
+// MPICH-G2 "WAN messages dominate" design point), bit-identical flat-mode
+// A/B, determinism of non-commutative reductions across modes, aliasing
+// rules, and the per-zone-level traffic split in Runtime::stats().
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <numeric>
+
+#include "fabric/grid.hpp"
+#include "fabric/topology.hpp"
+#include "mpi/mpi.hpp"
+
+using namespace padico;
+using namespace padico::fabric;
+
+namespace {
+
+/// A zoned grid: Myrinet clusters of the given sizes joined by a WAN core.
+/// Every member machine is attached to the core backbone as well, because
+/// PadMPI's p2p needs a shared segment between any two ranks; intra-cluster
+/// pairs still pick the fast LAN (segment selection is best-bandwidth
+/// first), so only genuinely inter-cluster traffic rides the WAN.
+struct ZonedCluster {
+    Grid grid;
+    std::unique_ptr<Topology> topo;
+    std::vector<Machine*> nodes; // rank order: cluster 0 first, then 1, ...
+
+    explicit ZonedCluster(const std::vector<std::size_t>& sizes) {
+        topo = std::make_unique<Topology>(grid);
+        auto& core = topo->add_wan("core");
+        for (std::size_t c = 0; c < sizes.size(); ++c) {
+            ClusterSpec spec;
+            spec.size = sizes[c];
+            spec.tech = NetTech::Myrinet2000;
+            auto& cz = topo->add_cluster("c" + std::to_string(c), spec);
+            core.link(cz);
+            for (Machine* m : cz.members()) {
+                if (m->adapter_on(core.backbone()) == nullptr)
+                    grid.attach(*m, core.backbone());
+                nodes.push_back(m);
+            }
+        }
+    }
+
+    void run(const std::function<void(mpi::Comm&, Process&)>& body) {
+        std::vector<ProcessId> members(nodes.size());
+        std::iota(members.begin(), members.end(), 0u);
+        run_spmd(grid, nodes, [&, members](Process& proc, int, int) {
+            ptm::Runtime rt(proc);
+            mpi::install();
+            auto mod = std::static_pointer_cast<mpi::MpiModule>(
+                rt.modules().load("mpi"));
+            auto world = mod->init("topo", members);
+            body(world->world(), proc);
+        });
+        grid.join_all();
+    }
+};
+
+/// Flat (topology-free) Myrinet cluster, as the legacy tests use.
+struct FlatCluster {
+    Grid grid;
+    std::vector<Machine*> nodes;
+
+    explicit FlatCluster(int n) {
+        auto& myri = grid.add_segment("myri0", NetTech::Myrinet2000);
+        for (int i = 0; i < n; ++i) {
+            auto& m = grid.add_machine("node" + std::to_string(i));
+            grid.attach(m, myri);
+            nodes.push_back(&m);
+        }
+    }
+
+    void run(const std::function<void(mpi::Comm&, Process&)>& body) {
+        std::vector<ProcessId> members(nodes.size());
+        std::iota(members.begin(), members.end(), 0u);
+        run_spmd(grid, nodes, [&, members](Process& proc, int, int) {
+            ptm::Runtime rt(proc);
+            mpi::install();
+            auto mod = std::static_pointer_cast<mpi::MpiModule>(
+                rt.modules().load("mpi"));
+            auto world = mod->init("flat", members);
+            body(world->world(), proc);
+        });
+        grid.join_all();
+    }
+};
+
+/// 2x2 integer matrix: an associative but NON-commutative exact operator
+/// (matrix product) for pinning the reduction combine order.
+struct Mat2 {
+    std::int64_t a = 1, b = 0, c = 0, d = 1;
+    friend Mat2 operator*(const Mat2& x, const Mat2& y) {
+        return {x.a * y.a + x.b * y.c, x.a * y.b + x.b * y.d,
+                x.c * y.a + x.d * y.c, x.c * y.b + x.d * y.d};
+    }
+    // Needed only so detail::combine<Mat2> instantiates; Prod is what the
+    // tests use.
+    friend Mat2 operator+(const Mat2& x, const Mat2& y) {
+        return {x.a + y.a, x.b + y.b, x.c + y.c, x.d + y.d};
+    }
+    friend bool operator<(const Mat2& x, const Mat2& y) {
+        return std::tie(x.a, x.b, x.c, x.d) < std::tie(y.a, y.b, y.c, y.d);
+    }
+    friend bool operator>(const Mat2& x, const Mat2& y) { return y < x; }
+    friend bool operator==(const Mat2& x, const Mat2& y) {
+        return std::tie(x.a, x.b, x.c, x.d) == std::tie(y.a, y.b, y.c, y.d);
+    }
+};
+
+Mat2 rank_mat(int r) {
+    return {r + 2, 2 * r + 1, r * r % 5 + 1, r + 3};
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// TopoMap derivation
+
+TEST(MpiTopo, TopoMapDerivation) {
+    ZonedCluster z({3, 4, 5});
+    z.run([](mpi::Comm& comm, Process&) {
+        const mpi::TopoMap& m = comm.topo();
+        ASSERT_EQ(m.size(), 12);
+        EXPECT_TRUE(m.zoned());
+        EXPECT_TRUE(m.hierarchical());
+        EXPECT_TRUE(m.contiguous());
+        ASSERT_EQ(m.clusters(), 3);
+        for (int r = 0; r < 12; ++r)
+            EXPECT_EQ(m.cluster_of(r), r < 3 ? 0 : (r < 7 ? 1 : 2));
+        EXPECT_EQ(m.leaders(), (std::vector<int>{0, 3, 7}));
+        EXPECT_EQ(m.cluster_ranks(1), (std::vector<int>{3, 4, 5, 6}));
+        EXPECT_GT(m.distance(0, 1), 0);
+        EXPECT_EQ(m.distance(1, 1), 0);
+        EXPECT_EQ(m.distance(0, 2), m.distance(2, 0));
+        // Link model: the LAN is faster and lower-latency than the WAN.
+        EXPECT_GT(m.intra(0).mb, m.inter().mb);
+        EXPECT_LT(m.intra(0).latency, m.inter().latency);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Correctness: non-power-of-two size, non-zero roots, leader and
+// non-leader roots, hierarchical vs flat modes against the same oracle.
+
+TEST(MpiTopo, CollectiveSweepMatchesOracle) {
+    for (const mpi::CollMode mode :
+         {mpi::CollMode::kAuto, mpi::CollMode::kFlat}) {
+        ZonedCluster z({3, 4, 5});
+        z.run([mode](mpi::Comm& comm, Process&) {
+            comm.set_coll_mode(mode);
+            const int n = comm.size();
+            const int r = comm.rank();
+            // roots: cluster-0 leader, cluster-1 leader, a non-leader.
+            for (const int root : {0, 3, 5}) {
+                // bcast
+                std::vector<std::int64_t> buf(7, r == root ? 41 : -1);
+                comm.bcast(std::span<std::int64_t>(buf), root);
+                for (auto v : buf) EXPECT_EQ(v, 41);
+                // reduce (Sum)
+                std::vector<std::int64_t> in(5), out(5, -7);
+                for (std::size_t i = 0; i < in.size(); ++i)
+                    in[i] = r * 10 + static_cast<int>(i);
+                comm.reduce(std::span<const std::int64_t>(in),
+                            std::span<std::int64_t>(out), mpi::Op::Sum, root);
+                if (r == root) {
+                    for (std::size_t i = 0; i < out.size(); ++i)
+                        EXPECT_EQ(out[i],
+                                  n * (n - 1) / 2 * 10 +
+                                      n * static_cast<std::int64_t>(i));
+                }
+                // gather / scatter
+                std::vector<std::int32_t> gin{r, r + 100};
+                std::vector<std::int32_t> gout(r == root ? 2 * n : 0);
+                comm.gather(std::span<const std::int32_t>(gin),
+                            std::span<std::int32_t>(gout), root);
+                if (r == root) {
+                    for (int i = 0; i < n; ++i) {
+                        EXPECT_EQ(gout[2 * i], i);
+                        EXPECT_EQ(gout[2 * i + 1], i + 100);
+                    }
+                }
+                std::vector<std::int32_t> sin(r == root ? 2 * n : 0);
+                for (int i = 0; r == root && i < n; ++i) {
+                    sin[2 * i] = 7 * i;
+                    sin[2 * i + 1] = 7 * i + 1;
+                }
+                std::vector<std::int32_t> sout(2, -1);
+                comm.scatter(std::span<const std::int32_t>(sin),
+                             std::span<std::int32_t>(sout), root);
+                EXPECT_EQ(sout[0], 7 * r);
+                EXPECT_EQ(sout[1], 7 * r + 1);
+            }
+            // allreduce (Max) and allgather
+            std::int64_t mx = (r * 37) % 11;
+            std::int64_t mxall = -1;
+            comm.allreduce(std::span<const std::int64_t>(&mx, 1),
+                           std::span<std::int64_t>(&mxall, 1), mpi::Op::Max);
+            std::int64_t want = 0;
+            for (int i = 0; i < n; ++i)
+                want = std::max<std::int64_t>(want, (i * 37) % 11);
+            EXPECT_EQ(mxall, want);
+            std::int32_t me = 1000 + r;
+            std::vector<std::int32_t> all(n);
+            comm.allgather(std::span<const std::int32_t>(&me, 1),
+                           std::span<std::int32_t>(all));
+            for (int i = 0; i < n; ++i) EXPECT_EQ(all[i], 1000 + i);
+            // alltoall (rides the hierarchical alltoallv)
+            std::vector<std::int32_t> ain(n), aout(n);
+            for (int i = 0; i < n; ++i) ain[i] = r * 100 + i;
+            comm.alltoall(std::span<const std::int32_t>(ain),
+                          std::span<std::int32_t>(aout));
+            for (int i = 0; i < n; ++i) EXPECT_EQ(aout[i], i * 100 + r);
+            comm.barrier();
+        });
+    }
+}
+
+// Long-message paths: scatter-allgather bcast inside clusters, the fused
+// allreduce with pipelined down-phase, and the cluster-local ring allreduce
+// on a zoned single-cluster communicator.
+TEST(MpiTopo, LongMessageVariantsMatchOracle) {
+    {
+        ZonedCluster z({3, 3, 3});
+        z.run([](mpi::Comm& comm, Process&) {
+            const int n = comm.size();
+            const int r = comm.rank();
+            const std::size_t big = 96 * 1024 / sizeof(std::int64_t);
+            std::vector<std::int64_t> buf(big, r == 4 ? 11 : 0);
+            comm.bcast(std::span<std::int64_t>(buf), 4);
+            EXPECT_EQ(buf.front(), 11);
+            EXPECT_EQ(buf[big / 2], 11);
+            EXPECT_EQ(buf.back(), 11);
+            std::vector<std::int64_t> in(big), out(big);
+            for (std::size_t i = 0; i < big; ++i)
+                in[i] = r + static_cast<std::int64_t>(i % 13);
+            comm.allreduce(std::span<const std::int64_t>(in),
+                           std::span<std::int64_t>(out), mpi::Op::Sum);
+            for (const std::size_t i : {std::size_t{0}, big / 3, big - 1})
+                EXPECT_EQ(out[i],
+                          n * (n - 1) / 2 +
+                              n * static_cast<std::int64_t>(i % 13));
+        });
+    }
+    {
+        // One zoned cluster: clusters()==1 but zoned() -- the ring
+        // allreduce and single-group SAG bcast territory.
+        ZonedCluster z({6});
+        z.run([](mpi::Comm& comm, Process&) {
+            EXPECT_EQ(comm.topo().clusters(), 1);
+            EXPECT_TRUE(comm.topo().zoned());
+            const int n = comm.size();
+            const int r = comm.rank();
+            const std::size_t big = 64 * 1024 / sizeof(std::int64_t);
+            std::vector<std::int64_t> in(big), out(big);
+            for (std::size_t i = 0; i < big; ++i)
+                in[i] = (r + 1) * static_cast<std::int64_t>(i % 7 + 1);
+            comm.allreduce(std::span<const std::int64_t>(in),
+                           std::span<std::int64_t>(out), mpi::Op::Sum);
+            for (const std::size_t i : {std::size_t{0}, big / 2, big - 1})
+                EXPECT_EQ(out[i], n * (n + 1) / 2 *
+                                      static_cast<std::int64_t>(i % 7 + 1));
+            std::vector<std::int64_t> buf(big, r == 2 ? 5 : 0);
+            comm.bcast(std::span<std::int64_t>(buf), 2);
+            EXPECT_EQ(buf.front(), 5);
+            EXPECT_EQ(buf.back(), 5);
+        });
+    }
+}
+
+// Split with an interleaving key produces non-contiguous clusters: the
+// reduction paths must fall back to flat (still correct), while the
+// order-free collectives stay hierarchical.
+TEST(MpiTopo, NonContiguousSplitFallsBackCorrectly) {
+    ZonedCluster z({3, 3});
+    z.run([](mpi::Comm& comm, Process&) {
+        mpi::Comm sub = comm.split(0, comm.rank() % 2);
+        const int n = sub.size();
+        ASSERT_EQ(n, 6);
+        EXPECT_TRUE(sub.topo().hierarchical());
+        EXPECT_FALSE(sub.topo().contiguous());
+        const int r = sub.rank();
+        std::int64_t v = r + 1, sum = 0;
+        sub.allreduce(std::span<const std::int64_t>(&v, 1),
+                      std::span<std::int64_t>(&sum, 1), mpi::Op::Sum);
+        EXPECT_EQ(sum, n * (n + 1) / 2);
+        std::vector<std::int64_t> buf(3, r == 4 ? 9 : 0);
+        sub.bcast(std::span<std::int64_t>(buf), 4);
+        EXPECT_EQ(buf[1], 9);
+        std::int32_t mine = 50 + r;
+        std::vector<std::int32_t> all(static_cast<std::size_t>(n));
+        sub.allgather(std::span<const std::int32_t>(&mine, 1),
+                      std::span<std::int32_t>(all));
+        for (int i = 0; i < n; ++i) EXPECT_EQ(all[i], 50 + i);
+        comm.barrier();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// WAN-crossing counters: the hierarchical algorithms must cross gateways
+// O(clusters) times, strictly fewer than the flat trees.
+
+namespace {
+
+/// Measured WAN crossings of one collective, summed over all ranks: run
+/// `op` between barriers, snapshot the per-process zone_level counters,
+/// then combine the deltas in flat mode (so the measurement machinery does
+/// not disturb the next measurement's mode).
+std::uint64_t measure_wan(mpi::Comm& comm, mpi::CollMode mode,
+                          const std::function<void(mpi::Comm&)>& op) {
+    comm.set_coll_mode(mpi::CollMode::kFlat);
+    comm.barrier();
+    ptm::Runtime& rt = comm.runtime();
+    const std::uint64_t before = rt.stats().zone_level.wan_messages;
+    comm.set_coll_mode(mode);
+    op(comm);
+    const std::uint64_t local = rt.stats().zone_level.wan_messages - before;
+    comm.set_coll_mode(mpi::CollMode::kFlat);
+    std::uint64_t total = 0;
+    comm.allreduce(std::span<const std::uint64_t>(&local, 1),
+                   std::span<std::uint64_t>(&total, 1), mpi::Op::Sum);
+    return total;
+}
+
+} // namespace
+
+TEST(MpiTopo, WanCrossingCountsAreOClusters) {
+    ZonedCluster z({3, 3, 3, 3}); // C = 4, n = 12
+    z.run([](mpi::Comm& comm, Process&) {
+        const std::uint64_t C = 4;
+        struct Case {
+            const char* name;
+            std::function<void(mpi::Comm&)> op;
+            std::uint64_t expect_hier;
+        };
+        std::vector<std::int64_t> b(4), in(4, 1), out(4);
+        const Case cases[] = {
+            {"bcast",
+             [&](mpi::Comm& c) {
+                 c.bcast(std::span<std::int64_t>(b), 5);
+             },
+             C - 1},
+            {"allreduce",
+             [&](mpi::Comm& c) {
+                 c.allreduce(std::span<const std::int64_t>(in),
+                             std::span<std::int64_t>(out), mpi::Op::Sum);
+             },
+             2 * (C - 1)},
+            {"barrier", [](mpi::Comm& c) { c.barrier(); }, 2 * (C - 1)},
+        };
+        for (const auto& cs : cases) {
+            const std::uint64_t hier =
+                measure_wan(comm, mpi::CollMode::kAuto, cs.op);
+            const std::uint64_t flat =
+                measure_wan(comm, mpi::CollMode::kFlat, cs.op);
+            EXPECT_EQ(hier, cs.expect_hier) << cs.name;
+            EXPECT_LT(hier, flat) << cs.name;
+        }
+        // gather / scatter: C-1 crossings from a non-leader root's view.
+        std::vector<std::int32_t> gin{comm.rank()};
+        std::vector<std::int32_t> gout(comm.rank() == 4 ? comm.size() : 0);
+        const std::uint64_t hg =
+            measure_wan(comm, mpi::CollMode::kAuto, [&](mpi::Comm& c) {
+                c.gather(std::span<const std::int32_t>(gin),
+                         std::span<std::int32_t>(gout), 4);
+            });
+        EXPECT_EQ(hg, C - 1);
+        const std::uint64_t fg =
+            measure_wan(comm, mpi::CollMode::kFlat, [&](mpi::Comm& c) {
+                c.gather(std::span<const std::int32_t>(gin),
+                         std::span<std::int32_t>(gout), 4);
+            });
+        EXPECT_GT(fg, hg);
+        // allgather: up bundles + full images down.
+        std::int32_t mine = comm.rank();
+        std::vector<std::int32_t> all(static_cast<std::size_t>(comm.size()));
+        const std::uint64_t ha =
+            measure_wan(comm, mpi::CollMode::kAuto, [&](mpi::Comm& c) {
+                c.allgather(std::span<const std::int32_t>(&mine, 1),
+                            std::span<std::int32_t>(all));
+            });
+        EXPECT_EQ(ha, 2 * (C - 1));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a non-commutative (but associative) operator reduces to the
+// exact same bits in hierarchical and flat modes -- the combine order is
+// pinned to ascending rank order in both.
+
+TEST(MpiTopo, NonCommutativeReduceIsModeInvariant) {
+    ZonedCluster z({3, 4, 5});
+    z.run([](mpi::Comm& comm, Process&) {
+        const int n = comm.size();
+        const Mat2 mine = rank_mat(comm.rank());
+        Mat2 oracle = rank_mat(0);
+        for (int i = 1; i < n; ++i) oracle = oracle * rank_mat(i);
+
+        // reduce to rank 0 (leader of cluster 0 -> hierarchical path).
+        Mat2 hier_out{0, 0, 0, 0}, flat_out{0, 0, 0, 0};
+        comm.set_coll_mode(mpi::CollMode::kAuto);
+        comm.reduce(std::span<const Mat2>(&mine, 1),
+                    std::span<Mat2>(&hier_out, 1), mpi::Op::Prod, 0);
+        comm.set_coll_mode(mpi::CollMode::kFlat);
+        comm.reduce(std::span<const Mat2>(&mine, 1),
+                    std::span<Mat2>(&flat_out, 1), mpi::Op::Prod, 0);
+        if (comm.rank() == 0) {
+            EXPECT_EQ(hier_out, oracle);
+            EXPECT_EQ(flat_out, oracle);
+            EXPECT_EQ(hier_out, flat_out);
+        }
+
+        // Fused hierarchical allreduce pins the same order.
+        Mat2 hier_all{}, flat_all{};
+        comm.set_coll_mode(mpi::CollMode::kAuto);
+        comm.allreduce(std::span<const Mat2>(&mine, 1),
+                       std::span<Mat2>(&hier_all, 1), mpi::Op::Prod);
+        comm.set_coll_mode(mpi::CollMode::kFlat);
+        comm.allreduce(std::span<const Mat2>(&mine, 1),
+                       std::span<Mat2>(&flat_all, 1), mpi::Op::Prod);
+        EXPECT_EQ(hier_all, oracle);
+        EXPECT_EQ(flat_all, oracle);
+
+        // A non-leader root reduction falls back to flat internally. The
+        // flat tree at root r combines in rotated-ascending order
+        // (r, r+1, ... wrapping), so auto mode must be bit-identical to
+        // forced-flat AND to that rotated left-fold.
+        Mat2 rot_oracle = rank_mat(4);
+        for (int i = 1; i < n; ++i) rot_oracle = rot_oracle * rank_mat((4 + i) % n);
+        Mat2 at4_auto{}, at4_flat{};
+        comm.set_coll_mode(mpi::CollMode::kAuto);
+        comm.reduce(std::span<const Mat2>(&mine, 1),
+                    std::span<Mat2>(&at4_auto, 1), mpi::Op::Prod, 4);
+        comm.set_coll_mode(mpi::CollMode::kFlat);
+        comm.reduce(std::span<const Mat2>(&mine, 1),
+                    std::span<Mat2>(&at4_flat, 1), mpi::Op::Prod, 4);
+        if (comm.rank() == 4) {
+            EXPECT_EQ(at4_auto, rot_oracle);
+            EXPECT_EQ(at4_flat, rot_oracle);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Aliasing rules: exact in==out aliasing is in-place and legal; partial
+// overlap throws UsageError on every rank before any traffic moves.
+
+TEST(MpiTopo, CollectiveAliasingRules) {
+    ZonedCluster z({2, 2});
+    z.run([](mpi::Comm& comm, Process&) {
+        std::vector<std::int64_t> buf(8, comm.rank() + 1);
+        // Exact alias: in-place allreduce.
+        comm.allreduce(std::span<const std::int64_t>(buf),
+                       std::span<std::int64_t>(buf), mpi::Op::Sum);
+        EXPECT_EQ(buf[0], 1 + 2 + 3 + 4);
+        // Partial overlap: rejected symmetrically on every rank.
+        EXPECT_THROW(
+            comm.allreduce(std::span<const std::int64_t>(buf.data(), 4),
+                           std::span<std::int64_t>(buf.data() + 1, 4),
+                           mpi::Op::Sum),
+            UsageError);
+        EXPECT_THROW(
+            comm.reduce(std::span<const std::int64_t>(buf.data(), 4),
+                        std::span<std::int64_t>(buf.data() + 2, 4),
+                        mpi::Op::Sum, comm.rank()),
+            UsageError);
+        comm.barrier();
+    });
+    // gather/scatter overlap checks fire at the root; exercise them on a
+    // single-rank communicator so no peer is left mid-collective.
+    ZonedCluster solo({1});
+    solo.run([](mpi::Comm& comm, Process&) {
+        std::vector<std::int32_t> v(4, 3);
+        EXPECT_THROW(
+            comm.gather(std::span<const std::int32_t>(v.data(), 2),
+                        std::span<std::int32_t>(v.data() + 1, 2), 0),
+            UsageError);
+        EXPECT_THROW(
+            comm.scatter(std::span<const std::int32_t>(v.data(), 2),
+                         std::span<std::int32_t>(v.data() + 1, 2), 0),
+            UsageError);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Runtime::stats() zone-level split.
+
+TEST(MpiTopo, ZoneLevelTrafficSplit) {
+    ZonedCluster z({2, 2});
+    z.run([](mpi::Comm& comm, Process&) {
+        ptm::Runtime& rt = comm.runtime();
+        if (comm.rank() == 0) {
+            const auto s0 = rt.stats().zone_level;
+            comm.send_value<std::int32_t>(1, 1, 7); // same cluster: LAN
+            const auto s1 = rt.stats().zone_level;
+            EXPECT_GT(s1.local_messages, s0.local_messages);
+            EXPECT_EQ(s1.wan_messages, s0.wan_messages);
+            comm.send_value<std::int32_t>(2, 2, 7); // cross cluster: WAN
+            const auto s2 = rt.stats().zone_level;
+            EXPECT_GT(s2.wan_messages, s1.wan_messages);
+            EXPECT_GT(s2.wan_bytes, s1.wan_bytes);
+            EXPECT_EQ(s2.local_messages, s1.local_messages);
+        } else if (comm.rank() == 1) {
+            EXPECT_EQ(comm.recv_value<std::int32_t>(0, 7), 1);
+        } else if (comm.rank() == 2) {
+            EXPECT_EQ(comm.recv_value<std::int32_t>(0, 7), 2);
+        }
+        comm.barrier();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Flat-topology A/B: on a grid without a Topology, kAuto must take exactly
+// the legacy flat paths -- bit-identical virtual time signatures.
+
+namespace {
+
+void signature_workload(mpi::Comm& comm) {
+    const int n = comm.size();
+    const int r = comm.rank();
+    std::vector<std::int64_t> buf(9, r == 2 ? 4 : 0);
+    comm.bcast(std::span<std::int64_t>(buf), 2);
+    std::vector<std::int64_t> in(6, r + 1), out(6);
+    comm.reduce(std::span<const std::int64_t>(in),
+                std::span<std::int64_t>(out), mpi::Op::Sum, 1);
+    comm.allreduce(std::span<const std::int64_t>(in),
+                   std::span<std::int64_t>(out), mpi::Op::Min);
+    std::int32_t me = r;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n));
+    comm.allgather(std::span<const std::int32_t>(&me, 1),
+                   std::span<std::int32_t>(all));
+    comm.barrier();
+}
+
+std::vector<std::uint64_t> run_flat_signatures(mpi::CollMode mode) {
+    FlatCluster f(5); // non-power-of-two
+    std::vector<std::uint64_t> sigs(5, 0);
+    std::mutex mu;
+    f.run([&](mpi::Comm& comm, Process&) {
+        EXPECT_FALSE(comm.topo().zoned());
+        EXPECT_EQ(comm.topo().clusters(), 1);
+        comm.set_coll_mode(mode);
+        signature_workload(comm);
+        const std::uint64_t sig =
+            comm.runtime().virtual_time_signature();
+        std::lock_guard<std::mutex> lk(mu);
+        sigs[static_cast<std::size_t>(comm.rank())] = sig;
+    });
+    return sigs;
+}
+
+} // namespace
+
+TEST(MpiTopo, FlatGridAutoModeIsBitIdenticalToFlatMode) {
+    const auto auto_sigs = run_flat_signatures(mpi::CollMode::kAuto);
+    const auto flat_sigs = run_flat_signatures(mpi::CollMode::kFlat);
+    EXPECT_EQ(auto_sigs, flat_sigs);
+    for (const auto s : auto_sigs) EXPECT_NE(s, 0u);
+}
+

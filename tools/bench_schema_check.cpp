@@ -4,8 +4,9 @@
 // EXPERIMENTS.md tables and by future regression tooling, so its shape is
 // part of the contract: this tool fails CI when a bench edit drops or
 // renames a field. Dispatches on the top-level "bench" key: "ingress"
-// (bench_ingress), "topology" (bench_fabric_scale zone legs) or
-// "fabric_scale" (bench_fabric_scale pair sweep + soak).
+// (bench_ingress), "topology" (bench_fabric_scale zone legs),
+// "fabric_scale" (bench_fabric_scale pair sweep + soak) or "collectives"
+// (bench_collectives flat-vs-hierarchical sweep).
 //
 // Deliberately not a JSON library: a small scanner that checks
 //  * braces/brackets balance and the file is one object,
@@ -228,6 +229,48 @@ void check_fabric(const std::string& s) {
     require_bool(s, "ok");
 }
 
+/// BENCH_collectives.json from bench_collectives: per-(clusters, op, size)
+/// legs with flat/hier virtual times and WAN-crossing counts, plus the
+/// headline speedup, the closed-form WAN verdict and the flat-grid
+/// virtual-time identity.
+void check_collectives(const std::string& s) {
+    require_bool(s, "quick");
+    require_number(s, "cpus");
+    require_number(s, "per_cluster");
+    require_number(s, "iters");
+
+    const std::size_t legs = find_key(s, "legs");
+    if (legs == std::string::npos) {
+        fail("missing \"legs\" array");
+    } else {
+        const std::size_t stop = s.find("\"cmax\"", legs);
+        std::size_t rows = 0;
+        for (std::size_t at = find_key(s, "clusters", legs);
+             at != std::string::npos && at < stop;
+             at = find_key(s, "clusters", at)) {
+            ++rows;
+            for (const char* k :
+                 {"ranks", "bytes", "flat_us", "hier_us", "speedup",
+                  "flat_wan_msgs", "hier_wan_msgs", "hier_wan_expected",
+                  "hier_wan_bytes", "flat_wan_bytes"})
+                require_number(s, k, at);
+        }
+        if (rows < 4)
+            fail("\"legs\" array has " + std::to_string(rows) +
+                 " row(s), want at least 4");
+        for (const char* op : {"bcast", "allreduce", "barrier"})
+            if (s.find("\"op\": \"" + std::string(op) + "\"", legs) ==
+                std::string::npos)
+                fail("no leg for op '" + std::string(op) + "'");
+    }
+
+    require_number(s, "cmax");
+    require_number(s, "speedup_min_cmax_small");
+    require_bool(s, "hier_wan_ok");
+    require_bool(s, "flat_identity");
+    require_bool(s, "ok");
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -266,9 +309,20 @@ int main(int argc, char** argv) {
         std::printf("%s: schema OK\n", argv[1]);
         return 0;
     }
+    if (bench == "\"collectives\"") {
+        check_collectives(s);
+        if (g_failures != 0) {
+            std::fprintf(stderr, "%d schema failure(s) in %s\n", g_failures,
+                         argv[1]);
+            return 1;
+        }
+        std::printf("%s: schema OK\n", argv[1]);
+        return 0;
+    }
     if (bench != "\"ingress\"")
         fail("key \"bench\" is " + bench +
-             ", want \"ingress\", \"topology\" or \"fabric_scale\"");
+             ", want \"ingress\", \"topology\", \"fabric_scale\" or "
+             "\"collectives\"");
     require_bool(s, "quick");
     require_number(s, "hardware_concurrency");
     require_number(s, "thread_budget");
