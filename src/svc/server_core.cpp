@@ -170,6 +170,7 @@ std::uint64_t ServerCore::now_ms() const {
 ServerCore::Handle ServerCore::adopt(ptm::VLink&& link) {
     const Handle h = slab_.alloc();
     Conn* conn = slab_.get(h);
+    PADICO_AUDIT(conn != nullptr, "freshly allocated slab handle is live");
     conn->link = std::make_shared<ptm::VLink>(std::move(link));
     conn->proto = factory_();
     const std::uint64_t now = now_ms();
@@ -268,6 +269,7 @@ bool ServerCore::accept_batch() {
         ++batch;
         const Handle h = adopt(std::move(*link));
         Conn* conn = slab_.get(h);
+        PADICO_AUDIT(conn != nullptr, "just-adopted slab handle is live");
         if (opts_.mode == Mode::kEventDriven) {
             waitset_.add(conn->link->rx_mailbox(), h);
         } else {
@@ -485,6 +487,10 @@ void ServerCore::blocking_conn_loop(Handle h) {
     fabric::Process::bind_to_thread(&rt_->process());
     ThreadTicket ticket(*this);
     Conn* conn = slab_.get(h);
+    // The idle sweep or a force-shutdown can reap the connection between
+    // adopt() in the accept loop and this worker actually running; a stale
+    // generation tag then yields nullptr and the loop has nothing to serve.
+    if (conn == nullptr) return;
     osal::WaitSet ws;
     ws.add(conn->link->rx_mailbox(), 1);
     for (;;) {

@@ -1,0 +1,26 @@
+// Seeded ABBA for the static lock-order pass: f_ab takes a then b (the
+// sanctioned order, ranks increase), f_ba takes b then a — the b->a edge
+// is a rank inversion at the acquire site AND closes the a<->b cycle
+// (the cycle is reported at its first edge's witness line).
+// expect-analyze: lock-order-inversion@25, lock-order-cycle@20
+// path: src/svc/abba.cpp
+
+class Abba {
+public:
+    void f_ab();
+    void f_ba();
+
+private:
+    osal::CheckedMutex mu_a{lockrank::kLow, "fixture.a"};
+    osal::CheckedMutex mu_b{lockrank::kMid, "fixture.b"};
+};
+
+void Abba::f_ab() {
+    osal::CheckedLock la(mu_a);
+    osal::CheckedLock lb(mu_b);
+}
+
+void Abba::f_ba() {
+    osal::CheckedLock lb(mu_b);
+    osal::CheckedLock la(mu_a); // inversion: rank 100 after rank 200
+}

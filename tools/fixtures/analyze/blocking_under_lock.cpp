@@ -1,0 +1,30 @@
+// Seeded blocking-under-lock: a direct blocking pop() inside a held lock
+// region, and the same thing one call level down (helper() blocks, caller
+// holds the lock) to exercise the one-level callee expansion.
+// expect-analyze: blocking-under-lock@19, blocking-under-lock@29
+// path: src/svc/blocking.cpp
+
+class Blk {
+public:
+    void direct();
+    void via_helper();
+    void helper();
+
+private:
+    osal::CheckedMutex mu_{lockrank::kLow, "fixture.blk"};
+};
+
+void Blk::direct() {
+    osal::CheckedLock lk(mu_);
+    q_.pop(); // blocks while mu_ is held
+}
+
+void Blk::helper() {
+    // No lock held here: blocking on its own is fine.
+    q_.pop();
+}
+
+void Blk::via_helper() {
+    osal::CheckedLock lk(mu_);
+    helper(); // one-level expansion: callee blocks while mu_ is held
+}

@@ -1,0 +1,37 @@
+// Fully compliant fixture: ranks increase, slab handles are checked, the
+// stamp precedes the route lock, no blocking under a lock. Must be silent.
+// expect-analyze: none
+// path: src/svc/clean.cpp
+
+struct Item {
+    int x;
+};
+
+class Clean {
+public:
+    void ordered();
+    void slab_use(int h);
+    void read();
+
+private:
+    osal::CheckedMutex lo_{lockrank::kLow, "fixture.lo"};
+    osal::CheckedMutex route_mu_{lockrank::kMid, "fixture.routes"};
+    osal::Slab<Item> slab_;
+};
+
+void Clean::ordered() {
+    osal::CheckedLock a(lo_);
+    osal::CheckedLock b(route_mu_);
+}
+
+void Clean::slab_use(int h) {
+    Item* it = slab_.get(h);
+    if (!it) return;
+    it->x = 7;
+}
+
+void Clean::read() {
+    out.generation = gen_.load();
+    osal::CheckedLock lk(route_mu_);
+    copy_routes();
+}

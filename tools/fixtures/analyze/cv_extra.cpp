@@ -1,0 +1,26 @@
+// The sanctioned condvar idiom (wait with ONLY the waited lock held) must
+// stay silent; waiting while a second lock is held is the finding.
+// expect-analyze: cv-wait-extra-lock@25
+// path: src/svc/cv_extra.cpp
+
+class Cv {
+public:
+    void good();
+    void bad();
+
+private:
+    osal::CheckedMutex other_{lockrank::kLow, "fixture.other"};
+    osal::CheckedMutex mu_{lockrank::kMid, "fixture.cv_mu"};
+    osal::CheckedCondVar cv_;
+};
+
+void Cv::good() {
+    osal::CheckedUniqueLock lk(mu_);
+    cv_.wait(lk); // sanctioned: lk is the only lock held
+}
+
+void Cv::bad() {
+    osal::CheckedLock lo(other_);
+    osal::CheckedUniqueLock lk(mu_);
+    cv_.wait(lk); // other_ still held across the wait
+}

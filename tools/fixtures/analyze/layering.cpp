@@ -1,0 +1,9 @@
+// Layering back-edge: osal/ (layer 1) must not include svc/ (layer 5).
+// The util/ include goes down the stack and is fine.
+// expect-analyze: include-layering@6
+// path: src/osal/bad_layer.cpp
+
+#include "svc/server_core.hpp"
+#include "util/log.hpp"
+
+void osal_helper() {}

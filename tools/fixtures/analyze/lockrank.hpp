@@ -1,0 +1,15 @@
+// Fixture rank registry — stands in for src/osal/lockrank.hpp in the
+// padico_analyze self-test. Small, human-checkable values.
+#pragma once
+
+namespace padico::lockrank {
+
+constexpr int kLow = 100;
+constexpr int kMid = 200;
+constexpr int kHigh = 300;
+
+// Band helper: shard locks occupy [kBand, kBand+2047] as an interval.
+constexpr int kBand = 400;
+constexpr int shard_rank(int i) { return kBand + i; }
+
+} // namespace padico::lockrank

@@ -1,0 +1,9 @@
+// Raw std::mutex above util/: forbidden — everything higher in the stack
+// must use osal::CheckedMutex so ranks and the runtime checker apply.
+// expect-analyze: raw-mutex@8
+// path: src/svc/raw.cpp
+
+class R {
+private:
+    std::mutex m_;
+};

@@ -1,0 +1,10 @@
+// Same raw mutex, but opted out via the shared pragma — no finding.
+// expect-analyze: none
+// path: src/svc/raw_allowed.cpp
+
+// padico-lint: allow(raw-mutex)
+
+class R {
+private:
+    std::mutex m_;
+};

@@ -1,0 +1,34 @@
+// Generation-tag discipline: Slab::get() returns nullptr for a stale
+// (recycled) handle, so the result must be null-checked before the first
+// dereference. Two violations (deref-before-check, direct chained deref)
+// and one compliant use. The deref-before-check case is reported at the
+// dereference line (the crash site), the chained case at the call.
+// expect-analyze: slab-gen-unchecked@25, slab-gen-unchecked@28
+// path: src/svc/slab_gen.cpp
+
+struct Item {
+    int x;
+};
+
+class Pool {
+public:
+    void bad(int h);
+    void bad_direct(int h);
+    void good(int h);
+
+private:
+    osal::Slab<Item> slab_;
+};
+
+void Pool::bad(int h) {
+    Item* it = slab_.get(h);
+    it->x = 1; // deref before any null check
+}
+
+void Pool::bad_direct(int h) { slab_.get(h)->x = 2; }
+
+void Pool::good(int h) {
+    Item* it = slab_.get(h);
+    if (it == nullptr) return;
+    it->x = 3;
+}

@@ -1,0 +1,26 @@
+// Stamp-before-copy for route-table reads: the generation stamp must be
+// written BEFORE taking the route lock and copying, so a racing update
+// leaves a stale (conservative) stamp, never a fresh stamp on stale routes.
+// expect-analyze: stamp-order@24
+// path: src/fabric/stamp.cpp
+
+class Table {
+public:
+    void good_read();
+    void bad_read();
+
+private:
+    osal::CheckedMutex route_mu_{lockrank::kMid, "fixture.routes"};
+};
+
+void Table::good_read() {
+    out.generation = gen_.load();
+    osal::CheckedLock lk(route_mu_);
+    copy_routes();
+}
+
+void Table::bad_read() {
+    osal::CheckedLock lk(route_mu_);
+    out.generation = gen_.load(); // stamped after the lock: wrong order
+    copy_routes();
+}

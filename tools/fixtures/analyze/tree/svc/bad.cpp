@@ -1,0 +1,22 @@
+// Gate-demo source: one pre-existing violation that baseline.json accepts
+// (the raw mutex) and one injected NEW violation (the unchecked slab
+// deref). Analyze.GateDemo runs the analyzer over this tree with the
+// tree's baseline and asserts a non-zero exit — the same failure CI
+// produces when a change introduces a finding the baseline doesn't cover.
+
+struct Item {
+    int x;
+};
+
+class Bad {
+public:
+    void hot(int h);
+
+private:
+    std::mutex legacy_; // pre-existing, suppressed by tree baseline
+    osal::Slab<Item> slab_;
+};
+
+void Bad::hot(int h) {
+    slab_.get(h)->x = 1; // injected NEW violation: not in the baseline
+}

@@ -1,0 +1,9 @@
+// A lockrank:: identifier that the registry does not declare: the rank
+// header is the single source of truth.
+// expect-analyze: unknown-lockrank@8
+// path: src/svc/unknown.cpp
+
+class U {
+private:
+    osal::CheckedMutex mu_{lockrank::kNotARealRank, "fixture.unknown"};
+};

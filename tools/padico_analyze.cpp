@@ -1,0 +1,1949 @@
+/// \file padico_analyze.cpp
+/// Whole-program static analyzer for the Padico source tree (DESIGN.md §16).
+///
+/// Where padico_lint is a token scanner, this tool runs a real lexer and a
+/// brace/scope-tracking parser over every TU and header under src/, builds a
+/// cross-TU model (mutex declarations with their lockrank.hpp ranks, lexical
+/// lock regions, function summaries, #include edges), and runs four passes:
+///
+///   pass 1  lock-order     every lexical acquisition is recorded with the
+///                          set of locks already held in scope (plus direct
+///                          callees expanded one level deep); edges are
+///                          unioned across TUs; rank inversions and ABBA
+///                          cycles are reported even on paths the runtime
+///                          checker (osal/checked.hpp) has never executed.
+///   pass 2  blocking       calls to known-blocking osal primitives
+///                          (BlockingQueue::pop, Waiter::wait_changed,
+///                          WaitSet::wait, sleep_for, Grid::wait_process,
+///                          VLink::read_msg, join, ...) inside a held-lock
+///                          region. The sanctioned condvar idiom —
+///                          cv.wait(lk, pred) where lk is the only held
+///                          lock — is allowlisted.
+///   pass 3  layering       #include edges must go strictly DOWN the layer
+///                          stack (util -> osal -> fabric/sockets ->
+///                          svc/padicotm -> middleware).
+///   pass 4  api-discipline slab handles must null-check Slab::get() before
+///                          deref (generation tag), route-table snapshots
+///                          must stamp the generation BEFORE copying under
+///                          route_mu (stale-stamp-on-race), raw std::mutex
+///                          family forbidden above util/ (subsumes the old
+///                          padico_lint rules), lockrank:: ids must exist.
+///
+/// Findings diff against tools/analyze_baseline.json: a finding whose key is
+/// baselined (with a justification) is suppressed; anything NEW fails the
+/// run with a file:line witness. Keys deliberately omit line numbers so
+/// unrelated edits don't invalidate the baseline.
+///
+/// Usage:
+///   padico_analyze <src_dir> [--baseline FILE] [--json FILE]
+///   padico_analyze --self-test <fixtures_dir>
+///   padico_analyze --check-baseline FILE
+///
+/// Exit: 0 clean (or all findings baselined), 1 new findings / self-test
+/// failure / unjustified baseline entry, 2 usage or I/O error.
+///
+/// File opt-out pragma (shared with padico_lint):
+///   // padico-lint: allow(rule-name)
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small shared bits
+
+struct Finding {
+    std::string rule;
+    std::string file;
+    int line = 0;
+    std::string message;
+    std::string key; // stable, line-free identity used by the baseline
+};
+
+/// Rank interval. Exact ranks are {v,v}; band helpers (zone_rank,
+/// shard_rank, server_shard_rank) are {base, base+width}; unknown is lo<0.
+/// The interval widens conservatively: a violation is only reported when it
+/// holds for EVERY value in both intervals, so over-wide bands can hide a
+/// finding but never invent one.
+struct RankVal {
+    long lo = -1, hi = -1;
+    bool known() const { return lo >= 0; }
+};
+
+struct Tok {
+    enum K { kId, kNum, kPn };
+    K k;
+    std::string s;
+    int line;
+};
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string read_file(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/// Replace comments and string/char literals with spaces, preserving line
+/// structure (same contract as padico_lint's helper).
+std::string strip_comments_and_strings(const std::string& in) {
+    std::string out = in;
+    enum { kCode, kLine, kBlock, kStr, kChar } st = kCode;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const char c = in[i];
+        const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+        switch (st) {
+        case kCode:
+            if (c == '/' && n == '/') st = kLine;
+            else if (c == '/' && n == '*') st = kBlock;
+            else if (c == '"') st = kStr;
+            else if (c == '\'') st = kChar;
+            if (st != kCode) out[i] = ' ';
+            break;
+        case kLine:
+            if (c == '\n') st = kCode;
+            else out[i] = ' ';
+            break;
+        case kBlock:
+            if (c == '*' && n == '/') {
+                out[i] = out[i + 1] = ' ';
+                ++i;
+                st = kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case kStr:
+        case kChar: {
+            const char close = st == kStr ? '"' : '\'';
+            if (c == '\\') {
+                out[i] = ' ';
+                if (i + 1 < in.size() && in[i + 1] != '\n') out[++i] = ' ';
+            } else if (c == close) {
+                st = kCode;
+                out[i] = ' ';
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+/// Blank preprocessor lines (including backslash continuations) so the
+/// lexer only ever sees real code; include targets are harvested from the
+/// raw text separately.
+void blank_preprocessor(std::string& code) {
+    std::size_t pos = 0;
+    while (pos < code.size()) {
+        std::size_t eol = code.find('\n', pos);
+        if (eol == std::string::npos) eol = code.size();
+        std::size_t f = pos;
+        while (f < eol && std::isspace(static_cast<unsigned char>(code[f]))) ++f;
+        if (f < eol && code[f] == '#') {
+            bool cont = true;
+            while (cont && pos < code.size()) {
+                if (eol == std::string::npos) eol = code.size();
+                cont = eol > pos && code[eol - 1] == '\\';
+                for (std::size_t i = pos; i < eol; ++i) code[i] = ' ';
+                pos = eol < code.size() ? eol + 1 : eol;
+                eol = code.find('\n', pos);
+                if (eol == std::string::npos) eol = code.size();
+            }
+        } else {
+            pos = eol < code.size() ? eol + 1 : eol;
+        }
+    }
+}
+
+std::vector<Tok> lex(const std::string& code) {
+    static const std::set<std::string> two = {
+        "::", "->", "<<", ">>", "==", "!=", "<=", ">=", "&&",
+        "||", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "##"};
+    std::vector<Tok> out;
+    out.reserve(code.size() / 6);
+    int line = 1;
+    for (std::size_t i = 0; i < code.size();) {
+        const char c = code[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t j = i;
+            while (j < code.size() && is_ident_char(code[j])) ++j;
+            out.push_back({Tok::kId, code.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < code.size() &&
+                   (is_ident_char(code[j]) || code[j] == '.' ||
+                    ((code[j] == '+' || code[j] == '-') && j > i &&
+                     (code[j - 1] == 'e' || code[j - 1] == 'E'))))
+                ++j;
+            out.push_back({Tok::kNum, code.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (i + 1 < code.size() && two.count(code.substr(i, 2)) != 0) {
+            out.push_back({Tok::kPn, code.substr(i, 2), line});
+            i += 2;
+            continue;
+        }
+        out.push_back({Tok::kPn, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+/// Layer levels; an include must go strictly DOWN (lower level) or stay in
+/// the including file's own directory. Mirrors the lockrank.hpp bands.
+/// (Single source for this map now lives here; padico_lint's copy retired.)
+const std::map<std::string, int>& layer_levels() {
+    static const std::map<std::string, int> levels = {
+        {"util", 0},    {"osal", 1},     {"fabric", 2}, {"madeleine", 3},
+        {"sockets", 3}, {"padicotm", 4}, {"mpi", 5},    {"svc", 5},
+        {"corba", 6},   {"soap", 7},     {"hla", 7},    {"ccm", 7},
+        {"gridccm", 8},
+    };
+    return levels;
+}
+
+std::string module_dir(const std::string& path) {
+    std::string p = path;
+    if (p.rfind("src/", 0) == 0) p = p.substr(4);
+    const auto slash = p.find('/');
+    return slash == std::string::npos ? std::string() : p.substr(0, slash);
+}
+
+std::string path_stem(const std::string& path) {
+    const auto dot = path.rfind('.');
+    return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+/// Rules the file's pragmas switch off: "// padico-lint: allow(a,b)".
+std::set<std::string> allowed_rules(const std::string& raw) {
+    std::set<std::string> out;
+    const std::string tag = "padico-lint: allow(";
+    std::size_t at = 0;
+    while ((at = raw.find(tag, at)) != std::string::npos) {
+        at += tag.size();
+        const std::size_t end = raw.find(')', at);
+        if (end == std::string::npos) break;
+        std::istringstream is(raw.substr(at, end - at));
+        std::string rule;
+        while (std::getline(is, rule, ','))
+            if (!rule.empty()) out.insert(rule);
+        at = end;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file parsed data
+
+struct FileData {
+    std::string path; // repo-virtual path, e.g. "src/fabric/grid.cpp"
+    std::string dir;  // module dir ("fabric")
+    std::string stem; // path without extension — pairs .hpp/.cpp
+    std::vector<Tok> toks;
+    std::vector<std::pair<int, std::string>> includes; // line, target
+    std::set<std::string> allows;
+};
+
+struct MutexDecl {
+    std::string cls;  // innermost class at declaration ("" = file scope)
+    std::string name; // member/variable identifier
+    std::string stem; // stem of the declaring file
+    RankVal rank;
+    std::string sym;       // "lockrank::kX" or band helper name, for messages
+    bool decl_ranked = false; // ranked by its declaration initializer
+};
+
+struct MutexNode {
+    std::string key; // "Class::member", "::global", "Cls::fn()" or "file:id"
+    RankVal rank;
+    std::string sym;
+};
+
+struct Acq {
+    int node;
+    int line;
+};
+struct BlockingCall {
+    std::string name;
+    int line;
+};
+struct CallSite {
+    std::string name;
+    std::string cls; // caller's class context (for qualified resolution)
+    int line;
+    std::vector<int> held; // node ids held at the call
+    int held_line = 0;
+};
+
+struct FnSummary {
+    std::string qual;   // "ServerCore::adopt" or "<file>::fn"
+    std::string simple; // "adopt"
+    std::string cls;    // class context ("" if free function)
+    int file = -1;      // index into files_
+    std::vector<Acq> acqs;
+    std::vector<BlockingCall> blocking;
+    std::vector<CallSite> calls;
+};
+
+struct EdgeWitness {
+    std::string file;
+    int line = 0;       // acquisition site of the destination lock
+    std::string note;   // "held since line N" / "via call ..."
+};
+
+// ---------------------------------------------------------------------------
+// Analyzer: global cross-TU state + the four passes
+
+class Analyzer {
+  public:
+    /// Load rank constants and band helpers from a lockrank.hpp.
+    bool load_ranks(const fs::path& lockrank_hpp);
+
+    /// Lex + harvest one file (phase handled internally on run()).
+    void add_file(const std::string& vpath, const std::string& raw);
+
+    /// Run both walker phases and all four passes over the added files.
+    void run();
+
+    std::vector<Finding>& findings() { return findings_; }
+    std::size_t file_count() const { return files_.size(); }
+
+  private:
+    friend struct Walker;
+
+    // --- rank registry -----------------------------------------------------
+    std::map<std::string, long> rank_consts_;
+    std::map<std::string, RankVal> rank_bands_;
+
+    // --- cross-TU DB -------------------------------------------------------
+    std::vector<FileData> files_;
+    std::vector<MutexDecl> decls_;
+    std::map<std::string, std::vector<int>> decls_by_name_;
+    // alias fns returning CheckedMutex& : "Cls::name" -> member idents in
+    // the return expression (e.g. ServerCore::state_mu -> {mu_, mu}).
+    std::map<std::string, std::vector<std::string>> aliases_;
+    std::set<std::string> alias_names_; // simple names, for quick lookup
+    struct SetRankSite {
+        std::string target, cls, stem;
+        RankVal rank;
+        std::string sym;
+    };
+    std::vector<SetRankSite> set_rank_sites_;
+    std::set<std::string> slab_vars_;
+
+    std::vector<MutexNode> nodes_;
+    std::map<std::string, int> node_ids_;
+    std::map<std::pair<int, int>, EdgeWitness> edges_;
+
+    std::vector<FnSummary> fns_;
+    std::map<std::string, std::vector<int>> fns_by_simple_;
+    std::map<std::string, int> fns_by_qual_;
+
+    std::vector<Finding> findings_;
+
+    // --- helpers -----------------------------------------------------------
+    int node_for(const std::string& key, RankVal rank, const std::string& sym) {
+        auto it = node_ids_.find(key);
+        if (it != node_ids_.end()) {
+            if (!nodes_[it->second].rank.known() && rank.known()) {
+                nodes_[it->second].rank = rank;
+                nodes_[it->second].sym = sym;
+            }
+            return it->second;
+        }
+        const int id = static_cast<int>(nodes_.size());
+        nodes_.push_back({key, rank, sym});
+        node_ids_[key] = id;
+        return id;
+    }
+    int node_for_decl(int decl_idx) {
+        MutexDecl& d = decls_[decl_idx];
+        const std::string key =
+            d.cls.empty() ? "::" + d.name : d.cls + "::" + d.name;
+        return node_for(key, d.rank, d.sym);
+    }
+
+    RankVal rank_of_expr(const std::vector<Tok>& toks, std::size_t begin,
+                         std::size_t end, std::string* sym) const;
+    int resolve_mutex(const std::string& trailing, bool is_call,
+                      const std::string& cls, const FileData& fd);
+    int resolve_callee(const CallSite& c) const;
+
+    void apply_set_rank_sites();
+    void build_alias_nodes();
+    void pass_expand_calls();
+    void pass_cycles();
+    void pass_layering();
+
+    void emit(const FileData& fd, const std::string& rule, int line,
+              const std::string& msg, const std::string& keydetail) {
+        if (fd.allows.count(rule) != 0) return;
+        findings_.push_back(
+            {rule, fd.path, line, msg, rule + "|" + fd.path + "|" + keydetail});
+    }
+    std::string describe(int node) const {
+        const MutexNode& n = nodes_[node];
+        if (!n.rank.known()) return n.key + " (rank ?)";
+        if (n.rank.lo == n.rank.hi)
+            return n.key + " (rank " + std::to_string(n.rank.lo) + ")";
+        return n.key + " (rank " + std::to_string(n.rank.lo) + ".." +
+               std::to_string(n.rank.hi) + ")";
+    }
+};
+
+// Evaluate a rank initializer expression: `lockrank::kX`, a band call
+// `lockrank::zone_rank(depth)`, plain integers, `A << B`. Anything else is
+// unknown (e.g. a constructor parameter forwarding the rank).
+RankVal Analyzer::rank_of_expr(const std::vector<Tok>& toks, std::size_t begin,
+                               std::size_t end, std::string* sym) const {
+    for (std::size_t i = begin; i < end; ++i) {
+        if (toks[i].k != Tok::kId) continue;
+        auto c = rank_consts_.find(toks[i].s);
+        if (c != rank_consts_.end()) {
+            if (sym) *sym = "lockrank::" + c->first;
+            return {c->second, c->second};
+        }
+        auto b = rank_bands_.find(toks[i].s);
+        if (b != rank_bands_.end()) {
+            if (sym) *sym = "lockrank::" + b->first + "(...)";
+            return b->second;
+        }
+    }
+    if (begin < end && toks[begin].k == Tok::kNum) {
+        const long v = std::strtol(toks[begin].s.c_str(), nullptr, 0);
+        if (begin + 2 < end && toks[begin + 1].s == "<<" &&
+            toks[begin + 2].k == Tok::kNum) {
+            const long s = std::strtol(toks[begin + 2].s.c_str(), nullptr, 0);
+            if (sym) *sym = "<literal>";
+            return {v << s, v << s};
+        }
+        if (sym) *sym = "<literal>";
+        return {v, v};
+    }
+    return {};
+}
+
+bool Analyzer::load_ranks(const fs::path& lockrank_hpp) {
+    const std::string raw = read_file(lockrank_hpp);
+    if (raw.empty()) return false;
+    std::string code = strip_comments_and_strings(raw);
+    blank_preprocessor(code);
+    const std::vector<Tok> t = lex(code);
+    // First sweep: constants `constexpr int kX = <expr>;`
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+        if (t[i].s != "constexpr" || t[i + 1].s != "int" ||
+            t[i + 2].k != Tok::kId)
+            continue;
+        if (t[i + 3].s != "=") continue;
+        std::size_t e = i + 4;
+        while (e < t.size() && t[e].s != ";") ++e;
+        const RankVal v = rank_of_expr(t, i + 4, e, nullptr);
+        if (v.known()) rank_consts_[t[i + 2].s] = v.lo;
+        else rank_consts_[t[i + 2].s] = -1; // declared, value unevaluated
+    }
+    // Second sweep: band helpers `constexpr int name(...) { return kBase +
+    // ...; }` — interval [base, base+2047]; wide-on-purpose (see RankVal).
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+        if (t[i].s != "constexpr" || t[i + 1].s != "int" ||
+            t[i + 2].k != Tok::kId || t[i + 3].s != "(")
+            continue;
+        std::size_t e = i + 4;
+        int depth = 1;
+        while (e < t.size() && depth > 0) {
+            if (t[e].s == "(") ++depth;
+            else if (t[e].s == ")") --depth;
+            ++e;
+        }
+        // Body: first known-constant reference is the band base.
+        std::size_t body_end = e;
+        if (e < t.size() && t[e].s == "{") {
+            int bd = 1;
+            body_end = e + 1;
+            while (body_end < t.size() && bd > 0) {
+                if (t[body_end].s == "{") ++bd;
+                else if (t[body_end].s == "}") --bd;
+                ++body_end;
+            }
+        }
+        long base = -1;
+        for (std::size_t j = e; j < body_end; ++j) {
+            if (t[j].k != Tok::kId) continue;
+            auto c = rank_consts_.find(t[j].s);
+            if (c != rank_consts_.end() && c->second >= 0) {
+                base = c->second;
+                break;
+            }
+        }
+        if (base >= 0) rank_bands_[t[i + 2].s] = {base, base + 2047};
+        else rank_bands_[t[i + 2].s] = {};
+    }
+    return !rank_consts_.empty();
+}
+
+void Analyzer::add_file(const std::string& vpath, const std::string& raw) {
+    FileData fd;
+    fd.path = vpath;
+    fd.dir = module_dir(vpath);
+    fd.stem = path_stem(vpath);
+    fd.allows = allowed_rules(raw);
+    // Includes come from the raw text: the stripper blanks string literals.
+    {
+        std::istringstream is(raw);
+        std::string line;
+        int ln = 0;
+        while (std::getline(is, line)) {
+            ++ln;
+            std::size_t at = line.find("#include");
+            if (at == std::string::npos) continue;
+            const std::size_t q1 = line.find('"', at);
+            if (q1 == std::string::npos) continue;
+            const std::size_t q2 = line.find('"', q1 + 1);
+            if (q2 == std::string::npos) continue;
+            fd.includes.emplace_back(ln, line.substr(q1 + 1, q2 - q1 - 1));
+        }
+    }
+    std::string code = strip_comments_and_strings(raw);
+    blank_preprocessor(code);
+    fd.toks = lex(code);
+    files_.push_back(std::move(fd));
+}
+
+/// Mutex-expression resolution, best first:
+///   1. alias fn of the current class (state_mu(h) style), when a call
+///   2. declared member of the current class
+///   3. globally unique declaration with that identifier
+///   4. unique declaration within the same file stem (.hpp/.cpp pair)
+///   5. per-file unknown node "<file>:<ident>" (no rank, no cross-file merge)
+int Analyzer::resolve_mutex(const std::string& trailing, bool is_call,
+                            const std::string& cls, const FileData& fd) {
+    if (is_call) {
+        auto a = aliases_.find(cls + "::" + trailing);
+        if (a == aliases_.end()) {
+            // unique alias across classes
+            int hits = 0;
+            for (auto& [k, v] : aliases_)
+                if (k.size() > trailing.size() + 2 &&
+                    k.compare(k.size() - trailing.size(), trailing.size(),
+                              trailing) == 0 &&
+                    k[k.size() - trailing.size() - 1] == ':') {
+                    a = aliases_.find(k);
+                    ++hits;
+                }
+            if (hits != 1) a = aliases_.end();
+        }
+        if (a != aliases_.end()) return node_ids_.at(a->first + "()");
+    }
+    auto by = decls_by_name_.find(trailing);
+    if (by != decls_by_name_.end()) {
+        for (int di : by->second)
+            if (!cls.empty() && decls_[di].cls == cls) return node_for_decl(di);
+        if (by->second.size() == 1) return node_for_decl(by->second[0]);
+        int hit = -1, hits = 0;
+        for (int di : by->second)
+            if (decls_[di].stem == fd.stem) {
+                hit = di;
+                ++hits;
+            }
+        if (hits == 1) return node_for_decl(hit);
+    }
+    return node_for(fd.path + ":" + trailing, {}, "");
+}
+
+void Analyzer::apply_set_rank_sites() {
+    for (const SetRankSite& s : set_rank_sites_) {
+        auto by = decls_by_name_.find(s.target);
+        if (by == decls_by_name_.end()) continue;
+        // Preference: same class, then same stem; never overwrite a rank
+        // that came from a declaration initializer.
+        std::vector<int> order;
+        for (int di : by->second)
+            if (!s.cls.empty() && decls_[di].cls == s.cls) order.push_back(di);
+        for (int di : by->second)
+            if (decls_[di].stem == s.stem) order.push_back(di);
+        if (by->second.size() == 1) order.push_back(by->second[0]);
+        for (int di : order) {
+            if (decls_[di].decl_ranked) continue;
+            decls_[di].rank = s.rank;
+            decls_[di].sym = s.sym;
+            break;
+        }
+    }
+}
+
+void Analyzer::build_alias_nodes() {
+    for (auto& [qual, members] : aliases_) {
+        const std::string cls = qual.substr(0, qual.find("::"));
+        RankVal u;
+        std::string sym;
+        for (const std::string& m : members) {
+            auto by = decls_by_name_.find(m);
+            if (by == decls_by_name_.end()) continue;
+            for (int di : by->second) {
+                // Members reachable from the alias body: same class first,
+                // otherwise any same-stem declaration (nested helper structs
+                // like ServerCore::Shard live in the same header).
+                const MutexDecl& d = decls_[di];
+                if (d.cls != cls && d.stem.empty()) continue;
+                if (!d.rank.known()) continue;
+                if (!u.known()) u = d.rank;
+                else {
+                    u.lo = std::min(u.lo, d.rank.lo);
+                    u.hi = std::max(u.hi, d.rank.hi);
+                }
+                if (sym.empty()) sym = d.sym;
+                else if (sym != d.sym) sym += "|" + d.sym;
+            }
+        }
+        node_for(qual + "()", u, sym);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Walker: one pass over one file's token stream with scope tracking.
+//
+// Phase 1 harvests declarations (CheckedMutex members + their rank
+// initializers, raw std::mutex members, Slab<T> variables, set_rank() sites,
+// CheckedMutex&-returning alias functions). Phase 2 tracks lexical lock
+// regions (guard objects scoped to their block, manual lock()/unlock()),
+// records acquisitions/edges/blocking calls/call sites into function
+// summaries, and emits the single-function findings.
+
+const std::set<std::string>& blocking_names() {
+    static const std::set<std::string> s = {
+        "pop",       "pop_matching",  "wait_changed", "sleep_for",
+        "wait_process", "wait_service", "wait_port_for", "read_msg",
+        "accept",    "join",          "join_all"};
+    return s;
+}
+
+const std::set<std::string>& keywords() {
+    static const std::set<std::string> s = {
+        "if",     "for",   "while",  "switch",  "return", "sizeof",
+        "catch",  "new",   "delete", "throw",   "static_cast",
+        "dynamic_cast", "reinterpret_cast", "const_cast", "alignof",
+        "decltype", "assert", "defined"};
+    return s;
+}
+
+struct Walker {
+    Analyzer& an;
+    FileData& fd;
+    int file_idx;
+    int phase;
+
+    struct HeldLock {
+        int node;
+        int line;
+        std::string src; // guard name or "~m:<ident>" for manual locks
+    };
+    struct GuardInfo {
+        std::vector<int> nodes;
+        bool held = false;
+    };
+    struct SlabTrack {
+        std::string lhs;
+        std::size_t from;
+    };
+    struct FnState {
+        int fn = -1; // index into an.fns_ (phase 2), -1 in phase 1
+        std::string qual, cls;
+        std::vector<HeldLock> held;
+        std::map<std::string, GuardInfo> guards;
+        std::vector<SlabTrack> slabs;
+        int route_lock_line = 0;
+        int gen_assign_line = 0;
+    };
+    struct Scope {
+        char kind; // 'n'amespace 'c'lass 'f'unction 'b'lock 'o'ther
+        std::string name;
+        int base_paren = 0;
+        bool pushed_fn = false;
+        std::vector<std::string> guard_names;
+        std::vector<Tok> saved_buf;
+    };
+
+    std::vector<Scope> scopes;
+    std::vector<FnState> fnstack;
+    std::vector<Tok> buf;
+    int paren = 0;
+
+    Walker(Analyzer& a, FileData& f, int fidx, int ph)
+        : an(a), fd(f), file_idx(fidx), phase(ph) {}
+
+    int eff_depth() const {
+        return paren - (scopes.empty() ? 0 : scopes.back().base_paren);
+    }
+    std::string cur_class() const {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
+            if (it->kind == 'c') return it->name;
+        if (!fnstack.empty()) return fnstack.back().cls;
+        return "";
+    }
+    bool in_checked_layer() const { return fd.dir == "osal" || fd.dir == "util"; }
+
+    // --- token helpers -----------------------------------------------------
+    const std::vector<Tok>& T() const { return fd.toks; }
+    std::size_t match_forward(std::size_t open) const { // open at "(" or "{"
+        const std::string o = T()[open].s, c = o == "(" ? ")" : "}";
+        int d = 0;
+        for (std::size_t i = open; i < T().size(); ++i) {
+            if (T()[i].s == o) ++d;
+            else if (T()[i].s == c && --d == 0) return i;
+        }
+        return T().size() - 1;
+    }
+    std::size_t skip_angles(std::size_t i) const { // i at "<"
+        int d = 0;
+        for (; i < T().size(); ++i) {
+            if (T()[i].s == "<") ++d;
+            else if (T()[i].s == ">") { if (--d == 0) return i + 1; }
+            else if (T()[i].s == ">>") { d -= 2; if (d <= 0) return i + 1; }
+            else if (T()[i].s == ";" || T()[i].s == "{") return i; // bail
+        }
+        return i;
+    }
+    /// Split "( a, b )" (open at the paren) into top-level argument ranges.
+    std::vector<std::pair<std::size_t, std::size_t>> args_of(
+        std::size_t open, std::size_t close) const {
+        std::vector<std::pair<std::size_t, std::size_t>> out;
+        int d = 0;
+        std::size_t s = open + 1;
+        for (std::size_t i = open; i <= close; ++i) {
+            const std::string& x = T()[i].s;
+            if (x == "(" || x == "{" || x == "[") ++d;
+            else if (x == ")" || x == "}" || x == "]") --d;
+            if ((d == 1 && x == ",") || i == close) {
+                if (i > s) out.emplace_back(s, i); // [s, i)
+                s = i + 1;
+            }
+        }
+        return out;
+    }
+    /// Trailing identifier of a mutex expression plus whether it is a call
+    /// (`state_mu(h)` -> {"state_mu", true}; `seg.time_mu_` -> {...,false}).
+    std::pair<std::string, bool> trailing_of(std::size_t s,
+                                             std::size_t e) const {
+        if (e <= s) return {"", false};
+        std::size_t last = e - 1;
+        if (T()[last].s == ")") {
+            int d = 0;
+            std::size_t i = last + 1;
+            while (i-- > s) {
+                if (T()[i].s == ")") ++d;
+                else if (T()[i].s == "(" && --d == 0) {
+                    if (i > s && T()[i - 1].k == Tok::kId)
+                        return {T()[i - 1].s, true};
+                    return {"", false};
+                }
+            }
+            return {"", false};
+        }
+        for (std::size_t i = e; i-- > s;)
+            if (T()[i].k == Tok::kId) return {T()[i].s, false};
+        return {"", false};
+    }
+
+    // --- lock-region bookkeeping -------------------------------------------
+    void record_acq(FnState& fs, int node, int line) {
+        if (fs.fn >= 0) an.fns_[fs.fn].acqs.push_back({node, line});
+        if (an.nodes_[node].key.find("route_mu") != std::string::npos &&
+            fs.route_lock_line == 0)
+            fs.route_lock_line = line;
+    }
+    void acquire_group(FnState& fs, const std::vector<int>& nodes, int line,
+                       const std::string& src) {
+        const std::size_t snap = fs.held.size();
+        for (int node : nodes) {
+            for (std::size_t h = 0; h < snap; ++h) {
+                const HeldLock& held = fs.held[h];
+                if (held.node == node) continue;
+                auto ekey = std::make_pair(held.node, node);
+                if (an.edges_.find(ekey) == an.edges_.end())
+                    an.edges_[ekey] = {fd.path, line,
+                                       "held " + an.nodes_[held.node].key +
+                                           " since line " +
+                                           std::to_string(held.line)};
+                const RankVal& a = an.nodes_[held.node].rank;
+                const RankVal& b = an.nodes_[node].rank;
+                if (a.known() && b.known() && b.hi <= a.lo)
+                    an.emit(fd, "lock-order-inversion", line,
+                            "acquiring " + an.describe(node) +
+                                " while holding " + an.describe(held.node) +
+                                " — lock ranks must strictly increase "
+                                "(osal/lockrank.hpp)",
+                            an.nodes_[node].key + "<" +
+                                an.nodes_[held.node].key + "@" + fs.qual);
+            }
+            record_acq(fs, node, line);
+        }
+        for (int node : nodes) fs.held.push_back({node, line, src});
+    }
+    void release_src(FnState& fs, const std::string& src) {
+        fs.held.erase(std::remove_if(fs.held.begin(), fs.held.end(),
+                                     [&](const HeldLock& h) {
+                                         return h.src == src;
+                                     }),
+                      fs.held.end());
+    }
+
+    // --- brace classification ----------------------------------------------
+    bool lambda_brace(std::size_t i) const {
+        if (i == 0) return false;
+        std::size_t j = i - 1;
+        while (j > 0 && (T()[j].s == "mutable" || T()[j].s == "noexcept" ||
+                         T()[j].s == "const"))
+            --j;
+        if (T()[j].s == ")") {
+            int d = 0;
+            std::size_t k = j + 1;
+            while (k-- > 0) {
+                if (T()[k].s == ")") ++d;
+                else if (T()[k].s == "(" && --d == 0) break;
+            }
+            if (k == 0) return false;
+            j = k - 1;
+        }
+        if (T()[j].s != "]") return false;
+        int d = 0;
+        while (j + 1 > 0) {
+            if (T()[j].s == "]") ++d;
+            else if (T()[j].s == "[" && --d == 0) return true;
+            if (j == 0) break;
+            --j;
+        }
+        return false;
+    }
+
+    /// Extract the qualified function name from the statement buffer (the
+    /// tokens of the declarator before its body brace).
+    std::pair<std::string, std::string> fn_name_from_buf() const {
+        // first top-level "(" in buf
+        int d = 0;
+        std::size_t open = buf.size();
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            const std::string& x = buf[i].s;
+            if (x == "(" && d == 0) { open = i; break; }
+            if (x == "(" || x == "[" || x == "{" || x == "<") ++d;
+            else if (x == ")" || x == "]" || x == "}" || x == ">") --d;
+        }
+        if (open == buf.size() || open == 0) return {"", ""};
+        // walk back over Id ("::" Id | "~")* chain
+        std::vector<std::string> parts;
+        std::size_t i = open;
+        std::string pend;
+        bool id_done = false; // current segment already has its identifier
+        while (i-- > 0) {
+            const Tok& t = buf[i];
+            if (t.k == Tok::kId) {
+                // Two adjacent identifiers means we've walked past the
+                // name into the return type ("void ServerCore::shutdown").
+                if (id_done) break;
+                pend = t.s + pend;
+                id_done = true;
+            } else if (t.s == "~") {
+                pend = "~" + pend;
+            } else if (t.s == "::" && !pend.empty()) {
+                parts.insert(parts.begin(), pend);
+                pend.clear();
+                id_done = false;
+            } else {
+                break;
+            }
+            if (i == 0) break;
+        }
+        if (!pend.empty()) parts.insert(parts.begin(), pend);
+        if (parts.empty()) return {"", ""};
+        std::string cls =
+            parts.size() >= 2 ? parts[parts.size() - 2] : cur_class();
+        std::string qual;
+        if (parts.size() >= 2) {
+            qual = parts[parts.size() - 2] + "::" + parts.back();
+        } else {
+            qual = cls.empty() ? parts.back() : cls + "::" + parts.back();
+        }
+        return {qual, cls};
+    }
+
+    std::pair<char, std::string> classify() const {
+        if (buf.empty()) return {'b', ""};
+        std::size_t b = 0;
+        if (buf[b].s == "template") { // skip template<...> intro
+            int d = 0;
+            for (std::size_t i = b + 1; i < buf.size(); ++i) {
+                if (buf[i].s == "<") ++d;
+                else if (buf[i].s == ">" && --d == 0) { b = i + 1; break; }
+                else if (buf[i].s == ">>") { d -= 2; if (d <= 0) { b = i + 1; break; } }
+            }
+            if (b >= buf.size()) return {'o', ""};
+        }
+        const std::string& f = buf[b].s;
+        if (f == "namespace") {
+            std::string n =
+                b + 1 < buf.size() && buf[b + 1].k == Tok::kId ? buf[b + 1].s
+                                                               : "<anon>";
+            return {'n', n};
+        }
+        if (f == "class" || f == "struct" || f == "union") {
+            bool has_paren = false;
+            for (std::size_t i = b; i < buf.size(); ++i)
+                if (buf[i].s == "(") { has_paren = true; break; }
+            if (!has_paren) {
+                for (std::size_t i = b + 1; i < buf.size(); ++i)
+                    if (buf[i].k == Tok::kId && buf[i].s != "final" &&
+                        buf[i].s != "alignas")
+                        return {'c', buf[i].s};
+                return {'c', "<anon>"};
+            }
+        }
+        if (f == "enum") return {'o', ""};
+        static const std::set<std::string> ctl = {"if",    "for",   "while",
+                                                 "switch", "do",    "else",
+                                                 "try",    "catch"};
+        if (ctl.count(f) != 0) return {'b', ""};
+        const std::string& last = buf.back().s;
+        if (last == "=" || last == "," || last == "(" || last == "[" ||
+            last == "return" || last == ":" || last == "<<")
+            return {'o', ""};
+        bool has_paren = false;
+        {
+            int d = 0;
+            for (std::size_t i = b; i < buf.size(); ++i) {
+                const std::string& x = buf[i].s;
+                if (x == "(" && d == 0) has_paren = true;
+                if (x == "(" || x == "[" || x == "{") ++d;
+                else if (x == ")" || x == "]" || x == "}") --d;
+            }
+        }
+        if (has_paren) {
+            if (last == ")" || last == "const" || last == "noexcept" ||
+                last == "override" || last == "final" || last == "mutable")
+                return {'f', ""};
+            // trailing return type: "-> Type {"
+            for (std::size_t i = buf.size(); i-- > b;) {
+                if (buf[i].s == ")") break;
+                if (buf[i].s == "->") return {'f', ""};
+            }
+        }
+        if (buf.back().k == Tok::kId) return {'o', ""};
+        return {'b', ""};
+    }
+
+    // --- phase-1 matchers ---------------------------------------------------
+    void match_checkedmutex_decl(std::size_t i) {
+        // Skip the class definition itself and constructor mentions.
+        if (i > 0 && (T()[i - 1].s == "class" || T()[i - 1].s == "struct"))
+            return;
+        std::size_t j = i + 1;
+        if (j >= T().size()) return;
+        if (T()[j].s == "&") {
+            // Possible alias fn: CheckedMutex& [Cls::]name(...) { return E; }
+            ++j;
+            std::vector<std::string> chain;
+            while (j < T().size() && T()[j].k == Tok::kId) {
+                chain.push_back(T()[j].s);
+                if (j + 1 < T().size() && T()[j + 1].s == "::") j += 2;
+                else { ++j; break; }
+            }
+            if (chain.empty() || j >= T().size() || T()[j].s != "(") return;
+            const std::size_t close = match_forward(j);
+            std::size_t body = close + 1;
+            if (body >= T().size() || T()[body].s != "{") return;
+            const std::size_t bend = match_forward(body);
+            if (body + 1 >= T().size() || T()[body + 1].s != "return") return;
+            std::vector<std::string> ids;
+            for (std::size_t k = body + 2; k < bend; ++k)
+                if (T()[k].k == Tok::kId && keywords().count(T()[k].s) == 0)
+                    ids.push_back(T()[k].s);
+            const std::string cls =
+                chain.size() >= 2 ? chain[chain.size() - 2] : cur_class();
+            an.aliases_[cls + "::" + chain.back()] = ids;
+            an.alias_names_.insert(chain.back());
+            return;
+        }
+        if (T()[j].k != Tok::kId) return;
+        const std::string name = T()[j].s;
+        if (j + 1 >= T().size()) return;
+        const std::string& nx = T()[j + 1].s;
+        MutexDecl d;
+        d.cls = cur_class();
+        d.name = name;
+        d.stem = fd.stem;
+        if (nx == "{" || nx == "(") {
+            const std::size_t close = match_forward(j + 1);
+            auto args = args_of(j + 1, close);
+            if (!args.empty())
+                d.rank = an.rank_of_expr(T(), args[0].first, args[0].second,
+                                         &d.sym);
+            d.decl_ranked = d.rank.known();
+        } else if (nx != ";") {
+            return;
+        }
+        an.decls_by_name_[name].push_back(static_cast<int>(an.decls_.size()));
+        an.decls_.push_back(std::move(d));
+    }
+
+    void match_raw_mutex(std::size_t i) {
+        // i at "std"; phase 1 registers raw mutex decls for lock-order
+        // nodes, phase 2 emits the raw-mutex finding outside osal/util.
+        if (i + 2 >= T().size() || T()[i + 1].s != "::") return;
+        const std::string& kind = T()[i + 2].s;
+        static const std::set<std::string> mutexes = {"mutex",
+                                                      "recursive_mutex",
+                                                      "timed_mutex"};
+        static const std::set<std::string> guards = {"lock_guard",
+                                                     "scoped_lock",
+                                                     "unique_lock"};
+        const bool is_mutex = mutexes.count(kind) != 0;
+        const bool is_guard = guards.count(kind) != 0;
+        if (!is_mutex && !is_guard) return;
+        if (phase == 1 && is_mutex) {
+            std::size_t j = i + 3;
+            if (j < T().size() && T()[j].k == Tok::kId &&
+                j + 1 < T().size() &&
+                (T()[j + 1].s == ";" || T()[j + 1].s == "{" ||
+                 T()[j + 1].s == ",")) {
+                MutexDecl d;
+                d.cls = cur_class();
+                d.name = T()[j].s;
+                d.stem = fd.stem;
+                an.decls_by_name_[d.name].push_back(
+                    static_cast<int>(an.decls_.size()));
+                an.decls_.push_back(std::move(d));
+            }
+        }
+        if (phase == 2 && !in_checked_layer())
+            an.emit(fd, "raw-mutex", T()[i].line,
+                    "std::" + kind +
+                        " outside osal/ and util/ — use osal::CheckedMutex / "
+                        "CheckedLock (osal/checked.hpp) so PADICO_CHECK=ON "
+                        "sees every acquisition",
+                    "std::" + kind);
+    }
+
+    void match_slab_decl(std::size_t i) {
+        if (i + 1 >= T().size() || T()[i + 1].s != "<") return;
+        std::size_t j = skip_angles(i + 1);
+        if (j >= T().size() || T()[j].k != Tok::kId) return; // e.g. Slab<T>::
+        if (j + 1 < T().size() &&
+            (T()[j + 1].s == ";" || T()[j + 1].s == "{" ||
+             T()[j + 1].s == "=" || T()[j + 1].s == ","))
+            an.slab_vars_.insert(T()[j].s);
+    }
+
+    void match_set_rank(std::size_t i) {
+        if (i == 0 || i + 1 >= T().size() || T()[i + 1].s != "(") return;
+        const std::string& prev = T()[i - 1].s;
+        if (prev != "." && prev != "->") return;
+        if (i < 2 || T()[i - 2].k != Tok::kId) return;
+        const std::size_t close = match_forward(i + 1);
+        auto args = args_of(i + 1, close);
+        if (args.empty()) return;
+        Analyzer::SetRankSite s;
+        s.target = T()[i - 2].s;
+        s.cls = cur_class();
+        s.stem = fd.stem;
+        s.rank = an.rank_of_expr(T(), args[0].first, args[0].second, &s.sym);
+        if (s.rank.known()) an.set_rank_sites_.push_back(std::move(s));
+    }
+
+    // --- phase-2 matchers ---------------------------------------------------
+    void match_guard_decl(std::size_t i) {
+        if (fnstack.empty() || eff_depth() != 0) return;
+        if (i > 0 && (T()[i - 1].s == "class" || T()[i - 1].s == "struct"))
+            return;
+        std::size_t j = i + 1;
+        if (j < T().size() && T()[j].s == "<") j = skip_angles(j);
+        if (j >= T().size() || T()[j].k != Tok::kId) return;
+        const std::string gname = T()[j].s;
+        if (j + 1 >= T().size() ||
+            (T()[j + 1].s != "(" && T()[j + 1].s != "{"))
+            return;
+        const std::size_t close = match_forward(j + 1);
+        auto args = args_of(j + 1, close);
+        if (args.empty()) return;
+        bool deferred = false;
+        std::vector<int> nodes;
+        for (auto [s, e] : args) {
+            bool skip = false;
+            for (std::size_t k = s; k < e; ++k) {
+                if (T()[k].s == "defer_lock") { deferred = true; skip = true; }
+                if (T()[k].s == "adopt_lock" || T()[k].s == "try_to_lock")
+                    skip = true;
+            }
+            if (skip) continue;
+            auto [trailing, is_call] = trailing_of(s, e);
+            if (trailing.empty()) continue;
+            nodes.push_back(an.resolve_mutex(trailing, is_call, cur_class(),
+                                             fd));
+        }
+        if (nodes.empty()) return;
+        FnState& fs = fnstack.back();
+        fs.guards[gname] = {nodes, !deferred};
+        if (!scopes.empty()) scopes.back().guard_names.push_back(gname);
+        if (!deferred) acquire_group(fs, nodes, T()[i].line, gname);
+    }
+
+    void match_lock_unlock(std::size_t i) {
+        if (fnstack.empty() || i < 2) return;
+        const bool is_lock = T()[i].s == "lock";
+        const std::string& prev = T()[i - 1].s;
+        if ((prev != "." && prev != "->") || i + 1 >= T().size() ||
+            T()[i + 1].s != "(")
+            return;
+        FnState& fs = fnstack.back();
+        if (T()[i - 2].k == Tok::kId) {
+            auto g = fs.guards.find(T()[i - 2].s);
+            if (g != fs.guards.end()) {
+                if (is_lock && !g->second.held) {
+                    g->second.held = true;
+                    acquire_group(fs, g->second.nodes, T()[i].line, g->first);
+                } else if (!is_lock && g->second.held) {
+                    g->second.held = false;
+                    release_src(fs, g->first);
+                }
+                return;
+            }
+        }
+        // Manual mutex.lock()/unlock(): resolve the receiver expression.
+        std::size_t s = i - 1;
+        while (s > 0 && (T()[s - 1].k == Tok::kId || T()[s - 1].s == "." ||
+                         T()[s - 1].s == "->" || T()[s - 1].s == "::"))
+            --s;
+        auto [trailing, is_call] = trailing_of(s, i - 1);
+        if (trailing.empty()) return;
+        const std::string src = "~m:" + trailing;
+        if (is_lock) {
+            const int node =
+                an.resolve_mutex(trailing, is_call, cur_class(), fd);
+            acquire_group(fs, {node}, T()[i].line, src);
+        } else {
+            release_src(fs, src);
+        }
+    }
+
+    void held_keys(const FnState& fs, std::string* human,
+                   std::string* key) const {
+        for (const HeldLock& h : fs.held) {
+            if (!human->empty()) *human += ", ";
+            *human += an.describe(h.node);
+            if (!key->empty()) *key += "+";
+            *key += an.nodes_[h.node].key;
+        }
+    }
+
+    void match_blocking(std::size_t i) {
+        if (fnstack.empty() || i == 0 || i + 1 >= T().size() ||
+            T()[i + 1].s != "(")
+            return;
+        const std::string& prev = T()[i - 1].s;
+        if (prev != "." && prev != "->" && prev != "::") return;
+        FnState& fs = fnstack.back();
+        if (fs.fn >= 0)
+            an.fns_[fs.fn].blocking.push_back({T()[i].s, T()[i].line});
+        if (fs.held.empty() || in_checked_layer()) return;
+        std::string human, key;
+        held_keys(fs, &human, &key);
+        an.emit(fd, "blocking-under-lock", T()[i].line,
+                "blocking call " + T()[i].s + "() while holding " + human +
+                    " — blocked threads stall every waiter on those locks",
+                T()[i].s + "@" + fs.qual + "&" + key);
+    }
+
+    void match_wait(std::size_t i) {
+        if (fnstack.empty() || i == 0 || i + 1 >= T().size() ||
+            T()[i + 1].s != "(")
+            return;
+        const std::string& prev = T()[i - 1].s;
+        if (prev != "." && prev != "->") return;
+        const std::size_t close = match_forward(i + 1);
+        auto args = args_of(i + 1, close);
+        FnState& fs = fnstack.back();
+        if (args.empty()) {
+            // 0-arg wait: WaitSet/Event/Latch-style blocking wait.
+            if (fs.fn >= 0)
+                an.fns_[fs.fn].blocking.push_back({"wait", T()[i].line});
+            if (fs.held.empty() || in_checked_layer()) return;
+            std::string human, key;
+            held_keys(fs, &human, &key);
+            an.emit(fd, "blocking-under-lock", T()[i].line,
+                    "blocking wait() while holding " + human,
+                    "wait@" + fs.qual + "&" + key);
+            return;
+        }
+        // Condvar idiom: wait(lk[, pred]) where lk is a held guard. The wait
+        // releases lk, so it is sanctioned iff no OTHER lock is held.
+        if (args[0].second - args[0].first != 1) return;
+        const Tok& a0 = T()[args[0].first];
+        if (a0.k != Tok::kId) return;
+        auto g = fs.guards.find(a0.s);
+        if (g == fs.guards.end()) return;
+        std::string human, key;
+        for (const HeldLock& h : fs.held) {
+            if (h.src == a0.s) continue;
+            if (!human.empty()) human += ", ";
+            human += an.describe(h.node);
+            if (!key.empty()) key += "+";
+            key += an.nodes_[h.node].key;
+        }
+        if (!human.empty() && !in_checked_layer())
+            an.emit(fd, "cv-wait-extra-lock", T()[i].line,
+                    "cv.wait(" + a0.s + ") releases only " + a0.s +
+                        " but the thread still holds " + human +
+                        " across the sleep",
+                    fs.qual + "&" + key);
+    }
+
+    void match_call(std::size_t i) {
+        if (fnstack.empty() || i + 1 >= T().size() || T()[i + 1].s != "(")
+            return;
+        FnState& fs = fnstack.back();
+        if (fs.fn < 0 || fs.held.empty()) return;
+        if (keywords().count(T()[i].s) != 0) return;
+        if (i > 0 && (T()[i - 1].s == "class" || T()[i - 1].s == "struct"))
+            return;
+        CallSite c;
+        c.name = T()[i].s;
+        c.cls = fs.cls;
+        // A call through an explicit receiver ("factories().find(name)")
+        // is not a call on the enclosing class; only bare calls and
+        // this-> calls get class-qualified callee resolution.
+        if (i > 1 && (T()[i - 1].s == "." || T()[i - 1].s == "->") &&
+            T()[i - 2].s != "this")
+            c.cls.clear();
+        c.line = T()[i].line;
+        c.held_line = fs.held.front().line;
+        for (const HeldLock& h : fs.held) c.held.push_back(h.node);
+        an.fns_[fs.fn].calls.push_back(std::move(c));
+    }
+
+    void match_slab_get(std::size_t i) {
+        if (fnstack.empty()) return;
+        if (an.slab_vars_.count(T()[i].s) == 0) return;
+        if (i + 3 >= T().size()) return;
+        const std::string& dot = T()[i + 1].s;
+        if (dot != "." && dot != "->") return;
+        if (T()[i + 2].s != "get" || T()[i + 3].s != "(") return;
+        const std::size_t close = match_forward(i + 3);
+        FnState& fs = fnstack.back();
+        if (close + 1 < T().size() &&
+            (T()[close + 1].s == "->" || T()[close + 1].s == ".")) {
+            an.emit(fd, "slab-gen-unchecked", T()[i].line,
+                    "Slab::get() result dereferenced directly — a stale "
+                    "(generation-recycled) handle returns nullptr and this "
+                    "deref crashes; null-check first",
+                    fs.qual + ":<expr>");
+            return;
+        }
+        if (i >= 2 && T()[i - 1].s == "=" && T()[i - 2].k == Tok::kId)
+            fs.slabs.push_back({T()[i - 2].s, close + 1});
+    }
+
+    void match_gen_assign(std::size_t i) {
+        if (fnstack.empty()) return;
+        if (T()[i].s != "generation") return;
+        if (i + 1 >= T().size() || T()[i + 1].s != "=") return;
+        FnState& fs = fnstack.back();
+        if (fs.gen_assign_line == 0) fs.gen_assign_line = T()[i].line;
+    }
+
+    void match_unknown_rank(std::size_t i) {
+        if (T()[i].s != "lockrank" || i + 2 >= T().size() ||
+            T()[i + 1].s != "::" || T()[i + 2].k != Tok::kId)
+            return;
+        const std::string& id = T()[i + 2].s;
+        if (an.rank_consts_.count(id) != 0 || an.rank_bands_.count(id) != 0)
+            return;
+        an.emit(fd, "unknown-lockrank", T()[i].line,
+                "lockrank::" + id +
+                    " is not declared in osal/lockrank.hpp — the registry "
+                    "is the single source of truth",
+                id);
+    }
+
+    // --- function close: deferred single-function checks --------------------
+    void close_fn(FnState& fs, std::size_t end_tok) {
+        for (const SlabTrack& st : fs.slabs) {
+            for (std::size_t k = st.from; k < end_tok; ++k) {
+                if (T()[k].k != Tok::kId || T()[k].s != st.lhs) continue;
+                const std::string nx =
+                    k + 1 < end_tok ? T()[k + 1].s : std::string();
+                const std::string pv = k > 0 ? T()[k - 1].s : std::string();
+                if (pv == "*" || nx == "->") {
+                    an.emit(fd, "slab-gen-unchecked", T()[k].line,
+                            "'" + st.lhs +
+                                "' from Slab::get() dereferenced before a "
+                                "null check — a stale generation-tagged "
+                                "handle yields nullptr here",
+                            fs.qual + ":" + st.lhs);
+                    break;
+                }
+                if (nx == "==" || nx == "!=" || pv == "==" || pv == "!=" ||
+                    pv == "!" || (pv == "(" && nx == ")"))
+                    break; // checked first
+                if (nx == "=") break; // reassigned
+            }
+        }
+        if (fs.route_lock_line != 0 && fs.gen_assign_line != 0 &&
+            fs.gen_assign_line > fs.route_lock_line)
+            an.emit(fd, "stamp-order", fs.gen_assign_line,
+                    "generation stamped AFTER locking route_mu — the stamp "
+                    "must be written before the copy so a racing update "
+                    "leaves a stale (conservative) stamp, never a fresh "
+                    "stamp on stale routes",
+                    fs.qual);
+    }
+
+    // --- main loop ----------------------------------------------------------
+    void walk() {
+        const std::vector<Tok>& t = T();
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            const Tok& tk = t[i];
+            if (tk.s == "(") {
+                ++paren;
+            } else if (tk.s == ")") {
+                if (paren > 0) --paren;
+            } else if (tk.s == "{") {
+                open_brace(i);
+                continue;
+            } else if (tk.s == "}") {
+                close_brace(i);
+                continue;
+            } else if (tk.s == ";" && eff_depth() == 0) {
+                buf.clear();
+                continue;
+            }
+            if (buf.size() < 256) buf.push_back(tk);
+
+            if (tk.k != Tok::kId) continue;
+            const std::string& s = tk.s;
+            if (phase == 1) {
+                if (s == "CheckedMutex") match_checkedmutex_decl(i);
+                else if (s == "std") match_raw_mutex(i);
+                else if (s == "Slab") match_slab_decl(i);
+                else if (s == "set_rank") match_set_rank(i);
+            } else {
+                if (s == "CheckedLock" || s == "CheckedUniqueLock" ||
+                    s == "lock_guard" || s == "unique_lock" ||
+                    s == "scoped_lock")
+                    match_guard_decl(i);
+                if (s == "std") match_raw_mutex(i);
+                else if (s == "lock" || s == "unlock") match_lock_unlock(i);
+                else if (s == "wait") match_wait(i);
+                else if (blocking_names().count(s) != 0) match_blocking(i);
+                else if (s == "lockrank") match_unknown_rank(i);
+                else if (s == "generation") match_gen_assign(i);
+                else {
+                    match_slab_get(i);
+                    match_call(i);
+                }
+            }
+        }
+        while (!scopes.empty()) close_brace(t.size());
+    }
+
+    void open_brace(std::size_t i) {
+        Scope sc;
+        sc.base_paren = paren;
+        if (lambda_brace(i)) {
+            sc.kind = 'f';
+            sc.pushed_fn = true;
+            FnState fs;
+            fs.cls = cur_class();
+            const std::string outer =
+                fnstack.empty() ? fd.path : fnstack.back().qual;
+            fs.qual = outer + "::<lambda:" + std::to_string(T()[i].line) + ">";
+            if (phase == 2) {
+                fs.fn = static_cast<int>(an.fns_.size());
+                FnSummary sum;
+                sum.qual = fs.qual;
+                sum.simple = "<lambda>";
+                sum.cls = fs.cls;
+                sum.file = file_idx;
+                an.fns_.push_back(std::move(sum));
+            }
+            fnstack.push_back(std::move(fs));
+            buf.clear();
+            scopes.push_back(std::move(sc));
+            return;
+        }
+        if (eff_depth() > 0) {
+            sc.kind = 'o';
+            scopes.push_back(std::move(sc));
+            return;
+        }
+        auto [kind, name] = classify();
+        sc.kind = kind;
+        sc.name = name;
+        if (kind == 'o') {
+            sc.saved_buf = buf;
+            scopes.push_back(std::move(sc));
+            buf.clear();
+            return;
+        }
+        if (kind == 'f') {
+            auto [qual, cls] = fn_name_from_buf();
+            if (qual.empty()) {
+                qual = fd.path + ":<fn@" + std::to_string(T()[i].line) + ">";
+                cls = cur_class();
+            }
+            FnState fs;
+            fs.qual = qual;
+            fs.cls = cls;
+            sc.pushed_fn = true;
+            if (phase == 2) {
+                fs.fn = static_cast<int>(an.fns_.size());
+                FnSummary sum;
+                sum.qual = qual;
+                const auto cc = qual.rfind("::");
+                sum.simple =
+                    cc == std::string::npos ? qual : qual.substr(cc + 2);
+                sum.cls = cls;
+                sum.file = file_idx;
+                an.fns_by_simple_[sum.simple].push_back(fs.fn);
+                an.fns_by_qual_[qual] = fs.fn;
+                an.fns_.push_back(std::move(sum));
+            }
+            fnstack.push_back(std::move(fs));
+        }
+        buf.clear();
+        scopes.push_back(std::move(sc));
+    }
+
+    void close_brace(std::size_t i) {
+        if (scopes.empty()) {
+            buf.clear();
+            return;
+        }
+        Scope sc = std::move(scopes.back());
+        scopes.pop_back();
+        if (!fnstack.empty()) {
+            FnState& fs = fnstack.back();
+            for (const std::string& g : sc.guard_names) {
+                release_src(fs, g);
+                fs.guards.erase(g);
+            }
+        }
+        if (sc.kind == 'f' && sc.pushed_fn && !fnstack.empty()) {
+            if (phase == 2) close_fn(fnstack.back(), i);
+            fnstack.pop_back();
+        }
+        if (sc.kind == 'o') buf = std::move(sc.saved_buf);
+        else buf.clear();
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Cross-TU passes
+
+void Analyzer::run() {
+    for (std::size_t i = 0; i < files_.size(); ++i)
+        Walker(*this, files_[i], static_cast<int>(i), 1).walk();
+    apply_set_rank_sites();
+    build_alias_nodes();
+    for (std::size_t i = 0; i < files_.size(); ++i)
+        Walker(*this, files_[i], static_cast<int>(i), 2).walk();
+    pass_expand_calls();
+    pass_cycles();
+    pass_layering();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file) return a.file < b.file;
+                  if (a.line != b.line) return a.line < b.line;
+                  return a.key < b.key;
+              });
+    findings_.erase(std::unique(findings_.begin(), findings_.end(),
+                                [](const Finding& a, const Finding& b) {
+                                    return a.key == b.key &&
+                                           a.line == b.line;
+                                }),
+                    findings_.end());
+}
+
+int Analyzer::resolve_callee(const CallSite& c) const {
+    if (!c.cls.empty()) {
+        auto q = fns_by_qual_.find(c.cls + "::" + c.name);
+        if (q != fns_by_qual_.end()) return q->second;
+    }
+    // Names shared with the standard containers ("boxes_.find(ch)") must
+    // not bind to an unrelated tree function that happens to be the only
+    // one with that simple name; such calls resolve only class-qualified.
+    static const std::set<std::string> generic = {
+        "find",      "count",    "insert",   "erase",     "clear",
+        "begin",     "end",      "at",       "size",      "empty",
+        "front",     "back",     "data",     "push_back", "pop_back",
+        "emplace",   "emplace_back",         "contains",  "get",
+        "reset",     "load",     "store",    "swap",      "push",
+        "pop",       "top",      "resize",   "reserve",   "value",
+        "value_or",  "has_value",            "str",       "c_str",
+        "substr",    "append",   "merge",    "exchange",  "fetch_add",
+        "fetch_sub", "lower_bound",          "upper_bound"};
+    if (generic.count(c.name)) return -1;
+    auto s = fns_by_simple_.find(c.name);
+    if (s != fns_by_simple_.end() && s->second.size() == 1)
+        return s->second[0];
+    return -1;
+}
+
+/// One-level callee expansion: every call made while holding locks pulls in
+/// the callee's DIRECT acquisitions and blocking calls (not the callee's own
+/// callees — one level only, see DESIGN.md §16 for why this bounds both
+/// false positives and runtime).
+void Analyzer::pass_expand_calls() {
+    for (std::size_t fi = 0; fi < fns_.size(); ++fi) {
+        const FnSummary& caller = fns_[fi];
+        const FileData& cfd = files_[caller.file];
+        const bool checked_layer = cfd.dir == "osal" || cfd.dir == "util";
+        for (const CallSite& c : caller.calls) {
+            const int ci = resolve_callee(c);
+            if (ci < 0 || ci == static_cast<int>(fi)) continue;
+            const FnSummary& callee = fns_[ci];
+            for (const Acq& a : callee.acqs) {
+                for (const int h : c.held) {
+                    if (h == a.node) continue;
+                    auto ekey = std::make_pair(h, a.node);
+                    if (edges_.find(ekey) == edges_.end())
+                        edges_[ekey] = {cfd.path, c.line,
+                                        "via call " + c.name +
+                                            "() -> acquisition at " +
+                                            files_[callee.file].path + ":" +
+                                            std::to_string(a.line)};
+                    const RankVal& ra = nodes_[h].rank;
+                    const RankVal& rb = nodes_[a.node].rank;
+                    if (ra.known() && rb.known() && rb.hi <= ra.lo)
+                        emit(cfd, "lock-order-inversion", c.line,
+                             "call to " + c.name + "() acquires " +
+                                 describe(a.node) + " (at " +
+                                 files_[callee.file].path + ":" +
+                                 std::to_string(a.line) +
+                                 ") while holding " + describe(h) +
+                                 " — lock ranks must strictly increase",
+                             nodes_[a.node].key + "<" + nodes_[h].key + "@" +
+                                 caller.qual + "->" + c.name);
+                }
+            }
+            if (checked_layer) continue;
+            for (const BlockingCall& b : callee.blocking) {
+                std::string human, key;
+                for (const int h : c.held) {
+                    if (!human.empty()) human += ", ";
+                    human += describe(h);
+                    if (!key.empty()) key += "+";
+                    key += nodes_[h].key;
+                }
+                emit(cfd, "blocking-under-lock", c.line,
+                     "call to " + c.name + "() blocks in " + b.name +
+                         "() (" + files_[callee.file].path + ":" +
+                         std::to_string(b.line) + ") while holding " + human,
+                     b.name + "<-" + c.name + "@" + caller.qual + "&" + key);
+            }
+        }
+    }
+}
+
+/// Tarjan SCC over the union lock-order graph; every multi-node SCC is a
+/// potential ABBA cycle, reported with one witness edge per hop.
+void Analyzer::pass_cycles() {
+    const int n = static_cast<int>(nodes_.size());
+    std::vector<std::vector<int>> adj(n);
+    for (const auto& [e, w] : edges_) adj[e.first].push_back(e.second);
+    std::vector<int> idx(n, -1), low(n, 0), comp(n, -1);
+    std::vector<bool> onstk(n, false);
+    std::vector<int> stk;
+    int counter = 0, ncomp = 0;
+    // Iterative Tarjan (explicit stack of (node, child-cursor)).
+    for (int root = 0; root < n; ++root) {
+        if (idx[root] != -1) continue;
+        std::vector<std::pair<int, std::size_t>> work{{root, 0}};
+        while (!work.empty()) {
+            auto& [v, ci] = work.back();
+            if (ci == 0) {
+                idx[v] = low[v] = counter++;
+                stk.push_back(v);
+                onstk[v] = true;
+            }
+            if (ci < adj[v].size()) {
+                const int w = adj[v][ci++];
+                if (idx[w] == -1) work.emplace_back(w, 0);
+                else if (onstk[w]) low[v] = std::min(low[v], idx[w]);
+            } else {
+                if (low[v] == idx[v]) {
+                    while (true) {
+                        const int w = stk.back();
+                        stk.pop_back();
+                        onstk[w] = false;
+                        comp[w] = ncomp;
+                        if (w == v) break;
+                    }
+                    ++ncomp;
+                }
+                work.pop_back();
+                if (!work.empty())
+                    low[work.back().first] =
+                        std::min(low[work.back().first], low[v]);
+            }
+        }
+    }
+    std::map<int, std::vector<int>> groups;
+    for (int v = 0; v < n; ++v) groups[comp[v]].push_back(v);
+    for (const auto& [cid, members] : groups) {
+        if (members.size() < 2) continue;
+        std::vector<std::string> keys;
+        for (int v : members) keys.push_back(nodes_[v].key);
+        std::sort(keys.begin(), keys.end());
+        std::string cyc;
+        for (const auto& k : keys) cyc += (cyc.empty() ? "" : " -> ") + k;
+        std::string msg = "potential ABBA cycle among {" + cyc + "}:";
+        std::string file = "(lock-graph)";
+        int line = 0, shown = 0;
+        for (const auto& [e, w] : edges_) {
+            if (comp[e.first] != cid || comp[e.second] != cid) continue;
+            if (line == 0 || w.line < line ||
+                (w.line == line && w.file < file)) {
+                // keep deterministic witness: smallest line, then file
+                if (line == 0 || w.line < line || w.file < file) {
+                    file = w.file;
+                    line = w.line;
+                }
+            }
+            if (shown < 4) {
+                msg += " " + nodes_[e.first].key + " -> " +
+                       nodes_[e.second].key + " (" + w.file + ":" +
+                       std::to_string(w.line) + ");";
+                ++shown;
+            }
+        }
+        findings_.push_back({"lock-order-cycle", file, line, msg,
+                             "lock-order-cycle||" + cyc});
+    }
+}
+
+void Analyzer::pass_layering() {
+    const auto& levels = layer_levels();
+    for (FileData& fd : files_) {
+        const auto self = levels.find(fd.dir);
+        if (self == levels.end()) continue;
+        for (const auto& [line, target] : fd.includes) {
+            const std::string inc_dir = module_dir(target);
+            if (inc_dir.empty() || inc_dir == fd.dir) continue;
+            const auto inc = levels.find(inc_dir);
+            if (inc == levels.end()) continue;
+            if (inc->second >= self->second)
+                emit(fd, "include-layering", line,
+                     fd.dir + "/ (layer " + std::to_string(self->second) +
+                         ") must not include " + inc_dir + "/ (layer " +
+                         std::to_string(inc->second) +
+                         ") — includes go down the stack only",
+                     target);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline + JSON I/O. The baseline format is one entry per line:
+//   { "findings": [
+//     {"key": "...", "justified": "..."},
+//   ] }
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\', out += c;
+        else if (c == '\n') out += "\\n";
+        else out += c;
+    }
+    return out;
+}
+
+/// Minimal reader for the quoted string starting at s[i] == '"'.
+std::string read_quoted(const std::string& s, std::size_t& i) {
+    std::string out;
+    ++i; // opening quote
+    while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            ++i;
+            out += s[i] == 'n' ? '\n' : s[i];
+        } else {
+            out += s[i];
+        }
+        ++i;
+    }
+    ++i; // closing quote
+    return out;
+}
+
+struct BaselineEntry {
+    std::string key, justified;
+};
+
+std::vector<BaselineEntry> load_baseline(const fs::path& p, bool* ok) {
+    std::vector<BaselineEntry> out;
+    *ok = true;
+    if (!fs::exists(p)) return out; // absent baseline = empty baseline
+    const std::string raw = read_file(p);
+    std::size_t i = 0;
+    while ((i = raw.find("\"key\"", i)) != std::string::npos) {
+        i += 5;
+        while (i < raw.size() && raw[i] != '"') ++i;
+        if (i >= raw.size()) break;
+        BaselineEntry e;
+        e.key = read_quoted(raw, i);
+        const std::size_t brace = raw.find('}', i);
+        std::size_t j = raw.find("\"justified\"", i);
+        if (j != std::string::npos && (brace == std::string::npos || j < brace)) {
+            j += 11;
+            while (j < raw.size() && raw[j] != '"') ++j;
+            if (j < raw.size()) e.justified = read_quoted(raw, j);
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+void write_json_report(const fs::path& p, const std::vector<Finding>& all,
+                       const std::set<std::string>& baselined,
+                       std::size_t files) {
+    std::ofstream out(p);
+    std::size_t fresh = 0, supp = 0;
+    for (const Finding& f : all)
+        (baselined.count(f.key) != 0 ? supp : fresh)++;
+    out << "{\n  \"files\": " << files << ",\n  \"new\": " << fresh
+        << ",\n  \"suppressed\": " << supp << ",\n  \"findings\": [\n";
+    bool first = true;
+    for (const Finding& f : all) {
+        if (!first) out << ",\n";
+        first = false;
+        out << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+            << json_escape(f.file) << "\", \"line\": " << f.line
+            << ", \"suppressed\": "
+            << (baselined.count(f.key) != 0 ? "true" : "false")
+            << ", \"key\": \"" << json_escape(f.key) << "\", \"message\": \""
+            << json_escape(f.message) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Modes
+
+int analyze_tree(const fs::path& src, const fs::path& baseline_path,
+                 const fs::path& json_path) {
+    Analyzer an;
+    if (!an.load_ranks(src / "osal" / "lockrank.hpp")) {
+        std::fprintf(stderr, "padico_analyze: cannot load %s\n",
+                     (src / "osal" / "lockrank.hpp").string().c_str());
+        return 2;
+    }
+    std::vector<fs::path> files;
+    for (const auto& e : fs::recursive_directory_iterator(src)) {
+        if (!e.is_regular_file()) continue;
+        const std::string ext = e.path().extension().string();
+        if (ext == ".hpp" || ext == ".cpp") files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files)
+        an.add_file("src/" + fs::relative(f, src).generic_string(),
+                    read_file(f));
+    an.run();
+
+    bool ok = true;
+    std::set<std::string> baselined;
+    if (!baseline_path.empty()) {
+        for (const BaselineEntry& e : load_baseline(baseline_path, &ok))
+            baselined.insert(e.key);
+    }
+    std::size_t fresh = 0, supp = 0;
+    for (const Finding& f : an.findings()) {
+        if (baselined.count(f.key) != 0) {
+            ++supp;
+            continue;
+        }
+        ++fresh;
+        std::fprintf(stderr, "%s:%d: [%s] %s\n      key: %s\n",
+                     f.file.c_str(), f.line, f.rule.c_str(),
+                     f.message.c_str(), f.key.c_str());
+    }
+    // Stale baseline entries (suppressing nothing) are a warning: the CI
+    // shrink check nudges them out, but they must not fail local runs.
+    for (const std::string& k : baselined) {
+        bool hit = false;
+        for (const Finding& f : an.findings())
+            if (f.key == k) { hit = true; break; }
+        if (!hit)
+            std::fprintf(stderr,
+                         "padico_analyze: warning: stale baseline entry "
+                         "(no longer reported): %s\n",
+                         k.c_str());
+    }
+    if (!json_path.empty())
+        write_json_report(json_path, an.findings(), baselined,
+                          an.file_count());
+    std::printf("padico_analyze: %zu file(s), %zu finding(s) "
+                "(%zu new, %zu baselined)\n",
+                an.file_count(), an.findings().size(), fresh, supp);
+    return fresh == 0 ? 0 : 1;
+}
+
+int check_baseline(const fs::path& p) {
+    bool ok = true;
+    const auto entries = load_baseline(p, &ok);
+    int bad = 0;
+    for (const BaselineEntry& e : entries) {
+        if (e.justified.empty()) {
+            ++bad;
+            std::fprintf(stderr,
+                         "padico_analyze: baseline entry lacks a "
+                         "\"justified\" note: %s\n",
+                         e.key.c_str());
+        }
+    }
+    std::printf("padico_analyze: baseline %s: %zu entr%s, %d unjustified\n",
+                p.string().c_str(), entries.size(),
+                entries.size() == 1 ? "y" : "ies", bad);
+    return bad == 0 ? 0 : 1;
+}
+
+/// Fixture self-test: each .cpp/.hpp in the directory (except lockrank.hpp)
+/// is analyzed as a single-file tree against the fixture rank registry.
+/// Header lines declare the exact expected findings, rule@line:
+///   // expect-analyze: lock-order-inversion@12, lock-order-cycle@9
+///   // expect-analyze: none
+///   // path: src/fabric/foo.cpp
+int self_test(const fs::path& dir) {
+    int failures = 0;
+    std::size_t fixtures = 0;
+    std::vector<fs::path> files;
+    for (const auto& e : fs::directory_iterator(dir))
+        if (e.is_regular_file() && e.path().filename() != "lockrank.hpp") {
+            const std::string ext = e.path().extension().string();
+            if (ext == ".hpp" || ext == ".cpp") files.push_back(e.path());
+        }
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) {
+        ++fixtures;
+        const std::string raw = read_file(f);
+        std::multiset<std::string> expected;
+        std::string vpath = "src/fixture/" + f.filename().string();
+        {
+            std::istringstream is(raw);
+            std::string line;
+            while (std::getline(is, line)) {
+                if (line.rfind("// expect-analyze:", 0) == 0) {
+                    std::istringstream ls(line.substr(18));
+                    std::string item;
+                    while (std::getline(ls, item, ',')) {
+                        item.erase(std::remove_if(item.begin(), item.end(),
+                                                  [](unsigned char c) {
+                                                      return std::isspace(c);
+                                                  }),
+                                   item.end());
+                        if (!item.empty() && item != "none")
+                            expected.insert(item);
+                    }
+                } else if (line.rfind("// path:", 0) == 0) {
+                    std::string p = line.substr(8);
+                    p.erase(std::remove_if(p.begin(), p.end(),
+                                           [](unsigned char c) {
+                                               return std::isspace(c);
+                                           }),
+                            p.end());
+                    vpath = p;
+                } else if (line.rfind("//", 0) != 0) {
+                    break;
+                }
+            }
+        }
+        Analyzer an;
+        if (!an.load_ranks(dir / "lockrank.hpp")) {
+            std::fprintf(stderr, "padico_analyze: missing %s\n",
+                         (dir / "lockrank.hpp").string().c_str());
+            return 2;
+        }
+        an.add_file(vpath, raw);
+        an.run();
+        std::multiset<std::string> got;
+        for (const Finding& fi : an.findings())
+            got.insert(fi.rule + "@" + std::to_string(fi.line));
+        if (got == expected) {
+            std::printf("PASS %s\n", f.filename().string().c_str());
+        } else {
+            ++failures;
+            auto join = [](const std::multiset<std::string>& s) {
+                std::string out;
+                for (const auto& r : s) out += (out.empty() ? "" : ",") + r;
+                return out.empty() ? std::string("none") : out;
+            };
+            std::printf("FAIL %s: expected [%s], got [%s]\n",
+                        f.filename().string().c_str(), join(expected).c_str(),
+                        join(got).c_str());
+            for (const Finding& fi : an.findings())
+                std::printf("     %s:%d: [%s] %s\n", fi.file.c_str(), fi.line,
+                            fi.rule.c_str(), fi.message.c_str());
+        }
+    }
+    std::printf("padico_analyze self-test: %zu fixture(s), %d failure(s)\n",
+                fixtures, failures);
+    if (fixtures == 0) return 2;
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.size() == 2 && args[0] == "--self-test")
+        return self_test(args[1]);
+    if (args.size() == 2 && args[0] == "--check-baseline")
+        return check_baseline(args[1]);
+    if (!args.empty() && args[0][0] != '-') {
+        fs::path src = args[0], baseline, json;
+        for (std::size_t i = 1; i + 1 < args.size() + 1; ++i) {
+            if (args[i] == "--baseline" && i + 1 < args.size())
+                baseline = args[++i];
+            else if (args[i] == "--json" && i + 1 < args.size())
+                json = args[++i];
+            else {
+                std::fprintf(stderr, "padico_analyze: unknown arg %s\n",
+                             args[i].c_str());
+                return 2;
+            }
+        }
+        return analyze_tree(src, baseline, json);
+    }
+    std::fprintf(
+        stderr,
+        "usage: padico_analyze <src_dir> [--baseline FILE] [--json FILE]\n"
+        "       padico_analyze --self-test <fixtures_dir>\n"
+        "       padico_analyze --check-baseline FILE\n");
+    return 2;
+}

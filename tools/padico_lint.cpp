@@ -1,25 +1,19 @@
 /// \file padico_lint.cpp
-/// In-tree concurrency & layering lint for the Padico source tree
-/// (ISSUE: padico::check). A deliberately small token-level checker — no
-/// real C++ parsing — that enforces the repo-wide rules the compiler
-/// cannot:
+/// In-tree lexical lint for the Padico source tree (ISSUE: padico::check).
+/// A deliberately small token-level checker — no real C++ parsing — that
+/// keeps the rules where pure text matching is the right tool:
 ///
-///   raw-mutex        std::mutex / std::lock_guard / std::scoped_lock /
-///                    std::unique_lock outside src/osal/ — everything above
-///                    osal must use osal::CheckedMutex + CheckedLock so the
-///                    PADICO_CHECK=ON build sees every acquisition.
 ///   cv-wait          .wait(lk) with exactly one argument outside src/osal/
 ///                    — a condition wait without a predicate is a lost-wakeup
 ///                    / spurious-wakeup bug waiting to happen.
-///   include-layering #include that reaches UP the layer stack (e.g.
-///                    fabric/ including ccm/); the allowed direction mirrors
-///                    the lock-rank bands in osal/lockrank.hpp.
-///   unknown-lockrank lockrank::<id> used but not declared in
-///                    osal/lockrank.hpp — the registry is the single source
-///                    of truth for ranks.
 ///   literal-rank     CheckedMutex{<integer>, ...} or set_rank(<integer>)
 ///                    outside src/osal/ — ranks must be named lockrank::
 ///                    constants, not magic numbers.
+///
+/// The scope/cross-TU rules this tool used to carry (raw-mutex,
+/// include-layering, unknown-lockrank) moved to tools/padico_analyze.cpp,
+/// which tracks real lock regions and include edges; total lint coverage
+/// is a superset of the old set (see DESIGN.md §16).
 ///
 /// A file opts out of one rule with a comment pragma anywhere in the file:
 ///     // padico-lint: allow(raw-mutex)
@@ -56,20 +50,8 @@ struct Finding {
     std::string message;
 };
 
-/// Layer levels; an include must go strictly DOWN (lower level) or stay in
-/// the including file's own directory. Mirrors the lockrank.hpp bands.
-const std::map<std::string, int>& layer_levels() {
-    static const std::map<std::string, int> levels = {
-        {"util", 0},      {"osal", 1},    {"fabric", 2}, {"madeleine", 3},
-        {"sockets", 3},   {"padicotm", 4}, {"mpi", 5},   {"svc", 5},
-        {"corba", 6},     {"soap", 7},    {"hla", 7},    {"ccm", 7},
-        {"gridccm", 8},
-    };
-    return levels;
-}
-
 /// First path component after the leading "src/" (or the first component
-/// outright), i.e. the module directory the layering rules key on.
+/// outright), i.e. the module directory the osal-exemption keys on.
 std::string module_dir(const std::string& path) {
     std::string p = path;
     if (p.rfind("src/", 0) == 0) p = p.substr(4);
@@ -133,14 +115,6 @@ std::string strip_comments_and_strings(const std::string& in) {
     return out;
 }
 
-std::vector<std::string> split_lines(const std::string& s) {
-    std::vector<std::string> lines;
-    std::istringstream is(s);
-    std::string line;
-    while (std::getline(is, line)) lines.push_back(line);
-    return lines;
-}
-
 bool is_ident(char c) {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
@@ -200,13 +174,10 @@ char first_token_char(const std::string& s, std::size_t pos) {
 }
 
 void lint_file(const std::string& path, const std::string& raw,
-               const std::set<std::string>& rank_decls,
                std::vector<Finding>& findings) {
     const std::string dir = module_dir(path);
     const std::set<std::string> allowed = allowed_rules(raw);
     const std::string code = strip_comments_and_strings(raw);
-    const std::vector<std::string> lines = split_lines(code);
-    const std::vector<std::string> raw_lines = split_lines(raw);
     const bool in_osal = dir == "osal";
 
     auto emit = [&](std::size_t line, const std::string& rule,
@@ -214,27 +185,6 @@ void lint_file(const std::string& path, const std::string& raw,
         if (allowed.count(rule) != 0) return;
         findings.push_back(Finding{path, line, rule, msg});
     };
-
-    // raw-mutex: std locking primitives outside osal/.
-    if (!in_osal) {
-        static const char* kRaw[] = {"std::mutex", "std::recursive_mutex",
-                                     "std::timed_mutex", "std::lock_guard",
-                                     "std::scoped_lock", "std::unique_lock"};
-        for (std::size_t ln = 0; ln < lines.size(); ++ln) {
-            for (const char* tok : kRaw) {
-                const std::size_t at = lines[ln].find(tok);
-                if (at == std::string::npos) continue;
-                const std::size_t after = at + std::string(tok).size();
-                if (after < lines[ln].size() && is_ident(lines[ln][after]))
-                    continue; // e.g. std::mutexes — not our token
-                emit(ln + 1, "raw-mutex",
-                     std::string(tok) +
-                         " outside osal/ — use osal::CheckedMutex / "
-                         "CheckedLock (osal/checked.hpp)");
-                break;
-            }
-        }
-    }
 
     // cv-wait: one-argument .wait( outside osal/ (zero args = WaitSet-style
     // wait, two args = predicate form; both fine).
@@ -252,55 +202,6 @@ void lint_file(const std::string& path, const std::string& raw,
                          "wakeups and lost notifies; use wait(lock, pred)");
             }
             at += 5;
-        }
-    }
-
-    // include-layering: #include "dir/..." must go strictly down (or stay
-    // in the including file's own directory).
-    {
-        const auto& levels = layer_levels();
-        const auto self = levels.find(dir);
-        for (std::size_t ln = 0; ln < lines.size(); ++ln) {
-            const std::string& l = lines[ln];
-            std::size_t at = l.find("#include");
-            if (at == std::string::npos) continue;
-            // Re-read the include target from the RAW line: the stripper
-            // blanks string literals, and "..." includes are one (raw and
-            // stripped text have identical line structure).
-            const std::string& raw_line = raw_lines[ln];
-            const std::size_t q1 = raw_line.find('"', at);
-            if (q1 == std::string::npos) continue;
-            const std::size_t q2 = raw_line.find('"', q1 + 1);
-            if (q2 == std::string::npos) continue;
-            const std::string target = raw_line.substr(q1 + 1, q2 - q1 - 1);
-            const std::string inc_dir = module_dir(target);
-            if (inc_dir.empty() || inc_dir == dir) continue;
-            const auto inc = levels.find(inc_dir);
-            if (inc == levels.end() || self == levels.end()) continue;
-            if (inc->second >= self->second)
-                emit(ln + 1, "include-layering",
-                     dir + "/ (layer " + std::to_string(self->second) +
-                         ") must not include " + inc_dir + "/ (layer " +
-                         std::to_string(inc->second) +
-                         ") — includes go down the stack only");
-        }
-    }
-
-    // unknown-lockrank: every lockrank::<id> must be declared in
-    // osal/lockrank.hpp.
-    {
-        const std::string ns = "lockrank::";
-        std::size_t at = 0;
-        while ((at = code.find(ns, at)) != std::string::npos) {
-            std::size_t p = at + ns.size();
-            std::string id;
-            while (p < code.size() && is_ident(code[p])) id += code[p++];
-            if (!id.empty() && rank_decls.count(id) == 0)
-                emit(line_of(code, at), "unknown-lockrank",
-                     "lockrank::" + id +
-                         " is not declared in osal/lockrank.hpp — the "
-                         "registry is the single source of truth");
-            at = p;
         }
     }
 
@@ -332,23 +233,6 @@ void lint_file(const std::string& path, const std::string& raw,
     }
 }
 
-/// Identifiers declared `constexpr int <id>` in the rank registry.
-std::set<std::string> load_rank_decls(const fs::path& lockrank_hpp) {
-    std::set<std::string> out;
-    std::ifstream in(lockrank_hpp);
-    std::string line;
-    while (std::getline(in, line)) {
-        const std::string tag = "constexpr int ";
-        const std::size_t at = line.find(tag);
-        if (at == std::string::npos) continue;
-        std::size_t p = at + tag.size();
-        std::string id;
-        while (p < line.size() && is_ident(line[p])) id += line[p++];
-        if (!id.empty()) out.insert(id);
-    }
-    return out;
-}
-
 std::string read_file(const fs::path& p) {
     std::ifstream in(p, std::ios::binary);
     std::ostringstream ss;
@@ -357,14 +241,6 @@ std::string read_file(const fs::path& p) {
 }
 
 int lint_tree(const fs::path& src) {
-    const std::set<std::string> ranks =
-        load_rank_decls(src / "osal" / "lockrank.hpp");
-    if (ranks.empty()) {
-        std::fprintf(stderr,
-                     "padico_lint: no rank declarations found in %s\n",
-                     (src / "osal" / "lockrank.hpp").string().c_str());
-        return 2;
-    }
     std::vector<Finding> findings;
     std::vector<fs::path> files;
     for (const auto& e : fs::recursive_directory_iterator(src)) {
@@ -376,7 +252,7 @@ int lint_tree(const fs::path& src) {
     for (const auto& f : files) {
         const std::string rel =
             "src/" + fs::relative(f, src).generic_string();
-        lint_file(rel, read_file(f), ranks, findings);
+        lint_file(rel, read_file(f), findings);
     }
     for (const auto& f : findings)
         std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
@@ -387,8 +263,6 @@ int lint_tree(const fs::path& src) {
 }
 
 int self_test(const fs::path& dir) {
-    const std::set<std::string> ranks =
-        load_rank_decls(dir / "lockrank.hpp");
     int failures = 0;
     std::size_t fixtures = 0;
     std::vector<fs::path> files;
@@ -432,7 +306,7 @@ int self_test(const fs::path& dir) {
             }
         }
         std::vector<Finding> findings;
-        lint_file(vpath, raw, ranks, findings);
+        lint_file(vpath, raw, findings);
         std::set<std::string> got;
         for (const auto& fd : findings) got.insert(fd.rule);
         if (got == expected) {
